@@ -1,0 +1,96 @@
+//! Error types for application parsing, validation, and execution.
+
+use std::fmt;
+
+/// Anything that can go wrong while parsing, validating, instantiating,
+/// or executing an application model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// JSON syntax or schema problem.
+    Json(String),
+    /// A `runfunc` (optionally under a per-platform `shared_object`)
+    /// could not be resolved in the kernel registry.
+    UnresolvedSymbol { shared_object: String, runfunc: String },
+    /// A DAG node references an argument missing from `Variables`.
+    UnknownVariable { node: String, variable: String },
+    /// A node lists a predecessor/successor that is not in the DAG.
+    UnknownNode { node: String, referenced: String },
+    /// Predecessor and successor lists disagree.
+    InconsistentEdges { from: String, to: String },
+    /// The DAG contains a cycle (through the named node).
+    Cyclic { node: String },
+    /// A node has no supported platform.
+    NoPlatforms { node: String },
+    /// A variable descriptor is malformed.
+    BadVariable { variable: String, reason: String },
+    /// Variable access with the wrong type/size at runtime.
+    TypeError { variable: String, reason: String },
+    /// A kernel asked for an accelerator but the task is on a CPU PE
+    /// (or the attached device has the wrong kind).
+    NoAccelerator { wanted: String },
+    /// A kernel failed.
+    KernelFailed { kernel: String, reason: String },
+    /// Workload generation was asked for an application name that was
+    /// never registered (the paper's "output an error if it has not
+    /// detected `<app>` as referenced by its AppName").
+    UnknownApplication(String),
+    /// Invalid workload parameters.
+    BadWorkload(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Json(e) => write!(f, "JSON error: {e}"),
+            ModelError::UnresolvedSymbol { shared_object, runfunc } => {
+                write!(f, "symbol '{runfunc}' not found in shared object '{shared_object}'")
+            }
+            ModelError::UnknownVariable { node, variable } => {
+                write!(f, "node '{node}' references undeclared variable '{variable}'")
+            }
+            ModelError::UnknownNode { node, referenced } => {
+                write!(f, "node '{node}' references unknown node '{referenced}'")
+            }
+            ModelError::InconsistentEdges { from, to } => {
+                write!(f, "edge {from} -> {to} is not mirrored in both predecessor and successor lists")
+            }
+            ModelError::Cyclic { node } => write!(f, "application DAG has a cycle through '{node}'"),
+            ModelError::NoPlatforms { node } => write!(f, "node '{node}' supports no platforms"),
+            ModelError::BadVariable { variable, reason } => {
+                write!(f, "variable '{variable}' is malformed: {reason}")
+            }
+            ModelError::TypeError { variable, reason } => {
+                write!(f, "variable '{variable}' type error: {reason}")
+            }
+            ModelError::NoAccelerator { wanted } => {
+                write!(f, "kernel needs accelerator '{wanted}' but none is attached to this PE")
+            }
+            ModelError::KernelFailed { kernel, reason } => write!(f, "kernel '{kernel}' failed: {reason}"),
+            ModelError::UnknownApplication(name) => {
+                write!(f, "workload requests unknown application '{name}'")
+            }
+            ModelError::BadWorkload(reason) => write!(f, "bad workload spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::UnresolvedSymbol {
+            shared_object: "fft_accel.so".into(),
+            runfunc: "range_detect_FFT_0_ACCEL".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fft_accel.so"));
+        assert!(msg.contains("range_detect_FFT_0_ACCEL"));
+
+        assert!(ModelError::Cyclic { node: "X".into() }.to_string().contains("cycle"));
+        assert!(ModelError::UnknownApplication("radar".into()).to_string().contains("radar"));
+    }
+}

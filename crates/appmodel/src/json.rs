@@ -1,0 +1,283 @@
+//! The JSON application interchange format (paper Listing 1).
+//!
+//! Field names deliberately match the paper's JSON so that its example
+//! (`range_detection.json`) parses unchanged:
+//!
+//! ```json
+//! {
+//!   "AppName": "range_detection",
+//!   "SharedObject": "range_detection.so",
+//!   "Variables": {
+//!     "n_samples": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [0,1,0,0]}
+//!   },
+//!   "DAG": {
+//!     "FFT_0": {
+//!        "arguments": ["n_samples", "rx", "X1"],
+//!        "predecessors": [], "successors": ["MUL"],
+//!        "platforms": [
+//!          {"name": "cpu", "runfunc": "range_detect_FFT_0_CPU"},
+//!          {"name": "fft", "runfunc": "range_detect_FFT_0_ACCEL",
+//!           "shared_object": "fft_accel.so"}]}
+//!   }
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::error::ModelError;
+
+/// One variable descriptor from the `Variables` map.
+///
+/// Mirrors the paper exactly: `bytes` is the storage for the variable
+/// itself; if `is_ptr`, the variable is a pointer and `ptr_alloc_bytes` of
+/// heap storage are allocated for it at initialization; `val` holds the
+/// little-endian initial bytes (of the value itself for scalars, of the
+/// pointed-to buffer for pointers — the paper leaves pointer targets
+/// zero-initialized with `val: []`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariableJson {
+    /// Size of the variable's own storage in bytes (4 for an `i32`,
+    /// 8 for a 64-bit pointer, ...).
+    pub bytes: u32,
+    /// Whether this variable is a pointer type.
+    pub is_ptr: bool,
+    /// Heap storage allocated for pointer variables.
+    pub ptr_alloc_bytes: u32,
+    /// Initial little-endian bytes.
+    #[serde(default)]
+    pub val: Vec<u8>,
+}
+
+impl VariableJson {
+    /// A scalar descriptor with initial bytes.
+    pub fn scalar(bytes: u32, val: Vec<u8>) -> Self {
+        VariableJson { bytes, is_ptr: false, ptr_alloc_bytes: 0, val }
+    }
+
+    /// A 32-bit little-endian integer scalar (the paper's `n_samples`
+    /// example: 256 becomes `[0, 1, 0, 0]`).
+    pub fn u32_scalar(value: u32) -> Self {
+        Self::scalar(4, value.to_le_bytes().to_vec())
+    }
+
+    /// A pointer variable with `alloc` bytes of zeroed heap storage.
+    pub fn buffer(alloc: u32) -> Self {
+        VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: alloc, val: Vec::new() }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self, name: &str) -> Result<(), ModelError> {
+        let err = |reason: &str| {
+            Err(ModelError::BadVariable { variable: name.to_string(), reason: reason.to_string() })
+        };
+        if self.bytes == 0 {
+            return err("zero-byte storage");
+        }
+        if self.is_ptr {
+            if self.ptr_alloc_bytes == 0 {
+                return err("pointer with no allocation");
+            }
+            if self.val.len() > self.ptr_alloc_bytes as usize {
+                return err("initializer larger than pointer allocation");
+            }
+        } else {
+            if self.ptr_alloc_bytes != 0 {
+                return err("non-pointer with ptr_alloc_bytes");
+            }
+            if self.val.len() > self.bytes as usize {
+                return err("initializer larger than storage");
+            }
+        }
+        Ok(())
+    }
+
+    /// Total backing-store size: `bytes` for scalars, `ptr_alloc_bytes`
+    /// for pointers.
+    pub fn storage_bytes(&self) -> usize {
+        if self.is_ptr {
+            self.ptr_alloc_bytes as usize
+        } else {
+            self.bytes as usize
+        }
+    }
+}
+
+/// One execution platform supported by a DAG node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformJson {
+    /// Platform key matched against [`dssoc_platform::PeDescriptor::platform_key`]
+    /// (`"cpu"`, `"fft"`, ...).
+    pub name: String,
+    /// Symbol name looked up in the shared object.
+    pub runfunc: String,
+    /// Optional per-platform shared object override (the paper's
+    /// `fft_accel.so` example); defaults to the app-level `SharedObject`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shared_object: Option<String>,
+    /// Optional mean execution-time estimate in microseconds, used by
+    /// cost-aware schedulers (MET/EFT). The paper's DAGs carry execution
+    /// time costs per supported platform.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mean_exec_us: Option<f64>,
+}
+
+/// One DAG node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeJson {
+    /// Names of the variables passed to the kernel.
+    #[serde(default)]
+    pub arguments: Vec<String>,
+    /// Upstream dependencies (node names).
+    #[serde(default)]
+    pub predecessors: Vec<String>,
+    /// Downstream dependents (node names).
+    #[serde(default)]
+    pub successors: Vec<String>,
+    /// Supported execution platforms (at least one required).
+    pub platforms: Vec<PlatformJson>,
+}
+
+/// A complete JSON application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppJson {
+    /// Application name used by workload requests.
+    #[serde(rename = "AppName")]
+    pub app_name: String,
+    /// Default shared object containing the kernels.
+    #[serde(rename = "SharedObject")]
+    pub shared_object: String,
+    /// Program variables (storage + initialization).
+    #[serde(rename = "Variables")]
+    pub variables: BTreeMap<String, VariableJson>,
+    /// The task graph.
+    #[serde(rename = "DAG")]
+    pub dag: BTreeMap<String, NodeJson>,
+}
+
+impl AppJson {
+    /// Parses an application from JSON text.
+    #[allow(clippy::should_implement_trait)] // fallible, JSON-specific parse
+    pub fn from_str(text: &str) -> Result<AppJson, ModelError> {
+        serde_json::from_str(text).map_err(|e| ModelError::Json(e.to_string()))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("AppJson serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trimmed version of the paper's Listing 1.
+    pub const LISTING1_EXCERPT: &str = r#"{
+        "AppName": "range_detection",
+        "SharedObject": "range_detection.so",
+        "Variables": {
+            "n_samples": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [0, 1, 0, 0]},
+            "lfm_waveform": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048, "val": []},
+            "rx": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048, "val": []},
+            "X1": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 4096, "val": []}
+        },
+        "DAG": {
+            "LFM": {
+                "arguments": ["n_samples", "lfm_waveform"],
+                "predecessors": [],
+                "successors": ["FFT_1"],
+                "platforms": [{"name": "cpu", "runfunc": "range_detect_LFM"}]
+            },
+            "FFT_1": {
+                "arguments": ["n_samples", "lfm_waveform", "X1"],
+                "predecessors": ["LFM"],
+                "successors": [],
+                "platforms": [
+                    {"name": "cpu", "runfunc": "range_detect_FFT_0_CPU"},
+                    {"name": "fft", "runfunc": "range_detect_FFT_0_ACCEL", "shared_object": "fft_accel.so"}
+                ]
+            }
+        }
+    }"#;
+
+    #[test]
+    fn parses_listing1_shape() {
+        let app = AppJson::from_str(LISTING1_EXCERPT).unwrap();
+        assert_eq!(app.app_name, "range_detection");
+        assert_eq!(app.shared_object, "range_detection.so");
+        let n = &app.variables["n_samples"];
+        assert_eq!(n.bytes, 4);
+        assert!(!n.is_ptr);
+        assert_eq!(n.val, vec![0, 1, 0, 0]); // little-endian 256
+        let wf = &app.variables["lfm_waveform"];
+        assert!(wf.is_ptr);
+        assert_eq!(wf.ptr_alloc_bytes, 2048);
+        let fft = &app.dag["FFT_1"];
+        assert_eq!(fft.platforms.len(), 2);
+        assert_eq!(fft.platforms[1].shared_object.as_deref(), Some("fft_accel.so"));
+        assert_eq!(fft.predecessors, vec!["LFM"]);
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let app = AppJson::from_str(LISTING1_EXCERPT).unwrap();
+        let text = app.to_pretty();
+        let again = AppJson::from_str(&text).unwrap();
+        assert_eq!(app, again);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(AppJson::from_str("{"), Err(ModelError::Json(_))));
+        assert!(AppJson::from_str(r#"{"AppName": "x"}"#).is_err());
+    }
+
+    #[test]
+    fn variable_validation() {
+        assert!(VariableJson::u32_scalar(256).validate("n").is_ok());
+        assert!(VariableJson::buffer(2048).validate("b").is_ok());
+
+        let zero = VariableJson { bytes: 0, is_ptr: false, ptr_alloc_bytes: 0, val: vec![] };
+        assert!(zero.validate("z").is_err());
+
+        let bad_ptr = VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: 0, val: vec![] };
+        assert!(bad_ptr.validate("p").is_err());
+
+        let overfull = VariableJson { bytes: 2, is_ptr: false, ptr_alloc_bytes: 0, val: vec![1, 2, 3] };
+        assert!(overfull.validate("o").is_err());
+
+        let nonptr_alloc = VariableJson { bytes: 4, is_ptr: false, ptr_alloc_bytes: 64, val: vec![] };
+        assert!(nonptr_alloc.validate("np").is_err());
+
+        let big_init = VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: 2, val: vec![0; 4] };
+        assert!(big_init.validate("bi").is_err());
+    }
+
+    #[test]
+    fn u32_scalar_is_little_endian() {
+        let v = VariableJson::u32_scalar(256);
+        assert_eq!(v.val, vec![0, 1, 0, 0]); // paper's example
+    }
+
+    #[test]
+    fn storage_bytes() {
+        assert_eq!(VariableJson::u32_scalar(1).storage_bytes(), 4);
+        assert_eq!(VariableJson::buffer(2048).storage_bytes(), 2048);
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let text = r#"{
+            "AppName": "a", "SharedObject": "a.so",
+            "Variables": {},
+            "DAG": {"only": {"platforms": [{"name": "cpu", "runfunc": "f"}]}}
+        }"#;
+        let app = AppJson::from_str(text).unwrap();
+        let n = &app.dag["only"];
+        assert!(n.arguments.is_empty());
+        assert!(n.predecessors.is_empty());
+        assert!(n.successors.is_empty());
+        assert!(n.platforms[0].mean_exec_us.is_none());
+    }
+}

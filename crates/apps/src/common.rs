@@ -1,0 +1,102 @@
+//! Shared helpers for building JSON applications programmatically.
+
+use dssoc_appmodel::json::{NodeJson, PlatformJson, VariableJson};
+use dssoc_dsp::complex::Complex32;
+
+/// Encodes complex samples as the little-endian interleaved byte layout
+/// used by buffer variables.
+pub fn complex_bytes(samples: &[Complex32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 8);
+    for s in samples {
+        out.extend_from_slice(&s.re.to_le_bytes());
+        out.extend_from_slice(&s.im.to_le_bytes());
+    }
+    out
+}
+
+/// A pointer variable sized for `n` complex samples, optionally
+/// pre-initialized with data (shorter than `n` is fine; the rest is
+/// zero).
+pub fn complex_buffer(n: usize, init: &[Complex32]) -> VariableJson {
+    assert!(init.len() <= n, "initializer larger than buffer");
+    VariableJson {
+        bytes: 8,
+        is_ptr: true,
+        ptr_alloc_bytes: (n * 8) as u32,
+        val: complex_bytes(init),
+    }
+}
+
+/// A CPU platform entry.
+pub fn cpu(runfunc: &str, mean_exec_us: f64) -> PlatformJson {
+    PlatformJson {
+        name: "cpu".into(),
+        runfunc: runfunc.into(),
+        shared_object: None,
+        mean_exec_us: Some(mean_exec_us),
+    }
+}
+
+/// An FFT-accelerator platform entry under `fft_accel.so`, as in the
+/// paper's Listing 1.
+pub fn fft_accel(runfunc: &str, mean_exec_us: f64) -> PlatformJson {
+    PlatformJson {
+        name: "fft".into(),
+        runfunc: runfunc.into(),
+        shared_object: Some("fft_accel.so".into()),
+        mean_exec_us: Some(mean_exec_us),
+    }
+}
+
+/// A DAG node.
+pub fn node(
+    arguments: &[&str],
+    predecessors: &[&str],
+    successors: &[&str],
+    platforms: Vec<PlatformJson>,
+) -> NodeJson {
+    NodeJson {
+        arguments: arguments.iter().map(|s| s.to_string()).collect(),
+        predecessors: predecessors.iter().map(|s| s.to_string()).collect(),
+        successors: successors.iter().map(|s| s.to_string()).collect(),
+        platforms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_bytes_layout() {
+        let b = complex_bytes(&[Complex32::new(1.0, 2.0)]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(f32::from_le_bytes(b[0..4].try_into().unwrap()), 1.0);
+        assert_eq!(f32::from_le_bytes(b[4..8].try_into().unwrap()), 2.0);
+    }
+
+    #[test]
+    fn complex_buffer_sizes() {
+        let v = complex_buffer(128, &[Complex32::ONE; 4]);
+        assert!(v.is_ptr);
+        assert_eq!(v.ptr_alloc_bytes, 1024);
+        assert_eq!(v.val.len(), 32);
+        v.validate("x").unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "initializer larger")]
+    fn oversized_init_panics() {
+        complex_buffer(2, &[Complex32::ONE; 3]);
+    }
+
+    #[test]
+    fn platform_builders() {
+        let c = cpu("f", 10.0);
+        assert_eq!(c.name, "cpu");
+        assert_eq!(c.mean_exec_us, Some(10.0));
+        let a = fft_accel("g", 70.0);
+        assert_eq!(a.name, "fft");
+        assert_eq!(a.shared_object.as_deref(), Some("fft_accel.so"));
+    }
+}

@@ -1,0 +1,81 @@
+//! # dssoc-apps — the reference signal-processing applications
+//!
+//! The paper's representative Software-Defined Radio application set
+//! (§III-B), each expressed as a JSON DAG (paper Listing 1 style) plus a
+//! registered kernel library:
+//!
+//! * [`range_detection`] — radar range detection (Fig. 2): LFM waveform,
+//!   two FFTs, conjugate-multiply, IFFT, find-maximum. 6 tasks, matching
+//!   Table I.
+//! * [`pulse_doppler`] — radar pulse Doppler (Fig. 8): a per-row
+//!   FFT/conj-multiply/IFFT correlator bank over `m` slow-time rows,
+//!   matrix realignment, per-column Doppler FFTs with fftshift, and a
+//!   global maximum search. With the paper's geometry (64 rows, 512
+//!   correlation columns) one instance is 770 tasks, matching Table I.
+//! * [`wifi`] — WiFi TX (7 tasks) and RX (9 tasks) (Fig. 7): scrambler,
+//!   convolutional encoder, interleaver, QPSK, pilots, IFFT/FFT, CRC on
+//!   the transmit side; matched filter, payload extraction, pilot
+//!   removal, demodulation, deinterleaver, Viterbi decoder, descrambler,
+//!   CRC check on the receive side.
+//!
+//! Every FFT/IFFT node carries both a `cpu` and an `fft` platform entry
+//! (the latter under the `fft_accel.so` shared object, as in the paper's
+//! Listing 1), so the same applications exercise CPU-only and
+//! CPU+accelerator DSSoC configurations unchanged.
+//!
+//! [`standard_library`] assembles all four applications with the paper's
+//! parameters into an [`AppLibrary`] + [`KernelRegistry`] pair ready to
+//! hand to the emulator.
+
+pub mod common;
+pub mod pulse_doppler;
+pub mod range_detection;
+pub mod wifi;
+
+use dssoc_appmodel::{AppLibrary, KernelRegistry};
+
+/// Builds the full reference application set with default (paper-like)
+/// parameters. The returned library contains `range_detection`,
+/// `pulse_doppler`, `wifi_tx`, and `wifi_rx`.
+pub fn standard_library() -> (AppLibrary, KernelRegistry) {
+    let mut registry = KernelRegistry::new();
+    range_detection::register_kernels(&mut registry);
+    pulse_doppler::register_kernels(&mut registry);
+    wifi::register_kernels(&mut registry);
+
+    let mut library = AppLibrary::new();
+    library
+        .register_json(&range_detection::build_app(&range_detection::Params::default()), &registry)
+        .expect("range_detection must validate");
+    library
+        .register_json(&pulse_doppler::build_app(&pulse_doppler::Params::default()), &registry)
+        .expect("pulse_doppler must validate");
+    library
+        .register_json(&wifi::build_tx_app(&wifi::Params::default()), &registry)
+        .expect("wifi_tx must validate");
+    library
+        .register_json(&wifi::build_rx_app(&wifi::Params::default()), &registry)
+        .expect("wifi_rx must validate");
+    (library, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_contains_all_four_apps() {
+        let (lib, reg) = standard_library();
+        assert_eq!(lib.names(), vec!["pulse_doppler", "range_detection", "wifi_rx", "wifi_tx"]);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn task_counts_match_paper_table1() {
+        let (lib, _) = standard_library();
+        assert_eq!(lib.get("range_detection").unwrap().task_count(), 6);
+        assert_eq!(lib.get("pulse_doppler").unwrap().task_count(), 770);
+        assert_eq!(lib.get("wifi_tx").unwrap().task_count(), 7);
+        assert_eq!(lib.get("wifi_rx").unwrap().task_count(), 9);
+    }
+}

@@ -1,0 +1,428 @@
+//! Radar pulse Doppler (paper Fig. 8).
+//!
+//! Estimates target range *and* velocity from `m` received pulses
+//! ("slow-time" rows of `n` samples each):
+//!
+//! ```text
+//! row r ──► FFT ─┐
+//! ref  ───► FFT ─┴► MUL (conj·mult) ─► IFFT ─┐   (per row r = 0..m)
+//!                                            ├─► REALIGN ─► COL c (FFT
+//! ...                                        ┘    + fftshift, per column
+//!                                                 c = 0..L) ─► MAX
+//! ```
+//!
+//! With the paper's geometry — `m = 64` rows and a correlation length of
+//! `L = 512` — one instance is `64*4 + 1 + 512 + 1 = 770` tasks, matching
+//! Table I. The kernels are *generic*: they find their input/output
+//! buffers through the node's argument list (`ctx.arg(i)` gives the
+//! variable name), so six registered kernels serve all 770 nodes — the
+//! "library of kernels linked together in a novel way" integration style
+//! the paper describes.
+//!
+//! The builder plants a target at a known delay and Doppler bin; after a
+//! run the instance's `range_bin` and `doppler_bin` variables must equal
+//! [`Params::expected_range_bin`] / [`Params::expected_doppler_bin`].
+
+use dssoc_appmodel::json::{AppJson, VariableJson};
+use dssoc_appmodel::{KernelRegistry, ModelError, TaskCtx};
+use dssoc_dsp::chirp::lfm_chirp;
+use dssoc_dsp::complex::Complex32;
+use dssoc_dsp::fft::{fft_in_place, fftshift, ifft_in_place, vector_conjugate, vector_multiply};
+use std::collections::BTreeMap;
+
+use crate::common::{complex_buffer, cpu, fft_accel, node};
+
+/// Pulse-Doppler build parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of slow-time rows (pulses). Must be a power of two.
+    pub m_rows: usize,
+    /// Samples per transmitted pulse.
+    pub n_samples: usize,
+    /// Correlation length (power of two, `>= 2 * n_samples`).
+    pub corr_len: usize,
+    /// Planted target delay in samples (`< n_samples`).
+    pub target_delay: usize,
+    /// Planted Doppler bin (`< m_rows`), before fftshift.
+    pub doppler_bin: usize,
+    /// Echo amplitude.
+    pub gain: f32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // 64 x 512 — the geometry that yields the paper's 770 tasks.
+        Params { m_rows: 64, n_samples: 256, corr_len: 512, target_delay: 100, doppler_bin: 9, gain: 1.0 }
+    }
+}
+
+impl Params {
+    /// The column index where `MAX` must find the peak.
+    pub fn expected_range_bin(&self) -> usize {
+        self.target_delay
+    }
+
+    /// The row index where `MAX` must find the peak (the planted Doppler
+    /// bin, displaced by the fftshift).
+    pub fn expected_doppler_bin(&self) -> usize {
+        (self.doppler_bin + self.m_rows / 2) % self.m_rows
+    }
+
+    /// Total task count for one instance.
+    pub fn task_count(&self) -> usize {
+        self.m_rows * 4 + 1 + self.corr_len + 1
+    }
+}
+
+/// The shared object holding the CPU kernels.
+pub const SHARED_OBJECT: &str = "pulse_doppler.so";
+
+/// Registers the pulse-Doppler kernels.
+pub fn register_kernels(registry: &mut KernelRegistry) {
+    registry.register_fn(SHARED_OBJECT, "pd_FFT", k_fft);
+    registry.register_fn(SHARED_OBJECT, "pd_MUL", k_mul);
+    registry.register_fn(SHARED_OBJECT, "pd_IFFT", k_ifft);
+    registry.register_fn(SHARED_OBJECT, "pd_REALIGN", k_realign);
+    registry.register_fn(SHARED_OBJECT, "pd_COL", k_col);
+    registry.register_fn(SHARED_OBJECT, "pd_MAX", k_max);
+    registry.register_fn("fft_accel.so", "pd_FFT_ACCEL", k_fft_accel);
+    registry.register_fn("fft_accel.so", "pd_IFFT_ACCEL", k_ifft_accel);
+}
+
+/// Builds the JSON application with a planted target.
+pub fn build_app(p: &Params) -> AppJson {
+    assert!(p.m_rows.is_power_of_two(), "m_rows must be a power of two");
+    assert!(p.corr_len.is_power_of_two(), "corr_len must be a power of two");
+    assert!(p.corr_len >= 2 * p.n_samples, "corr_len must cover the linear correlation");
+    assert!(p.target_delay < p.n_samples, "delay must be inside the pulse");
+    assert!(p.doppler_bin < p.m_rows, "doppler bin out of range");
+    let (m, l) = (p.m_rows, p.corr_len);
+
+    let pulse = lfm_chirp(p.n_samples, 0.0, 2.0e6, 8.0e6);
+    let mut reference = pulse.clone();
+    reference.resize(l, Complex32::ZERO);
+
+    let mut variables = BTreeMap::new();
+    variables.insert("m_rows".to_string(), VariableJson::u32_scalar(m as u32));
+    variables.insert("n_corr".to_string(), VariableJson::u32_scalar(l as u32));
+    variables.insert("ref_padded".to_string(), complex_buffer(l, &reference));
+    variables.insert("corr_matrix".to_string(), complex_buffer(m * l, &[]));
+    variables.insert("dopp_matrix".to_string(), complex_buffer(m * l, &[]));
+    variables.insert("range_bin".to_string(), VariableJson::u32_scalar(0));
+    variables.insert("doppler_bin".to_string(), VariableJson::u32_scalar(0));
+    variables.insert("peak".to_string(), VariableJson::scalar(4, vec![]));
+
+    // Per-row input: the delayed pulse, rotated by the slow-time Doppler
+    // phase for row r.
+    for r in 0..m {
+        let phase = 2.0 * std::f64::consts::PI * p.doppler_bin as f64 * r as f64 / m as f64;
+        let rot = Complex32::new(phase.cos() as f32, phase.sin() as f32);
+        let mut row = vec![Complex32::ZERO; l];
+        for (i, &s) in pulse.iter().enumerate() {
+            row[i + p.target_delay] = s * rot * p.gain;
+        }
+        variables.insert(format!("row{r:02}"), complex_buffer(l, &row));
+        variables.insert(format!("rowf{r:02}"), complex_buffer(l, &[]));
+        variables.insert(format!("reff{r:02}"), complex_buffer(l, &[]));
+        variables.insert(format!("corrf{r:02}"), complex_buffer(l, &[]));
+        variables.insert(format!("corr{r:02}"), complex_buffer(l, &[]));
+    }
+    for c in 0..l {
+        variables.insert(format!("colidx{c:03}"), VariableJson::u32_scalar(c as u32));
+    }
+
+    let mut dag = BTreeMap::new();
+    let realign_name = "REALIGN".to_string();
+    let mut realign_args: Vec<String> =
+        vec!["m_rows".into(), "n_corr".into(), "corr_matrix".into()];
+    for r in 0..m {
+        let (row, rowf, reff, corrf, corr) = (
+            format!("row{r:02}"),
+            format!("rowf{r:02}"),
+            format!("reff{r:02}"),
+            format!("corrf{r:02}"),
+            format!("corr{r:02}"),
+        );
+        dag.insert(
+            format!("FFT_R{r:02}"),
+            node(
+                &["n_corr", &row, &rowf],
+                &[],
+                &[&format!("MUL{r:02}")],
+                vec![cpu("pd_FFT", 60.0), fft_accel("pd_FFT_ACCEL", 90.0)],
+            ),
+        );
+        dag.insert(
+            format!("FFT_REF{r:02}"),
+            node(
+                &["n_corr", "ref_padded", &reff],
+                &[],
+                &[&format!("MUL{r:02}")],
+                vec![cpu("pd_FFT", 60.0), fft_accel("pd_FFT_ACCEL", 90.0)],
+            ),
+        );
+        dag.insert(
+            format!("MUL{r:02}"),
+            node(
+                &["n_corr", &rowf, &reff, &corrf],
+                &[&format!("FFT_R{r:02}"), &format!("FFT_REF{r:02}")],
+                &[&format!("IFFT{r:02}")],
+                vec![cpu("pd_MUL", 12.0)],
+            ),
+        );
+        dag.insert(
+            format!("IFFT{r:02}"),
+            node(
+                &["n_corr", &corrf, &corr],
+                &[&format!("MUL{r:02}")],
+                &[&realign_name],
+                vec![cpu("pd_IFFT", 60.0), fft_accel("pd_IFFT_ACCEL", 90.0)],
+            ),
+        );
+        realign_args.push(corr);
+    }
+
+    let realign_preds: Vec<String> = (0..m).map(|r| format!("IFFT{r:02}")).collect();
+    let col_names: Vec<String> = (0..l).map(|c| format!("COL{c:03}")).collect();
+    dag.insert(
+        realign_name.clone(),
+        node(
+            &realign_args.iter().map(String::as_str).collect::<Vec<_>>(),
+            &realign_preds.iter().map(String::as_str).collect::<Vec<_>>(),
+            &col_names.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec![cpu("pd_REALIGN", 80.0)],
+        ),
+    );
+    #[allow(clippy::needless_range_loop)] // c is also the column id baked into args
+    for c in 0..l {
+        dag.insert(
+            col_names[c].clone(),
+            node(
+                &["m_rows", "n_corr", &format!("colidx{c:03}"), "corr_matrix", "dopp_matrix"],
+                &[&realign_name],
+                &["MAX"],
+                vec![cpu("pd_COL", 15.0)],
+            ),
+        );
+    }
+    dag.insert(
+        "MAX".to_string(),
+        node(
+            &["m_rows", "n_corr", "dopp_matrix", "range_bin", "doppler_bin", "peak"],
+            &col_names.iter().map(String::as_str).collect::<Vec<_>>(),
+            &[],
+            vec![cpu("pd_MAX", 120.0)],
+        ),
+    );
+
+    AppJson { app_name: "pulse_doppler".into(), shared_object: SHARED_OBJECT.into(), variables, dag }
+}
+
+// ---- kernels ---------------------------------------------------------------
+
+/// Generic forward FFT: `args = [n, input, output]`.
+fn k_fft(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let input = ctx.arg(1)?.to_string();
+    let output = ctx.arg(2)?.to_string();
+    let mut data = ctx.read_complex(&input, n)?;
+    fft_in_place(&mut data);
+    ctx.write_complex(&output, &data)
+}
+
+/// Generic forward FFT on the accelerator: `args = [n, input, output]`.
+fn k_fft_accel(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let input = ctx.arg(1)?.to_string();
+    let output = ctx.arg(2)?.to_string();
+    ctx.accel_fft(&input, &output, n, false)
+}
+
+/// Generic inverse FFT: `args = [n, input, output]`.
+fn k_ifft(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let input = ctx.arg(1)?.to_string();
+    let output = ctx.arg(2)?.to_string();
+    let mut data = ctx.read_complex(&input, n)?;
+    ifft_in_place(&mut data);
+    ctx.write_complex(&output, &data)
+}
+
+/// Generic inverse FFT on the accelerator.
+fn k_ifft_accel(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let input = ctx.arg(1)?.to_string();
+    let output = ctx.arg(2)?.to_string();
+    ctx.accel_fft(&input, &output, n, true)
+}
+
+/// Conjugate multiply: `args = [n, a, b, out]`, `out = a * conj(b)`.
+fn k_mul(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let a = ctx.read_complex(ctx.arg(1)?, n)?;
+    let b = ctx.read_complex(ctx.arg(2)?, n)?;
+    let out_name = ctx.arg(3)?.to_string();
+    let mut conj = vec![Complex32::ZERO; n];
+    vector_conjugate(&b, &mut conj);
+    let mut out = vec![Complex32::ZERO; n];
+    vector_multiply(&a, &conj, &mut out);
+    ctx.write_complex(&out_name, &out)
+}
+
+/// Gathers the per-row correlation buffers into the matrix:
+/// `args = [m, n, corr_matrix, corr_0, corr_1, ...]`.
+fn k_realign(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let m = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let n = ctx.read_u32(ctx.arg(1)?)? as usize;
+    let matrix = ctx.arg(2)?.to_string();
+    for r in 0..m {
+        let row_var = ctx.arg(3 + r)?.to_string();
+        let row = ctx.read_complex(&row_var, n)?;
+        ctx.write_complex_at(&matrix, r * n, &row)?;
+    }
+    Ok(())
+}
+
+/// Doppler FFT of one matrix column plus fftshift:
+/// `args = [m, n, colidx, corr_matrix, dopp_matrix]`.
+fn k_col(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let m = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let n = ctx.read_u32(ctx.arg(1)?)? as usize;
+    let c = ctx.read_u32(ctx.arg(2)?)? as usize;
+    let src = ctx.arg(3)?.to_string();
+    let dst = ctx.arg(4)?.to_string();
+    let mut column = ctx.read_complex_strided(&src, c, n, m)?;
+    fft_in_place(&mut column);
+    let shifted = fftshift(&column);
+    ctx.write_complex_strided(&dst, c, n, &shifted)
+}
+
+/// Global maximum over the range-Doppler map:
+/// `args = [m, n, dopp_matrix, range_bin, doppler_bin, peak]`.
+fn k_max(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
+    let m = ctx.read_u32(ctx.arg(0)?)? as usize;
+    let n = ctx.read_u32(ctx.arg(1)?)? as usize;
+    let matrix = ctx.read_complex(ctx.arg(2)?, m * n)?;
+    let range_var = ctx.arg(3)?.to_string();
+    let doppler_var = ctx.arg(4)?.to_string();
+    let peak_var = ctx.arg(5)?.to_string();
+    let idx = dssoc_dsp::util::argmax_magnitude(&matrix).unwrap_or(0);
+    ctx.write_u32(&doppler_var, (idx / n) as u32)?;
+    ctx.write_u32(&range_var, (idx % n) as u32)?;
+    ctx.write_f32(&peak_var, matrix[idx].abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_appmodel::app::ApplicationSpec;
+    use dssoc_appmodel::instance::{AppInstance, InstanceId};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Small geometry so functional tests stay fast: 8 rows, 64 columns.
+    fn small_params() -> Params {
+        Params { m_rows: 8, n_samples: 32, corr_len: 64, target_delay: 11, doppler_bin: 3, gain: 1.0 }
+    }
+
+    fn run_all_cpu(p: &Params) -> Arc<dssoc_appmodel::memory::AppMemory> {
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let json = build_app(p);
+        let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
+        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        // Kahn order over the spec (indices are already topological-safe
+        // through repeated sweeps).
+        let mut remaining: Vec<usize> = spec.nodes.iter().map(|n| n.predecessors.len()).collect();
+        let mut done = vec![false; spec.nodes.len()];
+        loop {
+            let mut progressed = false;
+            for i in 0..spec.nodes.len() {
+                if !done[i] && remaining[i] == 0 {
+                    let nspec = &spec.nodes[i];
+                    let ctx = TaskCtx::new(&inst.memory, &nspec.name, &nspec.arguments, None);
+                    nspec.platform("cpu").unwrap().kernel.run(&ctx).unwrap();
+                    done[i] = true;
+                    for &s in &nspec.successors {
+                        remaining[s] -= 1;
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(done.iter().all(|&d| d), "all tasks must execute");
+        inst.memory
+    }
+
+    #[test]
+    fn paper_geometry_is_770_tasks() {
+        assert_eq!(Params::default().task_count(), 770);
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let spec = ApplicationSpec::from_json(&build_app(&Params::default()), &reg).unwrap();
+        assert_eq!(spec.task_count(), 770);
+    }
+
+    #[test]
+    fn small_geometry_task_count() {
+        let p = small_params();
+        assert_eq!(p.task_count(), 8 * 4 + 1 + 64 + 1);
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let spec = ApplicationSpec::from_json(&build_app(&p), &reg).unwrap();
+        assert_eq!(spec.task_count(), p.task_count());
+        // 2 roots per row (FFT_R, FFT_REF).
+        assert_eq!(spec.roots.len(), 2 * p.m_rows);
+    }
+
+    #[test]
+    fn finds_planted_target() {
+        let p = small_params();
+        let mem = run_all_cpu(&p);
+        assert_eq!(mem.read_u32("range_bin").unwrap() as usize, p.expected_range_bin());
+        assert_eq!(mem.read_u32("doppler_bin").unwrap() as usize, p.expected_doppler_bin());
+        assert!(mem.read_f32("peak").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn different_dopplers_resolve() {
+        for k0 in [0usize, 1, 4, 7] {
+            let p = Params { doppler_bin: k0, ..small_params() };
+            let mem = run_all_cpu(&p);
+            assert_eq!(
+                mem.read_u32("doppler_bin").unwrap() as usize,
+                p.expected_doppler_bin(),
+                "doppler bin {k0}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_delays_resolve() {
+        for d in [0usize, 7, 31] {
+            let p = Params { target_delay: d, ..small_params() };
+            let mem = run_all_cpu(&p);
+            assert_eq!(mem.read_u32("range_bin").unwrap() as usize, d, "delay {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the linear correlation")]
+    fn short_corr_len_rejected() {
+        build_app(&Params { corr_len: 32, ..small_params() });
+    }
+
+    #[test]
+    fn accel_platforms_present_on_fft_nodes() {
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let spec = ApplicationSpec::from_json(&build_app(&small_params()), &reg).unwrap();
+        assert!(spec.node_by_name("FFT_R00").unwrap().supports("fft"));
+        assert!(spec.node_by_name("IFFT00").unwrap().supports("fft"));
+        assert!(!spec.node_by_name("MUL00").unwrap().supports("fft"));
+        assert!(!spec.node_by_name("COL000").unwrap().supports("fft"));
+    }
+}

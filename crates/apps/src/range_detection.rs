@@ -1,0 +1,314 @@
+//! Radar range detection (paper Fig. 2, Listing 1).
+//!
+//! The application correlates a received signal against a transmitted
+//! LFM chirp through the frequency domain and reports the lag of the
+//! strongest echo:
+//!
+//! ```text
+//! LFM ──────────► FFT_1 ─┐
+//!                        ├─► MUL (conj·mult) ─► IFFT ─► MAX
+//! rx (input) ──► FFT_0 ──┘
+//! ```
+//!
+//! Six tasks per instance, matching the paper's Table I. The conjugate
+//! of the reference spectrum is folded into the `MUL` kernel (the paper
+//! draws it as its own block but counts six tasks). The FFT, and IFFT
+//! nodes carry `cpu` and `fft` (accelerator) platform entries.
+//!
+//! The builder plants a synthetic echo at a known delay so the output is
+//! verifiable: after a run, the instance's `lag` variable must equal
+//! [`Params::target_delay`].
+
+use dssoc_appmodel::json::{AppJson, VariableJson};
+use dssoc_appmodel::{KernelRegistry, ModelError};
+use dssoc_dsp::chirp::lfm_chirp;
+use dssoc_dsp::complex::Complex32;
+use dssoc_dsp::fft::{fft_in_place, ifft_in_place, vector_conjugate, vector_multiply};
+use dssoc_dsp::util::argmax_magnitude;
+use std::collections::BTreeMap;
+
+use crate::common::{complex_buffer, cpu, fft_accel, node};
+
+/// Range-detection build parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Samples per pulse — must be a power of two (the FFT size).
+    pub n_samples: usize,
+    /// Planted echo delay in samples (circular, `< n_samples`).
+    pub target_delay: usize,
+    /// Planted echo amplitude.
+    pub gain: f32,
+    /// Chirp sweep: start frequency (Hz).
+    pub f0: f64,
+    /// Chirp sweep: end frequency (Hz).
+    pub f1: f64,
+    /// Sampling rate (Hz).
+    pub fs: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // 128-sample pulses: the FFT size the paper's accelerator study
+        // uses ("the input sample count to our FFT accelerator is only
+        // 128").
+        Params { n_samples: 128, target_delay: 37, gain: 0.8, f0: 0.0, f1: 2.0e6, fs: 8.0e6 }
+    }
+}
+
+/// The shared object holding the CPU kernels.
+pub const SHARED_OBJECT: &str = "range_detection.so";
+
+/// Registers the range-detection kernels (CPU variants under
+/// [`SHARED_OBJECT`], accelerator variants under `fft_accel.so`).
+pub fn register_kernels(registry: &mut KernelRegistry) {
+    registry.register_fn(SHARED_OBJECT, "range_detect_LFM", k_lfm);
+    registry.register_fn(SHARED_OBJECT, "range_detect_FFT_0_CPU", k_fft0_cpu);
+    registry.register_fn(SHARED_OBJECT, "range_detect_FFT_1_CPU", k_fft1_cpu);
+    registry.register_fn(SHARED_OBJECT, "range_detect_MUL", k_mul);
+    registry.register_fn(SHARED_OBJECT, "range_detect_IFFT_CPU", k_ifft_cpu);
+    registry.register_fn(SHARED_OBJECT, "range_detect_MAX", k_max);
+    registry.register_fn("fft_accel.so", "range_detect_FFT_0_ACCEL", k_fft0_accel);
+    registry.register_fn("fft_accel.so", "range_detect_FFT_1_ACCEL", k_fft1_accel);
+    registry.register_fn("fft_accel.so", "range_detect_IFFT_ACCEL", k_ifft_accel);
+}
+
+/// Builds the JSON application with a planted echo.
+pub fn build_app(p: &Params) -> AppJson {
+    assert!(p.n_samples.is_power_of_two(), "n_samples must be a power of two");
+    assert!(p.target_delay < p.n_samples, "delay must be inside the pulse window");
+    let n = p.n_samples;
+
+    // Synthesize the received signal: the chirp, circularly delayed.
+    let pulse = lfm_chirp(n, p.f0, p.f1, p.fs);
+    let mut rx = vec![Complex32::ZERO; n];
+    for (i, &s) in pulse.iter().enumerate() {
+        rx[(i + p.target_delay) % n] = s.scale(p.gain);
+    }
+
+    let mut variables = BTreeMap::new();
+    variables.insert("n_samples".to_string(), VariableJson::u32_scalar(n as u32));
+    variables.insert("sampling_rate".to_string(), VariableJson::scalar(4, (p.fs as f32).to_le_bytes().to_vec()));
+    variables.insert("f0".to_string(), VariableJson::scalar(4, (p.f0 as f32).to_le_bytes().to_vec()));
+    variables.insert("f1".to_string(), VariableJson::scalar(4, (p.f1 as f32).to_le_bytes().to_vec()));
+    variables.insert("lfm_waveform".to_string(), complex_buffer(n, &[]));
+    variables.insert("rx".to_string(), complex_buffer(n, &rx));
+    variables.insert("X1".to_string(), complex_buffer(n, &[]));
+    variables.insert("X2".to_string(), complex_buffer(n, &[]));
+    variables.insert("corr_freq".to_string(), complex_buffer(n, &[]));
+    variables.insert("corr".to_string(), complex_buffer(n, &[]));
+    variables.insert("lag".to_string(), VariableJson::u32_scalar(0));
+    variables.insert("max_corr".to_string(), VariableJson::scalar(4, vec![]));
+
+    let mut dag = BTreeMap::new();
+    dag.insert(
+        "LFM".to_string(),
+        node(
+            &["n_samples", "f0", "f1", "sampling_rate", "lfm_waveform"],
+            &[],
+            &["FFT_1"],
+            vec![cpu("range_detect_LFM", 20.0)],
+        ),
+    );
+    dag.insert(
+        "FFT_0".to_string(),
+        node(
+            &["n_samples", "rx", "X1"],
+            &[],
+            &["MUL"],
+            vec![cpu("range_detect_FFT_0_CPU", 25.0), fft_accel("range_detect_FFT_0_ACCEL", 70.0)],
+        ),
+    );
+    dag.insert(
+        "FFT_1".to_string(),
+        node(
+            &["n_samples", "lfm_waveform", "X2"],
+            &["LFM"],
+            &["MUL"],
+            vec![cpu("range_detect_FFT_1_CPU", 25.0), fft_accel("range_detect_FFT_1_ACCEL", 70.0)],
+        ),
+    );
+    dag.insert(
+        "MUL".to_string(),
+        node(
+            &["n_samples", "X1", "X2", "corr_freq"],
+            &["FFT_0", "FFT_1"],
+            &["IFFT"],
+            vec![cpu("range_detect_MUL", 8.0)],
+        ),
+    );
+    dag.insert(
+        "IFFT".to_string(),
+        node(
+            &["n_samples", "corr_freq", "corr"],
+            &["MUL"],
+            &["MAX"],
+            vec![cpu("range_detect_IFFT_CPU", 25.0), fft_accel("range_detect_IFFT_ACCEL", 70.0)],
+        ),
+    );
+    dag.insert(
+        "MAX".to_string(),
+        node(
+            &["n_samples", "corr", "lag", "max_corr", "sampling_rate"],
+            &["IFFT"],
+            &[],
+            vec![cpu("range_detect_MAX", 6.0)],
+        ),
+    );
+
+    AppJson {
+        app_name: "range_detection".into(),
+        shared_object: SHARED_OBJECT.into(),
+        variables,
+        dag,
+    }
+}
+
+// ---- kernels --------------------------------------------------------------
+
+fn k_lfm(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    let f0 = ctx.read_f32("f0")? as f64;
+    let f1 = ctx.read_f32("f1")? as f64;
+    let fs = ctx.read_f32("sampling_rate")? as f64;
+    let wf = lfm_chirp(n, f0, f1, fs);
+    ctx.write_complex("lfm_waveform", &wf)
+}
+
+fn fft_cpu(ctx: &dssoc_appmodel::TaskCtx<'_>, input: &str, output: &str, inverse: bool) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    let mut data = ctx.read_complex(input, n)?;
+    if inverse {
+        ifft_in_place(&mut data);
+    } else {
+        fft_in_place(&mut data);
+    }
+    ctx.write_complex(output, &data)
+}
+
+fn k_fft0_cpu(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    fft_cpu(ctx, "rx", "X1", false)
+}
+
+fn k_fft1_cpu(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    fft_cpu(ctx, "lfm_waveform", "X2", false)
+}
+
+fn k_ifft_cpu(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    fft_cpu(ctx, "corr_freq", "corr", true)
+}
+
+fn k_fft0_accel(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    ctx.accel_fft("rx", "X1", n, false)
+}
+
+fn k_fft1_accel(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    ctx.accel_fft("lfm_waveform", "X2", n, false)
+}
+
+fn k_ifft_accel(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    ctx.accel_fft("corr_freq", "corr", n, true)
+}
+
+fn k_mul(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    let x1 = ctx.read_complex("X1", n)?;
+    let x2 = ctx.read_complex("X2", n)?;
+    let mut conj = vec![Complex32::ZERO; n];
+    vector_conjugate(&x2, &mut conj);
+    let mut out = vec![Complex32::ZERO; n];
+    vector_multiply(&x1, &conj, &mut out);
+    ctx.write_complex("corr_freq", &out)
+}
+
+fn k_max(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
+    let n = ctx.read_u32("n_samples")? as usize;
+    let corr = ctx.read_complex("corr", n)?;
+    let idx = argmax_magnitude(&corr).unwrap_or(0);
+    ctx.write_u32("lag", idx as u32)?;
+    ctx.write_f32("max_corr", corr[idx].abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_appmodel::app::ApplicationSpec;
+    use dssoc_appmodel::instance::{AppInstance, InstanceId};
+    use dssoc_appmodel::memory::TaskCtx;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn run_all_cpu(params: &Params) -> Arc<dssoc_appmodel::memory::AppMemory> {
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let json = build_app(params);
+        let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
+        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        // Execute nodes in topological order on the CPU platform.
+        let order = ["LFM", "FFT_0", "FFT_1", "MUL", "IFFT", "MAX"];
+        for name in order {
+            let nspec = spec.node_by_name(name).unwrap();
+            let ctx = TaskCtx::new(&inst.memory, &nspec.name, &nspec.arguments, None);
+            nspec.platform("cpu").unwrap().kernel.run(&ctx).unwrap();
+        }
+        inst.memory
+    }
+
+    #[test]
+    fn six_tasks_and_valid_dag() {
+        let mut reg = KernelRegistry::new();
+        register_kernels(&mut reg);
+        let spec = ApplicationSpec::from_json(&build_app(&Params::default()), &reg).unwrap();
+        assert_eq!(spec.task_count(), 6);
+        assert_eq!(spec.roots.len(), 2, "LFM and FFT_0 are the head nodes");
+        // FFT nodes must be accelerator-capable.
+        for n in ["FFT_0", "FFT_1", "IFFT"] {
+            assert!(spec.node_by_name(n).unwrap().supports("fft"), "{n} should support fft");
+        }
+        for n in ["LFM", "MUL", "MAX"] {
+            assert!(!spec.node_by_name(n).unwrap().supports("fft"));
+        }
+    }
+
+    #[test]
+    fn cpu_pipeline_finds_planted_delay() {
+        for delay in [0usize, 5, 37, 100, 127] {
+            let params = Params { target_delay: delay, ..Params::default() };
+            let mem = run_all_cpu(&params);
+            assert_eq!(mem.read_u32("lag").unwrap(), delay as u32, "delay {delay}");
+            assert!(mem.read_f32("max_corr").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn weak_echo_still_detected() {
+        let params = Params { gain: 0.05, target_delay: 64, ..Params::default() };
+        let mem = run_all_cpu(&params);
+        assert_eq!(mem.read_u32("lag").unwrap(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        build_app(&Params { n_samples: 100, ..Params::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the pulse window")]
+    fn out_of_window_delay_rejected() {
+        build_app(&Params { target_delay: 128, ..Params::default() });
+    }
+
+    #[test]
+    fn json_round_trips_like_listing1() {
+        let json = build_app(&Params::default());
+        let text = json.to_pretty();
+        assert!(text.contains("\"AppName\": \"range_detection\""));
+        assert!(text.contains("\"SharedObject\": \"range_detection.so\""));
+        assert!(text.contains("fft_accel.so"));
+        let parsed = AppJson::from_str(&text).unwrap();
+        assert_eq!(parsed, json);
+    }
+}

@@ -1,0 +1,84 @@
+//! Turn-around-time comparison between the threaded emulation engine and
+//! the discrete-event baseline (paper §III-D): the DES is faster per run
+//! because it executes nothing — and that is exactly why it cannot do
+//! functional validation or capture scheduling overhead. The emulator
+//! pays for running real kernels but stays far below cycle-accurate
+//! simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::WorkloadSpec;
+use dssoc_apps::standard_library;
+use dssoc_core::des::{DesConfig, DesSimulator};
+use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::FrfsScheduler;
+use dssoc_platform::cost::CostTable;
+use dssoc_platform::presets::zcu102;
+
+fn cost_table() -> CostTable {
+    let mut t = CostTable::new();
+    for k in [
+        "range_detect_LFM",
+        "range_detect_FFT_0_CPU",
+        "range_detect_FFT_1_CPU",
+        "range_detect_MUL",
+        "range_detect_IFFT_CPU",
+        "range_detect_MAX",
+    ] {
+        t.set(k, "cortex-a53", Duration::from_micros(30));
+    }
+    t
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (library, _registry) = standard_library();
+    let workload = WorkloadSpec::validation([("range_detection", 16usize)])
+        .generate(&library)
+        .unwrap();
+    let table = cost_table();
+
+    let mut g = c.benchmark_group("turnaround");
+    g.sample_size(20);
+
+    g.bench_function("emulator_modeled", |b| {
+        b.iter(|| {
+            let emu = Emulation::with_config(
+                zcu102(3, 0),
+                EmulationConfig {
+                    timing: TimingMode::Modeled,
+                    overhead: OverheadMode::None,
+                    cost: Arc::new(table.clone()),
+                    reservation_depth: 0,
+        },
+            )
+            .unwrap();
+            black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
+        })
+    });
+
+    g.bench_function("emulator_measured_costs", |b| {
+        b.iter(|| {
+            let emu = Emulation::new(zcu102(3, 0)).unwrap();
+            black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
+        })
+    });
+
+    g.bench_function("des_baseline", |b| {
+        b.iter(|| {
+            let des = DesSimulator::new(
+                zcu102(3, 0),
+                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO },
+            )
+            .unwrap();
+            black_box(des.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

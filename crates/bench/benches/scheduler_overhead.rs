@@ -1,0 +1,98 @@
+//! Isolated scheduler-invocation cost vs ready-queue length — the
+//! microbenchmark behind Fig. 10(b): FRFS stays flat (early exit once
+//! the PEs are exhausted), MET grows linearly (whole-queue scan with
+//! cost estimates), EFT grows fastest (whole-queue scan with per-PE
+//! projections).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dssoc_appmodel::app::ApplicationSpec;
+use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson};
+use dssoc_appmodel::KernelRegistry;
+use dssoc_core::sched::{by_name, EstimateBook, PeView, SchedContext};
+use dssoc_core::task::{ReadyTask, Task};
+use dssoc_core::SimTime;
+use dssoc_platform::presets::zcu102;
+
+/// Builds `n` independent ready tasks (all cpu-capable, every third also
+/// fft-capable), mirroring a loaded SDR ready queue.
+fn ready_tasks(n: usize) -> Vec<ReadyTask> {
+    let mut reg = KernelRegistry::new();
+    reg.register_fn("b.so", "k", |_| Ok(()));
+    let mut dag = BTreeMap::new();
+    for i in 0..n {
+        let mut platforms = vec![PlatformJson {
+            name: "cpu".into(),
+            runfunc: "k".into(),
+            shared_object: None,
+            mean_exec_us: Some(50.0),
+        }];
+        if i % 3 == 0 {
+            platforms.push(PlatformJson {
+                name: "fft".into(),
+                runfunc: "k".into(),
+                shared_object: None,
+                mean_exec_us: Some(80.0),
+            });
+        }
+        dag.insert(
+            format!("n{i:05}"),
+            NodeJson { arguments: vec![], predecessors: vec![], successors: vec![], platforms },
+        );
+    }
+    let json = AppJson {
+        app_name: "bench".into(),
+        shared_object: "b.so".into(),
+        variables: BTreeMap::new(),
+        dag,
+    };
+    let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
+    let inst = Arc::new(
+        AppInstance::instantiate(spec, InstanceId(0), std::time::Duration::ZERO).unwrap(),
+    );
+    (0..n)
+        .map(|i| ReadyTask {
+            task: Task { instance: Arc::clone(&inst), node_idx: i },
+            ready_at: SimTime(i as u64),
+            seq: i as u64,
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let platform = zcu102(3, 2);
+    let book = EstimateBook::new();
+    let mut g = c.benchmark_group("scheduler_invocation");
+    for len in [16usize, 128, 1024, 4096] {
+        let ready = ready_tasks(len);
+        for policy in ["frfs", "met", "eft", "random"] {
+            g.bench_with_input(BenchmarkId::new(policy, len), &len, |b, _| {
+                let mut sched = by_name(policy).unwrap();
+                b.iter(|| {
+                    // One idle core + one idle accelerator: the loaded
+                    // steady state right after a completion.
+                    let views: Vec<PeView<'_>> = platform
+                        .pes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, pe)| PeView {
+                            pe,
+                            idle: i == 0 || i == 3,
+                            available_at: SimTime(100_000),
+                        })
+                        .collect();
+                    let ctx = SchedContext { now: SimTime(200_000), estimates: &book };
+                    black_box(sched.schedule(&ready, &views, &ctx))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

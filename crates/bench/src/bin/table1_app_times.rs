@@ -1,0 +1,58 @@
+//! Table I — application execution time and task count on the paper's
+//! 3-core + 2-FFT configuration under FRFS.
+//!
+//! ```text
+//! Application       Execution Time (ms)   Task Count     (paper)
+//! Range Detection   0.32                  6
+//! Pulse Doppler     5.60                  770
+//! WiFi TX           0.13                  7
+//! WiFi RX           2.22                  9
+//! ```
+//!
+//! ```sh
+//! cargo run --release --bin table1_app_times
+//! ```
+
+use dssoc_appmodel::WorkloadSpec;
+use dssoc_apps::standard_library;
+use dssoc_bench::{repeated_makespans_ms, summarize};
+use dssoc_core::prelude::*;
+use dssoc_core::Scheduler;
+use dssoc_platform::presets::zcu102;
+
+fn main() {
+    let (library, _registry) = standard_library();
+    let platform = zcu102(3, 2);
+    let iterations = 10;
+
+    println!("== Table I: standalone application execution on 3C+2F, FRFS ({iterations} iterations) ==");
+    println!();
+    println!(
+        "{:<18} {:>18} {:>12}   {:>10}",
+        "Application", "Exec Time (ms)", "Task Count", "paper (ms)"
+    );
+
+    let paper = [
+        ("range_detection", 0.32),
+        ("pulse_doppler", 5.60),
+        ("wifi_tx", 0.13),
+        ("wifi_rx", 2.22),
+    ];
+    for (app, paper_ms) in paper {
+        let workload = WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload");
+        let mut make: Box<dyn FnMut() -> Box<dyn Scheduler>> =
+            Box::new(|| Box::new(FrfsScheduler::new()) as Box<dyn Scheduler>);
+        let (samples, stats) =
+            repeated_makespans_ms(&platform, make.as_mut(), &workload, &library, iterations);
+        let s = summarize(&samples);
+        println!(
+            "{:<18} {:>18.3} {:>12}   {:>10.2}",
+            app,
+            s.median,
+            stats.tasks.len(),
+            paper_ms
+        );
+    }
+    println!();
+    println!("task counts must match the paper exactly; times are relative to this host.");
+}

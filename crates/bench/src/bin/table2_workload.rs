@@ -1,0 +1,60 @@
+//! Table II — application instance counts per injection rate.
+//!
+//! The paper's performance-mode traces over a 100 ms frame:
+//!
+//! ```text
+//! rate (jobs/ms)   PD    RD    TX   RX      (paper)
+//! 1.71              8   123    20   20
+//! 2.28             10   164    27   27
+//! 3.42             15   245    41   41
+//! 4.57             18   329    55   55
+//! 6.92             32   495    82   83
+//! ```
+//!
+//! ```sh
+//! cargo run --release --bin table2_workload
+//! ```
+
+use std::time::Duration;
+
+use dssoc_apps::standard_library;
+use dssoc_bench::table2_workload;
+
+fn main() {
+    let (library, _registry) = standard_library();
+    let frame = Duration::from_millis(100);
+
+    println!("== Table II: instance counts per injection rate (100 ms frame) ==");
+    println!();
+    println!(
+        "{:>6} {:>8} | {:>5} {:>5} {:>5} {:>5} | paper: PD RD TX RX",
+        "target", "actual", "PD", "RD", "TX", "RX"
+    );
+    let paper = [
+        (1.71, [8, 123, 20, 20]),
+        (2.28, [10, 164, 27, 27]),
+        (3.42, [15, 245, 41, 41]),
+        (4.57, [18, 329, 55, 55]),
+        (6.92, [32, 495, 82, 83]),
+    ];
+    for (rate, paper_counts) in paper {
+        let wl = table2_workload(&library, rate, frame, true, 2020);
+        let counts = wl.counts_by_app();
+        let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        println!(
+            "{:>6.2} {:>8.2} | {:>5} {:>5} {:>5} {:>5} | paper: {:>3} {:>3} {:>3} {:>3}",
+            rate,
+            wl.injection_rate_per_ms().unwrap_or(0.0),
+            get("pulse_doppler"),
+            get("range_detection"),
+            get("wifi_tx"),
+            get("wifi_rx"),
+            paper_counts[0],
+            paper_counts[1],
+            paper_counts[2],
+            paper_counts[3],
+        );
+    }
+    println!();
+    println!("counts track the paper's proportions (PD sparse, RD dense, WiFi mid).");
+}

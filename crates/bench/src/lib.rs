@@ -1,0 +1,189 @@
+//! # dssoc-bench — the paper-reproduction benchmark harness
+//!
+//! One binary per table / figure of the paper's evaluation (§III), plus
+//! Criterion microbenches. The binaries print the same rows/series the
+//! paper reports; `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_app_times` | Table I — standalone app exec time & task count |
+//! | `table2_workload` | Table II — instance counts per injection rate |
+//! | `fig9_validation` | Fig. 9 — exec time + utilization across configs |
+//! | `fig10_schedulers` | Fig. 10 — exec time + overhead vs injection rate |
+//! | `fig11_odroid` | Fig. 11 — big.LITTLE configs vs injection rate |
+//! | `case4_compiler` | Case study 4 — auto-conversion speedups |
+
+use std::time::Duration;
+
+use dssoc_appmodel::{AppLibrary, InjectionParams, Workload, WorkloadSpec};
+use dssoc_core::prelude::*;
+use dssoc_core::Scheduler;
+use dssoc_platform::pe::PlatformConfig;
+
+/// Summary statistics over repeated runs (for the paper's box plots).
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Computes box-plot statistics for a sample (panics on empty input).
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize an empty sample");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let q = |f: f64| -> f64 {
+        let pos = f * (s.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            s[lo]
+        } else {
+            s[lo] + (s[hi] - s[lo]) * (pos - lo as f64)
+        }
+    };
+    Summary {
+        min: s[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: s[s.len() - 1],
+        mean: s.iter().sum::<f64>() / s.len() as f64,
+    }
+}
+
+/// The paper's Table II injection-rate workloads: for a target rate in
+/// jobs/ms over a 100 ms frame, each application is injected
+/// periodically with probability one, with per-app instance counts in
+/// the paper's proportions (pulse Doppler sparse — long DAG — and range
+/// detection / WiFi dense).
+///
+/// `include_pd` controls whether pulse Doppler participates (its 770
+/// tasks per instance dominate runtime; Fig. 11's Odroid sweep uses the
+/// lighter mix).
+pub fn table2_workload(
+    library: &AppLibrary,
+    rate_jobs_per_ms: f64,
+    frame: Duration,
+    include_pd: bool,
+    seed: u64,
+) -> Workload {
+    // Paper Table II proportions at 1.71 jobs/ms: PD 8, RD 123, TX 20,
+    // RX 20 over 100 ms. Scale periods inversely with the target rate.
+    let total_ref = if include_pd { 171.0 } else { 163.0 };
+    let scale = rate_jobs_per_ms * 100.0 / total_ref; // instances multiplier
+    let frame_ms = frame.as_secs_f64() * 1e3;
+    let period = |count_ref: f64| -> Duration {
+        let count = (count_ref * scale * frame_ms / 100.0).max(1.0);
+        Duration::from_secs_f64(frame.as_secs_f64() / count)
+    };
+    let mut injections = vec![
+        InjectionParams { app: "range_detection".into(), period: period(123.0), probability: 1.0 },
+        InjectionParams { app: "wifi_tx".into(), period: period(20.0), probability: 1.0 },
+        InjectionParams { app: "wifi_rx".into(), period: period(20.0), probability: 1.0 },
+    ];
+    if include_pd {
+        injections.push(InjectionParams {
+            app: "pulse_doppler".into(),
+            period: period(8.0),
+            probability: 1.0,
+        });
+    }
+    WorkloadSpec::performance(injections, frame, seed)
+        .generate(library)
+        .expect("table2 workload generates")
+}
+
+/// Runs `iterations` repetitions of a workload, returning makespans in
+/// milliseconds (first run discarded as warm-up when `iterations > 1`,
+/// matching the paper's repeated-iteration methodology).
+pub fn repeated_makespans_ms(
+    platform: &PlatformConfig,
+    make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    workload: &Workload,
+    library: &AppLibrary,
+    iterations: usize,
+) -> (Vec<f64>, EmulationStats) {
+    assert!(iterations > 0);
+    let warmup = usize::from(iterations > 1);
+    let mut samples = Vec::with_capacity(iterations);
+    let mut last: Option<EmulationStats> = None;
+    for i in 0..iterations + warmup {
+        let emu = Emulation::new(platform.clone()).expect("platform");
+        let mut sched = make_scheduler();
+        let stats = emu.run(sched.as_mut(), workload, library).expect("run");
+        if i >= warmup {
+            samples.push(stats.makespan.as_secs_f64() * 1e3);
+        }
+        last = Some(stats);
+    }
+    (samples, last.expect("at least one run"))
+}
+
+/// Pretty-prints a labeled summary row.
+pub fn print_summary_row(label: &str, s: &Summary, unit: &str) {
+    println!(
+        "{label:<12} min {:>9.3} | q1 {:>9.3} | med {:>9.3} | q3 {:>9.3} | max {:>9.3} {unit}",
+        s.min, s.q1, s.median, s.q3, s.max
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_apps::standard_library;
+
+    #[test]
+    fn summarize_quartiles() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        let one = summarize(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.q1, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn table2_rates_scale_counts() {
+        let (lib, _) = standard_library();
+        let frame = Duration::from_millis(100);
+        let low = table2_workload(&lib, 1.71, frame, true, 0);
+        let high = table2_workload(&lib, 6.92, frame, true, 0);
+        let low_rate = low.injection_rate_per_ms().unwrap();
+        let high_rate = high.injection_rate_per_ms().unwrap();
+        assert!((low_rate - 1.71).abs() / 1.71 < 0.15, "low rate {low_rate}");
+        assert!((high_rate - 6.92).abs() / 6.92 < 0.15, "high rate {high_rate}");
+        // Paper proportions: RD dominates, PD sparse.
+        let counts = low.counts_by_app();
+        assert!(counts["range_detection"] > counts["wifi_tx"]);
+        assert!(counts["wifi_tx"] >= counts["pulse_doppler"]);
+    }
+
+    #[test]
+    fn table2_without_pd() {
+        let (lib, _) = standard_library();
+        let wl = table2_workload(&lib, 4.0, Duration::from_millis(50), false, 1);
+        assert!(!wl.counts_by_app().contains_key("pulse_doppler"));
+        assert!(wl.len() > 100);
+    }
+}

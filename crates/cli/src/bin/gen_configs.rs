@@ -1,0 +1,37 @@
+//! Regenerates the sample platform/workload JSON files in `configs/`.
+//!
+//! ```sh
+//! cargo run --release --bin gen_configs
+//! ```
+
+fn main() {
+    for (name, cfg) in [
+        ("zcu102_3c2f", dssoc_platform::presets::zcu102(3, 2)),
+        ("zcu102_2c1f", dssoc_platform::presets::zcu102(2, 1)),
+        ("odroid_3b2l", dssoc_platform::presets::odroid_xu3(3, 2)),
+    ] {
+        std::fs::write(
+            format!("configs/{name}.json"),
+            serde_json::to_string_pretty(&cfg).unwrap(),
+        )
+        .unwrap();
+    }
+    let wl = dssoc_appmodel::WorkloadSpec::performance(
+        vec![
+            dssoc_appmodel::InjectionParams {
+                app: "range_detection".into(),
+                period: std::time::Duration::from_micros(800),
+                probability: 1.0,
+            },
+            dssoc_appmodel::InjectionParams {
+                app: "wifi_rx".into(),
+                period: std::time::Duration::from_millis(5),
+                probability: 1.0,
+            },
+        ],
+        std::time::Duration::from_millis(50),
+        7,
+    );
+    std::fs::write("configs/sdr_mix_workload.json", serde_json::to_string_pretty(&wl).unwrap()).unwrap();
+    println!("configs written");
+}

@@ -1,0 +1,467 @@
+//! Argument parsing and orchestration for the `dssoc-emu` executable —
+//! the paper's "lightweight Linux application": pick a platform
+//! configuration, a scheduling policy, and an operation mode, run the
+//! emulation, and print the collected statistics.
+//!
+//! ```text
+//! dssoc-emu run --platform zcu102:3C+2F --scheduler frfs \
+//!               --validation range_detection=2,wifi_rx=1
+//! dssoc-emu run --platform odroid:3B+2L --scheduler eft \
+//!               --inject range_detection:500us:1.0 --frame-ms 50 --seed 7
+//! dssoc-emu run --platform-file configs/zcu102_2c1f.json ...
+//! dssoc-emu apps                 # list the bundled applications
+//! dssoc-emu export-app <name>    # print an application's JSON DAG
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every helper
+//! here is unit-tested.
+
+use std::time::Duration;
+
+use dssoc_appmodel::{InjectionParams, WorkloadSpec};
+use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::sched::by_name;
+use dssoc_core::stats::EmulationStats;
+use dssoc_platform::pe::PlatformConfig;
+use dssoc_platform::presets::{odroid_xu3, zcu102};
+
+/// A fully parsed `run` invocation.
+#[derive(Debug)]
+pub struct RunArgs {
+    /// Platform to emulate.
+    pub platform: PlatformConfig,
+    /// Scheduler name (library policy).
+    pub scheduler: String,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+    /// Timing mode.
+    pub timing: TimingMode,
+    /// Reservation-queue depth.
+    pub reservation_depth: usize,
+    /// Repetitions (first run is warm-up when > 1).
+    pub iterations: usize,
+    /// Emit machine-readable JSON instead of the text summary.
+    pub json: bool,
+}
+
+/// Parses a platform shorthand:
+/// `zcu102:<cores>C+<ffts>F` or `odroid:<big>B+<little>L`.
+pub fn parse_platform(spec: &str) -> Result<PlatformConfig, String> {
+    let (board, shape) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("platform '{spec}' must look like zcu102:2C+1F or odroid:3B+2L"))?;
+    let shape_up = shape.to_ascii_uppercase();
+    let parse_pair = |a_tag: char, b_tag: char| -> Result<(usize, usize), String> {
+        let (a, b) = shape_up
+            .split_once('+')
+            .ok_or_else(|| format!("shape '{shape}' must look like 2{a_tag}+1{b_tag}"))?;
+        let a_n = a
+            .strip_suffix(a_tag)
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| format!("bad count '{a}' (expected e.g. 2{a_tag})"))?;
+        let b_n = b
+            .strip_suffix(b_tag)
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| format!("bad count '{b}' (expected e.g. 1{b_tag})"))?;
+        Ok((a_n, b_n))
+    };
+    match board.to_ascii_lowercase().as_str() {
+        "zcu102" => {
+            let (c, f) = parse_pair('C', 'F')?;
+            if c > 3 {
+                return Err("zcu102 supports at most 3 resource-pool cores".into());
+            }
+            if c + f == 0 {
+                return Err("platform needs at least one PE".into());
+            }
+            Ok(zcu102(c, f))
+        }
+        "odroid" => {
+            let (b, l) = parse_pair('B', 'L')?;
+            if b > 4 || l > 3 {
+                return Err("odroid supports at most 4 big and 3 LITTLE pool cores".into());
+            }
+            if b + l == 0 {
+                return Err("platform needs at least one PE".into());
+            }
+            Ok(odroid_xu3(b, l))
+        }
+        other => Err(format!("unknown board '{other}' (use zcu102 or odroid)")),
+    }
+}
+
+/// Parses a validation-mode count list: `app=2,other=1`.
+pub fn parse_counts(spec: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (app, n) = part
+            .split_once('=')
+            .ok_or_else(|| format!("count '{part}' must look like app=2"))?;
+        let n: usize = n.parse().map_err(|_| format!("bad count in '{part}'"))?;
+        out.push((app.to_string(), n));
+    }
+    if out.is_empty() {
+        return Err("no application counts given".into());
+    }
+    Ok(out)
+}
+
+/// Parses one injection triple: `app:<period><us|ms>:<probability>`.
+pub fn parse_injection(spec: &str) -> Result<InjectionParams, String> {
+    let mut parts = spec.splitn(3, ':');
+    let app = parts.next().filter(|s| !s.is_empty()).ok_or("missing app name")?;
+    let period = parts.next().ok_or("missing period (e.g. 500us)")?;
+    let prob = parts.next().ok_or("missing probability (e.g. 1.0)")?;
+    let period = parse_duration(period)?;
+    let probability: f64 = prob.parse().map_err(|_| format!("bad probability '{prob}'"))?;
+    if !(0.0..=1.0).contains(&probability) {
+        return Err(format!("probability {probability} outside [0, 1]"));
+    }
+    Ok(InjectionParams { app: app.to_string(), period, probability })
+}
+
+/// Parses `<n>us`, `<n>ms`, or `<n>s` into a duration.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = s
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| format!("duration '{s}' needs a unit (us/ms/s)"))?;
+    let value: f64 = num.parse().map_err(|_| format!("bad duration value '{num}'"))?;
+    let secs = match unit {
+        "us" => value * 1e-6,
+        "ms" => value * 1e-3,
+        "s" => value,
+        other => return Err(format!("unknown duration unit '{other}' (use us/ms/s)")),
+    };
+    if secs <= 0.0 {
+        return Err("duration must be positive".into());
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Loads a platform configuration from a JSON file.
+pub fn load_platform_file(path: &str) -> Result<PlatformConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg: PlatformConfig =
+        serde_json::from_str(&text).map_err(|e| format!("bad platform JSON in {path}: {e}"))?;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Loads a workload specification from a JSON file.
+pub fn load_workload_file(path: &str) -> Result<WorkloadSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad workload JSON in {path}: {e}"))
+}
+
+/// Parses the full argument list of the `run` subcommand.
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut platform: Option<PlatformConfig> = None;
+    let mut scheduler = "frfs".to_string();
+    let mut counts: Option<Vec<(String, usize)>> = None;
+    let mut injections: Vec<InjectionParams> = Vec::new();
+    let mut frame: Option<Duration> = None;
+    let mut seed = 0u64;
+    let mut workload_file: Option<String> = None;
+    let mut timing = TimingMode::Modeled;
+    let mut reservation_depth = 0usize;
+    let mut iterations = 1usize;
+    let mut json = false;
+
+    let mut i = 0;
+    let next_value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--platform" => platform = Some(parse_platform(&next_value(&mut i, "--platform")?)?),
+            "--platform-file" => {
+                platform = Some(load_platform_file(&next_value(&mut i, "--platform-file")?)?)
+            }
+            "--scheduler" => scheduler = next_value(&mut i, "--scheduler")?,
+            "--validation" => counts = Some(parse_counts(&next_value(&mut i, "--validation")?)?),
+            "--inject" => injections.push(parse_injection(&next_value(&mut i, "--inject")?)?),
+            "--frame-ms" => {
+                let v: u64 = next_value(&mut i, "--frame-ms")?
+                    .parse()
+                    .map_err(|_| "bad --frame-ms value".to_string())?;
+                frame = Some(Duration::from_millis(v));
+            }
+            "--seed" => {
+                seed = next_value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?
+            }
+            "--workload-file" => workload_file = Some(next_value(&mut i, "--workload-file")?),
+            "--timing" => {
+                timing = match next_value(&mut i, "--timing")?.as_str() {
+                    "modeled" => TimingMode::Modeled,
+                    "wallclock" => TimingMode::WallClock,
+                    other => return Err(format!("unknown timing mode '{other}'")),
+                }
+            }
+            "--reservation-depth" => {
+                reservation_depth = next_value(&mut i, "--reservation-depth")?
+                    .parse()
+                    .map_err(|_| "bad --reservation-depth value".to_string())?
+            }
+            "--iterations" => {
+                iterations = next_value(&mut i, "--iterations")?
+                    .parse()
+                    .map_err(|_| "bad --iterations value".to_string())?;
+                if iterations == 0 {
+                    return Err("--iterations must be at least 1".into());
+                }
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let platform = platform.ok_or("missing --platform or --platform-file")?;
+    let workload = if let Some(path) = workload_file {
+        if counts.is_some() || !injections.is_empty() {
+            return Err("--workload-file conflicts with --validation/--inject".into());
+        }
+        load_workload_file(&path)?
+    } else if let Some(counts) = counts {
+        if !injections.is_empty() {
+            return Err("--validation conflicts with --inject".into());
+        }
+        WorkloadSpec::validation(counts)
+    } else if !injections.is_empty() {
+        let frame = frame.ok_or("performance mode needs --frame-ms")?;
+        WorkloadSpec::performance(injections, frame, seed)
+    } else {
+        return Err("no workload: use --validation, --inject, or --workload-file".into());
+    };
+    Ok(RunArgs { platform, scheduler, workload, timing, reservation_depth, iterations, json })
+}
+
+/// Executes a parsed run and returns the final iteration's stats plus
+/// the per-iteration makespans in milliseconds.
+pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
+    let (library, _registry) = dssoc_apps::standard_library();
+    let workload = run.workload.generate(&library).map_err(|e| e.to_string())?;
+    let mut makespans = Vec::with_capacity(run.iterations);
+    let mut last = None;
+    for _ in 0..run.iterations {
+        let cfg = EmulationConfig {
+            timing: run.timing,
+            overhead: OverheadMode::Measured,
+            cost: std::sync::Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
+            reservation_depth: run.reservation_depth,
+        };
+        let emu = Emulation::with_config(run.platform.clone(), cfg).map_err(|e| e.to_string())?;
+        let mut sched =
+            by_name(&run.scheduler).ok_or_else(|| format!("unknown scheduler '{}'", run.scheduler))?;
+        let stats = emu.run(sched.as_mut(), &workload, &library).map_err(|e| e.to_string())?;
+        makespans.push(stats.makespan.as_secs_f64() * 1e3);
+        last = Some(stats);
+    }
+    Ok((last.expect("at least one iteration"), makespans))
+}
+
+/// Renders stats as a machine-readable JSON value.
+pub fn stats_to_json(stats: &EmulationStats, makespans_ms: &[f64]) -> serde_json::Value {
+    serde_json::json!({
+        "platform": stats.platform,
+        "scheduler": stats.scheduler,
+        "makespan_ms": stats.makespan.as_secs_f64() * 1e3,
+        "iterations_ms": makespans_ms,
+        "tasks": stats.tasks.len(),
+        "apps_completed": stats.completed_apps(),
+        "sched_invocations": stats.sched_invocations,
+        "avg_sched_overhead_us": stats.avg_sched_overhead().as_secs_f64() * 1e6,
+        "pe_utilization": stats
+            .utilizations()
+            .iter()
+            .map(|(pe, u)| serde_json::json!({"pe": stats.pe_names[pe], "utilization": u}))
+            .collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn platform_shorthands() {
+        let p = parse_platform("zcu102:2C+1F").unwrap();
+        assert_eq!(p.cpu_count(), 2);
+        assert_eq!(p.accel_count(), 1);
+        let p = parse_platform("odroid:3b+2l").unwrap();
+        assert_eq!(p.cpu_count(), 5);
+        assert!(parse_platform("zcu102").is_err());
+        assert!(parse_platform("zcu102:4C+0F").is_err());
+        assert!(parse_platform("riscv:1C+0F").is_err());
+        assert!(parse_platform("odroid:5B+0L").is_err());
+        assert!(parse_platform("zcu102:0C+0F").is_err());
+    }
+
+    #[test]
+    fn count_lists() {
+        let c = parse_counts("range_detection=2,wifi_rx=1").unwrap();
+        assert_eq!(c, vec![("range_detection".to_string(), 2), ("wifi_rx".to_string(), 1)]);
+        assert!(parse_counts("").is_err());
+        assert!(parse_counts("radar").is_err());
+        assert!(parse_counts("radar=x").is_err());
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration("500us").unwrap(), Duration::from_micros(500));
+        assert_eq!(parse_duration("2ms").unwrap(), Duration::from_millis(2));
+        assert_eq!(parse_duration("1.5ms").unwrap(), Duration::from_micros(1500));
+        assert_eq!(parse_duration("3s").unwrap(), Duration::from_secs(3));
+        assert!(parse_duration("12").is_err());
+        assert!(parse_duration("xus").is_err());
+        assert!(parse_duration("0ms").is_err());
+    }
+
+    #[test]
+    fn injections() {
+        let i = parse_injection("range_detection:800us:0.9").unwrap();
+        assert_eq!(i.app, "range_detection");
+        assert_eq!(i.period, Duration::from_micros(800));
+        assert!((i.probability - 0.9).abs() < 1e-12);
+        assert!(parse_injection("app:800us").is_err());
+        assert!(parse_injection("app:800us:1.5").is_err());
+        assert!(parse_injection(":800us:0.5").is_err());
+    }
+
+    #[test]
+    fn full_validation_run_args() {
+        let args = argv(&[
+            "--platform",
+            "zcu102:2C+1F",
+            "--scheduler",
+            "met",
+            "--validation",
+            "range_detection=2",
+            "--reservation-depth",
+            "2",
+            "--iterations",
+            "3",
+            "--json",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        assert_eq!(run.scheduler, "met");
+        assert_eq!(run.reservation_depth, 2);
+        assert_eq!(run.iterations, 3);
+        assert!(run.json);
+        assert_eq!(run.timing, TimingMode::Modeled);
+    }
+
+    #[test]
+    fn full_performance_run_args() {
+        let args = argv(&[
+            "--platform",
+            "odroid:2B+1L",
+            "--inject",
+            "wifi_tx:1ms:1.0",
+            "--inject",
+            "wifi_rx:2ms:0.5",
+            "--frame-ms",
+            "20",
+            "--seed",
+            "9",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        match &run.workload.mode {
+            dssoc_appmodel::OperationMode::Performance { injections, time_frame } => {
+                assert_eq!(injections.len(), 2);
+                assert_eq!(*time_frame, Duration::from_millis(20));
+            }
+            other => panic!("unexpected mode {other:?}"),
+        }
+        assert_eq!(run.workload.seed, 9);
+    }
+
+    #[test]
+    fn arg_conflicts_and_gaps() {
+        assert!(parse_run_args(&argv(&["--platform", "zcu102:1C+0F"])).is_err(), "no workload");
+        assert!(parse_run_args(&argv(&["--validation", "a=1"])).is_err(), "no platform");
+        assert!(
+            parse_run_args(&argv(&[
+                "--platform",
+                "zcu102:1C+0F",
+                "--validation",
+                "a=1",
+                "--inject",
+                "b:1ms:1.0",
+                "--frame-ms",
+                "5"
+            ]))
+            .is_err(),
+            "validation + inject conflict"
+        );
+        assert!(parse_run_args(&argv(&["--bogus"])).is_err());
+        assert!(
+            parse_run_args(&argv(&["--platform", "zcu102:1C+0F", "--inject", "a:1ms:1.0"])).is_err(),
+            "performance mode without --frame-ms"
+        );
+    }
+
+    #[test]
+    fn end_to_end_execute() {
+        let args = argv(&[
+            "--platform",
+            "zcu102:2C+1F",
+            "--scheduler",
+            "frfs",
+            "--validation",
+            "range_detection=2,wifi_tx=1",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        let (stats, makespans) = execute(&run).unwrap();
+        assert_eq!(stats.completed_apps(), 3);
+        assert_eq!(makespans.len(), 1);
+        let json = stats_to_json(&stats, &makespans);
+        assert_eq!(json["apps_completed"], 3);
+        assert!(json["makespan_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_scheduler_is_reported() {
+        let args = argv(&[
+            "--platform",
+            "zcu102:1C+0F",
+            "--scheduler",
+            "heft",
+            "--validation",
+            "wifi_tx=1",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        assert!(execute(&run).unwrap_err().contains("heft"));
+    }
+
+    #[test]
+    fn platform_file_round_trip() {
+        let dir = std::env::temp_dir().join("dssoc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plat.json");
+        let cfg = zcu102(2, 1);
+        std::fs::write(&path, serde_json::to_string_pretty(&cfg).unwrap()).unwrap();
+        let loaded = load_platform_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, cfg);
+        assert!(load_platform_file("/nonexistent/x.json").is_err());
+    }
+
+    #[test]
+    fn workload_file_round_trip() {
+        let dir = std::env::temp_dir().join("dssoc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.json");
+        let spec = WorkloadSpec::validation([("range_detection", 2usize)]);
+        std::fs::write(&path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+        let loaded = load_workload_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, spec);
+    }
+}

@@ -1,0 +1,122 @@
+//! `dssoc-emu` — the command-line emulation framework executable.
+
+use dssoc_cli::{execute, parse_run_args, stats_to_json};
+
+const USAGE: &str = "\
+dssoc-emu — user-space DSSoC emulation framework
+
+USAGE:
+  dssoc-emu run [OPTIONS]          run an emulation
+  dssoc-emu apps                   list the bundled applications
+  dssoc-emu export-app <name>      print an application's JSON DAG
+  dssoc-emu help                   show this help
+
+RUN OPTIONS:
+  --platform <spec>          zcu102:<n>C+<m>F or odroid:<n>B+<m>L
+  --platform-file <path>     platform configuration JSON
+  --scheduler <name>         frfs | met | eft | random   (default frfs)
+  --validation <counts>      validation mode, e.g. range_detection=2,wifi_rx=1
+  --inject <app:per:prob>    performance mode injection, e.g. wifi_tx:1ms:0.8
+                             (repeatable; requires --frame-ms)
+  --frame-ms <n>             performance-mode time frame
+  --seed <n>                 performance-mode RNG seed (default 0)
+  --workload-file <path>     workload specification JSON
+  --timing <mode>            modeled | wallclock          (default modeled)
+  --reservation-depth <n>    PE-level work-queue depth    (default 0)
+  --iterations <n>           repetitions                  (default 1)
+  --json                     print machine-readable JSON
+
+EXAMPLES:
+  dssoc-emu run --platform zcu102:3C+2F --scheduler frfs \\
+                --validation pulse_doppler=1,range_detection=1
+  dssoc-emu run --platform odroid:3B+2L --scheduler eft \\
+                --inject range_detection:500us:1.0 --frame-ms 50
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("apps") => cmd_apps(),
+        Some("export-app") => cmd_export_app(args.get(1).map(String::as_str)),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let run = match parse_run_args(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `dssoc-emu help` for usage");
+            return 2;
+        }
+    };
+    match execute(&run) {
+        Ok((stats, makespans)) => {
+            if run.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&stats_to_json(&stats, &makespans)).expect("json")
+                );
+            } else {
+                print!("{}", stats.summary());
+                if makespans.len() > 1 {
+                    let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
+                    println!(
+                        "iterations: {} (mean makespan {:.3} ms, min {:.3}, max {:.3})",
+                        makespans.len(),
+                        mean,
+                        makespans.iter().cloned().fold(f64::INFINITY, f64::min),
+                        makespans.iter().cloned().fold(0.0, f64::max),
+                    );
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_apps() -> i32 {
+    let (library, _registry) = dssoc_apps::standard_library();
+    println!("bundled applications:");
+    for name in library.names() {
+        let spec = library.get(name).expect("listed app");
+        println!("  {name:<18} {} tasks", spec.task_count());
+    }
+    0
+}
+
+fn cmd_export_app(name: Option<&str>) -> i32 {
+    let Some(name) = name else {
+        eprintln!("usage: dssoc-emu export-app <name>");
+        return 2;
+    };
+    let json = match name {
+        "range_detection" => {
+            dssoc_apps::range_detection::build_app(&dssoc_apps::range_detection::Params::default())
+        }
+        "pulse_doppler" => {
+            dssoc_apps::pulse_doppler::build_app(&dssoc_apps::pulse_doppler::Params::default())
+        }
+        "wifi_tx" => dssoc_apps::wifi::build_tx_app(&dssoc_apps::wifi::Params::default()),
+        "wifi_rx" => dssoc_apps::wifi::build_rx_app(&dssoc_apps::wifi::Params::default()),
+        other => {
+            eprintln!("unknown application '{other}' (see `dssoc-emu apps`)");
+            return 2;
+        }
+    };
+    println!("{}", json.to_pretty());
+    0
+}

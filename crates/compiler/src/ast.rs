@@ -1,0 +1,258 @@
+//! The monolithic-program AST — the "unlabeled C code" the toolchain
+//! starts from.
+//!
+//! A [`Program`] is a flat list of top-level statements over `f64`
+//! scalars and heap arrays: assignments, array loads/stores, counted
+//! `for` loops, conditionals, and `alloc` (the `malloc` analog whose
+//! size the memory analysis recovers). Loop nests are where kernels
+//! hide; the static statement order is the "file order" the outliner
+//! partitions into alternating kernel / non-kernel groups.
+
+use std::fmt;
+
+/// Scalar/array identifiers are interned strings.
+pub type Name = String;
+
+/// An arithmetic expression over scalars and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Floating constant.
+    Const(f64),
+    /// Scalar variable read.
+    Var(Name),
+    /// Array element read: `arr[idx]`.
+    Index(Name, Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary function.
+    Unary(UnOp, Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// Euclidean-ish remainder on truncated integers: `(a as i64) % (b as i64)`.
+    Mod,
+}
+
+/// Unary operators / intrinsic calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-a`
+    Neg,
+    /// `sin(a)`
+    Sin,
+    /// `cos(a)`
+    Cos,
+    /// `sqrt(a)`
+    Sqrt,
+    /// truncate toward zero
+    Floor,
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Expr,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr;`
+    Assign(Name, Expr),
+    /// `arr[idx] = expr;`
+    Store(Name, Expr, Expr),
+    /// `arr = malloc(len * 8);`
+    Alloc(Name, Expr),
+    /// `for (var = from; var < to; var++) { body }`
+    For {
+        /// Induction variable.
+        var: Name,
+        /// Initial value (inclusive).
+        from: Expr,
+        /// Upper bound (exclusive).
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { then } else { otherwise }`
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Not-taken branch (may be empty).
+        otherwise: Vec<Stmt>,
+    },
+}
+
+/// A monolithic program: a statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Program name (used for diagnostics and the default app name).
+    pub name: String,
+    /// Top-level statements in file order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a named program.
+    pub fn new(name: impl Into<String>, stmts: Vec<Stmt>) -> Self {
+        Program { name: name.into(), stmts }
+    }
+}
+
+// ---- expression-building helpers (keep program construction readable) ----
+
+/// Constant expression.
+pub fn c(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+/// Scalar read.
+pub fn v(name: &str) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// Array element read.
+pub fn idx(arr: &str, i: Expr) -> Expr {
+    Expr::Index(arr.into(), Box::new(i))
+}
+
+/// Addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+}
+
+/// Subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+}
+
+/// Multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+}
+
+/// Division.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+}
+
+/// Integer remainder.
+pub fn imod(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Mod, Box::new(a), Box::new(b))
+}
+
+/// Negation.
+pub fn neg(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Neg, Box::new(a))
+}
+
+/// Sine.
+pub fn sin(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Sin, Box::new(a))
+}
+
+/// Cosine.
+pub fn cos(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Cos, Box::new(a))
+}
+
+/// Square root.
+pub fn sqrt(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Sqrt, Box::new(a))
+}
+
+/// Scalar assignment.
+pub fn assign(name: &str, e: Expr) -> Stmt {
+    Stmt::Assign(name.into(), e)
+}
+
+/// Array store.
+pub fn store(arr: &str, i: Expr, e: Expr) -> Stmt {
+    Stmt::Store(arr.into(), i, e)
+}
+
+/// Heap allocation.
+pub fn alloc(arr: &str, len: Expr) -> Stmt {
+    Stmt::Alloc(arr.into(), len)
+}
+
+/// Counted loop.
+pub fn for_loop(var: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.into(), from, to, body }
+}
+
+/// Conditional.
+pub fn if_gt(lhs: Expr, rhs: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond: Cond { op: CmpOp::Gt, lhs, rhs }, then, otherwise }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} ({} top-level statements)", self.name, self.stmts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = add(mul(v("a"), c(2.0)), idx("xs", v("i")));
+        match &e {
+            Expr::Bin(BinOp::Add, l, r) => {
+                assert!(matches!(**l, Expr::Bin(BinOp::Mul, _, _)));
+                assert!(matches!(**r, Expr::Index(_, _)));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+
+    #[test]
+    fn program_shape() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(4.0)),
+                alloc("xs", v("n")),
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]),
+            ],
+        );
+        assert_eq!(p.stmts.len(), 3);
+        assert!(p.to_string().contains("3 top-level"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The block-IR interpreter, with trace instrumentation.
+//!
+//! Plays two roles: (1) the *tracing executable* of the paper's flow —
+//! running the instrumented program once and dumping the dynamic block
+//! trace plus observed allocation sizes (the dynamic half of the memory
+//! analysis); (2) the execution engine behind outlined segment kernels
+//! at emulation time.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, UnOp};
+use crate::lower::{Block, BlockId, Instr, Lowered, Term};
+use crate::CompileError;
+
+/// Upper bound on executed blocks in a traced run (runaway-loop guard).
+pub const MAX_STEPS: u64 = 50_000_000;
+
+/// Mutable machine state: scalar environment + heap.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    /// Scalar values (undeclared scalars read as 0.0, like zeroed BSS).
+    pub scalars: BTreeMap<String, f64>,
+    /// Heap arrays.
+    pub arrays: BTreeMap<String, Vec<f64>>,
+}
+
+impl Machine {
+    /// Fresh zeroed machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn eval(&self, e: &Expr) -> Result<f64, CompileError> {
+        Ok(match e {
+            Expr::Const(v) => *v,
+            Expr::Var(n) => self.scalars.get(n).copied().unwrap_or(0.0),
+            Expr::Index(a, i) => {
+                let idx = self.index(a, i)?;
+                self.arrays
+                    .get(a)
+                    .ok_or_else(|| CompileError::Runtime(format!("read of unallocated array '{a}'")))?[idx]
+            }
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Mod => {
+                        let yi = y as i64;
+                        if yi == 0 {
+                            return Err(CompileError::Runtime("mod by zero".into()));
+                        }
+                        ((x as i64).rem_euclid(yi)) as f64
+                    }
+                }
+            }
+            Expr::Unary(op, a) => {
+                let x = self.eval(a)?;
+                match op {
+                    UnOp::Neg => -x,
+                    UnOp::Sin => x.sin(),
+                    UnOp::Cos => x.cos(),
+                    UnOp::Sqrt => x.sqrt(),
+                    UnOp::Floor => x.trunc(),
+                }
+            }
+        })
+    }
+
+    fn index(&self, arr: &str, i: &Expr) -> Result<usize, CompileError> {
+        let raw = self.eval(i)?;
+        if raw < 0.0 || !raw.is_finite() {
+            return Err(CompileError::Runtime(format!("negative or non-finite index {raw} into '{arr}'")));
+        }
+        let idx = raw as usize;
+        let len = self
+            .arrays
+            .get(arr)
+            .ok_or_else(|| CompileError::Runtime(format!("index into unallocated array '{arr}'")))?
+            .len();
+        if idx >= len {
+            return Err(CompileError::Runtime(format!("index {idx} out of bounds for '{arr}' (len {len})")));
+        }
+        Ok(idx)
+    }
+
+    fn test(&self, c: &Cond) -> Result<bool, CompileError> {
+        let (l, r) = (self.eval(&c.lhs)?, self.eval(&c.rhs)?);
+        Ok(match c.op {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        })
+    }
+
+    fn exec_instr(&mut self, instr: &Instr) -> Result<(), CompileError> {
+        match instr {
+            Instr::Assign(n, e) => {
+                let val = self.eval(e)?;
+                self.scalars.insert(n.clone(), val);
+            }
+            Instr::Store(a, i, e) => {
+                let val = self.eval(e)?;
+                let idx = self.index(a, i)?;
+                self.arrays.get_mut(a).expect("index() checked existence")[idx] = val;
+            }
+            Instr::Alloc(a, len) => {
+                let raw = self.eval(len)?;
+                if raw < 0.0 || !raw.is_finite() {
+                    return Err(CompileError::Runtime(format!("bad allocation size {raw} for '{a}'")));
+                }
+                self.arrays.insert(a.clone(), vec![0.0; raw as usize]);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of one traced run.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// The dynamic block trace.
+    pub trace: Vec<BlockId>,
+    /// Execution count per block (indexed by `BlockId.0`).
+    pub block_counts: Vec<u64>,
+    /// Allocation size observed for each array (the dynamic memory
+    /// analysis: "attempting to determine the parameters passed into
+    /// initial malloc/calloc calls").
+    pub array_sizes: BTreeMap<String, usize>,
+    /// Final machine state — the golden reference the converted
+    /// application must reproduce.
+    pub final_state: Machine,
+}
+
+/// Executes a subset of blocks starting at `entry`, halting when control
+/// leaves `allowed` (or the program halts). `allowed[i]` says whether
+/// `BlockId(i)` belongs to the executing region — this is how an
+/// outlined segment runs in isolation. Pass `None` to allow everything.
+pub fn execute_region(
+    lowered: &Lowered,
+    entry: BlockId,
+    allowed: Option<&[bool]>,
+    machine: &mut Machine,
+    mut tracer: Option<&mut Vec<BlockId>>,
+) -> Result<(), CompileError> {
+    let mut cur = entry;
+    let mut steps = 0u64;
+    loop {
+        if let Some(mask) = allowed {
+            if !mask[cur.0] {
+                return Ok(()); // control left the region
+            }
+        }
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(CompileError::Runtime(format!("exceeded {MAX_STEPS} blocks — runaway loop?")));
+        }
+        if let Some(t) = tracer.as_deref_mut() {
+            t.push(cur);
+        }
+        let block: &Block = &lowered.blocks[cur.0];
+        for instr in &block.instrs {
+            machine.exec_instr(instr)?;
+        }
+        match &block.term {
+            Term::Jump(next) => cur = *next,
+            Term::Branch { cond, then, els } => {
+                cur = if machine.test(cond)? { *then } else { *els };
+            }
+            Term::Halt => return Ok(()),
+        }
+    }
+}
+
+/// Runs the whole program with instrumentation, producing the dynamic
+/// trace and the observed memory behaviour.
+pub fn run_traced(lowered: &Lowered) -> Result<TraceRun, CompileError> {
+    let mut machine = Machine::new();
+    let mut trace = Vec::new();
+    execute_region(lowered, lowered.entry, None, &mut machine, Some(&mut trace))?;
+    let mut block_counts = vec![0u64; lowered.blocks.len()];
+    for b in &trace {
+        block_counts[b.0] += 1;
+    }
+    let array_sizes = machine.arrays.iter().map(|(k, v)| (k.clone(), v.len())).collect();
+    Ok(TraceRun { trace, block_counts, array_sizes, final_state: machine })
+}
+
+/// Runs the program *without* instrumentation (baseline for timing
+/// comparisons — the monolithic execution of case study 4).
+pub fn run_plain(lowered: &Lowered) -> Result<Machine, CompileError> {
+    let mut machine = Machine::new();
+    execute_region(lowered, lowered.entry, None, &mut machine, None)?;
+    Ok(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::lower::lower;
+
+    fn run(p: &Program) -> TraceRun {
+        run_traced(&lower(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_arrays() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(5.0)),
+                alloc("xs", v("n")),
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), mul(v("i"), v("i")))]),
+                assign("last", idx("xs", c(4.0))),
+            ],
+        );
+        let r = run(&p);
+        assert_eq!(r.final_state.scalars["last"], 16.0);
+        assert_eq!(r.array_sizes["xs"], 5);
+        assert_eq!(r.final_state.arrays["xs"], vec![0.0, 1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn trace_counts_loop_blocks() {
+        let p = Program::new(
+            "t",
+            vec![assign("n", c(10.0)), for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), v("i")))])],
+        );
+        let r = run(&p);
+        assert_eq!(r.final_state.scalars["s"], 45.0);
+        // Some block (the loop body) executed exactly 10 times; the
+        // header 11 times.
+        assert!(r.block_counts.contains(&10));
+        assert!(r.block_counts.contains(&11));
+    }
+
+    #[test]
+    fn conditionals_take_both_arms() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(6.0)),
+                alloc("xs", v("n")),
+                for_loop(
+                    "i",
+                    c(0.0),
+                    v("n"),
+                    vec![if_gt(
+                        imod(v("i"), c(2.0)),
+                        c(0.5),
+                        vec![store("xs", v("i"), c(1.0))],
+                        vec![store("xs", v("i"), c(-1.0))],
+                    )],
+                ),
+            ],
+        );
+        let r = run(&p);
+        assert_eq!(r.final_state.arrays["xs"], vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn intrinsics() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("x", sin(c(0.0))),
+                assign("y", cos(c(0.0))),
+                assign("z", sqrt(c(9.0))),
+                assign("m", imod(c(7.0), c(3.0))),
+                assign("nm", neg(c(2.0))),
+            ],
+        );
+        let r = run(&p);
+        assert_eq!(r.final_state.scalars["x"], 0.0);
+        assert_eq!(r.final_state.scalars["y"], 1.0);
+        assert_eq!(r.final_state.scalars["z"], 3.0);
+        assert_eq!(r.final_state.scalars["m"], 1.0);
+        assert_eq!(r.final_state.scalars["nm"], -2.0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let p = Program::new(
+            "t",
+            vec![alloc("xs", c(2.0)), assign("x", idx("xs", c(5.0)))],
+        );
+        assert!(matches!(run_traced(&lower(&p).unwrap()), Err(CompileError::Runtime(_))));
+    }
+
+    #[test]
+    fn unallocated_array_is_an_error() {
+        let p = Program::new("t", vec![assign("x", idx("nope", c(0.0)))]);
+        assert!(matches!(run_traced(&lower(&p).unwrap()), Err(CompileError::Runtime(_))));
+    }
+
+    #[test]
+    fn mod_by_zero_is_an_error() {
+        let p = Program::new("t", vec![assign("x", imod(c(4.0), c(0.0)))]);
+        assert!(matches!(run_traced(&lower(&p).unwrap()), Err(CompileError::Runtime(_))));
+    }
+
+    #[test]
+    fn plain_run_matches_traced_run() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(8.0)),
+                alloc("xs", v("n")),
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), add(v("i"), c(0.5)))]),
+            ],
+        );
+        let l = lower(&p).unwrap();
+        let traced = run_traced(&l).unwrap();
+        let plain = run_plain(&l).unwrap();
+        assert_eq!(traced.final_state.arrays, plain.arrays);
+        assert_eq!(traced.final_state.scalars, plain.scalars);
+    }
+}

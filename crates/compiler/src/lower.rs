@@ -1,0 +1,320 @@
+//! Lowering the AST to basic-block IR.
+//!
+//! This is the stand-in for Clang emitting LLVM IR: the block level is
+//! where the dynamic trace is collected and where TraceAtlas-style hot
+//! region detection happens. Every block is tagged with the index of the
+//! top-level statement it came from, which is how hot *blocks* map back
+//! to outlineable *statement groups*.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Cond, Expr, Program, Stmt};
+use crate::CompileError;
+
+/// Index of a basic block within [`Lowered::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Scalar assignment.
+    Assign(String, Expr),
+    /// Array store.
+    Store(String, Expr, Expr),
+    /// Heap allocation.
+    Alloc(String, Expr),
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Target when true.
+        then: BlockId,
+        /// Target when false.
+        els: BlockId,
+    },
+    /// Program end.
+    Halt,
+}
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// This block's id (== its index).
+    pub id: BlockId,
+    /// Index of the top-level statement this block belongs to.
+    pub top_idx: usize,
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// The lowered program.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Blocks; `BlockId(i)` is `blocks[i]`.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// All scalar names referenced anywhere.
+    pub scalars: BTreeSet<String>,
+    /// All array names referenced anywhere.
+    pub arrays: BTreeSet<String>,
+}
+
+impl Lowered {
+    /// Blocks belonging to top-level statement `i`.
+    pub fn blocks_of_stmt(&self, i: usize) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(move |b| b.top_idx == i)
+    }
+}
+
+struct LowerCtx {
+    blocks: Vec<Block>,
+    scalars: BTreeSet<String>,
+    arrays: BTreeSet<String>,
+    cur: usize,
+}
+
+impl LowerCtx {
+    fn new_block(&mut self, top_idx: usize) -> usize {
+        let id = self.blocks.len();
+        self.blocks.push(Block { id: BlockId(id), top_idx, instrs: Vec::new(), term: Term::Halt });
+        id
+    }
+
+    fn collect_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(n) => {
+                self.scalars.insert(n.clone());
+            }
+            Expr::Index(a, i) => {
+                self.arrays.insert(a.clone());
+                self.collect_expr(i);
+            }
+            Expr::Bin(_, a, b) => {
+                self.collect_expr(a);
+                self.collect_expr(b);
+            }
+            Expr::Unary(_, a) => self.collect_expr(a),
+        }
+    }
+
+    fn collect_cond(&mut self, c: &Cond) {
+        self.collect_expr(&c.lhs);
+        self.collect_expr(&c.rhs);
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], top_idx: usize) -> Result<(), CompileError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(n, e) => {
+                    self.scalars.insert(n.clone());
+                    self.collect_expr(e);
+                    let cur = self.cur;
+                    self.blocks[cur].instrs.push(Instr::Assign(n.clone(), e.clone()));
+                }
+                Stmt::Store(a, i, e) => {
+                    self.arrays.insert(a.clone());
+                    self.collect_expr(i);
+                    self.collect_expr(e);
+                    let cur = self.cur;
+                    self.blocks[cur].instrs.push(Instr::Store(a.clone(), i.clone(), e.clone()));
+                }
+                Stmt::Alloc(a, len) => {
+                    self.arrays.insert(a.clone());
+                    self.collect_expr(len);
+                    let cur = self.cur;
+                    self.blocks[cur].instrs.push(Instr::Alloc(a.clone(), len.clone()));
+                }
+                Stmt::For { var, from, to, body } => {
+                    self.scalars.insert(var.clone());
+                    self.collect_expr(from);
+                    self.collect_expr(to);
+                    // cur: var = from; jump header
+                    let cur = self.cur;
+                    self.blocks[cur].instrs.push(Instr::Assign(var.clone(), from.clone()));
+                    let header = self.new_block(top_idx);
+                    self.blocks[cur].term = Term::Jump(BlockId(header));
+                    // body chain
+                    let body_first = self.new_block(top_idx);
+                    self.cur = body_first;
+                    self.lower_stmts(body, top_idx)?;
+                    // increment + back edge from wherever the body ended
+                    let body_last = self.cur;
+                    self.blocks[body_last].instrs.push(Instr::Assign(
+                        var.clone(),
+                        crate::ast::add(crate::ast::v(var), crate::ast::c(1.0)),
+                    ));
+                    self.blocks[body_last].term = Term::Jump(BlockId(header));
+                    // exit block
+                    let exit = self.new_block(top_idx);
+                    self.blocks[header].term = Term::Branch {
+                        cond: Cond {
+                            op: crate::ast::CmpOp::Lt,
+                            lhs: crate::ast::v(var),
+                            rhs: to.clone(),
+                        },
+                        then: BlockId(body_first),
+                        els: BlockId(exit),
+                    };
+                    self.cur = exit;
+                }
+                Stmt::If { cond, then, otherwise } => {
+                    self.collect_cond(cond);
+                    let cur = self.cur;
+                    let then_first = self.new_block(top_idx);
+                    self.cur = then_first;
+                    self.lower_stmts(then, top_idx)?;
+                    let then_last = self.cur;
+                    let else_first = self.new_block(top_idx);
+                    self.cur = else_first;
+                    self.lower_stmts(otherwise, top_idx)?;
+                    let else_last = self.cur;
+                    let join = self.new_block(top_idx);
+                    self.blocks[cur].term = Term::Branch {
+                        cond: cond.clone(),
+                        then: BlockId(then_first),
+                        els: BlockId(else_first),
+                    };
+                    self.blocks[then_last].term = Term::Jump(BlockId(join));
+                    self.blocks[else_last].term = Term::Jump(BlockId(join));
+                    self.cur = join;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a program to block IR.
+pub fn lower(program: &Program) -> Result<Lowered, CompileError> {
+    if program.stmts.is_empty() {
+        return Err(CompileError::Lower("program has no statements".into()));
+    }
+    let mut ctx = LowerCtx {
+        blocks: Vec::new(),
+        scalars: BTreeSet::new(),
+        arrays: BTreeSet::new(),
+        cur: 0,
+    };
+    let entry = ctx.new_block(0);
+    ctx.cur = entry;
+    for (i, s) in program.stmts.iter().enumerate() {
+        // Start each top-level statement in a block tagged with its
+        // index so trace attribution is exact.
+        if ctx.blocks[ctx.cur].top_idx != i {
+            let next = ctx.new_block(i);
+            ctx.blocks[ctx.cur].term = Term::Jump(BlockId(next));
+            ctx.cur = next;
+        }
+        ctx.lower_stmts(std::slice::from_ref(s), i)?;
+        // Seal the statement: force the following statement into a new
+        // block even if this one ended in a plain straight-line block.
+        if i + 1 < program.stmts.len() {
+            let next = ctx.new_block(i + 1);
+            ctx.blocks[ctx.cur].term = Term::Jump(BlockId(next));
+            ctx.cur = next;
+        }
+    }
+    let last = ctx.cur;
+    ctx.blocks[last].term = Term::Halt;
+    Ok(Lowered {
+        blocks: ctx.blocks,
+        entry: BlockId(entry),
+        scalars: ctx.scalars,
+        arrays: ctx.arrays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn loop_program() -> Program {
+        Program::new(
+            "t",
+            vec![
+                assign("n", c(4.0)),
+                alloc("xs", v("n")),
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), mul(v("i"), c(2.0)))]),
+                assign("done", c(1.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn lowers_loop_structure() {
+        let l = lower(&loop_program()).unwrap();
+        // Statement attribution covers all four statements.
+        for i in 0..4 {
+            assert!(l.blocks_of_stmt(i).count() > 0, "stmt {i} has no blocks");
+        }
+        // Exactly one Branch terminator (the loop header).
+        let branches = l
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::Branch { .. }))
+            .count();
+        assert_eq!(branches, 1);
+        // Exactly one Halt, on the last block in the chain.
+        let halts = l.blocks.iter().filter(|b| matches!(b.term, Term::Halt)).count();
+        assert_eq!(halts, 1);
+        assert!(l.scalars.contains("n") && l.scalars.contains("i") && l.scalars.contains("done"));
+        assert!(l.arrays.contains("xs"));
+    }
+
+    #[test]
+    fn lowers_if_structure() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("a", c(3.0)),
+                if_gt(v("a"), c(2.0), vec![assign("b", c(1.0))], vec![assign("b", c(0.0))]),
+            ],
+        );
+        let l = lower(&p).unwrap();
+        let branches = l.blocks.iter().filter(|b| matches!(b.term, Term::Branch { .. })).count();
+        assert_eq!(branches, 1);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(lower(&Program::default()), Err(CompileError::Lower(_))));
+    }
+
+    #[test]
+    fn nested_loops_lower() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(3.0)),
+                for_loop(
+                    "i",
+                    c(0.0),
+                    v("n"),
+                    vec![for_loop("j", c(0.0), v("n"), vec![assign("acc", add(v("acc"), c(1.0)))])],
+                ),
+            ],
+        );
+        let l = lower(&p).unwrap();
+        let branches = l.blocks.iter().filter(|b| matches!(b.term, Term::Branch { .. })).count();
+        assert_eq!(branches, 2, "one header per loop");
+        // All loop blocks belong to top-level statement 1.
+        for b in &l.blocks {
+            if matches!(b.term, Term::Branch { .. }) {
+                assert_eq!(b.top_idx, 1);
+            }
+        }
+    }
+}

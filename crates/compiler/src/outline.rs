@@ -1,0 +1,304 @@
+//! Code outlining — the CodeExtractor analog.
+//!
+//! "We then pass this information through an in-house tool, built on
+//! LLVM's CodeExtractor module, that uses the information about these
+//! code groups to automatically refactor the LLVM IR into a sequence of
+//! function calls, where each function call invokes the proper group of
+//! blocks necessary to recreate the original application behavior."
+//! (paper §II-E)
+//!
+//! Top-level statements are partitioned into alternating contiguous
+//! groups of kernel and non-kernel code; each group becomes a *segment*:
+//! an outlineable region with a known entry block, a block mask, and a
+//! read/write set (the memory analysis that determines the generated DAG
+//! node's arguments).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::ast::{Expr, Program};
+use crate::lower::{BlockId, Instr, Lowered, Term};
+use crate::trace::{Label, Labeling};
+use crate::CompileError;
+
+/// Whether a segment came from hot or cold statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A detected kernel (one hot statement per segment).
+    Kernel,
+    /// Contiguous cold glue statements.
+    NonKernel,
+}
+
+/// One outlined region.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Generated function name (`kernel_2`, `glue_0`, ...).
+    pub name: String,
+    /// Segment kind.
+    pub kind: SegmentKind,
+    /// Top-level statement range `[start, end)`.
+    pub stmts: Range<usize>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// `mask[i]` — does `BlockId(i)` belong to this segment?
+    pub mask: Vec<bool>,
+    /// Scalars read before being written (live-in).
+    pub scalar_inputs: BTreeSet<String>,
+    /// Scalars written.
+    pub scalar_outputs: BTreeSet<String>,
+    /// Arrays read.
+    pub array_reads: BTreeSet<String>,
+    /// Arrays written or allocated.
+    pub array_writes: BTreeSet<String>,
+}
+
+impl Segment {
+    /// Every variable name the segment touches, sorted — the generated
+    /// DAG node's argument list.
+    pub fn touched(&self) -> Vec<String> {
+        let mut all: BTreeSet<&String> = BTreeSet::new();
+        all.extend(&self.scalar_inputs);
+        all.extend(&self.scalar_outputs);
+        all.extend(&self.array_reads);
+        all.extend(&self.array_writes);
+        all.into_iter().cloned().collect()
+    }
+}
+
+fn expr_scalar_reads(e: &Expr, scalars: &mut BTreeSet<String>, arrays: &mut BTreeSet<String>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(n) => {
+            scalars.insert(n.clone());
+        }
+        Expr::Index(a, i) => {
+            arrays.insert(a.clone());
+            expr_scalar_reads(i, scalars, arrays);
+        }
+        Expr::Bin(_, a, b) => {
+            expr_scalar_reads(a, scalars, arrays);
+            expr_scalar_reads(b, scalars, arrays);
+        }
+        Expr::Unary(_, a) => expr_scalar_reads(a, scalars, arrays),
+    }
+}
+
+/// Partitions the program into alternating segments: each kernel
+/// statement becomes its own segment; maximal runs of non-kernel
+/// statements merge into one.
+pub fn partition(
+    program: &Program,
+    lowered: &Lowered,
+    labeling: &Labeling,
+) -> Result<Vec<Segment>, CompileError> {
+    if labeling.labels.len() != program.stmts.len() {
+        return Err(CompileError::Outline(format!(
+            "labeling covers {} statements, program has {}",
+            labeling.labels.len(),
+            program.stmts.len()
+        )));
+    }
+    // Build statement ranges.
+    let mut ranges: Vec<(SegmentKind, Range<usize>)> = Vec::new();
+    let mut i = 0usize;
+    let mut kernel_no = 0usize;
+    let mut glue_no = 0usize;
+    let mut names = Vec::new();
+    while i < labeling.labels.len() {
+        match labeling.labels[i] {
+            Label::Kernel => {
+                ranges.push((SegmentKind::Kernel, i..i + 1));
+                names.push(format!("kernel_{kernel_no}"));
+                kernel_no += 1;
+                i += 1;
+            }
+            Label::NonKernel => {
+                let start = i;
+                while i < labeling.labels.len() && labeling.labels[i] == Label::NonKernel {
+                    i += 1;
+                }
+                ranges.push((SegmentKind::NonKernel, start..i));
+                names.push(format!("glue_{glue_no}"));
+                glue_no += 1;
+            }
+        }
+    }
+
+    // Materialize segments with masks and memory analysis.
+    let mut segments = Vec::with_capacity(ranges.len());
+    for ((kind, stmts), name) in ranges.into_iter().zip(names) {
+        let mut mask = vec![false; lowered.blocks.len()];
+        let mut entry: Option<BlockId> = None;
+        let mut scalar_reads = BTreeSet::new();
+        let mut scalar_writes = BTreeSet::new();
+        let mut array_reads = BTreeSet::new();
+        let mut array_writes = BTreeSet::new();
+        for block in &lowered.blocks {
+            if !stmts.contains(&block.top_idx) {
+                continue;
+            }
+            mask[block.id.0] = true;
+            if entry.is_none() {
+                entry = Some(block.id);
+            }
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Assign(n, e) => {
+                        expr_scalar_reads(e, &mut scalar_reads, &mut array_reads);
+                        scalar_writes.insert(n.clone());
+                    }
+                    Instr::Store(a, i, e) => {
+                        expr_scalar_reads(i, &mut scalar_reads, &mut array_reads);
+                        expr_scalar_reads(e, &mut scalar_reads, &mut array_reads);
+                        array_writes.insert(a.clone());
+                    }
+                    Instr::Alloc(a, len) => {
+                        expr_scalar_reads(len, &mut scalar_reads, &mut array_reads);
+                        array_writes.insert(a.clone());
+                    }
+                }
+            }
+            if let Term::Branch { cond, .. } = &block.term {
+                expr_scalar_reads(&cond.lhs, &mut scalar_reads, &mut array_reads);
+                expr_scalar_reads(&cond.rhs, &mut scalar_reads, &mut array_reads);
+            }
+        }
+        let entry = entry.ok_or_else(|| {
+            CompileError::Outline(format!("segment '{name}' has no blocks (statements {stmts:?})"))
+        })?;
+        segments.push(Segment {
+            name,
+            kind,
+            stmts,
+            entry,
+            mask,
+            scalar_inputs: scalar_reads,
+            scalar_outputs: scalar_writes,
+            array_reads,
+            array_writes,
+        });
+    }
+
+    // Linearity check: any edge leaving a segment must target the next
+    // segment's entry (or Halt in the last) — outlining produces "a
+    // sequence of function calls".
+    for (si, seg) in segments.iter().enumerate() {
+        let next_entry = segments.get(si + 1).map(|s| s.entry);
+        for block in lowered.blocks.iter().filter(|b| seg.mask[b.id.0]) {
+            let targets: Vec<BlockId> = match &block.term {
+                Term::Jump(t) => vec![*t],
+                Term::Branch { then, els, .. } => vec![*then, *els],
+                Term::Halt => vec![],
+            };
+            for t in targets {
+                if !seg.mask[t.0] && Some(t) != next_entry {
+                    return Err(CompileError::Outline(format!(
+                        "segment '{}' jumps to block {} outside the linear chain",
+                        seg.name, t.0
+                    )));
+                }
+            }
+        }
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::interp::run_traced;
+    use crate::lower::lower;
+    use crate::trace::label_statements;
+
+    fn segments_of(p: &Program, threshold: u64) -> Vec<Segment> {
+        let l = lower(p).unwrap();
+        let run = run_traced(&l).unwrap();
+        let lab = label_statements(&l, &run.trace, threshold);
+        partition(p, &l, &lab).unwrap()
+    }
+
+    fn sample() -> Program {
+        Program::new(
+            "t",
+            vec![
+                assign("n", c(50.0)),                                                  // glue
+                alloc("xs", v("n")),                                                   // glue
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]),      // kernel
+                assign("mid", c(0.0)),                                                 // glue
+                for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), idx("xs", v("i"))))]), // kernel
+            ],
+        )
+    }
+
+    #[test]
+    fn alternating_partition() {
+        let segs = segments_of(&sample(), 4);
+        let kinds: Vec<SegmentKind> = segs.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::NonKernel,
+                SegmentKind::Kernel,
+                SegmentKind::NonKernel,
+                SegmentKind::Kernel
+            ]
+        );
+        assert_eq!(segs[0].stmts, 0..2);
+        assert_eq!(segs[1].stmts, 2..3);
+        assert_eq!(segs[3].stmts, 4..5);
+        assert_eq!(segs[0].name, "glue_0");
+        assert_eq!(segs[1].name, "kernel_0");
+        assert_eq!(segs[3].name, "kernel_1");
+    }
+
+    #[test]
+    fn memory_analysis_identifies_reads_and_writes() {
+        let segs = segments_of(&sample(), 4);
+        // glue_0 allocates xs, reads n.
+        assert!(segs[0].array_writes.contains("xs"));
+        assert!(segs[0].scalar_inputs.contains("n"));
+        // kernel_0 writes xs, reads i and n (loop bound).
+        assert!(segs[1].array_writes.contains("xs"));
+        assert!(segs[1].scalar_inputs.contains("n"));
+        assert!(segs[1].scalar_outputs.contains("i"));
+        // kernel_1 reads xs, writes s.
+        assert!(segs[3].array_reads.contains("xs"));
+        assert!(segs[3].scalar_outputs.contains("s"));
+        assert!(!segs[3].array_writes.contains("xs"));
+        // Arguments are sorted and deduplicated.
+        let args = segs[3].touched();
+        let mut sorted = args.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(args, sorted);
+    }
+
+    #[test]
+    fn masks_are_disjoint_and_cover_everything() {
+        let p = sample();
+        let l = lower(&p).unwrap();
+        let segs = segments_of(&p, 4);
+        for i in 0..l.blocks.len() {
+            let owners = segs.iter().filter(|s| s.mask[i]).count();
+            assert_eq!(owners, 1, "block {i} owned by {owners} segments");
+        }
+    }
+
+    #[test]
+    fn entries_are_in_order() {
+        let segs = segments_of(&sample(), 4);
+        for w in segs.windows(2) {
+            assert!(w[0].entry.0 < w[1].entry.0);
+        }
+    }
+
+    #[test]
+    fn single_segment_when_everything_is_cold() {
+        let p = Program::new("t", vec![assign("a", c(1.0)), assign("b", c(2.0))]);
+        let segs = segments_of(&p, 4);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].kind, SegmentKind::NonKernel);
+    }
+}

@@ -1,0 +1,302 @@
+//! Sample monolithic programs, including the paper's case-study subject:
+//! an unlabeled range-detection program whose FFTs are naive `O(n^2)`
+//! loop DFTs.
+//!
+//! The loop builders here ([`dft_loop`], [`idft_loop`]) are also used by
+//! [`crate::recognize::KnownKernels::standard`] to compute the reference
+//! canonical hashes — recognition is exact by construction, standing in
+//! for the paper's "hash-based kernel recognition".
+
+use crate::ast::*;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+/// A naive `O(n^2)` DFT loop nest:
+/// `out[k] = sum_t in[t] * e^(-j*2*pi*k*t/n)`.
+///
+/// The scalar temporaries are deliberately "user-named" — recognition
+/// canonicalizes names away.
+pub fn dft_loop(in_re: &str, in_im: &str, out_re: &str, out_im: &str, n: &str) -> Stmt {
+    for_loop(
+        "k",
+        c(0.0),
+        v(n),
+        vec![
+            assign("sum_re", c(0.0)),
+            assign("sum_im", c(0.0)),
+            for_loop(
+                "t",
+                c(0.0),
+                v(n),
+                vec![
+                    assign("ang", mul(c(-TAU), div(mul(v("k"), v("t")), v(n)))),
+                    assign("cs", cos(v("ang"))),
+                    assign("sn", sin(v("ang"))),
+                    assign(
+                        "sum_re",
+                        add(v("sum_re"), sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn")))),
+                    ),
+                    assign(
+                        "sum_im",
+                        add(v("sum_im"), add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs")))),
+                    ),
+                ],
+            ),
+            store(out_re, v("k"), v("sum_re")),
+            store(out_im, v("k"), v("sum_im")),
+        ],
+    )
+}
+
+/// A naive `O(n^2)` inverse DFT loop nest (positive exponent, `1/n`
+/// normalization) — structurally distinct from [`dft_loop`], so it hashes
+/// to a different known kernel.
+pub fn idft_loop(in_re: &str, in_im: &str, out_re: &str, out_im: &str, n: &str) -> Stmt {
+    for_loop(
+        "k",
+        c(0.0),
+        v(n),
+        vec![
+            assign("sum_re", c(0.0)),
+            assign("sum_im", c(0.0)),
+            for_loop(
+                "t",
+                c(0.0),
+                v(n),
+                vec![
+                    assign("ang", mul(c(TAU), div(mul(v("k"), v("t")), v(n)))),
+                    assign("cs", cos(v("ang"))),
+                    assign("sn", sin(v("ang"))),
+                    assign(
+                        "sum_re",
+                        add(v("sum_re"), sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn")))),
+                    ),
+                    assign(
+                        "sum_im",
+                        add(v("sum_im"), add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs")))),
+                    ),
+                ],
+            ),
+            store(out_re, v("k"), div(v("sum_re"), v(n))),
+            store(out_im, v("k"), div(v("sum_im"), v(n))),
+        ],
+    )
+}
+
+/// The monolithic, unlabeled range-detection program of case study 4.
+///
+/// Statement layout ("file order"):
+/// * a cold prologue: constants and `malloc`s,
+/// * **GEN** — one loop generating the chirp reference *and* planting the
+///   delayed echo (hot),
+/// * **DFT1** — naive DFT of the received signal (hot),
+/// * **DFT2** — naive DFT of the reference (hot),
+/// * **MUL** — conjugate multiply (hot),
+/// * **IDFT** — naive inverse DFT (hot),
+/// * **MAX** — peak search writing `lag` (hot).
+///
+/// Six kernels, as the paper detects in its range-detection code (here
+/// the three non-FFT kernels are generation / pointwise / reduction
+/// loops rather than file I/O — the emulator has no filesystem).
+///
+/// After execution, scalar `lag` holds the planted `delay`.
+pub fn monolithic_range_detection(n: usize, delay: usize) -> Program {
+    assert!(delay < n, "delay must be inside the pulse window");
+    let mut stmts = vec![
+        // Cold prologue: "static memory allocation in terms of variable
+        // declarations as well as dynamic memory allocation".
+        assign("n", c(n as f64)),
+        assign("delay", c(delay as f64)),
+        assign("gain", c(0.8)),
+        alloc("ref_re", v("n")),
+        alloc("ref_im", v("n")),
+        alloc("rx_re", v("n")),
+        alloc("rx_im", v("n")),
+        alloc("X1_re", v("n")),
+        alloc("X1_im", v("n")),
+        alloc("X2_re", v("n")),
+        alloc("X2_im", v("n")),
+        alloc("C_re", v("n")),
+        alloc("C_im", v("n")),
+        alloc("corr_re", v("n")),
+        alloc("corr_im", v("n")),
+    ];
+
+    // GEN: quadratic-phase (LFM) reference + circularly delayed echo.
+    stmts.push(for_loop(
+        "i",
+        c(0.0),
+        v("n"),
+        vec![
+            assign("phase", div(mul(c(std::f64::consts::PI), mul(v("i"), v("i"))), v("n"))),
+            assign("pc", cos(v("phase"))),
+            assign("ps", sin(v("phase"))),
+            store("ref_re", v("i"), v("pc")),
+            store("ref_im", v("i"), v("ps")),
+            assign("j", imod(add(v("i"), v("delay")), v("n"))),
+            store("rx_re", v("j"), mul(v("gain"), v("pc"))),
+            store("rx_im", v("j"), mul(v("gain"), v("ps"))),
+        ],
+    ));
+
+    // DFT1 (rx), DFT2 (ref) — the kernels case study 4 recognizes.
+    stmts.push(dft_loop("rx_re", "rx_im", "X1_re", "X1_im", "n"));
+    stmts.push(dft_loop("ref_re", "ref_im", "X2_re", "X2_im", "n"));
+
+    // MUL: C = X1 * conj(X2).
+    stmts.push(for_loop(
+        "k",
+        c(0.0),
+        v("n"),
+        vec![
+            store(
+                "C_re",
+                v("k"),
+                add(mul(idx("X1_re", v("k")), idx("X2_re", v("k"))), mul(idx("X1_im", v("k")), idx("X2_im", v("k")))),
+            ),
+            store(
+                "C_im",
+                v("k"),
+                sub(mul(idx("X1_im", v("k")), idx("X2_re", v("k"))), mul(idx("X1_re", v("k")), idx("X2_im", v("k")))),
+            ),
+        ],
+    ));
+
+    // IDFT — the third recognized kernel.
+    stmts.push(idft_loop("C_re", "C_im", "corr_re", "corr_im", "n"));
+
+    // MAX: peak magnitude search.
+    stmts.push(for_loop(
+        "i",
+        c(0.0),
+        v("n"),
+        vec![
+            assign(
+                "mag",
+                add(
+                    mul(idx("corr_re", v("i")), idx("corr_re", v("i"))),
+                    mul(idx("corr_im", v("i")), idx("corr_im", v("i"))),
+                ),
+            ),
+            if_gt(v("mag"), v("best"), vec![assign("best", v("mag")), assign("lag", v("i"))], vec![]),
+        ],
+    ));
+
+    Program::new("range_detection_monolithic", stmts)
+}
+
+/// A trivially small program exercising every statement kind — used by
+/// pipeline smoke tests.
+pub fn tiny_sum(n: usize) -> Program {
+    Program::new(
+        "tiny_sum",
+        vec![
+            assign("n", c(n as f64)),
+            alloc("xs", v("n")),
+            for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]),
+            assign("acc", c(0.0)),
+            for_loop("i", c(0.0), v("n"), vec![assign("acc", add(v("acc"), idx("xs", v("i"))))]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_traced;
+    use crate::lower::lower;
+
+    #[test]
+    fn monolith_finds_the_planted_delay() {
+        for (n, delay) in [(32usize, 5usize), (64, 13), (64, 0), (128, 100)] {
+            let p = monolithic_range_detection(n, delay);
+            let run = run_traced(&lower(&p).unwrap()).unwrap();
+            assert_eq!(run.final_state.scalars["lag"], delay as f64, "n={n} delay={delay}");
+        }
+    }
+
+    #[test]
+    fn monolith_allocates_all_arrays() {
+        let p = monolithic_range_detection(32, 4);
+        let run = run_traced(&lower(&p).unwrap()).unwrap();
+        assert_eq!(run.array_sizes.len(), 12);
+        assert!(run.array_sizes.values().all(|&s| s == 32));
+    }
+
+    #[test]
+    fn dft_loop_matches_dsp_reference() {
+        use dssoc_dsp::complex::Complex32;
+        // Run just the DFT via the interpreter and compare to dssoc-dsp.
+        let n = 16usize;
+        let mut stmts = vec![
+            assign("n", c(n as f64)),
+            alloc("in_re", v("n")),
+            alloc("in_im", v("n")),
+            alloc("out_re", v("n")),
+            alloc("out_im", v("n")),
+        ];
+        stmts.push(for_loop(
+            "i",
+            c(0.0),
+            v("n"),
+            vec![
+                store("in_re", v("i"), sin(mul(v("i"), c(0.7)))),
+                store("in_im", v("i"), cos(mul(v("i"), c(0.3)))),
+            ],
+        ));
+        stmts.push(dft_loop("in_re", "in_im", "out_re", "out_im", "n"));
+        let p = Program::new("dft_test", stmts);
+        let run = run_traced(&lower(&p).unwrap()).unwrap();
+
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| {
+                Complex32::new(
+                    ((i as f64) * 0.7).sin() as f32,
+                    ((i as f64) * 0.3).cos() as f32,
+                )
+            })
+            .collect();
+        let expect = dssoc_dsp::fft::dft(&input);
+        for (k, e) in expect.iter().enumerate() {
+            let got_re = run.final_state.arrays["out_re"][k] as f32;
+            let got_im = run.final_state.arrays["out_im"][k] as f32;
+            assert!((got_re - e.re).abs() < 1e-2, "k={k} re");
+            assert!((got_im - e.im).abs() < 1e-2, "k={k} im");
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft_in_interpreter() {
+        let n = 8usize;
+        let mut stmts = vec![
+            assign("n", c(n as f64)),
+            alloc("a_re", v("n")),
+            alloc("a_im", v("n")),
+            alloc("f_re", v("n")),
+            alloc("f_im", v("n")),
+            alloc("b_re", v("n")),
+            alloc("b_im", v("n")),
+        ];
+        stmts.push(for_loop(
+            "i",
+            c(0.0),
+            v("n"),
+            vec![store("a_re", v("i"), v("i")), store("a_im", v("i"), neg(v("i")))],
+        ));
+        stmts.push(dft_loop("a_re", "a_im", "f_re", "f_im", "n"));
+        stmts.push(idft_loop("f_re", "f_im", "b_re", "b_im", "n"));
+        let p = Program::new("round_trip", stmts);
+        let run = run_traced(&lower(&p).unwrap()).unwrap();
+        for i in 0..n {
+            assert!((run.final_state.arrays["b_re"][i] - i as f64).abs() < 1e-9);
+            assert!((run.final_state.arrays["b_im"][i] + i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_sum_sums() {
+        let p = tiny_sum(10);
+        let run = run_traced(&lower(&p).unwrap()).unwrap();
+        assert_eq!(run.final_state.scalars["acc"], 45.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Hash-based kernel recognition.
+//!
+//! "Through hash-based kernel recognition, the platform entries in the
+//! DAG JSON were then automatically redirected to this shared object"
+//! (paper §III-F). A detected kernel's statements are serialized in a
+//! *canonical* form — scalar and array names replaced by their
+//! first-occurrence indices — and hashed; matches against the known
+//! database yield a substitution: an optimized CPU implementation and/or
+//! an accelerator platform entry with the same data contract.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ast::{BinOp, CmpOp, Expr, Stmt, UnOp};
+
+/// What a recognized kernel computes, and how to call the replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnownKind {
+    /// A naive forward DFT: canonical arrays `[in_re, in_im, out_re,
+    /// out_im]`.
+    NaiveDft,
+    /// A naive inverse DFT (1/n-normalized), same canonical array roles.
+    NaiveIdft,
+}
+
+impl KnownKind {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KnownKind::NaiveDft => "naive_dft",
+            KnownKind::NaiveIdft => "naive_idft",
+        }
+    }
+
+    /// Whether the replacement transform is inverse.
+    pub fn inverse(&self) -> bool {
+        matches!(self, KnownKind::NaiveIdft)
+    }
+}
+
+/// Result of canonicalizing a statement span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canonical {
+    /// FNV-1a hash of the canonical serialization.
+    pub hash: u64,
+    /// Array names in first-occurrence order (the role binding).
+    pub array_order: Vec<String>,
+    /// Scalar names in first-occurrence order.
+    pub scalar_order: Vec<String>,
+}
+
+struct Canonicalizer {
+    scalars: BTreeMap<String, usize>,
+    arrays: BTreeMap<String, usize>,
+    scalar_order: Vec<String>,
+    array_order: Vec<String>,
+    out: String,
+}
+
+impl Canonicalizer {
+    fn new() -> Self {
+        Canonicalizer {
+            scalars: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+            scalar_order: Vec::new(),
+            array_order: Vec::new(),
+            out: String::new(),
+        }
+    }
+
+    fn scalar(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.scalars.get(name) {
+            return i;
+        }
+        let i = self.scalar_order.len();
+        self.scalars.insert(name.to_string(), i);
+        self.scalar_order.push(name.to_string());
+        i
+    }
+
+    fn array(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.arrays.get(name) {
+            return i;
+        }
+        let i = self.array_order.len();
+        self.arrays.insert(name.to_string(), i);
+        self.array_order.push(name.to_string());
+        i
+    }
+
+    fn emit(&mut self, s: &str) {
+        self.out.push_str(s);
+        self.out.push(';');
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(v) => self.emit(&format!("c{v:.12e}")),
+            Expr::Var(n) => {
+                let i = self.scalar(n);
+                self.emit(&format!("s{i}"));
+            }
+            Expr::Index(a, i) => {
+                let ai = self.array(a);
+                self.emit(&format!("ix a{ai}"));
+                self.expr(i);
+            }
+            Expr::Bin(op, a, b) => {
+                self.emit(&format!("b{}", bin_tag(*op)));
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Unary(op, a) => {
+                self.emit(&format!("u{}", un_tag(*op)));
+                self.expr(a);
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(n, e) => {
+                let i = self.scalar(n);
+                self.emit(&format!("as s{i}"));
+                self.expr(e);
+            }
+            Stmt::Store(a, i, e) => {
+                let ai = self.array(a);
+                self.emit(&format!("st a{ai}"));
+                self.expr(i);
+                self.expr(e);
+            }
+            Stmt::Alloc(a, len) => {
+                let ai = self.array(a);
+                self.emit(&format!("al a{ai}"));
+                self.expr(len);
+            }
+            Stmt::For { var, from, to, body } => {
+                let i = self.scalar(var);
+                self.emit(&format!("for s{i}"));
+                self.expr(from);
+                self.expr(to);
+                self.emit("{");
+                for b in body {
+                    self.stmt(b);
+                }
+                self.emit("}");
+            }
+            Stmt::If { cond, then, otherwise } => {
+                self.emit(&format!("if {}", cmp_tag(cond.op)));
+                self.expr(&cond.lhs);
+                self.expr(&cond.rhs);
+                self.emit("{");
+                for b in then {
+                    self.stmt(b);
+                }
+                self.emit("}{");
+                for b in otherwise {
+                    self.stmt(b);
+                }
+                self.emit("}");
+            }
+        }
+    }
+}
+
+fn bin_tag(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+    }
+}
+
+fn un_tag(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Sin => "sin",
+        UnOp::Cos => "cos",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Floor => "floor",
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonicalizes a statement span and returns its structural hash plus
+/// the name-order bindings.
+pub fn canonicalize(stmts: &[Stmt]) -> Canonical {
+    let mut c = Canonicalizer::new();
+    for s in stmts {
+        c.stmt(s);
+    }
+    Canonical { hash: fnv1a(&c.out), array_order: c.array_order, scalar_order: c.scalar_order }
+}
+
+/// The known-kernel database.
+#[derive(Debug, Clone, Default)]
+pub struct KnownKernels {
+    map: HashMap<u64, KnownKind>,
+}
+
+impl KnownKernels {
+    /// Empty database (recognition disabled).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The standard database: the naive DFT and IDFT loop nests. The
+    /// reference hashes are computed from the same loop builders the
+    /// sample monolith uses, so recognition is purely structural.
+    pub fn standard() -> Self {
+        let mut map = HashMap::new();
+        let dft = crate::programs::dft_loop("ir", "ii", "or", "oi", "len");
+        map.insert(canonicalize(std::slice::from_ref(&dft)).hash, KnownKind::NaiveDft);
+        let idft = crate::programs::idft_loop("ir", "ii", "or", "oi", "len");
+        map.insert(canonicalize(std::slice::from_ref(&idft)).hash, KnownKind::NaiveIdft);
+        KnownKernels { map }
+    }
+
+    /// Registers a custom hash.
+    pub fn insert(&mut self, hash: u64, kind: KnownKind) {
+        self.map.insert(hash, kind);
+    }
+
+    /// Looks up a canonical hash.
+    pub fn lookup(&self, hash: u64) -> Option<KnownKind> {
+        self.map.get(&hash).copied()
+    }
+
+    /// Recognizes a statement span directly.
+    pub fn recognize(&self, stmts: &[Stmt]) -> Option<(KnownKind, Canonical)> {
+        let canon = canonicalize(stmts);
+        self.lookup(canon.hash).map(|k| (k, canon))
+    }
+
+    /// Number of known kernels.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::programs::{dft_loop, idft_loop};
+
+    #[test]
+    fn renamed_kernels_hash_equal() {
+        let a = dft_loop("rx_re", "rx_im", "X1_re", "X1_im", "n");
+        let b = dft_loop("ref_re", "ref_im", "X2_re", "X2_im", "n");
+        let ca = canonicalize(std::slice::from_ref(&a));
+        let cb = canonicalize(std::slice::from_ref(&b));
+        assert_eq!(ca.hash, cb.hash);
+        // But role bindings preserve the actual names.
+        assert_eq!(ca.array_order, vec!["rx_re", "rx_im", "X1_re", "X1_im"]);
+        assert_eq!(cb.array_order, vec!["ref_re", "ref_im", "X2_re", "X2_im"]);
+    }
+
+    #[test]
+    fn dft_and_idft_hash_differently() {
+        let d = dft_loop("a", "b", "c", "d", "n");
+        let i = idft_loop("a", "b", "c", "d", "n");
+        assert_ne!(
+            canonicalize(std::slice::from_ref(&d)).hash,
+            canonicalize(std::slice::from_ref(&i)).hash
+        );
+    }
+
+    #[test]
+    fn structural_changes_change_the_hash() {
+        let base = dft_loop("a", "b", "c", "d", "n");
+        let mut swapped = base.clone();
+        if let Stmt::For { body, .. } = &mut swapped {
+            body.swap(0, 1); // reorder the accumulator inits
+        }
+        assert_ne!(
+            canonicalize(std::slice::from_ref(&base)).hash,
+            canonicalize(std::slice::from_ref(&swapped)).hash
+        );
+    }
+
+    #[test]
+    fn standard_database_recognizes_both() {
+        let db = KnownKernels::standard();
+        assert_eq!(db.len(), 2);
+        let d = dft_loop("p", "q", "r", "s", "m");
+        let (kind, canon) = db.recognize(std::slice::from_ref(&d)).expect("dft recognized");
+        assert_eq!(kind, KnownKind::NaiveDft);
+        assert!(!kind.inverse());
+        assert_eq!(canon.array_order.len(), 4);
+
+        let i = idft_loop("p", "q", "r", "s", "m");
+        let (kind, _) = db.recognize(std::slice::from_ref(&i)).expect("idft recognized");
+        assert_eq!(kind, KnownKind::NaiveIdft);
+        assert!(kind.inverse());
+    }
+
+    #[test]
+    fn unknown_kernels_are_not_recognized() {
+        let db = KnownKernels::standard();
+        let other = for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), c(1.0)))]);
+        assert!(db.recognize(std::slice::from_ref(&other)).is_none());
+        assert!(KnownKernels::empty().recognize(std::slice::from_ref(&other)).is_none());
+    }
+
+    #[test]
+    fn constants_matter() {
+        // A DFT with a different twiddle constant must not be recognized
+        // (it computes something else).
+        let mut tweaked = dft_loop("a", "b", "c", "d", "n");
+        if let Stmt::For { body, .. } = &mut tweaked {
+            if let Stmt::For { body: inner, .. } = &mut body[2] {
+                inner[0] = assign("ang", mul(crate::ast::c(-3.0), div(mul(v("k"), v("t")), v("n"))));
+            }
+        }
+        assert!(KnownKernels::standard().recognize(std::slice::from_ref(&tweaked)).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! TraceAtlas-style kernel detection over the dynamic block trace.
+//!
+//! "It identifies what sections of the code should be labeled as
+//! 'kernels' or 'non-kernels', where a 'kernel' is a set of highly
+//! correlated IR-level blocks from the original source code that execute
+//! frequently in the base program. In a broad sense, they are analogous
+//! to labeling 'hot' sections in the source program." (paper §II-E)
+//!
+//! Blocks are counted in the trace; a top-level statement whose hottest
+//! block reaches the threshold is labeled a kernel. Because blocks carry
+//! their originating statement index, the hot *block* sets map directly
+//! onto contiguous source regions — the alternating kernel / non-kernel
+//! partition the outliner consumes.
+
+use crate::lower::{BlockId, Lowered};
+
+/// Label of one top-level statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Hot region — becomes its own DAG node.
+    Kernel,
+    /// Cold glue code — grouped with adjacent non-kernel statements.
+    NonKernel,
+}
+
+/// Per-statement labels plus the supporting evidence.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    /// One label per top-level statement.
+    pub labels: Vec<Label>,
+    /// Max block execution count per statement.
+    pub peak_counts: Vec<u64>,
+    /// Total block executions per statement.
+    pub total_counts: Vec<u64>,
+}
+
+impl Labeling {
+    /// Number of kernel statements detected.
+    pub fn kernel_count(&self) -> usize {
+        self.labels.iter().filter(|l| matches!(l, Label::Kernel)).count()
+    }
+}
+
+/// Labels each top-level statement from the dynamic trace.
+pub fn label_statements(lowered: &Lowered, trace: &[BlockId], hot_threshold: u64) -> Labeling {
+    let mut counts = vec![0u64; lowered.blocks.len()];
+    for b in trace {
+        counts[b.0] += 1;
+    }
+    let n_stmts = lowered.blocks.iter().map(|b| b.top_idx).max().map_or(0, |m| m + 1);
+    let mut peak = vec![0u64; n_stmts];
+    let mut total = vec![0u64; n_stmts];
+    for block in &lowered.blocks {
+        let c = counts[block.id.0];
+        peak[block.top_idx] = peak[block.top_idx].max(c);
+        total[block.top_idx] += c;
+    }
+    let labels = peak
+        .iter()
+        .map(|&p| if p >= hot_threshold { Label::Kernel } else { Label::NonKernel })
+        .collect();
+    Labeling { labels, peak_counts: peak, total_counts: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::interp::run_traced;
+    use crate::lower::lower;
+
+    fn label(p: &Program, threshold: u64) -> Labeling {
+        let l = lower(p).unwrap();
+        let run = run_traced(&l).unwrap();
+        label_statements(&l, &run.trace, threshold)
+    }
+
+    #[test]
+    fn loops_are_kernels_straight_line_is_not() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(100.0)),                                            // cold
+                alloc("xs", v("n")),                                              // cold
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]), // hot
+                assign("done", c(1.0)),                                           // cold
+            ],
+        );
+        let lab = label(&p, 4);
+        assert_eq!(lab.labels.len(), 4);
+        assert_eq!(lab.labels[0], Label::NonKernel);
+        assert_eq!(lab.labels[1], Label::NonKernel);
+        assert_eq!(lab.labels[2], Label::Kernel);
+        assert_eq!(lab.labels[3], Label::NonKernel);
+        assert_eq!(lab.kernel_count(), 1);
+        assert!(lab.peak_counts[2] >= 100);
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(3.0)),
+                for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), c(1.0)))]),
+            ],
+        );
+        // 3 iterations: hot at threshold 3, cold at threshold 10.
+        assert_eq!(label(&p, 3).labels[1], Label::Kernel);
+        assert_eq!(label(&p, 10).labels[1], Label::NonKernel);
+    }
+
+    #[test]
+    fn nested_loops_count_multiplicatively() {
+        let p = Program::new(
+            "t",
+            vec![
+                assign("n", c(10.0)),
+                for_loop(
+                    "i",
+                    c(0.0),
+                    v("n"),
+                    vec![for_loop("j", c(0.0), v("n"), vec![assign("s", add(v("s"), c(1.0)))])],
+                ),
+            ],
+        );
+        let lab = label(&p, 4);
+        assert_eq!(lab.labels[1], Label::Kernel);
+        assert!(lab.peak_counts[1] >= 100, "inner body block runs n^2 times");
+    }
+
+    #[test]
+    fn six_kernels_in_monolithic_range_detection() {
+        // The paper's case study 4 detects six kernels in the monolithic
+        // range-detection code.
+        let p = crate::programs::monolithic_range_detection(64, 13);
+        let lab = label(&p, 4);
+        assert_eq!(lab.kernel_count(), 6);
+    }
+}

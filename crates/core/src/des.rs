@@ -1,0 +1,341 @@
+//! A discrete-event simulator baseline (the DS3/SimGrid class of tools
+//! the paper compares against, §III-D).
+//!
+//! Unlike the emulator, the DES executes nothing: task durations come
+//! purely from statistical cost estimates, the clock jumps between
+//! events, and — crucially — scheduling itself is free, which is exactly
+//! the limitation the paper calls out ("they are inadequate in capturing
+//! scheduling overhead and performing functional validation"). An
+//! optional fixed per-invocation overhead can be charged to approximate
+//! a runtime, which the ablation benches sweep.
+//!
+//! The DES shares the application model, platform descriptors, cost
+//! tables, and the [`Scheduler`] implementations with the threaded
+//! engine, so it doubles as a deterministic differential-testing oracle:
+//! on a CPU-only platform with a fully populated [`CostTable`] and
+//! [`OverheadMode::None`], the threaded engine in
+//! [`TimingMode::Modeled`] and this simulator must agree on every task
+//! start/finish time.
+//!
+//! [`CostTable`]: dssoc_platform::cost::CostTable
+//! [`OverheadMode::None`]: crate::engine::OverheadMode::None
+//! [`TimingMode::Modeled`]: crate::engine::TimingMode::Modeled
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_appmodel::workload::Workload;
+use dssoc_platform::cost::{CostModel, CostTable};
+use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
+
+use crate::engine::EmuError;
+use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
+use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+use crate::task::{ReadyTask, Task};
+use crate::time::SimTime;
+
+/// DES configuration.
+pub struct DesConfig {
+    /// Cost source for task durations (typically a calibrated
+    /// [`CostTable`]).
+    pub cost: Arc<dyn CostModel>,
+    /// Optional fixed scheduling overhead charged per scheduler
+    /// invocation (zero = the classic free-scheduling DES).
+    pub overhead_per_invocation: Duration,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig { cost: Arc::new(CostTable::new()), overhead_per_invocation: Duration::ZERO }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct DesSimulator {
+    platform: PlatformConfig,
+    config: DesConfig,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(usize),                 // index into instances
+    Completion { pe: PeId, ready_at: SimTime },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+    task: Option<Task>,
+}
+
+impl DesSimulator {
+    /// Builds a simulator for a platform.
+    pub fn new(platform: PlatformConfig, config: DesConfig) -> Result<Self, EmuError> {
+        platform.validate().map_err(EmuError::Config)?;
+        Ok(DesSimulator { platform, config })
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &PlatformConfig {
+        &self.platform
+    }
+
+    /// Duration the DES charges for `task` on `pe`: cost model first,
+    /// then the JSON per-platform estimate, then a speed-scaled default —
+    /// the same priority the estimate book uses.
+    fn duration_of(&self, task: &Task, pe: &PeDescriptor) -> Duration {
+        let platform = task.node().platform(&pe.platform_key).expect("compat checked");
+        if let Some(d) = self.config.cost.task_duration(&platform.runfunc, pe, Duration::ZERO) {
+            return d;
+        }
+        if let Some(d) = platform.mean_exec {
+            return d;
+        }
+        Duration::from_secs_f64(100e-6 / pe.speed())
+    }
+
+    /// Simulates a workload to completion under `scheduler`.
+    pub fn run(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+        library: &AppLibrary,
+    ) -> Result<EmulationStats, EmuError> {
+        // Compatibility pre-flight, as in the emulator.
+        for entry in &workload.entries {
+            let spec = library.get(&entry.app_name)?;
+            for node in &spec.nodes {
+                if !self.platform.pes.iter().any(|pe| node.supports(&pe.platform_key)) {
+                    return Err(EmuError::Config(format!(
+                        "node '{}' of app '{}' supports none of the platform's PE types",
+                        node.name, entry.app_name
+                    )));
+                }
+            }
+        }
+        let instances: Vec<Arc<AppInstance>> =
+            workload.instantiate(library)?.into_iter().map(Arc::new).collect();
+
+        struct InstState {
+            remaining_preds: Vec<usize>,
+            remaining_tasks: usize,
+            arrival: SimTime,
+        }
+        let mut inst_state: HashMap<InstanceId, InstState> = instances
+            .iter()
+            .map(|inst| {
+                (
+                    inst.id,
+                    InstState {
+                        remaining_preds: inst.spec.nodes.iter().map(|n| n.predecessors.len()).collect(),
+                        remaining_tasks: inst.spec.nodes.len(),
+                        arrival: SimTime::from_duration(inst.arrival),
+                    },
+                )
+            })
+            .collect();
+
+        let mut events: Vec<Event> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| Event {
+                time: SimTime::from_duration(inst.arrival),
+                seq: i as u64,
+                kind: EventKind::Arrival(i),
+                task: None,
+            })
+            .collect();
+        let mut event_seq = instances.len() as u64;
+
+        let mut ready: Vec<ReadyTask> = Vec::new();
+        let mut seq = 0u64;
+        let mut busy: HashMap<PeId, SimTime> = HashMap::new(); // PE -> exact finish
+        let estimates = EstimateBook::new();
+
+        let mut task_records = Vec::new();
+        let mut app_records = Vec::new();
+        let mut pe_busy: HashMap<PeId, Duration> = HashMap::new();
+        let mut sched_invocations = 0u64;
+        let mut overhead = OverheadBreakdown::default();
+        let mut clock = SimTime::ZERO;
+
+        loop {
+            // Drain everything due at the current clock first. Tie order
+            // matches the threaded engine: completions before arrivals,
+            // completions in (instance, node) order, arrivals in
+            // instantiation order.
+            events.sort_by_key(|e| {
+                let (rank, key) = match &e.kind {
+                    EventKind::Completion { .. } => {
+                        let t = e.task.as_ref().expect("completion carries its task");
+                        (0u8, t.key())
+                    }
+                    EventKind::Arrival(i) => (1u8, (InstanceId(*i as u64), 0usize)),
+                };
+                (e.time, rank, key, e.seq)
+            });
+            while let Some(pos) = events.iter().position(|e| e.time <= clock) {
+                let ev = events.remove(pos);
+                match ev.kind {
+                    EventKind::Arrival(i) => {
+                        let inst = &instances[i];
+                        for &r in &inst.spec.roots {
+                            ready.push(ReadyTask {
+                                task: Task { instance: Arc::clone(inst), node_idx: r },
+                                ready_at: ev.time,
+                                seq,
+                            });
+                            seq += 1;
+                        }
+                    }
+                    EventKind::Completion { pe, ready_at } => {
+                        busy.remove(&pe);
+                        let task = ev.task.expect("completion carries its task");
+                        let node = task.node();
+                        let desc = self.platform.pe(pe).expect("known PE");
+                        let dur = self.duration_of(&task, desc);
+                        *pe_busy.entry(pe).or_default() += dur;
+                        task_records.push(TaskRecord {
+                            instance: task.instance.id,
+                            app: task.app_name().to_string(),
+                            node: node.name.clone(),
+                            kernel: node
+                                .platform(&desc.platform_key)
+                                .map(|p| p.runfunc.clone())
+                                .unwrap_or_default(),
+                            pe,
+                            ready_at,
+                            start: SimTime(ev.time.0 - dur.as_nanos() as u64),
+                            finish: ev.time,
+                            modeled: dur,
+                            measured: Duration::ZERO,
+                        });
+                        let st = inst_state.get_mut(&task.instance.id).expect("known instance");
+                        for &s in &node.successors {
+                            st.remaining_preds[s] -= 1;
+                            if st.remaining_preds[s] == 0 {
+                                ready.push(ReadyTask {
+                                    task: Task { instance: Arc::clone(&task.instance), node_idx: s },
+                                    ready_at: ev.time,
+                                    seq,
+                                });
+                                seq += 1;
+                            }
+                        }
+                        st.remaining_tasks -= 1;
+                        if st.remaining_tasks == 0 {
+                            app_records.push(AppRecord {
+                                instance: task.instance.id,
+                                app: task.app_name().to_string(),
+                                arrival: st.arrival,
+                                finish: ev.time,
+                                task_count: task.instance.spec.nodes.len(),
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Schedule at the current clock.
+            if !ready.is_empty() && busy.len() < self.platform.pes.len() {
+                let views: Vec<PeView<'_>> = self
+                    .platform
+                    .pes
+                    .iter()
+                    .map(|pe| {
+                        let b = busy.get(&pe.id).copied();
+                        PeView { pe, idle: b.is_none(), available_at: b.unwrap_or(clock) }
+                    })
+                    .collect();
+                let ctx = SchedContext { now: clock, estimates: &estimates };
+                let mut assignments = scheduler.schedule(&ready, &views, &ctx);
+                sched_invocations += 1;
+                let charge = self.config.overhead_per_invocation;
+                overhead.schedule += charge;
+
+                assignments.sort_by_key(|a| std::cmp::Reverse(a.ready_idx));
+                let mut dispatched_idx: Vec<usize> = Vec::with_capacity(assignments.len());
+                let mut dispatched = false;
+                for a in assignments {
+                    if a.ready_idx >= ready.len()
+                        || busy.contains_key(&a.pe)
+                        || dispatched_idx.contains(&a.ready_idx)
+                    {
+                        return Err(EmuError::Config(format!(
+                            "scheduler '{}' violated the assignment contract in DES",
+                            scheduler.name()
+                        )));
+                    }
+                    dispatched_idx.push(a.ready_idx);
+                    let rt = ready[a.ready_idx].clone();
+                    let desc = self.platform.pe(a.pe).expect("known PE");
+                    if !rt.task.supports(&desc.platform_key) {
+                        return Err(EmuError::Config(format!(
+                            "scheduler '{}' assigned an incompatible task in DES",
+                            scheduler.name()
+                        )));
+                    }
+                    let dur = self.duration_of(&rt.task, desc);
+                    let finish = clock + charge + dur;
+                    busy.insert(a.pe, finish);
+                    events.push(Event {
+                        time: finish,
+                        seq: event_seq,
+                        kind: EventKind::Completion { pe: a.pe, ready_at: rt.ready_at },
+                        task: Some(rt.task),
+                    });
+                    event_seq += 1;
+                    dispatched = true;
+                }
+                if dispatched {
+                    let mut idx = 0;
+                    ready.retain(|_| {
+                        let keep = !dispatched_idx.contains(&idx);
+                        idx += 1;
+                        keep
+                    });
+                }
+            }
+
+            // Advance to the next event.
+            match events.iter().map(|e| e.time).min() {
+                Some(t) => clock = clock.max(t),
+                None => {
+                    if ready.is_empty() {
+                        break;
+                    }
+                    return Err(EmuError::Config(format!(
+                        "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no events remain",
+                        ready.len(),
+                        scheduler.name()
+                    )));
+                }
+            }
+        }
+
+        let makespan = app_records
+            .iter()
+            .map(|a: &AppRecord| a.finish)
+            .chain(task_records.iter().map(|t: &TaskRecord| t.finish))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .as_duration();
+
+        Ok(EmulationStats {
+            platform: self.platform.name.clone(),
+            scheduler: format!("{} (DES)", scheduler.name()),
+            makespan,
+            tasks: task_records,
+            apps: app_records,
+            pe_busy: pe_busy.into_iter().collect(),
+            pe_names: self.platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
+            sched_invocations,
+            overhead,
+            instances,
+        })
+    }
+}

@@ -1,0 +1,302 @@
+//! Resource handler objects — the shared-memory coordination protocol
+//! between the workload manager and the per-PE resource-manager threads.
+//!
+//! Straight from the paper (§II-C): each PE gets a dedicated resource
+//! handler "composed of fields that track PE availability, type, and id
+//! along with its workload and synchronization lock. ... A PE's
+//! availability status can be *idle*, *run*, or *complete*. A thread
+//! monitoring or modifying the status field should acquire the PE's
+//! synchronization lock, read or write to the status field, and release
+//! the lock."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use dssoc_appmodel::error::ModelError;
+use dssoc_platform::accel::AccelJobReport;
+use dssoc_platform::pe::{PeDescriptor, PeId};
+
+use crate::task::Task;
+use crate::time::SimTime;
+
+/// PE availability as seen through the resource handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeStatus {
+    /// No task assigned; the scheduler may dispatch here.
+    Idle,
+    /// A task was assigned by the workload manager and is executing.
+    Run,
+    /// The resource manager finished the task; the workload manager must
+    /// collect the completion and reset the PE to idle.
+    Complete,
+}
+
+/// A dispatch from the workload manager to a resource manager.
+#[derive(Debug, Clone)]
+pub struct TaskAssignment {
+    /// The task to execute.
+    pub task: Task,
+    /// Emulation time at which the task starts on the PE.
+    pub start: SimTime,
+}
+
+/// A completion report from a resource manager back to the workload
+/// manager.
+pub struct TaskCompletion {
+    /// The finished task.
+    pub task: Task,
+    /// Emulation time the task started (copied from the assignment).
+    pub start: SimTime,
+    /// Modeled execution duration (what the emulation clock is charged).
+    pub modeled: Duration,
+    /// Host wall-clock time the functional execution actually took.
+    pub measured: Duration,
+    /// Accelerator timing breakdowns, if the kernel used the device.
+    pub accel_reports: Vec<AccelJobReport>,
+    /// Kernel outcome.
+    pub result: Result<(), ModelError>,
+}
+
+impl std::fmt::Debug for TaskCompletion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCompletion")
+            .field("task", &self.task)
+            .field("start", &self.start)
+            .field("modeled", &self.modeled)
+            .field("ok", &self.result.is_ok())
+            .finish()
+    }
+}
+
+struct HandlerState {
+    status: PeStatus,
+    assignment: Option<TaskAssignment>,
+    completion: Option<TaskCompletion>,
+    shutdown: bool,
+}
+
+/// The per-PE coordination object. One exists per PE; the workload
+/// manager holds one end, the PE's resource-manager thread the other.
+pub struct ResourceHandler {
+    /// The PE this handler manages.
+    pub pe: PeDescriptor,
+    state: Mutex<HandlerState>,
+    cv: Condvar,
+}
+
+impl ResourceHandler {
+    /// Creates an idle handler for a PE.
+    pub fn new(pe: PeDescriptor) -> Arc<Self> {
+        Arc::new(ResourceHandler {
+            pe,
+            state: Mutex::new(HandlerState {
+                status: PeStatus::Idle,
+                assignment: None,
+                completion: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The PE's id.
+    pub fn pe_id(&self) -> PeId {
+        self.pe.id
+    }
+
+    /// Reads the availability status (acquiring the lock, per the paper's
+    /// protocol).
+    pub fn status(&self) -> PeStatus {
+        self.state.lock().status
+    }
+
+    /// Workload-manager side: dispatches a task, transitioning
+    /// idle → run and waking the resource-manager thread.
+    ///
+    /// Panics if the PE is not idle — the scheduler contract forbids
+    /// double dispatch.
+    pub fn dispatch(&self, assignment: TaskAssignment) {
+        let mut st = self.state.lock();
+        assert_eq!(st.status, PeStatus::Idle, "dispatch to non-idle PE {}", self.pe.name);
+        st.assignment = Some(assignment);
+        st.status = PeStatus::Run;
+        self.cv.notify_all();
+    }
+
+    /// Workload-manager side: if the PE reports *complete*, collects the
+    /// completion and resets the PE to *idle*.
+    pub fn try_collect(&self) -> Option<TaskCompletion> {
+        let mut st = self.state.lock();
+        if st.status != PeStatus::Complete {
+            return None;
+        }
+        let completion = st.completion.take().expect("complete status implies a completion");
+        st.status = PeStatus::Idle;
+        completion.into()
+    }
+
+    /// Resource-manager side: blocks until a task is assigned (returning
+    /// it) or shutdown is requested (returning `None`).
+    pub fn wait_for_assignment(&self) -> Option<TaskAssignment> {
+        let mut st = self.state.lock();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if st.status == PeStatus::Run {
+                if let Some(a) = st.assignment.take() {
+                    return Some(a);
+                }
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Resource-manager side: posts a completion, transitioning
+    /// run → complete.
+    pub fn post_completion(&self, completion: TaskCompletion) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.status, PeStatus::Run, "completion without a running task");
+        st.completion = Some(completion);
+        st.status = PeStatus::Complete;
+        self.cv.notify_all();
+    }
+
+    /// Asks the resource-manager thread to exit once idle.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for ResourceHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceHandler")
+            .field("pe", &self.pe.name)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_appmodel::app::ApplicationSpec;
+    use dssoc_appmodel::instance::{AppInstance, InstanceId};
+    use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson};
+    use dssoc_appmodel::registry::KernelRegistry;
+    use dssoc_platform::presets::zcu102;
+    use std::collections::BTreeMap;
+    use std::thread;
+
+    fn dummy_task() -> Task {
+        let mut reg = KernelRegistry::new();
+        reg.register_fn("d.so", "k", |_| Ok(()));
+        let mut dag = BTreeMap::new();
+        dag.insert(
+            "n".to_string(),
+            NodeJson {
+                arguments: vec![],
+                predecessors: vec![],
+                successors: vec![],
+                platforms: vec![PlatformJson {
+                    name: "cpu".into(),
+                    runfunc: "k".into(),
+                    shared_object: None,
+                    mean_exec_us: None,
+                }],
+            },
+        );
+        let json =
+            AppJson { app_name: "d".into(), shared_object: "d.so".into(), variables: BTreeMap::new(), dag };
+        let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
+        let inst = Arc::new(AppInstance::instantiate(spec, InstanceId(0), Duration::ZERO).unwrap());
+        Task { instance: inst, node_idx: 0 }
+    }
+
+    fn handler() -> Arc<ResourceHandler> {
+        ResourceHandler::new(zcu102(1, 0).pes[0].clone())
+    }
+
+    #[test]
+    fn protocol_idle_run_complete_idle() {
+        let h = handler();
+        assert_eq!(h.status(), PeStatus::Idle);
+        assert!(h.try_collect().is_none());
+
+        h.dispatch(TaskAssignment { task: dummy_task(), start: SimTime::ZERO });
+        assert_eq!(h.status(), PeStatus::Run);
+
+        // Simulate the resource manager taking the work and completing it.
+        let a = h.wait_for_assignment().unwrap();
+        h.post_completion(TaskCompletion {
+            task: a.task,
+            start: a.start,
+            modeled: Duration::from_micros(5),
+            measured: Duration::from_micros(1),
+            accel_reports: vec![],
+            result: Ok(()),
+        });
+        assert_eq!(h.status(), PeStatus::Complete);
+
+        let c = h.try_collect().unwrap();
+        assert_eq!(c.modeled, Duration::from_micros(5));
+        assert_eq!(h.status(), PeStatus::Idle);
+        assert!(h.try_collect().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-idle")]
+    fn double_dispatch_panics() {
+        let h = handler();
+        h.dispatch(TaskAssignment { task: dummy_task(), start: SimTime::ZERO });
+        h.dispatch(TaskAssignment { task: dummy_task(), start: SimTime::ZERO });
+    }
+
+    #[test]
+    fn shutdown_wakes_waiter() {
+        let h = handler();
+        let h2 = Arc::clone(&h);
+        let t = thread::spawn(move || h2.wait_for_assignment());
+        thread::sleep(Duration::from_millis(10));
+        h.shutdown();
+        assert!(t.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let h = handler();
+        let h2 = Arc::clone(&h);
+        let worker = thread::spawn(move || {
+            while let Some(a) = h2.wait_for_assignment() {
+                h2.post_completion(TaskCompletion {
+                    task: a.task,
+                    start: a.start,
+                    modeled: Duration::from_micros(1),
+                    measured: Duration::ZERO,
+                    accel_reports: vec![],
+                    result: Ok(()),
+                });
+            }
+        });
+        for i in 0..10 {
+            h.dispatch(TaskAssignment {
+                task: dummy_task(),
+                start: SimTime(i),
+            });
+            // Poll like the workload manager does.
+            let c = loop {
+                if let Some(c) = h.try_collect() {
+                    break c;
+                }
+                thread::yield_now();
+            };
+            assert_eq!(c.start, SimTime(i));
+        }
+        h.shutdown();
+        worker.join().unwrap();
+    }
+}

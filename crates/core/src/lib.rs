@@ -1,0 +1,87 @@
+//! # dssoc-core — the user-space DSSoC emulation runtime
+//!
+//! Rust reproduction of the runtime presented in *"User-Space Emulation
+//! Framework for Domain-Specific SoC Design"* (Mack, Kumbhare, NK, Ogras,
+//! Akoglu — IPDPS Workshops 2020, arXiv:2004.01636). The framework
+//! emulates a Domain-Specific SoC on commodity hardware: applications are
+//! DAGs of real kernels, a *workload manager* injects them over time and
+//! schedules ready tasks, and per-PE *resource manager* threads execute
+//! them — on emulated CPU cores or on simulated accelerators behind a DMA
+//! latency model.
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`engine`] | §II-C, Fig. 3 | workload manager, timing modes, driver |
+//! | [`resource`] | §II-D, Fig. 4 | per-PE resource-manager threads |
+//! | [`handler`] | §II-C | idle/run/complete handler protocol |
+//! | [`sched`] | §II-C | FRFS, MET, EFT, RANDOM + `Scheduler` trait |
+//! | [`stats`] | §III | task/app records, utilization, overhead |
+//! | [`des`] | §III-D | discrete-event baseline (DS3-class) |
+//! | [`task`], [`time`] | — | task and emulation-clock primitives |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dssoc_core::prelude::*;
+//! use dssoc_appmodel::{AppLibrary, KernelRegistry, WorkloadSpec};
+//! use dssoc_appmodel::json::AppJson;
+//! use dssoc_platform::presets::zcu102;
+//!
+//! // 1. Register kernels (the "shared object").
+//! let mut registry = KernelRegistry::new();
+//! registry.register_fn("hello.so", "work", |ctx| {
+//!     let n = ctx.read_u32("n")?;
+//!     ctx.write_u32("n", n + 1)
+//! });
+//!
+//! // 2. Describe the application in the paper's JSON format.
+//! let json = AppJson::from_str(r#"{
+//!     "AppName": "hello",
+//!     "SharedObject": "hello.so",
+//!     "Variables": {"n": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [5,0,0,0]}},
+//!     "DAG": {"only": {"arguments": ["n"],
+//!                       "platforms": [{"name": "cpu", "runfunc": "work"}]}}
+//! }"#).unwrap();
+//! let mut library = AppLibrary::new();
+//! library.register_json(&json, &registry).unwrap();
+//!
+//! // 3. Generate a validation-mode workload and emulate it on a
+//! //    hypothetical 2-core + 1-FFT ZCU102 configuration.
+//! let workload = WorkloadSpec::validation([("hello", 3usize)]).generate(&library).unwrap();
+//! let emulation = Emulation::new(zcu102(2, 1)).unwrap();
+//! let stats = emulation.run(&mut FrfsScheduler::new(), &workload, &library).unwrap();
+//! assert_eq!(stats.completed_apps(), 3);
+//! ```
+
+pub mod des;
+pub mod engine;
+pub mod handler;
+pub mod resource;
+pub mod sched;
+pub mod stats;
+pub mod task;
+pub mod time;
+
+pub use des::{DesConfig, DesSimulator};
+pub use engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
+pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
+pub use sched::{
+    Assignment, EftScheduler, EstimateBook, FrfsScheduler, MetScheduler, PeView, RandomScheduler,
+    SchedContext, Scheduler,
+};
+pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+pub use task::{ReadyTask, Task};
+pub use time::SimTime;
+
+/// The most commonly used items, re-exported for `use dssoc_core::prelude::*`.
+pub mod prelude {
+    pub use crate::des::{DesConfig, DesSimulator};
+    pub use crate::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
+    pub use crate::sched::{
+        EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler,
+    };
+    pub use crate::stats::EmulationStats;
+    pub use crate::time::SimTime;
+}

@@ -1,0 +1,156 @@
+//! Earliest Finish Time: assigns each ready task to the PE — busy or
+//! idle — that minimizes its projected finish time, keeping per-PE load
+//! projections across the whole ready list.
+//!
+//! This is the `O(n^2)` policy of the paper's complexity discussion: for
+//! every ready task it evaluates every PE's projected availability
+//! (updated as earlier tasks in the same round are placed), so its
+//! per-invocation cost grows with both the ready-queue length and the PE
+//! count — the overhead that makes EFT *lose* to FRFS at high injection
+//! rates (Fig. 10).
+//!
+//! Only assignments whose chosen PE is currently idle are dispatched;
+//! a task whose earliest finish lands on a busy PE waits for it (that is
+//! the EFT decision) and is reconsidered next round.
+
+use std::time::Duration;
+
+use crate::sched::{Assignment, PeView, SchedContext, Scheduler};
+use crate::task::ReadyTask;
+use crate::time::SimTime;
+
+/// Earliest Finish Time scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct EftScheduler;
+
+impl EftScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        EftScheduler
+    }
+}
+
+impl Scheduler for EftScheduler {
+    fn name(&self) -> &'static str {
+        "EFT"
+    }
+
+    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        // Projected availability per PE, advanced as this round places tasks.
+        let mut avail: Vec<SimTime> = pes.iter().map(|v| v.available_at.max(ctx.now)).collect();
+        // Whether the *current* dispatch may use the PE (it must be idle
+        // and not already given a task this round).
+        let mut dispatchable: Vec<bool> = pes.iter().map(|v| v.idle).collect();
+
+        let mut out = Vec::new();
+        for (i, rt) in ready.iter().enumerate() {
+            let task = &rt.task;
+            // Full O(PEs) scan with cost lookups — deliberate, this IS
+            // the algorithm's cost.
+            let mut best: Option<(usize, SimTime, Duration)> = None;
+            for (p, view) in pes.iter().enumerate() {
+                let Some(exec) = ctx.estimates.estimate(task, view.pe) else { continue };
+                let finish = avail[p] + exec;
+                match best {
+                    Some((_, bf, _)) if finish >= bf => {}
+                    _ => best = Some((p, finish, exec)),
+                }
+            }
+            let Some((p, finish, _exec)) = best else { continue };
+            // Commit the projection so later tasks see the load.
+            avail[p] = finish;
+            if dispatchable[p] {
+                dispatchable[p] = false;
+                out.push(Assignment { ready_idx: i, pe: pes[p].pe.id });
+            }
+            // else: EFT chose a busy PE — the task waits for it.
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::*;
+    use crate::sched::EstimateBook;
+
+    fn ctx(book: &EstimateBook) -> SchedContext<'_> {
+        SchedContext { now: SimTime::ZERO, estimates: book }
+    }
+
+    #[test]
+    fn spreads_load_across_pes() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        // Four fft-capable... (tasks 0 and 2) and two cpu-only tasks.
+        let ready = ready_tasks(4, 30.0);
+        let book = EstimateBook::new();
+        let mut s = EftScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_contract(&ready, &views, &out);
+        // All three PEs should be used this round.
+        assert_eq!(out.len(), 3);
+        let mut pes_used: Vec<_> = out.iter().map(|a| a.pe).collect();
+        pes_used.sort();
+        pes_used.dedup();
+        assert_eq!(pes_used.len(), 3);
+    }
+
+    #[test]
+    fn defers_task_to_preferred_busy_pe() {
+        let cfg = platform_2c1f();
+        let mut views = idle_views(&cfg);
+        // The accelerator is busy but frees up almost immediately, while
+        // CPU execution would take 100x longer: EFT waits for the device.
+        views[2].idle = false;
+        views[2].available_at = SimTime(1_000); // 1 us from now
+        let ready = ready_tasks(1, 5.0); // fft exec: 5 us, cpu: 100 us
+        let book = EstimateBook::new();
+        let mut s = EftScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert!(out.is_empty(), "task should wait for the soon-free accelerator");
+    }
+
+    #[test]
+    fn takes_idle_pe_when_busy_one_is_far_out() {
+        let cfg = platform_2c1f();
+        let mut views = idle_views(&cfg);
+        views[2].idle = false;
+        views[2].available_at = SimTime(10_000_000); // 10 ms out
+        let ready = ready_tasks(1, 5.0);
+        let book = EstimateBook::new();
+        let mut s = EftScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_eq!(out.len(), 1, "a CPU core finishing sooner should win");
+        assert!(out[0].pe == cfg.pes[0].id || out[0].pe == cfg.pes[1].id);
+    }
+
+    #[test]
+    fn projections_accumulate_within_round() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        // Two fft-capable tasks, accelerator much cheaper: the first
+        // takes it, the second sees the projection and goes to a core
+        // only if that finishes earlier than queueing on the device.
+        // fft = 30, cpu = 100: queued-fft finish = 60 < 100 -> second
+        // task also "chooses" the accelerator and is deferred.
+        let mut ready = ready_tasks(4, 30.0);
+        ready.remove(3);
+        ready.remove(1);
+        let book = EstimateBook::new();
+        let mut s = EftScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pe, cfg.pes[2].id);
+    }
+
+    #[test]
+    fn empty_ready_list() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        let book = EstimateBook::new();
+        let mut s = EftScheduler::new();
+        assert!(s.schedule(&[], &views, &ctx(&book)).is_empty());
+    }
+}

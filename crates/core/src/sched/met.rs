@@ -1,0 +1,124 @@
+//! Minimum Execution Time: each ready task is evaluated against every
+//! PE and dispatched to the idle compatible PE with the smallest
+//! estimated execution time.
+//!
+//! The paper-visible consequence: unlike FRFS, the policy walks the
+//! *entire* ready queue computing cost estimates on every invocation
+//! (`O(n)` in the paper's complexity discussion), so its overhead grows
+//! with the injection rate (Fig. 10b) and that overhead feeds back into
+//! workload execution time (Fig. 10a) — sophistication losing to a
+//! cheap heuristic once scheduling runs on every task completion.
+
+use std::time::Duration;
+
+use crate::sched::{Assignment, PeView, SchedContext, Scheduler};
+use crate::task::ReadyTask;
+
+/// Minimum Execution Time scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct MetScheduler;
+
+impl MetScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        MetScheduler
+    }
+}
+
+impl Scheduler for MetScheduler {
+    fn name(&self) -> &'static str {
+        "MET"
+    }
+
+    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        let mut taken = vec![false; pes.len()];
+        let mut out = Vec::new();
+        // Deliberately no early exit: MET evaluates the whole ready
+        // queue each invocation — this IS the O(n) cost the paper
+        // measures.
+        for (i, rt) in ready.iter().enumerate() {
+            let task = &rt.task;
+            let best = pes
+                .iter()
+                .enumerate()
+                .filter(|(p, v)| v.idle && !taken[*p] && task.supports(&v.pe.platform_key))
+                .min_by_key(|(_, v)| ctx.estimates.estimate(task, v.pe).unwrap_or(Duration::MAX))
+                .map(|(p, _)| p);
+            if let Some(slot) = best {
+                taken[slot] = true;
+                out.push(Assignment { ready_idx: i, pe: pes[slot].pe.id });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::*;
+    use crate::sched::EstimateBook;
+    use crate::time::SimTime;
+
+    fn ctx(book: &EstimateBook) -> SchedContext<'_> {
+        SchedContext { now: SimTime::ZERO, estimates: book }
+    }
+
+    #[test]
+    fn picks_cheapest_pe_per_task() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        // FFT estimate (30 us) cheaper than CPU (100 us): even tasks
+        // should prefer the accelerator.
+        let ready = ready_tasks(1, 30.0);
+        let book = EstimateBook::new();
+        let mut s = MetScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_contract(&ready, &views, &out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pe, cfg.pes[2].id, "fft PE is the MET choice");
+    }
+
+    #[test]
+    fn avoids_expensive_accelerator() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        // FFT estimate (500 us) pricier than CPU (100 us): stay on cores.
+        let ready = ready_tasks(1, 500.0);
+        let book = EstimateBook::new();
+        let mut s = MetScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_eq!(out[0].pe, cfg.pes[0].id);
+    }
+
+    #[test]
+    fn falls_back_when_cheapest_taken() {
+        let cfg = platform_2c1f();
+        let views = idle_views(&cfg);
+        // Two fft-capable tasks, one cheap accelerator: the second task
+        // settles for a core.
+        let mut ready = ready_tasks(4, 30.0);
+        ready.remove(3);
+        ready.remove(1); // keep the two even (fft-capable) tasks
+        let book = EstimateBook::new();
+        let mut s = MetScheduler::new();
+        let out = s.schedule(&ready, &views, &ctx(&book));
+        assert_contract(&ready, &views, &out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].pe, cfg.pes[2].id);
+        assert!(out[1].pe == cfg.pes[0].id || out[1].pe == cfg.pes[1].id);
+    }
+
+    #[test]
+    fn leaves_task_when_nothing_idle() {
+        let cfg = platform_2c1f();
+        let mut views = idle_views(&cfg);
+        for v in &mut views {
+            v.idle = false;
+        }
+        let ready = ready_tasks(2, 30.0);
+        let book = EstimateBook::new();
+        let mut s = MetScheduler::new();
+        assert!(s.schedule(&ready, &views, &ctx(&book)).is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! The scheduling library and the user-scheduler integration point.
+//!
+//! "At run-time, the user is given the option to select either one of the
+//! available scheduling policies from the library or use the custom
+//! scheduling algorithm. The default scheduling library is composed of
+//! minimum execution time (MET), first ready-first start (FRFS), earliest
+//! finish time (EFT), and random (RANDOM)." (paper §II-C)
+//!
+//! A policy receives the ready task list and a view of every PE's
+//! availability (the paper's resource-handler states), and returns
+//! task→PE assignments. Integrating a new algorithm means implementing
+//! [`Scheduler`] — the emulation engine dispatches whatever it returns,
+//! enforcing the safety contract (idle PEs only, no double assignment,
+//! platform compatibility) with debug assertions.
+
+mod eft;
+mod frfs;
+mod met;
+mod random;
+
+pub use eft::EftScheduler;
+pub use frfs::FrfsScheduler;
+pub use met::MetScheduler;
+pub use random::RandomScheduler;
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use dssoc_platform::pe::{PeDescriptor, PeId};
+
+use crate::task::{ReadyTask, Task};
+use crate::time::SimTime;
+
+/// What the scheduler sees of one PE.
+#[derive(Debug, Clone)]
+pub struct PeView<'a> {
+    /// The PE's descriptor (type, speed, platform key).
+    pub pe: &'a PeDescriptor,
+    /// True if the resource handler reports *idle*.
+    pub idle: bool,
+    /// Estimated emulation time at which the PE becomes available:
+    /// `now` when idle, otherwise the running task's projected finish.
+    pub available_at: SimTime,
+}
+
+/// One task→PE mapping decided by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index into the ready slice passed to [`Scheduler::schedule`].
+    pub ready_idx: usize,
+    /// Destination PE (must be idle and compatible).
+    pub pe: PeId,
+}
+
+/// Execution-time estimates learned from completed tasks, used by
+/// cost-aware policies (MET, EFT). Keyed by `(runfunc, PE class)`;
+/// an exponentially weighted moving average smooths noise.
+#[derive(Debug, Default, Clone)]
+pub struct EstimateBook {
+    // runfunc -> PE class -> EWMA duration (nested so lookups borrow).
+    ewma: HashMap<String, HashMap<String, Duration>>,
+}
+
+impl EstimateBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observed modeled duration for `(runfunc, class)`.
+    pub fn observe(&mut self, runfunc: &str, class: &str, d: Duration) {
+        let per_class = match self.ewma.get_mut(runfunc) {
+            Some(m) => m,
+            None => self.ewma.entry(runfunc.to_string()).or_default(),
+        };
+        let entry = per_class.entry(class.to_string()).or_insert(d);
+        // alpha = 0.25
+        *entry = Duration::from_secs_f64(0.75 * entry.as_secs_f64() + 0.25 * d.as_secs_f64());
+    }
+
+    /// Estimates `task`'s execution time on `pe`.
+    ///
+    /// Priority: the JSON's per-platform `mean_exec_us`, then the
+    /// observed EWMA, then a speed-scaled default (100 µs of host work) —
+    /// so cost-aware policies degrade gracefully on unprofiled kernels.
+    /// Returns `None` if the task does not support the PE at all.
+    pub fn estimate(&self, task: &Task, pe: &PeDescriptor) -> Option<Duration> {
+        let platform = task.node().platform(&pe.platform_key)?;
+        if let Some(d) = platform.mean_exec {
+            return Some(d);
+        }
+        if let Some(d) = self.ewma.get(&platform.runfunc).and_then(|m| m.get(pe.class_name())) {
+            return Some(*d);
+        }
+        Some(Duration::from_secs_f64(100e-6 / pe.speed()))
+    }
+
+    /// Number of `(runfunc, class)` pairs observed so far.
+    pub fn len(&self) -> usize {
+        self.ewma.values().map(|m| m.len()).sum()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.ewma.is_empty()
+    }
+}
+
+/// Per-invocation context handed to policies.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Current emulation time.
+    pub now: SimTime,
+    /// Learned execution-time estimates.
+    pub estimates: &'a EstimateBook,
+}
+
+/// A scheduling policy.
+pub trait Scheduler: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Maps ready tasks onto PEs. Contract:
+    ///
+    /// * only assign to PEs with `idle == true`;
+    /// * at most one assignment per PE and per ready task;
+    /// * `ready[a.ready_idx]` must support `pe.platform_key`.
+    ///
+    /// The engine guarantees `ready` is ordered by ascending `seq`
+    /// (readiness order), so policies can rely on slice order instead of
+    /// sorting — which is what keeps FRFS's per-invocation cost
+    /// proportional to the PE count (the paper's flat Fig. 10b line).
+    ///
+    /// Tasks left unassigned stay in the ready list for the next round.
+    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment>;
+}
+
+/// Builds a library scheduler by name (`"frfs"`, `"met"`, `"eft"`,
+/// `"random"`), mirroring the paper's run-time policy selection.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name.to_ascii_lowercase().as_str() {
+        "frfs" => Some(Box::new(FrfsScheduler::new())),
+        "met" => Some(Box::new(MetScheduler::new())),
+        "eft" => Some(Box::new(EftScheduler::new())),
+        "random" => Some(Box::new(RandomScheduler::seeded(0))),
+        _ => None,
+    }
+}
+
+/// Shared helper: indices of idle PEs compatible with `task`.
+pub(crate) fn idle_compatible<'a>(task: &'a Task, pes: &'a [PeView<'a>]) -> impl Iterator<Item = usize> + 'a {
+    pes.iter()
+        .enumerate()
+        .filter(move |(_, v)| v.idle && task.supports(&v.pe.platform_key))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for scheduler unit tests.
+
+    use super::*;
+    use dssoc_appmodel::app::ApplicationSpec;
+    use dssoc_appmodel::instance::{AppInstance, InstanceId};
+    use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson};
+    use dssoc_appmodel::registry::KernelRegistry;
+    use dssoc_platform::pe::PlatformConfig;
+    use dssoc_platform::presets::zcu102;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// Builds `n` independent ready tasks; node `i` supports "cpu", and
+    /// even-indexed nodes also support "fft". Per-platform estimates:
+    /// cpu = 100 µs, fft = `fft_us` µs.
+    pub fn ready_tasks(n: usize, fft_us: f64) -> Vec<ReadyTask> {
+        let mut reg = KernelRegistry::new();
+        reg.register_fn("t.so", "kc", |_| Ok(()));
+        reg.register_fn("t.so", "ka", |_| Ok(()));
+        let mut dag = BTreeMap::new();
+        for i in 0..n {
+            let mut platforms = vec![PlatformJson {
+                name: "cpu".into(),
+                runfunc: "kc".into(),
+                shared_object: None,
+                mean_exec_us: Some(100.0),
+            }];
+            if i % 2 == 0 {
+                platforms.push(PlatformJson {
+                    name: "fft".into(),
+                    runfunc: "ka".into(),
+                    shared_object: None,
+                    mean_exec_us: Some(fft_us),
+                });
+            }
+            dag.insert(
+                format!("n{i:03}"),
+                NodeJson { arguments: vec![], predecessors: vec![], successors: vec![], platforms },
+            );
+        }
+        let json = AppJson {
+            app_name: "fixture".into(),
+            shared_object: "t.so".into(),
+            variables: BTreeMap::new(),
+            dag,
+        };
+        let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
+        let inst = Arc::new(
+            AppInstance::instantiate(spec, InstanceId(0), std::time::Duration::ZERO).unwrap(),
+        );
+        (0..n)
+            .map(|i| ReadyTask {
+                task: Task { instance: Arc::clone(&inst), node_idx: i },
+                ready_at: SimTime(i as u64),
+                seq: i as u64,
+            })
+            .collect()
+    }
+
+    /// A 2-CPU + 1-FFT platform and all-idle views of it.
+    pub fn platform_2c1f() -> PlatformConfig {
+        zcu102(2, 1)
+    }
+
+    /// Builds all-idle PE views for a platform.
+    pub fn idle_views(cfg: &PlatformConfig) -> Vec<PeView<'_>> {
+        cfg.pes
+            .iter()
+            .map(|pe| PeView { pe, idle: true, available_at: SimTime::ZERO })
+            .collect()
+    }
+
+    /// Checks the scheduler contract on a result.
+    pub fn assert_contract(ready: &[ReadyTask], pes: &[PeView<'_>], out: &[Assignment]) {
+        let mut used_pe = std::collections::HashSet::new();
+        let mut used_task = std::collections::HashSet::new();
+        for a in out {
+            let view = pes.iter().find(|v| v.pe.id == a.pe).expect("assignment to unknown PE");
+            assert!(view.idle, "assigned to busy PE");
+            assert!(used_pe.insert(a.pe), "PE assigned twice");
+            assert!(used_task.insert(a.ready_idx), "task assigned twice");
+            assert!(
+                ready[a.ready_idx].task.supports(&view.pe.platform_key),
+                "incompatible assignment"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn by_name_builds_library_policies() {
+        for (name, expect) in [("frfs", "FRFS"), ("MET", "MET"), ("eft", "EFT"), ("Random", "RANDOM")] {
+            let s = by_name(name).unwrap_or_else(|| panic!("policy {name}"));
+            assert_eq!(s.name(), expect);
+        }
+        assert!(by_name("heft").is_none());
+    }
+
+    #[test]
+    fn estimate_book_priorities() {
+        let cfg = platform_2c1f();
+        let ready = ready_tasks(2, 70.0);
+        let cpu_pe = &cfg.pes[0];
+        let fft_pe = &cfg.pes[2];
+        let mut book = EstimateBook::new();
+
+        // JSON mean_exec wins even after observations.
+        let t0 = &ready[0].task;
+        assert_eq!(
+            book.estimate(t0, cpu_pe).unwrap(),
+            std::time::Duration::from_micros(100)
+        );
+        assert_eq!(book.estimate(t0, fft_pe).unwrap(), std::time::Duration::from_micros(70));
+
+        // Odd task doesn't support fft.
+        assert!(book.estimate(&ready[1].task, fft_pe).is_none());
+
+        // EWMA path: a kernel with no JSON estimate.
+        book.observe("kx", "cortex-a53", std::time::Duration::from_micros(40));
+        book.observe("kx", "cortex-a53", std::time::Duration::from_micros(80));
+        let d = book.ewma["kx"]["cortex-a53"];
+        assert!(d > std::time::Duration::from_micros(40) && d < std::time::Duration::from_micros(80));
+        assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    fn idle_compatible_filters() {
+        let cfg = platform_2c1f();
+        let mut views = idle_views(&cfg);
+        let ready = ready_tasks(2, 70.0);
+        // Even task: all three PEs compatible.
+        let all: Vec<usize> = idle_compatible(&ready[0].task, &views).collect();
+        assert_eq!(all.len(), 3);
+        // Odd task: only the two CPU PEs.
+        let cpus: Vec<usize> = idle_compatible(&ready[1].task, &views).collect();
+        assert_eq!(cpus.len(), 2);
+        // Busy PEs are excluded.
+        views[0].idle = false;
+        let fewer: Vec<usize> = idle_compatible(&ready[0].task, &views).collect();
+        assert_eq!(fewer.len(), 2);
+    }
+}

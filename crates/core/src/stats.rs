@@ -1,0 +1,312 @@
+//! Emulation statistics.
+//!
+//! "Before termination, the framework collects the scheduling statistics
+//! for all the applications and their tasks. These statistics can later
+//! be used to evaluate the performance of the emulated DSSoC." (paper
+//! §II-A). Everything the case studies report comes from here: workload
+//! execution time (Figs. 9a, 10a, 11), per-PE utilization (Fig. 9b),
+//! per-application latency and task counts (Table I), and average
+//! scheduling overhead (Fig. 10b).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_platform::pe::PeId;
+
+use crate::time::SimTime;
+
+/// Performance record of one executed task.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Owning application instance.
+    pub instance: InstanceId,
+    /// Application name.
+    pub app: String,
+    /// DAG node name.
+    pub node: String,
+    /// The runfunc that executed.
+    pub kernel: String,
+    /// PE that ran the task.
+    pub pe: PeId,
+    /// When all predecessors had completed.
+    pub ready_at: SimTime,
+    /// When the task started on the PE.
+    pub start: SimTime,
+    /// When the task finished (emulation time).
+    pub finish: SimTime,
+    /// Modeled execution duration charged to the emulation clock.
+    pub modeled: Duration,
+    /// Host wall-clock duration of the functional execution.
+    pub measured: Duration,
+}
+
+impl TaskRecord {
+    /// Queueing delay between readiness and dispatch.
+    pub fn wait(&self) -> Duration {
+        self.start.since(self.ready_at)
+    }
+}
+
+/// Completion record of one application instance.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Instance id.
+    pub instance: InstanceId,
+    /// Application name.
+    pub app: String,
+    /// Arrival (injection) time.
+    pub arrival: SimTime,
+    /// Time the last task of the instance finished.
+    pub finish: SimTime,
+    /// Number of tasks the instance executed.
+    pub task_count: usize,
+}
+
+impl AppRecord {
+    /// End-to-end latency of the instance.
+    pub fn latency(&self) -> Duration {
+        self.finish.since(self.arrival)
+    }
+}
+
+/// Scheduling-overhead breakdown, accumulated across workload-manager
+/// iterations (the paper's definition: monitoring completion status,
+/// updating the ready queue, running the scheduling algorithm, and
+/// communicating tasks to the resource managers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadBreakdown {
+    /// Polling resource handlers for completions.
+    pub monitor: Duration,
+    /// Processing completions and updating the ready list.
+    pub update: Duration,
+    /// Running the scheduling policy.
+    pub schedule: Duration,
+    /// Dispatching selected tasks to resource managers.
+    pub dispatch: Duration,
+}
+
+impl OverheadBreakdown {
+    /// Total overhead across all phases.
+    pub fn total(&self) -> Duration {
+        self.monitor + self.update + self.schedule + self.dispatch
+    }
+}
+
+/// Everything collected from one emulation run.
+#[derive(Debug, Clone)]
+pub struct EmulationStats {
+    /// Platform name (e.g. `zcu102-3C+2F`).
+    pub platform: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Workload execution time: emulation time when the last task
+    /// finished.
+    pub makespan: Duration,
+    /// Per-task records, in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// Per-application-instance records, in completion order.
+    pub apps: Vec<AppRecord>,
+    /// Accumulated busy time per PE.
+    pub pe_busy: BTreeMap<PeId, Duration>,
+    /// PE display names for reporting.
+    pub pe_names: BTreeMap<PeId, String>,
+    /// Number of scheduler invocations.
+    pub sched_invocations: u64,
+    /// Scheduling-overhead breakdown (as charged to the emulation clock).
+    pub overhead: OverheadBreakdown,
+    /// The executed application instances, including their final variable
+    /// memory — validation mode's functional-verification handle.
+    pub instances: Vec<Arc<AppInstance>>,
+}
+
+impl EmulationStats {
+    /// PE utilization: busy time over workload execution time (the
+    /// paper's Fig. 9b metric).
+    pub fn utilization(&self, pe: PeId) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.pe_busy
+            .get(&pe)
+            .map(|b| b.as_secs_f64() / self.makespan.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// All `(PE, utilization)` pairs in id order.
+    pub fn utilizations(&self) -> Vec<(PeId, f64)> {
+        self.pe_names.keys().map(|&pe| (pe, self.utilization(pe))).collect()
+    }
+
+    /// Average scheduling overhead per scheduler invocation (Fig. 10b).
+    pub fn avg_sched_overhead(&self) -> Duration {
+        if self.sched_invocations == 0 {
+            return Duration::ZERO;
+        }
+        self.overhead.total() / self.sched_invocations as u32
+    }
+
+    /// Mean end-to-end latency of completed instances of `app`.
+    pub fn app_latency_mean(&self, app: &str) -> Option<Duration> {
+        let lats: Vec<Duration> =
+            self.apps.iter().filter(|a| a.app == app).map(AppRecord::latency).collect();
+        if lats.is_empty() {
+            return None;
+        }
+        Some(lats.iter().sum::<Duration>() / lats.len() as u32)
+    }
+
+    /// Total tasks executed for `app` across all its instances.
+    pub fn app_task_count(&self, app: &str) -> usize {
+        self.tasks.iter().filter(|t| t.app == app).count()
+    }
+
+    /// Number of completed application instances.
+    pub fn completed_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The final variable memory of one instance (functional
+    /// verification after a validation-mode run).
+    pub fn instance_memory(&self, id: InstanceId) -> Option<&dssoc_appmodel::memory::AppMemory> {
+        self.instances.iter().find(|i| i.id == id).map(|i| i.memory.as_ref())
+    }
+
+    /// A compact human-readable summary (used by the examples).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "platform:  {}", self.platform);
+        let _ = writeln!(s, "scheduler: {}", self.scheduler);
+        let _ = writeln!(s, "makespan:  {:.3} ms", self.makespan.as_secs_f64() * 1e3);
+        let _ = writeln!(s, "tasks:     {}   apps: {}", self.tasks.len(), self.apps.len());
+        let _ = writeln!(
+            s,
+            "avg sched overhead: {:.2} us over {} invocations",
+            self.avg_sched_overhead().as_secs_f64() * 1e6,
+            self.sched_invocations
+        );
+        for (&pe, name) in &self.pe_names {
+            let _ = writeln!(s, "  {name:<8} utilization {:5.1}%", self.utilization(pe) * 100.0);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_fixture() -> EmulationStats {
+        let mut pe_busy = BTreeMap::new();
+        pe_busy.insert(PeId(0), Duration::from_millis(8));
+        pe_busy.insert(PeId(1), Duration::from_millis(2));
+        let mut pe_names = BTreeMap::new();
+        pe_names.insert(PeId(0), "Core1".to_string());
+        pe_names.insert(PeId(1), "FFT1".to_string());
+        EmulationStats {
+            platform: "test".into(),
+            scheduler: "FRFS".into(),
+            makespan: Duration::from_millis(10),
+            tasks: vec![
+                TaskRecord {
+                    instance: InstanceId(0),
+                    app: "radar".into(),
+                    node: "A".into(),
+                    kernel: "ka".into(),
+                    pe: PeId(0),
+                    ready_at: SimTime(0),
+                    start: SimTime(1_000),
+                    finish: SimTime(2_000),
+                    modeled: Duration::from_micros(1),
+                    measured: Duration::from_nanos(500),
+                },
+                TaskRecord {
+                    instance: InstanceId(0),
+                    app: "radar".into(),
+                    node: "B".into(),
+                    kernel: "kb".into(),
+                    pe: PeId(1),
+                    ready_at: SimTime(2_000),
+                    start: SimTime(2_000),
+                    finish: SimTime(3_000),
+                    modeled: Duration::from_micros(1),
+                    measured: Duration::from_nanos(500),
+                },
+            ],
+            apps: vec![AppRecord {
+                instance: InstanceId(0),
+                app: "radar".into(),
+                arrival: SimTime(0),
+                finish: SimTime(3_000),
+                task_count: 2,
+            }],
+            pe_busy,
+            pe_names,
+            sched_invocations: 4,
+            overhead: OverheadBreakdown {
+                monitor: Duration::from_micros(1),
+                update: Duration::from_micros(1),
+                schedule: Duration::from_micros(1),
+                dispatch: Duration::from_micros(1),
+            },
+            instances: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let s = stats_fixture();
+        assert!((s.utilization(PeId(0)) - 0.8).abs() < 1e-12);
+        assert!((s.utilization(PeId(1)) - 0.2).abs() < 1e-12);
+        assert_eq!(s.utilization(PeId(9)), 0.0);
+        assert_eq!(s.utilizations().len(), 2);
+    }
+
+    #[test]
+    fn overhead_average() {
+        let s = stats_fixture();
+        assert_eq!(s.overhead.total(), Duration::from_micros(4));
+        assert_eq!(s.avg_sched_overhead(), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn app_metrics() {
+        let s = stats_fixture();
+        assert_eq!(s.app_latency_mean("radar"), Some(Duration::from_micros(3)));
+        assert_eq!(s.app_latency_mean("wifi"), None);
+        assert_eq!(s.app_task_count("radar"), 2);
+        assert_eq!(s.completed_apps(), 1);
+    }
+
+    #[test]
+    fn task_wait_time() {
+        let s = stats_fixture();
+        assert_eq!(s.tasks[0].wait(), Duration::from_micros(1));
+        assert_eq!(s.tasks[1].wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_makespan_utilization_is_zero() {
+        let mut s = stats_fixture();
+        s.makespan = Duration::ZERO;
+        assert_eq!(s.utilization(PeId(0)), 0.0);
+    }
+
+    #[test]
+    fn zero_invocations_overhead_is_zero() {
+        let mut s = stats_fixture();
+        s.sched_invocations = 0;
+        assert_eq!(s.avg_sched_overhead(), Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let s = stats_fixture();
+        let text = s.summary();
+        assert!(text.contains("FRFS"));
+        assert!(text.contains("Core1"));
+        assert!(text.contains("makespan"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Emulation time.
+//!
+//! The paper "defines emulation time as the time spent in execution after
+//! capturing the reference start time". [`SimTime`] is that quantity in
+//! nanoseconds. In wall-clock mode it tracks `Instant::elapsed`; in
+//! modeled mode it is a virtual clock advanced by the workload manager.
+
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point on the emulation clock, in nanoseconds since the reference
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The reference start time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as an "infinity" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds from a duration since the reference start.
+    pub fn from_duration(d: Duration) -> SimTime {
+        SimTime(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// The elapsed duration since the reference start.
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Seconds since the reference start as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating difference between two times.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_duration(Duration::from_micros(1234));
+        assert_eq!(t.as_duration(), Duration::from_micros(1234));
+        assert!((t.as_secs_f64() - 1.234e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_millis(5);
+        assert_eq!(t, SimTime(5_000_000));
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO, "saturating");
+        assert_eq!(t - SimTime(1_000_000), Duration::from_millis(4));
+        let mut u = t;
+        u += Duration::from_millis(1);
+        assert_eq!(u, SimTime(6_000_000));
+    }
+
+    #[test]
+    fn min_max_and_saturation() {
+        let a = SimTime(10);
+        let b = SimTime(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(SimTime::MAX + Duration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime(1_500_000_000).to_string(), "1.500000s");
+    }
+}

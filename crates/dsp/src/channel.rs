@@ -1,0 +1,112 @@
+//! Channel models — the "AWGN Channel" block between the paper's WiFi
+//! transmitter and receiver (Fig. 7).
+
+use crate::complex::Complex32;
+use rand::Rng;
+
+/// Draws one standard Gaussian sample via the Box-Muller transform.
+/// (Implemented locally so the substrate only depends on `rand`'s uniform
+/// source, not on `rand_distr`.)
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Adds complex white Gaussian noise at the given SNR (dB), measured
+/// against the *actual* average power of `signal`. Returns the noisy copy.
+///
+/// Noise variance per complex sample is `P_signal / 10^(snr/10)`, split
+/// evenly between I and Q.
+pub fn awgn<R: Rng + ?Sized>(signal: &[Complex32], snr_db: f32, rng: &mut R) -> Vec<Complex32> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let p_sig: f32 = signal.iter().map(|c| c.norm_sqr()).sum::<f32>() / signal.len() as f32;
+    let p_noise = p_sig / crate::util::from_db(snr_db);
+    let sigma = (p_noise / 2.0).sqrt();
+    signal
+        .iter()
+        .map(|&x| x + Complex32::new(sigma * gaussian(rng), sigma * gaussian(rng)))
+        .collect()
+}
+
+/// Applies a constant complex channel gain (flat fading) plus AWGN.
+pub fn flat_fading_awgn<R: Rng + ?Sized>(
+    signal: &[Complex32],
+    gain: Complex32,
+    snr_db: f32,
+    rng: &mut R,
+) -> Vec<Complex32> {
+    let faded: Vec<Complex32> = signal.iter().map(|&x| x * gain).collect();
+    awgn(&faded, snr_db, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn awgn_achieves_requested_snr() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let signal = vec![Complex32::ONE; 100_000];
+        let snr_db = 10.0;
+        let noisy = awgn(&signal, snr_db, &mut rng);
+        let p_noise: f32 = noisy
+            .iter()
+            .zip(&signal)
+            .map(|(y, x)| (*y - *x).norm_sqr())
+            .sum::<f32>()
+            / signal.len() as f32;
+        let measured_snr = crate::util::to_db(1.0 / p_noise);
+        assert!((measured_snr - snr_db).abs() < 0.3, "snr {measured_snr}");
+    }
+
+    #[test]
+    fn high_snr_barely_perturbs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let signal = vec![Complex32::new(0.7, -0.7); 64];
+        let noisy = awgn(&signal, 60.0, &mut rng);
+        for (a, b) in signal.iter().zip(&noisy) {
+            assert!((*a - *b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn empty_signal_ok() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(awgn(&[], 10.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let signal = vec![Complex32::ONE; 16];
+        let a = awgn(&signal, 5.0, &mut StdRng::seed_from_u64(9));
+        let b = awgn(&signal, 5.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_fading_applies_gain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let signal = vec![Complex32::ONE; 8];
+        let out = flat_fading_awgn(&signal, Complex32::new(0.0, 2.0), 80.0, &mut rng);
+        for y in out {
+            assert!((y - Complex32::new(0.0, 2.0)).abs() < 0.05);
+        }
+    }
+}

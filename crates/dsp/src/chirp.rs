@@ -1,0 +1,116 @@
+//! Linear frequency-modulated (LFM) chirp generation.
+//!
+//! The radar applications (range detection, pulse Doppler) use an LFM
+//! waveform as the transmitted reference signal: instantaneous frequency
+//! sweeps linearly from `f0` to `f1` over the pulse.
+
+use crate::complex::Complex32;
+
+/// Generates a complex baseband LFM chirp.
+///
+/// * `n` — number of samples
+/// * `f0`, `f1` — start/end frequency in Hz
+/// * `fs` — sampling rate in Hz
+///
+/// The phase is `phi(t) = 2*pi*(f0*t + 0.5*k*t^2)` with sweep rate
+/// `k = (f1 - f0) * fs / n`.
+pub fn lfm_chirp(n: usize, f0: f64, f1: f64, fs: f64) -> Vec<Complex32> {
+    assert!(fs > 0.0, "sampling rate must be positive");
+    let duration = n as f64 / fs;
+    let k = if duration > 0.0 { (f1 - f0) / duration } else { 0.0 };
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            let phase = 2.0 * std::f64::consts::PI * (f0 * t + 0.5 * k * t * t);
+            Complex32::new(phase.cos() as f32, phase.sin() as f32)
+        })
+        .collect()
+}
+
+/// Embeds `pulse` into a longer zero signal at sample offset `delay`, with
+/// amplitude `gain` — a one-target radar return without noise. Used to
+/// build deterministic range-detection test inputs.
+pub fn delayed_echo(pulse: &[Complex32], total_len: usize, delay: usize, gain: f32) -> Vec<Complex32> {
+    assert!(delay + pulse.len() <= total_len, "echo must fit in the window");
+    let mut rx = vec![Complex32::ZERO; total_len];
+    for (i, &p) in pulse.iter().enumerate() {
+        rx[delay + i] = p.scale(gain);
+    }
+    rx
+}
+
+/// Applies a per-sample Doppler shift of `fd` Hz (sampling rate `fs`) —
+/// used by pulse-Doppler tests to plant a target with known velocity.
+pub fn doppler_shift(signal: &[Complex32], fd: f64, fs: f64) -> Vec<Complex32> {
+    signal
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let ang = 2.0 * std::f64::consts::PI * fd * i as f64 / fs;
+            x * Complex32::new(ang.cos() as f32, ang.sin() as f32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chirp_has_unit_magnitude() {
+        let c = lfm_chirp(256, 0.0, 1000.0, 8000.0);
+        assert_eq!(c.len(), 256);
+        assert!(c.iter().all(|x| (x.abs() - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn chirp_starts_at_zero_phase() {
+        let c = lfm_chirp(16, 100.0, 200.0, 1000.0);
+        assert!((c[0] - Complex32::ONE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_length_chirp() {
+        assert!(lfm_chirp(0, 0.0, 100.0, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn chirp_frequency_increases() {
+        // Instantaneous phase increments should grow over an up-chirp.
+        let c = lfm_chirp(512, 10.0, 400.0, 2000.0);
+        let dphi = |i: usize| {
+            
+            (c[i + 1] * c[i].conj()).arg()
+        };
+        assert!(dphi(400) > dphi(10));
+    }
+
+    #[test]
+    fn delayed_echo_places_pulse() {
+        let pulse = lfm_chirp(8, 0.0, 100.0, 1000.0);
+        let rx = delayed_echo(&pulse, 32, 5, 0.5);
+        assert_eq!(rx.len(), 32);
+        assert_eq!(rx[4], Complex32::ZERO);
+        assert!((rx[5] - pulse[0].scale(0.5)).abs() < 1e-6);
+        assert_eq!(rx[13], Complex32::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn delayed_echo_rejects_overflow() {
+        let pulse = vec![Complex32::ONE; 8];
+        delayed_echo(&pulse, 10, 5, 1.0);
+    }
+
+    #[test]
+    fn doppler_shift_preserves_magnitude() {
+        let s = lfm_chirp(64, 0.0, 100.0, 1000.0);
+        let d = doppler_shift(&s, 50.0, 1000.0);
+        for (a, b) in s.iter().zip(&d) {
+            assert!((a.abs() - b.abs()).abs() < 1e-5);
+        }
+        // zero shift is identity
+        let z = doppler_shift(&s, 0.0, 1000.0);
+        assert!(crate::util::signals_close(&s, &z, 1e-6));
+    }
+}

@@ -1,0 +1,221 @@
+//! Forward error correction: the IEEE 802.11-style rate-1/2, constraint
+//! length 7 convolutional code and a hard-decision Viterbi decoder.
+//!
+//! These are the "Encoder" and "Decoder" kernels of the WiFi TX/RX
+//! applications (paper Fig. 7) — the Viterbi decoder is one of the
+//! compute-heavy blocks the paper calls out.
+
+/// Industry-standard generator polynomials (octal 171, 133) for K=7.
+pub const G0: u8 = 0o171;
+/// Second generator polynomial.
+pub const G1: u8 = 0o133;
+/// Constraint length.
+pub const K: usize = 7;
+const NSTATES: usize = 1 << (K - 1); // 64
+
+/// Rate-1/2 convolutional encoder.
+///
+/// Each input bit produces two output bits (one per generator). Call
+/// [`ConvolutionalEncoder::encode_terminated`] to append `K-1` zero tail
+/// bits so the decoder trellis ends in state 0.
+#[derive(Debug, Clone, Default)]
+pub struct ConvolutionalEncoder {
+    state: u8, // K-1 = 6 bits of history
+}
+
+impl ConvolutionalEncoder {
+    /// New encoder starting in the all-zero state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one bit, returning the `(g0, g1)` output pair.
+    pub fn push(&mut self, bit: u8) -> (u8, u8) {
+        debug_assert!(bit <= 1);
+        let reg = (bit << 6) | self.state; // 7-bit window, newest bit on top
+        let o0 = (reg & G0).count_ones() as u8 & 1;
+        let o1 = (reg & G1).count_ones() as u8 & 1;
+        self.state = reg >> 1;
+        (o0, o1)
+    }
+
+    /// Encodes a bit slice (no termination); output has `2 * bits.len()` bits.
+    pub fn encode(&mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bits.len() * 2);
+        for &b in bits {
+            let (o0, o1) = self.push(b);
+            out.push(o0);
+            out.push(o1);
+        }
+        out
+    }
+
+    /// Encodes `bits` followed by `K-1` zero flush bits, returning the
+    /// coded stream. The encoder is left in state 0.
+    pub fn encode_terminated(&mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = self.encode(bits);
+        for _ in 0..K - 1 {
+            let (o0, o1) = self.push(0);
+            out.push(o0);
+            out.push(o1);
+        }
+        out
+    }
+}
+
+/// Hard-decision Viterbi decoder for the K=7 rate-1/2 code.
+///
+/// Decodes a stream produced by [`ConvolutionalEncoder::encode_terminated`]
+/// back to the original message (the tail bits are stripped).
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    // Precomputed branch outputs: outputs[state][input_bit] = (o0, o1)
+    outputs: Vec<[(u8, u8); 2]>,
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViterbiDecoder {
+    /// Builds the decoder (precomputes the trellis branch outputs).
+    pub fn new() -> Self {
+        let mut outputs = vec![[(0u8, 0u8); 2]; NSTATES];
+        for (state, out) in outputs.iter_mut().enumerate() {
+            for bit in 0..2u8 {
+                let reg = ((bit as usize) << 6) | state;
+                let o0 = (reg & G0 as usize).count_ones() as u8 & 1;
+                let o1 = (reg & G1 as usize).count_ones() as u8 & 1;
+                out[bit as usize] = (o0, o1);
+            }
+        }
+        ViterbiDecoder { outputs }
+    }
+
+    /// Decodes a terminated coded stream. `coded.len()` must be even; the
+    /// message length is `coded.len()/2 - (K-1)`.
+    ///
+    /// Returns `None` if the stream is too short to contain the tail.
+    pub fn decode_terminated(&self, coded: &[u8]) -> Option<Vec<u8>> {
+        assert!(coded.len().is_multiple_of(2), "coded stream must contain bit pairs");
+        let nsteps = coded.len() / 2;
+        if nsteps < K - 1 {
+            return None;
+        }
+        const INF: u32 = u32::MAX / 2;
+        let mut metric = vec![INF; NSTATES];
+        metric[0] = 0; // trellis starts in the all-zero state
+        let mut next = vec![INF; NSTATES];
+        // survivors[t][state] = input bit that led here (for traceback)
+        let mut survivors: Vec<[u8; NSTATES]> = Vec::with_capacity(nsteps);
+        let mut prev_state: Vec<[u8; NSTATES]> = Vec::with_capacity(nsteps);
+
+        #[allow(clippy::needless_range_loop)] // trellis states are ids, not positions
+        for t in 0..nsteps {
+            let r0 = coded[2 * t];
+            let r1 = coded[2 * t + 1];
+            next.iter_mut().for_each(|m| *m = INF);
+            let mut surv = [0u8; NSTATES];
+            let mut prev = [0u8; NSTATES];
+            for state in 0..NSTATES {
+                let m = metric[state];
+                if m >= INF {
+                    continue;
+                }
+                for bit in 0..2usize {
+                    let (o0, o1) = self.outputs[state][bit];
+                    let branch = (o0 ^ r0) as u32 + (o1 ^ r1) as u32;
+                    let ns = ((bit << 6) | state) >> 1;
+                    let cand = m + branch;
+                    if cand < next[ns] {
+                        next[ns] = cand;
+                        surv[ns] = bit as u8;
+                        prev[ns] = state as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut next);
+            survivors.push(surv);
+            prev_state.push(prev);
+        }
+
+        // Terminated stream ends in state 0.
+        let mut state = 0usize;
+        let mut bits = vec![0u8; nsteps];
+        for t in (0..nsteps).rev() {
+            bits[t] = survivors[t][state];
+            state = prev_state[t][state] as usize;
+        }
+        bits.truncate(nsteps - (K - 1)); // strip flush bits
+        Some(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &[u8]) -> Vec<u8> {
+        let coded = ConvolutionalEncoder::new().encode_terminated(msg);
+        ViterbiDecoder::new().decode_terminated(&coded).unwrap()
+    }
+
+    #[test]
+    fn encode_doubles_length() {
+        let coded = ConvolutionalEncoder::new().encode(&[1, 0, 1, 1]);
+        assert_eq!(coded.len(), 8);
+        assert!(coded.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn terminated_round_trip_various_lengths() {
+        for len in [1usize, 2, 7, 8, 63, 64, 100] {
+            let msg: Vec<u8> = (0..len).map(|i| ((i * 37 + 11) % 3 % 2) as u8).collect();
+            assert_eq!(round_trip(&msg), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn all_zero_and_all_one_messages() {
+        assert_eq!(round_trip(&[0; 64]), vec![0; 64]);
+        assert_eq!(round_trip(&[1; 64]), vec![1; 64]);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let msg: Vec<u8> = (0..64).map(|i| ((i >> 2) % 2) as u8).collect();
+        let mut coded = ConvolutionalEncoder::new().encode_terminated(&msg);
+        // Flip well-separated bits — within the free-distance budget.
+        for &pos in &[3usize, 40, 80, 120] {
+            coded[pos] ^= 1;
+        }
+        let decoded = ViterbiDecoder::new().decode_terminated(&coded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encoder_state_terminates_to_zero() {
+        let mut enc = ConvolutionalEncoder::new();
+        enc.encode_terminated(&[1, 1, 0, 1, 0, 0, 1]);
+        assert_eq!(enc.state, 0);
+    }
+
+    #[test]
+    fn too_short_stream_is_none() {
+        let dec = ViterbiDecoder::new();
+        assert!(dec.decode_terminated(&[0, 0]).is_none());
+    }
+
+    #[test]
+    fn known_vector_first_outputs() {
+        // Input 1 into zero state: register = 1000000b.
+        // G0 = 1111001b -> parity of bit6 = 1; G1 = 1011011b -> bit6 = 1.
+        let mut enc = ConvolutionalEncoder::new();
+        assert_eq!(enc.push(1), (1, 1));
+        // Next input 0: register = 0100000b. G0 bit5=1 -> 1; G1 bit5=0... compute:
+        // G0 = 0o171 = 0b1111001 (bit5 set) => 1. G1 = 0o133 = 0b1011011 (bit5 = 0) => 0.
+        assert_eq!(enc.push(0), (1, 0));
+    }
+}

@@ -1,0 +1,277 @@
+//! A minimal single-precision complex number type.
+//!
+//! The emulator ships its own complex type instead of pulling in `num` so
+//! that the DSP substrate stays dependency-free and the layout (`repr(C)`,
+//! two `f32`s) matches what a memory-mapped accelerator would consume.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Single-precision complex number, `re + j*im`.
+///
+/// `repr(C)` so slices of `Complex32` can be reinterpreted as flat `f32`
+/// buffers when staged into the emulated accelerator's local memory.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f32) -> Self {
+        Complex32 { re, im: 0.0 }
+    }
+
+    /// `e^(j*theta)` — a unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn from_angle(theta: f32) -> Self {
+        Complex32 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re^2 + im^2` (avoids the sqrt of [`Self::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Phase angle in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Complex32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns true if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: Complex32) -> Complex32 {
+        let d = rhs.norm_sqr();
+        Complex32::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Complex32 {
+        Complex32::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex32) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex32) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: f32) -> Complex32 {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Complex32 {
+    fn sum<I: Iterator<Item = Complex32>>(iter: I) -> Complex32 {
+        iter.fold(Complex32::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f32> for Complex32 {
+    #[inline]
+    fn from(re: f32) -> Self {
+        Complex32::from_re(re)
+    }
+}
+
+impl fmt::Debug for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}j", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}j", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Reinterprets a slice of complex samples as interleaved `f32` pairs
+/// `[re0, im0, re1, im1, ...]`. Used when staging data into the emulated
+/// accelerator's byte-oriented local memory.
+pub fn as_interleaved(xs: &[Complex32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len() * 2);
+    for x in xs {
+        out.push(x.re);
+        out.push(x.im);
+    }
+    out
+}
+
+/// Inverse of [`as_interleaved`]. Panics if the length is odd.
+pub fn from_interleaved(xs: &[f32]) -> Vec<Complex32> {
+    assert!(xs.len().is_multiple_of(2), "interleaved buffer must have even length");
+    xs.chunks_exact(2).map(|p| Complex32::new(p[0], p[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(1.5, -2.0);
+        assert!(close(a + Complex32::ZERO, a));
+        assert!(close(a * Complex32::ONE, a));
+        assert!(close(a - a, Complex32::ZERO));
+        assert!(close(a + (-a), Complex32::ZERO));
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        assert!(close(Complex32::J * Complex32::J, -Complex32::ONE));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex32::new(3.0, 4.0);
+        let b = Complex32::new(-1.0, 2.0);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Complex32::from_re(25.0)));
+    }
+
+    #[test]
+    fn unit_phasor() {
+        let p = Complex32::from_angle(std::f32::consts::FRAC_PI_2);
+        assert!(close(p, Complex32::J));
+        assert!((p.abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interleave_round_trip() {
+        let xs = vec![Complex32::new(1.0, 2.0), Complex32::new(-3.0, 0.5)];
+        let flat = as_interleaved(&xs);
+        assert_eq!(flat, vec![1.0, 2.0, -3.0, 0.5]);
+        assert_eq!(from_interleaved(&flat), xs);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let xs = [Complex32::new(1.0, 1.0), Complex32::new(2.0, -1.0)];
+        let s: Complex32 = xs.iter().copied().sum();
+        assert!(close(s, Complex32::new(3.0, 0.0)));
+    }
+}

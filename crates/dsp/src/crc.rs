@@ -1,0 +1,79 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the "CRC"
+//! kernel the WiFi transmitter appends to each frame.
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// Computes the CRC-32 of `data` (init `0xFFFFFFFF`, final XOR
+/// `0xFFFFFFFF`, reflected in/out — the ubiquitous zlib/IEEE variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the CRC (little-endian) to a copy of `frame`.
+pub fn append_crc(frame: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    out.extend_from_slice(&crc32(frame).to_le_bytes());
+    out
+}
+
+/// Checks and strips a trailing CRC appended by [`append_crc`]. Returns the
+/// payload on success, `None` on mismatch or if the frame is too short.
+pub fn check_and_strip_crc(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 4 {
+        return None;
+    }
+    let (payload, tail) = frame.split_at(frame.len() - 4);
+    let expect = u32::from_le_bytes(tail.try_into().unwrap());
+    (crc32(payload) == expect).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn append_and_check_round_trip() {
+        let payload = b"hello, dssoc emulator";
+        let framed = append_crc(payload);
+        assert_eq!(framed.len(), payload.len() + 4);
+        assert_eq!(check_and_strip_crc(&framed), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut framed = append_crc(b"some frame data");
+        framed[3] ^= 0x40;
+        assert_eq!(check_and_strip_crc(&framed), None);
+    }
+
+    #[test]
+    fn detects_crc_corruption() {
+        let mut framed = append_crc(b"xyz");
+        let n = framed.len();
+        framed[n - 1] ^= 1;
+        assert_eq!(check_and_strip_crc(&framed), None);
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert_eq!(check_and_strip_crc(&[1, 2, 3]), None);
+        // Exactly 4 bytes = empty payload + CRC of empty (0).
+        assert_eq!(check_and_strip_crc(&append_crc(b"")), Some(&[][..]));
+    }
+}

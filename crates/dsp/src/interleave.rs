@@ -1,0 +1,116 @@
+//! Block interleaver / deinterleaver (the WiFi "Interleaver" and
+//! "Deinterleaver" kernels).
+//!
+//! Classic row-column interleaving: bits are written row-wise into an
+//! `rows x cols` matrix and read out column-wise, spreading burst errors
+//! across Viterbi decoding windows.
+
+/// A fixed-geometry block interleaver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl BlockInterleaver {
+    /// Creates an interleaver with the given matrix geometry. Both
+    /// dimensions must be nonzero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "interleaver dimensions must be nonzero");
+        BlockInterleaver { rows, cols }
+    }
+
+    /// The block size (`rows * cols`); input length must be a multiple.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Interleaves `data` (writes row-wise, reads column-wise), block by
+    /// block. Panics if `data.len()` is not a multiple of
+    /// [`Self::block_len`].
+    pub fn interleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        self.permute(data, |r, c| (r, c))
+    }
+
+    /// Inverse of [`Self::interleave`].
+    pub fn deinterleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        // Deinterleaving an (r x c) interleave is interleaving with (c x r).
+        BlockInterleaver { rows: self.cols, cols: self.rows }.permute(data, |r, c| (r, c))
+    }
+
+    fn permute<T: Copy>(&self, data: &[T], _tag: impl Fn(usize, usize) -> (usize, usize)) -> Vec<T> {
+        let n = self.block_len();
+        assert!(
+            data.len().is_multiple_of(n),
+            "data length {} is not a multiple of the {}x{} block",
+            data.len(),
+            self.rows,
+            self.cols
+        );
+        let mut out = Vec::with_capacity(data.len());
+        for block in data.chunks_exact(n) {
+            for c in 0..self.cols {
+                for r in 0..self.rows {
+                    out.push(block[r * self.cols + c]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_permutation() {
+        let il = BlockInterleaver::new(2, 3);
+        // matrix: [0 1 2 / 3 4 5] read by columns -> 0 3 1 4 2 5
+        assert_eq!(il.interleave(&[0, 1, 2, 3, 4, 5]), vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn round_trip_multiple_blocks() {
+        let il = BlockInterleaver::new(4, 8);
+        let data: Vec<u16> = (0..96).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn square_round_trip() {
+        let il = BlockInterleaver::new(5, 5);
+        let data: Vec<u8> = (0..25).map(|i| (i % 2) as u8).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn one_row_is_identity() {
+        let il = BlockInterleaver::new(1, 8);
+        let data: Vec<u8> = (0..8).collect();
+        assert_eq!(il.interleave(&data), data);
+    }
+
+    #[test]
+    fn spreads_adjacent_symbols() {
+        let il = BlockInterleaver::new(4, 4);
+        let data: Vec<u8> = (0..16).collect();
+        let out = il.interleave(&data);
+        // Originally adjacent 0 and 1 must now be `rows` apart.
+        let p0 = out.iter().position(|&x| x == 0).unwrap();
+        let p1 = out.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(p1.abs_diff(p0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_length_panics() {
+        BlockInterleaver::new(2, 4).interleave(&[1u8, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        BlockInterleaver::new(0, 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dssoc-dsp — signal-processing substrate
+//!
+//! Software-defined-radio kernels used by the reference applications of the
+//! DSSoC emulation framework (WiFi TX/RX, radar range detection, pulse
+//! Doppler). Everything is implemented from scratch on a small [`Complex32`]
+//! type so the emulator has no external numeric dependencies.
+//!
+//! The crate deliberately provides both *naive* implementations (e.g.
+//! [`fft::dft`], an `O(n^2)` loop DFT) and *optimized* ones
+//! ([`fft::fft_in_place`], `O(n log n)`): the paper's compiler case study
+//! measures the speedup obtained by recognizing a naive DFT kernel in
+//! unlabeled code and substituting the optimized or accelerator-backed
+//! implementation.
+
+pub mod channel;
+pub mod chirp;
+pub mod coding;
+pub mod complex;
+pub mod correlate;
+pub mod crc;
+pub mod fft;
+pub mod interleave;
+pub mod modulation;
+pub mod scramble;
+pub mod util;
+
+pub use complex::Complex32;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::channel::awgn;
+    pub use crate::chirp::lfm_chirp;
+    pub use crate::coding::{ConvolutionalEncoder, ViterbiDecoder};
+    pub use crate::complex::Complex32;
+    pub use crate::correlate::{xcorr_fft, Peak};
+    pub use crate::crc::crc32;
+    pub use crate::fft::{dft, fft_in_place, fftshift, idft, ifft_in_place};
+    pub use crate::interleave::BlockInterleaver;
+    pub use crate::modulation::{qpsk_demodulate, qpsk_modulate};
+    pub use crate::scramble::Scrambler;
+    pub use crate::util::{argmax, argmax_magnitude};
+}

@@ -1,0 +1,153 @@
+//! QPSK modulation/demodulation and pilot handling for the WiFi pipeline.
+//!
+//! The WiFi TX application of the paper (Fig. 7) maps coded bits to QPSK
+//! symbols, inserts pilots, and IFFTs per OFDM symbol; RX reverses the
+//! chain. Gray-coded QPSK with unit average energy is used.
+
+use crate::complex::Complex32;
+
+const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
+
+/// Maps bit pairs to Gray-coded QPSK symbols `(±1 ± j)/sqrt(2)`.
+///
+/// Bit mapping (b0 = in-phase, b1 = quadrature): `0 -> +1`, `1 -> -1`.
+/// Panics if the bit count is odd; bits must be `0` or `1`.
+pub fn qpsk_modulate(bits: &[u8]) -> Vec<Complex32> {
+    assert!(bits.len().is_multiple_of(2), "QPSK needs an even number of bits");
+    bits.chunks_exact(2)
+        .map(|p| {
+            debug_assert!(p[0] <= 1 && p[1] <= 1, "bits must be 0 or 1");
+            let re = if p[0] == 0 { INV_SQRT2 } else { -INV_SQRT2 };
+            let im = if p[1] == 0 { INV_SQRT2 } else { -INV_SQRT2 };
+            Complex32::new(re, im)
+        })
+        .collect()
+}
+
+/// Hard-decision QPSK demodulation; inverse of [`qpsk_modulate`] for
+/// noiseless symbols, minimum-distance decision otherwise.
+pub fn qpsk_demodulate(symbols: &[Complex32]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(symbols.len() * 2);
+    for s in symbols {
+        bits.push(if s.re >= 0.0 { 0 } else { 1 });
+        bits.push(if s.im >= 0.0 { 0 } else { 1 });
+    }
+    bits
+}
+
+/// The fixed pilot symbol inserted by [`insert_pilots`].
+pub const PILOT: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+/// Inserts a pilot symbol before every `period` data symbols:
+/// `P d d .. d P d d .. d ...`. `period == 0` is rejected.
+pub fn insert_pilots(data: &[Complex32], period: usize) -> Vec<Complex32> {
+    assert!(period > 0, "pilot period must be nonzero");
+    let mut out = Vec::with_capacity(data.len() + data.len().div_ceil(period));
+    for chunk in data.chunks(period) {
+        out.push(PILOT);
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Removes the pilots inserted by [`insert_pilots`] and applies a
+/// per-block phase correction derived from each received pilot (a simple
+/// one-tap channel equalizer).
+pub fn remove_pilots(stream: &[Complex32], period: usize) -> Vec<Complex32> {
+    assert!(period > 0, "pilot period must be nonzero");
+    let mut out = Vec::with_capacity(stream.len());
+    for block in stream.chunks(period + 1) {
+        let Some((&pilot, data)) = block.split_first() else { continue };
+        // Phase rotation observed on the known pilot; undo it on the data.
+        let corr = if pilot.norm_sqr() > 1e-12 {
+            pilot.conj().scale(1.0 / pilot.abs())
+        } else {
+            Complex32::ONE
+        };
+        out.extend(data.iter().map(|&d| d * corr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpsk_round_trip() {
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 7 + 3) % 2) as u8).collect();
+        let syms = qpsk_modulate(&bits);
+        assert_eq!(syms.len(), 32);
+        assert_eq!(qpsk_demodulate(&syms), bits);
+    }
+
+    #[test]
+    fn qpsk_symbols_have_unit_energy() {
+        let syms = qpsk_modulate(&[0, 0, 0, 1, 1, 0, 1, 1]);
+        for s in syms {
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_four_constellation_points_distinct() {
+        let syms = qpsk_modulate(&[0, 0, 0, 1, 1, 0, 1, 1]);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!((syms[i] - syms[j]).abs() > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_bits_panics() {
+        qpsk_modulate(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn demod_is_minimum_distance_under_noise() {
+        let bits = vec![0, 1, 1, 0];
+        let mut syms = qpsk_modulate(&bits);
+        for s in syms.iter_mut() {
+            *s += Complex32::new(0.2, -0.2); // below decision threshold
+        }
+        assert_eq!(qpsk_demodulate(&syms), bits);
+    }
+
+    #[test]
+    fn pilot_round_trip() {
+        let data = qpsk_modulate(&(0..48).map(|i| (i % 2) as u8).collect::<Vec<_>>());
+        for period in [1usize, 3, 4, 7, 100] {
+            let with = insert_pilots(&data, period);
+            let without = remove_pilots(&with, period);
+            assert_eq!(without.len(), data.len(), "period {period}");
+            for (a, b) in data.iter().zip(&without) {
+                assert!((*a - *b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn pilot_corrects_constant_phase_rotation() {
+        let data = qpsk_modulate(&[0, 0, 1, 1, 0, 1, 1, 0]);
+        let with = insert_pilots(&data, 2);
+        let rot = Complex32::from_angle(0.4);
+        let rotated: Vec<Complex32> = with.iter().map(|&x| x * rot).collect();
+        let recovered = remove_pilots(&rotated, 2);
+        for (a, b) in data.iter().zip(&recovered) {
+            assert!((*a - *b).abs() < 1e-4, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pilot_count_matches_blocks() {
+        let data = vec![Complex32::ONE; 10];
+        let with = insert_pilots(&data, 4);
+        // ceil(10/4) = 3 pilots
+        assert_eq!(with.len(), 13);
+        assert_eq!(with[0], PILOT);
+        assert_eq!(with[5], PILOT);
+        assert_eq!(with[10], PILOT);
+    }
+}

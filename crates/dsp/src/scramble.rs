@@ -1,0 +1,121 @@
+//! The 802.11 additive scrambler (LFSR `x^7 + x^4 + 1`).
+//!
+//! Scrambling XORs the data with a pseudo-random LFSR sequence;
+//! descrambling with the same seed is the identical operation, so the
+//! scrambler is an involution — the "Scrambler" and "Descrambler" kernels
+//! of the WiFi applications are the same code with the same seed.
+
+/// 7-bit LFSR scrambler with polynomial `x^7 + x^4 + 1`.
+#[derive(Debug, Clone)]
+pub struct Scrambler {
+    state: u8,
+    seed: u8,
+}
+
+impl Scrambler {
+    /// The 802.11 default all-ones initial state.
+    pub const DEFAULT_SEED: u8 = 0x7F;
+
+    /// Creates a scrambler with the given 7-bit seed (must be nonzero,
+    /// otherwise the LFSR output is identically zero).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed & 0x7F != 0, "scrambler seed must be a nonzero 7-bit value");
+        Scrambler { state: seed & 0x7F, seed: seed & 0x7F }
+    }
+
+    /// Resets the LFSR to its seed.
+    pub fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    /// Produces the next keystream bit and advances the LFSR.
+    pub fn next_bit(&mut self) -> u8 {
+        // Feedback = x^7 xor x^4 taps (bits 6 and 3 of the 7-bit state).
+        let fb = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | fb) & 0x7F;
+        fb
+    }
+
+    /// Scrambles (or descrambles) a bit slice in place.
+    pub fn scramble_in_place(&mut self, bits: &mut [u8]) {
+        for b in bits {
+            debug_assert!(*b <= 1);
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Scrambles (or descrambles) a bit slice, returning the result.
+    pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = bits.to_vec();
+        self.scramble_in_place(&mut out);
+        out
+    }
+}
+
+impl Default for Scrambler {
+    fn default() -> Self {
+        Scrambler::new(Self::DEFAULT_SEED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_is_involution_with_same_seed() {
+        let bits: Vec<u8> = (0..200).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+        let scrambled = Scrambler::new(0x5A).scramble(&bits);
+        let recovered = Scrambler::new(0x5A).scramble(&scrambled);
+        assert_eq!(recovered, bits);
+        assert_ne!(scrambled, bits, "scrambling must actually change the data");
+    }
+
+    #[test]
+    fn reset_restores_keystream() {
+        let mut s = Scrambler::default();
+        let a: Vec<u8> = (0..32).map(|_| s.next_bit()).collect();
+        s.reset();
+        let b: Vec<u8> = (0..32).map(|_| s.next_bit()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lfsr_has_full_period_127() {
+        let mut s = Scrambler::new(0x7F);
+        let start = s.state;
+        let mut period = 0usize;
+        loop {
+            s.next_bit();
+            period += 1;
+            if s.state == start {
+                break;
+            }
+            assert!(period < 1000, "no period found");
+        }
+        assert_eq!(period, 127, "x^7+x^4+1 is primitive: period 2^7-1");
+    }
+
+    #[test]
+    fn known_keystream_prefix_all_ones_seed() {
+        // With state 1111111, first feedback = 1^1 = 0, etc. Keystream for
+        // 802.11 all-ones seed famously starts 00001110 1111...
+        let mut s = Scrambler::new(0x7F);
+        let ks: Vec<u8> = (0..8).map(|_| s.next_bit()).collect();
+        assert_eq!(ks, vec![0, 0, 0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_rejected() {
+        Scrambler::new(0x80); // 0x80 & 0x7F == 0
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let bits = vec![0u8; 64];
+        let a = Scrambler::new(0x01).scramble(&bits);
+        let b = Scrambler::new(0x7F).scramble(&bits);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Small reusable helpers: peak finding, dB conversion, float comparison.
+
+use crate::complex::Complex32;
+
+/// Index of the maximum element of a real slice (`None` if empty).
+/// Ties resolve to the first occurrence; NaNs never win.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the largest-magnitude complex sample (the "Find maximum" /
+/// "Determine maximum index" kernel of the radar applications).
+pub fn argmax_magnitude(xs: &[Complex32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, x) in xs.iter().enumerate() {
+        let m = x.norm_sqr();
+        if m.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if m <= b => {}
+            _ => best = Some((i, m)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Converts a power ratio to decibels.
+pub fn to_db(power_ratio: f32) -> f32 {
+    10.0 * power_ratio.log10()
+}
+
+/// Converts decibels to a power ratio.
+pub fn from_db(db: f32) -> f32 {
+    10f32.powf(db / 10.0)
+}
+
+/// Mean squared error between two complex signals.
+pub fn mse(a: &[Complex32], b: &[Complex32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f32>() / a.len() as f32
+}
+
+/// True if two complex signals match within `tol` per element.
+pub fn signals_close(a: &[Complex32], b: &[Complex32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+}
+
+/// Packs a bit slice (`0`/`1` bytes) into bytes, MSB first. The final
+/// partial byte, if any, is zero-padded on the right.
+pub fn pack_bits(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            debug_assert!(bit <= 1, "bits must be 0 or 1");
+            b |= (bit & 1) << (7 - i);
+        }
+        out.push(b);
+    }
+    out
+}
+
+/// Unpacks bytes into bits, MSB first.
+pub fn unpack_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0)); // first tie wins
+        assert_eq!(argmax(&[f32::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f32::NAN]), None);
+    }
+
+    #[test]
+    fn argmax_magnitude_basic() {
+        let xs = [
+            Complex32::new(1.0, 0.0),
+            Complex32::new(0.0, -5.0),
+            Complex32::new(3.0, 0.0),
+        ];
+        assert_eq!(argmax_magnitude(&xs), Some(1));
+        assert_eq!(argmax_magnitude(&[]), None);
+    }
+
+    #[test]
+    fn db_round_trip() {
+        for p in [0.01f32, 1.0, 10.0, 123.0] {
+            assert!((from_db(to_db(p)) - p).abs() / p < 1e-5);
+        }
+        assert_eq!(to_db(10.0), 10.0);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let bytes = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(pack_bits(&unpack_bits(&bytes)), bytes);
+        let bits = unpack_bits(&[0b1010_0001]);
+        assert_eq!(bits, vec![1, 0, 1, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn pack_pads_partial_byte() {
+        assert_eq!(pack_bits(&[1, 1, 1]), vec![0b1110_0000]);
+        assert_eq!(pack_bits(&[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = vec![Complex32::new(1.0, 2.0); 5];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert!(signals_close(&a, &a, 1e-9));
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+}

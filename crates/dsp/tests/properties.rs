@@ -1,0 +1,144 @@
+//! Property-based tests of the DSP substrate invariants.
+
+use proptest::prelude::*;
+
+use dssoc_dsp::chirp::{delayed_echo, lfm_chirp};
+use dssoc_dsp::coding::{ConvolutionalEncoder, ViterbiDecoder};
+use dssoc_dsp::complex::Complex32;
+use dssoc_dsp::correlate::estimate_delay;
+use dssoc_dsp::crc::{append_crc, check_and_strip_crc};
+use dssoc_dsp::fft::{dft, fft, fftshift, idft, ifft};
+use dssoc_dsp::interleave::BlockInterleaver;
+use dssoc_dsp::modulation::{insert_pilots, qpsk_demodulate, qpsk_modulate, remove_pilots};
+use dssoc_dsp::scramble::Scrambler;
+use dssoc_dsp::util::{pack_bits, signals_close, unpack_bits};
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+}
+
+fn bits(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `ifft(fft(x)) == x` for any power-of-two signal.
+    #[test]
+    fn fft_round_trips(exp in 2u32..10, seed in any::<u64>()) {
+        let n = 1usize << exp;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| {
+                let a = (seed.wrapping_mul(i as u64 + 1) % 1000) as f32 / 100.0 - 5.0;
+                let b = (seed.wrapping_mul(i as u64 + 7) % 1000) as f32 / 100.0 - 5.0;
+                Complex32::new(a, b)
+            })
+            .collect();
+        let y = ifft(&fft(&x));
+        let scale = x.iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        prop_assert!(x.iter().zip(&y).all(|(a, b)| (*a - *b).abs() < 1e-3 * scale));
+    }
+
+    /// The FFT agrees with the naive DFT.
+    #[test]
+    fn fft_matches_dft(x in complex_signal(64)) {
+        let a = fft(&x);
+        let b = dft(&x);
+        let scale = x.iter().map(|c| c.abs()).fold(1.0f32, f32::max).max(1.0);
+        prop_assert!(a.iter().zip(&b).all(|(p, q)| (*p - *q).abs() < 2e-2 * scale * 64.0f32.sqrt()));
+    }
+
+    /// `idft(dft(x)) == x` for arbitrary (non-power-of-two) lengths.
+    #[test]
+    fn dft_round_trips(len in 1usize..40, x in complex_signal(40)) {
+        let x = &x[..len];
+        let y = idft(&dft(x));
+        let scale = x.iter().map(|c| c.abs()).fold(1.0f32, f32::max).max(1.0);
+        prop_assert!(x.iter().zip(&y).all(|(a, b)| (*a - *b).abs() < 1e-3 * scale));
+    }
+
+    /// Double fftshift is the identity for even lengths.
+    #[test]
+    fn fftshift_involution(len in (1usize..64).prop_map(|n| n * 2)) {
+        let v: Vec<u32> = (0..len as u32).collect();
+        prop_assert_eq!(fftshift(&fftshift(&v)), v);
+    }
+
+    /// Scrambling twice with the same seed is the identity, for any seed.
+    #[test]
+    fn scrambler_involution(seed in 1u8..=0x7F, data in bits(256)) {
+        let once = Scrambler::new(seed).scramble(&data);
+        let twice = Scrambler::new(seed).scramble(&once);
+        prop_assert_eq!(twice, data);
+    }
+
+    /// Interleave/deinterleave round-trips for any geometry.
+    #[test]
+    fn interleaver_round_trips(rows in 1usize..8, cols in 1usize..12, blocks in 1usize..4) {
+        let il = BlockInterleaver::new(rows, cols);
+        let data: Vec<u16> = (0..(rows * cols * blocks) as u16).collect();
+        prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    /// QPSK demod inverts mod for any even-length bit vector.
+    #[test]
+    fn qpsk_round_trips(data in bits(128)) {
+        let symbols = qpsk_modulate(&data);
+        prop_assert_eq!(qpsk_demodulate(&symbols), data);
+    }
+
+    /// Pilot insertion/removal round-trips for any period.
+    #[test]
+    fn pilots_round_trip(period in 1usize..16, x in complex_signal(60)) {
+        let with = insert_pilots(&x, period);
+        let out = remove_pilots(&with, period);
+        prop_assert_eq!(out.len(), x.len());
+        prop_assert!(signals_close(&x, &out, 1e-4));
+    }
+
+    /// Viterbi decodes any terminated codeword back to the message.
+    #[test]
+    fn viterbi_round_trips(msg in proptest::collection::vec(0u8..2, 1..128)) {
+        let coded = ConvolutionalEncoder::new().encode_terminated(&msg);
+        let decoded = ViterbiDecoder::new().decode_terminated(&coded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Viterbi corrects any single bit error.
+    #[test]
+    fn viterbi_corrects_single_error(msg in proptest::collection::vec(0u8..2, 8..64), pos_frac in 0.0f64..1.0) {
+        let mut coded = ConvolutionalEncoder::new().encode_terminated(&msg);
+        let pos = ((coded.len() - 1) as f64 * pos_frac) as usize;
+        coded[pos] ^= 1;
+        let decoded = ViterbiDecoder::new().decode_terminated(&coded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// CRC framing round-trips; any single corrupted byte is detected.
+    #[test]
+    fn crc_detects_corruption(payload in proptest::collection::vec(any::<u8>(), 0..64), flip in any::<(usize, u8)>()) {
+        let framed = append_crc(&payload);
+        prop_assert_eq!(check_and_strip_crc(&framed), Some(payload.as_slice()));
+        let (pos, bit) = flip;
+        let mut bad = framed.clone();
+        let idx = pos % bad.len();
+        bad[idx] ^= 1 << (bit % 8);
+        prop_assert_eq!(check_and_strip_crc(&bad), None);
+    }
+
+    /// Bit packing round-trips for whole bytes.
+    #[test]
+    fn bits_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(pack_bits(&unpack_bits(&bytes)), bytes);
+    }
+
+    /// Correlation finds any planted delay.
+    #[test]
+    fn correlation_finds_planted_delay(delay in 0usize..300, gain in 0.1f32..2.0) {
+        let pulse = lfm_chirp(128, 0.0, 2.0e6, 8.0e6);
+        let rx = delayed_echo(&pulse, 512, delay.min(512 - 128), gain);
+        prop_assert_eq!(estimate_delay(&rx, &pulse), Some(delay.min(512 - 128) as isize));
+    }
+}

@@ -1,0 +1,243 @@
+//! The software-simulated FFT accelerator device.
+//!
+//! Substitutes for the paper's FFT IP on the ZCU102 programmable fabric.
+//! The device is *functionally real* — it computes an actual FFT on the
+//! data staged into its local memory — while its *timing* comes from the
+//! [`AccelModel`] latency model (DMA in, pipelined compute, DMA out).
+//! A resource-manager thread drives it exactly as in the paper's Fig. 4:
+//! transfer data DDR→device, start, sleep while the device "processes",
+//! transfer back.
+
+use std::time::Duration;
+
+use dssoc_dsp::complex::{from_interleaved, Complex32};
+use dssoc_dsp::fft::{fft_in_place, ifft_in_place, is_pow2};
+
+use crate::pe::AccelModel;
+
+/// Timing breakdown of one accelerator invocation, as dictated by the
+/// latency model. The emulation engine charges these to the emulation
+/// clock (and, in wall-clock mode, sleeps the manager thread for the
+/// residual — the paper migrates accelerator manager threads to the sleep
+/// state while the device processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelJobReport {
+    /// DDR → device local memory transfer time.
+    pub dma_in: Duration,
+    /// Device compute time.
+    pub compute: Duration,
+    /// Device local memory → DDR transfer time.
+    pub dma_out: Duration,
+}
+
+impl AccelJobReport {
+    /// Total modeled device-visible latency.
+    pub fn total(&self) -> Duration {
+        self.dma_in + self.compute + self.dma_out
+    }
+}
+
+/// Errors an accelerator invocation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// The transform size exceeds the device's local memory.
+    TooLarge { requested: usize, max: usize },
+    /// The device requires power-of-two transform sizes.
+    NotPowerOfTwo(usize),
+    /// The staged buffer is not a whole number of complex samples.
+    MisalignedBuffer(usize),
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::TooLarge { requested, max } => {
+                write!(f, "transform of {requested} points exceeds device capacity {max}")
+            }
+            AccelError::NotPowerOfTwo(n) => write!(f, "FFT accelerator needs power-of-two size, got {n}"),
+            AccelError::MisalignedBuffer(b) => {
+                write!(f, "buffer of {b} bytes is not a whole number of complex samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// A streaming FFT/IFFT accelerator with modeled DMA and compute latency.
+#[derive(Debug, Clone)]
+pub struct FftAccelerator {
+    model: AccelModel,
+}
+
+impl FftAccelerator {
+    /// Builds a device from its latency model. Panics if the model's
+    /// `kind` is not `"fft"` — the descriptor and the device must agree.
+    pub fn new(model: AccelModel) -> Self {
+        assert_eq!(model.kind, "fft", "FftAccelerator requires an 'fft' AccelModel");
+        FftAccelerator { model }
+    }
+
+    /// The underlying latency model.
+    pub fn model(&self) -> &AccelModel {
+        &self.model
+    }
+
+    /// Runs a forward (`inverse == false`) or inverse FFT on `data`
+    /// in place, returning the modeled timing breakdown.
+    pub fn process(&self, data: &mut [Complex32], inverse: bool) -> Result<AccelJobReport, AccelError> {
+        let n = data.len();
+        if n > self.model.max_points {
+            return Err(AccelError::TooLarge { requested: n, max: self.model.max_points });
+        }
+        if !is_pow2(n) {
+            return Err(AccelError::NotPowerOfTwo(n));
+        }
+        if inverse {
+            ifft_in_place(data);
+        } else {
+            fft_in_place(data);
+        }
+        let bytes = std::mem::size_of_val(data);
+        Ok(AccelJobReport {
+            dma_in: self.model.dma.transfer_time(bytes),
+            compute: self.model.compute_latency(n),
+            dma_out: self.model.dma.transfer_time(bytes),
+        })
+    }
+
+    /// Byte-oriented entry point mirroring how a real DMA engine sees the
+    /// data: `buf` holds interleaved `f32` re/im pairs in native byte
+    /// order. Used when a kernel stages raw variable memory to the device.
+    pub fn process_bytes(&self, buf: &mut [u8], inverse: bool) -> Result<AccelJobReport, AccelError> {
+        if !buf.len().is_multiple_of(8) {
+            return Err(AccelError::MisalignedBuffer(buf.len()));
+        }
+        let floats: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut samples = from_interleaved(&floats);
+        let report = self.process(&mut samples, inverse)?;
+        for (i, s) in samples.iter().enumerate() {
+            buf[i * 8..i * 8 + 4].copy_from_slice(&s.re.to_le_bytes());
+            buf[i * 8 + 4..i * 8 + 8].copy_from_slice(&s.im.to_le_bytes());
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::DmaModel;
+    use dssoc_dsp::fft::fft;
+
+    fn device(max_points: usize) -> FftAccelerator {
+        FftAccelerator::new(AccelModel {
+            kind: "fft".into(),
+            dma: DmaModel::zcu102_axi(),
+            throughput_msps: 300.0,
+            pipeline_latency: Duration::from_micros(4),
+            max_points,
+        })
+    }
+
+    #[test]
+    fn device_computes_correct_fft() {
+        let dev = device(4096);
+        let input: Vec<Complex32> = (0..256)
+            .map(|i| Complex32::new((i as f32 * 0.17).sin(), (i as f32 * 0.05).cos()))
+            .collect();
+        let mut data = input.clone();
+        let report = dev.process(&mut data, false).unwrap();
+        let expect = fft(&input);
+        assert!(dssoc_dsp::util::signals_close(&data, &expect, 1e-4));
+        assert!(report.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let dev = device(4096);
+        let input: Vec<Complex32> = (0..512).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let mut data = input.clone();
+        dev.process(&mut data, false).unwrap();
+        dev.process(&mut data, true).unwrap();
+        assert!(dssoc_dsp::util::signals_close(&data, &input, 1e-2));
+    }
+
+    #[test]
+    fn rejects_oversized_transform() {
+        let dev = device(128);
+        let mut data = vec![Complex32::ZERO; 256];
+        assert!(matches!(
+            dev.process(&mut data, false),
+            Err(AccelError::TooLarge { requested: 256, max: 128 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let dev = device(4096);
+        let mut data = vec![Complex32::ZERO; 100];
+        assert!(matches!(dev.process(&mut data, false), Err(AccelError::NotPowerOfTwo(100))));
+    }
+
+    #[test]
+    fn dma_overhead_dominates_small_ffts() {
+        // The paper's Fig. 9 observation: at 128 points the accelerator's
+        // DMA setup exceeds what a CPU core needs for the same FFT.
+        let dev = device(4096);
+        let mut data = vec![Complex32::ONE; 128];
+        let report = dev.process(&mut data, false).unwrap();
+        assert!(report.dma_in + report.dma_out > report.compute * 2);
+    }
+
+    #[test]
+    fn byte_interface_round_trips() {
+        let dev = device(4096);
+        let samples: Vec<Complex32> = (0..64).map(|i| Complex32::new(i as f32, 0.5)).collect();
+        let mut buf = Vec::new();
+        for s in &samples {
+            buf.extend_from_slice(&s.re.to_le_bytes());
+            buf.extend_from_slice(&s.im.to_le_bytes());
+        }
+        dev.process_bytes(&mut buf, false).unwrap();
+        dev.process_bytes(&mut buf, true).unwrap();
+        let floats: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let back = from_interleaved(&floats);
+        assert!(dssoc_dsp::util::signals_close(&back, &samples, 1e-3));
+    }
+
+    #[test]
+    fn byte_interface_rejects_misaligned() {
+        let dev = device(4096);
+        let mut buf = vec![0u8; 12];
+        assert!(matches!(dev.process_bytes(&mut buf, false), Err(AccelError::MisalignedBuffer(12))));
+    }
+
+    #[test]
+    #[should_panic(expected = "'fft'")]
+    fn kind_mismatch_panics() {
+        FftAccelerator::new(AccelModel {
+            kind: "gemm".into(),
+            dma: DmaModel::default(),
+            throughput_msps: 1.0,
+            pipeline_latency: Duration::ZERO,
+            max_points: 16,
+        });
+    }
+
+    #[test]
+    fn report_total_sums() {
+        let r = AccelJobReport {
+            dma_in: Duration::from_micros(10),
+            compute: Duration::from_micros(20),
+            dma_out: Duration::from_micros(30),
+        };
+        assert_eq!(r.total(), Duration::from_micros(60));
+    }
+}

@@ -1,0 +1,315 @@
+//! Processing-element descriptors and platform configuration.
+//!
+//! A [`PlatformConfig`] is the emulator's equivalent of the paper's "input
+//! configuration file" (§II-D): the number and types of PEs that the
+//! resource manager instantiates, plus a model of the management (overlay)
+//! core and of the host cores the resource-manager threads run on.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::dma::DmaModel;
+
+/// Identifier of a processing element within one platform configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeId(pub u32);
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// Performance model of a general-purpose core.
+///
+/// `speed` is the core's throughput relative to the *host* machine running
+/// the emulation: a modeled task duration is
+/// `measured_functional_time / speed`. This is how one host emulates a
+/// slower Cortex-A53 (`speed < 1`) or distinguishes big from LITTLE cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Human-readable class name ("cortex-a53", "cortex-a15", ...). Also
+    /// the key used by [`crate::cost::CostTable`] lookups.
+    pub class: String,
+    /// Relative speed vs the emulation host (must be > 0).
+    pub speed: f64,
+}
+
+/// Performance model of a fixed-function accelerator PE.
+///
+/// The resource-manager flow for an accelerator (paper Fig. 4) is:
+/// DMA DDR→local memory, start device, sleep until done, DMA local→DDR.
+/// All latency terms live here so they can be swept in ablation benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelModel {
+    /// Device kind; must match what accelerator-flavored kernels request
+    /// (`"fft"` for the shipped device).
+    pub kind: String,
+    /// DMA engine model used for both directions.
+    pub dma: DmaModel,
+    /// Streaming compute throughput, in million samples per second.
+    pub throughput_msps: f64,
+    /// Fixed pipeline fill/drain latency per invocation.
+    pub pipeline_latency: Duration,
+    /// Largest transform the device's local memory (BRAM) can hold,
+    /// in samples.
+    pub max_points: usize,
+}
+
+impl AccelModel {
+    /// Compute-phase latency for processing `samples` samples (excludes
+    /// DMA transfers).
+    pub fn compute_latency(&self, samples: usize) -> Duration {
+        let secs = samples as f64 / (self.throughput_msps * 1e6);
+        self.pipeline_latency + Duration::from_secs_f64(secs)
+    }
+}
+
+/// What a PE is: a general-purpose core or a fixed-function accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeKind {
+    /// General-purpose core; executes any kernel with a `cpu`-compatible
+    /// platform entry directly.
+    Cpu(CpuModel),
+    /// Fixed-function accelerator reached through DMA.
+    Accel(AccelModel),
+}
+
+impl PeKind {
+    /// True for general-purpose cores.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, PeKind::Cpu(_))
+    }
+}
+
+/// One processing element of the emulated DSSoC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeDescriptor {
+    /// Unique id within the platform.
+    pub id: PeId,
+    /// Display name ("Core1", "FFT2", "BIG3", ...).
+    pub name: String,
+    /// The platform key that application DAG nodes reference in their
+    /// `platforms[].name` field (`"cpu"`, `"fft"`, ...). Scheduling
+    /// compatibility is `node.platforms` containing this key.
+    pub platform_key: String,
+    /// Performance model.
+    pub kind: PeKind,
+}
+
+impl PeDescriptor {
+    /// Relative speed for CPU PEs; accelerators report 1.0 (their timing
+    /// comes from [`AccelModel`], not from scaling).
+    pub fn speed(&self) -> f64 {
+        match &self.kind {
+            PeKind::Cpu(c) => c.speed,
+            PeKind::Accel(_) => 1.0,
+        }
+    }
+
+    /// The cost-model class name for this PE.
+    pub fn class_name(&self) -> &str {
+        match &self.kind {
+            PeKind::Cpu(c) => &c.class,
+            PeKind::Accel(a) => &a.kind,
+        }
+    }
+}
+
+/// Model of the management ("overlay") processor that runs the application
+/// handler and workload manager (paper §II-A: one CPU core is dedicated to
+/// management). Its relative speed scales the *measured* scheduling
+/// overhead before it is charged to the emulation clock — this is what
+/// makes FRFS overhead visible on a slow LITTLE overlay core (Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// Display name of the overlay core.
+    pub name: String,
+    /// Relative speed vs the emulation host (must be > 0).
+    pub speed: f64,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig { name: "overlay".into(), speed: 1.0 }
+    }
+}
+
+/// Contention model for resource-manager threads that share a host core
+/// (paper §III-C: two accelerator manager threads sharing a core
+/// "cyclically preempt each other" and the context-switch overhead
+/// dominates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Penalty charged each time a manager thread resumes on a contended
+    /// host slot (an OS context switch + cache disturbance).
+    pub context_switch: Duration,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        // ~10 us: typical Linux context-switch + warmup cost on A53-class cores.
+        ContentionModel { context_switch: Duration::from_micros(10) }
+    }
+}
+
+/// A complete emulated DSSoC configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Display name, e.g. `"zcu102-2C+1F"`.
+    pub name: String,
+    /// The resource pool.
+    pub pes: Vec<PeDescriptor>,
+    /// Management-core model.
+    pub overlay: OverlayConfig,
+    /// Number of host CPU cores available to resource-manager threads
+    /// (the testbed's resource pool, *excluding* the overlay core).
+    pub host_slots: usize,
+    /// Cost of host-core sharing between manager threads.
+    pub contention: ContentionModel,
+}
+
+impl PlatformConfig {
+    /// Builds a config, assigning sequential [`PeId`]s.
+    pub fn new(name: impl Into<String>, pes: Vec<PeDescriptor>, host_slots: usize) -> Self {
+        PlatformConfig {
+            name: name.into(),
+            pes,
+            overlay: OverlayConfig::default(),
+            host_slots,
+            contention: ContentionModel::default(),
+        }
+    }
+
+    /// Number of general-purpose cores in the pool.
+    pub fn cpu_count(&self) -> usize {
+        self.pes.iter().filter(|p| p.kind.is_cpu()).count()
+    }
+
+    /// Number of accelerator PEs in the pool.
+    pub fn accel_count(&self) -> usize {
+        self.pes.len() - self.cpu_count()
+    }
+
+    /// Looks up a PE by id.
+    pub fn pe(&self, id: PeId) -> Option<&PeDescriptor> {
+        self.pes.iter().find(|p| p.id == id)
+    }
+
+    /// Validates internal consistency: unique ids, nonzero speeds, at
+    /// least one PE, nonzero host slots.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pes.is_empty() {
+            return Err("platform has no PEs".into());
+        }
+        if self.host_slots == 0 {
+            return Err("platform needs at least one host slot".into());
+        }
+        let mut ids: Vec<u32> = self.pes.iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.pes.len() {
+            return Err("duplicate PE ids".into());
+        }
+        for pe in &self.pes {
+            match &pe.kind {
+                PeKind::Cpu(c) if c.speed <= 0.0 => {
+                    return Err(format!("{}: CPU speed must be positive", pe.name));
+                }
+                PeKind::Accel(a) if a.throughput_msps <= 0.0 => {
+                    return Err(format!("{}: accelerator throughput must be positive", pe.name));
+                }
+                PeKind::Accel(a) if a.max_points == 0 => {
+                    return Err(format!("{}: accelerator max_points must be nonzero", pe.name));
+                }
+                _ => {}
+            }
+        }
+        if self.overlay.speed <= 0.0 {
+            return Err("overlay speed must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{odroid_xu3, zcu102};
+
+    #[test]
+    fn pe_id_display() {
+        assert_eq!(PeId(3).to_string(), "PE3");
+    }
+
+    #[test]
+    fn accel_compute_latency_scales_with_samples() {
+        let a = AccelModel {
+            kind: "fft".into(),
+            dma: DmaModel::default(),
+            throughput_msps: 100.0,
+            pipeline_latency: Duration::from_micros(5),
+            max_points: 4096,
+        };
+        let small = a.compute_latency(128);
+        let big = a.compute_latency(4096);
+        assert!(big > small);
+        // 4096 samples at 100 Msps = 40.96 us + 5 us pipeline
+        assert!((big.as_secs_f64() - 45.96e-6).abs() < 1e-7);
+    }
+
+    #[test]
+    fn preset_configs_validate() {
+        zcu102(3, 2).validate().unwrap();
+        zcu102(1, 0).validate().unwrap();
+        odroid_xu3(4, 3).validate().unwrap();
+    }
+
+    #[test]
+    fn counts() {
+        let p = zcu102(2, 1);
+        assert_eq!(p.cpu_count(), 2);
+        assert_eq!(p.accel_count(), 1);
+        assert_eq!(p.pes.len(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut p = zcu102(1, 1);
+        p.host_slots = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = zcu102(1, 0);
+        p.pes.clear();
+        assert!(p.validate().is_err());
+
+        let mut p = zcu102(2, 0);
+        p.pes[1].id = p.pes[0].id;
+        assert!(p.validate().unwrap_err().contains("duplicate"));
+
+        let mut p = zcu102(1, 0);
+        if let PeKind::Cpu(c) = &mut p.pes[0].kind {
+            c.speed = 0.0;
+        }
+        assert!(p.validate().is_err());
+
+        let mut p = zcu102(1, 0);
+        p.overlay.speed = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = zcu102(3, 2);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn pe_lookup() {
+        let p = zcu102(2, 1);
+        assert!(p.pe(PeId(0)).is_some());
+        assert!(p.pe(PeId(99)).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! Resource-manager thread placement onto host cores.
+//!
+//! The paper (§II-D) pins each PE's resource-manager thread to a host CPU
+//! core of the testbed: CPU-type PEs get dedicated cores first; all other
+//! PE types (accelerator managers) start on unused cores and are then
+//! "evenly distributed among all the CPU cores in the resource pool".
+//! When two manager threads share a core they cyclically preempt each
+//! other — the effect behind the paper's 2C+2F ≈ 2C+1F observation
+//! (Fig. 9).
+//!
+//! We reproduce the placement *rule* and expose, per PE, how many manager
+//! threads share its host slot, so the engine can charge the modeled
+//! context-switch penalty.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pe::{PeId, PlatformConfig};
+
+/// Index of a host core ("slot") in the emulation testbed's resource pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotId(pub usize);
+
+/// The computed thread placement for one platform configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    assignments: Vec<(PeId, SlotId)>,
+    slot_load: Vec<usize>,
+}
+
+impl Placement {
+    /// Applies the paper's placement rule to a platform configuration.
+    ///
+    /// CPU PEs are placed first, each on its own slot while slots remain
+    /// (a CPU PE *is* its host core in the emulation, so doubling up CPU
+    /// PEs beyond `host_slots` wraps around — a configuration the presets
+    /// never produce). Accelerator managers then fill remaining free
+    /// slots, and once none are free they round-robin across all slots.
+    pub fn compute(config: &PlatformConfig) -> Placement {
+        let slots = config.host_slots;
+        let mut slot_load = vec![0usize; slots];
+        let mut assignments = Vec::with_capacity(config.pes.len());
+
+        for (next, pe) in config.pes.iter().filter(|p| p.kind.is_cpu()).enumerate() {
+            let slot = next % slots;
+            assignments.push((pe.id, SlotId(slot)));
+            slot_load[slot] += 1;
+        }
+        for pe in config.pes.iter().filter(|p| !p.kind.is_cpu()) {
+            // Prefer the least-loaded slot (free slots first, then even
+            // distribution), breaking ties toward higher slot indices so
+            // accelerators drift away from the CPU PEs.
+            let slot = (0..slots)
+                .rev()
+                .min_by_key(|&s| slot_load[s])
+                .expect("host_slots validated nonzero");
+            assignments.push((pe.id, SlotId(slot)));
+            slot_load[slot] += 1;
+        }
+        Placement { assignments, slot_load }
+    }
+
+    /// The host slot assigned to `pe`.
+    pub fn slot_of(&self, pe: PeId) -> Option<SlotId> {
+        self.assignments.iter().find(|(id, _)| *id == pe).map(|(_, s)| *s)
+    }
+
+    /// How many manager threads share the slot hosting `pe` (including
+    /// the PE's own thread). `1` means a dedicated core.
+    pub fn sharers_of(&self, pe: PeId) -> usize {
+        match self.slot_of(pe) {
+            Some(slot) => self.slot_load[slot.0],
+            None => 0,
+        }
+    }
+
+    /// True if the PE's manager thread has a dedicated host core — the
+    /// condition the paper recommends for trustworthy relative estimates.
+    pub fn is_dedicated(&self, pe: PeId) -> bool {
+        self.sharers_of(pe) == 1
+    }
+
+    /// True if every manager thread has a dedicated core.
+    pub fn fully_dedicated(&self) -> bool {
+        self.slot_load.iter().all(|&l| l <= 1)
+    }
+
+    /// Per-slot thread counts.
+    pub fn slot_loads(&self) -> &[usize] {
+        &self.slot_load
+    }
+
+    /// Iterates over `(pe, slot)` assignments in placement order.
+    pub fn assignments(&self) -> impl Iterator<Item = (PeId, SlotId)> + '_ {
+        self.assignments.iter().copied()
+    }
+}
+
+/// Convenience: placement plus the penalty accounting used by the engine.
+/// Returns the number of *extra* context switches a task handled on `pe`
+/// should be charged for (0 on a dedicated core, `sharers - 1` otherwise;
+/// each dispatch/monitor exchange on a shared core forces that many
+/// preemptions of peers).
+pub fn contention_switches(placement: &Placement, pe: PeId) -> usize {
+    placement.sharers_of(pe).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{odroid_xu3, zcu102};
+
+    fn place(cores: usize, ffts: usize) -> (PlatformConfig, Placement) {
+        let cfg = zcu102(cores, ffts);
+        let p = Placement::compute(&cfg);
+        (cfg, p)
+    }
+
+    #[test]
+    fn dedicated_when_pes_fit() {
+        // ZCU102 resource pool = 3 host cores. 2C+1F fits: all dedicated.
+        let (cfg, p) = place(2, 1);
+        assert!(p.fully_dedicated());
+        for pe in &cfg.pes {
+            assert!(p.is_dedicated(pe.id));
+        }
+    }
+
+    #[test]
+    fn two_accels_share_with_two_cores() {
+        // 2C+2F on 3 slots: the two FFT manager threads share the third
+        // core — the paper's preemption scenario.
+        let (cfg, p) = place(2, 2);
+        assert!(!p.fully_dedicated());
+        let accels: Vec<PeId> = cfg.pes.iter().filter(|pe| !pe.kind.is_cpu()).map(|pe| pe.id).collect();
+        assert_eq!(accels.len(), 2);
+        assert_eq!(p.slot_of(accels[0]), p.slot_of(accels[1]));
+        assert_eq!(p.sharers_of(accels[0]), 2);
+        assert_eq!(contention_switches(&p, accels[0]), 1);
+        // The CPU PEs keep dedicated slots.
+        for pe in cfg.pes.iter().filter(|pe| pe.kind.is_cpu()) {
+            assert!(p.is_dedicated(pe.id));
+        }
+    }
+
+    #[test]
+    fn one_core_two_accels_all_dedicated() {
+        // 1C+2F on 3 slots: core on slot 0, accels on the two free slots.
+        let (_, p) = place(1, 2);
+        assert!(p.fully_dedicated());
+    }
+
+    #[test]
+    fn three_cores_fill_all_slots() {
+        let (cfg, p) = place(3, 0);
+        assert!(p.fully_dedicated());
+        let slots: Vec<SlotId> = cfg.pes.iter().map(|pe| p.slot_of(pe.id).unwrap()).collect();
+        let mut sorted = slots.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn three_cores_two_accels_share_evenly() {
+        // 3C+2F on 3 slots: accel managers distribute across cores, one
+        // extra thread on two different slots.
+        let (_, p) = place(3, 2);
+        let mut loads = p.slot_loads().to_vec();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn odroid_all_cpu_dedicated() {
+        for (b, l) in [(4usize, 3usize), (2, 2), (0, 3), (4, 1)] {
+            if b + l == 0 {
+                continue;
+            }
+            let cfg = odroid_xu3(b, l);
+            let p = Placement::compute(&cfg);
+            assert!(p.fully_dedicated(), "{b}BIG+{l}LTL should be dedicated");
+        }
+    }
+
+    #[test]
+    fn unknown_pe_queries() {
+        let (_, p) = place(1, 0);
+        assert_eq!(p.slot_of(PeId(99)), None);
+        assert_eq!(p.sharers_of(PeId(99)), 0);
+    }
+
+    #[test]
+    fn assignments_iterate_in_order() {
+        let (cfg, p) = place(2, 1);
+        let ids: Vec<PeId> = p.assignments().map(|(id, _)| id).collect();
+        // CPU PEs first (descriptor order), then accelerators.
+        let mut expect: Vec<PeId> = cfg.pes.iter().filter(|pe| pe.kind.is_cpu()).map(|pe| pe.id).collect();
+        expect.extend(cfg.pes.iter().filter(|pe| !pe.kind.is_cpu()).map(|pe| pe.id));
+        assert_eq!(ids, expect);
+    }
+}

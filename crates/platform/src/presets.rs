@@ -1,0 +1,169 @@
+//! Platform presets for the two boards used in the paper's case studies.
+//!
+//! Speed factors are relative to the emulation host and were chosen so the
+//! *ordering* of the paper's platforms is preserved (A15 "big" > A53 >
+//! A7 "LITTLE"); absolute durations are not meant to match silicon.
+
+use std::time::Duration;
+
+use crate::dma::DmaModel;
+use crate::pe::{AccelModel, CpuModel, OverlayConfig, PeDescriptor, PeId, PeKind, PlatformConfig};
+
+/// Relative speed of a Cortex-A53 core vs the emulation host.
+pub const A53_SPEED: f64 = 0.5;
+/// Relative speed of a Cortex-A15 ("big") core vs the emulation host.
+pub const A15_SPEED: f64 = 0.8;
+/// Relative speed of a Cortex-A7 ("LITTLE") core vs the emulation host.
+pub const A7_SPEED: f64 = 0.22;
+
+/// Default FFT-accelerator model for the ZCU102 programmable fabric:
+/// streaming FFT IP behind an AXI DMA (see [`DmaModel::zcu102_axi`]).
+pub fn zcu102_fft_accel() -> AccelModel {
+    AccelModel {
+        kind: "fft".into(),
+        dma: DmaModel::zcu102_axi(),
+        throughput_msps: 300.0,
+        pipeline_latency: Duration::from_micros(4),
+        max_points: 16384,
+    }
+}
+
+/// A ZCU102-style DSSoC configuration: `cores` Cortex-A53 CPU PEs and
+/// `ffts` fabric FFT accelerators.
+///
+/// The board has a quad-core A53; one core is reserved as the overlay
+/// (management) processor, leaving **3 host slots** for resource-manager
+/// threads — which is why the paper's `2C+2F` configuration forces the two
+/// accelerator managers to share a core. `cores` may be 0 (accelerator-only
+/// pool) but `cores + ffts` must be at least 1 and `cores <= 3`.
+pub fn zcu102(cores: usize, ffts: usize) -> PlatformConfig {
+    assert!(cores <= 3, "ZCU102 has 3 resource-pool A53 cores (1 is the overlay)");
+    assert!(cores + ffts > 0, "platform needs at least one PE");
+    let mut pes = Vec::with_capacity(cores + ffts);
+    let mut id = 0u32;
+    for i in 0..cores {
+        pes.push(PeDescriptor {
+            id: PeId(id),
+            name: format!("Core{}", i + 1),
+            platform_key: "cpu".into(),
+            kind: PeKind::Cpu(CpuModel { class: "cortex-a53".into(), speed: A53_SPEED }),
+        });
+        id += 1;
+    }
+    for i in 0..ffts {
+        pes.push(PeDescriptor {
+            id: PeId(id),
+            name: format!("FFT{}", i + 1),
+            platform_key: "fft".into(),
+            kind: PeKind::Accel(zcu102_fft_accel()),
+        });
+        id += 1;
+    }
+    let mut cfg = PlatformConfig::new(format!("zcu102-{cores}C+{ffts}F"), pes, 3);
+    cfg.overlay = OverlayConfig { name: "A53-overlay".into(), speed: A53_SPEED };
+    cfg
+}
+
+/// An Odroid XU3-style big.LITTLE configuration: `big` Cortex-A15 and
+/// `little` Cortex-A7 CPU PEs.
+///
+/// One LITTLE core is the overlay processor (as in the paper), leaving 4
+/// big + 3 LITTLE = **7 host slots**. `big <= 4`, `little <= 3`,
+/// `big + little >= 1`.
+pub fn odroid_xu3(big: usize, little: usize) -> PlatformConfig {
+    assert!(big <= 4, "Odroid XU3 has 4 big cores");
+    assert!(little <= 3, "Odroid XU3 has 3 resource-pool LITTLE cores (1 is the overlay)");
+    assert!(big + little > 0, "platform needs at least one PE");
+    let mut pes = Vec::with_capacity(big + little);
+    let mut id = 0u32;
+    for i in 0..big {
+        pes.push(PeDescriptor {
+            id: PeId(id),
+            name: format!("BIG{}", i + 1),
+            platform_key: "cpu".into(),
+            kind: PeKind::Cpu(CpuModel { class: "cortex-a15".into(), speed: A15_SPEED }),
+        });
+        id += 1;
+    }
+    for i in 0..little {
+        pes.push(PeDescriptor {
+            id: PeId(id),
+            name: format!("LTL{}", i + 1),
+            platform_key: "cpu".into(),
+            kind: PeKind::Cpu(CpuModel { class: "cortex-a7".into(), speed: A7_SPEED }),
+        });
+        id += 1;
+    }
+    let mut cfg = PlatformConfig::new(format!("odroid-{big}BIG+{little}LTL"), pes, 7);
+    cfg.overlay = OverlayConfig { name: "A7-overlay".into(), speed: A7_SPEED };
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu102_shapes() {
+        let p = zcu102(3, 2);
+        assert_eq!(p.cpu_count(), 3);
+        assert_eq!(p.accel_count(), 2);
+        assert_eq!(p.host_slots, 3);
+        assert_eq!(p.name, "zcu102-3C+2F");
+        assert!(p.pes.iter().any(|pe| pe.platform_key == "fft"));
+        assert!((p.overlay.speed - A53_SPEED).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odroid_shapes() {
+        let p = odroid_xu3(3, 2);
+        assert_eq!(p.cpu_count(), 5);
+        assert_eq!(p.accel_count(), 0);
+        assert_eq!(p.host_slots, 7);
+        assert!(p.pes.iter().all(|pe| pe.platform_key == "cpu"));
+        // big cores faster than LITTLE
+        let big = p.pes.iter().find(|pe| pe.name.starts_with("BIG")).unwrap();
+        let ltl = p.pes.iter().find(|pe| pe.name.starts_with("LTL")).unwrap();
+        assert!(big.speed() > ltl.speed());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the calibration invariant
+    fn speed_ordering_matches_silicon() {
+        assert!(A15_SPEED > A53_SPEED);
+        assert!(A53_SPEED > A7_SPEED);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 resource-pool A53")]
+    fn zcu102_rejects_too_many_cores() {
+        zcu102(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zcu102_rejects_empty() {
+        zcu102(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 big cores")]
+    fn odroid_rejects_too_many_big() {
+        odroid_xu3(5, 0);
+    }
+
+    #[test]
+    fn accel_only_pool_allowed() {
+        let p = zcu102(0, 2);
+        assert_eq!(p.cpu_count(), 0);
+        assert_eq!(p.accel_count(), 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn pe_ids_sequential_and_unique() {
+        let p = zcu102(3, 2);
+        let ids: Vec<u32> = p.pes.iter().map(|pe| pe.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

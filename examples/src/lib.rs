@@ -1,0 +1,23 @@
+//! Shared helpers for the runnable examples.
+
+use dssoc_core::stats::EmulationStats;
+
+/// Prints a one-line table row for a run.
+pub fn print_run_row(label: &str, stats: &EmulationStats) {
+    println!(
+        "{label:<16} makespan {:>9.3} ms   apps {:>3}   tasks {:>5}   avg-sched-ovh {:>7.2} us",
+        stats.makespan.as_secs_f64() * 1e3,
+        stats.completed_apps(),
+        stats.tasks.len(),
+        stats.avg_sched_overhead().as_secs_f64() * 1e6,
+    );
+}
+
+/// Formats utilization bars like the paper's Fig. 9(b).
+pub fn print_utilization(stats: &EmulationStats) {
+    for (pe, u) in stats.utilizations() {
+        let name = &stats.pe_names[&pe];
+        let bar = "#".repeat((u * 40.0).round() as usize);
+        println!("    {name:<8} {:>5.1}% |{bar}", u * 100.0);
+    }
+}
