@@ -135,7 +135,10 @@ impl ApplicationSpec {
             }
             for arg in &node.arguments {
                 if !json.variables.contains_key(arg) {
-                    return Err(ModelError::UnknownVariable { node: name.clone(), variable: arg.clone() });
+                    return Err(ModelError::UnknownVariable {
+                        node: name.clone(),
+                        variable: arg.clone(),
+                    });
                 }
             }
             let mut platforms = Vec::with_capacity(node.platforms.len());
@@ -162,12 +165,8 @@ impl ApplicationSpec {
 
         // Kahn's algorithm for cycle detection.
         let mut indegree: Vec<usize> = nodes.iter().map(|n| n.predecessors.len()).collect();
-        let mut queue: Vec<usize> = indegree
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| i)
-            .collect();
+        let mut queue: Vec<usize> =
+            indegree.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| i).collect();
         let mut visited = 0usize;
         let mut cursor = 0usize;
         while cursor < queue.len() {
@@ -186,11 +185,7 @@ impl ApplicationSpec {
             return Err(ModelError::Cyclic { node: nodes[stuck].name.clone() });
         }
 
-        let roots = nodes
-            .iter()
-            .filter(|n| n.predecessors.is_empty())
-            .map(|n| n.index)
-            .collect();
+        let roots = nodes.iter().filter(|n| n.predecessors.is_empty()).map(|n| n.index).collect();
         Ok(Arc::new(ApplicationSpec {
             name: json.app_name.clone(),
             variables: json.variables.clone(),
@@ -230,7 +225,11 @@ impl AppLibrary {
     }
 
     /// Parses a JSON application against `registry` and registers it.
-    pub fn register_json(&mut self, json: &AppJson, registry: &KernelRegistry) -> Result<(), ModelError> {
+    pub fn register_json(
+        &mut self,
+        json: &AppJson,
+        registry: &KernelRegistry,
+    ) -> Result<(), ModelError> {
         let spec = ApplicationSpec::from_json(json, registry)?;
         self.register(spec);
         Ok(())
@@ -239,10 +238,7 @@ impl AppLibrary {
     /// Fetches an application by `AppName`, with the paper's
     /// missing-application error behaviour.
     pub fn get(&self, name: &str) -> Result<Arc<ApplicationSpec>, ModelError> {
-        self.apps
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ModelError::UnknownApplication(name.to_string()))
+        self.apps.get(name).cloned().ok_or_else(|| ModelError::UnknownApplication(name.to_string()))
     }
 
     /// All registered application names.
@@ -286,7 +282,12 @@ mod tests {
     }
 
     fn platform_cpu(runfunc: &str) -> PlatformJson {
-        PlatformJson { name: "cpu".into(), runfunc: runfunc.into(), shared_object: None, mean_exec_us: None }
+        PlatformJson {
+            name: "cpu".into(),
+            runfunc: runfunc.into(),
+            shared_object: None,
+            mean_exec_us: None,
+        }
     }
 
     fn diamond_json() -> AppJson {
@@ -375,7 +376,10 @@ mod tests {
         let reg = registry_with(&["ka", "kb", "kc", "kd"]);
         let mut json = diamond_json();
         json.dag.get_mut("A").unwrap().successors.push("Z".into());
-        assert!(matches!(ApplicationSpec::from_json(&json, &reg), Err(ModelError::UnknownNode { .. })));
+        assert!(matches!(
+            ApplicationSpec::from_json(&json, &reg),
+            Err(ModelError::UnknownNode { .. })
+        ));
     }
 
     #[test]
@@ -399,7 +403,10 @@ mod tests {
         let reg = registry_with(&["ka", "kb", "kc", "kd"]);
         let mut json = diamond_json();
         json.dag.get_mut("B").unwrap().platforms.clear();
-        assert!(matches!(ApplicationSpec::from_json(&json, &reg), Err(ModelError::NoPlatforms { .. })));
+        assert!(matches!(
+            ApplicationSpec::from_json(&json, &reg),
+            Err(ModelError::NoPlatforms { .. })
+        ));
     }
 
     #[test]

@@ -52,9 +52,14 @@ impl fmt::Display for ModelError {
                 write!(f, "node '{node}' references unknown node '{referenced}'")
             }
             ModelError::InconsistentEdges { from, to } => {
-                write!(f, "edge {from} -> {to} is not mirrored in both predecessor and successor lists")
+                write!(
+                    f,
+                    "edge {from} -> {to} is not mirrored in both predecessor and successor lists"
+                )
             }
-            ModelError::Cyclic { node } => write!(f, "application DAG has a cycle through '{node}'"),
+            ModelError::Cyclic { node } => {
+                write!(f, "application DAG has a cycle through '{node}'")
+            }
             ModelError::NoPlatforms { node } => write!(f, "node '{node}' supports no platforms"),
             ModelError::BadVariable { variable, reason } => {
                 write!(f, "variable '{variable}' is malformed: {reason}")
@@ -65,7 +70,9 @@ impl fmt::Display for ModelError {
             ModelError::NoAccelerator { wanted } => {
                 write!(f, "kernel needs accelerator '{wanted}' but none is attached to this PE")
             }
-            ModelError::KernelFailed { kernel, reason } => write!(f, "kernel '{kernel}' failed: {reason}"),
+            ModelError::KernelFailed { kernel, reason } => {
+                write!(f, "kernel '{kernel}' failed: {reason}")
+            }
             ModelError::UnknownApplication(name) => {
                 write!(f, "workload requests unknown application '{name}'")
             }

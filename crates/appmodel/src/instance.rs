@@ -90,7 +90,8 @@ mod tests {
                 }],
             },
         );
-        let json = AppJson { app_name: "tiny".into(), shared_object: "t.so".into(), variables: vars, dag };
+        let json =
+            AppJson { app_name: "tiny".into(), shared_object: "t.so".into(), variables: vars, dag };
         ApplicationSpec::from_json(&json, &reg).unwrap()
     }
 

@@ -244,10 +244,12 @@ mod tests {
         let bad_ptr = VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: 0, val: vec![] };
         assert!(bad_ptr.validate("p").is_err());
 
-        let overfull = VariableJson { bytes: 2, is_ptr: false, ptr_alloc_bytes: 0, val: vec![1, 2, 3] };
+        let overfull =
+            VariableJson { bytes: 2, is_ptr: false, ptr_alloc_bytes: 0, val: vec![1, 2, 3] };
         assert!(overfull.validate("o").is_err());
 
-        let nonptr_alloc = VariableJson { bytes: 4, is_ptr: false, ptr_alloc_bytes: 64, val: vec![] };
+        let nonptr_alloc =
+            VariableJson { bytes: 4, is_ptr: false, ptr_alloc_bytes: 64, val: vec![] };
         assert!(nonptr_alloc.validate("np").is_err());
 
         let big_init = VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: 2, val: vec![0; 4] };

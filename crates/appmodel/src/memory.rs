@@ -83,7 +83,11 @@ impl AppMemory {
         if bytes.len() > guard.len() {
             return Err(ModelError::TypeError {
                 variable: name.to_string(),
-                reason: format!("write of {} bytes exceeds allocation of {}", bytes.len(), guard.len()),
+                reason: format!(
+                    "write of {} bytes exceeds allocation of {}",
+                    bytes.len(),
+                    guard.len()
+                ),
             });
         }
         guard[..bytes.len()].copy_from_slice(bytes);
@@ -103,31 +107,41 @@ impl AppMemory {
     }
 
     /// Copies `len` bytes starting at byte `offset` out of a variable.
-    pub fn read_bytes_at(&self, name: &str, offset: usize, len: usize) -> Result<Vec<u8>, ModelError> {
+    pub fn read_bytes_at(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ModelError> {
         let var = self.var(name)?;
         let guard = var.data.read();
-        guard
-            .get(offset..offset + len)
-            .map(<[u8]>::to_vec)
-            .ok_or_else(|| ModelError::TypeError {
-                variable: name.to_string(),
-                reason: format!(
-                    "range {offset}..{} exceeds allocation of {}",
-                    offset + len,
-                    guard.len()
-                ),
-            })
+        guard.get(offset..offset + len).map(<[u8]>::to_vec).ok_or_else(|| ModelError::TypeError {
+            variable: name.to_string(),
+            reason: format!(
+                "range {offset}..{} exceeds allocation of {}",
+                offset + len,
+                guard.len()
+            ),
+        })
     }
 
     /// Writes `bytes` into a variable starting at byte `offset`.
-    pub fn write_bytes_at(&self, name: &str, offset: usize, bytes: &[u8]) -> Result<(), ModelError> {
+    pub fn write_bytes_at(
+        &self,
+        name: &str,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), ModelError> {
         let var = self.var(name)?;
         let mut guard = var.data.write();
         let end = offset + bytes.len();
         if end > guard.len() {
             return Err(ModelError::TypeError {
                 variable: name.to_string(),
-                reason: format!("write range {offset}..{end} exceeds allocation of {}", guard.len()),
+                reason: format!(
+                    "write range {offset}..{end} exceeds allocation of {}",
+                    guard.len()
+                ),
             });
         }
         guard[offset..end].copy_from_slice(bytes);
@@ -136,7 +150,12 @@ impl AppMemory {
 
     /// Reads `n` complex samples starting at complex-element index
     /// `elem` (8 bytes per element, interleaved re/im).
-    pub fn read_complex_at(&self, name: &str, elem: usize, n: usize) -> Result<Vec<Complex32>, ModelError> {
+    pub fn read_complex_at(
+        &self,
+        name: &str,
+        elem: usize,
+        n: usize,
+    ) -> Result<Vec<Complex32>, ModelError> {
         let bytes = self.read_bytes_at(name, elem * 8, n * 8)?;
         Ok(bytes
             .chunks_exact(8)
@@ -190,7 +209,8 @@ impl AppMemory {
     ) -> Result<(), ModelError> {
         let var = self.var(name)?;
         let mut guard = var.data.write();
-        let need = if values.is_empty() { 0 } else { (start + (values.len() - 1) * stride + 1) * 8 };
+        let need =
+            if values.is_empty() { 0 } else { (start + (values.len() - 1) * stride + 1) * 8 };
         if need > guard.len() {
             return Err(ModelError::TypeError {
                 variable: name.to_string(),
@@ -206,7 +226,12 @@ impl AppMemory {
     }
 
     /// Writes complex samples starting at complex-element index `elem`.
-    pub fn write_complex_at(&self, name: &str, elem: usize, values: &[Complex32]) -> Result<(), ModelError> {
+    pub fn write_complex_at(
+        &self,
+        name: &str,
+        elem: usize,
+        values: &[Complex32],
+    ) -> Result<(), ModelError> {
         let mut bytes = Vec::with_capacity(values.len() * 8);
         for v in values {
             bytes.extend_from_slice(&v.re.to_le_bytes());
@@ -218,13 +243,12 @@ impl AppMemory {
     /// Reads a little-endian `u32` from the first four bytes.
     pub fn read_u32(&self, name: &str) -> Result<u32, ModelError> {
         let bytes = self.read_bytes(name)?;
-        bytes
-            .get(..4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-            .ok_or_else(|| ModelError::TypeError {
+        bytes.get(..4).map(|b| u32::from_le_bytes(b.try_into().unwrap())).ok_or_else(|| {
+            ModelError::TypeError {
                 variable: name.to_string(),
                 reason: format!("need 4 bytes for u32, have {}", bytes.len()),
-            })
+            }
+        })
     }
 
     /// Writes a little-endian `u32` into the first four bytes.
@@ -251,10 +275,7 @@ impl AppMemory {
                 reason: format!("{} bytes is not a whole number of f32s", bytes.len()),
             });
         }
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
     }
 
     /// Writes a slice of `f32`s starting at offset 0.
@@ -279,10 +300,7 @@ impl AppMemory {
                 reason: format!("requested {take} complex samples, allocation holds {avail}"),
             });
         }
-        Ok(floats[..take * 2]
-            .chunks_exact(2)
-            .map(|p| Complex32::new(p[0], p[1]))
-            .collect())
+        Ok(floats[..take * 2].chunks_exact(2).map(|p| Complex32::new(p[0], p[1])).collect())
     }
 
     /// Writes complex samples (interleaved) starting at offset 0.
@@ -407,12 +425,22 @@ impl<'a> TaskCtx<'a> {
 
     /// Reads `n` complex samples starting at element index `elem`
     /// (strided access into matrix-shaped variables).
-    pub fn read_complex_at(&self, name: &str, elem: usize, n: usize) -> Result<Vec<Complex32>, ModelError> {
+    pub fn read_complex_at(
+        &self,
+        name: &str,
+        elem: usize,
+        n: usize,
+    ) -> Result<Vec<Complex32>, ModelError> {
         self.memory.read_complex_at(name, elem, n)
     }
 
     /// Writes complex samples starting at element index `elem`.
-    pub fn write_complex_at(&self, name: &str, elem: usize, values: &[Complex32]) -> Result<(), ModelError> {
+    pub fn write_complex_at(
+        &self,
+        name: &str,
+        elem: usize,
+        values: &[Complex32],
+    ) -> Result<(), ModelError> {
         self.memory.write_complex_at(name, elem, values)
     }
 
@@ -439,12 +467,22 @@ impl<'a> TaskCtx<'a> {
     }
 
     /// Copies a byte range out of a variable.
-    pub fn read_bytes_at(&self, name: &str, offset: usize, len: usize) -> Result<Vec<u8>, ModelError> {
+    pub fn read_bytes_at(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ModelError> {
         self.memory.read_bytes_at(name, offset, len)
     }
 
     /// Writes a byte range into a variable.
-    pub fn write_bytes_at(&self, name: &str, offset: usize, bytes: &[u8]) -> Result<(), ModelError> {
+    pub fn write_bytes_at(
+        &self,
+        name: &str,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), ModelError> {
         self.memory.write_bytes_at(name, offset, bytes)
     }
 
@@ -458,7 +496,13 @@ impl<'a> TaskCtx<'a> {
     /// variable `output` and recording the device timing. This is the
     /// accelerator-flavored kernel's whole body (DDR→device→DDR), as in
     /// the paper's Fig. 4.
-    pub fn accel_fft(&self, input: &str, output: &str, n: usize, inverse: bool) -> Result<(), ModelError> {
+    pub fn accel_fft(
+        &self,
+        input: &str,
+        output: &str,
+        n: usize,
+        inverse: bool,
+    ) -> Result<(), ModelError> {
         let port = self.accel.ok_or_else(|| ModelError::NoAccelerator { wanted: "fft".into() })?;
         if port.kind() != "fft" {
             return Err(ModelError::NoAccelerator { wanted: "fft".into() });
@@ -613,7 +657,10 @@ mod tests {
     #[test]
     fn bad_decl_rejected_at_allocation() {
         let mut decls = BTreeMap::new();
-        decls.insert("bad".to_string(), VariableJson { bytes: 0, is_ptr: false, ptr_alloc_bytes: 0, val: vec![] });
+        decls.insert(
+            "bad".to_string(),
+            VariableJson { bytes: 0, is_ptr: false, ptr_alloc_bytes: 0, val: vec![] },
+        );
         assert!(AppMemory::from_decls(&decls).is_err());
     }
 

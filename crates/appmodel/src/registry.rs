@@ -81,15 +81,17 @@ impl KernelRegistry {
     }
 
     /// Resolves a symbol, mirroring the paper's parse-time lookup.
-    pub fn resolve(&self, shared_object: &str, symbol: &str) -> Result<Arc<dyn Kernel>, ModelError> {
-        self.objects
-            .get(shared_object)
-            .and_then(|syms| syms.get(symbol))
-            .cloned()
-            .ok_or_else(|| ModelError::UnresolvedSymbol {
+    pub fn resolve(
+        &self,
+        shared_object: &str,
+        symbol: &str,
+    ) -> Result<Arc<dyn Kernel>, ModelError> {
+        self.objects.get(shared_object).and_then(|syms| syms.get(symbol)).cloned().ok_or_else(
+            || ModelError::UnresolvedSymbol {
                 shared_object: shared_object.to_string(),
                 runfunc: symbol.to_string(),
-            })
+            },
+        )
     }
 
     /// Lists the shared-object names currently registered.
@@ -164,7 +166,10 @@ mod tests {
         let err = reg.resolve("fft_accel.so", "missing").err().unwrap();
         assert_eq!(
             err,
-            ModelError::UnresolvedSymbol { shared_object: "fft_accel.so".into(), runfunc: "missing".into() }
+            ModelError::UnresolvedSymbol {
+                shared_object: "fft_accel.so".into(),
+                runfunc: "missing".into()
+            }
         );
     }
 

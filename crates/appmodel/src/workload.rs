@@ -88,7 +88,8 @@ impl WorkloadSpec {
                 for (app, &count) in counts {
                     library.get(app)?; // existence check
                     for _ in 0..count {
-                        entries.push(WorkloadEntry { app_name: app.clone(), arrival: Duration::ZERO });
+                        entries
+                            .push(WorkloadEntry { app_name: app.clone(), arrival: Duration::ZERO });
                     }
                 }
                 if entries.is_empty() {
@@ -122,7 +123,8 @@ impl WorkloadSpec {
                     let mut t = Duration::ZERO;
                     while t < *time_frame {
                         if rng.gen::<f64>() < params.probability {
-                            entries.push(WorkloadEntry { app_name: params.app.clone(), arrival: t });
+                            entries
+                                .push(WorkloadEntry { app_name: params.app.clone(), arrival: t });
                         }
                         t += params.period;
                     }
@@ -405,9 +407,8 @@ mod tests {
     #[test]
     fn instantiate_assigns_sequential_ids() {
         let lib = library();
-        let wl = WorkloadSpec::validation([("radar", 2usize), ("wifi", 1usize)])
-            .generate(&lib)
-            .unwrap();
+        let wl =
+            WorkloadSpec::validation([("radar", 2usize), ("wifi", 1usize)]).generate(&lib).unwrap();
         let instances = wl.instantiate(&lib).unwrap();
         assert_eq!(instances.len(), 3);
         let ids: Vec<u64> = instances.iter().map(|i| i.id.0).collect();

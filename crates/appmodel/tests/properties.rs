@@ -18,9 +18,9 @@ fn variable_strategy() -> impl Strategy<Value = VariableJson> {
         }),
         // pointer with allocation and partial initializer
         (1u32..512).prop_flat_map(|alloc| {
-            proptest::collection::vec(any::<u8>(), 0..=(alloc as usize).min(64)).prop_map(move |val| {
-                VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: alloc, val }
-            })
+            proptest::collection::vec(any::<u8>(), 0..=(alloc as usize).min(64)).prop_map(
+                move |val| VariableJson { bytes: 8, is_ptr: true, ptr_alloc_bytes: alloc, val },
+            )
         }),
     ]
 }

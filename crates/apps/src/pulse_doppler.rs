@@ -52,7 +52,14 @@ pub struct Params {
 impl Default for Params {
     fn default() -> Self {
         // 64 x 512 — the geometry that yields the paper's 770 tasks.
-        Params { m_rows: 64, n_samples: 256, corr_len: 512, target_delay: 100, doppler_bin: 9, gain: 1.0 }
+        Params {
+            m_rows: 64,
+            n_samples: 256,
+            corr_len: 512,
+            target_delay: 100,
+            doppler_bin: 9,
+            gain: 1.0,
+        }
     }
 }
 
@@ -215,7 +222,12 @@ pub fn build_app(p: &Params) -> AppJson {
         ),
     );
 
-    AppJson { app_name: "pulse_doppler".into(), shared_object: SHARED_OBJECT.into(), variables, dag }
+    AppJson {
+        app_name: "pulse_doppler".into(),
+        shared_object: SHARED_OBJECT.into(),
+        variables,
+        dag,
+    }
 }
 
 // ---- kernels ---------------------------------------------------------------
@@ -322,7 +334,14 @@ mod tests {
 
     /// Small geometry so functional tests stay fast: 8 rows, 64 columns.
     fn small_params() -> Params {
-        Params { m_rows: 8, n_samples: 32, corr_len: 64, target_delay: 11, doppler_bin: 3, gain: 1.0 }
+        Params {
+            m_rows: 8,
+            n_samples: 32,
+            corr_len: 64,
+            target_delay: 11,
+            doppler_bin: 3,
+            gain: 1.0,
+        }
     }
 
     fn run_all_cpu(p: &Params) -> Arc<dssoc_appmodel::memory::AppMemory> {
@@ -330,7 +349,8 @@ mod tests {
         register_kernels(&mut reg);
         let json = build_app(p);
         let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
-        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        let inst =
+            AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
         // Kahn order over the spec (indices are already topological-safe
         // through repeated sweeps).
         let mut remaining: Vec<usize> = spec.nodes.iter().map(|n| n.predecessors.len()).collect();

@@ -87,9 +87,14 @@ pub fn build_app(p: &Params) -> AppJson {
 
     let mut variables = BTreeMap::new();
     variables.insert("n_samples".to_string(), VariableJson::u32_scalar(n as u32));
-    variables.insert("sampling_rate".to_string(), VariableJson::scalar(4, (p.fs as f32).to_le_bytes().to_vec()));
-    variables.insert("f0".to_string(), VariableJson::scalar(4, (p.f0 as f32).to_le_bytes().to_vec()));
-    variables.insert("f1".to_string(), VariableJson::scalar(4, (p.f1 as f32).to_le_bytes().to_vec()));
+    variables.insert(
+        "sampling_rate".to_string(),
+        VariableJson::scalar(4, (p.fs as f32).to_le_bytes().to_vec()),
+    );
+    variables
+        .insert("f0".to_string(), VariableJson::scalar(4, (p.f0 as f32).to_le_bytes().to_vec()));
+    variables
+        .insert("f1".to_string(), VariableJson::scalar(4, (p.f1 as f32).to_le_bytes().to_vec()));
     variables.insert("lfm_waveform".to_string(), complex_buffer(n, &[]));
     variables.insert("rx".to_string(), complex_buffer(n, &rx));
     variables.insert("X1".to_string(), complex_buffer(n, &[]));
@@ -174,7 +179,12 @@ fn k_lfm(ctx: &dssoc_appmodel::TaskCtx<'_>) -> Result<(), ModelError> {
     ctx.write_complex("lfm_waveform", &wf)
 }
 
-fn fft_cpu(ctx: &dssoc_appmodel::TaskCtx<'_>, input: &str, output: &str, inverse: bool) -> Result<(), ModelError> {
+fn fft_cpu(
+    ctx: &dssoc_appmodel::TaskCtx<'_>,
+    input: &str,
+    output: &str,
+    inverse: bool,
+) -> Result<(), ModelError> {
     let n = ctx.read_u32("n_samples")? as usize;
     let mut data = ctx.read_complex(input, n)?;
     if inverse {
@@ -245,7 +255,8 @@ mod tests {
         register_kernels(&mut reg);
         let json = build_app(params);
         let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
-        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        let inst =
+            AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
         // Execute nodes in topological order on the CPU platform.
         let order = ["LFM", "FFT_0", "FFT_1", "MUL", "IFFT", "MAX"];
         for name in order {

@@ -147,15 +147,30 @@ pub fn build_tx_app(p: &Params) -> AppJson {
     );
     dag.insert(
         "ENCODE".to_string(),
-        node(&["scrambled", "coded"], &["SCRAMBLE"], &["INTERLEAVE"], vec![cpu("wifi_tx_encode", 10.0)]),
+        node(
+            &["scrambled", "coded"],
+            &["SCRAMBLE"],
+            &["INTERLEAVE"],
+            vec![cpu("wifi_tx_encode", 10.0)],
+        ),
     );
     dag.insert(
         "INTERLEAVE".to_string(),
-        node(&["coded", "interleaved"], &["ENCODE"], &["MOD"], vec![cpu("wifi_tx_interleave", 6.0)]),
+        node(
+            &["coded", "interleaved"],
+            &["ENCODE"],
+            &["MOD"],
+            vec![cpu("wifi_tx_interleave", 6.0)],
+        ),
     );
     dag.insert(
         "MOD".to_string(),
-        node(&["interleaved", "symbols"], &["INTERLEAVE"], &["PILOT"], vec![cpu("wifi_tx_modulate", 8.0)]),
+        node(
+            &["interleaved", "symbols"],
+            &["INTERLEAVE"],
+            &["PILOT"],
+            vec![cpu("wifi_tx_modulate", 8.0)],
+        ),
     );
     dag.insert(
         "PILOT".to_string(),
@@ -236,11 +251,21 @@ pub fn build_rx_app(p: &Params) -> AppJson {
     );
     dag.insert(
         "PILOT_RM".to_string(),
-        node(&["framed_syms", "symbols"], &["EXTRACT"], &["DEMOD"], vec![cpu("wifi_rx_pilot_remove", 6.0)]),
+        node(
+            &["framed_syms", "symbols"],
+            &["EXTRACT"],
+            &["DEMOD"],
+            vec![cpu("wifi_rx_pilot_remove", 6.0)],
+        ),
     );
     dag.insert(
         "DEMOD".to_string(),
-        node(&["symbols", "demod_bits"], &["PILOT_RM"], &["DEINTERLEAVE"], vec![cpu("wifi_rx_demodulate", 8.0)]),
+        node(
+            &["symbols", "demod_bits"],
+            &["PILOT_RM"],
+            &["DEINTERLEAVE"],
+            vec![cpu("wifi_rx_demodulate", 8.0)],
+        ),
     );
     dag.insert(
         "DEINTERLEAVE".to_string(),
@@ -253,11 +278,21 @@ pub fn build_rx_app(p: &Params) -> AppJson {
     );
     dag.insert(
         "DECODE".to_string(),
-        node(&["deinterleaved", "decoded"], &["DEINTERLEAVE"], &["DESCRAMBLE"], vec![cpu("wifi_rx_decode", 180.0)]),
+        node(
+            &["deinterleaved", "decoded"],
+            &["DEINTERLEAVE"],
+            &["DESCRAMBLE"],
+            vec![cpu("wifi_rx_decode", 180.0)],
+        ),
     );
     dag.insert(
         "DESCRAMBLE".to_string(),
-        node(&["decoded", "payload_out"], &["DECODE"], &["CRC_CHECK"], vec![cpu("wifi_rx_descramble", 6.0)]),
+        node(
+            &["decoded", "payload_out"],
+            &["DECODE"],
+            &["CRC_CHECK"],
+            vec![cpu("wifi_rx_descramble", 6.0)],
+        ),
     );
     dag.insert(
         "CRC_CHECK".to_string(),
@@ -383,7 +418,10 @@ fn k_rx_deinterleave(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
 fn k_rx_decode(ctx: &TaskCtx<'_>) -> Result<(), ModelError> {
     let coded = ctx.read_bytes("deinterleaved")?;
     let decoded = ViterbiDecoder::new().decode_terminated(&coded).ok_or_else(|| {
-        ModelError::KernelFailed { kernel: "wifi_rx_decode".into(), reason: "stream too short".into() }
+        ModelError::KernelFailed {
+            kernel: "wifi_rx_decode".into(),
+            reason: "stream too short".into(),
+        }
     })?;
     ctx.write_bytes("decoded", &decoded)
 }
@@ -413,7 +451,8 @@ mod tests {
         let mut reg = KernelRegistry::new();
         register_kernels(&mut reg);
         let spec = ApplicationSpec::from_json(json, &reg).unwrap();
-        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        let inst =
+            AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
         for name in order {
             let nspec = spec.node_by_name(name).unwrap();
             let ctx = TaskCtx::new(&inst.memory, &nspec.name, &nspec.arguments, None);
@@ -476,7 +515,11 @@ mod tests {
 
     #[test]
     fn rx_with_different_payloads() {
-        for payload in [*b"\x00\x00\x00\x00\x00\x00\x00\x00", *b"\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF", *b"radar!!!"] {
+        for payload in [
+            *b"\x00\x00\x00\x00\x00\x00\x00\x00",
+            *b"\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF",
+            *b"radar!!!",
+        ] {
             let p = Params { payload, ..Params::default() };
             let mem = run_chain(&build_rx_app(&p), &RX_ORDER);
             let bits = mem.read_bytes("payload_out").unwrap();

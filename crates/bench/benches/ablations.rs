@@ -49,9 +49,8 @@ fn bench_dma_sweep(c: &mut Criterion) {
 /// shared-core context-switch penalty.
 fn bench_contention(c: &mut Criterion) {
     let (library, _registry) = standard_library();
-    let workload = WorkloadSpec::validation([("range_detection", 8usize)])
-        .generate(&library)
-        .unwrap();
+    let workload =
+        WorkloadSpec::validation([("range_detection", 8usize)]).generate(&library).unwrap();
     let mut g = c.benchmark_group("ablation_contention_2c2f");
     g.sample_size(15);
     for (label, penalty_us) in [("modeled", 10u64), ("disabled", 0)] {
@@ -59,7 +58,7 @@ fn bench_contention(c: &mut Criterion) {
             b.iter(|| {
                 let mut platform = zcu102(2, 2);
                 platform.contention.context_switch = Duration::from_micros(p);
-                let emu = Emulation::new(platform).unwrap();
+                let mut emu = Emulation::new(platform).unwrap();
                 let stats = emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap();
                 black_box(stats.makespan)
             })
@@ -72,9 +71,8 @@ fn bench_contention(c: &mut Criterion) {
 /// scheduling overhead and thereby the makespan.
 fn bench_overlay_speed(c: &mut Criterion) {
     let (library, _registry) = standard_library();
-    let workload = WorkloadSpec::validation([("range_detection", 12usize)])
-        .generate(&library)
-        .unwrap();
+    let workload =
+        WorkloadSpec::validation([("range_detection", 12usize)]).generate(&library).unwrap();
     let mut g = c.benchmark_group("ablation_overlay_speed");
     g.sample_size(15);
     for speed_pct in [100u64, 50, 15] {
@@ -82,7 +80,7 @@ fn bench_overlay_speed(c: &mut Criterion) {
             b.iter(|| {
                 let mut platform = zcu102(3, 0);
                 platform.overlay.speed = s as f64 / 100.0;
-                let emu = Emulation::new(platform).unwrap();
+                let mut emu = Emulation::new(platform).unwrap();
                 let stats = emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap();
                 black_box(stats.makespan)
             })
@@ -95,9 +93,8 @@ fn bench_overlay_speed(c: &mut Criterion) {
 /// vs a fixed per-invocation scheduling charge.
 fn bench_reservation_surrogate(c: &mut Criterion) {
     let (library, _registry) = standard_library();
-    let workload = WorkloadSpec::validation([("range_detection", 12usize)])
-        .generate(&library)
-        .unwrap();
+    let workload =
+        WorkloadSpec::validation([("range_detection", 12usize)]).generate(&library).unwrap();
     let mut table = CostTable::new();
     for k in [
         "range_detect_LFM",

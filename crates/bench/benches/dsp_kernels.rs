@@ -11,9 +11,7 @@ use dssoc_dsp::correlate::xcorr_fft;
 use dssoc_dsp::fft::{dft, fft_in_place};
 
 fn signal(n: usize) -> Vec<Complex32> {
-    (0..n)
-        .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
-        .collect()
+    (0..n).map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos())).collect()
 }
 
 fn bench_fft(c: &mut Criterion) {

@@ -35,9 +35,8 @@ fn cost_table() -> CostTable {
 
 fn bench_engines(c: &mut Criterion) {
     let (library, _registry) = standard_library();
-    let workload = WorkloadSpec::validation([("range_detection", 16usize)])
-        .generate(&library)
-        .unwrap();
+    let workload =
+        WorkloadSpec::validation([("range_detection", 16usize)]).generate(&library).unwrap();
     let table = cost_table();
 
     let mut g = c.benchmark_group("turnaround");
@@ -45,14 +44,14 @@ fn bench_engines(c: &mut Criterion) {
 
     g.bench_function("emulator_modeled", |b| {
         b.iter(|| {
-            let emu = Emulation::with_config(
+            let mut emu = Emulation::with_config(
                 zcu102(3, 0),
                 EmulationConfig {
                     timing: TimingMode::Modeled,
                     overhead: OverheadMode::None,
                     cost: Arc::new(table.clone()),
                     reservation_depth: 0,
-        },
+                },
             )
             .unwrap();
             black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
@@ -61,7 +60,7 @@ fn bench_engines(c: &mut Criterion) {
 
     g.bench_function("emulator_measured_costs", |b| {
         b.iter(|| {
-            let emu = Emulation::new(zcu102(3, 0)).unwrap();
+            let mut emu = Emulation::new(zcu102(3, 0)).unwrap();
             black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
         })
     });
@@ -70,7 +69,10 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             let des = DesSimulator::new(
                 zcu102(3, 0),
-                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO },
+                DesConfig {
+                    cost: Arc::new(table.clone()),
+                    overhead_per_invocation: Duration::ZERO,
+                },
             )
             .unwrap();
             black_box(des.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())

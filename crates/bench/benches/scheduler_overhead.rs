@@ -2,20 +2,23 @@
 //! microbenchmark behind Fig. 10(b): FRFS stays flat (early exit once
 //! the PEs are exhausted), MET grows linearly (whole-queue scan with
 //! cost estimates), EFT grows fastest (whole-queue scan with per-PE
-//! projections).
+//! projections) — plus the harness-level cost of a full run with a
+//! cold-spawned engine vs a warm persistent resource pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::sync::Arc;
 
-use dssoc_appmodel::app::ApplicationSpec;
+use dssoc_appmodel::app::{AppLibrary, ApplicationSpec};
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson};
-use dssoc_appmodel::KernelRegistry;
-use dssoc_core::sched::{by_name, EstimateBook, PeView, SchedContext};
+use dssoc_appmodel::{KernelRegistry, Workload, WorkloadSpec};
+use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::sched::{by_name, EstimateBook, FrfsScheduler, PeView, SchedContext};
 use dssoc_core::task::{ReadyTask, Task};
 use dssoc_core::SimTime;
+use dssoc_platform::cost::ScaledMeasuredCost;
 use dssoc_platform::presets::zcu102;
 
 /// Builds `n` independent ready tasks (all cpu-capable, every third also
@@ -51,9 +54,8 @@ fn ready_tasks(n: usize) -> Vec<ReadyTask> {
         dag,
     };
     let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
-    let inst = Arc::new(
-        AppInstance::instantiate(spec, InstanceId(0), std::time::Duration::ZERO).unwrap(),
-    );
+    let inst =
+        Arc::new(AppInstance::instantiate(spec, InstanceId(0), std::time::Duration::ZERO).unwrap());
     (0..n)
         .map(|i| ReadyTask {
             task: Task { instance: Arc::clone(&inst), node_idx: i },
@@ -94,5 +96,44 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// A small real workload for pool-lifecycle benchmarking: one range
+/// detection instance on a 2C+0F config, modeled timing, no overhead
+/// sampling — the run itself is cheap, so engine setup cost dominates.
+fn pool_setup() -> (AppLibrary, Workload, EmulationConfig) {
+    let (library, _registry) = dssoc_apps::standard_library();
+    let workload =
+        WorkloadSpec::validation([("range_detection", 1usize)]).generate(&library).unwrap();
+    let config = EmulationConfig {
+        timing: TimingMode::Modeled,
+        overhead: OverheadMode::None,
+        cost: Arc::new(ScaledMeasuredCost::default()),
+        reservation_depth: 0,
+    };
+    (library, workload, config)
+}
+
+/// Cold spawn vs warm pool: a fresh `Emulation` per run spawns and joins
+/// one thread per PE every iteration; a persistent one parks its
+/// resource managers between runs and reuses them.
+fn bench_pool_reuse(c: &mut Criterion) {
+    let platform = zcu102(2, 0);
+    let (library, workload, config) = pool_setup();
+    let mut g = c.benchmark_group("pool_lifecycle");
+
+    g.bench_function("cold_spawn_per_run", |b| {
+        b.iter(|| {
+            let mut emu = Emulation::with_config(platform.clone(), config.clone()).unwrap();
+            black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap())
+        })
+    });
+
+    g.bench_function("warm_pool_reuse", |b| {
+        let mut emu = Emulation::with_config(platform.clone(), config.clone()).unwrap();
+        b.iter(|| black_box(emu.run(&mut FrfsScheduler::new(), &workload, &library).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_pool_reuse);
 criterion_main!(benches);

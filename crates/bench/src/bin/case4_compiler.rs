@@ -26,7 +26,13 @@ fn read_scalar(mem: &dssoc_appmodel::memory::AppMemory, name: &str) -> f64 {
 }
 
 /// Median of the summed modeled DFT/IDFT node times over `reps` runs.
-fn fft_node_time_ms(opts: &CompileOptions, n: usize, delay: usize, ffts: usize, reps: usize) -> (f64, usize) {
+fn fft_node_time_ms(
+    opts: &CompileOptions,
+    n: usize,
+    delay: usize,
+    ffts: usize,
+    reps: usize,
+) -> (f64, usize) {
     let program = programs::monolithic_range_detection(n, delay);
     let app = compile(&program, opts).expect("compiles");
     let mut library = AppLibrary::new();
@@ -37,7 +43,7 @@ fn fft_node_time_ms(opts: &CompileOptions, n: usize, delay: usize, ffts: usize, 
     let mut samples = Vec::new();
     let mut recognized = 0usize;
     for _ in 0..reps {
-        let emu = Emulation::new(zcu102(3, ffts)).expect("platform");
+        let mut emu = Emulation::new(zcu102(3, ffts)).expect("platform");
         let stats = emu.run(&mut MetScheduler::new(), &wl, &library).expect("run");
         let mem = stats.instance_memory(stats.apps[0].instance).unwrap();
         assert_eq!(read_scalar(mem, "lag"), delay as f64, "output must stay correct");
@@ -62,7 +68,11 @@ fn main() {
     println!();
 
     let (t_naive, rec) = fft_node_time_ms(
-        &CompileOptions { app_name: "rd_naive".into(), naive_native: true, ..CompileOptions::default() },
+        &CompileOptions {
+            app_name: "rd_naive".into(),
+            naive_native: true,
+            ..CompileOptions::default()
+        },
         n,
         delay,
         0,

@@ -12,12 +12,12 @@
 //! cargo run --release --bin fig10_schedulers [frame_ms]
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_apps::standard_library;
 use dssoc_bench::table2_workload;
 use dssoc_core::prelude::*;
-use dssoc_core::sched::by_name;
 use dssoc_platform::presets::zcu102;
 
 fn main() {
@@ -35,19 +35,28 @@ fn main() {
         "rate", "EFT (ms)", "MET (ms)", "FRFS (ms)", "EFT ovh", "MET ovh", "FRFS ovh"
     );
 
+    let mut runner = SweepRunner::new(&library);
     let mut rows: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
     for rate in rates {
-        let workload = table2_workload(&library, rate, frame, true, 42);
-        let mut row = Vec::new();
-        for name in ["eft", "met", "frfs"] {
-            let emu = Emulation::new(platform.clone()).expect("platform");
-            let mut sched = by_name(name).expect("library policy");
-            let stats = emu.run(sched.as_mut(), &workload, &library).expect("run");
-            row.push((
-                stats.makespan.as_secs_f64() * 1e3,
-                stats.avg_sched_overhead().as_secs_f64() * 1e6,
-            ));
-        }
+        let workload = Arc::new(table2_workload(&library, rate, frame, true, 42));
+        let cells: Vec<SweepCell> = ["eft", "met", "frfs"]
+            .iter()
+            .map(|&name| {
+                SweepCell::new(platform.clone(), name, Arc::clone(&workload))
+                    .label(format!("{rate:.2}/{name}"))
+            })
+            .collect();
+        let row: Vec<(f64, f64)> = runner
+            .run_batch(&cells)
+            .expect("sweep")
+            .iter()
+            .map(|r| {
+                (
+                    r.stats.makespan.as_secs_f64() * 1e3,
+                    r.stats.avg_sched_overhead().as_secs_f64() * 1e6,
+                )
+            })
+            .collect();
         println!(
             "{:>6.2} | {:>12.2} {:>12.2} {:>12.2} | {:>8.2}us {:>8.2}us {:>8.2}us",
             rate, row[0].0, row[1].0, row[2].0, row[0].1, row[1].1, row[2].1
@@ -79,7 +88,8 @@ fn main() {
             // The paper's claim is relative: FRFS stays (near) constant
             // while the sophisticated policies' overhead scales with the
             // ready-queue length.
-            last[2].1 < first[2].1 * 5.0 && (last[0].1 / first[0].1) > 1.5 * (last[2].1 / first[2].1),
+            last[2].1 < first[2].1 * 5.0
+                && (last[0].1 / first[0].1) > 1.5 * (last[2].1 / first[2].1),
         ),
         (
             format!("MET overhead grows with rate: {:.2} -> {:.2} us", first[1].1, last[1].1),

@@ -16,8 +16,10 @@
 //! cargo run --release --bin fig11_odroid [frame_ms]
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use dssoc_appmodel::Workload;
 use dssoc_apps::standard_library;
 use dssoc_bench::table2_workload;
 use dssoc_core::prelude::*;
@@ -52,20 +54,27 @@ fn main() {
     }
     println!();
 
+    let workloads: Vec<Arc<Workload>> = rates
+        .iter()
+        .map(|&rate| Arc::new(table2_workload(&library, rate, frame, true, 77)))
+        .collect();
+    let mut runner = SweepRunner::new(&library);
     let mut results: Vec<((usize, usize), Vec<f64>)> = Vec::new();
     for &(b, l) in &configs {
         let platform = odroid_xu3(b, l);
-        let mut row = Vec::new();
+        let cells: Vec<SweepCell> = rates
+            .iter()
+            .zip(&workloads)
+            .map(|(&rate, workload)| {
+                SweepCell::new(platform.clone(), "frfs", Arc::clone(workload))
+                    .label(format!("{b}BIG+{l}LTL @ {rate}"))
+            })
+            .collect();
+        let row: Vec<f64> =
+            runner.run_batch(&cells).expect("sweep").iter().map(|r| r.makespans_ms[0]).collect();
         print!("{:<12}", format!("{b}BIG+{l}LTL"));
-        for &rate in &rates {
-            let workload = table2_workload(&library, rate, frame, true, 77);
-            let emu = Emulation::new(platform.clone()).expect("platform");
-            let stats = emu
-                .run(&mut FrfsScheduler::new(), &workload, &library)
-                .expect("run");
-            let ms = stats.makespan.as_secs_f64() * 1e3;
+        for ms in &row {
             print!(" {ms:>9.2}");
-            row.push(ms);
         }
         println!();
         results.push(((b, l), row));
@@ -74,15 +83,11 @@ fn main() {
     // --- Shape checks.
     println!();
     println!("== shape checks (paper §III-E) ==");
-    let at = |b: usize, l: usize| {
-        &results.iter().find(|((bb, ll), _)| *bb == b && *ll == l).unwrap().1
-    };
+    let at =
+        |b: usize, l: usize| &results.iter().find(|((bb, ll), _)| *bb == b && *ll == l).unwrap().1;
     let top = rates.len() - 1;
     // Best config at the top rate among all.
-    let best = results
-        .iter()
-        .min_by(|a, b| a.1[top].partial_cmp(&b.1[top]).unwrap())
-        .unwrap();
+    let best = results.iter().min_by(|a, b| a.1[top].partial_cmp(&b.1[top]).unwrap()).unwrap();
     let checks: Vec<(String, bool)> = vec![
         (
             format!(

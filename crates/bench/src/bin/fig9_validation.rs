@@ -15,11 +15,12 @@
 //! cargo run --release --bin fig9_validation [iterations]
 //! ```
 
+use std::sync::Arc;
+
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
-use dssoc_bench::{print_summary_row, repeated_makespans_ms, summarize};
+use dssoc_bench::{print_summary_row, summarize};
 use dssoc_core::prelude::*;
-use dssoc_core::Scheduler;
 use dssoc_platform::presets::zcu102;
 
 fn main() {
@@ -27,40 +28,48 @@ fn main() {
     let (library, _registry) = standard_library();
     // The paper's workload: single instances of Pulse Doppler, range
     // detection, and WiFi.
-    let workload = WorkloadSpec::validation([
-        ("pulse_doppler", 1usize),
-        ("range_detection", 1usize),
-        ("wifi_tx", 1usize),
-        ("wifi_rx", 1usize),
-    ])
-    .generate(&library)
-    .expect("workload");
+    let workload = Arc::new(
+        WorkloadSpec::validation([
+            ("pulse_doppler", 1usize),
+            ("range_detection", 1usize),
+            ("wifi_tx", 1usize),
+            ("wifi_rx", 1usize),
+        ])
+        .generate(&library)
+        .expect("workload"),
+    );
 
-    println!("== Fig. 9(a): workload execution time, validation mode, FRFS ({iterations} iterations) ==");
+    println!(
+        "== Fig. 9(a): workload execution time, validation mode, FRFS ({iterations} iterations) =="
+    );
     println!();
 
     let configs = [(1usize, 0usize), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2), (3, 0)];
+    let cells: Vec<SweepCell> = configs
+        .iter()
+        .map(|&(cores, ffts)| {
+            SweepCell::new(zcu102(cores, ffts), "frfs", Arc::clone(&workload))
+                .label(format!("{cores}C+{ffts}F"))
+                .iterations(iterations)
+                .warmup(iterations > 1)
+        })
+        .collect();
+    let results = SweepRunner::new(&library).run_batch(&cells).expect("sweep");
+
     let mut medians = Vec::new();
-    let mut final_stats = Vec::new();
-    for (cores, ffts) in configs {
-        let platform = zcu102(cores, ffts);
-        let mut make: Box<dyn FnMut() -> Box<dyn Scheduler>> =
-            Box::new(|| Box::new(FrfsScheduler::new()) as Box<dyn Scheduler>);
-        let (samples, stats) =
-            repeated_makespans_ms(&platform, make.as_mut(), &workload, &library, iterations);
-        let s = summarize(&samples);
-        print_summary_row(&format!("{cores}C+{ffts}F"), &s, "ms");
+    for (&(cores, ffts), result) in configs.iter().zip(&results) {
+        let s = summarize(&result.makespans_ms);
+        print_summary_row(&result.label, &s, "ms");
         medians.push(((cores, ffts), s.median));
-        final_stats.push(((cores, ffts), stats));
     }
 
     println!();
     println!("== Fig. 9(b): mean PE utilization (last iteration) ==");
     println!();
-    for ((cores, ffts), stats) in &final_stats {
-        print!("{cores}C+{ffts}F : ");
-        for (pe, u) in stats.utilizations() {
-            print!("{}={:.1}%  ", stats.pe_names[&pe], u * 100.0);
+    for result in &results {
+        print!("{} : ", result.label);
+        for (pe, u) in result.stats.utilizations() {
+            print!("{}={:.1}%  ", result.stats.pe_names[&pe], u * 100.0);
         }
         println!();
     }
@@ -68,7 +77,8 @@ fn main() {
     // --- Shape checks against the paper's findings.
     println!();
     println!("== shape checks (paper §III-C) ==");
-    let med = |c: usize, f: usize| medians.iter().find(|((cc, ff), _)| *cc == c && *ff == f).unwrap().1;
+    let med =
+        |c: usize, f: usize| medians.iter().find(|((cc, ff), _)| *cc == c && *ff == f).unwrap().1;
     let checks: Vec<(String, bool)> = vec![
         (
             format!("3C+0F is the best configuration ({:.2} ms)", med(3, 0)),
@@ -91,7 +101,12 @@ fn main() {
             (med(2, 2) - med(2, 1)).abs() / med(2, 1) < 0.25,
         ),
         (
-            format!("more PEs help: 1C+0F {:.2} > 2C+0F {:.2} > 3C+0F {:.2}", med(1, 0), med(2, 0), med(3, 0)),
+            format!(
+                "more PEs help: 1C+0F {:.2} > 2C+0F {:.2} > 3C+0F {:.2}",
+                med(1, 0),
+                med(2, 0),
+                med(3, 0)
+            ),
             med(1, 0) > med(2, 0) && med(2, 0) > med(3, 0),
         ),
     ];

@@ -34,10 +34,7 @@ fn main() {
     println!("== future work: PE-level reservation queues on 3C+2F ==");
     println!("   rate {rate} jobs/ms over {frame_ms} ms ({} arrivals)", workload.len());
     println!();
-    println!(
-        "{:<10} {:>16} {:>16} {:>10}",
-        "policy", "depth 0 (ms)", "depth 4 (ms)", "gain"
-    );
+    println!("{:<10} {:>16} {:>16} {:>10}", "policy", "depth 0 (ms)", "depth 4 (ms)", "gain");
 
     let mut rows = Vec::new();
     for name in ["frfs", "met", "eft"] {
@@ -49,7 +46,7 @@ fn main() {
                 cost: Arc::new(ScaledMeasuredCost::default()),
                 reservation_depth: depth,
             };
-            let emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
+            let mut emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
             let mut sched = by_name(name).expect("policy");
             let stats = emu.run(sched.as_mut(), &workload, &library).expect("run");
             res.push(stats.makespan.as_secs_f64() * 1e3);

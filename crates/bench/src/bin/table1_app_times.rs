@@ -13,11 +13,12 @@
 //! cargo run --release --bin table1_app_times
 //! ```
 
+use std::sync::Arc;
+
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
-use dssoc_bench::{repeated_makespans_ms, summarize};
+use dssoc_bench::summarize;
 use dssoc_core::prelude::*;
-use dssoc_core::Scheduler;
 use dssoc_platform::presets::zcu102;
 
 fn main() {
@@ -25,31 +26,33 @@ fn main() {
     let platform = zcu102(3, 2);
     let iterations = 10;
 
-    println!("== Table I: standalone application execution on 3C+2F, FRFS ({iterations} iterations) ==");
+    println!(
+        "== Table I: standalone application execution on 3C+2F, FRFS ({iterations} iterations) =="
+    );
     println!();
     println!(
         "{:<18} {:>18} {:>12}   {:>10}",
         "Application", "Exec Time (ms)", "Task Count", "paper (ms)"
     );
 
-    let paper = [
-        ("range_detection", 0.32),
-        ("pulse_doppler", 5.60),
-        ("wifi_tx", 0.13),
-        ("wifi_rx", 2.22),
-    ];
+    let paper =
+        [("range_detection", 0.32), ("pulse_doppler", 5.60), ("wifi_tx", 0.13), ("wifi_rx", 2.22)];
+    let mut runner = SweepRunner::new(&library);
     for (app, paper_ms) in paper {
-        let workload = WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload");
-        let mut make: Box<dyn FnMut() -> Box<dyn Scheduler>> =
-            Box::new(|| Box::new(FrfsScheduler::new()) as Box<dyn Scheduler>);
-        let (samples, stats) =
-            repeated_makespans_ms(&platform, make.as_mut(), &workload, &library, iterations);
-        let s = summarize(&samples);
+        let workload = Arc::new(
+            WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload"),
+        );
+        let cell = SweepCell::new(platform.clone(), "frfs", workload)
+            .label(app)
+            .iterations(iterations)
+            .warmup(iterations > 1);
+        let result = runner.run_cell(&cell).expect("run");
+        let s = summarize(&result.makespans_ms);
         println!(
             "{:<18} {:>18.3} {:>12}   {:>10.2}",
             app,
             s.median,
-            stats.tasks.len(),
+            result.stats.tasks.len(),
             paper_ms
         );
     }

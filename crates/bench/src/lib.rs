@@ -16,9 +16,6 @@
 use std::time::Duration;
 
 use dssoc_appmodel::{AppLibrary, InjectionParams, Workload, WorkloadSpec};
-use dssoc_core::prelude::*;
-use dssoc_core::Scheduler;
-use dssoc_platform::pe::PlatformConfig;
 
 /// Summary statistics over repeated runs (for the paper's box plots).
 #[derive(Debug, Clone, Copy)]
@@ -102,32 +99,6 @@ pub fn table2_workload(
     WorkloadSpec::performance(injections, frame, seed)
         .generate(library)
         .expect("table2 workload generates")
-}
-
-/// Runs `iterations` repetitions of a workload, returning makespans in
-/// milliseconds (first run discarded as warm-up when `iterations > 1`,
-/// matching the paper's repeated-iteration methodology).
-pub fn repeated_makespans_ms(
-    platform: &PlatformConfig,
-    make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
-    workload: &Workload,
-    library: &AppLibrary,
-    iterations: usize,
-) -> (Vec<f64>, EmulationStats) {
-    assert!(iterations > 0);
-    let warmup = usize::from(iterations > 1);
-    let mut samples = Vec::with_capacity(iterations);
-    let mut last: Option<EmulationStats> = None;
-    for i in 0..iterations + warmup {
-        let emu = Emulation::new(platform.clone()).expect("platform");
-        let mut sched = make_scheduler();
-        let stats = emu.run(sched.as_mut(), workload, library).expect("run");
-        if i >= warmup {
-            samples.push(stats.makespan.as_secs_f64() * 1e3);
-        }
-        last = Some(stats);
-    }
-    (samples, last.expect("at least one run"))
 }
 
 /// Pretty-prints a labeled summary row.

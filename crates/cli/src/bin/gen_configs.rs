@@ -10,11 +10,8 @@ fn main() {
         ("zcu102_2c1f", dssoc_platform::presets::zcu102(2, 1)),
         ("odroid_3b2l", dssoc_platform::presets::odroid_xu3(3, 2)),
     ] {
-        std::fs::write(
-            format!("configs/{name}.json"),
-            serde_json::to_string_pretty(&cfg).unwrap(),
-        )
-        .unwrap();
+        std::fs::write(format!("configs/{name}.json"), serde_json::to_string_pretty(&cfg).unwrap())
+            .unwrap();
     }
     let wl = dssoc_appmodel::WorkloadSpec::performance(
         vec![
@@ -32,6 +29,7 @@ fn main() {
         std::time::Duration::from_millis(50),
         7,
     );
-    std::fs::write("configs/sdr_mix_workload.json", serde_json::to_string_pretty(&wl).unwrap()).unwrap();
+    std::fs::write("configs/sdr_mix_workload.json", serde_json::to_string_pretty(&wl).unwrap())
+        .unwrap();
     println!("configs written");
 }

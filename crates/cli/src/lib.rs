@@ -16,12 +16,13 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every helper
 //! here is unit-tested.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::{InjectionParams, WorkloadSpec};
-use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
-use dssoc_core::sched::by_name;
+use dssoc_core::engine::{EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::stats::EmulationStats;
+use dssoc_core::sweep::{SweepCell, SweepRunner};
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_platform::presets::{odroid_xu3, zcu102};
 
@@ -94,9 +95,8 @@ pub fn parse_platform(spec: &str) -> Result<PlatformConfig, String> {
 pub fn parse_counts(spec: &str) -> Result<Vec<(String, usize)>, String> {
     let mut out = Vec::new();
     for part in spec.split(',').filter(|p| !p.is_empty()) {
-        let (app, n) = part
-            .split_once('=')
-            .ok_or_else(|| format!("count '{part}' must look like app=2"))?;
+        let (app, n) =
+            part.split_once('=').ok_or_else(|| format!("count '{part}' must look like app=2"))?;
         let n: usize = n.parse().map_err(|_| format!("bad count in '{part}'"))?;
         out.push((app.to_string(), n));
     }
@@ -244,24 +244,19 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 /// the per-iteration makespans in milliseconds.
 pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
     let (library, _registry) = dssoc_apps::standard_library();
-    let workload = run.workload.generate(&library).map_err(|e| e.to_string())?;
-    let mut makespans = Vec::with_capacity(run.iterations);
-    let mut last = None;
-    for _ in 0..run.iterations {
-        let cfg = EmulationConfig {
-            timing: run.timing,
-            overhead: OverheadMode::Measured,
-            cost: std::sync::Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
-            reservation_depth: run.reservation_depth,
-        };
-        let emu = Emulation::with_config(run.platform.clone(), cfg).map_err(|e| e.to_string())?;
-        let mut sched =
-            by_name(&run.scheduler).ok_or_else(|| format!("unknown scheduler '{}'", run.scheduler))?;
-        let stats = emu.run(sched.as_mut(), &workload, &library).map_err(|e| e.to_string())?;
-        makespans.push(stats.makespan.as_secs_f64() * 1e3);
-        last = Some(stats);
-    }
-    Ok((last.expect("at least one iteration"), makespans))
+    let workload = Arc::new(run.workload.generate(&library).map_err(|e| e.to_string())?);
+    let cfg = EmulationConfig {
+        timing: run.timing,
+        overhead: OverheadMode::Measured,
+        cost: Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
+        reservation_depth: run.reservation_depth,
+    };
+    let mut runner = SweepRunner::with_config(&library, cfg);
+    let cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
+        .iterations(run.iterations)
+        .warmup(run.iterations > 1);
+    let result = runner.run_cell(&cell).map_err(|e| e.to_string())?;
+    Ok((result.stats, result.makespans_ms))
 }
 
 /// Renders stats as a machine-readable JSON value.
@@ -404,7 +399,8 @@ mod tests {
         );
         assert!(parse_run_args(&argv(&["--bogus"])).is_err());
         assert!(
-            parse_run_args(&argv(&["--platform", "zcu102:1C+0F", "--inject", "a:1ms:1.0"])).is_err(),
+            parse_run_args(&argv(&["--platform", "zcu102:1C+0F", "--inject", "a:1ms:1.0"]))
+                .is_err(),
             "performance mode without --frame-ms"
         );
     }

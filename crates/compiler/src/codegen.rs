@@ -128,13 +128,12 @@ impl std::fmt::Debug for CompiledApp {
 
 fn read_f64_scalar(ctx: &TaskCtx<'_>, name: &str) -> Result<f64, ModelError> {
     let bytes = ctx.read_bytes(name)?;
-    bytes
-        .get(..8)
-        .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-        .ok_or_else(|| ModelError::TypeError {
+    bytes.get(..8).map(|b| f64::from_le_bytes(b.try_into().unwrap())).ok_or_else(|| {
+        ModelError::TypeError {
             variable: name.to_string(),
             reason: "scalar variable smaller than 8 bytes".into(),
-        })
+        }
+    })
 }
 
 fn write_f64_scalar(ctx: &TaskCtx<'_>, name: &str, v: f64) -> Result<(), ModelError> {
@@ -143,10 +142,7 @@ fn write_f64_scalar(ctx: &TaskCtx<'_>, name: &str, v: f64) -> Result<(), ModelEr
 
 fn read_f64_array(ctx: &TaskCtx<'_>, name: &str) -> Result<Vec<f64>, ModelError> {
     let bytes = ctx.read_bytes(name)?;
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
 }
 
 fn write_f64_array(ctx: &TaskCtx<'_>, name: &str, xs: &[f64]) -> Result<(), ModelError> {
@@ -238,7 +234,8 @@ pub fn emit(
 
     for (i, seg) in segments.iter().enumerate() {
         let args = seg.touched();
-        let mut scalars: Vec<String> = seg.scalar_inputs.union(&seg.scalar_outputs).cloned().collect();
+        let mut scalars: Vec<String> =
+            seg.scalar_inputs.union(&seg.scalar_outputs).cloned().collect();
         scalars.sort();
         scalars.dedup();
         let mut arrays: Vec<String> = seg.array_reads.union(&seg.array_writes).cloned().collect();
@@ -298,8 +295,16 @@ pub fn emit(
                                     .map(|(&r, &i)| Complex32::new(r as f32, i as f32))
                                     .collect();
                                 let out = if inverse { idft(&data) } else { dft(&data) };
-                                write_f64_array(ctx, &or, &out.iter().map(|c| c.re as f64).collect::<Vec<_>>())?;
-                                write_f64_array(ctx, &oi, &out.iter().map(|c| c.im as f64).collect::<Vec<_>>())
+                                write_f64_array(
+                                    ctx,
+                                    &or,
+                                    &out.iter().map(|c| c.re as f64).collect::<Vec<_>>(),
+                                )?;
+                                write_f64_array(
+                                    ctx,
+                                    &oi,
+                                    &out.iter().map(|c| c.im as f64).collect::<Vec<_>>(),
+                                )
                             },
                         );
                         platforms[0] = PlatformJson {
@@ -323,7 +328,11 @@ pub fn emit(
                                 if re.len() != im.len() || !is_pow2(re.len()) {
                                     return Err(ModelError::KernelFailed {
                                         kernel: "opt_fft".into(),
-                                        reason: format!("FFT needs equal power-of-two arrays, got {}/{}", re.len(), im.len()),
+                                        reason: format!(
+                                            "FFT needs equal power-of-two arrays, got {}/{}",
+                                            re.len(),
+                                            im.len()
+                                        ),
                                     });
                                 }
                                 let mut data: Vec<Complex32> = re
@@ -336,8 +345,16 @@ pub fn emit(
                                 } else {
                                     fft_in_place(&mut data);
                                 }
-                                write_f64_array(ctx, &or, &data.iter().map(|c| c.re as f64).collect::<Vec<_>>())?;
-                                write_f64_array(ctx, &oi, &data.iter().map(|c| c.im as f64).collect::<Vec<_>>())
+                                write_f64_array(
+                                    ctx,
+                                    &or,
+                                    &data.iter().map(|c| c.re as f64).collect::<Vec<_>>(),
+                                )?;
+                                write_f64_array(
+                                    ctx,
+                                    &oi,
+                                    &data.iter().map(|c| c.im as f64).collect::<Vec<_>>(),
+                                )
                             },
                         );
                         // Redirect the cpu platform entry, as the paper
@@ -388,8 +405,7 @@ pub fn emit(
             }
         }
 
-        let predecessors =
-            if i == 0 { vec![] } else { vec![segments[i - 1].name.clone()] };
+        let predecessors = if i == 0 { vec![] } else { vec![segments[i - 1].name.clone()] };
         let successors =
             if i + 1 == segments.len() { vec![] } else { vec![segments[i + 1].name.clone()] };
         dag.insert(
@@ -408,12 +424,7 @@ pub fn emit(
         });
     }
 
-    let json = AppJson {
-        app_name: options.app_name.clone(),
-        shared_object,
-        variables,
-        dag,
-    };
+    let json = AppJson { app_name: options.app_name.clone(), shared_object, variables, dag };
     Ok(CompiledApp {
         json,
         registry,
@@ -434,7 +445,8 @@ mod tests {
     /// and returns the memory.
     fn run_compiled(app: &CompiledApp) -> Arc<dssoc_appmodel::memory::AppMemory> {
         let spec = ApplicationSpec::from_json(&app.json, &app.registry).unwrap();
-        let inst = AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
+        let inst =
+            AppInstance::instantiate(Arc::clone(&spec), InstanceId(0), Duration::ZERO).unwrap();
         // The generated DAG is a chain: execute by repeatedly running
         // nodes whose predecessors are done.
         let mut remaining: Vec<usize> = spec.nodes.iter().map(|n| n.predecessors.len()).collect();

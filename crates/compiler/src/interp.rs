@@ -36,9 +36,9 @@ impl Machine {
             Expr::Var(n) => self.scalars.get(n).copied().unwrap_or(0.0),
             Expr::Index(a, i) => {
                 let idx = self.index(a, i)?;
-                self.arrays
-                    .get(a)
-                    .ok_or_else(|| CompileError::Runtime(format!("read of unallocated array '{a}'")))?[idx]
+                self.arrays.get(a).ok_or_else(|| {
+                    CompileError::Runtime(format!("read of unallocated array '{a}'"))
+                })?[idx]
             }
             Expr::Bin(op, a, b) => {
                 let (x, y) = (self.eval(a)?, self.eval(b)?);
@@ -72,7 +72,9 @@ impl Machine {
     fn index(&self, arr: &str, i: &Expr) -> Result<usize, CompileError> {
         let raw = self.eval(i)?;
         if raw < 0.0 || !raw.is_finite() {
-            return Err(CompileError::Runtime(format!("negative or non-finite index {raw} into '{arr}'")));
+            return Err(CompileError::Runtime(format!(
+                "negative or non-finite index {raw} into '{arr}'"
+            )));
         }
         let idx = raw as usize;
         let len = self
@@ -81,7 +83,9 @@ impl Machine {
             .ok_or_else(|| CompileError::Runtime(format!("index into unallocated array '{arr}'")))?
             .len();
         if idx >= len {
-            return Err(CompileError::Runtime(format!("index {idx} out of bounds for '{arr}' (len {len})")));
+            return Err(CompileError::Runtime(format!(
+                "index {idx} out of bounds for '{arr}' (len {len})"
+            )));
         }
         Ok(idx)
     }
@@ -112,7 +116,9 @@ impl Machine {
             Instr::Alloc(a, len) => {
                 let raw = self.eval(len)?;
                 if raw < 0.0 || !raw.is_finite() {
-                    return Err(CompileError::Runtime(format!("bad allocation size {raw} for '{a}'")));
+                    return Err(CompileError::Runtime(format!(
+                        "bad allocation size {raw} for '{a}'"
+                    )));
                 }
                 self.arrays.insert(a.clone(), vec![0.0; raw as usize]);
             }
@@ -158,7 +164,9 @@ pub fn execute_region(
         }
         steps += 1;
         if steps > MAX_STEPS {
-            return Err(CompileError::Runtime(format!("exceeded {MAX_STEPS} blocks — runaway loop?")));
+            return Err(CompileError::Runtime(format!(
+                "exceeded {MAX_STEPS} blocks — runaway loop?"
+            )));
         }
         if let Some(t) = tracer.as_deref_mut() {
             t.push(cur);
@@ -230,7 +238,10 @@ mod tests {
     fn trace_counts_loop_blocks() {
         let p = Program::new(
             "t",
-            vec![assign("n", c(10.0)), for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), v("i")))])],
+            vec![
+                assign("n", c(10.0)),
+                for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), v("i")))]),
+            ],
         );
         let r = run(&p);
         assert_eq!(r.final_state.scalars["s"], 45.0);
@@ -286,10 +297,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_is_an_error() {
-        let p = Program::new(
-            "t",
-            vec![alloc("xs", c(2.0)), assign("x", idx("xs", c(5.0)))],
-        );
+        let p = Program::new("t", vec![alloc("xs", c(2.0)), assign("x", idx("xs", c(5.0)))]);
         assert!(matches!(run_traced(&lower(&p).unwrap()), Err(CompileError::Runtime(_))));
     }
 

@@ -90,7 +90,10 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledAp
     let run = interp::run_traced(&lowered)?;
     let labels = trace::label_statements(&lowered, &run.trace, options.hot_threshold);
     let segments = outline::partition(program, &lowered, &labels)?;
-    let known = if options.substitute_optimized || options.add_accelerator_platforms || options.naive_native {
+    let known = if options.substitute_optimized
+        || options.add_accelerator_platforms
+        || options.naive_native
+    {
         KnownKernels::standard()
     } else {
         KnownKernels::empty()

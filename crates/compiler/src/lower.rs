@@ -201,12 +201,8 @@ pub fn lower(program: &Program) -> Result<Lowered, CompileError> {
     if program.stmts.is_empty() {
         return Err(CompileError::Lower("program has no statements".into()));
     }
-    let mut ctx = LowerCtx {
-        blocks: Vec::new(),
-        scalars: BTreeSet::new(),
-        arrays: BTreeSet::new(),
-        cur: 0,
-    };
+    let mut ctx =
+        LowerCtx { blocks: Vec::new(), scalars: BTreeSet::new(), arrays: BTreeSet::new(), cur: 0 };
     let entry = ctx.new_block(0);
     ctx.cur = entry;
     for (i, s) in program.stmts.iter().enumerate() {
@@ -261,11 +257,7 @@ mod tests {
             assert!(l.blocks_of_stmt(i).count() > 0, "stmt {i} has no blocks");
         }
         // Exactly one Branch terminator (the loop header).
-        let branches = l
-            .blocks
-            .iter()
-            .filter(|b| matches!(b.term, Term::Branch { .. }))
-            .count();
+        let branches = l.blocks.iter().filter(|b| matches!(b.term, Term::Branch { .. })).count();
         assert_eq!(branches, 1);
         // Exactly one Halt, on the last block in the chain.
         let halts = l.blocks.iter().filter(|b| matches!(b.term, Term::Halt)).count();

@@ -223,10 +223,10 @@ mod tests {
         Program::new(
             "t",
             vec![
-                assign("n", c(50.0)),                                                  // glue
-                alloc("xs", v("n")),                                                   // glue
-                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]),      // kernel
-                assign("mid", c(0.0)),                                                 // glue
+                assign("n", c(50.0)),                                             // glue
+                alloc("xs", v("n")),                                              // glue
+                for_loop("i", c(0.0), v("n"), vec![store("xs", v("i"), v("i"))]), // kernel
+                assign("mid", c(0.0)),                                            // glue
                 for_loop("i", c(0.0), v("n"), vec![assign("s", add(v("s"), idx("xs", v("i"))))]), // kernel
             ],
         )

@@ -34,11 +34,17 @@ pub fn dft_loop(in_re: &str, in_im: &str, out_re: &str, out_im: &str, n: &str) -
                     assign("sn", sin(v("ang"))),
                     assign(
                         "sum_re",
-                        add(v("sum_re"), sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn")))),
+                        add(
+                            v("sum_re"),
+                            sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn"))),
+                        ),
                     ),
                     assign(
                         "sum_im",
-                        add(v("sum_im"), add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs")))),
+                        add(
+                            v("sum_im"),
+                            add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs"))),
+                        ),
                     ),
                 ],
             ),
@@ -69,11 +75,17 @@ pub fn idft_loop(in_re: &str, in_im: &str, out_re: &str, out_im: &str, n: &str) 
                     assign("sn", sin(v("ang"))),
                     assign(
                         "sum_re",
-                        add(v("sum_re"), sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn")))),
+                        add(
+                            v("sum_re"),
+                            sub(mul(idx(in_re, v("t")), v("cs")), mul(idx(in_im, v("t")), v("sn"))),
+                        ),
                     ),
                     assign(
                         "sum_im",
-                        add(v("sum_im"), add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs")))),
+                        add(
+                            v("sum_im"),
+                            add(mul(idx(in_re, v("t")), v("sn")), mul(idx(in_im, v("t")), v("cs"))),
+                        ),
                     ),
                 ],
             ),
@@ -152,12 +164,18 @@ pub fn monolithic_range_detection(n: usize, delay: usize) -> Program {
             store(
                 "C_re",
                 v("k"),
-                add(mul(idx("X1_re", v("k")), idx("X2_re", v("k"))), mul(idx("X1_im", v("k")), idx("X2_im", v("k")))),
+                add(
+                    mul(idx("X1_re", v("k")), idx("X2_re", v("k"))),
+                    mul(idx("X1_im", v("k")), idx("X2_im", v("k"))),
+                ),
             ),
             store(
                 "C_im",
                 v("k"),
-                sub(mul(idx("X1_im", v("k")), idx("X2_re", v("k"))), mul(idx("X1_re", v("k")), idx("X2_im", v("k")))),
+                sub(
+                    mul(idx("X1_im", v("k")), idx("X2_re", v("k"))),
+                    mul(idx("X1_re", v("k")), idx("X2_im", v("k"))),
+                ),
             ),
         ],
     ));
@@ -178,7 +196,12 @@ pub fn monolithic_range_detection(n: usize, delay: usize) -> Program {
                     mul(idx("corr_im", v("i")), idx("corr_im", v("i"))),
                 ),
             ),
-            if_gt(v("mag"), v("best"), vec![assign("best", v("mag")), assign("lag", v("i"))], vec![]),
+            if_gt(
+                v("mag"),
+                v("best"),
+                vec![assign("best", v("mag")), assign("lag", v("i"))],
+                vec![],
+            ),
         ],
     ));
 
@@ -250,10 +273,7 @@ mod tests {
 
         let input: Vec<Complex32> = (0..n)
             .map(|i| {
-                Complex32::new(
-                    ((i as f64) * 0.7).sin() as f32,
-                    ((i as f64) * 0.3).cos() as f32,
-                )
+                Complex32::new(((i as f64) * 0.7).sin() as f32, ((i as f64) * 0.3).cos() as f32)
             })
             .collect();
         let expect = dssoc_dsp::fft::dft(&input);

@@ -336,7 +336,8 @@ mod tests {
         let mut tweaked = dft_loop("a", "b", "c", "d", "n");
         if let Stmt::For { body, .. } = &mut tweaked {
             if let Stmt::For { body: inner, .. } = &mut body[2] {
-                inner[0] = assign("ang", mul(crate::ast::c(-3.0), div(mul(v("k"), v("t")), v("n"))));
+                inner[0] =
+                    assign("ang", mul(crate::ast::c(-3.0), div(mul(v("k"), v("t")), v("n"))));
             }
         }
         assert!(KnownKernels::standard().recognize(std::slice::from_ref(&tweaked)).is_none());

@@ -34,16 +34,13 @@ fn hot_threshold_controls_segmentation() {
 
 #[test]
 fn glue_only_program_still_runs_in_the_emulator() {
-    let p = Program::new(
-        "straight",
-        vec![assign("x", c(2.0)), assign("y", mul(v("x"), c(21.0)))],
-    );
+    let p = Program::new("straight", vec![assign("x", c(2.0)), assign("y", mul(v("x"), c(21.0)))]);
     let app = compile(&p, &opts("straight")).unwrap();
     assert_eq!(app.json.dag.len(), 1);
     let mut library = AppLibrary::new();
     library.register_json(&app.json, &app.registry).unwrap();
     let wl = WorkloadSpec::validation([("straight", 1usize)]).generate(&library).unwrap();
-    let emu = dssoc_core::Emulation::new(dssoc_platform::presets::zcu102(1, 0)).unwrap();
+    let mut emu = dssoc_core::Emulation::new(dssoc_platform::presets::zcu102(1, 0)).unwrap();
     let stats = emu.run(&mut dssoc_core::FrfsScheduler::new(), &wl, &library).unwrap();
     let mem = stats.instance_memory(stats.apps[0].instance).unwrap();
     let y = f64::from_le_bytes(mem.read_bytes("y").unwrap()[..8].try_into().unwrap());
@@ -70,10 +67,7 @@ fn empty_program_is_a_lower_error() {
 
 #[test]
 fn runtime_failures_surface_during_tracing() {
-    let p = Program::new(
-        "oob",
-        vec![alloc("xs", c(2.0)), assign("x", idx("xs", c(9.0)))],
-    );
+    let p = Program::new("oob", vec![alloc("xs", c(2.0)), assign("x", idx("xs", c(9.0)))]);
     let err = compile(&p, &opts("oob")).unwrap_err();
     assert!(matches!(err, CompileError::Runtime(_)));
     assert!(err.to_string().contains("out of bounds"));
@@ -83,11 +77,8 @@ fn runtime_failures_surface_during_tracing() {
 fn recognition_is_independent_of_problem_size() {
     for n in [16usize, 64, 256] {
         let p = programs::monolithic_range_detection(n, n / 3);
-        let app = compile(
-            &p,
-            &CompileOptions { substitute_optimized: true, ..opts("sized") },
-        )
-        .unwrap();
+        let app =
+            compile(&p, &CompileOptions { substitute_optimized: true, ..opts("sized") }).unwrap();
         assert_eq!(app.report.recognized_count(), 3, "n = {n}");
     }
 }

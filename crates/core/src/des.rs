@@ -21,7 +21,6 @@
 //! [`OverheadMode::None`]: crate::engine::OverheadMode::None
 //! [`TimingMode::Modeled`]: crate::engine::TimingMode::Modeled
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,9 +31,12 @@ use dssoc_platform::cost::{CostModel, CostTable};
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
 
 use crate::engine::EmuError;
+use crate::exec::{
+    preflight_compat, validate_assignments, CompletionSink, InstanceTracker, PeSlots, ReadyList,
+};
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
-use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
-use crate::task::{ReadyTask, Task};
+use crate::stats::{EmulationStats, TaskRecord};
+use crate::task::Task;
 use crate::time::SimTime;
 
 /// DES configuration.
@@ -61,7 +63,7 @@ pub struct DesSimulator {
 
 #[derive(Debug)]
 enum EventKind {
-    Arrival(usize),                 // index into instances
+    Arrival(usize), // index into instances
     Completion { pe: PeId, ready_at: SimTime },
 }
 
@@ -105,39 +107,12 @@ impl DesSimulator {
         workload: &Workload,
         library: &AppLibrary,
     ) -> Result<EmulationStats, EmuError> {
-        // Compatibility pre-flight, as in the emulator.
-        for entry in &workload.entries {
-            let spec = library.get(&entry.app_name)?;
-            for node in &spec.nodes {
-                if !self.platform.pes.iter().any(|pe| node.supports(&pe.platform_key)) {
-                    return Err(EmuError::Config(format!(
-                        "node '{}' of app '{}' supports none of the platform's PE types",
-                        node.name, entry.app_name
-                    )));
-                }
-            }
-        }
+        // Compatibility pre-flight, shared with the emulator.
+        preflight_compat(&self.platform, workload, library)?;
         let instances: Vec<Arc<AppInstance>> =
             workload.instantiate(library)?.into_iter().map(Arc::new).collect();
 
-        struct InstState {
-            remaining_preds: Vec<usize>,
-            remaining_tasks: usize,
-            arrival: SimTime,
-        }
-        let mut inst_state: HashMap<InstanceId, InstState> = instances
-            .iter()
-            .map(|inst| {
-                (
-                    inst.id,
-                    InstState {
-                        remaining_preds: inst.spec.nodes.iter().map(|n| n.predecessors.len()).collect(),
-                        remaining_tasks: inst.spec.nodes.len(),
-                        arrival: SimTime::from_duration(inst.arrival),
-                    },
-                )
-            })
-            .collect();
+        let mut tracker = InstanceTracker::new(&instances);
 
         let mut events: Vec<Event> = instances
             .iter()
@@ -151,16 +126,17 @@ impl DesSimulator {
             .collect();
         let mut event_seq = instances.len() as u64;
 
-        let mut ready: Vec<ReadyTask> = Vec::new();
-        let mut seq = 0u64;
-        let mut busy: HashMap<PeId, SimTime> = HashMap::new(); // PE -> exact finish
-        let estimates = EstimateBook::new();
+        let mut ready = ReadyList::new();
+        // DES PEs have no reservation queues (depth 0); the busy map
+        // holds *exact* finish times — the simulator's one luxury over
+        // the emulator's estimates.
+        let mut slots = PeSlots::new(self.platform.pes.len(), 0);
+        // The DES observes completions into an estimate book exactly like
+        // the emulator, so estimate-driven policies (MET/EFT) see the
+        // same context in both engines.
+        let mut estimates = EstimateBook::new();
 
-        let mut task_records = Vec::new();
-        let mut app_records = Vec::new();
-        let mut pe_busy: HashMap<PeId, Duration> = HashMap::new();
-        let mut sched_invocations = 0u64;
-        let mut overhead = OverheadBreakdown::default();
+        let mut sink = CompletionSink::new();
         let mut clock = SimTime::ZERO;
 
         loop {
@@ -182,31 +158,24 @@ impl DesSimulator {
                 let ev = events.remove(pos);
                 match ev.kind {
                     EventKind::Arrival(i) => {
-                        let inst = &instances[i];
-                        for &r in &inst.spec.roots {
-                            ready.push(ReadyTask {
-                                task: Task { instance: Arc::clone(inst), node_idx: r },
-                                ready_at: ev.time,
-                                seq,
-                            });
-                            seq += 1;
-                        }
+                        ready.push_roots(&instances[i], ev.time);
                     }
                     EventKind::Completion { pe, ready_at } => {
-                        busy.remove(&pe);
+                        slots.release(pe);
                         let task = ev.task.expect("completion carries its task");
                         let node = task.node();
                         let desc = self.platform.pe(pe).expect("known PE");
                         let dur = self.duration_of(&task, desc);
-                        *pe_busy.entry(pe).or_default() += dur;
-                        task_records.push(TaskRecord {
+                        let runfunc = node
+                            .platform(&desc.platform_key)
+                            .map(|p| p.runfunc.clone())
+                            .unwrap_or_default();
+                        estimates.observe(&runfunc, desc.class_name(), dur);
+                        sink.record_task(TaskRecord {
                             instance: task.instance.id,
                             app: task.app_name().to_string(),
                             node: node.name.clone(),
-                            kernel: node
-                                .platform(&desc.platform_key)
-                                .map(|p| p.runfunc.clone())
-                                .unwrap_or_default(),
+                            kernel: runfunc,
                             pe,
                             ready_at,
                             start: SimTime(ev.time.0 - dur.as_nanos() as u64),
@@ -214,74 +183,38 @@ impl DesSimulator {
                             modeled: dur,
                             measured: Duration::ZERO,
                         });
-                        let st = inst_state.get_mut(&task.instance.id).expect("known instance");
-                        for &s in &node.successors {
-                            st.remaining_preds[s] -= 1;
-                            if st.remaining_preds[s] == 0 {
-                                ready.push(ReadyTask {
-                                    task: Task { instance: Arc::clone(&task.instance), node_idx: s },
-                                    ready_at: ev.time,
-                                    seq,
-                                });
-                                seq += 1;
-                            }
-                        }
-                        st.remaining_tasks -= 1;
-                        if st.remaining_tasks == 0 {
-                            app_records.push(AppRecord {
-                                instance: task.instance.id,
-                                app: task.app_name().to_string(),
-                                arrival: st.arrival,
-                                finish: ev.time,
-                                task_count: task.instance.spec.nodes.len(),
-                            });
+                        if let Some(rec) = tracker.complete_task(&task, ev.time, &mut ready) {
+                            sink.record_app(rec);
                         }
                     }
                 }
             }
 
             // Schedule at the current clock.
-            if !ready.is_empty() && busy.len() < self.platform.pes.len() {
-                let views: Vec<PeView<'_>> = self
-                    .platform
-                    .pes
-                    .iter()
-                    .map(|pe| {
-                        let b = busy.get(&pe.id).copied();
-                        PeView { pe, idle: b.is_none(), available_at: b.unwrap_or(clock) }
-                    })
-                    .collect();
+            if !ready.is_empty() && slots.any_schedulable() {
+                let views: Vec<PeView<'_>> =
+                    self.platform.pes.iter().map(|pe| slots.view(pe, clock)).collect();
                 let ctx = SchedContext { now: clock, estimates: &estimates };
-                let mut assignments = scheduler.schedule(&ready, &views, &ctx);
-                sched_invocations += 1;
+                let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
+                sink.sched_invocations += 1;
                 let charge = self.config.overhead_per_invocation;
-                overhead.schedule += charge;
+                sink.overhead.schedule += charge;
 
-                assignments.sort_by_key(|a| std::cmp::Reverse(a.ready_idx));
-                let mut dispatched_idx: Vec<usize> = Vec::with_capacity(assignments.len());
-                let mut dispatched = false;
-                for a in assignments {
-                    if a.ready_idx >= ready.len()
-                        || busy.contains_key(&a.pe)
-                        || dispatched_idx.contains(&a.ready_idx)
-                    {
-                        return Err(EmuError::Config(format!(
-                            "scheduler '{}' violated the assignment contract in DES",
-                            scheduler.name()
-                        )));
-                    }
-                    dispatched_idx.push(a.ready_idx);
-                    let rt = ready[a.ready_idx].clone();
+                // The same contract check the emulator runs.
+                validate_assignments(
+                    scheduler.name(),
+                    &assignments,
+                    ready.pending(),
+                    &slots,
+                    &self.platform,
+                )?;
+                assignments.sort_by_key(|a| a.ready_idx);
+                for a in &assignments {
+                    let rt = ready.pending()[a.ready_idx].clone();
                     let desc = self.platform.pe(a.pe).expect("known PE");
-                    if !rt.task.supports(&desc.platform_key) {
-                        return Err(EmuError::Config(format!(
-                            "scheduler '{}' assigned an incompatible task in DES",
-                            scheduler.name()
-                        )));
-                    }
                     let dur = self.duration_of(&rt.task, desc);
                     let finish = clock + charge + dur;
-                    busy.insert(a.pe, finish);
+                    slots.occupy(a.pe, finish);
                     events.push(Event {
                         time: finish,
                         seq: event_seq,
@@ -289,16 +222,8 @@ impl DesSimulator {
                         task: Some(rt.task),
                     });
                     event_seq += 1;
-                    dispatched = true;
                 }
-                if dispatched {
-                    let mut idx = 0;
-                    ready.retain(|_| {
-                        let keep = !dispatched_idx.contains(&idx);
-                        idx += 1;
-                        keep
-                    });
-                }
+                ready.remove(&assignments);
             }
 
             // Advance to the next event.
@@ -317,25 +242,6 @@ impl DesSimulator {
             }
         }
 
-        let makespan = app_records
-            .iter()
-            .map(|a: &AppRecord| a.finish)
-            .chain(task_records.iter().map(|t: &TaskRecord| t.finish))
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .as_duration();
-
-        Ok(EmulationStats {
-            platform: self.platform.name.clone(),
-            scheduler: format!("{} (DES)", scheduler.name()),
-            makespan,
-            tasks: task_records,
-            apps: app_records,
-            pe_busy: pe_busy.into_iter().collect(),
-            pe_names: self.platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
-            sched_invocations,
-            overhead,
-            instances,
-        })
+        Ok(sink.finish(&self.platform, format!("{} (DES)", scheduler.name()), instances))
     }
 }

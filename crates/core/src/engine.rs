@@ -37,13 +37,14 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, ScaledMeasuredCost};
 use dssoc_platform::pe::{PeId, PlatformConfig};
-use dssoc_platform::placement::Placement;
 
+use crate::exec::{
+    preflight_compat, validate_assignments, CompletionSink, InstanceTracker, PeSlots, ReadyList,
+};
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
-use crate::resource::{resource_manager_loop, RmContext};
+use crate::resource::ResourcePool;
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
-use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
-use crate::task::{ReadyTask, Task};
+use crate::stats::{EmulationStats, TaskRecord};
 use crate::time::SimTime;
 
 /// How emulation time is tracked.
@@ -73,6 +74,7 @@ pub enum OverheadMode {
 }
 
 /// Engine configuration.
+#[derive(Clone)]
 pub struct EmulationConfig {
     /// Timing mode.
     pub timing: TimingMode,
@@ -189,16 +191,6 @@ impl PhaseSampler {
     }
 }
 
-struct InstanceState {
-    remaining_preds: Vec<usize>,
-    remaining_tasks: usize,
-    arrival: SimTime,
-}
-
-struct BusyInfo {
-    est_finish: SimTime,
-}
-
 /// Modeled cost of communicating one dispatch to a resource manager on
 /// the emulated SoC: a locked status-field write plus the coherence
 /// traffic for the polling manager thread to observe it.
@@ -219,11 +211,18 @@ struct PendingCompletion {
     completion: TaskCompletion,
 }
 
-/// The emulation driver: owns a platform and engine configuration and
-/// runs workloads against schedulers.
+/// The emulation driver: a thin per-run loop over a persistent
+/// [`ResourcePool`].
+///
+/// Construction brings up the pool (paper §II-A's initialization phase:
+/// handlers plus one named resource-manager thread per PE); each
+/// [`Self::run`] call executes one workload against it and the threads
+/// park between runs, so a batch sweep pays thread-spawn cost once. The
+/// pool is shut down and joined when the `Emulation` is dropped.
 pub struct Emulation {
     platform: PlatformConfig,
     config: EmulationConfig,
+    pool: ResourcePool,
 }
 
 impl Emulation {
@@ -233,10 +232,15 @@ impl Emulation {
         Self::with_config(platform, EmulationConfig::default())
     }
 
-    /// Builds a driver with an explicit configuration.
-    pub fn with_config(platform: PlatformConfig, config: EmulationConfig) -> Result<Self, EmuError> {
+    /// Builds a driver with an explicit configuration, spawning its
+    /// resource pool.
+    pub fn with_config(
+        platform: PlatformConfig,
+        config: EmulationConfig,
+    ) -> Result<Self, EmuError> {
         platform.validate().map_err(EmuError::Config)?;
-        Ok(Emulation { platform, config })
+        let pool = ResourcePool::spawn(&platform, &config.cost, config.timing)?;
+        Ok(Emulation { platform, config, pool })
     }
 
     /// The platform being emulated.
@@ -245,63 +249,27 @@ impl Emulation {
     }
 
     /// Runs a workload to completion under `scheduler`, returning the
-    /// collected statistics.
+    /// collected statistics. The persistent resource pool is reused:
+    /// consecutive runs on the same `Emulation` dispatch to the same
+    /// threads.
     pub fn run(
-        &self,
+        &mut self,
         scheduler: &mut dyn Scheduler,
         workload: &Workload,
         library: &AppLibrary,
     ) -> Result<EmulationStats, EmuError> {
-        // --- Pre-flight: every node of every requested app must have a
+        // Pre-flight: every node of every requested app must have a
         // compatible PE in this platform, or the emulation would deadlock.
-        let mut seen_apps: Vec<&str> = workload.entries.iter().map(|e| e.app_name.as_str()).collect();
-        seen_apps.sort_unstable();
-        seen_apps.dedup();
-        for app in &seen_apps {
-            let spec = library.get(app)?;
-            for node in &spec.nodes {
-                if !self.platform.pes.iter().any(|pe| node.supports(&pe.platform_key)) {
-                    return Err(EmuError::Config(format!(
-                        "node '{}' of app '{}' supports none of the platform's PE types",
-                        node.name, app
-                    )));
-                }
-            }
-        }
+        preflight_compat(&self.platform, workload, library)?;
 
-        // --- Initialization phase (paper §II-A): instantiate the
-        // workload and bring up the resource pool.
         let instances: Vec<Arc<AppInstance>> =
             workload.instantiate(library)?.into_iter().map(Arc::new).collect();
-        let placement = Placement::compute(&self.platform);
-        let handlers: Vec<Arc<ResourceHandler>> =
-            self.platform.pes.iter().map(|pe| ResourceHandler::new(pe.clone())).collect();
 
-        let mut threads = Vec::with_capacity(handlers.len());
-        for h in &handlers {
-            let ctx = RmContext {
-                handler: Arc::clone(h),
-                cost: Arc::clone(&self.config.cost),
-                timing: self.config.timing,
-                sharers: placement.sharers_of(h.pe_id()),
-                contention: self.platform.contention.clone(),
-            };
-            let name = format!("rm-{}", h.pe.name);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || resource_manager_loop(ctx))
-                    .map_err(|e| EmuError::Config(format!("failed to spawn manager thread: {e}")))?,
-            );
-        }
-
-        let result = self.workload_manager(scheduler, instances, &handlers);
-
-        for h in &handlers {
-            h.shutdown();
-        }
-        for t in threads {
-            let _ = t.join();
+        let result = self.workload_manager(scheduler, instances, self.pool.handlers());
+        if result.is_err() {
+            // A failed run can leave tasks in flight; wait them out so
+            // every PE is idle again for the next run on this pool.
+            self.pool.drain();
         }
         result
     }
@@ -317,32 +285,11 @@ impl Emulation {
         let timing = self.config.timing;
         let overlay_speed = self.platform.overlay.speed;
 
-        let mut inst_state: HashMap<InstanceId, InstanceState> = HashMap::new();
-        for inst in &instances {
-            inst_state.insert(
-                inst.id,
-                InstanceState {
-                    remaining_preds: inst.spec.nodes.iter().map(|n| n.predecessors.len()).collect(),
-                    remaining_tasks: inst.spec.nodes.len(),
-                    arrival: SimTime::from_duration(inst.arrival),
-                },
-            );
-        }
+        let mut tracker = InstanceTracker::new(&instances);
         let kept_instances = instances.clone();
         let mut arrivals: VecDeque<Arc<AppInstance>> = instances.into();
-        // The ready list is a Vec with a consumed-prefix offset: FRFS
-        // dispatches prefixes, so the common case is O(1) bookkeeping
-        // and its overhead stays flat no matter how long the queue gets
-        // (paper Fig. 10b). The prefix is reclaimed once it dominates.
-        let mut ready: Vec<ReadyTask> = Vec::new();
-        let mut ready_head: usize = 0;
-        let mut seq: u64 = 0;
-        let mut busy: HashMap<PeId, BusyInfo> = HashMap::new();
-        // Reservation queues (future-work feature): tasks assigned to a
-        // busy PE, started back-to-back without re-entering the
-        // scheduler. Invariant: non-empty only while the PE is busy.
-        let mut reserved: HashMap<PeId, VecDeque<ReadyTask>> = HashMap::new();
-        let depth = self.config.reservation_depth;
+        let mut ready = ReadyList::new();
+        let mut slots = PeSlots::new(handlers.len(), self.config.reservation_depth);
         // ready_at of dispatched tasks, consumed when the completion is
         // recorded.
         let mut ready_at_of: HashMap<(InstanceId, usize), SimTime> = HashMap::new();
@@ -353,11 +300,7 @@ impl Emulation {
         let wall_start = Instant::now();
         let mut vclock = SimTime::ZERO;
 
-        let mut task_records: Vec<TaskRecord> = Vec::new();
-        let mut app_records: Vec<AppRecord> = Vec::new();
-        let mut pe_busy: HashMap<PeId, Duration> = HashMap::new();
-        let mut overhead = OverheadBreakdown::default();
-        let mut sched_invocations: u64 = 0;
+        let mut sink = CompletionSink::new();
         let mut sampler_mu = PhaseSampler::new();
         let mut sampler_s = PhaseSampler::new();
         let mut sampler_d = PhaseSampler::new();
@@ -373,7 +316,7 @@ impl Emulation {
             // completion, so no PE thread is executing on the host and
             // phase measurements are preemption-free (the paper's
             // dedicated-manager-core situation).
-            let quiet = busy.len() == pending.len();
+            let quiet = slots.busy_count() == pending.len();
 
             // ---- Monitor: poll every resource handler (paper polls the
             // PE status fields under their locks).
@@ -402,20 +345,14 @@ impl Emulation {
                 // queued task at the completion instant — no scheduler
                 // invocation, no charged overhead (the point of the
                 // paper's proposed work queues).
-                match reserved.get_mut(&p.pe).and_then(VecDeque::pop_front) {
-                    Some(next) => {
-                        let handler =
-                            handlers.iter().find(|h| h.pe_id() == p.pe).expect("known PE");
-                        let est = estimates
-                            .estimate(&next.task, &handler.pe)
-                            .unwrap_or(Duration::from_micros(100));
-                        busy.insert(p.pe, BusyInfo { est_finish: p.finish + est });
-                        ready_at_of.insert(next.task.key(), next.ready_at);
-                        handler.dispatch(TaskAssignment { task: next.task, start: p.finish });
-                    }
-                    None => {
-                        busy.remove(&p.pe);
-                    }
+                if let Some(next) = slots.release(p.pe) {
+                    let handler = handlers.iter().find(|h| h.pe_id() == p.pe).expect("known PE");
+                    let est = estimates
+                        .estimate(&next.task, &handler.pe)
+                        .unwrap_or(Duration::from_micros(100));
+                    slots.occupy(p.pe, p.finish + est);
+                    ready_at_of.insert(next.task.key(), next.ready_at);
+                    handler.dispatch(TaskAssignment { task: next.task, start: p.finish });
                 }
                 progress = true;
                 let c = p.completion;
@@ -434,8 +371,7 @@ impl Emulation {
                     .map(|pl| pl.runfunc.clone())
                     .unwrap_or_default();
                 estimates.observe(&runfunc, pe.pe.class_name(), c.modeled);
-                *pe_busy.entry(p.pe).or_default() += c.modeled;
-                task_records.push(TaskRecord {
+                sink.record_task(TaskRecord {
                     instance: c.task.instance.id,
                     app: c.task.app_name().to_string(),
                     node: node.name.clone(),
@@ -447,46 +383,15 @@ impl Emulation {
                     modeled: c.modeled,
                     measured: c.measured,
                 });
-
-                let state = inst_state.get_mut(&c.task.instance.id).expect("known instance");
-                for &s in &node.successors {
-                    state.remaining_preds[s] -= 1;
-                    if state.remaining_preds[s] == 0 {
-                        ready.push(ReadyTask {
-                            task: Task { instance: Arc::clone(&c.task.instance), node_idx: s },
-                            ready_at: p.finish,
-                            seq,
-                        });
-                        seq += 1;
-                    }
-                }
-                state.remaining_tasks -= 1;
-                if state.remaining_tasks == 0 {
-                    app_records.push(AppRecord {
-                        instance: c.task.instance.id,
-                        app: c.task.app_name().to_string(),
-                        arrival: state.arrival,
-                        finish: p.finish,
-                        task_count: c.task.instance.spec.nodes.len(),
-                    });
+                if let Some(rec) = tracker.complete_task(&c.task, p.finish, &mut ready) {
+                    sink.record_app(rec);
                 }
             }
 
             // ---- Inject: applications whose arrival time has passed.
-            while arrivals
-                .front()
-                .is_some_and(|a| SimTime::from_duration(a.arrival) <= now)
-            {
+            while arrivals.front().is_some_and(|a| SimTime::from_duration(a.arrival) <= now) {
                 let inst = arrivals.pop_front().expect("checked front");
-                let arrival = SimTime::from_duration(inst.arrival);
-                for &r in &inst.spec.roots {
-                    ready.push(ReadyTask {
-                        task: Task { instance: Arc::clone(&inst), node_idx: r },
-                        ready_at: arrival,
-                        seq,
-                    });
-                    seq += 1;
-                }
+                ready.push_roots(&inst, SimTime::from_duration(inst.arrival));
                 progress = true;
             }
             let update_raw = t_upd.elapsed();
@@ -510,8 +415,8 @@ impl Emulation {
                     }
                     OverheadMode::Fixed(_) | OverheadMode::None => (Duration::ZERO, Duration::ZERO),
                 };
-                overhead.monitor += m;
-                overhead.update += u;
+                sink.overhead.monitor += m;
+                sink.overhead.update += u;
                 if timing == TimingMode::Modeled {
                     now += m + u;
                     vclock = now;
@@ -532,39 +437,21 @@ impl Emulation {
             // each pass paying its own overhead charge.
             let mut sched_pass = 0usize;
             loop {
-                let schedulable_pe = busy.len() < handlers.len()
-                    || (depth > 0
-                        && busy
-                            .keys()
-                            .any(|pe| reserved.get(pe).map_or(0, VecDeque::len) < depth));
-                if !(progress && ready.len() > ready_head && schedulable_pe) {
+                if !(progress && !ready.is_empty() && slots.any_schedulable()) {
                     break;
                 }
-                if sched_pass > 0 && depth == 0 {
+                if sched_pass > 0 && slots.depth() == 0 {
                     // Without queues one pass is complete (the policy saw
                     // every idle PE already).
                     break;
                 }
                 sched_pass += 1;
                 let t_sched = Instant::now();
-                let views: Vec<PeView<'_>> = handlers
-                    .iter()
-                    .map(|h| {
-                        let b = busy.get(&h.pe_id());
-                        let queued = reserved.get(&h.pe_id()).map_or(0, VecDeque::len);
-                        PeView {
-                            pe: &h.pe,
-                            // With reservation queues, a busy PE with
-                            // queue room is schedulable.
-                            idle: b.is_none() || queued < depth,
-                            available_at: b.map(|b| b.est_finish).unwrap_or(now),
-                        }
-                    })
-                    .collect();
+                let views: Vec<PeView<'_>> =
+                    handlers.iter().map(|h| slots.view(&h.pe, now)).collect();
                 let ctx = SchedContext { now, estimates: &estimates };
-                let ready_slice = &ready[ready_head..];
-                let mut assignments = scheduler.schedule(ready_slice, &views, &ctx);
-                sched_invocations += 1;
+                let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
+                sink.sched_invocations += 1;
                 let schedule_raw = t_sched.elapsed();
 
                 // Charge the policy's own cost before dispatching.
@@ -575,7 +462,7 @@ impl Emulation {
                     OverheadMode::Fixed(d) => d,
                     OverheadMode::None => Duration::ZERO,
                 };
-                overhead.schedule += s_charge;
+                sink.overhead.schedule += s_charge;
                 if timing == TimingMode::Modeled {
                     now += s_charge;
                     vclock = now;
@@ -583,37 +470,15 @@ impl Emulation {
 
                 let t_disp = Instant::now();
                 // Validate the scheduler contract before touching state.
-                {
-                    let mut pes_used: Vec<PeId> = Vec::with_capacity(assignments.len());
-                    let mut tasks_used: Vec<usize> = Vec::with_capacity(assignments.len());
-                    let mut queued_now: HashMap<PeId, usize> = HashMap::new();
-                    for a in &assignments {
-                        let room = !busy.contains_key(&a.pe)
-                            || reserved.get(&a.pe).map_or(0, VecDeque::len)
-                                + queued_now.get(&a.pe).copied().unwrap_or(0)
-                                < depth;
-                        let ok = a.ready_idx < ready.len() - ready_head
-                            && room
-                            && !pes_used.contains(&a.pe)
-                            && !tasks_used.contains(&a.ready_idx)
-                            && handlers.iter().any(|h| {
-                                h.pe_id() == a.pe
-                                    && ready[ready_head + a.ready_idx].task.supports(&h.pe.platform_key)
-                            });
-                        if !ok {
-                            failure = Some(EmuError::Config(format!(
-                                "scheduler '{}' violated the assignment contract ({a:?})",
-                                scheduler.name()
-                            )));
-                            break 'outer;
-                        }
-                        if busy.contains_key(&a.pe) {
-                            *queued_now.entry(a.pe).or_default() += 1;
-                        } else {
-                            pes_used.push(a.pe);
-                        }
-                        tasks_used.push(a.ready_idx);
-                    }
+                if let Err(e) = validate_assignments(
+                    scheduler.name(),
+                    &assignments,
+                    ready.pending(),
+                    &slots,
+                    &self.platform,
+                ) {
+                    failure = Some(e);
+                    break 'outer;
                 }
                 // The handler hand-off itself is *not* timed: waking a
                 // sleeping host thread costs a futex syscall here,
@@ -624,52 +489,24 @@ impl Emulation {
                 assignments.sort_by_key(|a| a.ready_idx);
                 let mut to_dispatch = Vec::with_capacity(assignments.len());
                 for a in &assignments {
-                    let rt = ready[ready_head + a.ready_idx].clone();
+                    let rt = ready.pending()[a.ready_idx].clone();
                     let handler = handlers.iter().find(|h| h.pe_id() == a.pe).expect("validated");
-                    if let Some(b) = busy.get_mut(&a.pe) {
+                    let est = estimates
+                        .estimate(&rt.task, &handler.pe)
+                        .unwrap_or(Duration::from_micros(100));
+                    if slots.is_busy(a.pe) {
                         // PE busy but with reservation room: enqueue.
-                        let est = estimates
-                            .estimate(&rt.task, &handler.pe)
-                            .unwrap_or(Duration::from_micros(100));
-                        b.est_finish += est;
-                        reserved.entry(a.pe).or_default().push_back(rt);
+                        slots.extend(a.pe, est);
+                        slots.reserve(a.pe, rt);
                     } else {
-                        let est = estimates
-                            .estimate(&rt.task, &handler.pe)
-                            .unwrap_or(Duration::from_micros(100));
-                        busy.insert(a.pe, BusyInfo { est_finish: now + est });
+                        slots.occupy(a.pe, now + est);
                         ready_at_of.insert(rt.task.key(), rt.ready_at);
                         to_dispatch.push((handler, TaskAssignment { task: rt.task, start: now }));
                     }
                     progress = true;
                 }
-                // Remove dispatched entries, preserving seq order. The
-                // common (FRFS) case is a prefix: O(1) head advance.
-                let is_prefix = assignments.iter().enumerate().all(|(k, a)| a.ready_idx == k);
-                if is_prefix {
-                    ready_head += assignments.len();
-                } else if !assignments.is_empty() {
-                    // Arbitrary indices (MET/EFT): one compaction pass.
-                    let mut k = 0usize; // next dispatched assignment
-                    let mut write = ready_head;
-                    for (idx, read) in (ready_head..ready.len()).enumerate() {
-                        let dispatched = k < assignments.len() && assignments[k].ready_idx == idx;
-                        if dispatched {
-                            k += 1;
-                        } else {
-                            ready.swap(read, write);
-                            write += 1;
-                        }
-                    }
-                    ready.truncate(write);
-                }
-                // Reclaim the consumed prefix once it dominates.
-                if ready_head > 1024 && ready_head * 2 > ready.len() {
-                    ready.drain(..ready_head);
-                    ready_head = 0;
-                }
-                let dispatch_raw =
-                    t_disp.elapsed() + STATUS_WRITE_COST * to_dispatch.len() as u32;
+                ready.remove(&assignments);
+                let dispatch_raw = t_disp.elapsed() + STATUS_WRITE_COST * to_dispatch.len() as u32;
                 for (handler, assignment) in to_dispatch {
                     handler.dispatch(assignment);
                 }
@@ -679,7 +516,7 @@ impl Emulation {
                     }
                     OverheadMode::Fixed(_) | OverheadMode::None => Duration::ZERO,
                 };
-                overhead.dispatch += d_charge;
+                sink.overhead.dispatch += d_charge;
                 if timing == TimingMode::Modeled {
                     now += d_charge;
                     vclock = now;
@@ -690,7 +527,7 @@ impl Emulation {
             }
 
             // ---- Termination.
-            if arrivals.is_empty() && ready.len() == ready_head && busy.is_empty() && pending.is_empty() {
+            if arrivals.is_empty() && ready.is_empty() && slots.all_idle() && pending.is_empty() {
                 break;
             }
 
@@ -698,10 +535,14 @@ impl Emulation {
             if !progress {
                 match timing {
                     TimingMode::WallClock => {
-                        if arrivals.is_empty() && pending.is_empty() && busy.is_empty() && ready.len() > ready_head {
+                        if arrivals.is_empty()
+                            && pending.is_empty()
+                            && slots.all_idle()
+                            && !ready.is_empty()
+                        {
                             failure = Some(EmuError::Config(format!(
                                 "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
-                                ready.len() - ready_head,
+                                ready.len(),
                                 scheduler.name()
                             )));
                             break 'outer;
@@ -709,7 +550,7 @@ impl Emulation {
                         std::thread::yield_now();
                     }
                     TimingMode::Modeled => {
-                        if pending.len() < busy.len() {
+                        if pending.len() < slots.busy_count() {
                             // Some in-flight task hasn't reported its
                             // modeled duration yet; the virtual clock
                             // cannot safely advance.
@@ -726,7 +567,7 @@ impl Emulation {
                         if next == SimTime::MAX {
                             failure = Some(EmuError::Config(format!(
                                 "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
-                                ready.len() - ready_head,
+                                ready.len(),
                                 scheduler.name()
                             )));
                             break 'outer;
@@ -741,26 +582,7 @@ impl Emulation {
             return Err(e);
         }
 
-        let makespan = app_records
-            .iter()
-            .map(|a| a.finish)
-            .chain(task_records.iter().map(|t| t.finish))
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .as_duration();
-
-        Ok(EmulationStats {
-            platform: self.platform.name.clone(),
-            scheduler: scheduler.name().to_string(),
-            makespan,
-            tasks: task_records,
-            apps: app_records,
-            pe_busy: pe_busy.into_iter().collect(),
-            pe_names: self.platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
-            sched_invocations,
-            overhead,
-            instances: kept_instances,
-        })
+        Ok(sink.finish(&self.platform, scheduler.name().to_string(), kept_instances))
     }
 }
 

@@ -1,0 +1,538 @@
+//! Engine-agnostic scheduling core shared by the threaded emulator
+//! ([`crate::engine::Emulation`]) and the discrete-event baseline
+//! ([`crate::des::DesSimulator`]).
+//!
+//! Both engines execute the same policy logic — the paper's workload-
+//! manager phases of tracking instance progress, maintaining the ready
+//! list, invoking the scheduler, and enforcing its contract — and only
+//! differ in how time advances and where task durations come from. This
+//! module owns that common logic so the two engines cannot drift apart:
+//!
+//! * [`ReadyList`] — the ready-task queue with its consumed-prefix
+//!   offset and reclamation rule (the paper's flat-FRFS-overhead trick),
+//! * [`InstanceTracker`] — per-instance predecessor and remaining-task
+//!   counts, turning completions into newly ready tasks and finished
+//!   applications,
+//! * [`PeSlots`] — the busy-PE map plus the reservation queues of the
+//!   future-work work-queue feature,
+//! * [`CompletionSink`] — the statistics accumulator feeding
+//!   [`EmulationStats`],
+//! * [`preflight_compat`] / [`validate_assignments`] — the deadlock
+//!   guard and the scheduler-contract check.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_appmodel::workload::Workload;
+use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
+
+use crate::engine::EmuError;
+use crate::sched::{Assignment, PeView};
+use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+use crate::task::{ReadyTask, Task};
+use crate::time::SimTime;
+
+/// Pre-flight deadlock guard shared by both engines: every node of every
+/// requested application must have at least one compatible PE in the
+/// platform, or the run would stall with permanently unschedulable
+/// tasks.
+pub fn preflight_compat(
+    platform: &PlatformConfig,
+    workload: &Workload,
+    library: &AppLibrary,
+) -> Result<(), EmuError> {
+    let mut seen_apps: Vec<&str> = workload.entries.iter().map(|e| e.app_name.as_str()).collect();
+    seen_apps.sort_unstable();
+    seen_apps.dedup();
+    for app in &seen_apps {
+        let spec = library.get(app)?;
+        for node in &spec.nodes {
+            if !platform.pes.iter().any(|pe| node.supports(&pe.platform_key)) {
+                return Err(EmuError::Config(format!(
+                    "node '{}' of app '{}' supports none of the platform's PE types",
+                    node.name, app
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The ready-task list: a `Vec` with a consumed-prefix offset.
+///
+/// FRFS dispatches prefixes, so the common case is O(1) bookkeeping and
+/// scheduling overhead stays flat no matter how long the queue gets
+/// (paper Fig. 10b). Arbitrary-index removal (MET/EFT) compacts in one
+/// pass while preserving readiness (`seq`) order, and the consumed
+/// prefix is reclaimed once it dominates the buffer.
+#[derive(Debug, Default)]
+pub struct ReadyList {
+    items: Vec<ReadyTask>,
+    head: usize,
+    seq: u64,
+}
+
+impl ReadyList {
+    /// Prefix length below which reclamation is never attempted.
+    const RECLAIM_MIN: usize = 1024;
+
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a newly ready task, assigning the next sequence number.
+    pub fn push(&mut self, task: Task, ready_at: SimTime) {
+        self.items.push(ReadyTask { task, ready_at, seq: self.seq });
+        self.seq += 1;
+    }
+
+    /// Appends all root nodes of a newly arrived instance.
+    pub fn push_roots(&mut self, inst: &Arc<AppInstance>, at: SimTime) {
+        for &r in &inst.spec.roots {
+            self.push(Task { instance: Arc::clone(inst), node_idx: r }, at);
+        }
+    }
+
+    /// The tasks currently awaiting dispatch, in readiness order. The
+    /// scheduler contract's `ready_idx` indexes into this slice.
+    pub fn pending(&self) -> &[ReadyTask] {
+        &self.items[self.head..]
+    }
+
+    /// Number of tasks awaiting dispatch.
+    pub fn len(&self) -> usize {
+        self.items.len() - self.head
+    }
+
+    /// True if no task awaits dispatch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes dispatched entries. `assignments` must be sorted by
+    /// ascending `ready_idx` (indices into [`Self::pending`]). The
+    /// common (FRFS) case is a prefix: O(1) head advance; arbitrary
+    /// indices compact in one order-preserving pass.
+    pub fn remove(&mut self, assignments: &[Assignment]) {
+        debug_assert!(assignments.windows(2).all(|w| w[0].ready_idx < w[1].ready_idx));
+        let is_prefix = assignments.iter().enumerate().all(|(k, a)| a.ready_idx == k);
+        if is_prefix {
+            self.head += assignments.len();
+        } else if !assignments.is_empty() {
+            let mut k = 0usize; // next dispatched assignment
+            let mut write = self.head;
+            for (idx, read) in (self.head..self.items.len()).enumerate() {
+                let dispatched = k < assignments.len() && assignments[k].ready_idx == idx;
+                if dispatched {
+                    k += 1;
+                } else {
+                    self.items.swap(read, write);
+                    write += 1;
+                }
+            }
+            self.items.truncate(write);
+        }
+        // Reclaim the consumed prefix once it dominates.
+        if self.head > Self::RECLAIM_MIN && self.head * 2 > self.items.len() {
+            self.items.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn buffer_len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Per-instance DAG progress: predecessor counts, remaining tasks, and
+/// arrival times. Completions flow through [`Self::complete_task`],
+/// which unblocks successors into the [`ReadyList`] and reports
+/// finished applications.
+#[derive(Debug)]
+pub struct InstanceTracker {
+    states: HashMap<InstanceId, InstanceState>,
+}
+
+#[derive(Debug)]
+struct InstanceState {
+    remaining_preds: Vec<usize>,
+    remaining_tasks: usize,
+    arrival: SimTime,
+}
+
+impl InstanceTracker {
+    /// Builds tracking state for a run's instances.
+    pub fn new(instances: &[Arc<AppInstance>]) -> Self {
+        let states = instances
+            .iter()
+            .map(|inst| {
+                (
+                    inst.id,
+                    InstanceState {
+                        remaining_preds: inst
+                            .spec
+                            .nodes
+                            .iter()
+                            .map(|n| n.predecessors.len())
+                            .collect(),
+                        remaining_tasks: inst.spec.nodes.len(),
+                        arrival: SimTime::from_duration(inst.arrival),
+                    },
+                )
+            })
+            .collect();
+        InstanceTracker { states }
+    }
+
+    /// Records `task` finishing at `finish`: successors whose
+    /// predecessors are now all complete join the ready list, and the
+    /// finished application (if this was its last task) is returned.
+    pub fn complete_task(
+        &mut self,
+        task: &Task,
+        finish: SimTime,
+        ready: &mut ReadyList,
+    ) -> Option<AppRecord> {
+        let state = self.states.get_mut(&task.instance.id).expect("known instance");
+        for &s in &task.node().successors {
+            state.remaining_preds[s] -= 1;
+            if state.remaining_preds[s] == 0 {
+                ready.push(Task { instance: Arc::clone(&task.instance), node_idx: s }, finish);
+            }
+        }
+        state.remaining_tasks -= 1;
+        (state.remaining_tasks == 0).then(|| AppRecord {
+            instance: task.instance.id,
+            app: task.app_name().to_string(),
+            arrival: state.arrival,
+            finish,
+            task_count: task.instance.spec.nodes.len(),
+        })
+    }
+}
+
+/// The busy-PE map plus reservation queues (the paper's proposed
+/// PE-level work queues): which PEs have work in flight, when they are
+/// projected to free up, and which tasks are queued behind them.
+#[derive(Debug)]
+pub struct PeSlots {
+    busy: HashMap<PeId, SimTime>, // projected (or exact) finish
+    reserved: HashMap<PeId, VecDeque<ReadyTask>>,
+    depth: usize,
+    total: usize,
+}
+
+impl PeSlots {
+    /// All-idle state for `total` PEs with reservation-queue `depth`.
+    pub fn new(total: usize, depth: usize) -> Self {
+        PeSlots { busy: HashMap::new(), reserved: HashMap::new(), depth, total }
+    }
+
+    /// The configured reservation-queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of PEs with work in flight.
+    pub fn busy_count(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// True when no PE has work in flight.
+    pub fn all_idle(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// True if `pe` has work in flight.
+    pub fn is_busy(&self, pe: PeId) -> bool {
+        self.busy.contains_key(&pe)
+    }
+
+    /// The PEs currently executing (order unspecified).
+    pub fn busy_pes(&self) -> Vec<PeId> {
+        self.busy.keys().copied().collect()
+    }
+
+    /// Tasks queued behind `pe`'s running task.
+    pub fn queued(&self, pe: PeId) -> usize {
+        self.reserved.get(&pe).map_or(0, VecDeque::len)
+    }
+
+    /// True if the scheduler may assign to `pe`: idle, or busy with
+    /// reservation-queue room.
+    pub fn has_room(&self, pe: PeId) -> bool {
+        !self.is_busy(pe) || self.queued(pe) < self.depth
+    }
+
+    /// True if any PE can accept an assignment right now.
+    pub fn any_schedulable(&self) -> bool {
+        self.busy.len() < self.total
+            || (self.depth > 0 && self.busy.keys().any(|&pe| self.queued(pe) < self.depth))
+    }
+
+    /// When `pe` is projected to become available (`now` when idle).
+    pub fn available_at(&self, pe: PeId, now: SimTime) -> SimTime {
+        self.busy.get(&pe).copied().unwrap_or(now)
+    }
+
+    /// The scheduler's view of one PE, with the shared idle semantics
+    /// (a busy PE with queue room is schedulable).
+    pub fn view<'a>(&self, pe: &'a PeDescriptor, now: SimTime) -> PeView<'a> {
+        PeView { pe, idle: self.has_room(pe.id), available_at: self.available_at(pe.id, now) }
+    }
+
+    /// Marks `pe` busy until `finish`.
+    pub fn occupy(&mut self, pe: PeId, finish: SimTime) {
+        self.busy.insert(pe, finish);
+    }
+
+    /// Extends `pe`'s projected finish by `by` (a reservation joined its
+    /// queue).
+    pub fn extend(&mut self, pe: PeId, by: Duration) {
+        if let Some(t) = self.busy.get_mut(&pe) {
+            *t += by;
+        }
+    }
+
+    /// Queues a task behind `pe`'s running task. Invariant: only valid
+    /// while the PE is busy and its queue has room.
+    pub fn reserve(&mut self, pe: PeId, rt: ReadyTask) {
+        debug_assert!(self.is_busy(pe) && self.queued(pe) < self.depth);
+        self.reserved.entry(pe).or_default().push_back(rt);
+    }
+
+    /// Handles `pe`'s completion: pops its next reserved task (the PE
+    /// stays busy and starts it immediately), or marks it idle.
+    pub fn release(&mut self, pe: PeId) -> Option<ReadyTask> {
+        let next = self.reserved.get_mut(&pe).and_then(VecDeque::pop_front);
+        if next.is_none() {
+            self.busy.remove(&pe);
+        }
+        next
+    }
+}
+
+/// Enforces the scheduler contract on one batch of assignments before
+/// any state is touched: indices in bounds, PEs with room, no double
+/// assignment of a PE or a task, platform compatibility. Both engines
+/// run exactly this check.
+pub fn validate_assignments(
+    scheduler_name: &str,
+    assignments: &[Assignment],
+    pending: &[ReadyTask],
+    slots: &PeSlots,
+    platform: &PlatformConfig,
+) -> Result<(), EmuError> {
+    let mut pes_used: Vec<PeId> = Vec::with_capacity(assignments.len());
+    let mut tasks_used: Vec<usize> = Vec::with_capacity(assignments.len());
+    let mut queued_now: HashMap<PeId, usize> = HashMap::new();
+    for a in assignments {
+        let room = !slots.is_busy(a.pe)
+            || slots.queued(a.pe) + queued_now.get(&a.pe).copied().unwrap_or(0) < slots.depth();
+        let ok = a.ready_idx < pending.len()
+            && room
+            && !pes_used.contains(&a.pe)
+            && !tasks_used.contains(&a.ready_idx)
+            && platform
+                .pes
+                .iter()
+                .any(|pe| pe.id == a.pe && pending[a.ready_idx].task.supports(&pe.platform_key));
+        if !ok {
+            return Err(EmuError::Config(format!(
+                "scheduler '{scheduler_name}' violated the assignment contract ({a:?})"
+            )));
+        }
+        if slots.is_busy(a.pe) {
+            *queued_now.entry(a.pe).or_default() += 1;
+        } else {
+            pes_used.push(a.pe);
+        }
+        tasks_used.push(a.ready_idx);
+    }
+    Ok(())
+}
+
+/// Statistics accumulator shared by both engines: task and application
+/// records, per-PE busy time, overhead, and invocation counts, folded
+/// into an [`EmulationStats`] when the run ends.
+#[derive(Debug, Default)]
+pub struct CompletionSink {
+    tasks: Vec<TaskRecord>,
+    apps: Vec<AppRecord>,
+    pe_busy: HashMap<PeId, Duration>,
+    /// Accumulated workload-manager overhead.
+    pub overhead: OverheadBreakdown,
+    /// Number of scheduler invocations.
+    pub sched_invocations: u64,
+}
+
+impl CompletionSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished task, charging its modeled duration to its
+    /// PE's busy time.
+    pub fn record_task(&mut self, rec: TaskRecord) {
+        *self.pe_busy.entry(rec.pe).or_default() += rec.modeled;
+        self.tasks.push(rec);
+    }
+
+    /// Records one finished application.
+    pub fn record_app(&mut self, rec: AppRecord) {
+        self.apps.push(rec);
+    }
+
+    /// Folds the accumulated records into the run's statistics.
+    pub fn finish(
+        self,
+        platform: &PlatformConfig,
+        scheduler: String,
+        instances: Vec<Arc<AppInstance>>,
+    ) -> EmulationStats {
+        let makespan = self
+            .apps
+            .iter()
+            .map(|a| a.finish)
+            .chain(self.tasks.iter().map(|t| t.finish))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .as_duration();
+        EmulationStats {
+            platform: platform.name.clone(),
+            scheduler,
+            makespan,
+            tasks: self.tasks,
+            apps: self.apps,
+            pe_busy: self.pe_busy.into_iter().collect(),
+            pe_names: platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
+            sched_invocations: self.sched_invocations,
+            overhead: self.overhead,
+            instances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::ready_tasks;
+    use proptest::prelude::*;
+
+    /// Builds a ReadyList of `n` tasks with seq 0..n (reusing a small
+    /// task fixture; ordering logic only looks at `seq`).
+    fn filled(n: usize) -> ReadyList {
+        let fixture = ready_tasks(8, 100.0);
+        let mut list = ReadyList::new();
+        for i in 0..n {
+            list.push(fixture[i % fixture.len()].task.clone(), SimTime(i as u64));
+        }
+        list
+    }
+
+    fn seqs(list: &ReadyList) -> Vec<u64> {
+        list.pending().iter().map(|rt| rt.seq).collect()
+    }
+
+    #[test]
+    fn prefix_removal_advances_head() {
+        let mut list = filled(6);
+        let asg: Vec<Assignment> =
+            (0..2).map(|i| Assignment { ready_idx: i, pe: dssoc_platform::pe::PeId(0) }).collect();
+        list.remove(&asg);
+        assert_eq!(seqs(&list), vec![2, 3, 4, 5]);
+        // Buffer unchanged: prefix removal is O(1).
+        assert_eq!(list.buffer_len(), 6);
+    }
+
+    #[test]
+    fn scattered_removal_compacts_in_order() {
+        let mut list = filled(6);
+        let asg: Vec<Assignment> = [1usize, 3, 4]
+            .iter()
+            .map(|&i| Assignment { ready_idx: i, pe: dssoc_platform::pe::PeId(0) })
+            .collect();
+        list.remove(&asg);
+        assert_eq!(seqs(&list), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn prefix_is_reclaimed_once_it_dominates() {
+        let mut list = filled(3000);
+        // Consume 2900 as prefixes of one.
+        for _ in 0..2900 {
+            list.remove(&[Assignment { ready_idx: 0, pe: dssoc_platform::pe::PeId(0) }]);
+        }
+        assert_eq!(list.len(), 100);
+        assert!(
+            list.buffer_len() < 3000,
+            "consumed prefix should have been reclaimed (buffer {})",
+            list.buffer_len()
+        );
+        assert_eq!(seqs(&list), (2900..3000).collect::<Vec<u64>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Any interleaving of pushes and (sorted) removals keeps the
+        /// pending slice in strictly increasing seq order and removes
+        /// exactly the chosen entries — the invariant FRFS relies on.
+        fn ready_list_preserves_seq_order(ops in proptest::collection::vec((1u8..6, proptest::prelude::any::<u64>()), 1..40)) {
+            let fixture = ready_tasks(8, 100.0);
+            let mut list = ReadyList::new();
+            let mut model: Vec<u64> = Vec::new();
+            let mut next_seq = 0u64;
+            for (pushes, mask) in ops {
+                for _ in 0..pushes {
+                    list.push(fixture[(next_seq % 8) as usize].task.clone(), SimTime(next_seq));
+                    model.push(next_seq);
+                    next_seq += 1;
+                }
+                // Remove the pending subset selected by the mask bits.
+                let chosen: Vec<usize> =
+                    (0..list.len().min(64)).filter(|i| mask & (1 << i) != 0).collect();
+                let asg: Vec<Assignment> = chosen
+                    .iter()
+                    .map(|&i| Assignment { ready_idx: i, pe: dssoc_platform::pe::PeId(0) })
+                    .collect();
+                let removed: Vec<u64> = chosen.iter().map(|&i| model[i]).collect();
+                list.remove(&asg);
+                model.retain(|s| !removed.contains(s));
+                let got: Vec<u64> = list.pending().iter().map(|rt| rt.seq).collect();
+                prop_assert_eq!(&got, &model);
+                prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "seq order broken: {:?}", got);
+            }
+        }
+    }
+
+    #[test]
+    fn pe_slots_reservation_lifecycle() {
+        let pe = dssoc_platform::pe::PeId(7);
+        let mut slots = PeSlots::new(2, 1);
+        assert!(slots.all_idle() && slots.has_room(pe) && slots.any_schedulable());
+
+        slots.occupy(pe, SimTime(100));
+        assert!(slots.is_busy(pe));
+        assert_eq!(slots.available_at(pe, SimTime(5)), SimTime(100));
+        assert!(slots.has_room(pe), "depth 1 leaves queue room");
+
+        let rt = ready_tasks(1, 100.0).pop().unwrap();
+        slots.reserve(pe, rt);
+        slots.extend(pe, Duration::from_nanos(50));
+        assert_eq!(slots.available_at(pe, SimTime(5)), SimTime(150));
+        assert!(!slots.has_room(pe), "queue full at depth 1");
+        assert!(slots.any_schedulable(), "the other PE is idle");
+
+        // Completion pops the reservation; the PE stays busy.
+        assert!(slots.release(pe).is_some());
+        assert!(slots.is_busy(pe), "reservation keeps the PE busy");
+        assert!(slots.release(pe).is_none());
+        assert!(!slots.is_busy(pe));
+    }
+}

@@ -210,8 +210,12 @@ mod tests {
                 }],
             },
         );
-        let json =
-            AppJson { app_name: "d".into(), shared_object: "d.so".into(), variables: BTreeMap::new(), dag };
+        let json = AppJson {
+            app_name: "d".into(),
+            shared_object: "d.so".into(),
+            variables: BTreeMap::new(),
+            dag,
+        };
         let spec = ApplicationSpec::from_json(&json, &reg).unwrap();
         let inst = Arc::new(AppInstance::instantiate(spec, InstanceId(0), Duration::ZERO).unwrap());
         Task { instance: inst, node_idx: 0 }
@@ -283,10 +287,7 @@ mod tests {
             }
         });
         for i in 0..10 {
-            h.dispatch(TaskAssignment {
-                task: dummy_task(),
-                start: SimTime(i),
-            });
+            h.dispatch(TaskAssignment { task: dummy_task(), start: SimTime(i) });
             // Poll like the workload manager does.
             let c = loop {
                 if let Some(c) = h.try_collect() {

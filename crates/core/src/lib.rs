@@ -14,11 +14,13 @@
 //! | module | paper section | contents |
 //! |---|---|---|
 //! | [`engine`] | §II-C, Fig. 3 | workload manager, timing modes, driver |
-//! | [`resource`] | §II-D, Fig. 4 | per-PE resource-manager threads |
+//! | [`exec`] | §II-C | engine-agnostic scheduling core (ready list, instance tracking, PE slots) |
+//! | [`resource`] | §II-D, Fig. 4 | per-PE resource-manager threads, persistent [`resource::ResourcePool`] |
 //! | [`handler`] | §II-C | idle/run/complete handler protocol |
 //! | [`sched`] | §II-C | FRFS, MET, EFT, RANDOM + `Scheduler` trait |
 //! | [`stats`] | §III | task/app records, utilization, overhead |
 //! | [`des`] | §III-D | discrete-event baseline (DS3-class) |
+//! | [`sweep`] | §III | batch sweep API over config × scheduler × workload grids |
 //! | [`task`], [`time`] | — | task and emulation-clock primitives |
 //!
 //! ## Quick start
@@ -50,28 +52,33 @@
 //! // 3. Generate a validation-mode workload and emulate it on a
 //! //    hypothetical 2-core + 1-FFT ZCU102 configuration.
 //! let workload = WorkloadSpec::validation([("hello", 3usize)]).generate(&library).unwrap();
-//! let emulation = Emulation::new(zcu102(2, 1)).unwrap();
+//! let mut emulation = Emulation::new(zcu102(2, 1)).unwrap();
 //! let stats = emulation.run(&mut FrfsScheduler::new(), &workload, &library).unwrap();
 //! assert_eq!(stats.completed_apps(), 3);
 //! ```
 
 pub mod des;
 pub mod engine;
+pub mod exec;
 pub mod handler;
 pub mod resource;
 pub mod sched;
 pub mod stats;
+pub mod sweep;
 pub mod task;
 pub mod time;
 
 pub use des::{DesConfig, DesSimulator};
 pub use engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
+pub use exec::{CompletionSink, InstanceTracker, PeSlots, ReadyList};
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
+pub use resource::{threads_spawned_total, ResourcePool};
 pub use sched::{
     Assignment, EftScheduler, EstimateBook, FrfsScheduler, MetScheduler, PeView, RandomScheduler,
     SchedContext, Scheduler,
 };
 pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+pub use sweep::{CellResult, SweepCell, SweepRunner};
 pub use task::{ReadyTask, Task};
 pub use time::SimTime;
 
@@ -79,9 +86,8 @@ pub use time::SimTime;
 pub mod prelude {
     pub use crate::des::{DesConfig, DesSimulator};
     pub use crate::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
-    pub use crate::sched::{
-        EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler,
-    };
+    pub use crate::sched::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
     pub use crate::stats::EmulationStats;
+    pub use crate::sweep::{CellResult, SweepCell, SweepRunner};
     pub use crate::time::SimTime;
 }

@@ -19,17 +19,20 @@
 //! while the "device" processes, exactly as the paper migrates
 //! accelerator manager threads to the sleep state.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dssoc_appmodel::error::ModelError;
 use dssoc_appmodel::memory::{AccelPort, TaskCtx};
 use dssoc_platform::accel::{AccelJobReport, FftAccelerator};
 use dssoc_platform::cost::CostModel;
-use dssoc_platform::pe::{ContentionModel, PeKind};
+use dssoc_platform::pe::{ContentionModel, PeKind, PlatformConfig};
+use dssoc_platform::placement::Placement;
 
-use crate::engine::TimingMode;
-use crate::handler::{ResourceHandler, TaskCompletion};
+use crate::engine::{EmuError, TimingMode};
+use crate::handler::{PeStatus, ResourceHandler, TaskCompletion};
 
 /// [`AccelPort`] implementation backed by the simulated FFT device.
 pub struct FftPort {
@@ -50,6 +53,92 @@ impl AccelPort for FftPort {
 
     fn fft_bytes(&self, buf: &mut [u8], inverse: bool) -> Result<AccelJobReport, String> {
         self.device.process_bytes(buf, inverse).map_err(|e| e.to_string())
+    }
+}
+
+/// Lifetime count of resource-manager threads spawned in this process.
+/// Tests use it to assert that [`ResourcePool`] reuses its threads
+/// across consecutive runs instead of respawning per run.
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total resource-manager threads ever spawned by this process.
+pub fn threads_spawned_total() -> u64 {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// The persistent PE resource pool: one resource handler and one named
+/// manager thread per PE, spawned once and reused across emulation runs.
+///
+/// The paper's initialization phase brings this pool up before the
+/// workload manager starts; keeping it alive between runs means a batch
+/// sweep pays thread-spawn cost once, not per cell. Threads park in
+/// [`ResourceHandler::wait_for_assignment`] between runs and are shut
+/// down and joined on [`Drop`].
+pub struct ResourcePool {
+    handlers: Vec<Arc<ResourceHandler>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ResourcePool {
+    /// Spawns one handler + manager thread per PE of `platform`.
+    pub fn spawn(
+        platform: &PlatformConfig,
+        cost: &Arc<dyn CostModel>,
+        timing: TimingMode,
+    ) -> Result<Self, EmuError> {
+        let placement = Placement::compute(platform);
+        let handlers: Vec<Arc<ResourceHandler>> =
+            platform.pes.iter().map(|pe| ResourceHandler::new(pe.clone())).collect();
+        let mut threads = Vec::with_capacity(handlers.len());
+        for h in &handlers {
+            let ctx = RmContext {
+                handler: Arc::clone(h),
+                cost: Arc::clone(cost),
+                timing,
+                sharers: placement.sharers_of(h.pe_id()),
+                contention: platform.contention.clone(),
+            };
+            let name = format!("rm-{}", h.pe.name);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || resource_manager_loop(ctx))
+                    .map_err(|e| {
+                        EmuError::Config(format!("failed to spawn manager thread: {e}"))
+                    })?,
+            );
+            THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ResourcePool { handlers, threads })
+    }
+
+    /// The per-PE handlers, in platform PE order.
+    pub fn handlers(&self) -> &[Arc<ResourceHandler>] {
+        &self.handlers
+    }
+
+    /// Waits until every PE is idle again, discarding any uncollected
+    /// completions. Called after a run ends early (scheduler contract
+    /// violation, task failure) so in-flight work cannot leak into the
+    /// next run on this pool.
+    pub fn drain(&self) {
+        for h in &self.handlers {
+            while h.status() != PeStatus::Idle {
+                let _ = h.try_collect();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for ResourcePool {
+    fn drop(&mut self) {
+        for h in &self.handlers {
+            h.shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -74,7 +163,12 @@ pub struct RmContext {
 /// authoritative. The host-core sharing factor stretches the DMA phases
 /// (the manager thread must be scheduled on its core to drive each
 /// transfer) and adds `context_switch * (sharers - 1)` per invocation.
-pub fn modeled_duration(ctx: &RmContext, runfunc: &str, measured: Duration, reports: &[AccelJobReport]) -> Duration {
+pub fn modeled_duration(
+    ctx: &RmContext,
+    runfunc: &str,
+    measured: Duration,
+    reports: &[AccelJobReport],
+) -> Duration {
     let pe = &ctx.handler.pe;
     if !reports.is_empty() {
         let k = ctx.sharers.max(1) as u32;
@@ -112,7 +206,9 @@ pub fn resource_manager_loop(ctx: RmContext) {
     let mut kernel_ewma: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     // Accelerator PEs own their device for the lifetime of the thread.
     let port: Option<FftPort> = match &ctx.handler.pe.kind {
-        PeKind::Accel(model) if model.kind == "fft" => Some(FftPort::new(FftAccelerator::new(model.clone()))),
+        PeKind::Accel(model) if model.kind == "fft" => {
+            Some(FftPort::new(FftAccelerator::new(model.clone())))
+        }
         _ => None,
     };
 

@@ -35,7 +35,12 @@ impl Scheduler for EftScheduler {
         "EFT"
     }
 
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         // Projected availability per PE, advanced as this round places tasks.
         let mut avail: Vec<SimTime> = pes.iter().map(|v| v.available_at.max(ctx.now)).collect();
         // Whether the *current* dispatch may use the PE (it must be idle

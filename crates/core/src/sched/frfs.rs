@@ -28,7 +28,12 @@ impl Scheduler for FrfsScheduler {
         "FRFS"
     }
 
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], _ctx: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        _ctx: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         let mut taken = vec![false; pes.len()];
         let mut out = Vec::new();
         // The engine guarantees readiness (seq) order: the head of the
@@ -102,9 +107,9 @@ mod tests {
         let mut views = idle_views(&cfg);
         views[0].idle = false;
         views[1].idle = false; // only the FFT PE is idle
-        // Head task (index 1 is odd = cpu-only after the swap trick):
-        // build 2 tasks and drop the fft-capable head so the head is
-        // cpu-only while an fft-capable task waits behind it.
+                               // Head task (index 1 is odd = cpu-only after the swap trick):
+                               // build 2 tasks and drop the fft-capable head so the head is
+                               // cpu-only while an fft-capable task waits behind it.
         let ready = ready_tasks(4, 70.0);
         let tail = &ready[1..]; // head now cpu-only (odd index), task 2 is fft-capable
         let book = EstimateBook::new();

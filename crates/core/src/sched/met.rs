@@ -30,7 +30,12 @@ impl Scheduler for MetScheduler {
         "MET"
     }
 
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         let mut taken = vec![false; pes.len()];
         let mut out = Vec::new();
         // Deliberately no early exit: MET evaluates the whole ready

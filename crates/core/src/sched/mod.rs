@@ -132,7 +132,12 @@ pub trait Scheduler: Send {
     /// proportional to the PE count (the paper's flat Fig. 10b line).
     ///
     /// Tasks left unassigned stay in the ready list for the next round.
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], ctx: &SchedContext<'_>) -> Vec<Assignment>;
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Assignment>;
 }
 
 /// Builds a library scheduler by name (`"frfs"`, `"met"`, `"eft"`,
@@ -148,7 +153,10 @@ pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
 }
 
 /// Shared helper: indices of idle PEs compatible with `task`.
-pub(crate) fn idle_compatible<'a>(task: &'a Task, pes: &'a [PeView<'a>]) -> impl Iterator<Item = usize> + 'a {
+pub(crate) fn idle_compatible<'a>(
+    task: &'a Task,
+    pes: &'a [PeView<'a>],
+) -> impl Iterator<Item = usize> + 'a {
     pes.iter()
         .enumerate()
         .filter(move |(_, v)| v.idle && task.supports(&v.pe.platform_key))
@@ -223,10 +231,7 @@ pub(crate) mod testutil {
 
     /// Builds all-idle PE views for a platform.
     pub fn idle_views(cfg: &PlatformConfig) -> Vec<PeView<'_>> {
-        cfg.pes
-            .iter()
-            .map(|pe| PeView { pe, idle: true, available_at: SimTime::ZERO })
-            .collect()
+        cfg.pes.iter().map(|pe| PeView { pe, idle: true, available_at: SimTime::ZERO }).collect()
     }
 
     /// Checks the scheduler contract on a result.
@@ -253,7 +258,9 @@ mod tests {
 
     #[test]
     fn by_name_builds_library_policies() {
-        for (name, expect) in [("frfs", "FRFS"), ("MET", "MET"), ("eft", "EFT"), ("Random", "RANDOM")] {
+        for (name, expect) in
+            [("frfs", "FRFS"), ("MET", "MET"), ("eft", "EFT"), ("Random", "RANDOM")]
+        {
             let s = by_name(name).unwrap_or_else(|| panic!("policy {name}"));
             assert_eq!(s.name(), expect);
         }
@@ -270,10 +277,7 @@ mod tests {
 
         // JSON mean_exec wins even after observations.
         let t0 = &ready[0].task;
-        assert_eq!(
-            book.estimate(t0, cpu_pe).unwrap(),
-            std::time::Duration::from_micros(100)
-        );
+        assert_eq!(book.estimate(t0, cpu_pe).unwrap(), std::time::Duration::from_micros(100));
         assert_eq!(book.estimate(t0, fft_pe).unwrap(), std::time::Duration::from_micros(70));
 
         // Odd task doesn't support fft.
@@ -283,7 +287,9 @@ mod tests {
         book.observe("kx", "cortex-a53", std::time::Duration::from_micros(40));
         book.observe("kx", "cortex-a53", std::time::Duration::from_micros(80));
         let d = book.ewma["kx"]["cortex-a53"];
-        assert!(d > std::time::Duration::from_micros(40) && d < std::time::Duration::from_micros(80));
+        assert!(
+            d > std::time::Duration::from_micros(40) && d < std::time::Duration::from_micros(80)
+        );
         assert_eq!(book.len(), 1);
     }
 

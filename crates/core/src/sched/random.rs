@@ -27,7 +27,12 @@ impl Scheduler for RandomScheduler {
         "RANDOM"
     }
 
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], _ctx: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        _ctx: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         let mut taken = vec![false; pes.len()];
         let mut free = pes.iter().filter(|v| v.idle).count();
         let mut out = Vec::new();

@@ -128,10 +128,7 @@ impl EmulationStats {
         if self.makespan.is_zero() {
             return 0.0;
         }
-        self.pe_busy
-            .get(&pe)
-            .map(|b| b.as_secs_f64() / self.makespan.as_secs_f64())
-            .unwrap_or(0.0)
+        self.pe_busy.get(&pe).map(|b| b.as_secs_f64() / self.makespan.as_secs_f64()).unwrap_or(0.0)
     }
 
     /// All `(PE, utilization)` pairs in id order.

@@ -1,0 +1,250 @@
+//! Batch sweep API: run a grid of (platform, scheduler, workload) cells
+//! with per-cell iteration counts against warm, reusable emulation
+//! pools.
+//!
+//! Every case study in the paper's evaluation (§III) is a sweep of this
+//! shape — Fig. 9 sweeps platform configurations, Fig. 10 sweeps
+//! schedulers × injection rates, Fig. 11 sweeps big.LITTLE mixes — and
+//! each used to hand-roll the same harness loop. [`SweepRunner`] owns
+//! that loop once: it resolves schedulers by name, repeats each cell
+//! with an optional discarded warm-up run (the paper's
+//! repeated-iteration methodology), and caches one [`Emulation`] per
+//! distinct platform so consecutive cells reuse the persistent PE
+//! resource pool instead of respawning threads.
+
+use std::sync::Arc;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::workload::Workload;
+use dssoc_platform::pe::PlatformConfig;
+
+use crate::engine::{EmuError, Emulation, EmulationConfig};
+use crate::sched::{by_name, Scheduler};
+use crate::stats::EmulationStats;
+
+/// One cell of a sweep grid: a platform, a scheduler, a workload, and
+/// how often to repeat the run.
+#[derive(Clone)]
+pub struct SweepCell {
+    /// Display label carried into the [`CellResult`].
+    pub label: String,
+    /// Platform to emulate.
+    pub platform: PlatformConfig,
+    /// Library scheduler name (resolved via [`by_name`]).
+    pub scheduler: String,
+    /// Workload to run (shared, so grids can reuse one workload across
+    /// platforms without cloning it per cell).
+    pub workload: Arc<Workload>,
+    /// Number of measured iterations (at least 1).
+    pub iterations: usize,
+    /// Whether to prepend one discarded warm-up run.
+    pub warmup: bool,
+}
+
+impl SweepCell {
+    /// A single-iteration cell without warm-up, labeled
+    /// `"{platform}/{scheduler}"`.
+    pub fn new(
+        platform: PlatformConfig,
+        scheduler: impl Into<String>,
+        workload: Arc<Workload>,
+    ) -> Self {
+        let scheduler = scheduler.into();
+        SweepCell {
+            label: format!("{}/{}", platform.name, scheduler),
+            platform,
+            scheduler,
+            workload,
+            iterations: 1,
+            warmup: false,
+        }
+    }
+
+    /// Replaces the display label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the measured iteration count (clamped to at least 1).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = n.max(1);
+        self
+    }
+
+    /// Enables or disables the discarded warm-up run.
+    pub fn warmup(mut self, warmup: bool) -> Self {
+        self.warmup = warmup;
+        self
+    }
+}
+
+/// The outcome of one sweep cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// The cell's label.
+    pub label: String,
+    /// Makespan of each measured iteration, in milliseconds.
+    pub makespans_ms: Vec<f64>,
+    /// Full statistics of the last measured iteration.
+    pub stats: EmulationStats,
+}
+
+/// Runs sweep cells against warm emulation pools.
+///
+/// The runner keeps one [`Emulation`] per distinct platform it has
+/// seen; cells on the same platform — and repeated iterations within a
+/// cell — share its resource-manager threads.
+pub struct SweepRunner<'a> {
+    library: &'a AppLibrary,
+    config: EmulationConfig,
+    pools: Vec<Emulation>,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// A runner with the default engine configuration.
+    pub fn new(library: &'a AppLibrary) -> Self {
+        Self::with_config(library, EmulationConfig::default())
+    }
+
+    /// A runner with an explicit engine configuration, applied to every
+    /// cell.
+    pub fn with_config(library: &'a AppLibrary, config: EmulationConfig) -> Self {
+        SweepRunner { library, config, pools: Vec::new() }
+    }
+
+    /// The warm pool for `platform`, creating it on first use.
+    fn emulation_for(&mut self, platform: &PlatformConfig) -> Result<&mut Emulation, EmuError> {
+        if let Some(i) = self.pools.iter().position(|e| e.platform() == platform) {
+            return Ok(&mut self.pools[i]);
+        }
+        self.pools.push(Emulation::with_config(platform.clone(), self.config.clone())?);
+        Ok(self.pools.last_mut().expect("just pushed"))
+    }
+
+    /// Runs one cell with its named library scheduler (a fresh policy
+    /// instance per iteration).
+    pub fn run_cell(&mut self, cell: &SweepCell) -> Result<CellResult, EmuError> {
+        by_name(&cell.scheduler)
+            .ok_or_else(|| EmuError::Config(format!("unknown scheduler '{}'", cell.scheduler)))?;
+        self.run_cell_with(cell, &mut || by_name(&cell.scheduler).expect("checked above"))
+    }
+
+    /// Runs one cell with a custom scheduler factory (called once per
+    /// iteration, so stateful policies start fresh each time).
+    pub fn run_cell_with(
+        &mut self,
+        cell: &SweepCell,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<CellResult, EmuError> {
+        let library = self.library;
+        let emu = self.emulation_for(&cell.platform)?;
+        let warmup = usize::from(cell.warmup);
+        let mut makespans = Vec::with_capacity(cell.iterations);
+        let mut last: Option<EmulationStats> = None;
+        for i in 0..cell.iterations + warmup {
+            let mut sched = make_scheduler();
+            let stats = emu.run(sched.as_mut(), &cell.workload, library)?;
+            if i >= warmup {
+                makespans.push(stats.makespan.as_secs_f64() * 1e3);
+                last = Some(stats);
+            }
+        }
+        Ok(CellResult {
+            label: cell.label.clone(),
+            makespans_ms: makespans,
+            stats: last.expect("at least one measured iteration"),
+        })
+    }
+
+    /// Runs every cell of a grid in order, stopping at the first error.
+    pub fn run_batch(&mut self, cells: &[SweepCell]) -> Result<Vec<CellResult>, EmuError> {
+        cells.iter().map(|c| self.run_cell(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{OverheadMode, TimingMode};
+    use crate::sched::FrfsScheduler;
+    use dssoc_platform::cost::ScaledMeasuredCost;
+    use dssoc_platform::presets::zcu102;
+
+    fn tiny_setup() -> (AppLibrary, Arc<Workload>) {
+        use dssoc_appmodel::json::AppJson;
+        use dssoc_appmodel::registry::KernelRegistry;
+        use dssoc_appmodel::WorkloadSpec;
+        let mut registry = KernelRegistry::new();
+        registry.register_fn("t.so", "work", |ctx| {
+            let n = ctx.read_u32("n")?;
+            ctx.write_u32("n", n + 1)
+        });
+        let json = AppJson::from_str(
+            r#"{
+            "AppName": "tiny",
+            "SharedObject": "t.so",
+            "Variables": {"n": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [0,0,0,0]}},
+            "DAG": {"only": {"arguments": ["n"],
+                             "platforms": [{"name": "cpu", "runfunc": "work"}]}}
+        }"#,
+        )
+        .unwrap();
+        let mut library = AppLibrary::new();
+        library.register_json(&json, &registry).unwrap();
+        let workload =
+            Arc::new(WorkloadSpec::validation([("tiny", 2usize)]).generate(&library).unwrap());
+        (library, workload)
+    }
+
+    fn quiet_config() -> EmulationConfig {
+        EmulationConfig {
+            timing: TimingMode::Modeled,
+            overhead: OverheadMode::None,
+            cost: Arc::new(ScaledMeasuredCost::default()),
+            reservation_depth: 0,
+        }
+    }
+
+    #[test]
+    fn batch_reuses_pools_across_cells() {
+        let (library, workload) = tiny_setup();
+        let mut runner = SweepRunner::with_config(&library, quiet_config());
+        let cells = vec![
+            SweepCell::new(zcu102(2, 0), "frfs", Arc::clone(&workload)).iterations(2),
+            SweepCell::new(zcu102(2, 0), "met", Arc::clone(&workload)),
+            SweepCell::new(zcu102(1, 0), "frfs", workload).warmup(true),
+        ];
+        let before = crate::resource::threads_spawned_total();
+        let results = runner.run_batch(&cells).unwrap();
+        let spawned = crate::resource::threads_spawned_total() - before;
+        assert_eq!(spawned, 3, "two pools: 2 PEs + 1 PE, reused across 5 runs");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].makespans_ms.len(), 2);
+        assert_eq!(results[1].label, "zcu102-2C+0F/met");
+        assert_eq!(results[2].makespans_ms.len(), 1, "warm-up run discarded");
+        for r in &results {
+            assert_eq!(r.stats.completed_apps(), 2);
+            assert!(r.makespans_ms.iter().all(|&m| m > 0.0));
+        }
+    }
+
+    #[test]
+    fn unknown_scheduler_is_a_config_error() {
+        let (library, workload) = tiny_setup();
+        let mut runner = SweepRunner::with_config(&library, quiet_config());
+        let cell = SweepCell::new(zcu102(1, 0), "heft", workload);
+        let err = runner.run_cell(&cell).unwrap_err();
+        assert!(err.to_string().contains("heft"), "{err}");
+    }
+
+    #[test]
+    fn custom_scheduler_factory() {
+        let (library, workload) = tiny_setup();
+        let mut runner = SweepRunner::with_config(&library, quiet_config());
+        let cell = SweepCell::new(zcu102(1, 0), "custom", workload).label("mine").iterations(2);
+        let result = runner.run_cell_with(&cell, &mut || Box::new(FrfsScheduler::new())).unwrap();
+        assert_eq!(result.label, "mine");
+        assert_eq!(result.makespans_ms.len(), 2);
+    }
+}

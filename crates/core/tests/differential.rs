@@ -1,0 +1,89 @@
+//! Cross-engine differential tests: the threaded engine in modeled
+//! timing and the discrete-event simulator are built on the same
+//! scheduling core (`dssoc_core::exec`), so with a fully populated
+//! [`CostTable`], no overhead charging, and CPU-only platforms the two
+//! must agree on the makespan *exactly* — any divergence means the
+//! engines' ready-list, completion, or clock bookkeeping drifted apart.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::WorkloadSpec;
+use dssoc_apps::standard_library;
+use dssoc_core::prelude::*;
+use dssoc_core::sched::by_name;
+use dssoc_platform::cost::CostTable;
+use dssoc_platform::pe::PlatformConfig;
+use dssoc_platform::presets::zcu102;
+
+const APPS: [&str; 4] = ["pulse_doppler", "range_detection", "wifi_tx", "wifi_rx"];
+
+/// A deterministic cost table covering every `(runfunc, PE class)` pair
+/// the reference apps can hit on `platform`: the JSON `mean_exec_us`
+/// when present, otherwise a synthetic per-node duration. Both engines
+/// consume this table, so neither ever falls back to host measurement.
+fn full_cost_table(library: &AppLibrary, platform: &PlatformConfig) -> CostTable {
+    let mut table = CostTable::new();
+    for app in APPS {
+        let spec = library.get(app).expect("reference app");
+        for node in &spec.nodes {
+            for pe in &platform.pes {
+                if let Some(p) = node.platform(&pe.platform_key) {
+                    let d = p
+                        .mean_exec
+                        .unwrap_or_else(|| Duration::from_micros(50 + 10 * node.index as u64));
+                    table.set(p.runfunc.clone(), pe.class_name(), d);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Runs one (platform, scheduler) cell on both engines and returns the
+/// two makespans.
+fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration) {
+    let (library, _registry) = standard_library();
+    let workload =
+        WorkloadSpec::validation(APPS.map(|a| (a, 1usize))).generate(&library).expect("workload");
+    let table = full_cost_table(&library, platform);
+
+    let cfg = EmulationConfig {
+        timing: TimingMode::Modeled,
+        overhead: OverheadMode::None,
+        cost: Arc::new(table.clone()),
+        reservation_depth: 0,
+    };
+    let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
+    let mut sched = by_name(scheduler).expect("library policy");
+    let emu_stats = emu.run(sched.as_mut(), &workload, &library).expect("emulation");
+
+    let des = DesSimulator::new(
+        platform.clone(),
+        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO },
+    )
+    .expect("platform");
+    let mut sched = by_name(scheduler).expect("library policy");
+    let des_stats = des.run(sched.as_mut(), &workload, &library).expect("simulation");
+
+    assert_eq!(emu_stats.completed_apps(), APPS.len());
+    assert_eq!(des_stats.completed_apps(), APPS.len());
+    assert_eq!(emu_stats.tasks.len(), des_stats.tasks.len());
+    (emu_stats.makespan, des_stats.makespan)
+}
+
+#[test]
+fn engines_agree_on_cpu_only_configs() {
+    for scheduler in ["frfs", "met"] {
+        for (cores, ffts) in [(1usize, 0usize), (2, 0), (3, 0)] {
+            let platform = zcu102(cores, ffts);
+            let (emu, des) = makespans(&platform, scheduler);
+            assert_eq!(
+                emu, des,
+                "threaded-Modeled vs DES diverged: {scheduler} on {cores}C+{ffts}F \
+                 (emu {emu:?}, des {des:?})"
+            );
+        }
+    }
+}

@@ -18,7 +18,12 @@ use dssoc_platform::presets::{odroid_xu3, zcu102};
 
 fn cpu_platform(name: &str, runfunc: &str) -> PlatformJson {
     let _ = name;
-    PlatformJson { name: "cpu".into(), runfunc: runfunc.into(), shared_object: None, mean_exec_us: None }
+    PlatformJson {
+        name: "cpu".into(),
+        runfunc: runfunc.into(),
+        shared_object: None,
+        mean_exec_us: None,
+    }
 }
 
 /// Builds a library with one app: a diamond DAG (src -> a, b -> sink)
@@ -98,7 +103,8 @@ fn modeled_config(table: CostTable) -> EmulationConfig {
 fn validation_workload_completes_and_respects_dependencies() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 3usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
 
     assert_eq!(stats.completed_apps(), 3);
@@ -132,7 +138,8 @@ fn kernels_really_execute() {
     let instances = wl.instantiate(&lib).unwrap();
     // Run through the engine with a fresh workload (instances above are a
     // parallel universe — we verify via task records instead).
-    let emu = Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     // Each kernel increments the counter; measured > 0 proves execution.
     assert_eq!(stats.tasks.len(), 4);
@@ -147,7 +154,7 @@ fn more_cores_reduce_makespan_with_table_costs() {
     let wl = WorkloadSpec::validation([("diamond", 6usize)]).generate(&lib).unwrap();
     let mut makespans = Vec::new();
     for cores in [1usize, 2, 3] {
-        let emu =
+        let mut emu =
             Emulation::with_config(zcu102(cores, 0), modeled_config(diamond_cost_table())).unwrap();
         let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
         makespans.push(stats.makespan);
@@ -164,7 +171,7 @@ fn modeled_engine_and_des_agree_deterministically() {
     let wl = WorkloadSpec::validation([("diamond", 4usize)]).generate(&lib).unwrap();
     let table = diamond_cost_table();
 
-    let emu = Emulation::with_config(zcu102(2, 0), modeled_config(table.clone())).unwrap();
+    let mut emu = Emulation::with_config(zcu102(2, 0), modeled_config(table.clone())).unwrap();
     let threaded = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
 
     let des = DesSimulator::new(
@@ -177,8 +184,10 @@ fn modeled_engine_and_des_agree_deterministically() {
     assert_eq!(threaded.makespan, simulated.makespan, "engines disagree on makespan");
     assert_eq!(threaded.tasks.len(), simulated.tasks.len());
     // Per-task finish times must match exactly.
-    let mut a: Vec<_> = threaded.tasks.iter().map(|t| (t.instance, t.node.clone(), t.finish)).collect();
-    let mut b: Vec<_> = simulated.tasks.iter().map(|t| (t.instance, t.node.clone(), t.finish)).collect();
+    let mut a: Vec<_> =
+        threaded.tasks.iter().map(|t| (t.instance, t.node.clone(), t.finish)).collect();
+    let mut b: Vec<_> =
+        simulated.tasks.iter().map(|t| (t.instance, t.node.clone(), t.finish)).collect();
     a.sort();
     b.sort();
     assert_eq!(a, b);
@@ -189,7 +198,7 @@ fn modeled_runs_are_reproducible() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 5usize)]).generate(&lib).unwrap();
     let run = || {
-        let emu =
+        let mut emu =
             Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
         let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
         (stats.makespan, stats.tasks.len())
@@ -207,7 +216,7 @@ fn wall_clock_mode_completes() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 0,
     };
-    let emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
+    let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 2);
     // 8 tasks of 200us on 2 cores: at least ~800us of wall time.
@@ -229,7 +238,8 @@ fn performance_mode_arrivals_are_respected() {
     .generate(&lib)
     .unwrap();
     assert_eq!(wl.len(), 10);
-    let emu = Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 10);
     for app in &stats.apps {
@@ -253,7 +263,7 @@ fn all_library_schedulers_complete_the_workload() {
         Box::new(RandomScheduler::seeded(11)),
     ];
     for s in schedulers.iter_mut() {
-        let emu =
+        let mut emu =
             Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
         let stats = emu.run(s.as_mut(), &wl, &lib).unwrap();
         assert_eq!(stats.completed_apps(), 4, "{} failed to finish", s.name());
@@ -286,7 +296,7 @@ fn failing_kernel_surfaces_as_task_failed() {
     let mut lib = AppLibrary::new();
     lib.register_json(&json, &reg).unwrap();
     let wl = WorkloadSpec::validation([("faulty", 1usize)]).generate(&lib).unwrap();
-    let emu = Emulation::new(zcu102(1, 0)).unwrap();
+    let mut emu = Emulation::new(zcu102(1, 0)).unwrap();
     match emu.run(&mut FrfsScheduler::new(), &wl, &lib) {
         Err(EmuError::TaskFailed { app, node, reason }) => {
             assert_eq!(app, "faulty");
@@ -317,12 +327,16 @@ fn incompatible_workload_rejected_up_front() {
             }],
         },
     );
-    let json =
-        AppJson { app_name: "fftonly".into(), shared_object: "a.so".into(), variables: BTreeMap::new(), dag };
+    let json = AppJson {
+        app_name: "fftonly".into(),
+        shared_object: "a.so".into(),
+        variables: BTreeMap::new(),
+        dag,
+    };
     let mut lib = AppLibrary::new();
     lib.register_json(&json, &reg).unwrap();
     let wl = WorkloadSpec::validation([("fftonly", 1usize)]).generate(&lib).unwrap();
-    let emu = Emulation::new(zcu102(2, 0)).unwrap();
+    let mut emu = Emulation::new(zcu102(2, 0)).unwrap();
     match emu.run(&mut FrfsScheduler::new(), &wl, &lib) {
         Err(EmuError::Config(msg)) => assert!(msg.contains("fftonly")),
         other => panic!("expected Config error, got {other:?}"),
@@ -336,7 +350,12 @@ impl Scheduler for LazyScheduler {
     fn name(&self) -> &'static str {
         "LAZY"
     }
-    fn schedule(&mut self, _: &[ReadyTask], _: &[PeView<'_>], _: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        _: &[ReadyTask],
+        _: &[PeView<'_>],
+        _: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         Vec::new()
     }
 }
@@ -345,7 +364,8 @@ impl Scheduler for LazyScheduler {
 fn refusing_scheduler_detected_as_deadlock() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 1usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(1, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(1, 0), modeled_config(diamond_cost_table())).unwrap();
     match emu.run(&mut LazyScheduler, &wl, &lib) {
         Err(EmuError::Config(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
         other => panic!("expected deadlock Config error, got {other:?}"),
@@ -358,7 +378,12 @@ impl Scheduler for RogueScheduler {
     fn name(&self) -> &'static str {
         "ROGUE"
     }
-    fn schedule(&mut self, ready: &[ReadyTask], pes: &[PeView<'_>], _: &SchedContext<'_>) -> Vec<Assignment> {
+    fn schedule(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        _: &SchedContext<'_>,
+    ) -> Vec<Assignment> {
         if ready.len() >= 2 {
             if let Some(v) = pes.iter().find(|v| v.idle) {
                 return vec![
@@ -375,7 +400,8 @@ impl Scheduler for RogueScheduler {
 fn contract_violation_detected() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 2usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(1, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(1, 0), modeled_config(diamond_cost_table())).unwrap();
     match emu.run(&mut RogueScheduler, &wl, &lib) {
         Err(EmuError::Config(msg)) => assert!(msg.contains("contract"), "{msg}"),
         other => panic!("expected contract violation, got {other:?}"),
@@ -393,7 +419,7 @@ fn fixed_overhead_inflates_makespan_deterministically() {
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: 0,
         };
-        let emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
+        let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap()
     };
     let free = run(OverheadMode::None);
@@ -409,7 +435,8 @@ fn fixed_overhead_inflates_makespan_deterministically() {
 fn utilization_is_sane() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 8usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     for (pe, u) in stats.utilizations() {
         assert!((0.0..=1.0 + 1e-9).contains(&u), "PE {pe} utilization {u}");
@@ -424,7 +451,8 @@ fn utilization_is_sane() {
 fn odroid_platform_runs() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 4usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(odroid_xu3(2, 2), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(odroid_xu3(2, 2), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 4);
     assert!(stats.platform.contains("odroid"));
@@ -476,7 +504,7 @@ fn reservation_queue_preserves_correctness() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
     };
-    let emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
+    let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 6);
     assert_eq!(stats.tasks.len(), 24);
@@ -517,19 +545,19 @@ fn reservation_queue_eliminates_dispatch_overhead() {
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: depth,
         };
-        let emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
+        let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap().makespan
     };
     let without = run(0);
     let with = run(3);
     // 32 tasks x 200us = 6.4 ms of pure compute on one core.
     let compute = Duration::from_micros(6400);
-    assert!(without > compute + Duration::from_millis(1), "depth 0 pays per-dispatch overhead: {without:?}");
-    assert!(with < without, "reservation must shrink the makespan: {with:?} vs {without:?}");
     assert!(
-        with < compute + Duration::from_millis(1),
-        "queued tasks start back-to-back: {with:?}"
+        without > compute + Duration::from_millis(1),
+        "depth 0 pays per-dispatch overhead: {without:?}"
     );
+    assert!(with < without, "reservation must shrink the makespan: {with:?} vs {without:?}");
+    assert!(with < compute + Duration::from_millis(1), "queued tasks start back-to-back: {with:?}");
 }
 
 #[test]
@@ -544,7 +572,7 @@ fn reservation_queue_depth_bounds_queueing() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 1,
     };
-    let emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
+    let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 4);
     // With a single core, tasks must still execute strictly serially.
@@ -567,7 +595,7 @@ fn wall_clock_with_reservation_and_accelerator() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
     };
-    let emu = Emulation::with_config(zcu102(2, 1), cfg).unwrap();
+    let mut emu = Emulation::with_config(zcu102(2, 1), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), 3);
     assert_eq!(stats.tasks.len(), 12);
@@ -577,12 +605,17 @@ fn wall_clock_with_reservation_and_accelerator() {
 fn task_records_are_internally_consistent() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 5usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(2, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     for t in &stats.tasks {
         assert!(t.ready_at <= t.start, "{}: ready_at {} > start {}", t.node, t.ready_at, t.start);
         assert!(t.start <= t.finish);
-        assert_eq!(t.finish.since(t.start), t.modeled, "finish - start must equal the modeled duration");
+        assert_eq!(
+            t.finish.since(t.start),
+            t.modeled,
+            "finish - start must equal the modeled duration"
+        );
         assert!(!t.kernel.is_empty());
     }
     // Makespan equals the latest finish.
@@ -594,7 +627,8 @@ fn task_records_are_internally_consistent() {
 fn pe_busy_equals_sum_of_modeled_durations() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 4usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(3, 0), modeled_config(diamond_cost_table())).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     for (&pe, &busy) in &stats.pe_busy {
         let sum: Duration = stats.tasks.iter().filter(|t| t.pe == pe).map(|t| t.modeled).sum();
@@ -616,7 +650,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
     };
-    let emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
+    let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let queued = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     let des = DesSimulator::new(
         zcu102(2, 0),

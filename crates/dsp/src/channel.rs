@@ -66,12 +66,9 @@ mod tests {
         let signal = vec![Complex32::ONE; 100_000];
         let snr_db = 10.0;
         let noisy = awgn(&signal, snr_db, &mut rng);
-        let p_noise: f32 = noisy
-            .iter()
-            .zip(&signal)
-            .map(|(y, x)| (*y - *x).norm_sqr())
-            .sum::<f32>()
-            / signal.len() as f32;
+        let p_noise: f32 =
+            noisy.iter().zip(&signal).map(|(y, x)| (*y - *x).norm_sqr()).sum::<f32>()
+                / signal.len() as f32;
         let measured_snr = crate::util::to_db(1.0 / p_noise);
         assert!((measured_snr - snr_db).abs() < 0.3, "snr {measured_snr}");
     }

@@ -30,7 +30,12 @@ pub fn lfm_chirp(n: usize, f0: f64, f1: f64, fs: f64) -> Vec<Complex32> {
 /// Embeds `pulse` into a longer zero signal at sample offset `delay`, with
 /// amplitude `gain` — a one-target radar return without noise. Used to
 /// build deterministic range-detection test inputs.
-pub fn delayed_echo(pulse: &[Complex32], total_len: usize, delay: usize, gain: f32) -> Vec<Complex32> {
+pub fn delayed_echo(
+    pulse: &[Complex32],
+    total_len: usize,
+    delay: usize,
+    gain: f32,
+) -> Vec<Complex32> {
     assert!(delay + pulse.len() <= total_len, "echo must fit in the window");
     let mut rx = vec![Complex32::ZERO; total_len];
     for (i, &p) in pulse.iter().enumerate() {
@@ -78,10 +83,7 @@ mod tests {
     fn chirp_frequency_increases() {
         // Instantaneous phase increments should grow over an up-chirp.
         let c = lfm_chirp(512, 10.0, 400.0, 2000.0);
-        let dphi = |i: usize| {
-            
-            (c[i + 1] * c[i].conj()).arg()
-        };
+        let dphi = |i: usize| (c[i + 1] * c[i].conj()).arg();
         assert!(dphi(400) > dphi(10));
     }
 

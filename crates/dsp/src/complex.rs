@@ -44,19 +44,13 @@ impl Complex32 {
     /// `e^(j*theta)` — a unit phasor at angle `theta` (radians).
     #[inline]
     pub fn from_angle(theta: f32) -> Self {
-        Complex32 {
-            re: theta.cos(),
-            im: theta.sin(),
-        }
+        Complex32 { re: theta.cos(), im: theta.sin() }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex32 {
-            re: self.re,
-            im: -self.im,
-        }
+        Complex32 { re: self.re, im: -self.im }
     }
 
     /// Squared magnitude `re^2 + im^2` (avoids the sqrt of [`Self::abs`]).
@@ -80,10 +74,7 @@ impl Complex32 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f32) -> Self {
-        Complex32 {
-            re: self.re * k,
-            im: self.im * k,
-        }
+        Complex32 { re: self.re * k, im: self.im * k }
     }
 
     /// Returns true if either component is NaN.
@@ -113,10 +104,7 @@ impl Mul for Complex32 {
     type Output = Complex32;
     #[inline]
     fn mul(self, rhs: Complex32) -> Complex32 {
-        Complex32::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex32::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 

@@ -6,7 +6,9 @@
 //! maximum). The helpers here are the glue the application kernels reuse.
 
 use crate::complex::Complex32;
-use crate::fft::{fft_in_place, ifft_in_place, next_pow2, vector_conjugate, vector_multiply, zero_pad};
+use crate::fft::{
+    fft_in_place, ifft_in_place, next_pow2, vector_conjugate, vector_multiply, zero_pad,
+};
 use crate::util::argmax_magnitude;
 
 /// A correlation peak: `lag` is the shift of `b` relative to `a` that
@@ -61,11 +63,7 @@ pub fn xcorr_direct(a: &[Complex32], b: &[Complex32]) -> Vec<Complex32> {
 /// lags (typically `a.len()`).
 pub fn find_peak(corr: &[Complex32], n_pos: usize) -> Option<Peak> {
     let idx = argmax_magnitude(corr)?;
-    let lag = if idx < n_pos {
-        idx as isize
-    } else {
-        idx as isize - corr.len() as isize
-    };
+    let lag = if idx < n_pos { idx as isize } else { idx as isize - corr.len() as isize };
     Some(Peak { lag, value: corr[idx] })
 }
 
@@ -86,7 +84,8 @@ mod tests {
         let a: Vec<Complex32> = (0..24)
             .map(|i| Complex32::new((i as f32 * 0.9).sin(), (i as f32 * 0.4).cos()))
             .collect();
-        let b: Vec<Complex32> = (0..16).map(|i| Complex32::new(1.0 / (1.0 + i as f32), 0.2)).collect();
+        let b: Vec<Complex32> =
+            (0..16).map(|i| Complex32::new(1.0 / (1.0 + i as f32), 0.2)).collect();
         let fast = xcorr_fft(&a, &b);
         let slow = xcorr_direct(&a, &b);
         for k in 0..a.len() {

@@ -200,7 +200,9 @@ mod tests {
         let n = 64;
         let k0 = 5;
         let x: Vec<Complex32> = (0..n)
-            .map(|t| Complex32::from_angle(2.0 * std::f32::consts::PI * k0 as f32 * t as f32 / n as f32))
+            .map(|t| {
+                Complex32::from_angle(2.0 * std::f32::consts::PI * k0 as f32 * t as f32 / n as f32)
+            })
             .collect();
         let spec = fft(&x);
         let peak = crate::util::argmax_magnitude(&spec).unwrap();
@@ -220,18 +222,16 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let x: Vec<Complex32> = (0..128)
-            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 1.3).cos()))
-            .collect();
+        let x: Vec<Complex32> =
+            (0..128).map(|i| Complex32::new((i as f32).sin(), (i as f32 * 1.3).cos())).collect();
         let y = ifft(&fft(&x));
         assert!(approx_eq(&x, &y, 1e-4));
     }
 
     #[test]
     fn idft_inverts_dft_nonpow2() {
-        let x: Vec<Complex32> = (0..12)
-            .map(|i| Complex32::new(i as f32, -(i as f32) * 0.5))
-            .collect();
+        let x: Vec<Complex32> =
+            (0..12).map(|i| Complex32::new(i as f32, -(i as f32) * 0.5)).collect();
         let y = idft(&dft(&x));
         assert!(approx_eq(&x, &y, 1e-3));
     }

@@ -38,7 +38,11 @@ impl BlockInterleaver {
         BlockInterleaver { rows: self.cols, cols: self.rows }.permute(data, |r, c| (r, c))
     }
 
-    fn permute<T: Copy>(&self, data: &[T], _tag: impl Fn(usize, usize) -> (usize, usize)) -> Vec<T> {
+    fn permute<T: Copy>(
+        &self,
+        data: &[T],
+        _tag: impl Fn(usize, usize) -> (usize, usize),
+    ) -> Vec<T> {
         let n = self.block_len();
         assert!(
             data.len().is_multiple_of(n),

@@ -100,11 +100,7 @@ mod tests {
 
     #[test]
     fn argmax_magnitude_basic() {
-        let xs = [
-            Complex32::new(1.0, 0.0),
-            Complex32::new(0.0, -5.0),
-            Complex32::new(3.0, 0.0),
-        ];
+        let xs = [Complex32::new(1.0, 0.0), Complex32::new(0.0, -5.0), Complex32::new(3.0, 0.0)];
         assert_eq!(argmax_magnitude(&xs), Some(1));
         assert_eq!(argmax_magnitude(&[]), None);
     }

@@ -54,7 +54,9 @@ impl std::fmt::Display for AccelError {
             AccelError::TooLarge { requested, max } => {
                 write!(f, "transform of {requested} points exceeds device capacity {max}")
             }
-            AccelError::NotPowerOfTwo(n) => write!(f, "FFT accelerator needs power-of-two size, got {n}"),
+            AccelError::NotPowerOfTwo(n) => {
+                write!(f, "FFT accelerator needs power-of-two size, got {n}")
+            }
             AccelError::MisalignedBuffer(b) => {
                 write!(f, "buffer of {b} bytes is not a whole number of complex samples")
             }
@@ -85,7 +87,11 @@ impl FftAccelerator {
 
     /// Runs a forward (`inverse == false`) or inverse FFT on `data`
     /// in place, returning the modeled timing breakdown.
-    pub fn process(&self, data: &mut [Complex32], inverse: bool) -> Result<AccelJobReport, AccelError> {
+    pub fn process(
+        &self,
+        data: &mut [Complex32],
+        inverse: bool,
+    ) -> Result<AccelJobReport, AccelError> {
         let n = data.len();
         if n > self.model.max_points {
             return Err(AccelError::TooLarge { requested: n, max: self.model.max_points });
@@ -109,14 +115,16 @@ impl FftAccelerator {
     /// Byte-oriented entry point mirroring how a real DMA engine sees the
     /// data: `buf` holds interleaved `f32` re/im pairs in native byte
     /// order. Used when a kernel stages raw variable memory to the device.
-    pub fn process_bytes(&self, buf: &mut [u8], inverse: bool) -> Result<AccelJobReport, AccelError> {
+    pub fn process_bytes(
+        &self,
+        buf: &mut [u8],
+        inverse: bool,
+    ) -> Result<AccelJobReport, AccelError> {
         if !buf.len().is_multiple_of(8) {
             return Err(AccelError::MisalignedBuffer(buf.len()));
         }
-        let floats: Vec<f32> = buf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let floats: Vec<f32> =
+            buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         let mut samples = from_interleaved(&floats);
         let report = self.process(&mut samples, inverse)?;
         for (i, s) in samples.iter().enumerate() {
@@ -159,7 +167,8 @@ mod tests {
     #[test]
     fn forward_then_inverse_is_identity() {
         let dev = device(4096);
-        let input: Vec<Complex32> = (0..512).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let input: Vec<Complex32> =
+            (0..512).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
         let mut data = input.clone();
         dev.process(&mut data, false).unwrap();
         dev.process(&mut data, true).unwrap();
@@ -204,10 +213,8 @@ mod tests {
         }
         dev.process_bytes(&mut buf, false).unwrap();
         dev.process_bytes(&mut buf, true).unwrap();
-        let floats: Vec<f32> = buf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let floats: Vec<f32> =
+            buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         let back = from_interleaved(&floats);
         assert!(dssoc_dsp::util::signals_close(&back, &samples, 1e-3));
     }
@@ -216,7 +223,10 @@ mod tests {
     fn byte_interface_rejects_misaligned() {
         let dev = device(4096);
         let mut buf = vec![0u8; 12];
-        assert!(matches!(dev.process_bytes(&mut buf, false), Err(AccelError::MisalignedBuffer(12))));
+        assert!(matches!(
+            dev.process_bytes(&mut buf, false),
+            Err(AccelError::MisalignedBuffer(12))
+        ));
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub trait CostModel: Send + Sync {
     /// Modeled duration of `kernel` on `pe`, given the host-measured
     /// functional execution time. Returns `None` when the model has no
     /// answer (the engine then falls back to scaled measurement).
-    fn task_duration(&self, kernel: &str, pe: &PeDescriptor, measured: Duration) -> Option<Duration>;
+    fn task_duration(
+        &self,
+        kernel: &str,
+        pe: &PeDescriptor,
+        measured: Duration,
+    ) -> Option<Duration>;
 
     /// A static estimate for schedulers (MET/EFT) that must predict costs
     /// *before* running the task. `None` means "unknown" — schedulers then
@@ -46,7 +51,12 @@ pub struct ScaledMeasuredCost {
 }
 
 impl CostModel for ScaledMeasuredCost {
-    fn task_duration(&self, _kernel: &str, pe: &PeDescriptor, measured: Duration) -> Option<Duration> {
+    fn task_duration(
+        &self,
+        _kernel: &str,
+        pe: &PeDescriptor,
+        measured: Duration,
+    ) -> Option<Duration> {
         Some(Duration::from_secs_f64(measured.as_secs_f64() / pe.speed()))
     }
 
@@ -72,7 +82,12 @@ impl CostTable {
     }
 
     /// Inserts (or replaces) a cost entry.
-    pub fn set(&mut self, kernel: impl Into<String>, class: impl Into<String>, cost: Duration) -> &mut Self {
+    pub fn set(
+        &mut self,
+        kernel: impl Into<String>,
+        class: impl Into<String>,
+        cost: Duration,
+    ) -> &mut Self {
         self.entries.entry(kernel.into()).or_default().insert(class.into(), cost);
         self
     }
@@ -109,7 +124,12 @@ impl CostTable {
 }
 
 impl CostModel for CostTable {
-    fn task_duration(&self, kernel: &str, pe: &PeDescriptor, _measured: Duration) -> Option<Duration> {
+    fn task_duration(
+        &self,
+        kernel: &str,
+        pe: &PeDescriptor,
+        _measured: Duration,
+    ) -> Option<Duration> {
         self.estimate(kernel, pe)
     }
 

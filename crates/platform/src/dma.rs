@@ -27,10 +27,7 @@ impl DmaModel {
     /// FFT observation) while leaving the device useful as parallel
     /// capacity.
     pub fn zcu102_axi() -> Self {
-        DmaModel {
-            setup: Duration::from_micros(5),
-            bytes_per_sec: 400.0e6,
-        }
+        DmaModel { setup: Duration::from_micros(5), bytes_per_sec: 400.0e6 }
     }
 
     /// Time to move `bytes` across the link in one direction.
@@ -60,7 +57,7 @@ mod tests {
     fn setup_dominates_small_transfers() {
         let dma = DmaModel::zcu102_axi();
         let t = dma.transfer_time(1024); // 128 complex f32 samples
-        // 1 KiB at 400 MB/s is ~2.6 us; setup is 5 us.
+                                         // 1 KiB at 400 MB/s is ~2.6 us; setup is 5 us.
         assert!(t > dma.setup);
         assert!(t < Duration::from_micros(9));
         assert!(dma.setup.as_secs_f64() > 2.6e-6, "setup must dominate the streaming term");
@@ -87,10 +84,7 @@ mod tests {
 
     #[test]
     fn round_trip_sums_directions() {
-        let dma = DmaModel {
-            setup: Duration::from_micros(10),
-            bytes_per_sec: 1e6,
-        };
+        let dma = DmaModel { setup: Duration::from_micros(10), bytes_per_sec: 1e6 };
         let rt = dma.round_trip(1000, 2000);
         // 10us + 1ms + 10us + 2ms
         assert!((rt.as_secs_f64() - 0.00302).abs() < 1e-6);

@@ -131,7 +131,8 @@ mod tests {
         // core — the paper's preemption scenario.
         let (cfg, p) = place(2, 2);
         assert!(!p.fully_dedicated());
-        let accels: Vec<PeId> = cfg.pes.iter().filter(|pe| !pe.kind.is_cpu()).map(|pe| pe.id).collect();
+        let accels: Vec<PeId> =
+            cfg.pes.iter().filter(|pe| !pe.kind.is_cpu()).map(|pe| pe.id).collect();
         assert_eq!(accels.len(), 2);
         assert_eq!(p.slot_of(accels[0]), p.slot_of(accels[1]));
         assert_eq!(p.sharers_of(accels[0]), 2);
@@ -194,7 +195,8 @@ mod tests {
         let (cfg, p) = place(2, 1);
         let ids: Vec<PeId> = p.assignments().map(|(id, _)| id).collect();
         // CPU PEs first (descriptor order), then accelerators.
-        let mut expect: Vec<PeId> = cfg.pes.iter().filter(|pe| pe.kind.is_cpu()).map(|pe| pe.id).collect();
+        let mut expect: Vec<PeId> =
+            cfg.pes.iter().filter(|pe| pe.kind.is_cpu()).map(|pe| pe.id).collect();
         expect.extend(cfg.pes.iter().filter(|pe| !pe.kind.is_cpu()).map(|pe| pe.id));
         assert_eq!(ids, expect);
     }

@@ -19,7 +19,13 @@ fn read_scalar(mem: &dssoc_appmodel::memory::AppMemory, name: &str) -> f64 {
     f64::from_le_bytes(mem.read_bytes(name).unwrap()[..8].try_into().unwrap())
 }
 
-fn run_variant(opts: &CompileOptions, n: usize, delay: usize, cores: usize, ffts: usize) -> EmulationStats {
+fn run_variant(
+    opts: &CompileOptions,
+    n: usize,
+    delay: usize,
+    cores: usize,
+    ffts: usize,
+) -> EmulationStats {
     let program = programs::monolithic_range_detection(n, delay);
     let app = compile(&program, opts).expect("compiles");
     if opts.substitute_optimized || opts.add_accelerator_platforms {
@@ -30,7 +36,7 @@ fn run_variant(opts: &CompileOptions, n: usize, delay: usize, cores: usize, ffts
     let wl = WorkloadSpec::validation([(opts.app_name.clone(), 1usize)])
         .generate(&library)
         .expect("workload");
-    let emu = Emulation::new(zcu102(cores, ffts)).expect("platform");
+    let mut emu = Emulation::new(zcu102(cores, ffts)).expect("platform");
     let stats = emu.run(&mut MetScheduler::new(), &wl, &library).expect("run");
     let mem = stats.instance_memory(stats.apps[0].instance).unwrap();
     assert_eq!(read_scalar(mem, "lag"), delay as f64, "output must stay correct");
@@ -104,8 +110,14 @@ fn main() {
     println!("DFT/IDFT node time, optimized FFT (CPU)     : {:>10.3} ms", t_opt * 1e3);
     println!("DFT/IDFT node time, FFT accelerator         : {:>10.3} ms", t_accel * 1e3);
     println!();
-    println!("speedup from recognition, CPU optimized     : {:>8.1}x  (paper: ~102x)", t_naive / t_opt);
-    println!("speedup from recognition, accelerator       : {:>8.1}x  (paper: ~94x)", t_naive / t_accel);
+    println!(
+        "speedup from recognition, CPU optimized     : {:>8.1}x  (paper: ~102x)",
+        t_naive / t_opt
+    );
+    println!(
+        "speedup from recognition, accelerator       : {:>8.1}x  (paper: ~94x)",
+        t_naive / t_accel
+    );
     println!();
     println!(
         "end-to-end makespan: naive {:.3} ms -> optimized {:.3} ms -> accel {:.3} ms",

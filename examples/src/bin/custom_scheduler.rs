@@ -44,9 +44,10 @@ impl Scheduler for RadarPriorityScheduler {
         });
         for i in order {
             let task = &ready[i].task;
-            let slot = pes.iter().enumerate().find(|(p, view)| {
-                view.idle && !taken[*p] && task.supports(&view.pe.platform_key)
-            });
+            let slot = pes
+                .iter()
+                .enumerate()
+                .find(|(p, view)| view.idle && !taken[*p] && task.supports(&view.pe.platform_key));
             if let Some((p, view)) = slot {
                 taken[p] = true;
                 out.push(Assignment { ready_idx: i, pe: view.pe.id });
@@ -85,12 +86,10 @@ fn main() {
         ("FRFS", Box::new(FrfsScheduler::new()) as Box<dyn Scheduler>),
         ("RADAR-PRIO", Box::new(RadarPriorityScheduler)),
     ] {
-        let emulation = Emulation::new(zcu102(2, 1)).expect("platform");
+        let mut emulation = Emulation::new(zcu102(2, 1)).expect("platform");
         let stats = emulation.run(scheduler.as_mut(), &workload, &library).expect("emulation");
         print_run_row(label, &stats);
-        let mean = stats
-            .app_latency_mean("range_detection")
-            .unwrap_or(Duration::ZERO);
+        let mean = stats.app_latency_mean("range_detection").unwrap_or(Duration::ZERO);
         println!("    mean range_detection latency: {:.1} us", mean.as_secs_f64() * 1e6);
         radar_latency.push(mean);
     }
@@ -99,7 +98,8 @@ fn main() {
     if radar_latency[1] <= radar_latency[0] {
         println!(
             "radar-priority policy cut mean radar latency by {:.1}%",
-            (1.0 - radar_latency[1].as_secs_f64() / radar_latency[0].as_secs_f64().max(1e-12)) * 100.0
+            (1.0 - radar_latency[1].as_secs_f64() / radar_latency[0].as_secs_f64().max(1e-12))
+                * 100.0
         );
     } else {
         println!("radar-priority policy did not help on this trace (try a higher load)");

@@ -10,35 +10,42 @@
 //! cargo run --release --bin design_space_exploration
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::{InjectionParams, WorkloadSpec};
 use dssoc_apps::standard_library;
 use dssoc_core::prelude::*;
-use dssoc_core::sched::by_name;
 use dssoc_examples::print_run_row;
 use dssoc_platform::presets::zcu102;
 
 fn main() {
     let (library, _registry) = standard_library();
+    let mut runner = SweepRunner::new(&library);
 
     // --- Validation-mode configuration sweep (Fig. 9 style).
     println!("== configuration sweep: validation mode, FRFS ==");
     println!("workload: 1x range_detection + 1x wifi_tx + 1x wifi_rx");
-    let workload = WorkloadSpec::validation([
-        ("range_detection", 1usize),
-        ("wifi_tx", 1usize),
-        ("wifi_rx", 1usize),
-    ])
-    .generate(&library)
-    .expect("workload");
+    let workload = Arc::new(
+        WorkloadSpec::validation([
+            ("range_detection", 1usize),
+            ("wifi_tx", 1usize),
+            ("wifi_rx", 1usize),
+        ])
+        .generate(&library)
+        .expect("workload"),
+    );
 
-    for (cores, ffts) in [(1usize, 0usize), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2), (3, 0)] {
-        let emulation = Emulation::new(zcu102(cores, ffts)).expect("platform");
-        let stats = emulation
-            .run(&mut FrfsScheduler::new(), &workload, &library)
-            .expect("emulation");
-        print_run_row(&format!("{cores}C+{ffts}F"), &stats);
+    let config_cells: Vec<SweepCell> =
+        [(1usize, 0usize), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2), (3, 0)]
+            .iter()
+            .map(|&(cores, ffts)| {
+                SweepCell::new(zcu102(cores, ffts), "frfs", Arc::clone(&workload))
+                    .label(format!("{cores}C+{ffts}F"))
+            })
+            .collect();
+    for result in runner.run_batch(&config_cells).expect("emulation") {
+        print_run_row(&result.label, &result.stats);
     }
 
     // --- Performance-mode scheduler sweep (Fig. 10 style).
@@ -73,11 +80,13 @@ fn main() {
         perf.injection_rate_per_ms().unwrap_or(0.0)
     );
 
-    for name in ["frfs", "met", "eft", "random"] {
-        let mut scheduler = by_name(name).expect("library policy");
-        let emulation = Emulation::new(zcu102(3, 2)).expect("platform");
-        let stats = emulation.run(scheduler.as_mut(), &perf, &library).expect("emulation");
-        print_run_row(&stats.scheduler.clone(), &stats);
+    let perf = Arc::new(perf);
+    let sched_cells: Vec<SweepCell> = ["frfs", "met", "eft", "random"]
+        .iter()
+        .map(|&name| SweepCell::new(zcu102(3, 2), name, Arc::clone(&perf)))
+        .collect();
+    for result in runner.run_batch(&sched_cells).expect("emulation") {
+        print_run_row(&result.stats.scheduler.clone(), &result.stats);
     }
 
     println!();

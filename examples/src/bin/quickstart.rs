@@ -80,15 +80,12 @@ fn main() {
     library.register_json(&json, &registry).expect("app validates");
 
     // 3. Validation-mode workload: three instances at t = 0.
-    let workload = WorkloadSpec::validation([("hello_dssoc", 3usize)])
-        .generate(&library)
-        .expect("workload");
+    let workload =
+        WorkloadSpec::validation([("hello_dssoc", 3usize)]).generate(&library).expect("workload");
 
     // 4. Emulate on a 2-core + 1-FFT ZCU102-style configuration.
-    let emulation = Emulation::new(zcu102(2, 1)).expect("platform");
-    let stats = emulation
-        .run(&mut FrfsScheduler::new(), &workload, &library)
-        .expect("emulation");
+    let mut emulation = Emulation::new(zcu102(2, 1)).expect("platform");
+    let stats = emulation.run(&mut FrfsScheduler::new(), &workload, &library).expect("emulation");
 
     println!("== quickstart: 3x hello_dssoc on {} ==", stats.platform);
     print!("{}", stats.summary());

@@ -28,10 +28,9 @@ fn main() {
         .expect("workload");
 
     for (cores, ffts) in [(1usize, 0usize), (1, 1), (2, 1), (3, 0), (3, 2)] {
-        let emulation = Emulation::new(zcu102(cores, ffts)).expect("platform");
-        let stats = emulation
-            .run(&mut FrfsScheduler::new(), &workload, &library)
-            .expect("emulation");
+        let mut emulation = Emulation::new(zcu102(cores, ffts)).expect("platform");
+        let stats =
+            emulation.run(&mut FrfsScheduler::new(), &workload, &library).expect("emulation");
         print_run_row(&format!("{cores}C+{ffts}F"), &stats);
         print_utilization(&stats);
 

@@ -29,10 +29,8 @@ fn main() {
     let workload = WorkloadSpec::validation([("wifi_tx", 2usize), ("wifi_rx", 2usize)])
         .generate(&library)
         .expect("workload");
-    let emulation = Emulation::new(zcu102(2, 1)).expect("platform");
-    let stats = emulation
-        .run(&mut MetScheduler::new(), &workload, &library)
-        .expect("emulation");
+    let mut emulation = Emulation::new(zcu102(2, 1)).expect("platform");
+    let stats = emulation.run(&mut MetScheduler::new(), &workload, &library).expect("emulation");
     println!("== emulated wifi_tx + wifi_rx on {} ==", stats.platform);
     print!("{}", stats.summary());
     for app in stats.apps.iter().filter(|a| a.app == "wifi_rx") {
@@ -65,7 +63,8 @@ fn main() {
             let symbols = remove_pilots(framed, wifi::PILOT_PERIOD);
             let bits = qpsk_demodulate(&symbols);
             let deinterleaved =
-                BlockInterleaver::new(wifi::INTERLEAVER_ROWS, wifi::INTERLEAVER_COLS).deinterleave(&bits);
+                BlockInterleaver::new(wifi::INTERLEAVER_ROWS, wifi::INTERLEAVER_COLS)
+                    .deinterleave(&bits);
             if let Some(decoded) = ViterbiDecoder::new().decode_terminated(&deinterleaved) {
                 let descrambled = Scrambler::new(wifi::SCRAMBLE_SEED).scramble(&decoded);
                 if pack_bits(&descrambled) == payload {

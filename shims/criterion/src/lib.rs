@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements the harness surface the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!` — as a straightforward wall-clock timer: each
+//! benchmark runs a warmup pass plus `sample_size` timed samples and
+//! prints min/mean/max per iteration. There is no statistical
+//! analysis, HTML report, or baseline comparison; the point is that
+//! `cargo bench` produces comparable numbers offline and the bench
+//! sources stay compatible with real criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Display id of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter` (criterion's convention).
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-benchmark timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup call, also used to size the inner loop so
+        // fast closures are measured over enough iterations to resolve.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed();
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = if once.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 16_384) as u64
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().expect("non-empty");
+    let max = b.samples.iter().max().expect("non-empty");
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{label:<40} time: [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} samples x {} iters)",
+        min,
+        mean,
+        max,
+        b.samples.len(),
+        b.iters_per_sample
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments, for `criterion_group!`
+    /// compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b =
+            Bencher { samples: Vec::new(), sample_size: self.sample_size, iters_per_sample: 1 };
+        f(&mut b);
+        report(name, &b);
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { samples: Vec::new(), sample_size: self.sample_size, iters_per_sample: 1 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b =
+            Bencher { samples: Vec::new(), sample_size: self.sample_size, iters_per_sample: 1 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (marker only; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Honors the `--test` flag cargo passes when compiling benches under
+/// `cargo test` so test runs don't pay for full benchmarks.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                println!("(bench compiled in test mode; skipping timing runs)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde` + `serde_derive`.
+//!
+//! The real serde visitor architecture is far more general than this
+//! workspace needs: every serialized type here is a plain data struct
+//! or enum going to/from JSON. This shim replaces the visitor model
+//! with a concrete [`Value`] tree:
+//!
+//! * [`Serialize`] renders `self` into a [`Value`];
+//! * [`Deserialize`] rebuilds `Self` from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (from the companion
+//!   `serde_derive` shim) generates those impls, honoring the
+//!   `#[serde(rename, default, skip_serializing_if)]` attributes this
+//!   workspace uses;
+//! * the `serde_json` shim provides the text parser/printer on top.
+//!
+//! Wire-format compatibility with real serde is preserved for the
+//! types in this workspace: newtype structs serialize transparently,
+//! enums use external tagging, and `Duration` uses `{secs, nanos}`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error as DeError};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};

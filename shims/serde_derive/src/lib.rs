@@ -1,0 +1,485 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (the `Value`-tree model) for the item shapes this workspace
+//! uses: named-field structs, tuple structs, and enums with unit,
+//! tuple, or struct variants — honoring `#[serde(rename = "...")]`,
+//! `#[serde(default)]`, and `#[serde(skip_serializing_if = "...")]`.
+//!
+//! There is deliberately no `syn`/`quote` dependency (the build
+//! environment is offline): the item is parsed directly from the
+//! `proc_macro` token stream, and the generated impl is assembled as
+//! source text and re-parsed. Generic types are not supported — no
+//! serialized type in the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the bracket group
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    toks.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    let body = match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        (k, other) => panic!("unsupported {k} body for {name}: {other:?}"),
+    };
+    Item { name, body }
+}
+
+/// Parses `#[attr]` runs starting at `i`, returning the merged serde
+/// attributes and the index just past them.
+fn parse_attrs(toks: &[TokenTree], mut i: usize) -> (FieldAttrs, usize) {
+    let mut attrs = FieldAttrs::default();
+    while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            merge_serde_attr(&mut attrs, g.stream());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (attrs, i)
+}
+
+/// If `stream` is the inside of a `#[serde(...)]` attribute, merges its
+/// directives into `attrs`; other attributes (doc, cfg, ...) are ignored.
+fn merge_serde_attr(attrs: &mut FieldAttrs, stream: TokenStream) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                let key = match &inner[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    _ => {
+                        j += 1;
+                        continue;
+                    }
+                };
+                let mut value = None;
+                if matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                        value = Some(strip_quotes(&lit.to_string()));
+                    }
+                    j += 3;
+                } else {
+                    j += 1;
+                }
+                match key.as_str() {
+                    "rename" => attrs.rename = value,
+                    "default" => attrs.default = true,
+                    "skip_serializing_if" => attrs.skip_if = value,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+                // Skip the separating comma, if any.
+                if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses the inside of a braced field list.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (attrs, next) = parse_attrs(&toks, i);
+        i = next;
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                toks.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        i = skip_type(&toks, i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the next top-level `,` (or at
+/// the end). Tracks `<...>` nesting so commas inside generics don't end
+/// the field.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i64;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        // Each `skip_type` call consumes one field (attributes and
+        // visibility tokens are absorbed harmlessly by the type skip).
+        i = skip_type(&toks, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (_attrs, next) = parse_attrs(&toks, i);
+        i = next;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Emits statements that insert `fields` of `prefix` (e.g. `self.` or
+/// an empty prefix for bound variant fields) into the object `__m`.
+fn ser_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let insert = format!(
+            "__m.insert({key:?}.to_string(), ::serde::Serialize::to_value(&{expr}));",
+            key = f.key(),
+        );
+        if let Some(skip) = &f.attrs.skip_if {
+            out.push_str(&format!("if !({skip}(&{expr})) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => format!(
+            "let mut __m = ::std::collections::BTreeMap::new();\n{}\
+             ::serde::Value::Object(__m)",
+            ser_fields(fields, |f| format!("self.{f}")),
+        ),
+        // Newtype structs serialize transparently, like real serde.
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert({vname:?}.to_string(), {payload});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             {inner}\
+                             let mut __outer = ::std::collections::BTreeMap::new();\n\
+                             __outer.insert({vname:?}.to_string(), ::serde::Value::Object(__m));\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            binds = binds.join(", "),
+                            inner = ser_fields(fields, |f| f.to_string()),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Emits an expression that rebuilds `fields` from the object `__obj`
+/// as a braced field list (`a: ..., b: ...`).
+fn de_fields(fields: &[Field], ty: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = f.key();
+        let missing = if f.attrs.default || f.attrs.skip_if.is_some() {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::de::Error::missing_field({key:?}, {ty:?}))"
+            )
+        };
+        out.push_str(&format!(
+            "{fname}: match __obj.get({key:?}) {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            fname = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::de::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            de_fields(fields, name),
+        ),
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?")).collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(concat!(\"expected array for \", {name:?})))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(concat!(\"wrong tuple arity for \", {name:?}))); }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", "),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => keyed_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __a = __val.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected array variant payload\"))?;\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(\"wrong variant arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({elems}))\n}}\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => keyed_arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                         let __obj = __val.as_object().ok_or_else(|| \
+                         ::serde::de::Error::custom(\"expected object variant payload\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{fields}\n}})\n}}\n",
+                        fields = de_fields(fields, vname),
+                    )),
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 __other => return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(concat!(\"unknown unit variant `{{}}` of \", {name:?}), __other))),\n}}\n}}\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(concat!(\"expected externally tagged \", {name:?})))?;\n\
+                 if __obj.len() != 1 {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(concat!(\"expected single-key object for \", {name:?}))); }}\n\
+                 let (__k, __val) = __obj.iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{keyed_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(concat!(\"unknown variant `{{}}` of \", {name:?}), __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -53,7 +53,7 @@ pub fn run_workload(
     workload: &Workload,
     config: EmulationConfig,
 ) -> EmulationStats {
-    let emu = Emulation::with_config(platform, config).expect("platform config");
+    let mut emu = Emulation::with_config(platform, config).expect("platform config");
     emu.run(scheduler, workload, library).expect("emulation run")
 }
 

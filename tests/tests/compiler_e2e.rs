@@ -13,13 +13,20 @@ fn read_scalar(mem: &dssoc_appmodel::memory::AppMemory, name: &str) -> f64 {
     f64::from_le_bytes(mem.read_bytes(name).unwrap()[..8].try_into().unwrap())
 }
 
-fn run_converted(opts: &CompileOptions, cores: usize, ffts: usize, n: usize, delay: usize) -> (f64, EmulationStats) {
+fn run_converted(
+    opts: &CompileOptions,
+    cores: usize,
+    ffts: usize,
+    n: usize,
+    delay: usize,
+) -> (f64, EmulationStats) {
     let program = dssoc_compiler::programs::monolithic_range_detection(n, delay);
     let app = compile(&program, opts).unwrap();
     let mut library = AppLibrary::new();
     library.register_json(&app.json, &app.registry).unwrap();
-    let wl = WorkloadSpec::validation([(opts.app_name.clone(), 1usize)]).generate(&library).unwrap();
-    let emu = Emulation::with_config(zcu102(cores, ffts), default_config()).unwrap();
+    let wl =
+        WorkloadSpec::validation([(opts.app_name.clone(), 1usize)]).generate(&library).unwrap();
+    let mut emu = Emulation::with_config(zcu102(cores, ffts), default_config()).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &library).unwrap();
     let mem = stats.instance_memory(stats.apps[0].instance).unwrap();
     let lag = read_scalar(mem, "lag");
@@ -67,7 +74,7 @@ fn accelerator_substitution_runs_on_the_device() {
     let wl = WorkloadSpec::validation([("auto_rd_accel".to_string(), 1usize)])
         .generate(&library)
         .unwrap();
-    let emu = Emulation::with_config(zcu102(1, 1), default_config()).unwrap();
+    let mut emu = Emulation::with_config(zcu102(1, 1), default_config()).unwrap();
     let stats = emu.run(&mut MetScheduler::new(), &wl, &library).unwrap();
     let mem = stats.instance_memory(stats.apps[0].instance).unwrap();
     assert_eq!(read_scalar(mem, "lag"), 30.0);

@@ -120,11 +120,8 @@ fn accelerator_actually_executes_fft_tasks() {
         &[("range_detection", 4)],
         default_config(),
     );
-    let accel_tasks = stats
-        .tasks
-        .iter()
-        .filter(|t| stats.pe_names[&t.pe].starts_with("FFT"))
-        .count();
+    let accel_tasks =
+        stats.tasks.iter().filter(|t| stats.pe_names[&t.pe].starts_with("FFT")).count();
     assert!(accel_tasks > 0, "no task ever ran on an accelerator PE");
     // And the results are still correct.
     let expected = range_detection::Params::default().target_delay as u32;
@@ -162,7 +159,7 @@ fn performance_mode_full_mix() {
     )
     .generate(&lib)
     .unwrap();
-    let emu = Emulation::new(zcu102(3, 1)).unwrap();
+    let mut emu = Emulation::new(zcu102(3, 1)).unwrap();
     let stats = emu.run(&mut EftScheduler::new(), &wl, &lib).unwrap();
     assert_eq!(stats.completed_apps(), wl.len());
     assert!(stats.sched_invocations > 0);

@@ -112,7 +112,7 @@ proptest! {
     fn random_dags_schedule_correctly(dag in random_dag_strategy(), cores in 1usize..4, sched_pick in 0usize..3) {
         let (lib, total) = build_random_app(&dag);
         let table = uniform_cost_table(&["bump"], &["cortex-a53"], Duration::from_micros(50));
-        let emu = Emulation::with_config(zcu102(cores, 0), deterministic_config(table)).unwrap();
+        let mut emu = Emulation::with_config(zcu102(cores, 0), deterministic_config(table)).unwrap();
         let mut scheduler: Box<dyn Scheduler> = match sched_pick {
             0 => Box::new(FrfsScheduler::new()),
             1 => Box::new(MetScheduler::new()),
@@ -163,7 +163,7 @@ proptest! {
         let wl = WorkloadSpec::validation([("random_dag", 2usize)]).generate(&lib).unwrap();
 
         for sched_name in ["frfs", "met", "eft"] {
-            let emu = Emulation::with_config(zcu102(cores, 0), deterministic_config(table.clone())).unwrap();
+            let mut emu = Emulation::with_config(zcu102(cores, 0), deterministic_config(table.clone())).unwrap();
             let mut s1 = dssoc_core::sched::by_name(sched_name).unwrap();
             let threaded = emu.run(s1.as_mut(), &wl, &lib).unwrap();
 
@@ -229,7 +229,8 @@ fn eft_defers_in_engine_and_des_alike() {
     let (lib, _) = build_random_app(&RandomDag { layers: vec![3, 3, 3], edge_seed: 99 });
     let table = uniform_cost_table(&["bump"], &["cortex-a53"], Duration::from_micros(100));
     let wl = WorkloadSpec::validation([("random_dag", 3usize)]).generate(&lib).unwrap();
-    let emu = Emulation::with_config(zcu102(2, 0), deterministic_config(table.clone())).unwrap();
+    let mut emu =
+        Emulation::with_config(zcu102(2, 0), deterministic_config(table.clone())).unwrap();
     let a = emu.run(&mut EftScheduler::new(), &wl, &lib).unwrap();
     let des = DesSimulator::new(
         zcu102(2, 0),
