@@ -116,6 +116,7 @@ fn bench_reservation_surrogate(c: &mut Criterion) {
                     DesConfig {
                         cost: Arc::new(table.clone()),
                         overhead_per_invocation: Duration::from_micros(ov),
+                        trace: None,
                     },
                 )
                 .unwrap();

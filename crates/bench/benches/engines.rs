@@ -51,6 +51,7 @@ fn bench_engines(c: &mut Criterion) {
                     overhead: OverheadMode::None,
                     cost: Arc::new(table.clone()),
                     reservation_depth: 0,
+                    trace: None,
                 },
             )
             .unwrap();
@@ -72,6 +73,7 @@ fn bench_engines(c: &mut Criterion) {
                 DesConfig {
                     cost: Arc::new(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
+                    trace: None,
                 },
             )
             .unwrap();

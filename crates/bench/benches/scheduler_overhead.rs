@@ -108,6 +108,7 @@ fn pool_setup() -> (AppLibrary, Workload, EmulationConfig) {
         overhead: OverheadMode::None,
         cost: Arc::new(ScaledMeasuredCost::default()),
         reservation_depth: 0,
+        trace: None,
     };
     (library, workload, config)
 }

@@ -45,6 +45,7 @@ fn main() {
                 overhead: OverheadMode::Measured,
                 cost: Arc::new(ScaledMeasuredCost::default()),
                 reservation_depth: depth,
+                trace: None,
             };
             let mut emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
             let mut sched = by_name(name).expect("policy");

@@ -25,6 +25,7 @@ use dssoc_core::stats::EmulationStats;
 use dssoc_core::sweep::{SweepCell, SweepRunner};
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_platform::presets::{odroid_xu3, zcu102};
+use dssoc_trace::TraceSession;
 
 /// A fully parsed `run` invocation.
 #[derive(Debug)]
@@ -43,6 +44,8 @@ pub struct RunArgs {
     pub iterations: usize,
     /// Emit machine-readable JSON instead of the text summary.
     pub json: bool,
+    /// Write a Chrome/Perfetto trace of the final iteration here.
+    pub trace: Option<String>,
 }
 
 /// Parses a platform shorthand:
@@ -167,6 +170,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut reservation_depth = 0usize;
     let mut iterations = 1usize;
     let mut json = false;
+    let mut trace: Option<String> = None;
 
     let mut i = 0;
     let next_value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -215,6 +219,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
             }
             "--json" => json = true,
+            "--trace" => trace = Some(next_value(&mut i, "--trace")?),
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -237,11 +242,24 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     } else {
         return Err("no workload: use --validation, --inject, or --workload-file".into());
     };
-    Ok(RunArgs { platform, scheduler, workload, timing, reservation_depth, iterations, json })
+    Ok(RunArgs {
+        platform,
+        scheduler,
+        workload,
+        timing,
+        reservation_depth,
+        iterations,
+        json,
+        trace,
+    })
 }
 
 /// Executes a parsed run and returns the final iteration's stats plus
 /// the per-iteration makespans in milliseconds.
+///
+/// With [`RunArgs::trace`] set, the final measured iteration is traced:
+/// a Chrome/Perfetto JSON file is written to the given path and the
+/// text timeline is printed to stdout.
 pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
     let (library, _registry) = dssoc_apps::standard_library();
     let workload = Arc::new(run.workload.generate(&library).map_err(|e| e.to_string())?);
@@ -250,13 +268,34 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
         overhead: OverheadMode::Measured,
         cost: Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
         reservation_depth: run.reservation_depth,
+        trace: None,
     };
     let mut runner = SweepRunner::with_config(&library, cfg);
     let cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
         .iterations(run.iterations)
         .warmup(run.iterations > 1);
+    let session = run.trace.as_ref().map(|_| TraceSession::new());
+    if let Some(session) = &session {
+        runner.trace_cell(cell.label.clone(), session.sink());
+    }
     let result = runner.run_cell(&cell).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(session)) = (&run.trace, &session) {
+        write_trace(path, session)?;
+    }
     Ok((result.stats, result.makespans_ms))
+}
+
+/// Drains `session` and writes its Chrome/Perfetto JSON to `path`,
+/// printing the text timeline alongside.
+fn write_trace(path: &str, session: &TraceSession) -> Result<(), String> {
+    let events = session.drain();
+    let meta = session.meta();
+    let json = dssoc_trace::export::chrome_json(&events, &meta);
+    let body = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())? + "\n";
+    std::fs::write(path, body).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    print!("{}", dssoc_trace::timeline::render(&events, &meta, &session.producers()));
+    println!("trace: {} events -> {path} (open with ui.perfetto.dev)", events.len());
+    Ok(())
 }
 
 /// Renders stats as a machine-readable JSON value.
@@ -422,6 +461,33 @@ mod tests {
         let json = stats_to_json(&stats, &makespans);
         assert_eq!(json["apps_completed"], 3);
         assert!(json["makespan_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("dssoc_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let args = argv(&[
+            "--platform",
+            "zcu102:2C+1F",
+            "--validation",
+            "range_detection=1",
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        assert_eq!(run.trace.as_deref(), path.to_str());
+        let (stats, _) = execute(&run).unwrap();
+        assert_eq!(stats.completed_apps(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = value["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty(), "trace file should hold events");
+        assert!(
+            events.iter().any(|e| e["ph"] == "X"),
+            "trace should contain at least one task slice"
+        );
     }
 
     #[test]

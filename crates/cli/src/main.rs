@@ -25,6 +25,8 @@ RUN OPTIONS:
   --reservation-depth <n>    PE-level work-queue depth    (default 0)
   --iterations <n>           repetitions                  (default 1)
   --json                     print machine-readable JSON
+  --trace <path>             write a Chrome/Perfetto trace of the final
+                             iteration and print a text timeline
 
 EXAMPLES:
   dssoc-emu run --platform zcu102:3C+2F --scheduler frfs \\

@@ -29,10 +29,12 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, CostTable};
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
+use dssoc_trace::{EventKind as TraceKind, TraceSink};
 
 use crate::engine::EmuError;
 use crate::exec::{
-    preflight_compat, validate_assignments, CompletionSink, InstanceTracker, PeSlots, ReadyList,
+    pe_mask_bit, preflight_compat, register_trace_meta, validate_assignments, CompletionSink,
+    ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
@@ -47,11 +49,20 @@ pub struct DesConfig {
     /// Optional fixed scheduling overhead charged per scheduler
     /// invocation (zero = the classic free-scheduling DES).
     pub overhead_per_invocation: Duration,
+    /// Optional event-trace sink. The DES emits the same event schema
+    /// as the threaded engine through the shared scheduling core, so
+    /// traces from the two engines diff cleanly. (It has no resource
+    /// pool or DMA phases, so `pool_*` and `dma` events never appear.)
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for DesConfig {
     fn default() -> Self {
-        DesConfig { cost: Arc::new(CostTable::new()), overhead_per_invocation: Duration::ZERO }
+        DesConfig {
+            cost: Arc::new(CostTable::new()),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+        }
     }
 }
 
@@ -137,6 +148,20 @@ impl DesSimulator {
         let mut estimates = EstimateBook::new();
 
         let mut sink = CompletionSink::new();
+        let tracer = match &self.config.trace {
+            Some(trace_sink) => {
+                register_trace_meta(
+                    trace_sink,
+                    &self.platform,
+                    &format!("{} (DES)", scheduler.name()),
+                    &instances,
+                );
+                ExecTracer::attach(trace_sink, "des")
+            }
+            None => ExecTracer::disabled(),
+        };
+        ready.set_tracer(tracer.clone());
+        sink.set_tracer(tracer.clone());
         let mut clock = SimTime::ZERO;
 
         loop {
@@ -158,10 +183,14 @@ impl DesSimulator {
                 let ev = events.remove(pos);
                 match ev.kind {
                     EventKind::Arrival(i) => {
+                        tracer.emit(ev.time, TraceKind::AppArrive { instance: instances[i].id.0 });
                         ready.push_roots(&instances[i], ev.time);
                     }
                     EventKind::Completion { pe, ready_at } => {
+                        // DES PEs have no reservation queues, so every
+                        // completion idles its PE.
                         slots.release(pe);
+                        tracer.emit(ev.time, TraceKind::PeIdle { pe: pe.0 });
                         let task = ev.task.expect("completion carries its task");
                         let node = task.node();
                         let desc = self.platform.pe(pe).expect("known PE");
@@ -175,6 +204,7 @@ impl DesSimulator {
                             instance: task.instance.id,
                             app: task.app_name().to_string(),
                             node: node.name.clone(),
+                            node_idx: task.node_idx,
                             kernel: runfunc,
                             pe,
                             ready_at,
@@ -197,6 +227,21 @@ impl DesSimulator {
                 let ctx = SchedContext { now: clock, estimates: &estimates };
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
                 sink.sched_invocations += 1;
+                if tracer.enabled() {
+                    let candidates =
+                        views.iter().filter(|v| v.idle).fold(0u64, |m, v| m | pe_mask_bit(v.pe.id));
+                    let chosen = assignments.iter().fold(0u64, |m, a| m | pe_mask_bit(a.pe));
+                    tracer.emit(
+                        clock,
+                        TraceKind::SchedDecision {
+                            invocation: sink.sched_invocations,
+                            ready: ready.len() as u32,
+                            candidates,
+                            chosen,
+                            assigned: assignments.len() as u32,
+                        },
+                    );
+                }
                 let charge = self.config.overhead_per_invocation;
                 sink.overhead.schedule += charge;
 
@@ -215,6 +260,15 @@ impl DesSimulator {
                     let dur = self.duration_of(&rt.task, desc);
                     let finish = clock + charge + dur;
                     slots.occupy(a.pe, finish);
+                    tracer.emit(
+                        clock,
+                        TraceKind::TaskDispatch {
+                            instance: rt.task.instance.id.0,
+                            node: rt.task.node_idx as u32,
+                            pe: a.pe.0,
+                        },
+                    );
+                    tracer.emit(clock, TraceKind::PeBusy { pe: a.pe.0 });
                     events.push(Event {
                         time: finish,
                         seq: event_seq,

@@ -37,9 +37,11 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, ScaledMeasuredCost};
 use dssoc_platform::pe::{PeId, PlatformConfig};
+use dssoc_trace::{EventKind as TraceKind, TraceSink};
 
 use crate::exec::{
-    preflight_compat, validate_assignments, CompletionSink, InstanceTracker, PeSlots, ReadyList,
+    pe_mask_bit, preflight_compat, register_trace_meta, validate_assignments, CompletionSink,
+    ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
 use crate::resource::ResourcePool;
@@ -91,6 +93,11 @@ pub struct EmulationConfig {
     /// queued task the instant the previous one finishes, with no
     /// workload-manager involvement charged.
     pub reservation_depth: usize,
+    /// Optional event-trace sink (see the `dssoc-trace` crate). `None`
+    /// — the default — costs one branch per would-be event; `Some`
+    /// records the full emulation lifecycle into the sink's session for
+    /// Chrome/Perfetto, Gantt, and JSONL export.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for EmulationConfig {
@@ -100,6 +107,7 @@ impl Default for EmulationConfig {
             overhead: OverheadMode::Measured,
             cost: Arc::new(ScaledMeasuredCost::default()),
             reservation_depth: 0,
+            trace: None,
         }
     }
 }
@@ -109,6 +117,7 @@ impl std::fmt::Debug for EmulationConfig {
         f.debug_struct("EmulationConfig")
             .field("timing", &self.timing)
             .field("overhead", &self.overhead)
+            .field("traced", &self.trace.is_some())
             .finish()
     }
 }
@@ -240,12 +249,26 @@ impl Emulation {
     ) -> Result<Self, EmuError> {
         platform.validate().map_err(EmuError::Config)?;
         let pool = ResourcePool::spawn(&platform, &config.cost, config.timing)?;
+        if let Some(sink) = &config.trace {
+            pool.attach_trace(sink);
+        }
         Ok(Emulation { platform, config, pool })
     }
 
     /// The platform being emulated.
     pub fn platform(&self) -> &PlatformConfig {
         &self.platform
+    }
+
+    /// Installs (or, with `None`, removes) a trace sink on this driver
+    /// and its resource pool. Subsequent [`Self::run`] calls record into
+    /// the sink's session.
+    pub fn set_trace(&mut self, trace: Option<TraceSink>) {
+        match &trace {
+            Some(sink) => self.pool.attach_trace(sink),
+            None => self.pool.detach_trace(),
+        }
+        self.config.trace = trace;
     }
 
     /// Runs a workload to completion under `scheduler`, returning the
@@ -301,6 +324,15 @@ impl Emulation {
         let mut vclock = SimTime::ZERO;
 
         let mut sink = CompletionSink::new();
+        let tracer = match &self.config.trace {
+            Some(trace_sink) => {
+                register_trace_meta(trace_sink, &self.platform, scheduler.name(), &kept_instances);
+                ExecTracer::attach(trace_sink, "workload-manager")
+            }
+            None => ExecTracer::disabled(),
+        };
+        ready.set_tracer(tracer.clone());
+        sink.set_tracer(tracer.clone());
         let mut sampler_mu = PhaseSampler::new();
         let mut sampler_s = PhaseSampler::new();
         let mut sampler_d = PhaseSampler::new();
@@ -352,7 +384,17 @@ impl Emulation {
                         .unwrap_or(Duration::from_micros(100));
                     slots.occupy(p.pe, p.finish + est);
                     ready_at_of.insert(next.task.key(), next.ready_at);
+                    tracer.emit(
+                        p.finish,
+                        TraceKind::TaskDispatch {
+                            instance: next.task.instance.id.0,
+                            node: next.task.node_idx as u32,
+                            pe: p.pe.0,
+                        },
+                    );
                     handler.dispatch(TaskAssignment { task: next.task, start: p.finish });
+                } else {
+                    tracer.emit(p.finish, TraceKind::PeIdle { pe: p.pe.0 });
                 }
                 progress = true;
                 let c = p.completion;
@@ -375,6 +417,7 @@ impl Emulation {
                     instance: c.task.instance.id,
                     app: c.task.app_name().to_string(),
                     node: node.name.clone(),
+                    node_idx: c.task.node_idx,
                     kernel: runfunc,
                     pe: p.pe,
                     ready_at: ready_at_of.remove(&c.task.key()).unwrap_or(c.start),
@@ -391,7 +434,9 @@ impl Emulation {
             // ---- Inject: applications whose arrival time has passed.
             while arrivals.front().is_some_and(|a| SimTime::from_duration(a.arrival) <= now) {
                 let inst = arrivals.pop_front().expect("checked front");
-                ready.push_roots(&inst, SimTime::from_duration(inst.arrival));
+                let at = SimTime::from_duration(inst.arrival);
+                tracer.emit(at, TraceKind::AppArrive { instance: inst.id.0 });
+                ready.push_roots(&inst, at);
                 progress = true;
             }
             let update_raw = t_upd.elapsed();
@@ -453,6 +498,21 @@ impl Emulation {
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
                 sink.sched_invocations += 1;
                 let schedule_raw = t_sched.elapsed();
+                if tracer.enabled() {
+                    let candidates =
+                        views.iter().filter(|v| v.idle).fold(0u64, |m, v| m | pe_mask_bit(v.pe.id));
+                    let chosen = assignments.iter().fold(0u64, |m, a| m | pe_mask_bit(a.pe));
+                    tracer.emit(
+                        now,
+                        TraceKind::SchedDecision {
+                            invocation: sink.sched_invocations,
+                            ready: ready.len() as u32,
+                            candidates,
+                            chosen,
+                            assigned: assignments.len() as u32,
+                        },
+                    );
+                }
 
                 // Charge the policy's own cost before dispatching.
                 let s_charge = match self.config.overhead {
@@ -501,6 +561,15 @@ impl Emulation {
                     } else {
                         slots.occupy(a.pe, now + est);
                         ready_at_of.insert(rt.task.key(), rt.ready_at);
+                        tracer.emit(
+                            now,
+                            TraceKind::TaskDispatch {
+                                instance: rt.task.instance.id.0,
+                                node: rt.task.node_idx as u32,
+                                pe: a.pe.0,
+                            },
+                        );
+                        tracer.emit(now, TraceKind::PeBusy { pe: a.pe.0 });
                         to_dispatch.push((handler, TaskAssignment { task: rt.task, start: now }));
                     }
                     progress = true;

@@ -21,6 +21,7 @@
 //!   guard and the scheduler-contract check.
 
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,12 +29,91 @@ use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
+use dssoc_trace::{EventKind as TraceKind, TraceSink, TraceWriter};
 
 use crate::engine::EmuError;
 use crate::sched::{Assignment, PeView};
 use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
 use crate::task::{ReadyTask, Task};
 use crate::time::SimTime;
+
+/// Optional per-run trace recording handle shared by the pieces of one
+/// engine loop (the loop itself, its [`ReadyList`], its
+/// [`CompletionSink`]).
+///
+/// Disabled is the common case and costs one branch per would-be event.
+/// Enabled, all clones share one [`TraceWriter`] (and therefore one
+/// ring) via `Rc` — the engine loop is single-threaded, and `Rc` keeps
+/// it that way: the tracer cannot be sent to another thread, which is
+/// exactly the single-producer discipline the ring requires.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTracer {
+    writer: Option<Rc<TraceWriter>>,
+}
+
+impl ExecTracer {
+    /// The no-op tracer (what untraced runs use).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A tracer recording through a new producer named `producer` on
+    /// `sink`'s session.
+    pub fn attach(sink: &TraceSink, producer: &str) -> Self {
+        ExecTracer { writer: Some(Rc::new(sink.writer(producer))) }
+    }
+
+    /// True when events are being recorded (lets callers skip building
+    /// event payloads entirely).
+    pub fn enabled(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Records one event at emulation time `at` (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, at: SimTime, kind: TraceKind) {
+        if let Some(w) = &self.writer {
+            w.emit(at.0, kind);
+        }
+    }
+}
+
+/// The bit representing a PE in a [`SchedDecision`] candidate/chosen
+/// bitmask. Platforms with more than 64 PEs fold the tail onto bit 63 —
+/// the masks are decision provenance, not an exact set at that scale.
+///
+/// [`SchedDecision`]: dssoc_trace::EventKind::SchedDecision
+pub fn pe_mask_bit(pe: PeId) -> u64 {
+    1u64 << pe.0.min(63)
+}
+
+/// Registers one traced run's display metadata — policy name, PE names,
+/// task and application labels — with the session. Both engines call
+/// this once at run start, so exports from either engine resolve ids to
+/// identical names.
+pub fn register_trace_meta(
+    sink: &TraceSink,
+    platform: &PlatformConfig,
+    policy: &str,
+    instances: &[Arc<AppInstance>],
+) {
+    sink.set_policy(policy);
+    for pe in &platform.pes {
+        sink.set_pe(pe.id.0, &pe.name, !pe.kind.is_cpu());
+    }
+    // One node-name table per distinct spec; instances just map to it,
+    // so registration stays cheap for workloads with many instances.
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for inst in instances {
+        sink.register_instance(inst.id.0, &inst.spec.name);
+        if seen.insert(&inst.spec.name) {
+            sink.register_app(
+                &inst.spec.name,
+                inst.spec.nodes.iter().map(|n| n.name.clone()).collect(),
+            );
+        }
+    }
+}
 
 /// Pre-flight deadlock guard shared by both engines: every node of every
 /// requested application must have at least one compatible PE in the
@@ -73,6 +153,7 @@ pub struct ReadyList {
     items: Vec<ReadyTask>,
     head: usize,
     seq: u64,
+    tracer: ExecTracer,
 }
 
 impl ReadyList {
@@ -84,8 +165,19 @@ impl ReadyList {
         Self::default()
     }
 
+    /// Installs the run's tracer. [`Self::push`] is the single funnel
+    /// every newly ready task passes through in both engines, so this is
+    /// where `task_ready` events come from.
+    pub fn set_tracer(&mut self, tracer: ExecTracer) {
+        self.tracer = tracer;
+    }
+
     /// Appends a newly ready task, assigning the next sequence number.
     pub fn push(&mut self, task: Task, ready_at: SimTime) {
+        self.tracer.emit(
+            ready_at,
+            TraceKind::TaskReady { instance: task.instance.id.0, node: task.node_idx as u32 },
+        );
         self.items.push(ReadyTask { task, ready_at, seq: self.seq });
         self.seq += 1;
     }
@@ -365,6 +457,7 @@ pub struct CompletionSink {
     tasks: Vec<TaskRecord>,
     apps: Vec<AppRecord>,
     pe_busy: HashMap<PeId, Duration>,
+    tracer: ExecTracer,
     /// Accumulated workload-manager overhead.
     pub overhead: OverheadBreakdown,
     /// Number of scheduler invocations.
@@ -377,15 +470,36 @@ impl CompletionSink {
         Self::default()
     }
 
+    /// Installs the run's tracer. Every task and application completion
+    /// in both engines funnels through this sink, so the `task_slice`
+    /// and `app_finish` events the engines emit are structurally
+    /// identical — which is what makes event streams diffable across
+    /// engines.
+    pub fn set_tracer(&mut self, tracer: ExecTracer) {
+        self.tracer = tracer;
+    }
+
     /// Records one finished task, charging its modeled duration to its
     /// PE's busy time.
     pub fn record_task(&mut self, rec: TaskRecord) {
+        self.tracer.emit(
+            rec.finish,
+            TraceKind::TaskSlice {
+                instance: rec.instance.0,
+                node: rec.node_idx as u32,
+                pe: rec.pe.0,
+                ready_ns: rec.ready_at.0,
+                start_ns: rec.start.0,
+                finish_ns: rec.finish.0,
+            },
+        );
         *self.pe_busy.entry(rec.pe).or_default() += rec.modeled;
         self.tasks.push(rec);
     }
 
     /// Records one finished application.
     pub fn record_app(&mut self, rec: AppRecord) {
+        self.tracer.emit(rec.finish, TraceKind::AppFinish { instance: rec.instance.0 });
         self.apps.push(rec);
     }
 

@@ -17,6 +17,7 @@ use parking_lot::{Condvar, Mutex};
 use dssoc_appmodel::error::ModelError;
 use dssoc_platform::accel::AccelJobReport;
 use dssoc_platform::pe::{PeDescriptor, PeId};
+use dssoc_trace::TraceWriter;
 
 use crate::task::Task;
 use crate::time::SimTime;
@@ -84,6 +85,12 @@ pub struct ResourceHandler {
     pub pe: PeDescriptor,
     state: Mutex<HandlerState>,
     cv: Condvar,
+    /// This PE's trace producer, installed by
+    /// [`ResourcePool::attach_trace`](crate::resource::ResourcePool::attach_trace).
+    /// A separate lock from `state`: the resource-manager thread records
+    /// events without touching the dispatch/completion protocol, and the
+    /// writer (`Send` but not `Sync`) crosses to that thread through it.
+    trace: Mutex<Option<TraceWriter>>,
 }
 
 impl ResourceHandler {
@@ -98,7 +105,22 @@ impl ResourceHandler {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            trace: Mutex::new(None),
         })
+    }
+
+    /// Installs (or removes) this PE's trace producer.
+    pub(crate) fn set_trace(&self, writer: Option<TraceWriter>) {
+        *self.trace.lock() = writer;
+    }
+
+    /// Runs `f` against the installed trace writer, if any. The lock is
+    /// uncontended in steady state (the manager thread is the only
+    /// per-event caller; attach/detach happen between runs).
+    pub(crate) fn with_trace(&self, f: impl FnOnce(&TraceWriter)) {
+        if let Some(w) = self.trace.lock().as_ref() {
+            f(w);
+        }
     }
 
     /// The PE's id.

@@ -70,7 +70,10 @@ pub mod time;
 
 pub use des::{DesConfig, DesSimulator};
 pub use engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
-pub use exec::{CompletionSink, InstanceTracker, PeSlots, ReadyList};
+pub use exec::{
+    pe_mask_bit, register_trace_meta, CompletionSink, ExecTracer, InstanceTracker, PeSlots,
+    ReadyList,
+};
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
 pub use resource::{threads_spawned_total, ResourcePool};
 pub use sched::{

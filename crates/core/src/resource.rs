@@ -30,6 +30,7 @@ use dssoc_platform::accel::{AccelJobReport, FftAccelerator};
 use dssoc_platform::cost::CostModel;
 use dssoc_platform::pe::{ContentionModel, PeKind, PlatformConfig};
 use dssoc_platform::placement::Placement;
+use dssoc_trace::{DmaPhase, EventKind as TraceKind, TraceSink};
 
 use crate::engine::{EmuError, TimingMode};
 use crate::handler::{PeStatus, ResourceHandler, TaskCompletion};
@@ -115,6 +116,23 @@ impl ResourcePool {
     /// The per-PE handlers, in platform PE order.
     pub fn handlers(&self) -> &[Arc<ResourceHandler>] {
         &self.handlers
+    }
+
+    /// Installs one trace producer per PE (named `rm-{pe}`): the manager
+    /// threads record pool park/unpark transitions and accelerator DMA
+    /// phases into `sink`'s session until [`Self::detach_trace`].
+    pub fn attach_trace(&self, sink: &TraceSink) {
+        for h in &self.handlers {
+            h.set_trace(Some(sink.writer(&format!("rm-{}", h.pe.name))));
+        }
+    }
+
+    /// Removes the per-PE trace producers installed by
+    /// [`Self::attach_trace`].
+    pub fn detach_trace(&self) {
+        for h in &self.handlers {
+            h.set_trace(None);
+        }
     }
 
     /// Waits until every PE is idle again, discarding any uncollected
@@ -273,6 +291,38 @@ pub fn resource_manager_loop(ctx: RmContext) {
                 }
             }
         }
+
+        // Record this invocation's pool and DMA lifecycle (modeled
+        // timeline: the thread "unparked" at the assigned start and
+        // "parks" again once the modeled duration has elapsed, with the
+        // accelerator's DMA/compute phases laid out in between, DMA
+        // stretched by the host-core sharing factor exactly as
+        // [`modeled_duration`] charges it).
+        ctx.handler.with_trace(|w| {
+            let pe = ctx.handler.pe_id().0;
+            let k = ctx.sharers.max(1) as u32;
+            w.emit(assignment.start.0, TraceKind::PoolUnpark { pe });
+            // CPU tasks have no DMA phases — only accelerators get the
+            // in/compute/out breakdown (zero-width phases would clutter
+            // the exported DMA tracks).
+            if matches!(ctx.handler.pe.kind, PeKind::Accel(_)) {
+                let mut t = assignment.start;
+                for r in &reports {
+                    for (phase, dur) in [
+                        (DmaPhase::In, r.dma_in * k),
+                        (DmaPhase::Compute, r.compute),
+                        (DmaPhase::Out, r.dma_out * k),
+                    ] {
+                        let end = t + dur;
+                        w.emit(end.0, TraceKind::Dma { pe, phase, start_ns: t.0, end_ns: end.0 });
+                        t = end;
+                    }
+                    t += ctx.contention.context_switch * (k - 1);
+                }
+            }
+            let parked = assignment.start + modeled;
+            w.emit(parked.0, TraceKind::PoolPark { pe });
+        });
 
         ctx.handler.post_completion(TaskCompletion {
             task,

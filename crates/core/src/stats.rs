@@ -26,6 +26,9 @@ pub struct TaskRecord {
     pub app: String,
     /// DAG node name.
     pub node: String,
+    /// Dense DAG node index within the instance (the id trace events
+    /// carry; `node` is its display name).
+    pub node_idx: usize,
     /// The runfunc that executed.
     pub kernel: String,
     /// PE that ran the task.
@@ -44,6 +47,12 @@ pub struct TaskRecord {
 
 impl TaskRecord {
     /// Queueing delay between readiness and dispatch.
+    ///
+    /// Saturates to zero when `start` precedes `ready_at` rather than
+    /// panicking: a reservation-queue chained dispatch starts a task at
+    /// the very completion instant that made it ready, and overhead
+    /// charging can place the recorded start marginally before the
+    /// bookkept readiness time.
     pub fn wait(&self) -> Duration {
         self.start.since(self.ready_at)
     }
@@ -211,6 +220,7 @@ mod tests {
                     instance: InstanceId(0),
                     app: "radar".into(),
                     node: "A".into(),
+                    node_idx: 0,
                     kernel: "ka".into(),
                     pe: PeId(0),
                     ready_at: SimTime(0),
@@ -223,6 +233,7 @@ mod tests {
                     instance: InstanceId(0),
                     app: "radar".into(),
                     node: "B".into(),
+                    node_idx: 1,
                     kernel: "kb".into(),
                     pe: PeId(1),
                     ready_at: SimTime(2_000),
@@ -282,6 +293,17 @@ mod tests {
         let s = stats_fixture();
         assert_eq!(s.tasks[0].wait(), Duration::from_micros(1));
         assert_eq!(s.tasks[1].wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn task_wait_saturates_when_start_precedes_readiness() {
+        // Regression: a chained reservation dispatch can record a start
+        // at (or marginally before) the readiness time; wait() must
+        // saturate to zero, never underflow or panic.
+        let mut rec = stats_fixture().tasks[0].clone();
+        rec.ready_at = SimTime(5_000);
+        rec.start = SimTime(4_000);
+        assert_eq!(rec.wait(), Duration::ZERO);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::PlatformConfig;
+use dssoc_trace::TraceSink;
 
 use crate::engine::{EmuError, Emulation, EmulationConfig};
 use crate::sched::{by_name, Scheduler};
@@ -99,6 +100,8 @@ pub struct SweepRunner<'a> {
     library: &'a AppLibrary,
     config: EmulationConfig,
     pools: Vec<Emulation>,
+    /// `(cell label, sink)` of the one designated trace target, if any.
+    trace: Option<(String, TraceSink)>,
 }
 
 impl<'a> SweepRunner<'a> {
@@ -110,7 +113,16 @@ impl<'a> SweepRunner<'a> {
     /// A runner with an explicit engine configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: EmulationConfig) -> Self {
-        SweepRunner { library, config, pools: Vec::new() }
+        SweepRunner { library, config, pools: Vec::new(), trace: None }
+    }
+
+    /// Designates the cell labeled `label` for event tracing: its final
+    /// measured iteration records into `sink`'s session. One cell, one
+    /// iteration — a sweep's other cells and warm-up/earlier iterations
+    /// stay untraced, so the trace doesn't distort the measured grid and
+    /// the exported timeline isn't a concatenation of repeats.
+    pub fn trace_cell(&mut self, label: impl Into<String>, sink: TraceSink) {
+        self.trace = Some((label.into(), sink));
     }
 
     /// The warm pool for `platform`, creating it on first use.
@@ -138,13 +150,26 @@ impl<'a> SweepRunner<'a> {
         make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
     ) -> Result<CellResult, EmuError> {
         let library = self.library;
+        let traced =
+            self.trace.as_ref().filter(|(label, _)| *label == cell.label).map(|(_, s)| s.clone());
         let emu = self.emulation_for(&cell.platform)?;
         let warmup = usize::from(cell.warmup);
+        let total = cell.iterations + warmup;
         let mut makespans = Vec::with_capacity(cell.iterations);
         let mut last: Option<EmulationStats> = None;
-        for i in 0..cell.iterations + warmup {
+        for i in 0..total {
+            if let Some(sink) = &traced {
+                // Trace only the final measured iteration.
+                if i + 1 == total {
+                    emu.set_trace(Some(sink.clone()));
+                }
+            }
             let mut sched = make_scheduler();
-            let stats = emu.run(sched.as_mut(), &cell.workload, library)?;
+            let run = emu.run(sched.as_mut(), &cell.workload, library);
+            if traced.is_some() && i + 1 == total {
+                emu.set_trace(None);
+            }
+            let stats = run?;
             if i >= warmup {
                 makespans.push(stats.makespan.as_secs_f64() * 1e3);
                 last = Some(stats);
@@ -203,6 +228,7 @@ mod tests {
             overhead: OverheadMode::None,
             cost: Arc::new(ScaledMeasuredCost::default()),
             reservation_depth: 0,
+            trace: None,
         }
     }
 

@@ -54,6 +54,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
         overhead: OverheadMode::None,
         cost: Arc::new(table.clone()),
         reservation_depth: 0,
+        trace: None,
     };
     let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
     let mut sched = by_name(scheduler).expect("library policy");
@@ -61,7 +62,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
 
     let des = DesSimulator::new(
         platform.clone(),
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO },
+        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
     )
     .expect("platform");
     let mut sched = by_name(scheduler).expect("library policy");
@@ -86,4 +87,68 @@ fn engines_agree_on_cpu_only_configs() {
             );
         }
     }
+}
+
+/// Sorted `(instance, node, pe, start, finish)` tuples of every task
+/// slice in `events` — the schedule skeleton a trace records.
+fn slice_tuples(events: &[dssoc_trace::TraceEvent]) -> Vec<(u64, u32, u32, u64, u64)> {
+    let mut out: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            dssoc_trace::EventKind::TaskSlice {
+                instance, node, pe, start_ns, finish_ns, ..
+            } => Some((instance, node, pe, start_ns, finish_ns)),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Both engines traced on the same deterministic cell must emit the
+/// same task slices — same task on the same PE over the same interval —
+/// because they share the exec-core instrumentation funnels. The trace
+/// is therefore a cross-engine diffing artifact, not just a view.
+#[test]
+fn engines_emit_identical_trace_slices() {
+    let platform = zcu102(2, 0);
+    let (library, _registry) = standard_library();
+    let workload =
+        WorkloadSpec::validation(APPS.map(|a| (a, 1usize))).generate(&library).expect("workload");
+    let table = full_cost_table(&library, &platform);
+
+    let emu_session = dssoc_trace::TraceSession::new();
+    let cfg = EmulationConfig {
+        timing: TimingMode::Modeled,
+        overhead: OverheadMode::None,
+        cost: Arc::new(table.clone()),
+        reservation_depth: 0,
+        trace: Some(emu_session.sink()),
+    };
+    let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
+    let mut sched = by_name("frfs").expect("library policy");
+    emu.run(sched.as_mut(), &workload, &library).expect("emulation");
+
+    let des_session = dssoc_trace::TraceSession::new();
+    let des = DesSimulator::new(
+        platform,
+        DesConfig {
+            cost: Arc::new(table),
+            overhead_per_invocation: Duration::ZERO,
+            trace: Some(des_session.sink()),
+        },
+    )
+    .expect("platform");
+    let mut sched = by_name("frfs").expect("library policy");
+    des.run(sched.as_mut(), &workload, &library).expect("simulation");
+
+    assert_eq!(emu_session.dropped(), 0, "emu trace overflowed its ring");
+    assert_eq!(des_session.dropped(), 0, "des trace overflowed its ring");
+    let emu_slices = slice_tuples(&emu_session.drain());
+    let des_slices = slice_tuples(&des_session.drain());
+    assert!(!emu_slices.is_empty(), "emu trace recorded no task slices");
+    assert_eq!(
+        emu_slices, des_slices,
+        "threaded-Modeled and DES traces diverged on (task, pe, start, finish)"
+    );
 }

@@ -96,6 +96,7 @@ fn modeled_config(table: CostTable) -> EmulationConfig {
         overhead: OverheadMode::None,
         cost: Arc::new(table),
         reservation_depth: 0,
+        trace: None,
     }
 }
 
@@ -176,7 +177,7 @@ fn modeled_engine_and_des_agree_deterministically() {
 
     let des = DesSimulator::new(
         zcu102(2, 0),
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO },
+        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
     )
     .unwrap();
     let simulated = des.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -215,6 +216,7 @@ fn wall_clock_mode_completes() {
         overhead: OverheadMode::Measured,
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 0,
+        trace: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -418,6 +420,7 @@ fn fixed_overhead_inflates_makespan_deterministically() {
             overhead: ov,
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: 0,
+            trace: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap()
@@ -464,7 +467,11 @@ fn des_respects_dependencies_too() {
     let wl = WorkloadSpec::validation([("diamond", 3usize)]).generate(&lib).unwrap();
     let des = DesSimulator::new(
         zcu102(3, 0),
-        DesConfig { cost: Arc::new(diamond_cost_table()), overhead_per_invocation: Duration::ZERO },
+        DesConfig {
+            cost: Arc::new(diamond_cost_table()),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+        },
     )
     .unwrap();
     let stats = des.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -486,7 +493,11 @@ fn des_overhead_knob_inflates_makespan() {
     let run = |ov: Duration| {
         let des = DesSimulator::new(
             zcu102(1, 0),
-            DesConfig { cost: Arc::new(diamond_cost_table()), overhead_per_invocation: ov },
+            DesConfig {
+                cost: Arc::new(diamond_cost_table()),
+                overhead_per_invocation: ov,
+                trace: None,
+            },
         )
         .unwrap();
         des.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap().makespan
@@ -503,6 +514,7 @@ fn reservation_queue_preserves_correctness() {
         overhead: OverheadMode::None,
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
+        trace: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -544,6 +556,7 @@ fn reservation_queue_eliminates_dispatch_overhead() {
             overhead: OverheadMode::Fixed(Duration::from_micros(100)),
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: depth,
+            trace: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap().makespan
@@ -571,6 +584,7 @@ fn reservation_queue_depth_bounds_queueing() {
         overhead: OverheadMode::None,
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 1,
+        trace: None,
     };
     let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -594,6 +608,7 @@ fn wall_clock_with_reservation_and_accelerator() {
         overhead: OverheadMode::Measured,
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
+        trace: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 1), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -649,12 +664,17 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
         overhead: OverheadMode::None,
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
+        trace: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let queued = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
     let des = DesSimulator::new(
         zcu102(2, 0),
-        DesConfig { cost: Arc::new(diamond_cost_table()), overhead_per_invocation: Duration::ZERO },
+        DesConfig {
+            cost: Arc::new(diamond_cost_table()),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+        },
     )
     .unwrap();
     let baseline = des.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();

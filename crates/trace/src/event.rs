@@ -1,0 +1,201 @@
+//! The trace event schema.
+//!
+//! One [`TraceEvent`] is a fixed-size, allocation-free value: producers
+//! copy it into a pre-allocated ring slot, so recording an event on a
+//! hot path costs two atomic operations and a memcpy — never a heap
+//! allocation or a lock. Human-readable names (PE names, task labels,
+//! application names, the policy name) are registered once per run in
+//! the session's metadata table and joined back in at export time.
+//!
+//! Both emulation engines — the threaded emulator and the discrete-event
+//! baseline — emit exactly this schema through the shared scheduling
+//! core, which is what makes event streams diffable across engines.
+
+/// Phase of one accelerator DMA round trip (paper Fig. 4: DDR→device,
+/// compute, device→DDR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaPhase {
+    /// DDR → device local memory transfer.
+    In,
+    /// Device compute.
+    Compute,
+    /// Device local memory → DDR transfer.
+    Out,
+}
+
+impl DmaPhase {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmaPhase::In => "dma_in",
+            DmaPhase::Compute => "compute",
+            DmaPhase::Out => "dma_out",
+        }
+    }
+}
+
+/// What happened. All payloads are small `Copy` values; ids are the raw
+/// integers behind the runtime's `InstanceId`/`PeId` newtypes so this
+/// crate stays below the emulation core in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An application instance was injected into the workload.
+    AppArrive {
+        /// Raw instance id.
+        instance: u64,
+    },
+    /// The last task of an application instance finished.
+    AppFinish {
+        /// Raw instance id.
+        instance: u64,
+    },
+    /// A task's predecessors all completed; it joined the ready list.
+    TaskReady {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+    },
+    /// The workload manager handed a task to a PE's resource manager.
+    TaskDispatch {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+        /// Destination PE.
+        pe: u32,
+    },
+    /// A task's full execution interval, emitted at completion (this is
+    /// the Gantt slice: `start_ns..finish_ns` on PE `pe`).
+    TaskSlice {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+        /// Executing PE.
+        pe: u32,
+        /// When the task became ready (for queueing-delay provenance).
+        ready_ns: u64,
+        /// Execution start on the PE.
+        start_ns: u64,
+        /// Execution finish on the PE.
+        finish_ns: u64,
+    },
+    /// One scheduler invocation: which PEs were offered (candidate set)
+    /// and which were chosen — the decision provenance the post-hoc
+    /// aggregates cannot reconstruct.
+    SchedDecision {
+        /// 1-based invocation ordinal within the run.
+        invocation: u64,
+        /// Ready-list length the policy saw.
+        ready: u32,
+        /// Bitmask of schedulable (candidate) PE ids.
+        candidates: u64,
+        /// Bitmask of PE ids the policy assigned to.
+        chosen: u64,
+        /// Number of assignments returned.
+        assigned: u32,
+    },
+    /// A PE transitioned idle → busy.
+    PeBusy {
+        /// The PE.
+        pe: u32,
+    },
+    /// A PE transitioned busy → idle.
+    PeIdle {
+        /// The PE.
+        pe: u32,
+    },
+    /// One DMA/compute phase of an accelerator invocation.
+    Dma {
+        /// The accelerator PE.
+        pe: u32,
+        /// Which phase.
+        phase: DmaPhase,
+        /// Phase start (emulation time).
+        start_ns: u64,
+        /// Phase end (emulation time).
+        end_ns: u64,
+    },
+    /// A pool resource-manager thread picked up work (left its parked
+    /// wait in the persistent [`ResourcePool`]).
+    ///
+    /// [`ResourcePool`]: https://docs.rs/dssoc-core
+    PoolUnpark {
+        /// The PE whose manager thread unparked.
+        pe: u32,
+    },
+    /// A pool resource-manager thread finished its task and returned to
+    /// the parked wait.
+    PoolPark {
+        /// The PE whose manager thread parked.
+        pe: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case kind name used by the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::AppArrive { .. } => "app_arrive",
+            EventKind::AppFinish { .. } => "app_finish",
+            EventKind::TaskReady { .. } => "task_ready",
+            EventKind::TaskDispatch { .. } => "task_dispatch",
+            EventKind::TaskSlice { .. } => "task_slice",
+            EventKind::SchedDecision { .. } => "sched_decision",
+            EventKind::PeBusy { .. } => "pe_busy",
+            EventKind::PeIdle { .. } => "pe_idle",
+            EventKind::Dma { .. } => "dma",
+            EventKind::PoolUnpark { .. } => "pool_unpark",
+            EventKind::PoolPark { .. } => "pool_park",
+        }
+    }
+}
+
+/// One recorded event: an emulation-clock timestamp, a session-global
+/// sequence number (total order for merging per-producer rings), and the
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emulation time in nanoseconds since the reference start.
+    pub ts_ns: u64,
+    /// Session-global sequence number (assigned at record time).
+    pub seq: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::AppArrive { instance: 0 }.name(), "app_arrive");
+        assert_eq!(
+            EventKind::TaskSlice {
+                instance: 0,
+                node: 0,
+                pe: 0,
+                ready_ns: 0,
+                start_ns: 0,
+                finish_ns: 0
+            }
+            .name(),
+            "task_slice"
+        );
+        assert_eq!(DmaPhase::In.name(), "dma_in");
+        assert_eq!(DmaPhase::Compute.name(), "compute");
+        assert_eq!(DmaPhase::Out.name(), "dma_out");
+    }
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The ring pre-allocates capacity × this size; keep it bounded so
+        // a default session stays in the low megabytes.
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+        let e = TraceEvent { ts_ns: 1, seq: 2, kind: EventKind::PeBusy { pe: 3 } };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

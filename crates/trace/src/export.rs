@@ -1,0 +1,316 @@
+//! Trace exporters.
+//!
+//! * [`chrome_json`] — Chrome trace-event format (the JSON flavour
+//!   Perfetto and `chrome://tracing` load directly): one track per PE
+//!   carrying task slices, a scheduler track carrying decision instants
+//!   with candidate/chosen provenance, a DMA track per accelerator PE,
+//!   an applications track, and a `ready_tasks` counter series.
+//! * [`jsonl`] — one compact JSON object per event, in canonical
+//!   `(timestamp, sequence)` order: the diff-friendly stream the
+//!   cross-engine differential tests compare.
+//!
+//! Field ordering is stable: the shim `serde_json::Value` object is a
+//! `BTreeMap`, so keys always serialize alphabetically — which is what
+//! the golden-file test pins down.
+
+use serde_json::{json, Value};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::session::TraceMeta;
+
+/// Synthetic Chrome `pid` for the emulated SoC.
+const PID: u64 = 1;
+/// `tid` of the scheduler-decision track.
+const TID_SCHED: u64 = 1000;
+/// `tid` of the application arrive/finish track.
+const TID_APPS: u64 = 1001;
+/// `tid` offset of per-accelerator DMA tracks.
+const TID_DMA_BASE: u64 = 2000;
+
+fn us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1000.0
+}
+
+fn pe_tid(pe: u32) -> u64 {
+    pe as u64 + 1
+}
+
+/// Names of the PEs in an id bitmask, in id order.
+fn mask_names(mask: u64, meta: &TraceMeta) -> Vec<Value> {
+    (0..64u32).filter(|b| mask & (1u64 << b) != 0).map(|b| Value::String(meta.pe_name(b))).collect()
+}
+
+fn thread_meta(tid: u64, name: &str, sort_index: u64) -> Vec<Value> {
+    vec![
+        json!({"ph": "M", "pid": PID, "tid": tid, "name": "thread_name",
+               "args": {"name": name}}),
+        json!({"ph": "M", "pid": PID, "tid": tid, "name": "thread_sort_index",
+               "args": {"sort_index": sort_index}}),
+    ]
+}
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+///
+/// `events` must be in canonical order (what
+/// [`TraceSession::drain`](crate::TraceSession::drain) returns);
+/// timestamps are converted to the format's microsecond unit.
+pub fn chrome_json(events: &[TraceEvent], meta: &TraceMeta) -> Value {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 16);
+
+    // Track metadata: process, one thread per PE (in id order), the
+    // scheduler and application tracks, and DMA tracks for accelerators.
+    out.push(json!({"ph": "M", "pid": PID, "tid": 0, "name": "process_name",
+                    "args": {"name": "dssoc-emu"}}));
+    for (&id, pe) in &meta.pes {
+        out.extend(thread_meta(pe_tid(id), &pe.name, pe_tid(id)));
+        if pe.is_accel {
+            out.extend(thread_meta(
+                TID_DMA_BASE + id as u64,
+                &format!("{} dma", pe.name),
+                TID_DMA_BASE + id as u64,
+            ));
+        }
+    }
+    out.extend(thread_meta(TID_SCHED, &format!("scheduler [{}]", meta.policy), TID_SCHED));
+    out.extend(thread_meta(TID_APPS, "applications", TID_APPS));
+
+    // Running ready-list depth, exported as a counter series.
+    let mut ready_depth: i64 = 0;
+
+    for ev in events {
+        match ev.kind {
+            EventKind::TaskSlice { instance, node, pe, ready_ns, start_ns, finish_ns } => {
+                out.push(json!({
+                    "ph": "X", "pid": PID, "tid": pe_tid(pe), "cat": "task",
+                    "name": meta.task_label(instance, node),
+                    "ts": us(start_ns), "dur": us(finish_ns.saturating_sub(start_ns)),
+                    "args": {
+                        "app": meta.app_label(instance),
+                        "instance": instance,
+                        "node": node,
+                        "pe": meta.pe_name(pe),
+                        "wait_us": us(start_ns.saturating_sub(ready_ns)),
+                    },
+                }));
+            }
+            EventKind::SchedDecision { invocation, ready, candidates, chosen, assigned } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_SCHED, "cat": "sched",
+                    "name": "schedule", "s": "t", "ts": us(ev.ts_ns),
+                    "args": {
+                        "assigned": assigned,
+                        "candidates": mask_names(candidates, meta),
+                        "chosen": mask_names(chosen, meta),
+                        "invocation": invocation,
+                        "policy": meta.policy.clone(),
+                        "ready": ready,
+                    },
+                }));
+            }
+            EventKind::Dma { pe, phase, start_ns, end_ns } => {
+                out.push(json!({
+                    "ph": "X", "pid": PID, "tid": TID_DMA_BASE + pe as u64, "cat": "dma",
+                    "name": phase.name(),
+                    "ts": us(start_ns), "dur": us(end_ns.saturating_sub(start_ns)),
+                    "args": {"pe": meta.pe_name(pe)},
+                }));
+            }
+            EventKind::AppArrive { instance } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_APPS, "cat": "app",
+                    "name": format!("arrive {}", meta.app_label(instance)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"instance": instance},
+                }));
+            }
+            EventKind::AppFinish { instance } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_APPS, "cat": "app",
+                    "name": format!("finish {}", meta.app_label(instance)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"instance": instance},
+                }));
+            }
+            EventKind::TaskReady { .. } | EventKind::TaskDispatch { .. } => {
+                ready_depth += match ev.kind {
+                    EventKind::TaskReady { .. } => 1,
+                    _ => -1,
+                };
+                out.push(json!({
+                    "ph": "C", "pid": PID, "tid": 0, "name": "ready_tasks",
+                    "ts": us(ev.ts_ns), "args": {"ready": ready_depth.max(0)},
+                }));
+            }
+            EventKind::PoolUnpark { pe } | EventKind::PoolPark { pe } => {
+                let parked = matches!(ev.kind, EventKind::PoolPark { .. });
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": pe_tid(pe), "cat": "pool",
+                    "name": if parked { "park" } else { "unpark" },
+                    "s": "t", "ts": us(ev.ts_ns), "args": {},
+                }));
+            }
+            // Busy/idle transitions are implied by the task slices in the
+            // Chrome view; they stay available in the JSONL stream.
+            EventKind::PeBusy { .. } | EventKind::PeIdle { .. } => {}
+        }
+    }
+
+    json!({"displayTimeUnit": "ms", "traceEvents": out})
+}
+
+/// One event as a flat JSON object (the JSONL record shape).
+pub fn event_json(ev: &TraceEvent) -> Value {
+    let mut obj = match ev.kind {
+        EventKind::AppArrive { instance } | EventKind::AppFinish { instance } => {
+            json!({"instance": instance})
+        }
+        EventKind::TaskReady { instance, node } => json!({"instance": instance, "node": node}),
+        EventKind::TaskDispatch { instance, node, pe } => {
+            json!({"instance": instance, "node": node, "pe": pe})
+        }
+        EventKind::TaskSlice { instance, node, pe, ready_ns, start_ns, finish_ns } => json!({
+            "finish_ns": finish_ns, "instance": instance, "node": node, "pe": pe,
+            "ready_ns": ready_ns, "start_ns": start_ns,
+        }),
+        EventKind::SchedDecision { invocation, ready, candidates, chosen, assigned } => json!({
+            "assigned": assigned, "candidates": candidates, "chosen": chosen,
+            "invocation": invocation, "ready": ready,
+        }),
+        EventKind::PeBusy { pe } | EventKind::PeIdle { pe } => json!({"pe": pe}),
+        EventKind::Dma { pe, phase, start_ns, end_ns } => {
+            json!({"end_ns": end_ns, "pe": pe, "phase": phase.name(), "start_ns": start_ns})
+        }
+        EventKind::PoolUnpark { pe } | EventKind::PoolPark { pe } => json!({"pe": pe}),
+    };
+    if let Value::Object(map) = &mut obj {
+        map.insert("kind".to_string(), Value::String(ev.kind.name().to_string()));
+        map.insert("seq".to_string(), json!(ev.seq));
+        map.insert("ts_ns".to_string(), json!(ev.ts_ns));
+    }
+    obj
+}
+
+/// Renders the event stream as JSON Lines — one compact object per
+/// event, in canonical order. `diff`-friendly and trivially parseable.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(&event_json(ev)).expect("event json"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DmaPhase;
+    use crate::session::TraceSession;
+
+    fn fixture() -> (Vec<TraceEvent>, TraceMeta) {
+        let session = TraceSession::new();
+        let sink = session.sink();
+        sink.set_policy("FRFS");
+        sink.set_pe(0, "Core1", false);
+        sink.set_pe(1, "FFT1", true);
+        sink.register_app("radar", vec!["FFT".into()]);
+        sink.register_instance(0, "radar");
+        let w = sink.writer("wm");
+        w.emit(0, EventKind::AppArrive { instance: 0 });
+        w.emit(0, EventKind::TaskReady { instance: 0, node: 0 });
+        w.emit(
+            100,
+            EventKind::SchedDecision {
+                invocation: 1,
+                ready: 1,
+                candidates: 0b11,
+                chosen: 0b10,
+                assigned: 1,
+            },
+        );
+        w.emit(100, EventKind::TaskDispatch { instance: 0, node: 0, pe: 1 });
+        w.emit(100, EventKind::PeBusy { pe: 1 });
+        w.emit(150, EventKind::Dma { pe: 1, phase: DmaPhase::In, start_ns: 100, end_ns: 150 });
+        w.emit(
+            5100,
+            EventKind::TaskSlice {
+                instance: 0,
+                node: 0,
+                pe: 1,
+                ready_ns: 0,
+                start_ns: 100,
+                finish_ns: 5100,
+            },
+        );
+        w.emit(5100, EventKind::PeIdle { pe: 1 });
+        w.emit(5100, EventKind::AppFinish { instance: 0 });
+        (session.drain(), session.meta())
+    }
+
+    #[test]
+    fn chrome_export_has_tracks_slices_and_decisions() {
+        let (events, meta) = fixture();
+        let doc = chrome_json(&events, &meta);
+        let text = serde_json::to_string(&doc).unwrap();
+        // Valid JSON: parses back.
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let evs = back["traceEvents"].as_array().unwrap();
+
+        // Thread-name metadata for both PEs, the DMA track, scheduler, apps.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"Core1"));
+        assert!(names.contains(&"FFT1"));
+        assert!(names.contains(&"FFT1 dma"));
+        assert!(names.contains(&"scheduler [FRFS]"));
+        assert!(names.contains(&"applications"));
+
+        // The task slice landed on FFT1's track with its wait time.
+        let slice = evs.iter().find(|e| e["ph"] == "X" && e["cat"] == "task").unwrap();
+        assert_eq!(slice["name"], "radar/FFT");
+        assert_eq!(slice["tid"], 2u64); // pe 1 -> tid 2
+        assert_eq!(slice["ts"], 0.1f64);
+        assert_eq!(slice["dur"], 5.0f64);
+
+        // The decision carries candidate/chosen provenance by name.
+        let dec = evs.iter().find(|e| e["cat"] == "sched").unwrap();
+        assert_eq!(dec["args"]["candidates"].as_array().unwrap().len(), 2);
+        assert_eq!(dec["args"]["chosen"][0], "FFT1");
+        assert_eq!(dec["args"]["policy"], "FRFS");
+
+        // DMA slice on the accelerator's DMA track.
+        let dma = evs.iter().find(|e| e["cat"] == "dma").unwrap();
+        assert_eq!(dma["name"], "dma_in");
+        assert_eq!(dma["tid"], 2001u64);
+
+        // Ready counter went 1 then 0.
+        let counters: Vec<i64> = evs
+            .iter()
+            .filter(|e| e["ph"] == "C")
+            .map(|e| e["args"]["ready"].as_i64().unwrap())
+            .collect();
+        assert_eq!(counters, vec![1, 0]);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_event_in_order() {
+        let (events, _) = fixture();
+        let text = jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        let mut last_key = (0u64, 0u64);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            let key = (v["ts_ns"].as_u64().unwrap(), v["seq"].as_u64().unwrap());
+            assert!(key >= last_key, "canonical order violated");
+            last_key = key;
+            assert!(v["kind"].as_str().is_some());
+        }
+        assert!(lines[0].contains("\"kind\":\"app_arrive\""));
+        assert!(text.contains("\"kind\":\"task_slice\""));
+        assert!(text.contains("\"kind\":\"pe_busy\""), "busy/idle events kept in JSONL");
+    }
+}

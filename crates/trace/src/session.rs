@@ -1,0 +1,342 @@
+//! Trace sessions, sinks, and writers.
+//!
+//! A [`TraceSession`] owns the per-producer rings and the name metadata
+//! for one emulation run. The engine side only ever sees a
+//! [`TraceSink`] — a cheaply cloneable handle it stores as
+//! `Option<TraceSink>` — and the [`TraceWriter`]s it mints, one per
+//! producer thread. Recording an event through a writer is two atomic
+//! operations and a slot write; registering writers and metadata locks
+//! a mutex, but only at run setup, never per event.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::EventRing;
+
+/// Default per-producer ring capacity (events). At ~48 bytes per event
+/// this is ~3 MB per producer — enough for tens of thousands of tasks
+/// before the drop counter starts moving.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Display metadata for one PE track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeMeta {
+    /// Display name ("Core1", "FFT1", ...).
+    pub name: String,
+    /// True for accelerator PEs (they additionally get a DMA track).
+    pub is_accel: bool,
+}
+
+/// Name tables joined into exports: ids are recorded in events, names
+/// are registered once per run through the sink. Registration is
+/// O(applications + instances), not O(instances × nodes) — labels are
+/// derived at export time, so run setup stays off the hot path even for
+/// workloads with hundreds of instances of the same application.
+#[derive(Debug, Clone, Default)]
+pub struct TraceMeta {
+    /// Scheduling policy name of the traced run.
+    pub policy: String,
+    /// Per-PE display metadata, keyed by raw PE id.
+    pub pes: BTreeMap<u32, PeMeta>,
+    /// Application (spec) name per instance id.
+    pub instance_apps: HashMap<u64, String>,
+    /// Node display names per application, in node-index order.
+    pub app_nodes: HashMap<String, Vec<String>>,
+}
+
+impl TraceMeta {
+    /// The label for a task (`app/node_name`), falling back to
+    /// synthetic ids for unregistered instances or nodes.
+    pub fn task_label(&self, instance: u64, node: u32) -> String {
+        match self.instance_apps.get(&instance) {
+            Some(app) => match self.app_nodes.get(app).and_then(|names| names.get(node as usize)) {
+                Some(name) => format!("{app}/{name}"),
+                None => format!("{app}/n{node}"),
+            },
+            None => format!("i{instance}/n{node}"),
+        }
+    }
+
+    /// The display name for a PE, falling back to `PE{id}`.
+    pub fn pe_name(&self, pe: u32) -> String {
+        self.pes.get(&pe).map(|m| m.name.clone()).unwrap_or_else(|| format!("PE{pe}"))
+    }
+
+    /// The label of an application instance (`app#id`), falling back to
+    /// `app{id}` when unregistered.
+    pub fn app_label(&self, instance: u64) -> String {
+        self.instance_apps
+            .get(&instance)
+            .map(|app| format!("{app}#{instance}"))
+            .unwrap_or_else(|| format!("app{instance}"))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Shared {
+    capacity: usize,
+    seq: AtomicU64,
+    pub(crate) rings: Mutex<Vec<(String, Arc<EventRing>)>>,
+    pub(crate) meta: Mutex<TraceMeta>,
+}
+
+/// One emulation run's trace: per-producer rings plus name metadata.
+/// Create it, pass [`TraceSession::sink`] to the engine, run, then
+/// export.
+#[derive(Debug)]
+pub struct TraceSession {
+    shared: Arc<Shared>,
+}
+
+impl Default for TraceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSession {
+    /// A session whose producers each get [`DEFAULT_RING_CAPACITY`]
+    /// event slots.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A session with an explicit per-producer ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSession {
+            shared: Arc::new(Shared {
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                rings: Mutex::new(Vec::new()),
+                meta: Mutex::new(TraceMeta::default()),
+            }),
+        }
+    }
+
+    /// The handle the emulation engines hold (`Option<TraceSink>`).
+    pub fn sink(&self) -> TraceSink {
+        TraceSink { shared: Arc::clone(&self.shared) }
+    }
+
+    /// All recorded events, merged across producers and sorted by
+    /// `(timestamp, sequence)` — the canonical stream every exporter
+    /// consumes.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let rings = self.shared.rings.lock().expect("trace rings poisoned");
+        let mut events: Vec<TraceEvent> = rings.iter().flat_map(|(_, r)| r.snapshot()).collect();
+        events.sort_by_key(|e| (e.ts_ns, e.seq));
+        events
+    }
+
+    /// Total events committed across all producers.
+    pub fn events_recorded(&self) -> usize {
+        let rings = self.shared.rings.lock().expect("trace rings poisoned");
+        rings.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Total events dropped across all producers (rings full).
+    pub fn dropped(&self) -> u64 {
+        let rings = self.shared.rings.lock().expect("trace rings poisoned");
+        rings.iter().map(|(_, r)| r.dropped()).sum()
+    }
+
+    /// Per-producer `(name, recorded, dropped)` accounting.
+    pub fn producers(&self) -> Vec<(String, usize, u64)> {
+        let rings = self.shared.rings.lock().expect("trace rings poisoned");
+        rings.iter().map(|(n, r)| (n.clone(), r.len(), r.dropped())).collect()
+    }
+
+    /// A snapshot of the registered name metadata.
+    pub fn meta(&self) -> TraceMeta {
+        self.shared.meta.lock().expect("trace meta poisoned").clone()
+    }
+}
+
+/// The engine-facing handle: mints writers and registers metadata.
+/// Cloning is one `Arc` bump, so configurations can carry
+/// `Option<TraceSink>` by value.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    shared: Arc<Shared>,
+}
+
+impl TraceSink {
+    /// Registers a new producer and returns its writer. Each call
+    /// creates a fresh ring; the writer is deliberately not `Clone`, so
+    /// the single-producer contract of [`EventRing`] is structural.
+    pub fn writer(&self, name: &str) -> TraceWriter {
+        let ring = Arc::new(EventRing::new(self.shared.capacity));
+        self.shared
+            .rings
+            .lock()
+            .expect("trace rings poisoned")
+            .push((name.to_string(), Arc::clone(&ring)));
+        TraceWriter {
+            ring,
+            shared: Arc::clone(&self.shared),
+            _single_producer: std::marker::PhantomData,
+        }
+    }
+
+    /// Records the run's scheduling-policy name.
+    pub fn set_policy(&self, name: &str) {
+        self.shared.meta.lock().expect("trace meta poisoned").policy = name.to_string();
+    }
+
+    /// Registers one PE's display metadata.
+    pub fn set_pe(&self, id: u32, name: &str, is_accel: bool) {
+        self.shared
+            .meta
+            .lock()
+            .expect("trace meta poisoned")
+            .pes
+            .insert(id, PeMeta { name: name.to_string(), is_accel });
+    }
+
+    /// Registers an application's node display names (in node-index
+    /// order). One call per distinct application spec.
+    pub fn register_app(&self, app: &str, node_names: Vec<String>) {
+        self.shared
+            .meta
+            .lock()
+            .expect("trace meta poisoned")
+            .app_nodes
+            .insert(app.to_string(), node_names);
+    }
+
+    /// Maps one instance id to its application; `app#id` and `app/node`
+    /// labels are derived from this at export time.
+    pub fn register_instance(&self, instance: u64, app: &str) {
+        self.shared
+            .meta
+            .lock()
+            .expect("trace meta poisoned")
+            .instance_apps
+            .insert(instance, app.to_string());
+    }
+}
+
+/// A single producer's recording handle. Not `Clone`, and `Send` but
+/// **not** `Sync`: a writer can move to its producer thread, but a
+/// reference to it can never be shared across threads — which makes the
+/// single-producer contract of [`EventRing`] hold in safe code.
+#[derive(Debug)]
+pub struct TraceWriter {
+    ring: Arc<EventRing>,
+    shared: Arc<Shared>,
+    /// `Cell<()>` is `Send + !Sync`; this opts the writer out of `Sync`.
+    _single_producer: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl TraceWriter {
+    /// Records one event at emulation time `ts_ns`. Never blocks: a
+    /// full ring counts a drop and returns.
+    #[inline]
+    pub fn emit(&self, ts_ns: u64, kind: EventKind) {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.ring.push(TraceEvent { ts_ns, seq, kind });
+    }
+
+    /// Events this producer has dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DmaPhase;
+
+    #[test]
+    fn multi_producer_merge_orders_by_time_then_seq() {
+        let session = TraceSession::with_capacity(16);
+        let sink = session.sink();
+        let a = sink.writer("wm");
+        let b = sink.writer("rm-0");
+        a.emit(50, EventKind::PeBusy { pe: 0 });
+        b.emit(10, EventKind::PoolUnpark { pe: 0 });
+        a.emit(10, EventKind::TaskReady { instance: 0, node: 1 });
+        b.emit(50, EventKind::PoolPark { pe: 0 });
+
+        let events = session.drain();
+        assert_eq!(events.len(), 4);
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 10, 50, 50]);
+        // Ties break on the global sequence: b's unpark preceded a's ready.
+        assert_eq!(events[0].kind, EventKind::PoolUnpark { pe: 0 });
+        assert_eq!(events[1].kind, EventKind::TaskReady { instance: 0, node: 1 });
+        assert_eq!(session.events_recorded(), 4);
+        assert_eq!(session.dropped(), 0);
+        assert_eq!(session.producers().len(), 2);
+    }
+
+    #[test]
+    fn writers_are_independent_rings() {
+        let session = TraceSession::with_capacity(2);
+        let sink = session.sink();
+        let a = sink.writer("a");
+        let b = sink.writer("b");
+        for i in 0..5 {
+            a.emit(i, EventKind::PeBusy { pe: 0 });
+        }
+        b.emit(0, EventKind::PeIdle { pe: 1 });
+        // a overflowed alone; b is untouched.
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(session.dropped(), 3);
+        assert_eq!(session.events_recorded(), 3);
+    }
+
+    #[test]
+    fn meta_registration_and_fallbacks() {
+        let session = TraceSession::new();
+        let sink = session.sink();
+        sink.set_policy("FRFS");
+        sink.set_pe(0, "Core1", false);
+        sink.set_pe(2, "FFT1", true);
+        sink.register_app(
+            "radar",
+            vec!["LFM".into(), "FFT_0".into(), "FFT_1".into(), "MUL".into()],
+        );
+        sink.register_instance(7, "radar");
+
+        let meta = session.meta();
+        assert_eq!(meta.policy, "FRFS");
+        assert_eq!(meta.pe_name(0), "Core1");
+        assert_eq!(meta.pe_name(9), "PE9");
+        assert!(meta.pes[&2].is_accel);
+        assert_eq!(meta.task_label(7, 1), "radar/FFT_0");
+        assert_eq!(meta.task_label(7, 9), "radar/n9", "node index past the registered names");
+        assert_eq!(meta.task_label(1, 1), "i1/n1");
+        assert_eq!(meta.app_label(7), "radar#7");
+        assert_eq!(meta.app_label(8), "app8");
+    }
+
+    #[test]
+    fn writer_is_send_but_not_sync() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TraceWriter>();
+        // Compile-time negative: `TraceWriter` must NOT be `Sync`, or two
+        // threads could share `&TraceWriter` and race on the ring.
+        // (Enforced by the `PhantomData<Cell<()>>` field; uncommenting
+        // `fn assert_sync<T: Sync>() {}; assert_sync::<TraceWriter>();`
+        // fails to compile.)
+        let session = TraceSession::new();
+        let w = session.sink().writer("moved");
+        std::thread::spawn(move || w.emit(1, EventKind::PeBusy { pe: 0 })).join().unwrap();
+        assert_eq!(session.events_recorded(), 1);
+    }
+
+    #[test]
+    fn dma_event_round_trip() {
+        let session = TraceSession::new();
+        let w = session.sink().writer("rm-fft");
+        w.emit(5, EventKind::Dma { pe: 2, phase: DmaPhase::In, start_ns: 5, end_ns: 10 });
+        let ev = session.drain();
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0].kind, EventKind::Dma { phase: DmaPhase::In, .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! Derived text timeline: a Gantt view of the task slices plus a
+//! per-PE occupancy summary, rendered from the same canonical event
+//! stream as the JSON exporters. Meant for terminals and diffs — the
+//! Chrome export is the interactive view.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::session::TraceMeta;
+
+/// Width of the Gantt bar area in characters.
+const BAR_WIDTH: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct Slice {
+    start_ns: u64,
+    finish_ns: u64,
+}
+
+/// Per-PE totals derived from the task slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeOccupancy {
+    /// Raw PE id.
+    pub pe: u32,
+    /// Display name.
+    pub name: String,
+    /// Number of task slices executed on this PE.
+    pub tasks: usize,
+    /// Total busy nanoseconds.
+    pub busy_ns: u64,
+    /// Busy time over the trace's span, in `[0, 1]`.
+    pub occupancy: f64,
+}
+
+/// Computes per-PE occupancy over the trace span (first event to last
+/// task finish). PEs registered in `meta` appear even when idle.
+pub fn occupancy(events: &[TraceEvent], meta: &TraceMeta) -> Vec<PeOccupancy> {
+    let mut busy: BTreeMap<u32, (usize, u64)> = BTreeMap::new();
+    for &id in meta.pes.keys() {
+        busy.insert(id, (0, 0));
+    }
+    let mut span_end = 0u64;
+    let mut span_start = events.first().map_or(0, |e| e.ts_ns);
+    for ev in events {
+        if let EventKind::TaskSlice { pe, start_ns, finish_ns, .. } = ev.kind {
+            let entry = busy.entry(pe).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += finish_ns.saturating_sub(start_ns);
+            // Slices are emitted at completion; their starts can precede
+            // the first event's timestamp.
+            span_start = span_start.min(start_ns);
+            span_end = span_end.max(finish_ns);
+        }
+        span_end = span_end.max(ev.ts_ns);
+    }
+    let span = span_end.saturating_sub(span_start).max(1);
+    busy.into_iter()
+        .map(|(pe, (tasks, busy_ns))| PeOccupancy {
+            pe,
+            name: meta.pe_name(pe),
+            tasks,
+            busy_ns,
+            occupancy: busy_ns as f64 / span as f64,
+        })
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Renders the text timeline: one Gantt row per PE (task slices drawn
+/// as `#` runs over the trace span), the occupancy table, and drop
+/// accounting when any producer overflowed.
+///
+/// `producers` is [`TraceSession::producers`](crate::TraceSession::producers)
+/// output; pass an empty slice to omit the accounting section.
+pub fn render(
+    events: &[TraceEvent],
+    meta: &TraceMeta,
+    producers: &[(String, usize, u64)],
+) -> String {
+    let mut slices: BTreeMap<u32, Vec<Slice>> = BTreeMap::new();
+    for &id in meta.pes.keys() {
+        slices.insert(id, Vec::new());
+    }
+    let mut span_start = events.first().map_or(0, |e| e.ts_ns);
+    let mut span_end = span_start;
+    for ev in events {
+        if let EventKind::TaskSlice { pe, start_ns, finish_ns, .. } = ev.kind {
+            slices.entry(pe).or_default().push(Slice { start_ns, finish_ns });
+            span_start = span_start.min(start_ns);
+            span_end = span_end.max(finish_ns);
+        }
+        span_end = span_end.max(ev.ts_ns);
+    }
+    let span = span_end.saturating_sub(span_start).max(1);
+
+    let name_w = slices.keys().map(|&pe| meta.pe_name(pe).len()).max().unwrap_or(4).max(4);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} events over {} (policy: {})\n",
+        events.len(),
+        fmt_ms(span),
+        if meta.policy.is_empty() { "?" } else { &meta.policy },
+    ));
+    out.push_str(&format!("{:name_w$} |{}| busy\n", "PE", "-".repeat(BAR_WIDTH), name_w = name_w));
+
+    for (&pe, pe_slices) in &slices {
+        let mut bar = vec![b'.'; BAR_WIDTH];
+        let mut busy_ns = 0u64;
+        for s in pe_slices {
+            busy_ns += s.finish_ns.saturating_sub(s.start_ns);
+            let lo = ((s.start_ns.saturating_sub(span_start)) as u128 * BAR_WIDTH as u128
+                / span as u128) as usize;
+            let hi = ((s.finish_ns.saturating_sub(span_start)) as u128 * BAR_WIDTH as u128
+                / span as u128) as usize;
+            for cell in bar.iter_mut().take(hi.max(lo + 1).min(BAR_WIDTH)).skip(lo.min(BAR_WIDTH)) {
+                *cell = b'#';
+            }
+        }
+        out.push_str(&format!(
+            "{:name_w$} |{}| {:5.1}% ({} tasks, {})\n",
+            meta.pe_name(pe),
+            String::from_utf8(bar).expect("ascii bar"),
+            100.0 * busy_ns as f64 / span as f64,
+            pe_slices.len(),
+            fmt_ms(busy_ns),
+            name_w = name_w
+        ));
+    }
+
+    let total_dropped: u64 = producers.iter().map(|(_, _, d)| d).sum();
+    if total_dropped > 0 {
+        out.push_str(&format!("dropped: {total_dropped} events (ring full)\n"));
+        for (name, recorded, dropped) in producers {
+            if *dropped > 0 {
+                out.push_str(&format!("  {name}: kept {recorded}, dropped {dropped}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TraceSession;
+
+    fn slice(instance: u64, node: u32, pe: u32, start_ns: u64, finish_ns: u64) -> EventKind {
+        EventKind::TaskSlice { instance, node, pe, ready_ns: start_ns, start_ns, finish_ns }
+    }
+
+    fn two_pe_session() -> TraceSession {
+        let session = TraceSession::new();
+        let sink = session.sink();
+        sink.set_policy("FRFS");
+        sink.set_pe(0, "Core1", false);
+        sink.set_pe(1, "FFT1", true);
+        let w = sink.writer("wm");
+        w.emit(1000, slice(0, 0, 0, 0, 1000));
+        w.emit(2000, slice(0, 1, 1, 1000, 2000));
+        w.emit(4000, slice(1, 0, 0, 2000, 4000));
+        session
+    }
+
+    #[test]
+    fn occupancy_sums_slices_over_span() {
+        let session = two_pe_session();
+        let occ = occupancy(&session.drain(), &session.meta());
+        assert_eq!(occ.len(), 2);
+        // Core1: 1000 + 2000 busy over a 4000ns span.
+        assert_eq!(occ[0].name, "Core1");
+        assert_eq!(occ[0].tasks, 2);
+        assert_eq!(occ[0].busy_ns, 3000);
+        assert!((occ[0].occupancy - 0.75).abs() < 1e-9);
+        // FFT1: 1000 over 4000.
+        assert_eq!(occ[1].name, "FFT1");
+        assert!((occ[1].occupancy - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_draws_bars_and_percentages() {
+        let session = two_pe_session();
+        let text = render(&session.drain(), &session.meta(), &session.producers());
+        assert!(text.contains("policy: FRFS"));
+        assert!(text.contains("Core1"));
+        assert!(text.contains("FFT1"));
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("25.0%"));
+        assert!(text.contains('#'));
+        assert!(!text.contains("dropped"), "no drop section when nothing dropped");
+        // Every row has the same width up to the bar's closing pipe.
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        let bar_end: Vec<usize> = rows.iter().map(|r| r.rfind('|').unwrap()).collect();
+        assert!(bar_end.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn render_reports_drops() {
+        let session = TraceSession::with_capacity(2);
+        let sink = session.sink();
+        sink.set_pe(0, "Core1", false);
+        let w = sink.writer("wm");
+        for i in 0..5u64 {
+            w.emit(i, slice(0, i as u32, 0, i, i + 1));
+        }
+        let text = render(&session.drain(), &session.meta(), &session.producers());
+        assert!(text.contains("dropped: 3 events"));
+        assert!(text.contains("wm: kept 2, dropped 3"));
+    }
+
+    #[test]
+    fn empty_trace_renders_registered_pes_idle() {
+        let session = TraceSession::new();
+        session.sink().set_pe(0, "Core1", false);
+        let text = render(&session.drain(), &session.meta(), &[]);
+        assert!(text.contains("Core1"));
+        assert!(text.contains("0.0%"));
+        let occ = occupancy(&[], &session.meta());
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].busy_ns, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Golden-file test for the Chrome trace exporter.
+//!
+//! The exported JSON must be byte-stable: object keys serialize in
+//! alphabetical order (the shim `Value::Object` is a `BTreeMap`) and
+//! floats print via Rust's shortest-round-trip `Display`, so the same
+//! event stream always produces the same bytes. Regenerate after an
+//! intentional schema change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dssoc-trace --test golden
+//! ```
+
+use dssoc_trace::{export, DmaPhase, EventKind, TraceSession};
+
+/// A small deterministic two-PE run: one app, two tasks (CPU then
+/// accelerator with DMA phases), one scheduler decision each.
+fn fixture() -> TraceSession {
+    let session = TraceSession::new();
+    let sink = session.sink();
+    sink.set_policy("FRFS");
+    sink.set_pe(0, "Core1", false);
+    sink.set_pe(1, "FFT1", true);
+    sink.register_app("radar_1x", vec!["LFM".into(), "FFT_0".into()]);
+    sink.register_instance(0, "radar_1x");
+
+    let wm = sink.writer("workload-manager");
+    wm.emit(0, EventKind::AppArrive { instance: 0 });
+    wm.emit(0, EventKind::TaskReady { instance: 0, node: 0 });
+    wm.emit(
+        0,
+        EventKind::SchedDecision {
+            invocation: 1,
+            ready: 1,
+            candidates: 0b01,
+            chosen: 0b01,
+            assigned: 1,
+        },
+    );
+    wm.emit(0, EventKind::TaskDispatch { instance: 0, node: 0, pe: 0 });
+    wm.emit(0, EventKind::PeBusy { pe: 0 });
+    wm.emit(
+        1_500,
+        EventKind::TaskSlice {
+            instance: 0,
+            node: 0,
+            pe: 0,
+            ready_ns: 0,
+            start_ns: 0,
+            finish_ns: 1_500,
+        },
+    );
+    wm.emit(1_500, EventKind::PeIdle { pe: 0 });
+    wm.emit(1_500, EventKind::TaskReady { instance: 0, node: 1 });
+    wm.emit(
+        1_500,
+        EventKind::SchedDecision {
+            invocation: 2,
+            ready: 1,
+            candidates: 0b11,
+            chosen: 0b10,
+            assigned: 1,
+        },
+    );
+    wm.emit(1_500, EventKind::TaskDispatch { instance: 0, node: 1, pe: 1 });
+    wm.emit(1_500, EventKind::PeBusy { pe: 1 });
+
+    let rm = sink.writer("rm-FFT1");
+    rm.emit(1_500, EventKind::PoolUnpark { pe: 1 });
+    rm.emit(1_700, EventKind::Dma { pe: 1, phase: DmaPhase::In, start_ns: 1_500, end_ns: 1_700 });
+    rm.emit(
+        2_900,
+        EventKind::Dma { pe: 1, phase: DmaPhase::Compute, start_ns: 1_700, end_ns: 2_900 },
+    );
+    rm.emit(3_100, EventKind::Dma { pe: 1, phase: DmaPhase::Out, start_ns: 2_900, end_ns: 3_100 });
+    rm.emit(3_100, EventKind::PoolPark { pe: 1 });
+
+    wm.emit(
+        3_100,
+        EventKind::TaskSlice {
+            instance: 0,
+            node: 1,
+            pe: 1,
+            ready_ns: 1_500,
+            start_ns: 1_500,
+            finish_ns: 3_100,
+        },
+    );
+    wm.emit(3_100, EventKind::PeIdle { pe: 1 });
+    wm.emit(3_100, EventKind::AppFinish { instance: 0 });
+    session
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_export_matches_golden_and_parses_back() {
+    let session = fixture();
+    let events = session.drain();
+    let doc = export::chrome_json(&events, &session.meta());
+    let text = serde_json::to_string_pretty(&doc).unwrap() + "\n";
+    check_golden("chrome.json", &text);
+
+    // The golden bytes are themselves valid JSON with the right shape.
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let evs = back["traceEvents"].as_array().unwrap();
+    assert!(evs.len() > 10);
+    assert!(evs.iter().all(|e| e["ph"].as_str().is_some()));
+    assert_eq!(evs.iter().filter(|e| e["ph"] == "X" && e["cat"] == "task").count(), 2);
+    assert_eq!(evs.iter().filter(|e| e["cat"] == "dma").count(), 3);
+}
+
+#[test]
+fn jsonl_export_matches_golden() {
+    let session = fixture();
+    let text = export::jsonl(&session.drain());
+    check_golden("events.jsonl", &text);
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v["ts_ns"].as_u64().is_some());
+    }
+}

@@ -21,6 +21,7 @@ pub fn deterministic_config(table: CostTable) -> EmulationConfig {
         overhead: OverheadMode::None,
         cost: Arc::new(table),
         reservation_depth: 0,
+        trace: None,
     }
 }
 
