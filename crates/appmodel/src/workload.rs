@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::app::AppLibrary;
 use crate::error::ModelError;
 use crate::instance::{AppInstance, InstanceId};
+use crate::memory::AppMemory;
 
 /// Per-application parameters for performance mode.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -201,6 +202,41 @@ impl Workload {
                 }
             };
             out.push(AppInstance::instantiate(spec, InstanceId(i as u64), entry.arrival)?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Self::instantiate`], but all instances of the same
+    /// application share one initialized memory image instead of
+    /// allocating and initializing a private copy each.
+    ///
+    /// This is only sound for engines that never execute kernels — the
+    /// discrete-event simulator, which takes task durations from cost
+    /// estimates and never writes instance memory. There the shared
+    /// image is observationally identical to per-instance copies (both
+    /// stay at their initial values), and skipping the per-instance
+    /// allocation and initialization removes the dominant setup cost of
+    /// many-instance simulation runs.
+    pub fn instantiate_shared(&self, library: &AppLibrary) -> Result<Vec<AppInstance>, ModelError> {
+        let mut specs: BTreeMap<&str, (Arc<crate::app::ApplicationSpec>, Arc<AppMemory>)> =
+            BTreeMap::new();
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            let (spec, memory) = match specs.get(entry.app_name.as_str()) {
+                Some((s, m)) => (Arc::clone(s), Arc::clone(m)),
+                None => {
+                    let s = library.get(&entry.app_name)?;
+                    let m = AppMemory::from_decls(&s.variables)?;
+                    specs.insert(entry.app_name.as_str(), (Arc::clone(&s), Arc::clone(&m)));
+                    (s, m)
+                }
+            };
+            out.push(AppInstance {
+                id: InstanceId(i as u64),
+                spec,
+                memory,
+                arrival: entry.arrival,
+            });
         }
         Ok(out)
     }

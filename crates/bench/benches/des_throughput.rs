@@ -1,0 +1,201 @@
+//! DES core throughput: simulated events per second vs workload size.
+//!
+//! The DES is the design-space-exploration workhorse (the DS3-class
+//! role, paper §III-D): sweep grids run it thousands of times, so its
+//! event-loop complexity is directly the DSE turnaround time. This
+//! bench pins that trajectory: FRFS on a CPU-only `zcu102(3, 0)` with a
+//! fully populated cost table (deterministic, no host measurement),
+//! across workloads from ~250 to ~4000 tasks. Each task contributes one
+//! dispatch and one completion event, so "events" here is 2x the task
+//! count.
+//!
+//! Besides the criterion timings, a best-of-N summary is merged into
+//! `BENCH_des.json` (see `dssoc_bench::report`) in both bench and
+//! `--test` (CI smoke) modes, so every CI run records the current
+//! events/sec alongside the numbers in `crates/bench/README.md`.
+//!
+//! ```sh
+//! cargo bench -p dssoc-bench --bench des_throughput
+//! ```
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::{Workload, WorkloadSpec};
+use dssoc_apps::standard_library;
+use dssoc_bench::report::BenchReport;
+use dssoc_core::des::{DesConfig, DesSimulator};
+use dssoc_core::sched::by_name;
+use dssoc_core::sweep::{default_workers, DesSweepRunner, SweepCell};
+use dssoc_platform::cost::CostTable;
+use dssoc_platform::pe::PlatformConfig;
+use dssoc_platform::presets::zcu102;
+
+/// range_detection instance counts giving ~250 / ~1000 / ~4000 tasks
+/// (6 tasks per instance).
+const SIZES: [usize; 3] = [42, 167, 667];
+
+/// A deterministic cost table covering every runfunc of
+/// `range_detection` on `platform` (same scheme as the cross-engine
+/// differential test), so the DES never falls back to defaults.
+fn full_cost_table(library: &AppLibrary, platform: &PlatformConfig) -> CostTable {
+    let mut table = CostTable::new();
+    let spec = library.get("range_detection").expect("reference app");
+    for node in &spec.nodes {
+        for pe in &platform.pes {
+            if let Some(p) = node.platform(&pe.platform_key) {
+                let d = p
+                    .mean_exec
+                    .unwrap_or_else(|| Duration::from_micros(50 + 10 * node.index as u64));
+                table.set(p.runfunc.clone(), pe.class_name(), d);
+            }
+        }
+    }
+    table
+}
+
+fn setup() -> (AppLibrary, DesSimulator) {
+    let (library, _registry) = standard_library();
+    let platform = zcu102(3, 0);
+    let table = full_cost_table(&library, &platform);
+    let sim = DesSimulator::new(
+        platform,
+        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
+    )
+    .expect("platform");
+    (library, sim)
+}
+
+fn workload(library: &AppLibrary, instances: usize) -> Arc<Workload> {
+    Arc::new(
+        WorkloadSpec::validation([("range_detection", instances)])
+            .generate(library)
+            .expect("workload"),
+    )
+}
+
+/// One full DES run (fresh FRFS policy), returning the task count.
+fn run_once(sim: &DesSimulator, wl: &Workload, library: &AppLibrary) -> usize {
+    let mut sched = by_name("frfs").expect("library policy");
+    let stats = sim.run(sched.as_mut(), wl, library).expect("simulation");
+    stats.tasks.len()
+}
+
+fn bench_des_throughput(c: &mut Criterion) {
+    let (library, sim) = setup();
+    let mut group = c.benchmark_group("des_throughput");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let wl = workload(&library, n);
+        let tasks = run_once(&sim, &wl, &library);
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &wl, |b, wl| {
+            b.iter(|| black_box(run_once(&sim, wl, &library)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_throughput);
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        benches();
+    }
+
+    // Best-of-N summary for BENCH_des.json — written in --test (CI
+    // smoke) mode too, so the artifact tracks every CI run.
+    let reps = if test_mode { 2 } else { 16 };
+    let (library, sim) = setup();
+    let mut report = BenchReport::new("des_throughput");
+    println!();
+    println!("== des_throughput summary (best of {reps}) ==");
+    for &n in &SIZES {
+        let wl = workload(&library, n);
+        let tasks = run_once(&sim, &wl, &library);
+        // Untimed warm-up (~0.5 s): lets the frequency governor ramp
+        // up, so best-of-N measures the hot-loop cost rather than the
+        // host's idle clock.
+        if !test_mode {
+            let warm = Instant::now();
+            while warm.elapsed() < Duration::from_millis(500) {
+                black_box(run_once(&sim, &wl, &library));
+            }
+        }
+        let best = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run_once(&sim, &wl, &library));
+                start.elapsed()
+            })
+            .min()
+            .expect("reps > 0");
+        // One dispatch + one completion event per task.
+        let events_per_sec = 2.0 * tasks as f64 / best.as_secs_f64();
+        println!(
+            "  {tasks:>5} tasks: {:>10.3?} per run, {:>12.0} events/sec",
+            best, events_per_sec
+        );
+        report.set_f64(format!("tasks_{tasks}_run_us"), best.as_secs_f64() * 1e6);
+        report.set_f64(format!("tasks_{tasks}_events_per_sec"), events_per_sec);
+    }
+
+    // Parallel sweep scaling: an 8-cell DES grid (8 ZCU102 shapes,
+    // FRFS, ~1000 tasks per run) timed sequentially vs across 4
+    // workers. DES cells are pure virtual-time compute, so the grid
+    // should scale with cores — this is the DSE turnaround claim.
+    let iters = if test_mode { 1 } else { 20 };
+    let grid_reps = if test_mode { 1 } else { 3 };
+    let wl = workload(&library, 167);
+    let table = full_cost_table(&library, &zcu102(3, 2));
+    let config =
+        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None };
+    let cells: Vec<SweepCell> = [(1, 0), (2, 0), (3, 0), (1, 1), (2, 1), (3, 1), (1, 2), (2, 2)]
+        .iter()
+        .map(|&(cores, ffts)| {
+            SweepCell::new(zcu102(cores, ffts), "frfs", Arc::clone(&wl)).iterations(iters)
+        })
+        .collect();
+    // Cap at 4 so the recorded speedup reflects the "4-core runner"
+    // configuration; on fewer cores the grid degrades gracefully (and
+    // with a single core the parallel path falls back to sequential).
+    let workers = default_workers().min(4);
+    let time_grid = |parallel: bool| -> Duration {
+        (0..grid_reps)
+            .map(|_| {
+                let mut runner = DesSweepRunner::with_config(&library, config.clone());
+                let start = Instant::now();
+                let results = if parallel {
+                    runner.run_batch_parallel(&cells, workers)
+                } else {
+                    runner.run_batch(&cells)
+                }
+                .expect("grid");
+                black_box(results);
+                start.elapsed()
+            })
+            .min()
+            .expect("reps > 0")
+    };
+    let sequential = time_grid(false);
+    let parallel = time_grid(true);
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "  {}-cell grid x{iters}: sequential {:.1?}, parallel({workers}) {:.1?} -> {speedup:.2}x",
+        cells.len(),
+        sequential,
+        parallel
+    );
+    report.set_f64("sweep8_sequential_ms", sequential.as_secs_f64() * 1e3);
+    report.set_f64("sweep8_parallel_ms", parallel.as_secs_f64() * 1e3);
+    report.set_f64("sweep8_speedup", speedup);
+    report.set_f64("sweep8_workers", workers as f64);
+
+    match report.write() {
+        Ok(path) => println!("bench summary -> {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write bench summary: {e}"),
+    }
+}

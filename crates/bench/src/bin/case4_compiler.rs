@@ -17,6 +17,7 @@
 //! ```
 
 use dssoc_appmodel::{AppLibrary, WorkloadSpec};
+use dssoc_bench::report::BenchReport;
 use dssoc_compiler::{compile, programs, CompileOptions};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
@@ -133,6 +134,18 @@ fn main() {
     for (desc, ok) in checks {
         println!("  [{}] {desc}", if ok { "ok" } else { "MISMATCH" });
         all_ok &= ok;
+    }
+    let mut report = BenchReport::new("case4");
+    report
+        .set_f64("naive_ms", t_naive)
+        .set_f64("optimized_ms", t_opt)
+        .set_f64("accelerator_ms", t_accel)
+        .set_f64("cpu_speedup", cpu_speedup)
+        .set_f64("accel_speedup", accel_speedup)
+        .set("shape_checks_ok", serde_json::to_value(&all_ok));
+    if let Ok(path) = report.write() {
+        println!();
+        println!("summary merged into {}", path.display());
     }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

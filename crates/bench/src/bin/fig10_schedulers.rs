@@ -16,7 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_apps::standard_library;
-use dssoc_bench::table2_workload;
+use dssoc_bench::report::BenchReport;
+use dssoc_bench::{sweep_workers, table2_workload};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -35,20 +36,26 @@ fn main() {
         "rate", "EFT (ms)", "MET (ms)", "FRFS (ms)", "EFT ovh", "MET ovh", "FRFS ovh"
     );
 
-    let mut runner = SweepRunner::new(&library);
-    let mut rows: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
-    for rate in rates {
-        let workload = Arc::new(table2_workload(&library, rate, frame, true, 42));
-        let cells: Vec<SweepCell> = ["eft", "met", "frfs"]
-            .iter()
-            .map(|&name| {
+    // One flat grid — rates × schedulers — through the batch sweep API.
+    let schedulers = ["eft", "met", "frfs"];
+    let cells: Vec<SweepCell> = rates
+        .iter()
+        .flat_map(|&rate| {
+            let workload = Arc::new(table2_workload(&library, rate, frame, true, 42));
+            let platform = &platform;
+            schedulers.iter().map(move |&name| {
                 SweepCell::new(platform.clone(), name, Arc::clone(&workload))
                     .label(format!("{rate:.2}/{name}"))
             })
-            .collect();
-        let row: Vec<(f64, f64)> = runner
-            .run_batch(&cells)
-            .expect("sweep")
+        })
+        .collect();
+    let results =
+        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+
+    let mut report = BenchReport::new("fig10");
+    let mut rows: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
+    for (&rate, chunk) in rates.iter().zip(results.chunks(schedulers.len())) {
+        let row: Vec<(f64, f64)> = chunk
             .iter()
             .map(|r| {
                 (
@@ -57,6 +64,10 @@ fn main() {
                 )
             })
             .collect();
+        for (r, &(ms, ovh_us)) in chunk.iter().zip(&row) {
+            report.set_f64(format!("makespan_ms_{}", r.label), ms);
+            report.set_f64(format!("sched_overhead_us_{}", r.label), ovh_us);
+        }
         println!(
             "{:>6.2} | {:>12.2} {:>12.2} {:>12.2} | {:>8.2}us {:>8.2}us {:>8.2}us",
             rate, row[0].0, row[1].0, row[2].0, row[0].1, row[1].1, row[2].1
@@ -111,6 +122,11 @@ fn main() {
     for (desc, ok) in checks {
         println!("  [{}] {desc}", if ok { "ok" } else { "MISMATCH" });
         all_ok &= ok;
+    }
+    report.set("shape_checks_ok", serde_json::to_value(&all_ok));
+    if let Ok(path) = report.write() {
+        println!();
+        println!("summary merged into {}", path.display());
     }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

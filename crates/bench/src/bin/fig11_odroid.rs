@@ -21,7 +21,8 @@ use std::time::Duration;
 
 use dssoc_appmodel::Workload;
 use dssoc_apps::standard_library;
-use dssoc_bench::table2_workload;
+use dssoc_bench::report::BenchReport;
+use dssoc_bench::{sweep_workers, table2_workload};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::odroid_xu3;
 
@@ -58,22 +59,27 @@ fn main() {
         .iter()
         .map(|&rate| Arc::new(table2_workload(&library, rate, frame, true, 77)))
         .collect();
-    let mut runner = SweepRunner::new(&library);
-    let mut results: Vec<((usize, usize), Vec<f64>)> = Vec::new();
-    for &(b, l) in &configs {
-        let platform = odroid_xu3(b, l);
-        let cells: Vec<SweepCell> = rates
-            .iter()
-            .zip(&workloads)
-            .map(|(&rate, workload)| {
+    // One flat grid — configs × rates — through the batch sweep API.
+    let cells: Vec<SweepCell> = configs
+        .iter()
+        .flat_map(|&(b, l)| {
+            let platform = odroid_xu3(b, l);
+            rates.iter().zip(&workloads).map(move |(&rate, workload)| {
                 SweepCell::new(platform.clone(), "frfs", Arc::clone(workload))
                     .label(format!("{b}BIG+{l}LTL @ {rate}"))
             })
-            .collect();
-        let row: Vec<f64> =
-            runner.run_batch(&cells).expect("sweep").iter().map(|r| r.makespans_ms[0]).collect();
+        })
+        .collect();
+    let cell_results =
+        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+
+    let mut report = BenchReport::new("fig11");
+    let mut results: Vec<((usize, usize), Vec<f64>)> = Vec::new();
+    for (&(b, l), chunk) in configs.iter().zip(cell_results.chunks(rates.len())) {
+        let row: Vec<f64> = chunk.iter().map(|r| r.makespans_ms[0]).collect();
         print!("{:<12}", format!("{b}BIG+{l}LTL"));
-        for ms in &row {
+        for (r, ms) in chunk.iter().zip(&row) {
+            report.set_f64(format!("makespan_ms_{}", r.label), *ms);
             print!(" {ms:>9.2}");
         }
         println!();
@@ -135,6 +141,11 @@ fn main() {
     for (desc, ok) in checks {
         println!("  [{}] {desc}", if ok { "ok" } else { "MISMATCH" });
         all_ok &= ok;
+    }
+    report.set("shape_checks_ok", serde_json::to_value(&all_ok));
+    if let Ok(path) = report.write() {
+        println!();
+        println!("summary merged into {}", path.display());
     }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

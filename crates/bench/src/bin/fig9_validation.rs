@@ -19,7 +19,8 @@ use std::sync::Arc;
 
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
-use dssoc_bench::{print_summary_row, summarize};
+use dssoc_bench::report::BenchReport;
+use dssoc_bench::{print_summary_row, summarize, sweep_workers};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -54,12 +55,15 @@ fn main() {
                 .warmup(iterations > 1)
         })
         .collect();
-    let results = SweepRunner::new(&library).run_batch(&cells).expect("sweep");
+    let results =
+        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
 
+    let mut report = BenchReport::new("fig9");
     let mut medians = Vec::new();
     for (&(cores, ffts), result) in configs.iter().zip(&results) {
         let s = summarize(&result.makespans_ms);
         print_summary_row(&result.label, &s, "ms");
+        report.set_f64(format!("median_ms_{}", result.label), s.median);
         medians.push(((cores, ffts), s.median));
     }
 
@@ -114,6 +118,11 @@ fn main() {
     for (desc, ok) in checks {
         println!("  [{}] {desc}", if ok { "ok" } else { "MISMATCH" });
         all_ok &= ok;
+    }
+    report.set("shape_checks_ok", serde_json::to_value(&all_ok));
+    if let Ok(path) = report.write() {
+        println!();
+        println!("summary merged into {}", path.display());
     }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_apps::standard_library;
+use dssoc_bench::report::BenchReport;
 use dssoc_bench::table2_workload;
 use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::sched::by_name;
@@ -62,6 +63,12 @@ fn main() {
         rows.push((name, res[0], res[1]));
     }
 
+    let mut report = BenchReport::new("futurework");
+    for (name, without, with) in &rows {
+        report.set_f64(format!("{name}_depth0_ms"), *without);
+        report.set_f64(format!("{name}_depth4_ms"), *with);
+    }
+
     println!();
     println!("== shape checks ==");
     let mut all_ok = true;
@@ -86,5 +93,10 @@ fn main() {
         frfs_gain
     );
     all_ok &= ok;
+    report.set("shape_checks_ok", serde_json::to_value(&all_ok));
+    if let Ok(path) = report.write() {
+        println!();
+        println!("summary merged into {}", path.display());
+    }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
-use dssoc_bench::summarize;
+use dssoc_bench::report::BenchReport;
+use dssoc_bench::{summarize, sweep_workers};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -37,17 +38,26 @@ fn main() {
 
     let paper =
         [("range_detection", 0.32), ("pulse_doppler", 5.60), ("wifi_tx", 0.13), ("wifi_rx", 2.22)];
-    let mut runner = SweepRunner::new(&library);
-    for (app, paper_ms) in paper {
-        let workload = Arc::new(
-            WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload"),
-        );
-        let cell = SweepCell::new(platform.clone(), "frfs", workload)
-            .label(app)
-            .iterations(iterations)
-            .warmup(iterations > 1);
-        let result = runner.run_cell(&cell).expect("run");
+    let cells: Vec<SweepCell> = paper
+        .iter()
+        .map(|&(app, _)| {
+            let workload = Arc::new(
+                WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload"),
+            );
+            SweepCell::new(platform.clone(), "frfs", workload)
+                .label(app)
+                .iterations(iterations)
+                .warmup(iterations > 1)
+        })
+        .collect();
+    let results =
+        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+
+    let mut report = BenchReport::new("table1");
+    for ((app, paper_ms), result) in paper.iter().zip(&results) {
         let s = summarize(&result.makespans_ms);
+        report.set_f64(format!("median_ms_{app}"), s.median);
+        report.set(format!("tasks_{app}"), serde_json::to_value(&result.stats.tasks.len()));
         println!(
             "{:<18} {:>18.3} {:>12}   {:>10.2}",
             app,
@@ -58,4 +68,7 @@ fn main() {
     }
     println!();
     println!("task counts must match the paper exactly; times are relative to this host.");
+    if let Ok(path) = report.write() {
+        println!("summary merged into {}", path.display());
+    }
 }

@@ -18,6 +18,7 @@
 use std::time::Duration;
 
 use dssoc_apps::standard_library;
+use dssoc_bench::report::BenchReport;
 use dssoc_bench::table2_workload;
 
 fn main() {
@@ -37,10 +38,13 @@ fn main() {
         (4.57, [18, 329, 55, 55]),
         (6.92, [32, 495, 82, 83]),
     ];
+    let mut report = BenchReport::new("table2");
     for (rate, paper_counts) in paper {
         let wl = table2_workload(&library, rate, frame, true, 2020);
         let counts = wl.counts_by_app();
         let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        report.set_f64(format!("actual_rate_{rate:.2}"), wl.injection_rate_per_ms().unwrap_or(0.0));
+        report.set(format!("instances_{rate:.2}"), serde_json::to_value(&wl.len()));
         println!(
             "{:>6.2} {:>8.2} | {:>5} {:>5} {:>5} {:>5} | paper: {:>3} {:>3} {:>3} {:>3}",
             rate,
@@ -57,4 +61,7 @@ fn main() {
     }
     println!();
     println!("counts track the paper's proportions (PD sparse, RD dense, WiFi mid).");
+    if let Ok(path) = report.write() {
+        println!("summary merged into {}", path.display());
+    }
 }

@@ -13,6 +13,8 @@
 //! | `fig11_odroid` | Fig. 11 — big.LITTLE configs vs injection rate |
 //! | `case4_compiler` | Case study 4 — auto-conversion speedups |
 
+pub mod report;
+
 use std::time::Duration;
 
 use dssoc_appmodel::{AppLibrary, InjectionParams, Workload, WorkloadSpec};
@@ -99,6 +101,28 @@ pub fn table2_workload(
     WorkloadSpec::performance(injections, frame, seed)
         .generate(library)
         .expect("table2 workload generates")
+}
+
+/// Environment variable selecting the sweep worker count for the bench
+/// bins (see [`sweep_workers`]).
+pub const SWEEP_WORKERS_ENV: &str = "SWEEP_WORKERS";
+
+/// Worker count for a bin's `run_batch_parallel` call: `$SWEEP_WORKERS`
+/// when set, otherwise `default`.
+///
+/// The threaded-engine bins default to 1 (sequential): their cells
+/// measure *host* time (measured scheduling overhead, measured-cost
+/// calibration), and concurrent cells would contend for cores and
+/// inflate exactly the numbers the figures report. Grids over the DES —
+/// pure virtual-time compute — default to all cores. `SWEEP_WORKERS=N`
+/// overrides either way, e.g. for CI smoke runs where only the shape of
+/// the output matters.
+pub fn sweep_workers(default: usize) -> usize {
+    std::env::var(SWEEP_WORKERS_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
 }
 
 /// Pretty-prints a labeled summary row.

@@ -22,7 +22,7 @@ use std::time::Duration;
 use dssoc_appmodel::{InjectionParams, WorkloadSpec};
 use dssoc_core::engine::{EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::stats::EmulationStats;
-use dssoc_core::sweep::{SweepCell, SweepRunner};
+use dssoc_core::sweep::{default_workers, SweepCell, SweepRunner};
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_platform::presets::{odroid_xu3, zcu102};
 use dssoc_trace::TraceSession;
@@ -278,7 +278,14 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
     if let Some(session) = &session {
         runner.trace_cell(cell.label.clone(), session.sink());
     }
-    let result = runner.run_cell(&cell).map_err(|e| e.to_string())?;
+    // The batch API clamps the worker count to the grid size, so this
+    // single cell runs sequentially on the runner's own warm pool; CLI
+    // grids grown beyond one cell parallelize for free.
+    let result = runner
+        .run_batch_parallel(std::slice::from_ref(&cell), default_workers())
+        .map_err(|e| e.to_string())?
+        .pop()
+        .expect("one cell in, one result out");
     if let (Some(path), Some(session)) = (&run.trace, &session) {
         write_trace(path, session)?;
     }

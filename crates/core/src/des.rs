@@ -17,14 +17,42 @@
 //! [`TimingMode::Modeled`] and this simulator must agree on every task
 //! start/finish time.
 //!
+//! # Performance
+//!
+//! The DES is the design-space-exploration workhorse: sweep grids run
+//! it thousands of times, so the event loop is engineered to do no
+//! redundant work per event:
+//!
+//! * the event queue is a [`BinaryHeap`] ordered by the engines' shared
+//!   tie-break `(time, completions-before-arrivals, task key, seq)` —
+//!   O(log n) per event instead of re-sorting the whole queue every
+//!   iteration. Arrivals are known up front and drained from a sorted
+//!   cursor instead of the heap, so the heap only ever holds the
+//!   in-flight completions (at most one per PE);
+//! * every `(spec, node, PE)` dispatch cost — the modeled duration and
+//!   the estimate-book slot its observation lands in — is resolved once
+//!   at run start into a dense table, so dispatch and completion do
+//!   vector indexing instead of platform-key matches and string-keyed
+//!   cost lookups;
+//! * a task's duration is computed once at dispatch and carried in its
+//!   completion event (together with its interned runfunc [`Name`]),
+//!   so completion handling recomputes nothing;
+//! * all record names come from a per-run [`NameTable`], instances of
+//!   one application share one read-only memory image
+//!   ([`Workload::instantiate_shared`]), and the scheduler's PE-view
+//!   vector is a reused scratch buffer — the steady-state loop
+//!   allocates only for growth.
+//!
 //! [`CostTable`]: dssoc_platform::cost::CostTable
 //! [`OverheadMode::None`]: crate::engine::OverheadMode::None
 //! [`TimingMode::Modeled`]: crate::engine::TimingMode::Modeled
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::app::{AppLibrary, NodeSpec};
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, CostTable};
@@ -36,12 +64,19 @@ use crate::exec::{
     pe_mask_bit, preflight_compat, register_trace_meta, validate_assignments, CompletionSink,
     ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
-use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
+use crate::intern::{Interner, Name, NameTable};
+use crate::sched::{EstimateBook, EstimateSlot, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
-use crate::task::Task;
 use crate::time::SimTime;
 
+/// Dispatch costs resolved once per run, indexed
+/// `[spec_index][node_idx][pe_column]`: the modeled duration plus the
+/// estimate-book slot its completion observation lands in.
+/// Incompatible combinations hold `None`.
+type CostGrid = Vec<Vec<Vec<Option<(Duration, EstimateSlot)>>>>;
+
 /// DES configuration.
+#[derive(Clone)]
 pub struct DesConfig {
     /// Cost source for task durations (typically a calibrated
     /// [`CostTable`]).
@@ -72,17 +107,55 @@ pub struct DesSimulator {
     config: DesConfig,
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Arrival(usize), // index into instances
-    Completion { pe: PeId, ready_at: SimTime },
-}
-
+/// One queued completion event: a dispatched task finishing.
+///
+/// Ordered by the engines' shared tie-break: time, then task key
+/// `(instance, node)`, then dispatch sequence. Arrivals never enter the
+/// heap (they are known up front and drained from a sorted cursor), so
+/// the heap only ever holds the in-flight completions — at most one per
+/// PE — and every queued event is a completion: the old
+/// completions-before-arrivals rank is enforced structurally by
+/// draining the heap before the arrival cursor at each clock value.
+///
+/// Everything completion handling needs — the duration charged at
+/// dispatch and the runfunc that "executed" — is carried here, so it is
+/// never recomputed. The task itself is the event key: `(instance,
+/// node)` indexes the dense instance vector, so the event carries no
+/// `Arc`.
 struct Event {
     time: SimTime,
+    key: (InstanceId, usize),
     seq: u64,
-    kind: EventKind,
-    task: Option<Task>,
+    pe: PeId,
+    ready_at: SimTime,
+    dur: Duration,
+    runfunc: Name,
+}
+
+impl Event {
+    fn order_key(&self) -> (SimTime, (InstanceId, usize), u64) {
+        (self.time, self.key, self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.order_key() == other.order_key()
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.order_key().cmp(&other.order_key())
+    }
 }
 
 impl DesSimulator {
@@ -97,11 +170,16 @@ impl DesSimulator {
         &self.platform
     }
 
-    /// Duration the DES charges for `task` on `pe`: cost model first,
+    /// Duration the DES charges for `node` on `pe`: cost model first,
     /// then the JSON per-platform estimate, then a speed-scaled default —
     /// the same priority the estimate book uses.
-    fn duration_of(&self, task: &Task, pe: &PeDescriptor) -> Duration {
-        let platform = task.node().platform(&pe.platform_key).expect("compat checked");
+    ///
+    /// Resolved once per `(spec, node, PE)` at run start into a dense
+    /// table (the cost-model call is deterministic — the DES always
+    /// passes a zero measured time), so dispatch is a triple index
+    /// instead of a platform-key match plus a string-keyed cost lookup.
+    fn duration_of(&self, node: &NodeSpec, pe: &PeDescriptor) -> Duration {
+        let platform = node.platform(&pe.platform_key).expect("compat checked");
         if let Some(d) = self.config.cost.task_duration(&platform.runfunc, pe, Duration::ZERO) {
             return d;
         }
@@ -120,32 +198,76 @@ impl DesSimulator {
     ) -> Result<EmulationStats, EmuError> {
         // Compatibility pre-flight, shared with the emulator.
         preflight_compat(&self.platform, workload, library)?;
+        // The DES never executes a kernel, so instance memory is never
+        // written: instances of one application can share a single
+        // initialized image instead of each allocating its own.
         let instances: Vec<Arc<AppInstance>> =
-            workload.instantiate(library)?.into_iter().map(Arc::new).collect();
+            workload.instantiate_shared(library)?.into_iter().map(Arc::new).collect();
 
-        let mut tracker = InstanceTracker::new(&instances);
+        let mut interner = Interner::new();
+        let names = NameTable::build(&instances, &self.platform, &mut interner);
+        let mut tracker = InstanceTracker::new(&instances, &names);
 
-        let mut events: Vec<Event> = instances
+        // The DES observes completions into an estimate book exactly like
+        // the emulator, so estimate-driven policies (MET/EFT) see the
+        // same context in both engines.
+        let mut estimates = EstimateBook::new();
+
+        // Per-(spec, node, PE column) dispatch costs, resolved once.
+        // `NameTable` assigns spec indices in first-encounter order over
+        // the same instance slice, so the first instance of each spec
+        // fills exactly the next row. The scheduler contract keeps
+        // incompatible (`None`) combinations from ever being dispatched.
+        let mut costs: CostGrid = Vec::with_capacity(names.spec_count());
+        for inst in &instances {
+            if names.spec_index(inst.id) == costs.len() {
+                costs.push(
+                    inst.spec
+                        .nodes
+                        .iter()
+                        .map(|node| {
+                            self.platform
+                                .pes
+                                .iter()
+                                .map(|pe| {
+                                    node.platform(&pe.platform_key).map(|p| {
+                                        (
+                                            self.duration_of(node, pe),
+                                            estimates.slot_of(&p.runfunc, pe.class_name()),
+                                        )
+                                    })
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                );
+            }
+        }
+
+        // Arrivals are known up front: sorted once by (time, instance
+        // order) and drained by cursor, they never pay heap traffic.
+        let mut arrival_order: Vec<(SimTime, u32)> = instances
             .iter()
             .enumerate()
-            .map(|(i, inst)| Event {
-                time: SimTime::from_duration(inst.arrival),
-                seq: i as u64,
-                kind: EventKind::Arrival(i),
-                task: None,
-            })
+            .map(|(i, inst)| (SimTime::from_duration(inst.arrival), i as u32))
             .collect();
-        let mut event_seq = instances.len() as u64;
+        arrival_order.sort_unstable_by_key(|&(t, i)| (t, i));
+        let mut next_arrival = 0usize;
+
+        // Min-heap of in-flight completions on the shared tie-break.
+        // Draining due events by popping the minimum while its time is
+        // <= the clock reproduces the sorted-queue order exactly: in a
+        // queue sorted ascending by the same key, the first event with
+        // `time <= clock` is always the head (the global minimum).
+        let mut events: BinaryHeap<Reverse<Event>> =
+            BinaryHeap::with_capacity(self.platform.pes.len() + 1);
+        let mut event_seq = 0u64;
 
         let mut ready = ReadyList::new();
         // DES PEs have no reservation queues (depth 0); the busy map
         // holds *exact* finish times — the simulator's one luxury over
         // the emulator's estimates.
         let mut slots = PeSlots::new(self.platform.pes.len(), 0);
-        // The DES observes completions into an estimate book exactly like
-        // the emulator, so estimate-driven policies (MET/EFT) see the
-        // same context in both engines.
-        let mut estimates = EstimateBook::new();
 
         let mut sink = CompletionSink::new();
         let tracer = match &self.config.trace {
@@ -163,67 +285,56 @@ impl DesSimulator {
         ready.set_tracer(tracer.clone());
         sink.set_tracer(tracer.clone());
         let mut clock = SimTime::ZERO;
+        // Scratch buffer for the scheduler's per-invocation PE views.
+        let mut views: Vec<PeView<'_>> = Vec::with_capacity(self.platform.pes.len());
 
         loop {
             // Drain everything due at the current clock first. Tie order
             // matches the threaded engine: completions before arrivals,
             // completions in (instance, node) order, arrivals in
             // instantiation order.
-            events.sort_by_key(|e| {
-                let (rank, key) = match &e.kind {
-                    EventKind::Completion { .. } => {
-                        let t = e.task.as_ref().expect("completion carries its task");
-                        (0u8, t.key())
-                    }
-                    EventKind::Arrival(i) => (1u8, (InstanceId(*i as u64), 0usize)),
-                };
-                (e.time, rank, key, e.seq)
-            });
-            while let Some(pos) = events.iter().position(|e| e.time <= clock) {
-                let ev = events.remove(pos);
-                match ev.kind {
-                    EventKind::Arrival(i) => {
-                        tracer.emit(ev.time, TraceKind::AppArrive { instance: instances[i].id.0 });
-                        ready.push_roots(&instances[i], ev.time);
-                    }
-                    EventKind::Completion { pe, ready_at } => {
-                        // DES PEs have no reservation queues, so every
-                        // completion idles its PE.
-                        slots.release(pe);
-                        tracer.emit(ev.time, TraceKind::PeIdle { pe: pe.0 });
-                        let task = ev.task.expect("completion carries its task");
-                        let node = task.node();
-                        let desc = self.platform.pe(pe).expect("known PE");
-                        let dur = self.duration_of(&task, desc);
-                        let runfunc = node
-                            .platform(&desc.platform_key)
-                            .map(|p| p.runfunc.clone())
-                            .unwrap_or_default();
-                        estimates.observe(&runfunc, desc.class_name(), dur);
-                        sink.record_task(TaskRecord {
-                            instance: task.instance.id,
-                            app: task.app_name().to_string(),
-                            node: node.name.clone(),
-                            node_idx: task.node_idx,
-                            kernel: runfunc,
-                            pe,
-                            ready_at,
-                            start: SimTime(ev.time.0 - dur.as_nanos() as u64),
-                            finish: ev.time,
-                            modeled: dur,
-                            measured: Duration::ZERO,
-                        });
-                        if let Some(rec) = tracker.complete_task(&task, ev.time, &mut ready) {
-                            sink.record_app(rec);
-                        }
-                    }
+            while events.peek().is_some_and(|Reverse(e)| e.time <= clock) {
+                let Reverse(ev) = events.pop().expect("peeked");
+                let (id, node_idx) = ev.key;
+                // DES PEs have no reservation queues, so every
+                // completion idles its PE.
+                slots.release(ev.pe);
+                tracer.emit(ev.time, TraceKind::PeIdle { pe: ev.pe.0 });
+                let col = names.pe_column(ev.pe).expect("known PE");
+                let (_, est_slot) =
+                    costs[names.spec_index(id)][node_idx][col].expect("compat checked");
+                estimates.observe_at(est_slot, ev.dur);
+                sink.record_task(TaskRecord {
+                    instance: id,
+                    app: names.app(id).clone(),
+                    node: names.node(id, node_idx).clone(),
+                    node_idx,
+                    kernel: ev.runfunc,
+                    pe: ev.pe,
+                    ready_at: ev.ready_at,
+                    start: SimTime(ev.time.0 - ev.dur.as_nanos() as u64),
+                    finish: ev.time,
+                    modeled: ev.dur,
+                    measured: Duration::ZERO,
+                });
+                if let Some(rec) =
+                    tracker.complete(&instances[id.0 as usize], node_idx, ev.time, &mut ready)
+                {
+                    sink.record_app(rec);
                 }
+            }
+            while next_arrival < arrival_order.len() && arrival_order[next_arrival].0 <= clock {
+                let (at, idx) = arrival_order[next_arrival];
+                next_arrival += 1;
+                let inst = &instances[idx as usize];
+                tracer.emit(at, TraceKind::AppArrive { instance: inst.id.0 });
+                ready.push_roots(inst, at);
             }
 
             // Schedule at the current clock.
             if !ready.is_empty() && slots.any_schedulable() {
-                let views: Vec<PeView<'_>> =
-                    self.platform.pes.iter().map(|pe| slots.view(pe, clock)).collect();
+                views.clear();
+                views.extend(self.platform.pes.iter().map(|pe| slots.view(pe, clock)));
                 let ctx = SchedContext { now: clock, estimates: &estimates };
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
                 sink.sched_invocations += 1;
@@ -253,37 +364,48 @@ impl DesSimulator {
                     &slots,
                     &self.platform,
                 )?;
-                assignments.sort_by_key(|a| a.ready_idx);
+                assignments.sort_unstable_by_key(|a| a.ready_idx);
                 for a in &assignments {
-                    let rt = ready.pending()[a.ready_idx].clone();
-                    let desc = self.platform.pe(a.pe).expect("known PE");
-                    let dur = self.duration_of(&rt.task, desc);
+                    let rt = &ready.pending()[a.ready_idx];
+                    let id = rt.task.instance.id;
+                    let col = names.pe_column(a.pe).expect("known PE");
+                    let (dur, _) =
+                        costs[names.spec_index(id)][rt.task.node_idx][col].expect("compat checked");
                     let finish = clock + charge + dur;
                     slots.occupy(a.pe, finish);
                     tracer.emit(
                         clock,
                         TraceKind::TaskDispatch {
-                            instance: rt.task.instance.id.0,
+                            instance: id.0,
                             node: rt.task.node_idx as u32,
                             pe: a.pe.0,
                         },
                     );
                     tracer.emit(clock, TraceKind::PeBusy { pe: a.pe.0 });
-                    events.push(Event {
+                    let runfunc =
+                        names.runfunc(id, rt.task.node_idx, a.pe).cloned().unwrap_or_default();
+                    events.push(Reverse(Event {
                         time: finish,
+                        key: rt.task.key(),
                         seq: event_seq,
-                        kind: EventKind::Completion { pe: a.pe, ready_at: rt.ready_at },
-                        task: Some(rt.task),
-                    });
+                        pe: a.pe,
+                        ready_at: rt.ready_at,
+                        dur,
+                        runfunc,
+                    }));
                     event_seq += 1;
                 }
                 ready.remove(&assignments);
             }
 
-            // Advance to the next event.
-            match events.iter().map(|e| e.time).min() {
-                Some(t) => clock = clock.max(t),
-                None => {
+            // Advance to the next event (completion or arrival).
+            let next_completion = events.peek().map(|Reverse(e)| e.time);
+            let next_arr = arrival_order.get(next_arrival).map(|&(t, _)| t);
+            match (next_completion, next_arr) {
+                (Some(c), Some(a)) => clock = clock.max(c.min(a)),
+                (Some(c), None) => clock = clock.max(c),
+                (None, Some(a)) => clock = clock.max(a),
+                (None, None) => {
                     if ready.is_empty() {
                         break;
                     }

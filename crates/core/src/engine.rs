@@ -44,6 +44,7 @@ use crate::exec::{
     ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
+use crate::intern::{Interner, NameTable};
 use crate::resource::ResourcePool;
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
@@ -308,7 +309,9 @@ impl Emulation {
         let timing = self.config.timing;
         let overlay_speed = self.platform.overlay.speed;
 
-        let mut tracker = InstanceTracker::new(&instances);
+        let mut interner = Interner::new();
+        let names = NameTable::build(&instances, &self.platform, &mut interner);
+        let mut tracker = InstanceTracker::new(&instances, &names);
         let kept_instances = instances.clone();
         let mut arrivals: VecDeque<Arc<AppInstance>> = instances.into();
         let mut ready = ReadyList::new();
@@ -337,6 +340,8 @@ impl Emulation {
         let mut sampler_s = PhaseSampler::new();
         let mut sampler_d = PhaseSampler::new();
         let mut failure: Option<EmuError> = None;
+        // Scratch buffer for the scheduler's per-invocation PE views.
+        let mut views: Vec<PeView<'_>> = Vec::with_capacity(handlers.len());
 
         'outer: loop {
             let mut now = match timing {
@@ -406,19 +411,18 @@ impl Emulation {
                     });
                     break 'outer;
                 }
-                let node = c.task.node();
                 let pe = handlers.iter().find(|h| h.pe_id() == p.pe).expect("known PE");
-                let runfunc = node
-                    .platform(&pe.pe.platform_key)
-                    .map(|pl| pl.runfunc.clone())
+                let kernel = names
+                    .runfunc(c.task.instance.id, c.task.node_idx, p.pe)
+                    .cloned()
                     .unwrap_or_default();
-                estimates.observe(&runfunc, pe.pe.class_name(), c.modeled);
+                estimates.observe(&kernel, pe.pe.class_name(), c.modeled);
                 sink.record_task(TaskRecord {
                     instance: c.task.instance.id,
-                    app: c.task.app_name().to_string(),
-                    node: node.name.clone(),
+                    app: names.app(c.task.instance.id).clone(),
+                    node: names.node(c.task.instance.id, c.task.node_idx).clone(),
                     node_idx: c.task.node_idx,
-                    kernel: runfunc,
+                    kernel,
                     pe: p.pe,
                     ready_at: ready_at_of.remove(&c.task.key()).unwrap_or(c.start),
                     start: c.start,
@@ -492,8 +496,8 @@ impl Emulation {
                 }
                 sched_pass += 1;
                 let t_sched = Instant::now();
-                let views: Vec<PeView<'_>> =
-                    handlers.iter().map(|h| slots.view(&h.pe, now)).collect();
+                views.clear();
+                views.extend(handlers.iter().map(|h| slots.view(&h.pe, now)));
                 let ctx = SchedContext { now, estimates: &estimates };
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
                 sink.sched_invocations += 1;

@@ -20,18 +20,19 @@
 //! * [`preflight_compat`] / [`validate_assignments`] — the deadlock
 //!   guard and the scheduler-contract check.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::app::AppLibrary;
-use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_appmodel::instance::AppInstance;
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
 use dssoc_trace::{EventKind as TraceKind, TraceSink, TraceWriter};
 
 use crate::engine::EmuError;
+use crate::intern::{Name, NameTable};
 use crate::sched::{Assignment, PeView};
 use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
 use crate::task::{ReadyTask, Task};
@@ -245,9 +246,13 @@ impl ReadyList {
 /// arrival times. Completions flow through [`Self::complete_task`],
 /// which unblocks successors into the [`ReadyList`] and reports
 /// finished applications.
+///
+/// Instance ids are dense (both `Workload::instantiate` flavours number
+/// instances `0..n`), so state lives in a plain `Vec` indexed by id —
+/// completion bookkeeping never hashes.
 #[derive(Debug)]
 pub struct InstanceTracker {
-    states: HashMap<InstanceId, InstanceState>,
+    states: Vec<Option<InstanceState>>,
 }
 
 #[derive(Debug)]
@@ -255,29 +260,25 @@ struct InstanceState {
     remaining_preds: Vec<usize>,
     remaining_tasks: usize,
     arrival: SimTime,
+    app: Name,
 }
 
 impl InstanceTracker {
-    /// Builds tracking state for a run's instances.
-    pub fn new(instances: &[Arc<AppInstance>]) -> Self {
-        let states = instances
-            .iter()
-            .map(|inst| {
-                (
-                    inst.id,
-                    InstanceState {
-                        remaining_preds: inst
-                            .spec
-                            .nodes
-                            .iter()
-                            .map(|n| n.predecessors.len())
-                            .collect(),
-                        remaining_tasks: inst.spec.nodes.len(),
-                        arrival: SimTime::from_duration(inst.arrival),
-                    },
-                )
-            })
-            .collect();
+    /// Builds tracking state for a run's instances. The app names in
+    /// `names` are carried into the [`AppRecord`]s this tracker emits,
+    /// so completion bookkeeping never clones a `String`.
+    pub fn new(instances: &[Arc<AppInstance>], names: &NameTable) -> Self {
+        let top = instances.iter().map(|inst| inst.id.0 as usize + 1).max().unwrap_or(0);
+        let mut states: Vec<Option<InstanceState>> = Vec::new();
+        states.resize_with(top, || None);
+        for inst in instances {
+            states[inst.id.0 as usize] = Some(InstanceState {
+                remaining_preds: inst.spec.nodes.iter().map(|n| n.predecessors.len()).collect(),
+                remaining_tasks: inst.spec.nodes.len(),
+                arrival: SimTime::from_duration(inst.arrival),
+                app: names.app(inst.id).clone(),
+            });
+        }
         InstanceTracker { states }
     }
 
@@ -290,20 +291,32 @@ impl InstanceTracker {
         finish: SimTime,
         ready: &mut ReadyList,
     ) -> Option<AppRecord> {
-        let state = self.states.get_mut(&task.instance.id).expect("known instance");
-        for &s in &task.node().successors {
+        self.complete(&task.instance, task.node_idx, finish, ready)
+    }
+
+    /// [`Self::complete_task`] without the `Task` wrapper, for engines
+    /// that track completions as `(instance, node)` pairs.
+    pub fn complete(
+        &mut self,
+        instance: &Arc<AppInstance>,
+        node_idx: usize,
+        finish: SimTime,
+        ready: &mut ReadyList,
+    ) -> Option<AppRecord> {
+        let state = self.states[instance.id.0 as usize].as_mut().expect("known instance");
+        for &s in &instance.spec.nodes[node_idx].successors {
             state.remaining_preds[s] -= 1;
             if state.remaining_preds[s] == 0 {
-                ready.push(Task { instance: Arc::clone(&task.instance), node_idx: s }, finish);
+                ready.push(Task { instance: Arc::clone(instance), node_idx: s }, finish);
             }
         }
         state.remaining_tasks -= 1;
         (state.remaining_tasks == 0).then(|| AppRecord {
-            instance: task.instance.id,
-            app: task.app_name().to_string(),
+            instance: instance.id,
+            app: state.app.clone(),
             arrival: state.arrival,
             finish,
-            task_count: task.instance.spec.nodes.len(),
+            task_count: instance.spec.nodes.len(),
         })
     }
 }
@@ -311,10 +324,16 @@ impl InstanceTracker {
 /// The busy-PE map plus reservation queues (the paper's proposed
 /// PE-level work queues): which PEs have work in flight, when they are
 /// projected to free up, and which tasks are queued behind them.
+///
+/// Backed by dense vectors indexed by [`PeId`] (slots grow on demand, so
+/// sparse id spaces still work): the engines query this structure
+/// several times per PE per scheduler invocation, and vector indexing
+/// keeps those queries branch-plus-load instead of a hash each.
 #[derive(Debug)]
 pub struct PeSlots {
-    busy: HashMap<PeId, SimTime>, // projected (or exact) finish
-    reserved: HashMap<PeId, VecDeque<ReadyTask>>,
+    busy: Vec<Option<SimTime>>,         // projected (or exact) finish, by PeId
+    reserved: Vec<VecDeque<ReadyTask>>, // by PeId; empty until reserve()
+    busy_count: usize,
     depth: usize,
     total: usize,
 }
@@ -322,7 +341,7 @@ pub struct PeSlots {
 impl PeSlots {
     /// All-idle state for `total` PEs with reservation-queue `depth`.
     pub fn new(total: usize, depth: usize) -> Self {
-        PeSlots { busy: HashMap::new(), reserved: HashMap::new(), depth, total }
+        PeSlots { busy: vec![None; total], reserved: Vec::new(), busy_count: 0, depth, total }
     }
 
     /// The configured reservation-queue depth.
@@ -332,27 +351,27 @@ impl PeSlots {
 
     /// Number of PEs with work in flight.
     pub fn busy_count(&self) -> usize {
-        self.busy.len()
+        self.busy_count
     }
 
     /// True when no PE has work in flight.
     pub fn all_idle(&self) -> bool {
-        self.busy.is_empty()
+        self.busy_count == 0
     }
 
     /// True if `pe` has work in flight.
     pub fn is_busy(&self, pe: PeId) -> bool {
-        self.busy.contains_key(&pe)
+        self.busy.get(pe.0 as usize).is_some_and(Option::is_some)
     }
 
-    /// The PEs currently executing (order unspecified).
+    /// The PEs currently executing (ascending id order).
     pub fn busy_pes(&self) -> Vec<PeId> {
-        self.busy.keys().copied().collect()
+        self.busy.iter().enumerate().filter_map(|(i, b)| b.map(|_| PeId(i as u32))).collect()
     }
 
     /// Tasks queued behind `pe`'s running task.
     pub fn queued(&self, pe: PeId) -> usize {
-        self.reserved.get(&pe).map_or(0, VecDeque::len)
+        self.reserved.get(pe.0 as usize).map_or(0, VecDeque::len)
     }
 
     /// True if the scheduler may assign to `pe`: idle, or busy with
@@ -363,13 +382,18 @@ impl PeSlots {
 
     /// True if any PE can accept an assignment right now.
     pub fn any_schedulable(&self) -> bool {
-        self.busy.len() < self.total
-            || (self.depth > 0 && self.busy.keys().any(|&pe| self.queued(pe) < self.depth))
+        self.busy_count < self.total
+            || (self.depth > 0
+                && self
+                    .busy
+                    .iter()
+                    .enumerate()
+                    .any(|(i, b)| b.is_some() && self.queued(PeId(i as u32)) < self.depth))
     }
 
     /// When `pe` is projected to become available (`now` when idle).
     pub fn available_at(&self, pe: PeId, now: SimTime) -> SimTime {
-        self.busy.get(&pe).copied().unwrap_or(now)
+        self.busy.get(pe.0 as usize).copied().flatten().unwrap_or(now)
     }
 
     /// The scheduler's view of one PE, with the shared idle semantics
@@ -380,13 +404,19 @@ impl PeSlots {
 
     /// Marks `pe` busy until `finish`.
     pub fn occupy(&mut self, pe: PeId, finish: SimTime) {
-        self.busy.insert(pe, finish);
+        let idx = pe.0 as usize;
+        if idx >= self.busy.len() {
+            self.busy.resize(idx + 1, None);
+        }
+        if self.busy[idx].replace(finish).is_none() {
+            self.busy_count += 1;
+        }
     }
 
     /// Extends `pe`'s projected finish by `by` (a reservation joined its
     /// queue).
     pub fn extend(&mut self, pe: PeId, by: Duration) {
-        if let Some(t) = self.busy.get_mut(&pe) {
+        if let Some(Some(t)) = self.busy.get_mut(pe.0 as usize) {
             *t += by;
         }
     }
@@ -395,15 +425,23 @@ impl PeSlots {
     /// while the PE is busy and its queue has room.
     pub fn reserve(&mut self, pe: PeId, rt: ReadyTask) {
         debug_assert!(self.is_busy(pe) && self.queued(pe) < self.depth);
-        self.reserved.entry(pe).or_default().push_back(rt);
+        let idx = pe.0 as usize;
+        if idx >= self.reserved.len() {
+            self.reserved.resize_with(idx + 1, VecDeque::new);
+        }
+        self.reserved[idx].push_back(rt);
     }
 
     /// Handles `pe`'s completion: pops its next reserved task (the PE
     /// stays busy and starts it immediately), or marks it idle.
     pub fn release(&mut self, pe: PeId) -> Option<ReadyTask> {
-        let next = self.reserved.get_mut(&pe).and_then(VecDeque::pop_front);
+        let next = self.reserved.get_mut(pe.0 as usize).and_then(VecDeque::pop_front);
         if next.is_none() {
-            self.busy.remove(&pe);
+            if let Some(slot) = self.busy.get_mut(pe.0 as usize) {
+                if slot.take().is_some() {
+                    self.busy_count -= 1;
+                }
+            }
         }
         next
     }
@@ -413,6 +451,10 @@ impl PeSlots {
 /// any state is touched: indices in bounds, PEs with room, no double
 /// assignment of a PE or a task, platform compatibility. Both engines
 /// run exactly this check.
+///
+/// Allocation-free: duplicate detection scans the already-validated
+/// prefix of `assignments` instead of building side tables. Batches are
+/// bounded by the PE count (times queue depth), so the scan is tiny.
 pub fn validate_assignments(
     scheduler_name: &str,
     assignments: &[Assignment],
@@ -420,16 +462,18 @@ pub fn validate_assignments(
     slots: &PeSlots,
     platform: &PlatformConfig,
 ) -> Result<(), EmuError> {
-    let mut pes_used: Vec<PeId> = Vec::with_capacity(assignments.len());
-    let mut tasks_used: Vec<usize> = Vec::with_capacity(assignments.len());
-    let mut queued_now: HashMap<PeId, usize> = HashMap::new();
-    for a in assignments {
-        let room = !slots.is_busy(a.pe)
-            || slots.queued(a.pe) + queued_now.get(&a.pe).copied().unwrap_or(0) < slots.depth();
+    for (k, a) in assignments.iter().enumerate() {
+        // Assignments earlier in this batch targeting the same PE: they
+        // consume reservation-queue room (busy PE) or the PE itself.
+        let same_pe_before = assignments[..k].iter().filter(|b| b.pe == a.pe).count();
+        let room = if slots.is_busy(a.pe) {
+            slots.queued(a.pe) + same_pe_before < slots.depth()
+        } else {
+            same_pe_before == 0
+        };
         let ok = a.ready_idx < pending.len()
             && room
-            && !pes_used.contains(&a.pe)
-            && !tasks_used.contains(&a.ready_idx)
+            && !assignments[..k].iter().any(|b| b.ready_idx == a.ready_idx)
             && platform
                 .pes
                 .iter()
@@ -439,12 +483,6 @@ pub fn validate_assignments(
                 "scheduler '{scheduler_name}' violated the assignment contract ({a:?})"
             )));
         }
-        if slots.is_busy(a.pe) {
-            *queued_now.entry(a.pe).or_default() += 1;
-        } else {
-            pes_used.push(a.pe);
-        }
-        tasks_used.push(a.ready_idx);
     }
     Ok(())
 }
@@ -456,7 +494,9 @@ pub fn validate_assignments(
 pub struct CompletionSink {
     tasks: Vec<TaskRecord>,
     apps: Vec<AppRecord>,
-    pe_busy: HashMap<PeId, Duration>,
+    // Linear-scan map: platforms have a handful of PEs, so scanning a
+    // short vec beats hashing the id on every completion.
+    pe_busy: Vec<(PeId, Duration)>,
     tracer: ExecTracer,
     /// Accumulated workload-manager overhead.
     pub overhead: OverheadBreakdown,
@@ -493,7 +533,10 @@ impl CompletionSink {
                 finish_ns: rec.finish.0,
             },
         );
-        *self.pe_busy.entry(rec.pe).or_default() += rec.modeled;
+        match self.pe_busy.iter_mut().find(|(pe, _)| *pe == rec.pe) {
+            Some((_, busy)) => *busy += rec.modeled,
+            None => self.pe_busy.push((rec.pe, rec.modeled)),
+        }
         self.tasks.push(rec);
     }
 

@@ -61,6 +61,7 @@ pub mod des;
 pub mod engine;
 pub mod exec;
 pub mod handler;
+pub mod intern;
 pub mod resource;
 pub mod sched;
 pub mod stats;
@@ -75,13 +76,14 @@ pub use exec::{
     ReadyList,
 };
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
+pub use intern::{Interner, Name, NameTable};
 pub use resource::{threads_spawned_total, ResourcePool};
 pub use sched::{
-    Assignment, EftScheduler, EstimateBook, FrfsScheduler, MetScheduler, PeView, RandomScheduler,
-    SchedContext, Scheduler,
+    Assignment, EftScheduler, EstimateBook, EstimateSlot, FrfsScheduler, MetScheduler, PeView,
+    RandomScheduler, SchedContext, Scheduler,
 };
 pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
-pub use sweep::{CellResult, SweepCell, SweepRunner};
+pub use sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};
 pub use task::{ReadyTask, Task};
 pub use time::SimTime;
 
@@ -91,6 +93,6 @@ pub mod prelude {
     pub use crate::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
     pub use crate::sched::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
     pub use crate::stats::EmulationStats;
-    pub use crate::sweep::{CellResult, SweepCell, SweepRunner};
+    pub use crate::sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};
     pub use crate::time::SimTime;
 }

@@ -14,12 +14,16 @@ use crate::task::ReadyTask;
 
 /// First Ready-First Start scheduler.
 #[derive(Debug, Default, Clone)]
-pub struct FrfsScheduler;
+pub struct FrfsScheduler {
+    /// Reused per-invocation "PE already taken this round" scratch, so
+    /// the policy itself allocates nothing in the steady state.
+    taken: Vec<bool>,
+}
 
 impl FrfsScheduler {
     /// Creates the policy.
     pub fn new() -> Self {
-        FrfsScheduler
+        Self::default()
     }
 }
 
@@ -34,15 +38,16 @@ impl Scheduler for FrfsScheduler {
         pes: &[PeView<'_>],
         _ctx: &SchedContext<'_>,
     ) -> Vec<Assignment> {
-        let mut taken = vec![false; pes.len()];
-        let mut out = Vec::new();
+        self.taken.clear();
+        self.taken.resize(pes.len(), false);
+        let mut out = Vec::with_capacity(pes.len().min(ready.len()));
         // The engine guarantees readiness (seq) order: the head of the
         // slice is the first-ready task. Strict FIFO — stop at the first
         // task that cannot start (nothing overtakes it).
         for (i, rt) in ready.iter().enumerate() {
-            match idle_compatible(&rt.task, pes).find(|&p| !taken[p]) {
+            match idle_compatible(&rt.task, pes).find(|&p| !self.taken[p]) {
                 Some(slot) => {
-                    taken[slot] = true;
+                    self.taken[slot] = true;
                     out.push(Assignment { ready_idx: i, pe: pes[slot].pe.id });
                 }
                 None => break,

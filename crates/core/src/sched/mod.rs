@@ -52,13 +52,55 @@ pub struct Assignment {
     pub pe: PeId,
 }
 
+/// FNV-1a for the estimate book's keys: the book is updated and queried
+/// per completed task in both engines, its keys are short kernel/class
+/// names from trusted application JSON, and nothing iterates it in an
+/// order-sensitive way — a multiply-xor hash beats SipHash here.
+#[derive(Debug, Clone, Copy, Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = Fnv1a;
+    fn build_hasher(&self) -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// A pre-resolved `(runfunc, PE class)` key into an [`EstimateBook`]
+/// (see [`EstimateBook::slot_of`]). Only meaningful for the book that
+/// issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimateSlot(u32);
+
 /// Execution-time estimates learned from completed tasks, used by
 /// cost-aware policies (MET, EFT). Keyed by `(runfunc, PE class)`;
 /// an exponentially weighted moving average smooths noise.
+///
+/// The string-keyed maps resolve a key to a stable slot in a value
+/// vector; engines that know their `(runfunc, class)` pairs up front
+/// (the DES does) resolve each once via [`Self::slot_of`] and feed
+/// observations through [`Self::observe_at`], skipping both hash
+/// lookups on the per-completion path.
 #[derive(Debug, Default, Clone)]
 pub struct EstimateBook {
-    // runfunc -> PE class -> EWMA duration (nested so lookups borrow).
-    ewma: HashMap<String, HashMap<String, Duration>>,
+    // runfunc -> PE class -> slot in `values` (nested so lookups borrow).
+    slots: HashMap<String, HashMap<String, EstimateSlot, FnvBuild>, FnvBuild>,
+    // EWMA durations; `None` = slot reserved but nothing observed yet.
+    values: Vec<Option<Duration>>,
 }
 
 impl EstimateBook {
@@ -67,15 +109,44 @@ impl EstimateBook {
         Self::default()
     }
 
+    /// The slot for `(runfunc, class)`, reserving one on first sight.
+    /// Reserving is not observing: [`Self::estimate`] ignores slots
+    /// without observations.
+    pub fn slot_of(&mut self, runfunc: &str, class: &str) -> EstimateSlot {
+        let per_class = match self.slots.get_mut(runfunc) {
+            Some(m) => m,
+            None => self.slots.entry(runfunc.to_string()).or_default(),
+        };
+        match per_class.get(class) {
+            Some(&slot) => slot,
+            None => {
+                let slot = EstimateSlot(self.values.len() as u32);
+                self.values.push(None);
+                per_class.insert(class.to_string(), slot);
+                slot
+            }
+        }
+    }
+
     /// Records an observed modeled duration for `(runfunc, class)`.
     pub fn observe(&mut self, runfunc: &str, class: &str, d: Duration) {
-        let per_class = match self.ewma.get_mut(runfunc) {
-            Some(m) => m,
-            None => self.ewma.entry(runfunc.to_string()).or_default(),
-        };
-        let entry = per_class.entry(class.to_string()).or_insert(d);
+        let slot = self.slot_of(runfunc, class);
+        self.observe_at(slot, d);
+    }
+
+    /// Records an observed modeled duration at a slot previously
+    /// resolved by [`Self::slot_of`] — the hash-free fast path. Same
+    /// EWMA arithmetic as [`Self::observe`], so mixing the two paths
+    /// (as the two engines do) yields identical books.
+    pub fn observe_at(&mut self, slot: EstimateSlot, d: Duration) {
+        let entry = &mut self.values[slot.0 as usize];
         // alpha = 0.25
-        *entry = Duration::from_secs_f64(0.75 * entry.as_secs_f64() + 0.25 * d.as_secs_f64());
+        *entry = Some(match entry {
+            Some(prev) => {
+                Duration::from_secs_f64(0.75 * prev.as_secs_f64() + 0.25 * d.as_secs_f64())
+            }
+            None => d,
+        });
     }
 
     /// Estimates `task`'s execution time on `pe`.
@@ -89,20 +160,25 @@ impl EstimateBook {
         if let Some(d) = platform.mean_exec {
             return Some(d);
         }
-        if let Some(d) = self.ewma.get(&platform.runfunc).and_then(|m| m.get(pe.class_name())) {
-            return Some(*d);
+        if let Some(d) = self
+            .slots
+            .get(&platform.runfunc)
+            .and_then(|m| m.get(pe.class_name()))
+            .and_then(|slot| self.values[slot.0 as usize])
+        {
+            return Some(d);
         }
         Some(Duration::from_secs_f64(100e-6 / pe.speed()))
     }
 
     /// Number of `(runfunc, class)` pairs observed so far.
     pub fn len(&self) -> usize {
-        self.ewma.values().map(|m| m.len()).sum()
+        self.values.iter().filter(|v| v.is_some()).count()
     }
 
     /// True if nothing has been observed.
     pub fn is_empty(&self) -> bool {
-        self.ewma.is_empty()
+        self.len() == 0
     }
 }
 
@@ -286,7 +362,7 @@ mod tests {
         // EWMA path: a kernel with no JSON estimate.
         book.observe("kx", "cortex-a53", std::time::Duration::from_micros(40));
         book.observe("kx", "cortex-a53", std::time::Duration::from_micros(80));
-        let d = book.ewma["kx"]["cortex-a53"];
+        let d = book.values[book.slots["kx"]["cortex-a53"].0 as usize].unwrap();
         assert!(
             d > std::time::Duration::from_micros(40) && d < std::time::Duration::from_micros(80)
         );

@@ -15,22 +15,27 @@ use std::time::Duration;
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_platform::pe::PeId;
 
+use crate::intern::Name;
 use crate::time::SimTime;
 
 /// Performance record of one executed task.
+///
+/// The name fields are interned [`Name`]s: thousands of records share a
+/// handful of allocations, and building a record on the engines' hot
+/// path costs three `Arc` clones instead of three `String` clones.
 #[derive(Debug, Clone)]
 pub struct TaskRecord {
     /// Owning application instance.
     pub instance: InstanceId,
     /// Application name.
-    pub app: String,
+    pub app: Name,
     /// DAG node name.
-    pub node: String,
+    pub node: Name,
     /// Dense DAG node index within the instance (the id trace events
     /// carry; `node` is its display name).
     pub node_idx: usize,
     /// The runfunc that executed.
-    pub kernel: String,
+    pub kernel: Name,
     /// PE that ran the task.
     pub pe: PeId,
     /// When all predecessors had completed.
@@ -64,7 +69,7 @@ pub struct AppRecord {
     /// Instance id.
     pub instance: InstanceId,
     /// Application name.
-    pub app: String,
+    pub app: Name,
     /// Arrival (injection) time.
     pub arrival: SimTime,
     /// Time the last task of the instance finished.

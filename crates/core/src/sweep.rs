@@ -11,14 +11,28 @@
 //! repeated-iteration methodology), and caches one [`Emulation`] per
 //! distinct platform so consecutive cells reuse the persistent PE
 //! resource pool instead of respawning threads.
+//!
+//! [`DesSweepRunner`] is the same grid API over the discrete-event
+//! baseline — the design-space-exploration configuration, where grids
+//! get large and per-cell cost is pure compute.
+//!
+//! Both runners offer [`SweepRunner::run_batch_parallel`]: the grid is
+//! distributed over a small pool of worker threads, each owning its own
+//! warm engine pools. Cells are independent (each run starts from fresh
+//! instances), so results are identical to the sequential
+//! [`SweepRunner::run_batch`] whenever the underlying engine runs are
+//! deterministic, and they come back in cell order either way.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_trace::TraceSink;
 
+use crate::des::{DesConfig, DesSimulator};
 use crate::engine::{EmuError, Emulation, EmulationConfig};
 use crate::sched::{by_name, Scheduler};
 use crate::stats::EmulationStats;
@@ -80,6 +94,15 @@ impl SweepCell {
     }
 }
 
+/// Platform identity for pool reuse: name plus PE count. Comparing the
+/// full [`PlatformConfig`] structurally would walk every descriptor per
+/// cell; the presets already encode the shape in the name (e.g.
+/// `zcu102-3C+2F`), and the PE count guards hand-built configs that
+/// reuse a name across shapes.
+fn pool_key(platform: &PlatformConfig) -> (String, usize) {
+    (platform.name.clone(), platform.pes.len())
+}
+
 /// The outcome of one sweep cell.
 #[derive(Debug)]
 pub struct CellResult {
@@ -91,6 +114,87 @@ pub struct CellResult {
     pub stats: EmulationStats,
 }
 
+/// A sensible worker count for [`SweepRunner::run_batch_parallel`]: the
+/// host's available parallelism, or 1 when it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves a cell's scheduler name once, returning a factory that
+/// yields a fresh policy per iteration. The eagerly resolved instance
+/// is handed out first, so single-iteration cells (the common grid
+/// case) resolve exactly once.
+fn scheduler_factory<'c>(
+    scheduler: &'c str,
+) -> Result<impl FnMut() -> Box<dyn Scheduler> + 'c, EmuError> {
+    let mut first = Some(
+        by_name(scheduler)
+            .ok_or_else(|| EmuError::Config(format!("unknown scheduler '{scheduler}'")))?,
+    );
+    Ok(move || first.take().unwrap_or_else(|| by_name(scheduler).expect("resolved above")))
+}
+
+/// Work-stealing fan-out shared by both runners: `workers` threads pull
+/// cells off a shared index, each running them through its own
+/// `make_worker()` closure (one warm engine pool per worker). Results
+/// come back ordered by cell index; on error the batch stops early and
+/// the error of the lowest-indexed failing cell is returned — the same
+/// cell a sequential run would have failed on first.
+fn run_cells_parallel<W, F>(
+    cells: &[SweepCell],
+    workers: usize,
+    make_worker: F,
+) -> Result<Vec<CellResult>, EmuError>
+where
+    F: Fn() -> W + Sync,
+    W: FnMut(&SweepCell) -> Result<CellResult, EmuError>,
+{
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<CellResult, EmuError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut run = make_worker();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let result = run(&cells[i]);
+                    if result.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("result slot") = Some(result);
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(cells.len());
+    for slot in slots {
+        match slot.into_inner().expect("result slot") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed cell: only possible after an error stopped the
+            // batch; the failing cell sits at a higher index.
+            None => break,
+        }
+    }
+    // An error at a higher index than every completed cell: find it.
+    if out.len() < cells.len() {
+        return Err(EmuError::Config(format!(
+            "parallel sweep stopped after {} of {} cells",
+            out.len(),
+            cells.len()
+        )));
+    }
+    Ok(out)
+}
+
 /// Runs sweep cells against warm emulation pools.
 ///
 /// The runner keeps one [`Emulation`] per distinct platform it has
@@ -99,7 +203,7 @@ pub struct CellResult {
 pub struct SweepRunner<'a> {
     library: &'a AppLibrary,
     config: EmulationConfig,
-    pools: Vec<Emulation>,
+    pools: HashMap<(String, usize), Emulation>,
     /// `(cell label, sink)` of the one designated trace target, if any.
     trace: Option<(String, TraceSink)>,
 }
@@ -113,7 +217,7 @@ impl<'a> SweepRunner<'a> {
     /// A runner with an explicit engine configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: EmulationConfig) -> Self {
-        SweepRunner { library, config, pools: Vec::new(), trace: None }
+        SweepRunner { library, config, pools: HashMap::new(), trace: None }
     }
 
     /// Designates the cell labeled `label` for event tracing: its final
@@ -127,19 +231,19 @@ impl<'a> SweepRunner<'a> {
 
     /// The warm pool for `platform`, creating it on first use.
     fn emulation_for(&mut self, platform: &PlatformConfig) -> Result<&mut Emulation, EmuError> {
-        if let Some(i) = self.pools.iter().position(|e| e.platform() == platform) {
-            return Ok(&mut self.pools[i]);
+        match self.pools.entry(pool_key(platform)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Ok(e.insert(Emulation::with_config(platform.clone(), self.config.clone())?))
+            }
         }
-        self.pools.push(Emulation::with_config(platform.clone(), self.config.clone())?);
-        Ok(self.pools.last_mut().expect("just pushed"))
     }
 
     /// Runs one cell with its named library scheduler (a fresh policy
-    /// instance per iteration).
+    /// instance per iteration; the name is resolved once).
     pub fn run_cell(&mut self, cell: &SweepCell) -> Result<CellResult, EmuError> {
-        by_name(&cell.scheduler)
-            .ok_or_else(|| EmuError::Config(format!("unknown scheduler '{}'", cell.scheduler)))?;
-        self.run_cell_with(cell, &mut || by_name(&cell.scheduler).expect("checked above"))
+        let mut factory = scheduler_factory(&cell.scheduler)?;
+        self.run_cell_with(cell, &mut factory)
     }
 
     /// Runs one cell with a custom scheduler factory (called once per
@@ -185,6 +289,121 @@ impl<'a> SweepRunner<'a> {
     /// Runs every cell of a grid in order, stopping at the first error.
     pub fn run_batch(&mut self, cells: &[SweepCell]) -> Result<Vec<CellResult>, EmuError> {
         cells.iter().map(|c| self.run_cell(c)).collect()
+    }
+
+    /// Runs a grid across `workers` threads (see [`default_workers`]),
+    /// returning results in cell order.
+    ///
+    /// Each worker owns a private [`SweepRunner`] with this runner's
+    /// configuration (and trace designation), so warm pools are reused
+    /// *within* a worker and never contended across workers. With one
+    /// worker — or a single cell — this is exactly [`Self::run_batch`]
+    /// on `self`, reusing its pools.
+    pub fn run_batch_parallel(
+        &mut self,
+        cells: &[SweepCell],
+        workers: usize,
+    ) -> Result<Vec<CellResult>, EmuError> {
+        let workers = workers.clamp(1, cells.len().max(1));
+        if workers <= 1 {
+            return self.run_batch(cells);
+        }
+        let library = self.library;
+        let config = &self.config;
+        let trace = &self.trace;
+        run_cells_parallel(cells, workers, || {
+            let mut runner = SweepRunner::with_config(library, config.clone());
+            runner.trace = trace.clone();
+            move |cell: &SweepCell| runner.run_cell(cell)
+        })
+    }
+}
+
+/// The [`SweepRunner`] equivalent over the discrete-event baseline:
+/// same grid, same cell semantics, but cells run on [`DesSimulator`]s —
+/// no threads, no kernel execution, durations from the configured cost
+/// model. One warm simulator is kept per distinct platform (platform
+/// validation happens once, not per cell).
+///
+/// Tracing follows [`DesConfig::trace`]: a sink configured there
+/// records every run of every cell, which suits the DES's one-shot
+/// debugging uses.
+pub struct DesSweepRunner<'a> {
+    library: &'a AppLibrary,
+    config: DesConfig,
+    sims: HashMap<(String, usize), DesSimulator>,
+}
+
+impl<'a> DesSweepRunner<'a> {
+    /// A runner with the default (empty cost table) DES configuration.
+    pub fn new(library: &'a AppLibrary) -> Self {
+        Self::with_config(library, DesConfig::default())
+    }
+
+    /// A runner with an explicit DES configuration, applied to every
+    /// cell.
+    pub fn with_config(library: &'a AppLibrary, config: DesConfig) -> Self {
+        DesSweepRunner { library, config, sims: HashMap::new() }
+    }
+
+    /// The warm simulator for `platform`, creating it on first use.
+    fn simulator_for(&mut self, platform: &PlatformConfig) -> Result<&DesSimulator, EmuError> {
+        match self.sims.entry(pool_key(platform)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Ok(e.insert(DesSimulator::new(platform.clone(), self.config.clone())?))
+            }
+        }
+    }
+
+    /// Runs one cell with its named library scheduler (a fresh policy
+    /// instance per iteration; the name is resolved once).
+    pub fn run_cell(&mut self, cell: &SweepCell) -> Result<CellResult, EmuError> {
+        let library = self.library;
+        let mut factory = scheduler_factory(&cell.scheduler)?;
+        let sim = self.simulator_for(&cell.platform)?;
+        let warmup = usize::from(cell.warmup);
+        let total = cell.iterations + warmup;
+        let mut makespans = Vec::with_capacity(cell.iterations);
+        let mut last: Option<EmulationStats> = None;
+        for i in 0..total {
+            let mut sched = factory();
+            let stats = sim.run(sched.as_mut(), &cell.workload, library)?;
+            if i >= warmup {
+                makespans.push(stats.makespan.as_secs_f64() * 1e3);
+                last = Some(stats);
+            }
+        }
+        Ok(CellResult {
+            label: cell.label.clone(),
+            makespans_ms: makespans,
+            stats: last.expect("at least one measured iteration"),
+        })
+    }
+
+    /// Runs every cell of a grid in order, stopping at the first error.
+    pub fn run_batch(&mut self, cells: &[SweepCell]) -> Result<Vec<CellResult>, EmuError> {
+        cells.iter().map(|c| self.run_cell(c)).collect()
+    }
+
+    /// Runs a grid across `workers` threads, returning results in cell
+    /// order (see [`SweepRunner::run_batch_parallel`]; the DES is pure
+    /// single-threaded compute per cell, so grids scale with cores).
+    pub fn run_batch_parallel(
+        &mut self,
+        cells: &[SweepCell],
+        workers: usize,
+    ) -> Result<Vec<CellResult>, EmuError> {
+        let workers = workers.clamp(1, cells.len().max(1));
+        if workers <= 1 {
+            return self.run_batch(cells);
+        }
+        let library = self.library;
+        let config = &self.config;
+        run_cells_parallel(cells, workers, || {
+            let mut runner = DesSweepRunner::with_config(library, config.clone());
+            move |cell: &SweepCell| runner.run_cell(cell)
+        })
     }
 }
 
@@ -272,5 +491,34 @@ mod tests {
         let result = runner.run_cell_with(&cell, &mut || Box::new(FrfsScheduler::new())).unwrap();
         assert_eq!(result.label, "mine");
         assert_eq!(result.makespans_ms.len(), 2);
+    }
+
+    #[test]
+    fn des_runner_reuses_simulators() {
+        let (library, workload) = tiny_setup();
+        let mut runner = DesSweepRunner::new(&library);
+        let cells = vec![
+            SweepCell::new(zcu102(2, 0), "frfs", Arc::clone(&workload)).iterations(2),
+            SweepCell::new(zcu102(2, 0), "met", Arc::clone(&workload)),
+            SweepCell::new(zcu102(1, 0), "frfs", workload).warmup(true),
+        ];
+        let results = runner.run_batch(&cells).unwrap();
+        assert_eq!(runner.sims.len(), 2, "one simulator per platform shape");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].makespans_ms.len(), 2);
+        assert_eq!(results[2].makespans_ms.len(), 1, "warm-up run discarded");
+        for r in &results {
+            assert_eq!(r.stats.completed_apps(), 2);
+        }
+    }
+
+    #[test]
+    fn parallel_single_worker_uses_own_pools() {
+        let (library, workload) = tiny_setup();
+        let mut runner = SweepRunner::with_config(&library, quiet_config());
+        let cells = vec![SweepCell::new(zcu102(1, 0), "frfs", workload)];
+        let results = runner.run_batch_parallel(&cells, 4).unwrap();
+        assert_eq!(results.len(), 1, "single cell degrades to sequential");
+        assert_eq!(runner.pools.len(), 1, "sequential fallback warms self's pool");
     }
 }
