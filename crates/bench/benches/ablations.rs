@@ -117,6 +117,7 @@ fn bench_reservation_surrogate(c: &mut Criterion) {
                         cost: Arc::new(table.clone()),
                         overhead_per_invocation: Duration::from_micros(ov),
                         trace: None,
+                        faults: None,
                     },
                 )
                 .unwrap();

@@ -63,7 +63,12 @@ fn setup() -> (AppLibrary, DesSimulator) {
     let table = full_cost_table(&library, &platform);
     let sim = DesSimulator::new(
         platform,
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
+        DesConfig {
+            cost: Arc::new(table),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+            faults: None,
+        },
     )
     .expect("platform");
     (library, sim)
@@ -151,8 +156,12 @@ fn main() {
     let grid_reps = if test_mode { 1 } else { 3 };
     let wl = workload(&library, 167);
     let table = full_cost_table(&library, &zcu102(3, 2));
-    let config =
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None };
+    let config = DesConfig {
+        cost: Arc::new(table),
+        overhead_per_invocation: Duration::ZERO,
+        trace: None,
+        faults: None,
+    };
     let cells: Vec<SweepCell> = [(1, 0), (2, 0), (3, 0), (1, 1), (2, 1), (3, 1), (1, 2), (2, 2)]
         .iter()
         .map(|&(cores, ffts)| {

@@ -52,6 +52,7 @@ fn bench_engines(c: &mut Criterion) {
                     cost: Arc::new(table.clone()),
                     reservation_depth: 0,
                     trace: None,
+                    faults: None,
                 },
             )
             .unwrap();
@@ -74,6 +75,7 @@ fn bench_engines(c: &mut Criterion) {
                     cost: Arc::new(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
+                    faults: None,
                 },
             )
             .unwrap();

@@ -109,6 +109,7 @@ fn pool_setup() -> (AppLibrary, Workload, EmulationConfig) {
         cost: Arc::new(ScaledMeasuredCost::default()),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     };
     (library, workload, config)
 }

@@ -52,6 +52,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
         cost: Arc::new(table.clone()),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     };
 
     let mut g = c.benchmark_group("trace_overhead");
@@ -82,6 +83,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     cost: Arc::new(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
+                    faults: None,
                 },
             )
             .unwrap();
@@ -97,6 +99,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     cost: Arc::new(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
                     trace: Some(session.sink()),
+                    faults: None,
                 },
             )
             .unwrap();

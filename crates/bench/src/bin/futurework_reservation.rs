@@ -47,6 +47,7 @@ fn main() {
                 cost: Arc::new(ScaledMeasuredCost::default()),
                 reservation_depth: depth,
                 trace: None,
+                faults: None,
             };
             let mut emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
             let mut sched = by_name(name).expect("policy");

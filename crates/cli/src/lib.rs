@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use dssoc_appmodel::{InjectionParams, WorkloadSpec};
 use dssoc_core::engine::{EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::fault::FaultSpec;
 use dssoc_core::stats::EmulationStats;
 use dssoc_core::sweep::{default_workers, SweepCell, SweepRunner};
 use dssoc_platform::pe::PlatformConfig;
@@ -46,6 +47,8 @@ pub struct RunArgs {
     pub json: bool,
     /// Write a Chrome/Perfetto trace of the final iteration here.
     pub trace: Option<String>,
+    /// Fault-injection spec (loaded from the `--faults` JSON file).
+    pub faults: Option<Arc<FaultSpec>>,
 }
 
 /// Parses a platform shorthand:
@@ -157,6 +160,13 @@ pub fn load_workload_file(path: &str) -> Result<WorkloadSpec, String> {
     serde_json::from_str(&text).map_err(|e| format!("bad workload JSON in {path}: {e}"))
 }
 
+/// Loads a fault-injection spec from a JSON file (see
+/// [`FaultSpec::from_json`] for the schema).
+pub fn load_faults_file(path: &str) -> Result<FaultSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FaultSpec::from_json(&text).map_err(|e| format!("bad fault spec in {path}: {e}"))
+}
+
 /// Parses the full argument list of the `run` subcommand.
 pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut platform: Option<PlatformConfig> = None;
@@ -171,6 +181,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut iterations = 1usize;
     let mut json = false;
     let mut trace: Option<String> = None;
+    let mut faults: Option<Arc<FaultSpec>> = None;
 
     let mut i = 0;
     let next_value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -220,6 +231,9 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--json" => json = true,
             "--trace" => trace = Some(next_value(&mut i, "--trace")?),
+            "--faults" => {
+                faults = Some(Arc::new(load_faults_file(&next_value(&mut i, "--faults")?)?))
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -251,6 +265,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         iterations,
         json,
         trace,
+        faults,
     })
 }
 
@@ -269,11 +284,15 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
         cost: Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
         reservation_depth: run.reservation_depth,
         trace: None,
+        faults: None,
     };
     let mut runner = SweepRunner::with_config(&library, cfg);
-    let cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
+    let mut cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
         .iterations(run.iterations)
         .warmup(run.iterations > 1);
+    if let Some(spec) = &run.faults {
+        cell = cell.faults(Arc::clone(spec));
+    }
     let session = run.trace.as_ref().map(|_| TraceSession::new());
     if let Some(session) = &session {
         runner.trace_cell(cell.label.clone(), session.sink());
@@ -297,10 +316,14 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
 fn write_trace(path: &str, session: &TraceSession) -> Result<(), String> {
     let events = session.drain();
     let meta = session.meta();
-    let json = dssoc_trace::export::chrome_json(&events, &meta);
+    let producers = session.producers();
+    let json = dssoc_trace::export::chrome_json_with_drops(&events, &meta, &producers);
     let body = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())? + "\n";
     std::fs::write(path, body).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
-    print!("{}", dssoc_trace::timeline::render(&events, &meta, &session.producers()));
+    print!("{}", dssoc_trace::timeline::render(&events, &meta, &producers));
+    if let Some(report) = session.drop_report() {
+        eprintln!("warning: {report}");
+    }
     println!("trace: {} events -> {path} (open with ui.perfetto.dev)", events.len());
     Ok(())
 }
@@ -321,6 +344,19 @@ pub fn stats_to_json(stats: &EmulationStats, makespans_ms: &[f64]) -> serde_json
             .iter()
             .map(|(pe, u)| serde_json::json!({"pe": stats.pe_names[pe], "utilization": u}))
             .collect::<Vec<_>>(),
+        "reliability": serde_json::json!({
+            "apps_aborted": stats.reliability.apps_aborted,
+            "apps_completed_despite_faults": stats.reliability.apps_completed_despite_faults,
+            "exec_faults": stats.reliability.exec_faults,
+            "faults_injected": stats.reliability.faults_injected,
+            "hang_faults": stats.reliability.hang_faults,
+            "permanent_faults": stats.reliability.permanent_faults,
+            "pes_quarantined": stats.reliability.pes_quarantined,
+            "retries": stats.reliability.retries,
+            "tasks_degraded": stats.reliability.tasks_degraded,
+            "transient_faults": stats.reliability.transient_faults,
+            "watchdog_faults": stats.reliability.watchdog_faults,
+        }),
     })
 }
 

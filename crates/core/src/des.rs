@@ -57,16 +57,18 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, CostTable};
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
-use dssoc_trace::{EventKind as TraceKind, TraceSink};
+use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
 
 use crate::engine::EmuError;
 use crate::exec::{
-    pe_mask_bit, preflight_compat, register_trace_meta, validate_assignments, CompletionSink,
-    ExecTracer, InstanceTracker, PeSlots, ReadyList,
+    pe_mask_bit, preflight_compat, register_trace_meta, resolve_unschedulable,
+    validate_assignments, CompletionSink, ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
+use crate::fault::{FaultPlan, FaultSpec, FaultState};
 use crate::intern::{Interner, Name, NameTable};
 use crate::sched::{EstimateBook, EstimateSlot, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
+use crate::task::Task;
 use crate::time::SimTime;
 
 /// Dispatch costs resolved once per run, indexed
@@ -89,6 +91,11 @@ pub struct DesConfig {
     /// traces from the two engines diff cleanly. (It has no resource
     /// pool or DMA phases, so `pool_*` and `dma` events never appear.)
     pub trace: Option<TraceSink>,
+    /// Optional deterministic fault-injection spec. The DES models the
+    /// same seeded plan the threaded engine injects, in virtual time —
+    /// which is what extends the cross-engine differential tests to
+    /// faulty runs.
+    pub faults: Option<Arc<FaultSpec>>,
 }
 
 impl Default for DesConfig {
@@ -97,6 +104,7 @@ impl Default for DesConfig {
             cost: Arc::new(CostTable::new()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
+            faults: None,
         }
     }
 }
@@ -130,6 +138,17 @@ struct Event {
     ready_at: SimTime,
     dur: Duration,
     runfunc: Name,
+    /// `Some` when the fault plan rewrote this attempt's outcome at
+    /// dispatch: `time` is then the fault manifestation time.
+    fault: Option<FaultKind>,
+}
+
+/// A faulted task waiting out its retry backoff; `seq` breaks release
+/// ties in fault order (the same rule the threaded engine applies).
+struct RetryEntry {
+    release: SimTime,
+    seq: u64,
+    task: Task,
 }
 
 impl Event {
@@ -168,6 +187,13 @@ impl DesSimulator {
     /// The platform being simulated.
     pub fn platform(&self) -> &PlatformConfig {
         &self.platform
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injection spec.
+    /// Subsequent [`Self::run`] calls compile it against the platform
+    /// and model the resulting plan in virtual time.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultSpec>>) {
+        self.config.faults = faults;
     }
 
     /// Duration the DES charges for `node` on `pe`: cost model first,
@@ -269,6 +295,20 @@ impl DesSimulator {
         // the emulator's estimates.
         let mut slots = PeSlots::new(self.platform.pes.len(), 0);
 
+        // ---- Fault machinery (all empty/None without a fault spec).
+        let plan: Option<FaultPlan> = match &self.config.faults {
+            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
+            None => None,
+        };
+        let mut fstate: Option<FaultState> =
+            plan.as_ref().map(|p| FaultState::new(p.retry.clone()));
+        let mut retries: Vec<RetryEntry> = Vec::new();
+        let mut retry_seq = 0u64;
+        // The platform key a PE dispatches as, for degraded-dispatch
+        // detection (same comparison the threaded engine makes).
+        let pe_platform_key =
+            |pe: PeId| names.pe_column(pe).map(|col| self.platform.pes[col].platform_key.as_str());
+
         let mut sink = CompletionSink::new();
         let tracer = match &self.config.trace {
             Some(trace_sink) => {
@@ -296,6 +336,39 @@ impl DesSimulator {
             while events.peek().is_some_and(|Reverse(e)| e.time <= clock) {
                 let Reverse(ev) = events.pop().expect("peeked");
                 let (id, node_idx) = ev.key;
+                // Faulted attempt: no task record, no estimate update,
+                // no DAG progress — run the recovery policy instead
+                // (identical to the threaded engine's fault branch).
+                if let Some(kind) = ev.fault {
+                    let plan = plan.as_ref().expect("fault implies a plan");
+                    let state = fstate.as_mut().expect("fault implies fault state");
+                    sink.record_fault(ev.time, id.0, node_idx, ev.pe, kind);
+                    let action = state.on_fault(plan, id.0, node_idx, ev.pe, kind, ev.time);
+                    slots.release(ev.pe);
+                    if action.quarantine && !slots.is_failed(ev.pe) {
+                        // No PeIdle event — the PE leaves the
+                        // schedulable set for good.
+                        slots.fail(ev.pe);
+                        sink.record_quarantine(ev.time, ev.pe);
+                    } else {
+                        tracer.emit(ev.time, TraceKind::PeIdle { pe: ev.pe.0 });
+                    }
+                    if let Some((attempt, release)) = action.retry {
+                        sink.record_retry(ev.time, id.0, node_idx, attempt, release);
+                        retries.push(RetryEntry {
+                            release,
+                            seq: retry_seq,
+                            task: Task {
+                                instance: Arc::clone(&instances[id.0 as usize]),
+                                node_idx,
+                            },
+                        });
+                        retry_seq += 1;
+                    } else if action.newly_aborted {
+                        sink.reliability.apps_aborted += 1;
+                    }
+                    continue;
+                }
                 // DES PEs have no reservation queues, so every
                 // completion idles its PE.
                 slots.release(ev.pe);
@@ -320,7 +393,19 @@ impl DesSimulator {
                 if let Some(rec) =
                     tracker.complete(&instances[id.0 as usize], node_idx, ev.time, &mut ready)
                 {
+                    if fstate.as_ref().is_some_and(|s| s.had_faults(id.0)) {
+                        sink.reliability.apps_completed_despite_faults += 1;
+                    }
                     sink.record_app(rec);
+                }
+            }
+            // Release due retries into the ready list, in deterministic
+            // (release, seq) order — before arrivals, like the emulator.
+            if !retries.is_empty() {
+                retries.sort_by_key(|r| (r.release, r.seq));
+                while retries.first().is_some_and(|r| r.release <= clock) {
+                    let r = retries.remove(0);
+                    ready.push(r.task, r.release);
                 }
             }
             while next_arrival < arrival_order.len() && arrival_order[next_arrival].0 <= clock {
@@ -329,6 +414,23 @@ impl DesSimulator {
                 let inst = &instances[idx as usize];
                 tracer.emit(at, TraceKind::AppArrive { instance: inst.id.0 });
                 ready.push_roots(inst, at);
+            }
+
+            // Permanent failures on idle PEs take effect as the clock
+            // passes them (busy PEs die through their in-flight
+            // attempt's fault decision instead).
+            if let Some(plan) = &plan {
+                for pe in &self.platform.pes {
+                    if slots.is_failed(pe.id) || slots.is_busy(pe.id) {
+                        continue;
+                    }
+                    if let Some(tf) = plan.permanent_failure_at(pe.id) {
+                        if tf <= clock {
+                            slots.fail(pe.id);
+                            sink.record_quarantine(tf, pe.id);
+                        }
+                    }
+                }
             }
 
             // Schedule at the current clock.
@@ -368,22 +470,61 @@ impl DesSimulator {
                 for a in &assignments {
                     let rt = &ready.pending()[a.ready_idx];
                     let id = rt.task.instance.id;
+                    let node_idx = rt.task.node_idx;
                     let col = names.pe_column(a.pe).expect("known PE");
                     let (dur, _) =
-                        costs[names.spec_index(id)][rt.task.node_idx][col].expect("compat checked");
-                    let finish = clock + charge + dur;
-                    slots.occupy(a.pe, finish);
+                        costs[names.spec_index(id)][node_idx][col].expect("compat checked");
+                    let start = clock + charge;
+                    let mut finish = start + dur;
                     tracer.emit(
                         clock,
                         TraceKind::TaskDispatch {
                             instance: id.0,
-                            node: rt.task.node_idx as u32,
+                            node: node_idx as u32,
                             pe: a.pe.0,
                         },
                     );
                     tracer.emit(clock, TraceKind::PeBusy { pe: a.pe.0 });
-                    let runfunc =
-                        names.runfunc(id, rt.task.node_idx, a.pe).cloned().unwrap_or_default();
+                    let runfunc = names.runfunc(id, node_idx, a.pe).cloned().unwrap_or_default();
+                    let mut fault = None;
+                    if let Some(plan) = &plan {
+                        let state = fstate.as_mut().expect("plan implies fault state");
+                        let attempt = state.attempt_of(id.0, node_idx);
+                        if attempt > 1 {
+                            if let Some(prev) = state.last_fault_pe(id.0, node_idx) {
+                                if pe_platform_key(prev) != pe_platform_key(a.pe) {
+                                    sink.record_degraded(
+                                        clock,
+                                        id.0,
+                                        node_idx,
+                                        a.pe,
+                                        state.note_degraded(id.0, node_idx),
+                                    );
+                                }
+                            }
+                        }
+                        // The *estimate* (not the exact duration) feeds
+                        // the hang deadline — the same value the
+                        // threaded engine derives at its dispatch, since
+                        // both engines observe completions identically.
+                        let est = estimates
+                            .estimate(&rt.task, &self.platform.pes[col])
+                            .unwrap_or(Duration::from_micros(100));
+                        if let Some(d) = plan.decide(
+                            runfunc.as_str(),
+                            a.pe,
+                            id.0,
+                            node_idx,
+                            attempt,
+                            start,
+                            finish,
+                            est,
+                        ) {
+                            finish = d.time;
+                            fault = Some(d.kind);
+                        }
+                    }
+                    slots.occupy(a.pe, finish);
                     events.push(Reverse(Event {
                         time: finish,
                         key: rt.task.key(),
@@ -392,28 +533,46 @@ impl DesSimulator {
                         ready_at: rt.ready_at,
                         dur,
                         runfunc,
+                        fault,
                     }));
                     event_seq += 1;
                 }
                 ready.remove(&assignments);
             }
 
-            // Advance to the next event (completion or arrival).
+            // Advance to the next event (completion, arrival, or retry
+            // release).
             let next_completion = events.peek().map(|Reverse(e)| e.time);
             let next_arr = arrival_order.get(next_arrival).map(|&(t, _)| t);
-            match (next_completion, next_arr) {
-                (Some(c), Some(a)) => clock = clock.max(c.min(a)),
-                (Some(c), None) => clock = clock.max(c),
-                (None, Some(a)) => clock = clock.max(a),
-                (None, None) => {
+            let next_retry = retries.iter().map(|r| r.release).min();
+            match [next_completion, next_arr, next_retry].into_iter().flatten().min() {
+                Some(t) => clock = clock.max(t),
+                None => {
                     if ready.is_empty() {
                         break;
                     }
-                    return Err(EmuError::Config(format!(
-                        "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no events remain",
-                        ready.len(),
-                        scheduler.name()
-                    )));
+                    // With fault recovery active this stall may mean
+                    // "these tasks lost their last compatible PE"
+                    // rather than a scheduler bug; let the resolver
+                    // abort those apps and re-evaluate.
+                    let resolved = match fstate.as_mut() {
+                        Some(state) => resolve_unschedulable(
+                            &self.platform,
+                            &mut slots,
+                            &mut ready,
+                            state,
+                            &mut sink,
+                            &names,
+                        )?,
+                        None => false,
+                    };
+                    if !resolved {
+                        return Err(EmuError::Config(format!(
+                            "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no events remain",
+                            ready.len(),
+                            scheduler.name()
+                        )));
+                    }
                 }
             }
         }

@@ -27,7 +27,8 @@
 //!
 //! [`CostTable`]: dssoc_platform::cost::CostTable
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,17 +38,19 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::cost::{CostModel, ScaledMeasuredCost};
 use dssoc_platform::pe::{PeId, PlatformConfig};
-use dssoc_trace::{EventKind as TraceKind, TraceSink};
+use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
 
 use crate::exec::{
-    pe_mask_bit, preflight_compat, register_trace_meta, validate_assignments, CompletionSink,
-    ExecTracer, InstanceTracker, PeSlots, ReadyList,
+    pe_mask_bit, preflight_compat, register_trace_meta, resolve_unschedulable,
+    validate_assignments, CompletionSink, ExecTracer, InstanceTracker, PeSlots, ReadyList,
 };
+use crate::fault::{FaultDecision, FaultPlan, FaultSpec, FaultState};
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
 use crate::intern::{Interner, NameTable};
 use crate::resource::ResourcePool;
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
+use crate::task::Task;
 use crate::time::SimTime;
 
 /// How emulation time is tracked.
@@ -99,6 +102,10 @@ pub struct EmulationConfig {
     /// records the full emulation lifecycle into the sink's session for
     /// Chrome/Perfetto, Gantt, and JSONL export.
     pub trace: Option<TraceSink>,
+    /// Optional deterministic fault-injection spec (see [`FaultSpec`]).
+    /// `None` — the default — keeps every fault-recovery path compiled
+    /// out of the hot loop behind one branch.
+    pub faults: Option<Arc<FaultSpec>>,
 }
 
 impl Default for EmulationConfig {
@@ -109,6 +116,7 @@ impl Default for EmulationConfig {
             cost: Arc::new(ScaledMeasuredCost::default()),
             reservation_depth: 0,
             trace: None,
+            faults: None,
         }
     }
 }
@@ -119,6 +127,7 @@ impl std::fmt::Debug for EmulationConfig {
             .field("timing", &self.timing)
             .field("overhead", &self.overhead)
             .field("traced", &self.trace.is_some())
+            .field("faulted", &self.faults.is_some())
             .finish()
     }
 }
@@ -140,6 +149,18 @@ pub enum EmuError {
         /// Kernel error text.
         reason: String,
     },
+    /// Fault recovery ran out of options: the injected faults left no
+    /// PE able to make progress. Carries the last fault's context.
+    Fault {
+        /// Application name of the last faulted task.
+        app: String,
+        /// DAG node name of the last faulted task.
+        node: String,
+        /// Display name of the PE the last fault hit.
+        pe: String,
+        /// Why the run is unrecoverable.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EmuError {
@@ -150,11 +171,21 @@ impl std::fmt::Display for EmuError {
             EmuError::TaskFailed { app, node, reason } => {
                 write!(f, "task {app}/{node} failed: {reason}")
             }
+            EmuError::Fault { app, node, pe, reason } => {
+                write!(f, "unrecoverable fault (last: {app}/{node} on {pe}): {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for EmuError {}
+impl std::error::Error for EmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmuError::Model(e) => Some(e),
+            EmuError::Config(_) | EmuError::TaskFailed { .. } | EmuError::Fault { .. } => None,
+        }
+    }
+}
 
 impl From<ModelError> for EmuError {
     fn from(e: ModelError) -> Self {
@@ -218,7 +249,92 @@ const HANDLER_POLL_COST: Duration = Duration::from_nanos(800);
 struct PendingCompletion {
     finish: SimTime,
     pe: PeId,
+    /// `Some` when the fault plan rewrote this attempt's outcome:
+    /// `finish` is then the fault manifestation time.
+    fault: Option<FaultKind>,
     completion: TaskCompletion,
+}
+
+/// Dispatch-time metadata for the task currently running on a PE, kept
+/// only when fault injection is on: the fault decision and the
+/// wall-clock watchdog both need the attempt's estimate and start.
+struct RunningMeta {
+    task: Task,
+    est: Duration,
+    start: SimTime,
+    wall: Instant,
+    attempt: u32,
+}
+
+/// A faulted task waiting out its retry backoff. `seq` breaks release-
+/// time ties deterministically (fault processing order).
+struct RetryEntry {
+    release: SimTime,
+    seq: u64,
+    task: Task,
+}
+
+/// The platform key of a PE, for degraded-dispatch detection (a retry
+/// landing on a different key than the PE it faulted on).
+fn pe_key(handlers: &[Arc<ResourceHandler>], id: PeId) -> Option<&str> {
+    handlers.iter().find(|h| h.pe_id() == id).map(|h| h.pe.platform_key.as_str())
+}
+
+/// Handles `pe` freeing up at `at`: starts its next reserved task (the
+/// reservation-queue fast path, shared by normal and faulted
+/// completions) or marks it idle. With fault state, records the new
+/// attempt's dispatch metadata and degraded-dispatch event.
+#[allow(clippy::too_many_arguments)]
+fn release_pe(
+    pe: PeId,
+    at: SimTime,
+    handlers: &[Arc<ResourceHandler>],
+    slots: &mut PeSlots,
+    estimates: &EstimateBook,
+    ready_at_of: &mut HashMap<(InstanceId, usize), SimTime>,
+    tracer: &ExecTracer,
+    running: &mut HashMap<PeId, RunningMeta>,
+    fstate: Option<&mut FaultState>,
+    sink: &mut CompletionSink,
+) {
+    let Some(next) = slots.release(pe) else {
+        tracer.emit(at, TraceKind::PeIdle { pe: pe.0 });
+        return;
+    };
+    let handler = handlers.iter().find(|h| h.pe_id() == pe).expect("known PE");
+    let est = estimates.estimate(&next.task, &handler.pe).unwrap_or(Duration::from_micros(100));
+    slots.occupy(pe, at + est);
+    ready_at_of.insert(next.task.key(), next.ready_at);
+    tracer.emit(
+        at,
+        TraceKind::TaskDispatch {
+            instance: next.task.instance.id.0,
+            node: next.task.node_idx as u32,
+            pe: pe.0,
+        },
+    );
+    if let Some(state) = fstate {
+        let (instance, node) = (next.task.instance.id.0, next.task.node_idx);
+        let attempt = state.attempt_of(instance, node);
+        if attempt > 1 {
+            if let Some(prev) = state.last_fault_pe(instance, node) {
+                if pe_key(handlers, prev) != pe_key(handlers, pe) {
+                    sink.record_degraded(
+                        at,
+                        instance,
+                        node,
+                        pe,
+                        state.note_degraded(instance, node),
+                    );
+                }
+            }
+        }
+        running.insert(
+            pe,
+            RunningMeta { task: next.task.clone(), est, start: at, wall: Instant::now(), attempt },
+        );
+    }
+    handler.dispatch(TaskAssignment { task: next.task, start: at });
 }
 
 /// The emulation driver: a thin per-run loop over a persistent
@@ -233,6 +349,11 @@ pub struct Emulation {
     platform: PlatformConfig,
     config: EmulationConfig,
     pool: ResourcePool,
+    /// PEs whose resource-manager thread wedged (watchdog fired and the
+    /// thread never reported back). They are excluded from end-of-run
+    /// drains and start subsequent runs quarantined; a PE is removed
+    /// again once its thread finally posts the stale completion.
+    wedged: RefCell<HashSet<PeId>>,
 }
 
 impl Emulation {
@@ -253,7 +374,7 @@ impl Emulation {
         if let Some(sink) = &config.trace {
             pool.attach_trace(sink);
         }
-        Ok(Emulation { platform, config, pool })
+        Ok(Emulation { platform, config, pool, wedged: RefCell::new(HashSet::new()) })
     }
 
     /// The platform being emulated.
@@ -270,6 +391,13 @@ impl Emulation {
             None => self.pool.detach_trace(),
         }
         self.config.trace = trace;
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injection spec.
+    /// Subsequent [`Self::run`] calls compile it against the platform
+    /// and honor the resulting plan.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultSpec>>) {
+        self.config.faults = faults;
     }
 
     /// Runs a workload to completion under `scheduler`, returning the
@@ -292,8 +420,9 @@ impl Emulation {
         let result = self.workload_manager(scheduler, instances, self.pool.handlers());
         if result.is_err() {
             // A failed run can leave tasks in flight; wait them out so
-            // every PE is idle again for the next run on this pool.
-            self.pool.drain();
+            // every PE is idle again for the next run on this pool —
+            // except wedged manager threads, which would never report.
+            self.pool.drain_except(&self.wedged.borrow());
         }
         result
     }
@@ -321,6 +450,24 @@ impl Emulation {
         let mut ready_at_of: HashMap<(InstanceId, usize), SimTime> = HashMap::new();
         let mut pending: Vec<PendingCompletion> = Vec::new();
         let mut estimates = EstimateBook::new();
+
+        // ---- Fault machinery (all empty/None without a fault spec).
+        let plan: Option<FaultPlan> = match &self.config.faults {
+            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
+            None => None,
+        };
+        let mut fstate: Option<FaultState> =
+            plan.as_ref().map(|p| FaultState::new(p.retry.clone()));
+        let mut retries: Vec<RetryEntry> = Vec::new();
+        let mut retry_seq = 0u64;
+        let mut running: HashMap<PeId, RunningMeta> = HashMap::new();
+        // PEs whose manager thread wedged in an earlier run on this
+        // pool: their eventual (stale) completions are discarded, and
+        // they start this run quarantined.
+        let mut stale: HashSet<PeId> = self.wedged.borrow().clone();
+        for &pe in &stale {
+            slots.fail(pe);
+        }
 
         // Reference start time (paper: captured at emulation start).
         let wall_start = Instant::now();
@@ -360,11 +507,85 @@ impl Emulation {
             let t_mon = Instant::now();
             for h in handlers.iter() {
                 if let Some(c) = h.try_collect() {
-                    let finish = match timing {
+                    let pe = h.pe_id();
+                    if stale.remove(&pe) {
+                        // A wedged manager thread finally reported: the
+                        // result belongs to an abandoned attempt.
+                        // Discard it — the thread is usable again next
+                        // run, but the PE stays quarantined in this one.
+                        self.wedged.borrow_mut().remove(&pe);
+                        continue;
+                    }
+                    let meta = running.remove(&pe);
+                    let natural = match timing {
                         TimingMode::WallClock => now,
                         TimingMode::Modeled => c.start + c.modeled,
                     };
-                    pending.push(PendingCompletion { finish, pe: h.pe_id(), completion: c });
+                    let mut fault = None;
+                    let mut finish = natural;
+                    if let Some(plan) = &plan {
+                        let m = meta.as_ref().expect("dispatched task has metadata");
+                        let decision = if c.result.is_err() {
+                            // A real kernel error under the recovery
+                            // policy is a retryable exec fault.
+                            Some(FaultDecision { time: natural, kind: FaultKind::Exec })
+                        } else {
+                            let kernel = names
+                                .runfunc(c.task.instance.id, c.task.node_idx, pe)
+                                .cloned()
+                                .unwrap_or_default();
+                            plan.decide(
+                                kernel.as_str(),
+                                pe,
+                                c.task.instance.id.0,
+                                c.task.node_idx,
+                                m.attempt,
+                                c.start,
+                                natural,
+                                m.est,
+                            )
+                        };
+                        if let Some(d) = decision {
+                            finish = d.time;
+                            fault = Some(d.kind);
+                        }
+                    }
+                    pending.push(PendingCompletion { finish, pe, fault, completion: c });
+                }
+            }
+            // Wall-clock watchdog: a dispatched kernel that has blown
+            // far past its estimate in *real* time has wedged its
+            // manager thread. Synthesize a faulted completion at the
+            // virtual deadline and stop waiting on the thread (it is
+            // skipped by end-of-run drains and remembered across runs)
+            // — the alternative is deadlocking the whole emulation.
+            if let Some(plan) = &plan {
+                let deadline_of = |m: &RunningMeta| {
+                    mul_duration(m.est, plan.watchdog_factor).max(plan.watchdog_min_wall)
+                };
+                let wedged: Vec<PeId> = running
+                    .iter()
+                    .filter(|(pe, m)| !stale.contains(pe) && m.wall.elapsed() >= deadline_of(m))
+                    .map(|(pe, _)| *pe)
+                    .collect();
+                for pe in wedged {
+                    let m = running.remove(&pe).expect("listed above");
+                    let virtual_overrun = mul_duration(m.est, plan.watchdog_factor);
+                    pending.push(PendingCompletion {
+                        finish: m.start + virtual_overrun,
+                        pe,
+                        fault: Some(FaultKind::Watchdog),
+                        completion: TaskCompletion {
+                            task: m.task,
+                            start: m.start,
+                            modeled: virtual_overrun,
+                            measured: m.wall.elapsed(),
+                            accel_reports: Vec::new(),
+                            result: Ok(()),
+                        },
+                    });
+                    stale.insert(pe);
+                    self.wedged.borrow_mut().insert(pe);
                 }
             }
             let monitor_raw = t_mon.elapsed();
@@ -378,30 +599,67 @@ impl Emulation {
             });
             while let Some(pos) = pending.iter().position(|p| p.finish <= now) {
                 let p = pending.remove(pos);
+                progress = true;
+                // Faulted attempt: no task record, no estimate update,
+                // no DAG progress — the work was lost. Run the recovery
+                // policy instead.
+                if let Some(kind) = p.fault {
+                    let plan = plan.as_ref().expect("fault implies a plan");
+                    let state = fstate.as_mut().expect("fault implies fault state");
+                    let c = p.completion;
+                    let (instance, node) = (c.task.instance.id.0, c.task.node_idx);
+                    ready_at_of.remove(&c.task.key());
+                    sink.record_fault(p.finish, instance, node, p.pe, kind);
+                    let action = state.on_fault(plan, instance, node, p.pe, kind, p.finish);
+                    if action.quarantine && !slots.is_failed(p.pe) {
+                        // Requeue work reserved behind the dead PE, then
+                        // retire it: no PeIdle event — the PE leaves the
+                        // schedulable set for good.
+                        for rt in slots.take_reserved(p.pe) {
+                            ready.push(rt.task, p.finish);
+                        }
+                        slots.release(p.pe);
+                        slots.fail(p.pe);
+                        sink.record_quarantine(p.finish, p.pe);
+                    } else {
+                        release_pe(
+                            p.pe,
+                            p.finish,
+                            handlers,
+                            &mut slots,
+                            &estimates,
+                            &mut ready_at_of,
+                            &tracer,
+                            &mut running,
+                            Some(state),
+                            &mut sink,
+                        );
+                    }
+                    if let Some((attempt, release)) = action.retry {
+                        sink.record_retry(p.finish, instance, node, attempt, release);
+                        retries.push(RetryEntry { release, seq: retry_seq, task: c.task });
+                        retry_seq += 1;
+                    } else if action.newly_aborted {
+                        sink.reliability.apps_aborted += 1;
+                    }
+                    continue;
+                }
                 // Reservation queue: the PE itself starts its next
                 // queued task at the completion instant — no scheduler
                 // invocation, no charged overhead (the point of the
                 // paper's proposed work queues).
-                if let Some(next) = slots.release(p.pe) {
-                    let handler = handlers.iter().find(|h| h.pe_id() == p.pe).expect("known PE");
-                    let est = estimates
-                        .estimate(&next.task, &handler.pe)
-                        .unwrap_or(Duration::from_micros(100));
-                    slots.occupy(p.pe, p.finish + est);
-                    ready_at_of.insert(next.task.key(), next.ready_at);
-                    tracer.emit(
-                        p.finish,
-                        TraceKind::TaskDispatch {
-                            instance: next.task.instance.id.0,
-                            node: next.task.node_idx as u32,
-                            pe: p.pe.0,
-                        },
-                    );
-                    handler.dispatch(TaskAssignment { task: next.task, start: p.finish });
-                } else {
-                    tracer.emit(p.finish, TraceKind::PeIdle { pe: p.pe.0 });
-                }
-                progress = true;
+                release_pe(
+                    p.pe,
+                    p.finish,
+                    handlers,
+                    &mut slots,
+                    &estimates,
+                    &mut ready_at_of,
+                    &tracer,
+                    &mut running,
+                    fstate.as_mut(),
+                    &mut sink,
+                );
                 let c = p.completion;
                 if let Err(e) = &c.result {
                     failure = Some(EmuError::TaskFailed {
@@ -431,7 +689,21 @@ impl Emulation {
                     measured: c.measured,
                 });
                 if let Some(rec) = tracker.complete_task(&c.task, p.finish, &mut ready) {
+                    if fstate.as_ref().is_some_and(|s| s.had_faults(c.task.instance.id.0)) {
+                        sink.reliability.apps_completed_despite_faults += 1;
+                    }
                     sink.record_app(rec);
+                }
+            }
+
+            // ---- Release due retries into the ready list, in
+            // deterministic (release, seq) order.
+            if !retries.is_empty() {
+                retries.sort_by_key(|r| (r.release, r.seq));
+                while retries.first().is_some_and(|r| r.release <= now) {
+                    let r = retries.remove(0);
+                    ready.push(r.task, r.release);
+                    progress = true;
                 }
             }
 
@@ -484,6 +756,25 @@ impl Emulation {
             // slot per PE, so the scheduling phase repeats until the
             // policy stops assigning or no schedulable slot remains —
             // each pass paying its own overhead charge.
+
+            // Permanent failures on idle PEs take effect as the clock
+            // passes them (busy PEs die through their in-flight
+            // attempt's fault decision instead).
+            if let Some(plan) = &plan {
+                for h in handlers.iter() {
+                    let pe = h.pe_id();
+                    if slots.is_failed(pe) || slots.is_busy(pe) {
+                        continue;
+                    }
+                    if let Some(tf) = plan.permanent_failure_at(pe) {
+                        if tf <= now {
+                            slots.fail(pe);
+                            sink.record_quarantine(tf, pe);
+                        }
+                    }
+                }
+            }
+
             let mut sched_pass = 0usize;
             loop {
                 if !(progress && !ready.is_empty() && slots.any_schedulable()) {
@@ -574,6 +865,33 @@ impl Emulation {
                             },
                         );
                         tracer.emit(now, TraceKind::PeBusy { pe: a.pe.0 });
+                        if let Some(state) = fstate.as_mut() {
+                            let (instance, node) = (rt.task.instance.id.0, rt.task.node_idx);
+                            let attempt = state.attempt_of(instance, node);
+                            if attempt > 1 {
+                                if let Some(prev) = state.last_fault_pe(instance, node) {
+                                    if pe_key(handlers, prev) != pe_key(handlers, a.pe) {
+                                        sink.record_degraded(
+                                            now,
+                                            instance,
+                                            node,
+                                            a.pe,
+                                            state.note_degraded(instance, node),
+                                        );
+                                    }
+                                }
+                            }
+                            running.insert(
+                                a.pe,
+                                RunningMeta {
+                                    task: rt.task.clone(),
+                                    est,
+                                    start: now,
+                                    wall: Instant::now(),
+                                    attempt,
+                                },
+                            );
+                        }
                         to_dispatch.push((handler, TaskAssignment { task: rt.task, start: now }));
                     }
                     progress = true;
@@ -600,7 +918,12 @@ impl Emulation {
             }
 
             // ---- Termination.
-            if arrivals.is_empty() && ready.is_empty() && slots.all_idle() && pending.is_empty() {
+            if arrivals.is_empty()
+                && ready.is_empty()
+                && slots.all_idle()
+                && pending.is_empty()
+                && retries.is_empty()
+            {
                 break;
             }
 
@@ -610,15 +933,40 @@ impl Emulation {
                     TimingMode::WallClock => {
                         if arrivals.is_empty()
                             && pending.is_empty()
+                            && retries.is_empty()
                             && slots.all_idle()
                             && !ready.is_empty()
                         {
-                            failure = Some(EmuError::Config(format!(
-                                "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
-                                ready.len(),
-                                scheduler.name()
-                            )));
-                            break 'outer;
+                            // With fault recovery active this stall may
+                            // mean "these tasks lost their last
+                            // compatible PE" rather than a scheduler
+                            // bug; let the resolver abort those apps.
+                            let resolved = match fstate.as_mut() {
+                                Some(state) => match resolve_unschedulable(
+                                    &self.platform,
+                                    &mut slots,
+                                    &mut ready,
+                                    state,
+                                    &mut sink,
+                                    &names,
+                                ) {
+                                    Ok(r) => r,
+                                    Err(e) => {
+                                        failure = Some(e);
+                                        break 'outer;
+                                    }
+                                },
+                                None => false,
+                            };
+                            if !resolved {
+                                failure = Some(EmuError::Config(format!(
+                                    "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
+                                    ready.len(),
+                                    scheduler.name()
+                                )));
+                                break 'outer;
+                            }
+                            continue;
                         }
                         std::thread::yield_now();
                     }
@@ -637,13 +985,36 @@ impl Emulation {
                         for p in &pending {
                             next = next.min(p.finish);
                         }
+                        for r in &retries {
+                            next = next.min(r.release);
+                        }
                         if next == SimTime::MAX {
-                            failure = Some(EmuError::Config(format!(
-                                "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
-                                ready.len(),
-                                scheduler.name()
-                            )));
-                            break 'outer;
+                            let resolved = match fstate.as_mut() {
+                                Some(state) => match resolve_unschedulable(
+                                    &self.platform,
+                                    &mut slots,
+                                    &mut ready,
+                                    state,
+                                    &mut sink,
+                                    &names,
+                                ) {
+                                    Ok(r) => r,
+                                    Err(e) => {
+                                        failure = Some(e);
+                                        break 'outer;
+                                    }
+                                },
+                                None => false,
+                            };
+                            if !resolved {
+                                failure = Some(EmuError::Config(format!(
+                                    "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no work is in flight",
+                                    ready.len(),
+                                    scheduler.name()
+                                )));
+                                break 'outer;
+                            }
+                            continue;
                         }
                         vclock = vclock.max(next);
                     }

@@ -29,12 +29,13 @@ use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::instance::AppInstance;
 use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
-use dssoc_trace::{EventKind as TraceKind, TraceSink, TraceWriter};
+use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink, TraceWriter};
 
 use crate::engine::EmuError;
+use crate::fault::FaultState;
 use crate::intern::{Name, NameTable};
 use crate::sched::{Assignment, PeView};
-use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskRecord};
 use crate::task::{ReadyTask, Task};
 use crate::time::SimTime;
 
@@ -333,7 +334,9 @@ impl InstanceTracker {
 pub struct PeSlots {
     busy: Vec<Option<SimTime>>,         // projected (or exact) finish, by PeId
     reserved: Vec<VecDeque<ReadyTask>>, // by PeId; empty until reserve()
+    failed: Vec<bool>,                  // quarantined PEs, by PeId
     busy_count: usize,
+    failed_count: usize,
     depth: usize,
     total: usize,
 }
@@ -341,7 +344,15 @@ pub struct PeSlots {
 impl PeSlots {
     /// All-idle state for `total` PEs with reservation-queue `depth`.
     pub fn new(total: usize, depth: usize) -> Self {
-        PeSlots { busy: vec![None; total], reserved: Vec::new(), busy_count: 0, depth, total }
+        PeSlots {
+            busy: vec![None; total],
+            reserved: Vec::new(),
+            failed: vec![false; total],
+            busy_count: 0,
+            failed_count: 0,
+            depth,
+            total,
+        }
     }
 
     /// The configured reservation-queue depth.
@@ -374,21 +385,56 @@ impl PeSlots {
         self.reserved.get(pe.0 as usize).map_or(0, VecDeque::len)
     }
 
-    /// True if the scheduler may assign to `pe`: idle, or busy with
-    /// reservation-queue room.
+    /// True if `pe` is quarantined (the fault-injection availability
+    /// mask every scheduler must respect).
+    pub fn is_failed(&self, pe: PeId) -> bool {
+        self.failed.get(pe.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of quarantined PEs.
+    pub fn failed_count(&self) -> usize {
+        self.failed_count
+    }
+
+    /// Quarantines `pe`: it never reports idle again, so the scheduler
+    /// contract forbids assigning to it for the rest of the run.
+    pub fn fail(&mut self, pe: PeId) {
+        let idx = pe.0 as usize;
+        if idx >= self.failed.len() {
+            self.failed.resize(idx + 1, false);
+        }
+        if !self.failed[idx] {
+            self.failed[idx] = true;
+            self.failed_count += 1;
+        }
+    }
+
+    /// Drains `pe`'s reservation queue (tasks queued behind a task that
+    /// just faulted must re-enter the ready list when the PE is
+    /// quarantined).
+    pub fn take_reserved(&mut self, pe: PeId) -> VecDeque<ReadyTask> {
+        self.reserved.get_mut(pe.0 as usize).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// True if the scheduler may assign to `pe`: not quarantined, and
+    /// idle or busy with reservation-queue room.
     pub fn has_room(&self, pe: PeId) -> bool {
-        !self.is_busy(pe) || self.queued(pe) < self.depth
+        !self.is_failed(pe) && (!self.is_busy(pe) || self.queued(pe) < self.depth)
     }
 
     /// True if any PE can accept an assignment right now.
     pub fn any_schedulable(&self) -> bool {
-        self.busy_count < self.total
-            || (self.depth > 0
-                && self
-                    .busy
-                    .iter()
-                    .enumerate()
-                    .any(|(i, b)| b.is_some() && self.queued(PeId(i as u32)) < self.depth))
+        if self.failed_count == 0 {
+            self.busy_count < self.total
+                || (self.depth > 0
+                    && self
+                        .busy
+                        .iter()
+                        .enumerate()
+                        .any(|(i, b)| b.is_some() && self.queued(PeId(i as u32)) < self.depth))
+        } else {
+            (0..self.total as u32).any(|i| self.has_room(PeId(i)))
+        }
     }
 
     /// When `pe` is projected to become available (`now` when idle).
@@ -473,6 +519,7 @@ pub fn validate_assignments(
         };
         let ok = a.ready_idx < pending.len()
             && room
+            && !slots.is_failed(a.pe)
             && !assignments[..k].iter().any(|b| b.ready_idx == a.ready_idx)
             && platform
                 .pes
@@ -502,6 +549,8 @@ pub struct CompletionSink {
     pub overhead: OverheadBreakdown,
     /// Number of scheduler invocations.
     pub sched_invocations: u64,
+    /// Fault-injection and recovery counters.
+    pub reliability: ReliabilityCounters,
 }
 
 impl CompletionSink {
@@ -546,6 +595,70 @@ impl CompletionSink {
         self.apps.push(rec);
     }
 
+    /// Records one faulted execution attempt (trace event + per-kind
+    /// counters). Faulted attempts produce no [`TaskRecord`] and charge
+    /// no PE busy time — the work was lost.
+    pub fn record_fault(
+        &mut self,
+        at: SimTime,
+        instance: u64,
+        node: usize,
+        pe: PeId,
+        kind: FaultKind,
+    ) {
+        self.tracer.emit(at, TraceKind::Fault { instance, node: node as u32, pe: pe.0, kind });
+        let r = &mut self.reliability;
+        r.faults_injected += 1;
+        match kind {
+            FaultKind::Transient => r.transient_faults += 1,
+            FaultKind::Permanent => r.permanent_faults += 1,
+            FaultKind::Hang => r.hang_faults += 1,
+            FaultKind::Watchdog => r.watchdog_faults += 1,
+            FaultKind::Exec => r.exec_faults += 1,
+        }
+    }
+
+    /// Records one retry grant: the faulted attempt (1-based) will be
+    /// re-attempted once the ready list reaches `release`.
+    pub fn record_retry(
+        &mut self,
+        at: SimTime,
+        instance: u64,
+        node: usize,
+        attempt: u32,
+        release: SimTime,
+    ) {
+        self.tracer.emit(
+            at,
+            TraceKind::Retry { instance, node: node as u32, attempt, release_ns: release.0 },
+        );
+        self.reliability.retries += 1;
+    }
+
+    /// Records a PE quarantine at `at` (the fault time, not the
+    /// detection time).
+    pub fn record_quarantine(&mut self, at: SimTime, pe: PeId) {
+        self.tracer.emit(at, TraceKind::Quarantine { pe: pe.0 });
+        self.reliability.pes_quarantined += 1;
+    }
+
+    /// Records a degraded dispatch — a retried task landing on a
+    /// different PE class than the one it faulted on. `first` is true
+    /// the first time this task degrades (the unique-task counter).
+    pub fn record_degraded(
+        &mut self,
+        at: SimTime,
+        instance: u64,
+        node: usize,
+        pe: PeId,
+        first: bool,
+    ) {
+        self.tracer.emit(at, TraceKind::DegradedDispatch { instance, node: node as u32, pe: pe.0 });
+        if first {
+            self.reliability.tasks_degraded += 1;
+        }
+    }
+
     /// Folds the accumulated records into the run's statistics.
     pub fn finish(
         self,
@@ -571,9 +684,68 @@ impl CompletionSink {
             pe_names: platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
             sched_invocations: self.sched_invocations,
             overhead: self.overhead,
+            reliability: self.reliability,
             instances,
         }
     }
+}
+
+/// Resolves a stall with ready tasks but nothing schedulable, on behalf
+/// of either engine's fault-recovery path:
+///
+/// * every PE quarantined with work remaining → unrecoverable,
+///   [`EmuError::Fault`] with the last fault's context;
+/// * some ready tasks have no surviving compatible PE → abort their
+///   applications (counted once each), drop them from the ready list,
+///   and return `Ok(true)` so the engine loop re-evaluates;
+/// * otherwise → `Ok(false)`: the remaining tasks *are* schedulable on
+///   live PEs, so the stall is a genuine scheduler deadlock and the
+///   caller reports its usual deadlock error.
+pub fn resolve_unschedulable(
+    platform: &PlatformConfig,
+    slots: &mut PeSlots,
+    ready: &mut ReadyList,
+    state: &mut FaultState,
+    sink: &mut CompletionSink,
+    names: &NameTable,
+) -> Result<bool, EmuError> {
+    let mut doomed: Vec<Assignment> = Vec::new();
+    for (idx, rt) in ready.pending().iter().enumerate() {
+        let live = platform
+            .pes
+            .iter()
+            .any(|pe| !slots.is_failed(pe.id) && rt.task.supports(&pe.platform_key));
+        if !live {
+            // ReadyList::remove only reads ready_idx; the PE field is a
+            // placeholder.
+            doomed.push(Assignment { ready_idx: idx, pe: PeId(0) });
+        }
+    }
+    if doomed.is_empty() {
+        return Ok(false);
+    }
+    if slots.failed_count() == platform.pes.len() {
+        let (instance, node, pe) = state.last_context().unwrap_or((0, 0, PeId(0)));
+        let id = dssoc_appmodel::instance::InstanceId(instance);
+        return Err(EmuError::Fault {
+            app: names.app(id).as_str().to_string(),
+            node: names.node(id, node).as_str().to_string(),
+            pe: platform
+                .pes
+                .iter()
+                .find(|p| p.id == pe)
+                .map_or_else(|| format!("pe{}", pe.0), |p| p.name.clone()),
+            reason: format!("every PE is quarantined with {} task(s) still ready", ready.len()),
+        });
+    }
+    for a in &doomed {
+        let inst = ready.pending()[a.ready_idx].task.instance.id.0;
+        if state.abort(inst) {
+            sink.reliability.apps_aborted += 1;
+        }
+    }
+    ready.remove(&doomed);
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -691,5 +863,33 @@ mod tests {
         assert!(slots.is_busy(pe), "reservation keeps the PE busy");
         assert!(slots.release(pe).is_none());
         assert!(!slots.is_busy(pe));
+    }
+
+    #[test]
+    fn pe_slots_failure_mask() {
+        let mut slots = PeSlots::new(2, 1);
+        let (a, b) = (dssoc_platform::pe::PeId(0), dssoc_platform::pe::PeId(1));
+        assert!(!slots.is_failed(a) && slots.failed_count() == 0);
+
+        slots.fail(a);
+        slots.fail(a); // idempotent
+        assert!(slots.is_failed(a));
+        assert_eq!(slots.failed_count(), 1);
+        assert!(!slots.has_room(a), "quarantined PEs never have room");
+        assert!(slots.any_schedulable(), "the live PE remains schedulable");
+
+        // A quarantined idle PE reports idle=false to the scheduler.
+        let cfg = crate::sched::testutil::platform_2c1f();
+        assert!(!slots.view(&cfg.pes[0], SimTime(0)).idle);
+        assert!(slots.view(&cfg.pes[1], SimTime(0)).idle);
+
+        // Queued work behind a quarantined PE can be reclaimed.
+        slots.occupy(b, SimTime(100));
+        slots.reserve(b, ready_tasks(1, 100.0).pop().unwrap());
+        slots.fail(b);
+        assert_eq!(slots.take_reserved(b).len(), 1);
+        assert!(slots.take_reserved(b).is_empty());
+        assert_eq!(slots.failed_count(), 2);
+        assert!(!slots.any_schedulable(), "every PE quarantined");
     }
 }

@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | [`engine`] | §II-C, Fig. 3 | workload manager, timing modes, driver |
 //! | [`exec`] | §II-C | engine-agnostic scheduling core (ready list, instance tracking, PE slots) |
+//! | [`fault`] | — | seeded fault injection + retry/quarantine/degradation recovery |
 //! | [`resource`] | §II-D, Fig. 4 | per-PE resource-manager threads, persistent [`resource::ResourcePool`] |
 //! | [`handler`] | §II-C | idle/run/complete handler protocol |
 //! | [`sched`] | §II-C | FRFS, MET, EFT, RANDOM + `Scheduler` trait |
@@ -60,6 +61,7 @@
 pub mod des;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod handler;
 pub mod intern;
 pub mod resource;
@@ -75,6 +77,10 @@ pub use exec::{
     pe_mask_bit, register_trace_meta, CompletionSink, ExecTracer, InstanceTracker, PeSlots,
     ReadyList,
 };
+pub use fault::{
+    FaultAction, FaultDecision, FaultPlan, FaultSpec, FaultState, PermanentFault, RateFault,
+    RetryPolicy,
+};
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
 pub use intern::{Interner, Name, NameTable};
 pub use resource::{threads_spawned_total, ResourcePool};
@@ -82,7 +88,7 @@ pub use sched::{
     Assignment, EftScheduler, EstimateBook, EstimateSlot, FrfsScheduler, MetScheduler, PeView,
     RandomScheduler, SchedContext, Scheduler,
 };
-pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, TaskRecord};
+pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskRecord};
 pub use sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};
 pub use task::{ReadyTask, Task};
 pub use time::SimTime;
@@ -91,6 +97,7 @@ pub use time::SimTime;
 pub mod prelude {
     pub use crate::des::{DesConfig, DesSimulator};
     pub use crate::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
+    pub use crate::fault::{FaultSpec, RetryPolicy};
     pub use crate::sched::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
     pub use crate::stats::EmulationStats;
     pub use crate::sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};

@@ -28,7 +28,7 @@ use dssoc_appmodel::error::ModelError;
 use dssoc_appmodel::memory::{AccelPort, TaskCtx};
 use dssoc_platform::accel::{AccelJobReport, FftAccelerator};
 use dssoc_platform::cost::CostModel;
-use dssoc_platform::pe::{ContentionModel, PeKind, PlatformConfig};
+use dssoc_platform::pe::{ContentionModel, PeId, PeKind, PlatformConfig};
 use dssoc_platform::placement::Placement;
 use dssoc_trace::{DmaPhase, EventKind as TraceKind, TraceSink};
 
@@ -140,7 +140,18 @@ impl ResourcePool {
     /// violation, task failure) so in-flight work cannot leak into the
     /// next run on this pool.
     pub fn drain(&self) {
+        self.drain_except(&std::collections::HashSet::new());
+    }
+
+    /// [`Self::drain`], skipping PEs whose manager thread is known
+    /// wedged (a fault watchdog fired on them): waiting on those would
+    /// block forever, and their eventual stale completions are
+    /// discarded by the next run instead.
+    pub fn drain_except(&self, skip: &std::collections::HashSet<PeId>) {
         for h in &self.handlers {
+            if skip.contains(&h.pe_id()) {
+                continue;
+            }
             while h.status() != PeStatus::Idle {
                 let _ = h.try_collect();
                 std::thread::yield_now();

@@ -108,6 +108,38 @@ impl OverheadBreakdown {
     }
 }
 
+/// Fault-injection and recovery counters, accumulated by the shared
+/// [`CompletionSink`](crate::exec::CompletionSink) in both engines. All
+/// zeros when no fault spec is configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityCounters {
+    /// Total faulted execution attempts (all kinds).
+    pub faults_injected: u64,
+    /// Transient (bad-result) faults.
+    pub transient_faults: u64,
+    /// Permanent PE failures observed by attempts.
+    pub permanent_faults: u64,
+    /// Hung attempts caught by the virtual watchdog deadline.
+    pub hang_faults: u64,
+    /// Wedged resource-manager threads caught by the threaded engine's
+    /// wall-clock watchdog.
+    pub watchdog_faults: u64,
+    /// Real kernel execution errors absorbed by the recovery policy.
+    pub exec_faults: u64,
+    /// Retry grants issued.
+    pub retries: u64,
+    /// Distinct tasks that degraded onto another PE class after a fault.
+    pub tasks_degraded: u64,
+    /// PEs quarantined for the rest of the run.
+    pub pes_quarantined: u64,
+    /// Application instances given up on (retry budget exhausted or no
+    /// surviving compatible PE).
+    pub apps_aborted: u64,
+    /// Application instances that completed even though at least one of
+    /// their task attempts faulted.
+    pub apps_completed_despite_faults: u64,
+}
+
 /// Everything collected from one emulation run.
 #[derive(Debug, Clone)]
 pub struct EmulationStats {
@@ -130,6 +162,9 @@ pub struct EmulationStats {
     pub sched_invocations: u64,
     /// Scheduling-overhead breakdown (as charged to the emulation clock).
     pub overhead: OverheadBreakdown,
+    /// Fault-injection and recovery counters (all zeros without a fault
+    /// spec).
+    pub reliability: ReliabilityCounters,
     /// The executed application instances, including their final variable
     /// memory — validation mode's functional-verification handle.
     pub instances: Vec<Arc<AppInstance>>,
@@ -264,6 +299,7 @@ mod tests {
                 schedule: Duration::from_micros(1),
                 dispatch: Duration::from_micros(1),
             },
+            reliability: ReliabilityCounters::default(),
             instances: Vec::new(),
         }
     }

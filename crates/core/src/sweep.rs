@@ -34,6 +34,7 @@ use dssoc_trace::TraceSink;
 
 use crate::des::{DesConfig, DesSimulator};
 use crate::engine::{EmuError, Emulation, EmulationConfig};
+use crate::fault::FaultSpec;
 use crate::sched::{by_name, Scheduler};
 use crate::stats::EmulationStats;
 
@@ -54,6 +55,10 @@ pub struct SweepCell {
     pub iterations: usize,
     /// Whether to prepend one discarded warm-up run.
     pub warmup: bool,
+    /// Fault-injection spec applied to every run of this cell (the
+    /// engine compiles it against the cell's platform). `None` runs
+    /// fault-free.
+    pub faults: Option<Arc<FaultSpec>>,
 }
 
 impl SweepCell {
@@ -72,6 +77,7 @@ impl SweepCell {
             workload,
             iterations: 1,
             warmup: false,
+            faults: None,
         }
     }
 
@@ -90,6 +96,12 @@ impl SweepCell {
     /// Enables or disables the discarded warm-up run.
     pub fn warmup(mut self, warmup: bool) -> Self {
         self.warmup = warmup;
+        self
+    }
+
+    /// Attaches a fault-injection spec to every run of this cell.
+    pub fn faults(mut self, spec: Arc<FaultSpec>) -> Self {
+        self.faults = Some(spec);
         self
     }
 }
@@ -257,6 +269,9 @@ impl<'a> SweepRunner<'a> {
         let traced =
             self.trace.as_ref().filter(|(label, _)| *label == cell.label).map(|(_, s)| s.clone());
         let emu = self.emulation_for(&cell.platform)?;
+        // Warm pools are shared across cells, so the fault spec is
+        // applied for this cell's runs and cleared again below.
+        emu.set_faults(cell.faults.clone());
         let warmup = usize::from(cell.warmup);
         let total = cell.iterations + warmup;
         let mut makespans = Vec::with_capacity(cell.iterations);
@@ -273,12 +288,16 @@ impl<'a> SweepRunner<'a> {
             if traced.is_some() && i + 1 == total {
                 emu.set_trace(None);
             }
+            if run.is_err() {
+                emu.set_faults(None);
+            }
             let stats = run?;
             if i >= warmup {
                 makespans.push(stats.makespan.as_secs_f64() * 1e3);
                 last = Some(stats);
             }
         }
+        emu.set_faults(None);
         Ok(CellResult {
             label: cell.label.clone(),
             makespans_ms: makespans,
@@ -347,7 +366,7 @@ impl<'a> DesSweepRunner<'a> {
     }
 
     /// The warm simulator for `platform`, creating it on first use.
-    fn simulator_for(&mut self, platform: &PlatformConfig) -> Result<&DesSimulator, EmuError> {
+    fn simulator_for(&mut self, platform: &PlatformConfig) -> Result<&mut DesSimulator, EmuError> {
         match self.sims.entry(pool_key(platform)) {
             std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -362,18 +381,24 @@ impl<'a> DesSweepRunner<'a> {
         let library = self.library;
         let mut factory = scheduler_factory(&cell.scheduler)?;
         let sim = self.simulator_for(&cell.platform)?;
+        sim.set_faults(cell.faults.clone());
         let warmup = usize::from(cell.warmup);
         let total = cell.iterations + warmup;
         let mut makespans = Vec::with_capacity(cell.iterations);
         let mut last: Option<EmulationStats> = None;
         for i in 0..total {
             let mut sched = factory();
-            let stats = sim.run(sched.as_mut(), &cell.workload, library)?;
+            let run = sim.run(sched.as_mut(), &cell.workload, library);
+            if run.is_err() {
+                sim.set_faults(None);
+            }
+            let stats = run?;
             if i >= warmup {
                 makespans.push(stats.makespan.as_secs_f64() * 1e3);
                 last = Some(stats);
             }
         }
+        sim.set_faults(None);
         Ok(CellResult {
             label: cell.label.clone(),
             makespans_ms: makespans,
@@ -448,6 +473,7 @@ mod tests {
             cost: Arc::new(ScaledMeasuredCost::default()),
             reservation_depth: 0,
             trace: None,
+            faults: None,
         }
     }
 

@@ -8,9 +8,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use proptest::prelude::*;
+
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
+use dssoc_core::fault::{FaultSpec, RateFault, RetryPolicy};
 use dssoc_core::prelude::*;
 use dssoc_core::sched::by_name;
 use dssoc_platform::cost::CostTable;
@@ -55,6 +58,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
         cost: Arc::new(table.clone()),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
     let mut sched = by_name(scheduler).expect("library policy");
@@ -62,7 +66,12 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
 
     let des = DesSimulator::new(
         platform.clone(),
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
+        DesConfig {
+            cost: Arc::new(table),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+            faults: None,
+        },
     )
     .expect("platform");
     let mut sched = by_name(scheduler).expect("library policy");
@@ -124,6 +133,7 @@ fn engines_emit_identical_trace_slices() {
         cost: Arc::new(table.clone()),
         reservation_depth: 0,
         trace: Some(emu_session.sink()),
+        faults: None,
     };
     let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
     let mut sched = by_name("frfs").expect("library policy");
@@ -136,6 +146,7 @@ fn engines_emit_identical_trace_slices() {
             cost: Arc::new(table),
             overhead_per_invocation: Duration::ZERO,
             trace: Some(des_session.sink()),
+            faults: None,
         },
     )
     .expect("platform");
@@ -151,4 +162,114 @@ fn engines_emit_identical_trace_slices() {
         emu_slices, des_slices,
         "threaded-Modeled and DES traces diverged on (task, pe, start, finish)"
     );
+}
+
+/// One fault-family trace event as `(ts, kind, instance, detail, pe)`.
+type FaultTuple = (u64, &'static str, u64, u64, u64);
+
+/// The fault-family events of a drained trace as comparable tuples, in
+/// canonical stream order (each engine emits trace events from a single
+/// consumer thread, so drained order is emission order).
+fn fault_tuples(events: &[dssoc_trace::TraceEvent]) -> Vec<FaultTuple> {
+    use dssoc_trace::EventKind;
+    events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::Fault { instance, node, pe, kind } => {
+                Some((ev.ts_ns, kind.name(), instance, u64::from(node), u64::from(pe)))
+            }
+            EventKind::Retry { instance, node, attempt, release_ns } => Some((
+                ev.ts_ns,
+                "retry",
+                instance,
+                u64::from(node) | (u64::from(attempt) << 32),
+                release_ns,
+            )),
+            EventKind::Quarantine { pe } => Some((ev.ts_ns, "quarantine", 0, 0, u64::from(pe))),
+            EventKind::DegradedDispatch { instance, node, pe } => {
+                Some((ev.ts_ns, "degraded", instance, u64::from(node), u64::from(pe)))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// One traced run of the reference workload under `spec`'s faults:
+/// `(makespan, reliability counters, fault event tuples)`.
+fn faulty_run(
+    platform: &PlatformConfig,
+    scheduler: &str,
+    spec: &Arc<FaultSpec>,
+    des: bool,
+) -> (Duration, dssoc_core::ReliabilityCounters, Vec<FaultTuple>) {
+    let (library, _registry) = standard_library();
+    let workload =
+        WorkloadSpec::validation(APPS.map(|a| (a, 1usize))).generate(&library).expect("workload");
+    let table = full_cost_table(&library, platform);
+    let session = dssoc_trace::TraceSession::new();
+    let mut sched = by_name(scheduler).expect("library policy");
+    let stats = if des {
+        let sim = DesSimulator::new(
+            platform.clone(),
+            DesConfig {
+                cost: Arc::new(table),
+                overhead_per_invocation: Duration::ZERO,
+                trace: Some(session.sink()),
+                faults: Some(Arc::clone(spec)),
+            },
+        )
+        .expect("platform");
+        sim.run(sched.as_mut(), &workload, &library).expect("simulation")
+    } else {
+        let cfg = EmulationConfig {
+            timing: TimingMode::Modeled,
+            overhead: OverheadMode::None,
+            cost: Arc::new(table),
+            reservation_depth: 0,
+            trace: Some(session.sink()),
+            faults: Some(Arc::clone(spec)),
+        };
+        let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
+        emu.run(sched.as_mut(), &workload, &library).expect("emulation")
+    };
+    assert_eq!(session.dropped(), 0, "trace ring overflowed");
+    (stats.makespan, stats.reliability, fault_tuples(&session.drain()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seeded `FaultSpec`, the threaded-Modeled engine and the
+    /// DES inject byte-identical fault sequences and agree on the
+    /// resulting makespan and reliability counters — fault decisions
+    /// are pure functions of the seed and task identity, never of host
+    /// timing. Transient-only spec: retries stay on live PEs (the
+    /// quarantine threshold is unreachable), so every drawn fault is
+    /// recoverable and the runs always return `Ok`.
+    #[test]
+    fn engines_agree_under_seeded_faults(
+        seed in any::<u64>(),
+        prob in 0.05f64..0.35,
+        cores in 2usize..4,
+    ) {
+        let spec = Arc::new(FaultSpec {
+            seed,
+            transient: vec![RateFault { kernel: None, pe: None, probability: prob }],
+            retry: RetryPolicy { max_retries: 2, backoff_us: 50.0, quarantine_after: 1000 },
+            ..FaultSpec::default()
+        });
+        let platform = zcu102(cores, 0);
+        for scheduler in ["frfs", "met"] {
+            let (emu_mk, emu_rel, emu_faults) = faulty_run(&platform, scheduler, &spec, false);
+            let (des_mk, des_rel, des_faults) = faulty_run(&platform, scheduler, &spec, true);
+            prop_assert_eq!(emu_mk, des_mk, "makespan diverged under {} (seed {})", scheduler, seed);
+            prop_assert_eq!(&emu_rel, &des_rel, "counters diverged under {} (seed {})", scheduler, seed);
+            prop_assert_eq!(emu_faults, des_faults, "fault sequences diverged under {} (seed {})", scheduler, seed);
+            // The same seed must reproduce the same run wholesale.
+            let (mk2, rel2, faults2) = faulty_run(&platform, scheduler, &spec, false);
+            prop_assert_eq!(emu_mk, mk2);
+            prop_assert_eq!(&emu_rel, &rel2);
+            prop_assert_eq!(des_faults, faults2);
+        }
+    }
 }

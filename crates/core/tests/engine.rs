@@ -97,6 +97,7 @@ fn modeled_config(table: CostTable) -> EmulationConfig {
         cost: Arc::new(table),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     }
 }
 
@@ -177,7 +178,12 @@ fn modeled_engine_and_des_agree_deterministically() {
 
     let des = DesSimulator::new(
         zcu102(2, 0),
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
+        DesConfig {
+            cost: Arc::new(table),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+            faults: None,
+        },
     )
     .unwrap();
     let simulated = des.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -217,6 +223,7 @@ fn wall_clock_mode_completes() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -421,6 +428,7 @@ fn fixed_overhead_inflates_makespan_deterministically() {
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: 0,
             trace: None,
+            faults: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap()
@@ -471,6 +479,7 @@ fn des_respects_dependencies_too() {
             cost: Arc::new(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
+            faults: None,
         },
     )
     .unwrap();
@@ -497,6 +506,7 @@ fn des_overhead_knob_inflates_makespan() {
                 cost: Arc::new(diamond_cost_table()),
                 overhead_per_invocation: ov,
                 trace: None,
+                faults: None,
             },
         )
         .unwrap();
@@ -515,6 +525,7 @@ fn reservation_queue_preserves_correctness() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -557,6 +568,7 @@ fn reservation_queue_eliminates_dispatch_overhead() {
             cost: Arc::new(diamond_cost_table()),
             reservation_depth: depth,
             trace: None,
+            faults: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap().makespan
@@ -585,6 +597,7 @@ fn reservation_queue_depth_bounds_queueing() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 1,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -609,6 +622,7 @@ fn wall_clock_with_reservation_and_accelerator() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 1), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -665,6 +679,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
         cost: Arc::new(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
+        faults: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let queued = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -674,6 +689,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
             cost: Arc::new(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
+            faults: None,
         },
     )
     .unwrap();

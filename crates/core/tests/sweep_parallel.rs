@@ -80,8 +80,12 @@ fn assert_same_results(sequential: &[CellResult], parallel: &[CellResult]) {
 fn des_parallel_batch_matches_sequential() {
     let (library, workload) = setup();
     let table = full_cost_table(&library, &[&zcu102(2, 0), &zcu102(3, 0)]);
-    let config =
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None };
+    let config = DesConfig {
+        cost: Arc::new(table),
+        overhead_per_invocation: Duration::ZERO,
+        trace: None,
+        faults: None,
+    };
     let cells = grid(&workload);
 
     let sequential =
@@ -101,6 +105,7 @@ fn threaded_parallel_batch_matches_sequential() {
         cost: Arc::new(table),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     };
     let cells = grid(&workload);
 

@@ -34,6 +34,40 @@ impl DmaPhase {
     }
 }
 
+/// Category of an injected or detected fault (see the fault-injection
+/// plan in the emulation core). Carried in [`EventKind::Fault`] so
+/// reliability studies can break events down by failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A probabilistic per-execution failure: the task ran but its
+    /// result is discarded.
+    Transient,
+    /// The PE failed permanently at a configured time; the in-flight
+    /// task (if any) is lost and the PE never returns.
+    Permanent,
+    /// The kernel stalled; the (virtual) watchdog deadline expired.
+    Hang,
+    /// The real watchdog caught an unresponsive resource-manager
+    /// thread (threaded engine only).
+    Watchdog,
+    /// A kernel returned an execution error and the recovery policy
+    /// absorbed it instead of aborting the run.
+    Exec,
+}
+
+impl FaultKind {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+            FaultKind::Hang => "hang",
+            FaultKind::Watchdog => "watchdog",
+            FaultKind::Exec => "exec",
+        }
+    }
+}
+
 /// What happened. All payloads are small `Copy` values; ids are the raw
 /// integers behind the runtime's `InstanceId`/`PeId` newtypes so this
 /// crate stays below the emulation core in the dependency graph.
@@ -131,6 +165,44 @@ pub enum EventKind {
         /// The PE whose manager thread parked.
         pe: u32,
     },
+    /// One task execution attempt faulted (injected or detected).
+    Fault {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+        /// The PE the attempt ran on.
+        pe: u32,
+        /// Failure mode.
+        kind: FaultKind,
+    },
+    /// A faulted task was requeued for another attempt.
+    Retry {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+        /// The attempt that just faulted (1-based).
+        attempt: u32,
+        /// When the retry re-enters the ready list (after backoff).
+        release_ns: u64,
+    },
+    /// A PE was removed from the schedulable set for the rest of the
+    /// run (permanent failure, hang, or repeated transient faults).
+    Quarantine {
+        /// The quarantined PE.
+        pe: u32,
+    },
+    /// A retried task was dispatched onto a different PE class than the
+    /// one it faulted on — the graceful-degradation path.
+    DegradedDispatch {
+        /// Raw instance id.
+        instance: u64,
+        /// DAG node index within the instance.
+        node: u32,
+        /// The surviving PE that took the task.
+        pe: u32,
+    },
 }
 
 impl EventKind {
@@ -148,6 +220,10 @@ impl EventKind {
             EventKind::Dma { .. } => "dma",
             EventKind::PoolUnpark { .. } => "pool_unpark",
             EventKind::PoolPark { .. } => "pool_park",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Quarantine { .. } => "quarantine",
+            EventKind::DegradedDispatch { .. } => "degraded_dispatch",
         }
     }
 }
@@ -187,6 +263,21 @@ mod tests {
         assert_eq!(DmaPhase::In.name(), "dma_in");
         assert_eq!(DmaPhase::Compute.name(), "compute");
         assert_eq!(DmaPhase::Out.name(), "dma_out");
+        assert_eq!(
+            EventKind::Fault { instance: 0, node: 0, pe: 0, kind: FaultKind::Transient }.name(),
+            "fault"
+        );
+        assert_eq!(
+            EventKind::Retry { instance: 0, node: 0, attempt: 1, release_ns: 0 }.name(),
+            "retry"
+        );
+        assert_eq!(EventKind::Quarantine { pe: 0 }.name(), "quarantine");
+        assert_eq!(
+            EventKind::DegradedDispatch { instance: 0, node: 0, pe: 0 }.name(),
+            "degraded_dispatch"
+        );
+        assert_eq!(FaultKind::Watchdog.name(), "watchdog");
+        assert_eq!(FaultKind::Exec.name(), "exec");
     }
 
     #[test]

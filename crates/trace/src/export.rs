@@ -24,6 +24,8 @@ const PID: u64 = 1;
 const TID_SCHED: u64 = 1000;
 /// `tid` of the application arrive/finish track.
 const TID_APPS: u64 = 1001;
+/// `tid` of the fault/retry/quarantine/degraded-dispatch track.
+const TID_FAULTS: u64 = 1002;
 /// `tid` offset of per-accelerator DMA tracks.
 const TID_DMA_BASE: u64 = 2000;
 
@@ -73,6 +75,17 @@ pub fn chrome_json(events: &[TraceEvent], meta: &TraceMeta) -> Value {
     }
     out.extend(thread_meta(TID_SCHED, &format!("scheduler [{}]", meta.policy), TID_SCHED));
     out.extend(thread_meta(TID_APPS, "applications", TID_APPS));
+    if events.iter().any(|ev| {
+        matches!(
+            ev.kind,
+            EventKind::Fault { .. }
+                | EventKind::Retry { .. }
+                | EventKind::Quarantine { .. }
+                | EventKind::DegradedDispatch { .. }
+        )
+    }) {
+        out.extend(thread_meta(TID_FAULTS, "faults", TID_FAULTS));
+    }
 
     // Running ready-list depth, exported as a counter series.
     let mut ready_depth: i64 = 0;
@@ -149,6 +162,40 @@ pub fn chrome_json(events: &[TraceEvent], meta: &TraceMeta) -> Value {
                     "s": "t", "ts": us(ev.ts_ns), "args": {},
                 }));
             }
+            EventKind::Fault { instance, node, pe, kind } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_FAULTS, "cat": "fault",
+                    "name": format!("fault[{}] {}", kind.name(), meta.task_label(instance, node)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"instance": instance, "kind": kind.name(), "node": node,
+                             "pe": meta.pe_name(pe)},
+                }));
+            }
+            EventKind::Retry { instance, node, attempt, release_ns } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_FAULTS, "cat": "fault",
+                    "name": format!("retry {}", meta.task_label(instance, node)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"attempt": attempt, "instance": instance, "node": node,
+                             "release_us": us(release_ns)},
+                }));
+            }
+            EventKind::Quarantine { pe } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_FAULTS, "cat": "fault",
+                    "name": format!("quarantine {}", meta.pe_name(pe)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"pe": meta.pe_name(pe)},
+                }));
+            }
+            EventKind::DegradedDispatch { instance, node, pe } => {
+                out.push(json!({
+                    "ph": "i", "pid": PID, "tid": TID_FAULTS, "cat": "fault",
+                    "name": format!("degraded {}", meta.task_label(instance, node)),
+                    "s": "t", "ts": us(ev.ts_ns),
+                    "args": {"instance": instance, "node": node, "pe": meta.pe_name(pe)},
+                }));
+            }
             // Busy/idle transitions are implied by the task slices in the
             // Chrome view; they stay available in the JSONL stream.
             EventKind::PeBusy { .. } | EventKind::PeIdle { .. } => {}
@@ -156,6 +203,38 @@ pub fn chrome_json(events: &[TraceEvent], meta: &TraceMeta) -> Value {
     }
 
     json!({"displayTimeUnit": "ms", "traceEvents": out})
+}
+
+/// [`chrome_json`] plus a `trace_drops` metadata record when any
+/// producer ring overflowed. `producers` is
+/// [`TraceSession::producers`](crate::TraceSession::producers) output;
+/// with zero drops the document is identical to [`chrome_json`]'s, so
+/// golden consumers only see the record on lossy traces.
+pub fn chrome_json_with_drops(
+    events: &[TraceEvent],
+    meta: &TraceMeta,
+    producers: &[(String, usize, u64)],
+) -> Value {
+    let mut doc = chrome_json(events, meta);
+    let total: u64 = producers.iter().map(|(_, _, d)| *d).sum();
+    if total > 0 {
+        let per: Vec<Value> = producers
+            .iter()
+            .filter(|(_, _, d)| *d > 0)
+            .map(
+                |(name, recorded, d)| json!({"dropped": d, "producer": name, "recorded": recorded}),
+            )
+            .collect();
+        if let Value::Object(map) = &mut doc {
+            if let Some(Value::Array(evs)) = map.get_mut("traceEvents") {
+                evs.push(json!({
+                    "ph": "M", "pid": PID, "tid": 0, "name": "trace_drops",
+                    "args": {"producers": per, "total_dropped": total},
+                }));
+            }
+        }
+    }
+    doc
 }
 
 /// One event as a flat JSON object (the JSONL record shape).
@@ -181,6 +260,16 @@ pub fn event_json(ev: &TraceEvent) -> Value {
             json!({"end_ns": end_ns, "pe": pe, "phase": phase.name(), "start_ns": start_ns})
         }
         EventKind::PoolUnpark { pe } | EventKind::PoolPark { pe } => json!({"pe": pe}),
+        EventKind::Fault { instance, node, pe, kind } => {
+            json!({"fault": kind.name(), "instance": instance, "node": node, "pe": pe})
+        }
+        EventKind::Retry { instance, node, attempt, release_ns } => {
+            json!({"attempt": attempt, "instance": instance, "node": node, "release_ns": release_ns})
+        }
+        EventKind::Quarantine { pe } => json!({"pe": pe}),
+        EventKind::DegradedDispatch { instance, node, pe } => {
+            json!({"instance": instance, "node": node, "pe": pe})
+        }
     };
     if let Value::Object(map) = &mut obj {
         map.insert("kind".to_string(), Value::String(ev.kind.name().to_string()));
@@ -293,6 +382,32 @@ mod tests {
             .map(|e| e["args"]["ready"].as_i64().unwrap())
             .collect();
         assert_eq!(counters, vec![1, 0]);
+    }
+
+    #[test]
+    fn chrome_export_records_ring_drops_as_metadata() {
+        let (events, meta) = fixture();
+        // Clean session: no trace_drops record is emitted at all.
+        let clean = chrome_json_with_drops(&events, &meta, &[("wm".to_string(), 9, 0)]);
+        let text = serde_json::to_string(&clean).unwrap();
+        assert!(!text.contains("trace_drops"));
+
+        let producers = vec![
+            ("wm".to_string(), 9, 0u64),
+            ("rm-1".to_string(), 4, 17),
+            ("rm-2".to_string(), 2, 3),
+        ];
+        let doc = chrome_json_with_drops(&events, &meta, &producers);
+        let back: Value = serde_json::from_str(&serde_json::to_string(&doc).unwrap()).unwrap();
+        let evs = back["traceEvents"].as_array().unwrap();
+        let rec = evs.iter().find(|e| e["name"] == "trace_drops").expect("drops metadata record");
+        assert_eq!(rec["ph"], "M");
+        assert_eq!(rec["args"]["total_dropped"].as_u64().unwrap(), 20);
+        let per = rec["args"]["producers"].as_array().unwrap();
+        assert_eq!(per.len(), 2, "clean producers are omitted");
+        assert_eq!(per[0]["producer"], "rm-1");
+        assert_eq!(per[0]["dropped"].as_u64().unwrap(), 17);
+        assert_eq!(per[0]["recorded"].as_u64().unwrap(), 4);
     }
 
     #[test]

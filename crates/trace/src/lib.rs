@@ -47,6 +47,6 @@ mod ring;
 mod session;
 pub mod timeline;
 
-pub use event::{DmaPhase, EventKind, TraceEvent};
+pub use event::{DmaPhase, EventKind, FaultKind, TraceEvent};
 pub use ring::EventRing;
 pub use session::{PeMeta, TraceMeta, TraceSession, TraceSink, TraceWriter, DEFAULT_RING_CAPACITY};

@@ -148,6 +148,27 @@ impl TraceSession {
         rings.iter().map(|(n, r)| (n.clone(), r.len(), r.dropped())).collect()
     }
 
+    /// A human-readable account of any ring overflow, or `None` when
+    /// every event was captured. Exporters print this at session close
+    /// so a truncated trace is never mistaken for a complete one.
+    pub fn drop_report(&self) -> Option<String> {
+        let producers = self.producers();
+        let total: u64 = producers.iter().map(|(_, _, d)| *d).sum();
+        if total == 0 {
+            return None;
+        }
+        let detail: Vec<String> = producers
+            .iter()
+            .filter(|(_, _, d)| *d > 0)
+            .map(|(name, _, d)| format!("{name}: {d}"))
+            .collect();
+        Some(format!(
+            "trace rings dropped {total} events ({}); raise the ring capacity \
+             (TraceSession::with_capacity) for a complete trace",
+            detail.join(", ")
+        ))
+    }
+
     /// A snapshot of the registered name metadata.
     pub fn meta(&self) -> TraceMeta {
         self.shared.meta.lock().expect("trace meta poisoned").clone()
@@ -328,6 +349,26 @@ mod tests {
         let w = session.sink().writer("moved");
         std::thread::spawn(move || w.emit(1, EventKind::PeBusy { pe: 0 })).join().unwrap();
         assert_eq!(session.events_recorded(), 1);
+    }
+
+    #[test]
+    fn drop_report_names_overflowing_producers() {
+        let session = TraceSession::with_capacity(2);
+        let sink = session.sink();
+        let a = sink.writer("wm");
+        let b = sink.writer("rm-0");
+        a.emit(0, EventKind::PeBusy { pe: 0 });
+        b.emit(0, EventKind::PeIdle { pe: 1 });
+        assert_eq!(session.drop_report(), None, "no drops, no report");
+
+        for i in 0..6 {
+            a.emit(i, EventKind::PeBusy { pe: 0 });
+        }
+        let report = session.drop_report().expect("overflow must produce a report");
+        assert!(report.contains("dropped 5 events"), "{report}");
+        assert!(report.contains("wm: 5"), "per-producer detail: {report}");
+        assert!(!report.contains("rm-0"), "clean producers stay out of the report: {report}");
+        assert!(report.contains("with_capacity"), "remediation hint: {report}");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub fn deterministic_config(table: CostTable) -> EmulationConfig {
         cost: Arc::new(table),
         reservation_depth: 0,
         trace: None,
+        faults: None,
     }
 }
 

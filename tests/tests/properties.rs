@@ -169,7 +169,7 @@ proptest! {
 
             let des = DesSimulator::new(
                 zcu102(cores, 0),
-                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None },
+                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None },
             )
             .unwrap();
             let mut s2 = dssoc_core::sched::by_name(sched_name).unwrap();
@@ -234,7 +234,12 @@ fn eft_defers_in_engine_and_des_alike() {
     let a = emu.run(&mut EftScheduler::new(), &wl, &lib).unwrap();
     let des = DesSimulator::new(
         zcu102(2, 0),
-        DesConfig { cost: Arc::new(table), overhead_per_invocation: Duration::ZERO, trace: None },
+        DesConfig {
+            cost: Arc::new(table),
+            overhead_per_invocation: Duration::ZERO,
+            trace: None,
+            faults: None,
+        },
     )
     .unwrap();
     let b = des.run(&mut EftScheduler::new(), &wl, &lib).unwrap();
