@@ -118,6 +118,7 @@ fn bench_reservation_surrogate(c: &mut Criterion) {
                         overhead_per_invocation: Duration::from_micros(ov),
                         trace: None,
                         faults: None,
+                        metrics: None,
                     },
                 )
                 .unwrap();

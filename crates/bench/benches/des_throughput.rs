@@ -68,6 +68,7 @@ fn setup() -> (AppLibrary, DesSimulator) {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .expect("platform");
@@ -161,6 +162,7 @@ fn main() {
         overhead_per_invocation: Duration::ZERO,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let cells: Vec<SweepCell> = [(1, 0), (2, 0), (3, 0), (1, 1), (2, 1), (3, 1), (1, 2), (2, 2)]
         .iter()

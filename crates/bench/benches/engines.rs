@@ -53,6 +53,7 @@ fn bench_engines(c: &mut Criterion) {
                     reservation_depth: 0,
                     trace: None,
                     faults: None,
+                    metrics: None,
                 },
             )
             .unwrap();
@@ -76,6 +77,7 @@ fn bench_engines(c: &mut Criterion) {
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
                     faults: None,
+                    metrics: None,
                 },
             )
             .unwrap();

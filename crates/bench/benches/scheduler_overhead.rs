@@ -110,6 +110,7 @@ fn pool_setup() -> (AppLibrary, Workload, EmulationConfig) {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
     (library, workload, config)
 }

@@ -53,6 +53,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
 
     let mut g = c.benchmark_group("trace_overhead");
@@ -84,6 +85,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
                     faults: None,
+                    metrics: None,
                 },
             )
             .unwrap();
@@ -100,6 +102,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     overhead_per_invocation: Duration::ZERO,
                     trace: Some(session.sink()),
                     faults: None,
+                    metrics: None,
                 },
             )
             .unwrap();

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
-use dssoc_bench::{sweep_workers, table2_workload};
+use dssoc_bench::{run_sweep_with_progress, sweep_workers, table2_workload};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -49,8 +49,8 @@ fn main() {
             })
         })
         .collect();
-    let results =
-        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+    let results = run_sweep_with_progress(SweepRunner::new(&library), &cells, sweep_workers(1))
+        .expect("sweep");
 
     let mut report = BenchReport::new("fig10");
     let mut rows: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();

@@ -22,7 +22,7 @@ use std::time::Duration;
 use dssoc_appmodel::Workload;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
-use dssoc_bench::{sweep_workers, table2_workload};
+use dssoc_bench::{run_sweep_with_progress, sweep_workers, table2_workload};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::odroid_xu3;
 
@@ -71,7 +71,8 @@ fn main() {
         })
         .collect();
     let cell_results =
-        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+        run_sweep_with_progress(SweepRunner::new(&library), &cells, sweep_workers(1))
+            .expect("sweep");
 
     let mut report = BenchReport::new("fig11");
     let mut results: Vec<((usize, usize), Vec<f64>)> = Vec::new();

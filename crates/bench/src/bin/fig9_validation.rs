@@ -20,7 +20,7 @@ use std::sync::Arc;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
-use dssoc_bench::{print_summary_row, summarize, sweep_workers};
+use dssoc_bench::{print_summary_row, run_sweep_with_progress, summarize, sweep_workers};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -55,8 +55,8 @@ fn main() {
                 .warmup(iterations > 1)
         })
         .collect();
-    let results =
-        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+    let results = run_sweep_with_progress(SweepRunner::new(&library), &cells, sweep_workers(1))
+        .expect("sweep");
 
     let mut report = BenchReport::new("fig9");
     let mut medians = Vec::new();

@@ -18,7 +18,7 @@ use std::time::Duration;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
-use dssoc_bench::sweep_workers;
+use dssoc_bench::{run_sweep_with_progress, sweep_workers};
 use dssoc_core::fault::{FaultSpec, RateFault, RetryPolicy};
 use dssoc_core::prelude::*;
 use dssoc_core::sweep::SweepRunner;
@@ -106,10 +106,14 @@ fn main() {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
-    let results = SweepRunner::with_config(&library, config)
-        .run_batch_parallel(&cells, sweep_workers(1))
-        .expect("sweep");
+    let results = run_sweep_with_progress(
+        SweepRunner::with_config(&library, config),
+        &cells,
+        sweep_workers(1),
+    )
+    .expect("sweep");
 
     let mut report = BenchReport::new("fig_reliability");
     let total_apps = workload.len();

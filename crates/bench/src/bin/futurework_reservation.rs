@@ -48,6 +48,7 @@ fn main() {
                 reservation_depth: depth,
                 trace: None,
                 faults: None,
+                metrics: None,
             };
             let mut emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
             let mut sched = by_name(name).expect("policy");

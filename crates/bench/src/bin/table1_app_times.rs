@@ -18,7 +18,7 @@ use std::sync::Arc;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
-use dssoc_bench::{summarize, sweep_workers};
+use dssoc_bench::{run_sweep_with_progress, summarize, sweep_workers};
 use dssoc_core::prelude::*;
 use dssoc_platform::presets::zcu102;
 
@@ -50,8 +50,8 @@ fn main() {
                 .warmup(iterations > 1)
         })
         .collect();
-    let results =
-        SweepRunner::new(&library).run_batch_parallel(&cells, sweep_workers(1)).expect("sweep");
+    let results = run_sweep_with_progress(SweepRunner::new(&library), &cells, sweep_workers(1))
+        .expect("sweep");
 
     let mut report = BenchReport::new("table1");
     for ((app, paper_ms), result) in paper.iter().zip(&results) {

@@ -125,6 +125,24 @@ pub fn sweep_workers(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Runs a sweep grid through `run_batch_parallel` with a live progress
+/// line on stderr: cells done/running/failed plus an ETA extrapolated
+/// from completed-cell wall times. Every figure harness funnels its
+/// grid through this, so long sweeps are observable instead of silent.
+/// The line redraws in place and is terminated before results print.
+pub fn run_sweep_with_progress(
+    mut runner: dssoc_core::sweep::SweepRunner<'_>,
+    cells: &[dssoc_core::sweep::SweepCell],
+    workers: usize,
+) -> Result<Vec<dssoc_core::sweep::CellResult>, dssoc_core::EmuError> {
+    let progress = dssoc_core::sweep::SweepProgress::new();
+    runner.set_progress(progress.clone());
+    let watcher = progress.watch_stderr(Duration::from_millis(250));
+    let results = runner.run_batch_parallel(cells, workers);
+    drop(watcher);
+    results
+}
+
 /// Pretty-prints a labeled summary row.
 pub fn print_summary_row(label: &str, s: &Summary, unit: &str) {
     println!(

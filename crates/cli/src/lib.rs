@@ -23,7 +23,8 @@ use dssoc_appmodel::{InjectionParams, WorkloadSpec};
 use dssoc_core::engine::{EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::fault::FaultSpec;
 use dssoc_core::stats::EmulationStats;
-use dssoc_core::sweep::{default_workers, SweepCell, SweepRunner};
+use dssoc_core::sweep::{default_workers, SweepCell, SweepProgress, SweepRunner};
+use dssoc_metrics::{MetricsRegistry, MetricsServer, MetricsSnapshot};
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_platform::presets::{odroid_xu3, zcu102};
 use dssoc_trace::TraceSession;
@@ -49,6 +50,15 @@ pub struct RunArgs {
     pub trace: Option<String>,
     /// Fault-injection spec (loaded from the `--faults` JSON file).
     pub faults: Option<Arc<FaultSpec>>,
+    /// Serve live metrics over HTTP on this address (e.g.
+    /// `127.0.0.1:9464`, or port `0` for an ephemeral port printed to
+    /// stderr). Also embeds the final snapshot in `--json` output.
+    pub metrics: Option<String>,
+    /// Keep the metrics endpoint alive this long after the run
+    /// completes, so external scrapers can collect the final values.
+    pub metrics_linger: Duration,
+    /// Render a live sweep-progress line on stderr.
+    pub progress: bool,
 }
 
 /// Parses a platform shorthand:
@@ -182,6 +192,9 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut json = false;
     let mut trace: Option<String> = None;
     let mut faults: Option<Arc<FaultSpec>> = None;
+    let mut metrics: Option<String> = None;
+    let mut metrics_linger = Duration::ZERO;
+    let mut progress = false;
 
     let mut i = 0;
     let next_value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -234,6 +247,14 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--faults" => {
                 faults = Some(Arc::new(load_faults_file(&next_value(&mut i, "--faults")?)?))
             }
+            "--metrics" => metrics = Some(next_value(&mut i, "--metrics")?),
+            "--metrics-linger" => {
+                let ms: u64 = next_value(&mut i, "--metrics-linger")?
+                    .parse()
+                    .map_err(|_| "bad --metrics-linger value (milliseconds)".to_string())?;
+                metrics_linger = Duration::from_millis(ms);
+            }
+            "--progress" => progress = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -256,6 +277,9 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     } else {
         return Err("no workload: use --validation, --inject, or --workload-file".into());
     };
+    if metrics_linger > Duration::ZERO && metrics.is_none() {
+        return Err("--metrics-linger needs --metrics".into());
+    }
     Ok(RunArgs {
         platform,
         scheduler,
@@ -266,18 +290,48 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         json,
         trace,
         faults,
+        metrics,
+        metrics_linger,
+        progress,
     })
 }
 
-/// Executes a parsed run and returns the final iteration's stats plus
-/// the per-iteration makespans in milliseconds.
+/// The outcome of [`execute`]: the final iteration's stats, the
+/// per-iteration makespans in milliseconds, and — with
+/// [`RunArgs::metrics`] set — the final metrics snapshot.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Full statistics of the final measured iteration.
+    pub stats: EmulationStats,
+    /// Makespan of each measured iteration, in milliseconds.
+    pub makespans_ms: Vec<f64>,
+    /// Final metrics snapshot (when `--metrics` was given).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Executes a parsed run.
 ///
 /// With [`RunArgs::trace`] set, the final measured iteration is traced:
 /// a Chrome/Perfetto JSON file is written to the given path and the
-/// text timeline is printed to stdout.
-pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
+/// text timeline is printed to stdout. With [`RunArgs::metrics`] set, a
+/// metrics endpoint serves `/metrics` (OpenMetrics) and
+/// `/snapshot.json` for the duration of the run (plus
+/// [`RunArgs::metrics_linger`]), and the final snapshot is returned.
+pub fn execute(run: &RunArgs) -> Result<RunOutcome, String> {
     let (library, _registry) = dssoc_apps::standard_library();
     let workload = Arc::new(run.workload.generate(&library).map_err(|e| e.to_string())?);
+    let registry = run.metrics.as_ref().map(|_| MetricsRegistry::new());
+    let server = match (&run.metrics, &registry) {
+        (Some(addr), Some(reg)) => {
+            let server = MetricsServer::start(addr.as_str(), reg.clone())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            // Stderr, so `--json` stdout stays machine-readable; port 0
+            // binds ephemerally and scrapers discover the port here.
+            eprintln!("metrics: serving http://{}/metrics", server.addr());
+            Some(server)
+        }
+        _ => None,
+    };
     let cfg = EmulationConfig {
         timing: run.timing,
         overhead: OverheadMode::Measured,
@@ -285,6 +339,7 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
         reservation_depth: run.reservation_depth,
         trace: None,
         faults: None,
+        metrics: registry.clone(),
     };
     let mut runner = SweepRunner::with_config(&library, cfg);
     let mut cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
@@ -297,6 +352,9 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
     if let Some(session) = &session {
         runner.trace_cell(cell.label.clone(), session.sink());
     }
+    let progress = SweepProgress::new();
+    runner.set_progress(progress.clone());
+    let watcher = run.progress.then(|| progress.watch_stderr(Duration::from_millis(200)));
     // The batch API clamps the worker count to the grid size, so this
     // single cell runs sequentially on the runner's own warm pool; CLI
     // grids grown beyond one cell parallelize for free.
@@ -305,10 +363,21 @@ pub fn execute(run: &RunArgs) -> Result<(EmulationStats, Vec<f64>), String> {
         .map_err(|e| e.to_string())?
         .pop()
         .expect("one cell in, one result out");
+    drop(watcher);
     if let (Some(path), Some(session)) = (&run.trace, &session) {
         write_trace(path, session)?;
     }
-    Ok((result.stats, result.makespans_ms))
+    // Trace-ring accounting joins the metric families once per session.
+    if let (Some(session), Some(reg)) = (&session, &registry) {
+        session.publish_metrics(reg);
+    }
+    let snapshot = registry.as_ref().map(|r| r.snapshot());
+    if server.is_some() && run.metrics_linger > Duration::ZERO {
+        eprintln!("metrics: lingering {:?} for scrapers", run.metrics_linger);
+        std::thread::sleep(run.metrics_linger);
+    }
+    drop(server);
+    Ok(RunOutcome { stats: result.stats, makespans_ms: result.makespans_ms, metrics: snapshot })
 }
 
 /// Drains `session` and writes its Chrome/Perfetto JSON to `path`,
@@ -328,9 +397,14 @@ fn write_trace(path: &str, session: &TraceSession) -> Result<(), String> {
     Ok(())
 }
 
-/// Renders stats as a machine-readable JSON value.
-pub fn stats_to_json(stats: &EmulationStats, makespans_ms: &[f64]) -> serde_json::Value {
-    serde_json::json!({
+/// Renders stats as a machine-readable JSON value. A metrics snapshot,
+/// when given, is embedded under the `"metrics"` key.
+pub fn stats_to_json(
+    stats: &EmulationStats,
+    makespans_ms: &[f64],
+    metrics: Option<&MetricsSnapshot>,
+) -> serde_json::Value {
+    let mut value = serde_json::json!({
         "platform": stats.platform,
         "scheduler": stats.scheduler,
         "makespan_ms": stats.makespan.as_secs_f64() * 1e3,
@@ -357,7 +431,11 @@ pub fn stats_to_json(stats: &EmulationStats, makespans_ms: &[f64]) -> serde_json
             "transient_faults": stats.reliability.transient_faults,
             "watchdog_faults": stats.reliability.watchdog_faults,
         }),
-    })
+    });
+    if let (Some(snap), serde_json::Value::Object(map)) = (metrics, &mut value) {
+        map.insert("metrics".to_string(), serde_json::to_value(snap));
+    }
+    value
 }
 
 #[cfg(test)]
@@ -498,12 +576,49 @@ mod tests {
             "range_detection=2,wifi_tx=1",
         ]);
         let run = parse_run_args(&args).unwrap();
-        let (stats, makespans) = execute(&run).unwrap();
-        assert_eq!(stats.completed_apps(), 3);
-        assert_eq!(makespans.len(), 1);
-        let json = stats_to_json(&stats, &makespans);
+        let out = execute(&run).unwrap();
+        assert_eq!(out.stats.completed_apps(), 3);
+        assert_eq!(out.makespans_ms.len(), 1);
+        assert!(out.metrics.is_none(), "no --metrics, no snapshot");
+        let json = stats_to_json(&out.stats, &out.makespans_ms, None);
         assert_eq!(json["apps_completed"], 3);
         assert!(json["makespan_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn metrics_flag_serves_endpoint_and_embeds_snapshot() {
+        use std::io::{Read, Write};
+        let args = argv(&[
+            "--platform",
+            "zcu102:2C+1F",
+            "--validation",
+            "range_detection=1",
+            "--metrics",
+            "127.0.0.1:0",
+            "--json",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        assert_eq!(run.metrics.as_deref(), Some("127.0.0.1:0"));
+        let out = execute(&run).unwrap();
+        let snap = out.metrics.expect("--metrics produces a snapshot");
+        assert!(snap.value("dssoc_tasks_ready", &[]).unwrap() > 0.0);
+        assert_eq!(snap.value("dssoc_ready_depth", &[]), Some(0.0), "run drained");
+        let json = stats_to_json(&out.stats, &out.makespans_ms, Some(&snap));
+        assert!(
+            !json["metrics"]["samples"].as_array().unwrap().is_empty(),
+            "snapshot embedded in --json output"
+        );
+
+        // The endpoint itself is exercised end-to-end: serve a run's
+        // registry and scrape it over TCP.
+        let registry = MetricsRegistry::new();
+        registry.counter("dssoc_smoke", &[]).cell().inc();
+        let server = MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("dssoc_smoke_total 1"), "{body}");
     }
 
     #[test]
@@ -521,8 +636,8 @@ mod tests {
         ]);
         let run = parse_run_args(&args).unwrap();
         assert_eq!(run.trace.as_deref(), path.to_str());
-        let (stats, _) = execute(&run).unwrap();
-        assert_eq!(stats.completed_apps(), 1);
+        let out = execute(&run).unwrap();
+        assert_eq!(out.stats.completed_apps(), 1);
         let text = std::fs::read_to_string(&path).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         let events = value["traceEvents"].as_array().unwrap();

@@ -27,6 +27,12 @@ RUN OPTIONS:
   --json                     print machine-readable JSON
   --trace <path>             write a Chrome/Perfetto trace of the final
                              iteration and print a text timeline
+  --metrics <addr>           serve live metrics over HTTP (OpenMetrics at
+                             /metrics, JSON at /snapshot.json); port 0
+                             binds ephemerally, address printed to stderr
+  --metrics-linger <ms>      keep the metrics endpoint alive this long
+                             after the run (requires --metrics)
+  --progress                 render a live progress line on stderr
 
 EXAMPLES:
   dssoc-emu run --platform zcu102:3C+2F --scheduler frfs \\
@@ -62,14 +68,20 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     };
     match execute(&run) {
-        Ok((stats, makespans)) => {
+        Ok(out) => {
+            let makespans = &out.makespans_ms;
             if run.json {
                 println!(
                     "{}",
-                    serde_json::to_string_pretty(&stats_to_json(&stats, &makespans)).expect("json")
+                    serde_json::to_string_pretty(&stats_to_json(
+                        &out.stats,
+                        makespans,
+                        out.metrics.as_ref()
+                    ))
+                    .expect("json")
                 );
             } else {
-                print!("{}", stats.summary());
+                print!("{}", out.stats.summary());
                 if makespans.len() > 1 {
                     let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
                     println!(

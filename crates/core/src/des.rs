@@ -55,6 +55,7 @@ use std::time::Duration;
 use dssoc_appmodel::app::{AppLibrary, NodeSpec};
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
+use dssoc_metrics::MetricsRegistry;
 use dssoc_platform::cost::{CostModel, CostTable};
 use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
 use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
@@ -66,6 +67,7 @@ use crate::exec::{
 };
 use crate::fault::{FaultPlan, FaultSpec, FaultState};
 use crate::intern::{Interner, Name, NameTable};
+use crate::metrics::{ExecMetrics, OverheadPhase};
 use crate::sched::{EstimateBook, EstimateSlot, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
 use crate::task::Task;
@@ -96,6 +98,11 @@ pub struct DesConfig {
     /// which is what extends the cross-engine differential tests to
     /// faulty runs.
     pub faults: Option<Arc<FaultSpec>>,
+    /// Optional live-metrics registry. The DES publishes the same
+    /// metric families as the threaded engine through the shared
+    /// scheduling core, so dashboards and the cross-engine metrics
+    /// differential test see one schema.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for DesConfig {
@@ -105,6 +112,7 @@ impl Default for DesConfig {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -289,11 +297,17 @@ impl DesSimulator {
             BinaryHeap::with_capacity(self.platform.pes.len() + 1);
         let mut event_seq = 0u64;
 
+        let metrics = match &self.config.metrics {
+            Some(registry) => ExecMetrics::attach(registry, &self.platform, &instances),
+            None => ExecMetrics::disabled(),
+        };
         let mut ready = ReadyList::new();
+        ready.set_metrics(metrics.clone());
         // DES PEs have no reservation queues (depth 0); the busy map
         // holds *exact* finish times — the simulator's one luxury over
         // the emulator's estimates.
         let mut slots = PeSlots::new(self.platform.pes.len(), 0);
+        slots.set_metrics(metrics.clone());
 
         // ---- Fault machinery (all empty/None without a fault spec).
         let plan: Option<FaultPlan> = match &self.config.faults {
@@ -324,6 +338,7 @@ impl DesSimulator {
         };
         ready.set_tracer(tracer.clone());
         sink.set_tracer(tracer.clone());
+        sink.set_metrics(metrics);
         let mut clock = SimTime::ZERO;
         // Scratch buffer for the scheduler's per-invocation PE views.
         let mut views: Vec<PeView<'_>> = Vec::with_capacity(self.platform.pes.len());
@@ -365,7 +380,7 @@ impl DesSimulator {
                         });
                         retry_seq += 1;
                     } else if action.newly_aborted {
-                        sink.reliability.apps_aborted += 1;
+                        sink.record_abort();
                     }
                     continue;
                 }
@@ -394,7 +409,7 @@ impl DesSimulator {
                     tracker.complete(&instances[id.0 as usize], node_idx, ev.time, &mut ready)
                 {
                     if fstate.as_ref().is_some_and(|s| s.had_faults(id.0)) {
-                        sink.reliability.apps_completed_despite_faults += 1;
+                        sink.record_survival();
                     }
                     sink.record_app(rec);
                 }
@@ -439,7 +454,7 @@ impl DesSimulator {
                 views.extend(self.platform.pes.iter().map(|pe| slots.view(pe, clock)));
                 let ctx = SchedContext { now: clock, estimates: &estimates };
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
-                sink.sched_invocations += 1;
+                sink.note_sched_invocation();
                 if tracer.enabled() {
                     let candidates =
                         views.iter().filter(|v| v.idle).fold(0u64, |m, v| m | pe_mask_bit(v.pe.id));
@@ -456,7 +471,7 @@ impl DesSimulator {
                     );
                 }
                 let charge = self.config.overhead_per_invocation;
-                sink.overhead.schedule += charge;
+                sink.charge_overhead(OverheadPhase::Schedule, charge);
 
                 // The same contract check the emulator runs.
                 validate_assignments(

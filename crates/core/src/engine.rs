@@ -36,6 +36,7 @@ use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::error::ModelError;
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
+use dssoc_metrics::MetricsRegistry;
 use dssoc_platform::cost::{CostModel, ScaledMeasuredCost};
 use dssoc_platform::pe::{PeId, PlatformConfig};
 use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
@@ -47,6 +48,7 @@ use crate::exec::{
 use crate::fault::{FaultDecision, FaultPlan, FaultSpec, FaultState};
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
 use crate::intern::{Interner, NameTable};
+use crate::metrics::{ExecMetrics, OverheadPhase};
 use crate::resource::ResourcePool;
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
@@ -106,6 +108,11 @@ pub struct EmulationConfig {
     /// `None` — the default — keeps every fault-recovery path compiled
     /// out of the hot loop behind one branch.
     pub faults: Option<Arc<FaultSpec>>,
+    /// Optional live-metrics registry (see the `dssoc-metrics` crate).
+    /// `None` — the default — costs one branch per would-be sample;
+    /// `Some` publishes counters/gauges/histograms that any thread can
+    /// snapshot mid-run or expose over HTTP.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for EmulationConfig {
@@ -117,6 +124,7 @@ impl Default for EmulationConfig {
             reservation_depth: 0,
             trace: None,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -128,6 +136,7 @@ impl std::fmt::Debug for EmulationConfig {
             .field("overhead", &self.overhead)
             .field("traced", &self.trace.is_some())
             .field("faulted", &self.faults.is_some())
+            .field("metered", &self.metrics.is_some())
             .finish()
     }
 }
@@ -400,6 +409,12 @@ impl Emulation {
         self.config.faults = faults;
     }
 
+    /// Installs (or, with `None`, removes) a live-metrics registry.
+    /// Subsequent [`Self::run`] calls publish into it.
+    pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
+        self.config.metrics = metrics;
+    }
+
     /// Runs a workload to completion under `scheduler`, returning the
     /// collected statistics. The persistent resource pool is reused:
     /// consecutive runs on the same `Emulation` dispatch to the same
@@ -442,9 +457,15 @@ impl Emulation {
         let names = NameTable::build(&instances, &self.platform, &mut interner);
         let mut tracker = InstanceTracker::new(&instances, &names);
         let kept_instances = instances.clone();
+        let metrics = match &self.config.metrics {
+            Some(registry) => ExecMetrics::attach(registry, &self.platform, &kept_instances),
+            None => ExecMetrics::disabled(),
+        };
         let mut arrivals: VecDeque<Arc<AppInstance>> = instances.into();
         let mut ready = ReadyList::new();
+        ready.set_metrics(metrics.clone());
         let mut slots = PeSlots::new(handlers.len(), self.config.reservation_depth);
+        slots.set_metrics(metrics.clone());
         // ready_at of dispatched tasks, consumed when the completion is
         // recorded.
         let mut ready_at_of: HashMap<(InstanceId, usize), SimTime> = HashMap::new();
@@ -483,6 +504,7 @@ impl Emulation {
         };
         ready.set_tracer(tracer.clone());
         sink.set_tracer(tracer.clone());
+        sink.set_metrics(metrics);
         let mut sampler_mu = PhaseSampler::new();
         let mut sampler_s = PhaseSampler::new();
         let mut sampler_d = PhaseSampler::new();
@@ -640,7 +662,7 @@ impl Emulation {
                         retries.push(RetryEntry { release, seq: retry_seq, task: c.task });
                         retry_seq += 1;
                     } else if action.newly_aborted {
-                        sink.reliability.apps_aborted += 1;
+                        sink.record_abort();
                     }
                     continue;
                 }
@@ -690,7 +712,7 @@ impl Emulation {
                 });
                 if let Some(rec) = tracker.complete_task(&c.task, p.finish, &mut ready) {
                     if fstate.as_ref().is_some_and(|s| s.had_faults(c.task.instance.id.0)) {
-                        sink.reliability.apps_completed_despite_faults += 1;
+                        sink.record_survival();
                     }
                     sink.record_app(rec);
                 }
@@ -736,8 +758,8 @@ impl Emulation {
                     }
                     OverheadMode::Fixed(_) | OverheadMode::None => (Duration::ZERO, Duration::ZERO),
                 };
-                sink.overhead.monitor += m;
-                sink.overhead.update += u;
+                sink.charge_overhead(OverheadPhase::Monitor, m);
+                sink.charge_overhead(OverheadPhase::Update, u);
                 if timing == TimingMode::Modeled {
                     now += m + u;
                     vclock = now;
@@ -791,7 +813,7 @@ impl Emulation {
                 views.extend(handlers.iter().map(|h| slots.view(&h.pe, now)));
                 let ctx = SchedContext { now, estimates: &estimates };
                 let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
-                sink.sched_invocations += 1;
+                sink.note_sched_invocation();
                 let schedule_raw = t_sched.elapsed();
                 if tracer.enabled() {
                     let candidates =
@@ -817,7 +839,7 @@ impl Emulation {
                     OverheadMode::Fixed(d) => d,
                     OverheadMode::None => Duration::ZERO,
                 };
-                sink.overhead.schedule += s_charge;
+                sink.charge_overhead(OverheadPhase::Schedule, s_charge);
                 if timing == TimingMode::Modeled {
                     now += s_charge;
                     vclock = now;
@@ -907,7 +929,7 @@ impl Emulation {
                     }
                     OverheadMode::Fixed(_) | OverheadMode::None => Duration::ZERO,
                 };
-                sink.overhead.dispatch += d_charge;
+                sink.charge_overhead(OverheadPhase::Dispatch, d_charge);
                 if timing == TimingMode::Modeled {
                     now += d_charge;
                     vclock = now;

@@ -34,6 +34,7 @@ use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink, TraceWriter};
 use crate::engine::EmuError;
 use crate::fault::FaultState;
 use crate::intern::{Name, NameTable};
+use crate::metrics::{ExecMetrics, OverheadPhase};
 use crate::sched::{Assignment, PeView};
 use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskRecord};
 use crate::task::{ReadyTask, Task};
@@ -156,6 +157,7 @@ pub struct ReadyList {
     head: usize,
     seq: u64,
     tracer: ExecTracer,
+    metrics: ExecMetrics,
 }
 
 impl ReadyList {
@@ -174,6 +176,12 @@ impl ReadyList {
         self.tracer = tracer;
     }
 
+    /// Installs the run's metrics handle; [`Self::push`] also funnels
+    /// the ready-depth gauge and histogram samples.
+    pub fn set_metrics(&mut self, metrics: ExecMetrics) {
+        self.metrics = metrics;
+    }
+
     /// Appends a newly ready task, assigning the next sequence number.
     pub fn push(&mut self, task: Task, ready_at: SimTime) {
         self.tracer.emit(
@@ -182,6 +190,7 @@ impl ReadyList {
         );
         self.items.push(ReadyTask { task, ready_at, seq: self.seq });
         self.seq += 1;
+        self.metrics.task_ready(self.len());
     }
 
     /// Appends all root nodes of a newly arrived instance.
@@ -213,6 +222,7 @@ impl ReadyList {
     /// indices compact in one order-preserving pass.
     pub fn remove(&mut self, assignments: &[Assignment]) {
         debug_assert!(assignments.windows(2).all(|w| w[0].ready_idx < w[1].ready_idx));
+        self.metrics.tasks_unready(assignments.len());
         let is_prefix = assignments.iter().enumerate().all(|(k, a)| a.ready_idx == k);
         if is_prefix {
             self.head += assignments.len();
@@ -339,6 +349,7 @@ pub struct PeSlots {
     failed_count: usize,
     depth: usize,
     total: usize,
+    metrics: ExecMetrics,
 }
 
 impl PeSlots {
@@ -352,7 +363,14 @@ impl PeSlots {
             failed_count: 0,
             depth,
             total,
+            metrics: ExecMetrics::disabled(),
         }
+    }
+
+    /// Installs the run's metrics handle; busy/idle/quarantine
+    /// transitions drive the PE gauges from here in both engines.
+    pub fn set_metrics(&mut self, metrics: ExecMetrics) {
+        self.metrics = metrics;
     }
 
     /// The configured reservation-queue depth.
@@ -406,6 +424,7 @@ impl PeSlots {
         if !self.failed[idx] {
             self.failed[idx] = true;
             self.failed_count += 1;
+            self.metrics.pe_quarantined();
         }
     }
 
@@ -456,6 +475,7 @@ impl PeSlots {
         }
         if self.busy[idx].replace(finish).is_none() {
             self.busy_count += 1;
+            self.metrics.pe_busy();
         }
     }
 
@@ -486,6 +506,7 @@ impl PeSlots {
             if let Some(slot) = self.busy.get_mut(pe.0 as usize) {
                 if slot.take().is_some() {
                     self.busy_count -= 1;
+                    self.metrics.pe_idle();
                 }
             }
         }
@@ -545,6 +566,7 @@ pub struct CompletionSink {
     // short vec beats hashing the id on every completion.
     pe_busy: Vec<(PeId, Duration)>,
     tracer: ExecTracer,
+    metrics: ExecMetrics,
     /// Accumulated workload-manager overhead.
     pub overhead: OverheadBreakdown,
     /// Number of scheduler invocations.
@@ -568,9 +590,48 @@ impl CompletionSink {
         self.tracer = tracer;
     }
 
+    /// Installs the run's metrics handle. Like the tracer, every
+    /// completion/fault/overhead sample in both engines funnels through
+    /// this sink, so the engines publish identical metric families.
+    pub fn set_metrics(&mut self, metrics: ExecMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// One scheduler invocation (also feeds the live counter).
+    pub fn note_sched_invocation(&mut self) {
+        self.sched_invocations += 1;
+        self.metrics.sched_invocation();
+    }
+
+    /// Charges `d` of workload-manager overhead to `phase`, in both the
+    /// end-of-run breakdown and the live per-phase counters.
+    pub fn charge_overhead(&mut self, phase: OverheadPhase, d: Duration) {
+        match phase {
+            OverheadPhase::Monitor => self.overhead.monitor += d,
+            OverheadPhase::Update => self.overhead.update += d,
+            OverheadPhase::Schedule => self.overhead.schedule += d,
+            OverheadPhase::Dispatch => self.overhead.dispatch += d,
+        }
+        self.metrics.overhead(phase, d);
+    }
+
+    /// Records an application abort (fault recovery ran out of options
+    /// for one of its tasks).
+    pub fn record_abort(&mut self) {
+        self.reliability.apps_aborted += 1;
+        self.metrics.abort();
+    }
+
+    /// Records an application completing despite injected faults.
+    pub fn record_survival(&mut self) {
+        self.reliability.apps_completed_despite_faults += 1;
+        self.metrics.survival();
+    }
+
     /// Records one finished task, charging its modeled duration to its
     /// PE's busy time.
     pub fn record_task(&mut self, rec: TaskRecord) {
+        self.metrics.task_completed(&rec);
         self.tracer.emit(
             rec.finish,
             TraceKind::TaskSlice {
@@ -592,6 +653,7 @@ impl CompletionSink {
     /// Records one finished application.
     pub fn record_app(&mut self, rec: AppRecord) {
         self.tracer.emit(rec.finish, TraceKind::AppFinish { instance: rec.instance.0 });
+        self.metrics.app_completed(&rec);
         self.apps.push(rec);
     }
 
@@ -607,6 +669,7 @@ impl CompletionSink {
         kind: FaultKind,
     ) {
         self.tracer.emit(at, TraceKind::Fault { instance, node: node as u32, pe: pe.0, kind });
+        self.metrics.fault(kind);
         let r = &mut self.reliability;
         r.faults_injected += 1;
         match kind {
@@ -632,6 +695,7 @@ impl CompletionSink {
             at,
             TraceKind::Retry { instance, node: node as u32, attempt, release_ns: release.0 },
         );
+        self.metrics.retry();
         self.reliability.retries += 1;
     }
 
@@ -639,6 +703,7 @@ impl CompletionSink {
     /// detection time).
     pub fn record_quarantine(&mut self, at: SimTime, pe: PeId) {
         self.tracer.emit(at, TraceKind::Quarantine { pe: pe.0 });
+        self.metrics.quarantine();
         self.reliability.pes_quarantined += 1;
     }
 
@@ -654,6 +719,7 @@ impl CompletionSink {
         first: bool,
     ) {
         self.tracer.emit(at, TraceKind::DegradedDispatch { instance, node: node as u32, pe: pe.0 });
+        self.metrics.degraded();
         if first {
             self.reliability.tasks_degraded += 1;
         }
@@ -666,6 +732,7 @@ impl CompletionSink {
         scheduler: String,
         instances: Vec<Arc<AppInstance>>,
     ) -> EmulationStats {
+        self.metrics.run_completed(&scheduler);
         let makespan = self
             .apps
             .iter()
@@ -686,6 +753,7 @@ impl CompletionSink {
             overhead: self.overhead,
             reliability: self.reliability,
             instances,
+            app_agg: std::sync::OnceLock::new(),
         }
     }
 }
@@ -741,7 +809,7 @@ pub fn resolve_unschedulable(
     for a in &doomed {
         let inst = ready.pending()[a.ready_idx].task.instance.id.0;
         if state.abort(inst) {
-            sink.reliability.apps_aborted += 1;
+            sink.record_abort();
         }
     }
     ready.remove(&doomed);

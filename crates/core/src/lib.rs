@@ -64,6 +64,7 @@ pub mod exec;
 pub mod fault;
 pub mod handler;
 pub mod intern;
+pub mod metrics;
 pub mod resource;
 pub mod sched;
 pub mod stats;
@@ -83,13 +84,20 @@ pub use fault::{
 };
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
 pub use intern::{Interner, Name, NameTable};
+pub use metrics::{ExecMetrics, OverheadPhase};
 pub use resource::{threads_spawned_total, ResourcePool};
 pub use sched::{
     Assignment, EftScheduler, EstimateBook, EstimateSlot, FrfsScheduler, MetScheduler, PeView,
     RandomScheduler, SchedContext, Scheduler,
 };
-pub use stats::{AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskRecord};
-pub use sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};
+pub use stats::{
+    AppAggregate, AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters,
+    StatsPercentiles, TaskRecord,
+};
+pub use sweep::{
+    default_workers, CellResult, DesSweepRunner, ProgressWatcher, SweepCell, SweepProgress,
+    SweepProgressSnapshot, SweepRunner,
+};
 pub use task::{ReadyTask, Task};
 pub use time::SimTime;
 
@@ -100,6 +108,8 @@ pub mod prelude {
     pub use crate::fault::{FaultSpec, RetryPolicy};
     pub use crate::sched::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
     pub use crate::stats::EmulationStats;
-    pub use crate::sweep::{default_workers, CellResult, DesSweepRunner, SweepCell, SweepRunner};
+    pub use crate::sweep::{
+        default_workers, CellResult, DesSweepRunner, SweepCell, SweepProgress, SweepRunner,
+    };
     pub use crate::time::SimTime;
 }

@@ -9,10 +9,11 @@
 //! scheduling overhead (Fig. 10b).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
+use dssoc_metrics::HistogramData;
 use dssoc_platform::pe::PeId;
 
 use crate::intern::Name;
@@ -140,6 +141,48 @@ pub struct ReliabilityCounters {
     pub apps_completed_despite_faults: u64,
 }
 
+/// Per-application aggregate over a run's records: completed instance
+/// count, task count, and summed end-to-end latency. Built once per
+/// [`EmulationStats`] by [`EmulationStats::app_aggregates`] so the
+/// per-app accessors don't rescan the full record vectors on every
+/// call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppAggregate {
+    /// Completed instances of the application.
+    pub instances: usize,
+    /// Tasks executed across all its instances.
+    pub tasks: usize,
+    /// Sum of end-to-end instance latencies.
+    pub total_latency: Duration,
+}
+
+impl AppAggregate {
+    /// Mean end-to-end latency, `None` when no instance completed.
+    pub fn latency_mean(&self) -> Option<Duration> {
+        if self.instances == 0 {
+            None
+        } else {
+            Some(self.total_latency / self.instances as u32)
+        }
+    }
+}
+
+/// Log2-bucketed percentile view over a run's retained records, in
+/// nanoseconds (see [`EmulationStats::percentiles`]). The same
+/// [`HistogramData`] arithmetic backs the live metrics families, so
+/// offline percentiles from a finished run agree with what a scrape of
+/// `dssoc_task_wait_ns` / `dssoc_task_exec_ns` / `dssoc_app_latency_ns`
+/// would have reported.
+#[derive(Debug, Clone, Default)]
+pub struct StatsPercentiles {
+    /// Queueing delay between task readiness and dispatch.
+    pub task_wait: HistogramData,
+    /// Modeled task execution durations.
+    pub task_exec: HistogramData,
+    /// End-to-end application-instance latencies.
+    pub app_latency: HistogramData,
+}
+
 /// Everything collected from one emulation run.
 #[derive(Debug, Clone)]
 pub struct EmulationStats {
@@ -168,6 +211,8 @@ pub struct EmulationStats {
     /// The executed application instances, including their final variable
     /// memory — validation mode's functional-verification handle.
     pub instances: Vec<Arc<AppInstance>>,
+    /// Lazily-built per-app aggregates (see [`Self::app_aggregates`]).
+    pub(crate) app_agg: OnceLock<BTreeMap<Name, AppAggregate>>,
 }
 
 impl EmulationStats {
@@ -193,19 +238,51 @@ impl EmulationStats {
         self.overhead.total() / self.sched_invocations as u32
     }
 
+    /// Per-app aggregates, built on first use with a single pass over
+    /// the task and app record vectors. Every per-app accessor reads
+    /// this map, so reporting loops that ask about each app in turn
+    /// (Table I does) cost O(n + apps·log apps) total instead of
+    /// rescanning all n records once per app.
+    pub fn app_aggregates(&self) -> &BTreeMap<Name, AppAggregate> {
+        self.app_agg.get_or_init(|| {
+            let mut map: BTreeMap<Name, AppAggregate> = BTreeMap::new();
+            for a in &self.apps {
+                let agg = map.entry(a.app.clone()).or_default();
+                agg.instances += 1;
+                agg.total_latency += a.latency();
+            }
+            for t in &self.tasks {
+                map.entry(t.app.clone()).or_default().tasks += 1;
+            }
+            map
+        })
+    }
+
     /// Mean end-to-end latency of completed instances of `app`.
     pub fn app_latency_mean(&self, app: &str) -> Option<Duration> {
-        let lats: Vec<Duration> =
-            self.apps.iter().filter(|a| a.app == app).map(AppRecord::latency).collect();
-        if lats.is_empty() {
-            return None;
-        }
-        Some(lats.iter().sum::<Duration>() / lats.len() as u32)
+        self.app_aggregates().get(app).and_then(AppAggregate::latency_mean)
     }
 
     /// Total tasks executed for `app` across all its instances.
     pub fn app_task_count(&self, app: &str) -> usize {
-        self.tasks.iter().filter(|t| t.app == app).count()
+        self.app_aggregates().get(app).map_or(0, |a| a.tasks)
+    }
+
+    /// Percentile view over the run's records: log2 histograms of task
+    /// wait, modeled task execution, and app latency (nanoseconds).
+    /// Built on demand in one pass; use
+    /// [`HistogramData::p50`]/[`p90`](HistogramData::p90)/
+    /// [`p99`](HistogramData::p99)/`max` on each.
+    pub fn percentiles(&self) -> StatsPercentiles {
+        let mut view = StatsPercentiles::default();
+        for t in &self.tasks {
+            view.task_wait.record(t.wait().as_nanos() as u64);
+            view.task_exec.record(t.modeled.as_nanos() as u64);
+        }
+        for a in &self.apps {
+            view.app_latency.record(a.latency().as_nanos() as u64);
+        }
+        view
     }
 
     /// Number of completed application instances.
@@ -235,6 +312,20 @@ impl EmulationStats {
         );
         for (&pe, name) in &self.pe_names {
             let _ = writeln!(s, "  {name:<8} utilization {:5.1}%", self.utilization(pe) * 100.0);
+        }
+        let r = &self.reliability;
+        if *r != ReliabilityCounters::default() {
+            let _ = writeln!(
+                s,
+                "reliability: {} faults, {} retries, {} degraded, {} PEs quarantined, \
+                 {} apps aborted, {} survived faults",
+                r.faults_injected,
+                r.retries,
+                r.tasks_degraded,
+                r.pes_quarantined,
+                r.apps_aborted,
+                r.apps_completed_despite_faults,
+            );
         }
         s
     }
@@ -301,6 +392,7 @@ mod tests {
             },
             reliability: ReliabilityCounters::default(),
             instances: Vec::new(),
+            app_agg: OnceLock::new(),
         }
     }
 
@@ -368,5 +460,54 @@ mod tests {
         assert!(text.contains("FRFS"));
         assert!(text.contains("Core1"));
         assert!(text.contains("makespan"));
+    }
+
+    #[test]
+    fn summary_omits_reliability_when_fault_free() {
+        let s = stats_fixture();
+        assert!(!s.summary().contains("reliability:"));
+    }
+
+    #[test]
+    fn summary_reports_reliability_when_counters_nonzero() {
+        let mut s = stats_fixture();
+        s.reliability.faults_injected = 3;
+        s.reliability.transient_faults = 2;
+        s.reliability.hang_faults = 1;
+        s.reliability.retries = 2;
+        s.reliability.pes_quarantined = 1;
+        s.reliability.apps_completed_despite_faults = 1;
+        let text = s.summary();
+        assert!(text.contains("reliability: 3 faults"));
+        assert!(text.contains("2 retries"));
+        assert!(text.contains("1 PEs quarantined"));
+        assert!(text.contains("1 survived faults"));
+    }
+
+    #[test]
+    fn app_aggregates_single_pass_map() {
+        let s = stats_fixture();
+        let agg = s.app_aggregates();
+        assert_eq!(agg.len(), 1);
+        let radar = &agg[&Name::from("radar")];
+        assert_eq!(radar.instances, 1);
+        assert_eq!(radar.tasks, 2);
+        assert_eq!(radar.total_latency, Duration::from_micros(3));
+        assert_eq!(radar.latency_mean(), Some(Duration::from_micros(3)));
+        // Second call returns the cached map (same allocation).
+        assert!(std::ptr::eq(agg, s.app_aggregates()));
+    }
+
+    #[test]
+    fn percentiles_view_over_records() {
+        let s = stats_fixture();
+        let p = s.percentiles();
+        assert_eq!(p.task_wait.count, 2);
+        assert_eq!(p.task_exec.count, 2);
+        assert_eq!(p.app_latency.count, 1);
+        // Waits are 1 us and 0 ns; max is exact.
+        assert_eq!(p.task_wait.max, 1_000);
+        assert_eq!(p.app_latency.max, 3_000);
+        assert!(p.task_exec.p99() >= p.task_exec.p50());
     }
 }

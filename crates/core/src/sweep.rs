@@ -24,8 +24,10 @@
 //! deterministic, and they come back in cell order either way.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::workload::Workload;
@@ -106,6 +108,159 @@ impl SweepCell {
     }
 }
 
+/// Shared live progress of a sweep batch: how many cells are done,
+/// running, and failed, plus an ETA extrapolated from completed-cell
+/// wall times. Clone the handle before handing a runner the original;
+/// any thread can [`Self::snapshot`] it while the batch runs (the
+/// renderer thread of [`Self::watch_stderr`] does exactly that).
+#[derive(Clone)]
+pub struct SweepProgress {
+    inner: Arc<ProgressInner>,
+}
+
+struct ProgressInner {
+    total: AtomicUsize,
+    done: AtomicUsize,
+    running: AtomicUsize,
+    failed: AtomicUsize,
+    /// Sum of completed-cell wall times, nanoseconds.
+    completed_ns: AtomicU64,
+    workers: AtomicUsize,
+    started: Instant,
+}
+
+impl Default for SweepProgress {
+    fn default() -> Self {
+        SweepProgress::new()
+    }
+}
+
+impl SweepProgress {
+    pub fn new() -> Self {
+        SweepProgress {
+            inner: Arc::new(ProgressInner {
+                total: AtomicUsize::new(0),
+                done: AtomicUsize::new(0),
+                running: AtomicUsize::new(0),
+                failed: AtomicUsize::new(0),
+                completed_ns: AtomicU64::new(0),
+                workers: AtomicUsize::new(1),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    fn begin_batch(&self, cells: usize, workers: usize) {
+        self.inner.total.fetch_add(cells, Ordering::Relaxed);
+        self.inner.workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    fn cell_started(&self) {
+        self.inner.running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cell_finished(&self, elapsed: Duration, ok: bool) {
+        self.inner.running.fetch_sub(1, Ordering::Relaxed);
+        self.inner.completed_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if ok {
+            self.inner.done.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time view of the batch.
+    pub fn snapshot(&self) -> SweepProgressSnapshot {
+        let i = &self.inner;
+        let total = i.total.load(Ordering::Relaxed);
+        let done = i.done.load(Ordering::Relaxed);
+        let failed = i.failed.load(Ordering::Relaxed);
+        let running = i.running.load(Ordering::Relaxed);
+        let completed = done + failed;
+        let workers = i.workers.load(Ordering::Relaxed).max(1);
+        let eta = if completed > 0 && total > completed {
+            let mean_ns = i.completed_ns.load(Ordering::Relaxed) as f64 / completed as f64;
+            let remaining = (total - completed) as f64;
+            Some(Duration::from_secs_f64(mean_ns * 1e-9 * remaining / workers as f64))
+        } else {
+            None
+        };
+        SweepProgressSnapshot { total, done, running, failed, elapsed: i.started.elapsed(), eta }
+    }
+
+    /// Spawns a thread that redraws a one-line progress display on
+    /// stderr every `interval` until the returned guard is dropped (a
+    /// final newline-terminated line is printed on drop).
+    pub fn watch_stderr(&self, interval: Duration) -> ProgressWatcher {
+        let progress = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sweep-progress".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    eprint!("\r{}", progress.snapshot().render());
+                    let _ = std::io::stderr().flush();
+                    std::thread::sleep(interval);
+                }
+                eprintln!("\r{}", progress.snapshot().render());
+            })
+            .expect("spawn progress watcher");
+        ProgressWatcher { stop, handle: Some(handle) }
+    }
+}
+
+/// Stops the [`SweepProgress::watch_stderr`] thread when dropped.
+pub struct ProgressWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ProgressWatcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One observation of a batch's progress.
+#[derive(Clone, Debug)]
+pub struct SweepProgressSnapshot {
+    /// Cells in the batch (grows if batches share one progress handle).
+    pub total: usize,
+    /// Cells completed successfully.
+    pub done: usize,
+    /// Cells currently running.
+    pub running: usize,
+    /// Cells that returned an error.
+    pub failed: usize,
+    /// Wall time since the progress handle was created.
+    pub elapsed: Duration,
+    /// Estimated time to finish the remaining cells, extrapolated from
+    /// the mean completed-cell time over the worker count. `None` until
+    /// the first cell completes.
+    pub eta: Option<Duration>,
+}
+
+impl SweepProgressSnapshot {
+    /// The one-line display the stderr watcher prints.
+    pub fn render(&self) -> String {
+        let mut line =
+            format!("sweep: {}/{} cells done, {} running", self.done, self.total, self.running);
+        if self.failed > 0 {
+            line.push_str(&format!(", {} failed", self.failed));
+        }
+        line.push_str(&format!(", {:.1}s elapsed", self.elapsed.as_secs_f64()));
+        match self.eta {
+            Some(eta) => line.push_str(&format!(", eta {:.1}s", eta.as_secs_f64())),
+            None => line.push_str(", eta --"),
+        }
+        line
+    }
+}
+
 /// Platform identity for pool reuse: name plus PE count. Comparing the
 /// full [`PlatformConfig`] structurally would walk every descriptor per
 /// cell; the presets already encode the shape in the name (e.g.
@@ -155,6 +310,7 @@ fn scheduler_factory<'c>(
 fn run_cells_parallel<W, F>(
     cells: &[SweepCell],
     workers: usize,
+    progress: Option<&SweepProgress>,
     make_worker: F,
 ) -> Result<Vec<CellResult>, EmuError>
 where
@@ -165,6 +321,9 @@ where
     let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<CellResult, EmuError>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
+    if let Some(p) = progress {
+        p.begin_batch(cells.len(), workers);
+    }
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -177,7 +336,14 @@ where
                     if i >= cells.len() {
                         break;
                     }
+                    let cell_start = Instant::now();
+                    if let Some(p) = progress {
+                        p.cell_started();
+                    }
                     let result = run(&cells[i]);
+                    if let Some(p) = progress {
+                        p.cell_finished(cell_start.elapsed(), result.is_ok());
+                    }
                     if result.is_err() {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -218,6 +384,8 @@ pub struct SweepRunner<'a> {
     pools: HashMap<(String, usize), Emulation>,
     /// `(cell label, sink)` of the one designated trace target, if any.
     trace: Option<(String, TraceSink)>,
+    /// Live batch progress, shared with whoever installed it.
+    progress: Option<SweepProgress>,
 }
 
 impl<'a> SweepRunner<'a> {
@@ -229,7 +397,19 @@ impl<'a> SweepRunner<'a> {
     /// A runner with an explicit engine configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: EmulationConfig) -> Self {
-        SweepRunner { library, config, pools: HashMap::new(), trace: None }
+        SweepRunner { library, config, pools: HashMap::new(), trace: None, progress: None }
+    }
+
+    /// Installs a shared [`SweepProgress`] handle: subsequent batch
+    /// calls report per-cell starts/finishes into it. Clone the handle
+    /// first to watch it (e.g. [`SweepProgress::watch_stderr`]).
+    pub fn set_progress(&mut self, progress: SweepProgress) {
+        self.progress = Some(progress);
+    }
+
+    /// The current batch progress, if a handle is installed.
+    pub fn progress(&self) -> Option<SweepProgressSnapshot> {
+        self.progress.as_ref().map(|p| p.snapshot())
     }
 
     /// Designates the cell labeled `label` for event tracing: its final
@@ -307,6 +487,19 @@ impl<'a> SweepRunner<'a> {
 
     /// Runs every cell of a grid in order, stopping at the first error.
     pub fn run_batch(&mut self, cells: &[SweepCell]) -> Result<Vec<CellResult>, EmuError> {
+        if let Some(p) = self.progress.clone() {
+            p.begin_batch(cells.len(), 1);
+            return cells
+                .iter()
+                .map(|c| {
+                    let start = Instant::now();
+                    p.cell_started();
+                    let result = self.run_cell(c);
+                    p.cell_finished(start.elapsed(), result.is_ok());
+                    result
+                })
+                .collect();
+        }
         cells.iter().map(|c| self.run_cell(c)).collect()
     }
 
@@ -330,7 +523,7 @@ impl<'a> SweepRunner<'a> {
         let library = self.library;
         let config = &self.config;
         let trace = &self.trace;
-        run_cells_parallel(cells, workers, || {
+        run_cells_parallel(cells, workers, self.progress.as_ref(), || {
             let mut runner = SweepRunner::with_config(library, config.clone());
             runner.trace = trace.clone();
             move |cell: &SweepCell| runner.run_cell(cell)
@@ -351,6 +544,8 @@ pub struct DesSweepRunner<'a> {
     library: &'a AppLibrary,
     config: DesConfig,
     sims: HashMap<(String, usize), DesSimulator>,
+    /// Live batch progress, shared with whoever installed it.
+    progress: Option<SweepProgress>,
 }
 
 impl<'a> DesSweepRunner<'a> {
@@ -362,7 +557,18 @@ impl<'a> DesSweepRunner<'a> {
     /// A runner with an explicit DES configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: DesConfig) -> Self {
-        DesSweepRunner { library, config, sims: HashMap::new() }
+        DesSweepRunner { library, config, sims: HashMap::new(), progress: None }
+    }
+
+    /// Installs a shared [`SweepProgress`] handle (see
+    /// [`SweepRunner::set_progress`]).
+    pub fn set_progress(&mut self, progress: SweepProgress) {
+        self.progress = Some(progress);
+    }
+
+    /// The current batch progress, if a handle is installed.
+    pub fn progress(&self) -> Option<SweepProgressSnapshot> {
+        self.progress.as_ref().map(|p| p.snapshot())
     }
 
     /// The warm simulator for `platform`, creating it on first use.
@@ -408,6 +614,19 @@ impl<'a> DesSweepRunner<'a> {
 
     /// Runs every cell of a grid in order, stopping at the first error.
     pub fn run_batch(&mut self, cells: &[SweepCell]) -> Result<Vec<CellResult>, EmuError> {
+        if let Some(p) = self.progress.clone() {
+            p.begin_batch(cells.len(), 1);
+            return cells
+                .iter()
+                .map(|c| {
+                    let start = Instant::now();
+                    p.cell_started();
+                    let result = self.run_cell(c);
+                    p.cell_finished(start.elapsed(), result.is_ok());
+                    result
+                })
+                .collect();
+        }
         cells.iter().map(|c| self.run_cell(c)).collect()
     }
 
@@ -425,7 +644,7 @@ impl<'a> DesSweepRunner<'a> {
         }
         let library = self.library;
         let config = &self.config;
-        run_cells_parallel(cells, workers, || {
+        run_cells_parallel(cells, workers, self.progress.as_ref(), || {
             let mut runner = DesSweepRunner::with_config(library, config.clone());
             move |cell: &SweepCell| runner.run_cell(cell)
         })
@@ -474,6 +693,7 @@ mod tests {
             reservation_depth: 0,
             trace: None,
             faults: None,
+            metrics: None,
         }
     }
 

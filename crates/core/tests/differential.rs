@@ -59,6 +59,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
     let mut sched = by_name(scheduler).expect("library policy");
@@ -71,6 +72,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .expect("platform");
@@ -134,6 +136,7 @@ fn engines_emit_identical_trace_slices() {
         reservation_depth: 0,
         trace: Some(emu_session.sink()),
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
     let mut sched = by_name("frfs").expect("library policy");
@@ -147,6 +150,7 @@ fn engines_emit_identical_trace_slices() {
             overhead_per_invocation: Duration::ZERO,
             trace: Some(des_session.sink()),
             faults: None,
+            metrics: None,
         },
     )
     .expect("platform");
@@ -216,6 +220,7 @@ fn faulty_run(
                 overhead_per_invocation: Duration::ZERO,
                 trace: Some(session.sink()),
                 faults: Some(Arc::clone(spec)),
+                metrics: None,
             },
         )
         .expect("platform");
@@ -228,6 +233,7 @@ fn faulty_run(
             reservation_depth: 0,
             trace: Some(session.sink()),
             faults: Some(Arc::clone(spec)),
+            metrics: None,
         };
         let mut emu = Emulation::with_config(platform.clone(), cfg).expect("platform");
         emu.run(sched.as_mut(), &workload, &library).expect("emulation")

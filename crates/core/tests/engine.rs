@@ -98,6 +98,7 @@ fn modeled_config(table: CostTable) -> EmulationConfig {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     }
 }
 
@@ -183,6 +184,7 @@ fn modeled_engine_and_des_agree_deterministically() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .unwrap();
@@ -224,6 +226,7 @@ fn wall_clock_mode_completes() {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -429,6 +432,7 @@ fn fixed_overhead_inflates_makespan_deterministically() {
             reservation_depth: 0,
             trace: None,
             faults: None,
+            metrics: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap()
@@ -480,6 +484,7 @@ fn des_respects_dependencies_too() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .unwrap();
@@ -507,6 +512,7 @@ fn des_overhead_knob_inflates_makespan() {
                 overhead_per_invocation: ov,
                 trace: None,
                 faults: None,
+                metrics: None,
             },
         )
         .unwrap();
@@ -526,6 +532,7 @@ fn reservation_queue_preserves_correctness() {
         reservation_depth: 2,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -569,6 +576,7 @@ fn reservation_queue_eliminates_dispatch_overhead() {
             reservation_depth: depth,
             trace: None,
             faults: None,
+            metrics: None,
         };
         let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
         emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap().makespan
@@ -598,6 +606,7 @@ fn reservation_queue_depth_bounds_queueing() {
         reservation_depth: 1,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(zcu102(1, 0), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -623,6 +632,7 @@ fn wall_clock_with_reservation_and_accelerator() {
         reservation_depth: 2,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 1), cfg).unwrap();
     let stats = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -680,6 +690,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
         reservation_depth: 2,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let queued = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
@@ -690,6 +701,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .unwrap();

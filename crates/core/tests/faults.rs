@@ -55,6 +55,7 @@ fn modeled_config(table: CostTable, faults: Option<Arc<FaultSpec>>) -> Emulation
         reservation_depth: 0,
         trace: None,
         faults,
+        metrics: None,
     }
 }
 
@@ -187,6 +188,7 @@ fn permanent_failure_is_identical_across_engines() {
                 overhead_per_invocation: Duration::ZERO,
                 trace: Some(des_session.sink()),
                 faults: Some(Arc::clone(&spec)),
+                metrics: None,
             },
         )
         .unwrap();
@@ -328,6 +330,7 @@ fn transient_fault_retries_quarantines_and_is_deterministic() {
             overhead_per_invocation: Duration::ZERO,
             trace: Some(des_session.sink()),
             faults: Some(Arc::clone(&spec)),
+            metrics: None,
         },
     )
     .unwrap();
@@ -382,6 +385,7 @@ fn modeled_hang_quarantines_and_matches_des() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(Arc::clone(&spec)),
+            metrics: None,
         },
     )
     .unwrap();
@@ -548,6 +552,7 @@ fn all_pes_quarantined_surfaces_fault_error() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(spec),
+            metrics: None,
         },
     )
     .unwrap();
@@ -587,6 +592,7 @@ fn retry_exhaustion_aborts_only_the_faulted_app() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(spec),
+            metrics: None,
         },
     )
     .unwrap();

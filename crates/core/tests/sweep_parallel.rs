@@ -85,6 +85,7 @@ fn des_parallel_batch_matches_sequential() {
         overhead_per_invocation: Duration::ZERO,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let cells = grid(&workload);
 
@@ -106,6 +107,7 @@ fn threaded_parallel_batch_matches_sequential() {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     };
     let cells = grid(&workload);
 

@@ -1,0 +1,221 @@
+//! Sharded counters and gauges.
+//!
+//! The concurrency model is the same single-writer philosophy as the
+//! trace crate's `EventRing`: every producer owns a private cell and
+//! mutates it with relaxed load/store pairs (never `fetch_add`, so the
+//! record path is a plain store with no bus lock), while readers sum
+//! the cells with relaxed loads. A family's cell list is guarded by a
+//! mutex, but that lock is only taken at registration, on cell drop,
+//! and on the snapshot path — never while recording.
+//!
+//! Dropping a cell *retires* it: its value is folded into the family's
+//! retired accumulator under the lock, so a sweep that creates one cell
+//! per run keeps the family's footprint bounded while the aggregate
+//! keeps counting monotonically.
+
+use std::cell::Cell as StdCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One producer-private slot, padded to a cache line so two producers
+/// never false-share.
+#[repr(align(64))]
+pub(crate) struct PaddedU64(pub(crate) AtomicU64);
+
+#[repr(align(64))]
+pub(crate) struct PaddedI64(pub(crate) AtomicI64);
+
+pub(crate) struct CounterState {
+    cells: Vec<Arc<PaddedU64>>,
+    retired: u64,
+}
+
+/// A monotonically increasing counter family (one `(name, labels)`
+/// series). Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Counter {
+    state: Arc<Mutex<CounterState>>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter { state: Arc::new(Mutex::new(CounterState { cells: Vec::new(), retired: 0 })) }
+    }
+
+    /// Registers a new producer-private cell. The only lock on the
+    /// producer's path; everything after is relaxed atomics.
+    pub fn cell(&self) -> CounterCell {
+        let slot = Arc::new(PaddedU64(AtomicU64::new(0)));
+        self.state.lock().unwrap().cells.push(Arc::clone(&slot));
+        CounterCell { slot, state: Arc::clone(&self.state), _not_sync: PhantomData }
+    }
+
+    /// Aggregated value: retired cells plus every live cell.
+    pub fn value(&self) -> u64 {
+        let state = self.state.lock().unwrap();
+        state
+            .cells
+            .iter()
+            .fold(state.retired, |acc, c| acc.wrapping_add(c.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// Single-writer increment handle for one [`Counter`]. `Send` but not
+/// `Sync`: hand each thread its own cell.
+pub struct CounterCell {
+    slot: Arc<PaddedU64>,
+    state: Arc<Mutex<CounterState>>,
+    _not_sync: PhantomData<StdCell<()>>,
+}
+
+impl CounterCell {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Relaxed load + store: valid because this cell has exactly one
+    /// writer, and cheaper than an atomic RMW.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let v = self.slot.0.load(Ordering::Relaxed);
+        self.slot.0.store(v.wrapping_add(n), Ordering::Relaxed);
+    }
+}
+
+impl Drop for CounterCell {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().unwrap();
+        state.retired = state.retired.wrapping_add(self.slot.0.load(Ordering::Relaxed));
+        state.cells.retain(|c| !Arc::ptr_eq(c, &self.slot));
+    }
+}
+
+pub(crate) struct GaugeState {
+    cells: Vec<Arc<PaddedI64>>,
+    retired: i64,
+}
+
+/// An up/down gauge family. Cells record *deltas*; the gauge's value is
+/// the sum of all deltas, so retiring a cell (folding its net delta)
+/// leaves the aggregate unchanged.
+#[derive(Clone)]
+pub struct Gauge {
+    state: Arc<Mutex<GaugeState>>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge { state: Arc::new(Mutex::new(GaugeState { cells: Vec::new(), retired: 0 })) }
+    }
+
+    pub fn cell(&self) -> GaugeCell {
+        let slot = Arc::new(PaddedI64(AtomicI64::new(0)));
+        self.state.lock().unwrap().cells.push(Arc::clone(&slot));
+        GaugeCell { slot, state: Arc::clone(&self.state), _not_sync: PhantomData }
+    }
+
+    pub fn value(&self) -> i64 {
+        let state = self.state.lock().unwrap();
+        state
+            .cells
+            .iter()
+            .fold(state.retired, |acc, c| acc.wrapping_add(c.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// Single-writer delta handle for one [`Gauge`].
+pub struct GaugeCell {
+    slot: Arc<PaddedI64>,
+    state: Arc<Mutex<GaugeState>>,
+    _not_sync: PhantomData<StdCell<()>>,
+}
+
+impl GaugeCell {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let v = self.slot.0.load(Ordering::Relaxed);
+        self.slot.0.store(v.wrapping_add(delta), Ordering::Relaxed);
+    }
+}
+
+impl Drop for GaugeCell {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().unwrap();
+        state.retired = state.retired.wrapping_add(self.slot.0.load(Ordering::Relaxed));
+        state.cells.retain(|c| !Arc::ptr_eq(c, &self.slot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_cells_and_retires() {
+        let counter = Counter::new();
+        let a = counter.cell();
+        let b = counter.cell();
+        a.add(3);
+        b.inc();
+        assert_eq!(counter.value(), 4);
+        drop(a);
+        // Retired value is folded in, not lost.
+        assert_eq!(counter.value(), 4);
+        b.add(2);
+        assert_eq!(counter.value(), 6);
+    }
+
+    #[test]
+    fn counter_cells_are_concurrent() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = counter.cell();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        cell.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 40_000);
+    }
+
+    #[test]
+    fn gauge_tracks_deltas_across_cells() {
+        let gauge = Gauge::new();
+        let a = gauge.cell();
+        let b = gauge.cell();
+        a.add(5);
+        b.dec();
+        assert_eq!(gauge.value(), 4);
+        drop(b);
+        assert_eq!(gauge.value(), 4);
+        a.dec();
+        assert_eq!(gauge.value(), 3);
+    }
+}

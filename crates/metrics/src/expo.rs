@@ -1,0 +1,144 @@
+//! Prometheus / OpenMetrics text exposition.
+//!
+//! Renders a [`MetricsSnapshot`] as the OpenMetrics text format
+//! (`# TYPE` metadata, `_total` counter samples, cumulative `_bucket`
+//! histogram samples, trailing `# EOF`). Pure string building — any
+//! Prometheus-compatible scraper can consume the output.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricsSnapshot, SampleSnapshot};
+
+/// The content type a compliant scraper expects from `/metrics`.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{k1="v1",k2="v2"}` (empty string when no labels), with `extra`
+/// appended as a pre-rendered pair such as `le="1023"`.
+fn label_block(labels: &[(String, String)], extra: Option<&str>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(extra) = extra {
+        parts.push(extra.to_string());
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn render_sample(out: &mut String, sample: &SampleSnapshot) {
+    let name = &sample.name;
+    match sample.kind.as_str() {
+        "counter" => {
+            let labels = label_block(&sample.labels, None);
+            let _ = writeln!(out, "{name}_total{labels} {}", sample.value as u64);
+        }
+        "gauge" => {
+            let labels = label_block(&sample.labels, None);
+            let _ = writeln!(out, "{name}{labels} {}", sample.value as i64);
+        }
+        "histogram" => {
+            let hist = sample.histogram.as_ref().expect("histogram sample carries data");
+            let mut cumulative = 0u64;
+            for &(upper, count) in &hist.buckets {
+                cumulative += count;
+                let le = if upper == u64::MAX { "+Inf".to_string() } else { upper.to_string() };
+                let labels = label_block(&sample.labels, Some(&format!("le=\"{le}\"")));
+                let _ = writeln!(out, "{name}_bucket{labels} {cumulative}");
+            }
+            let inf = label_block(&sample.labels, Some("le=\"+Inf\""));
+            if hist.buckets.last().map(|&(upper, _)| upper) != Some(u64::MAX) {
+                let _ = writeln!(out, "{name}_bucket{inf} {}", hist.count);
+            }
+            let labels = label_block(&sample.labels, None);
+            let _ = writeln!(out, "{name}_sum{labels} {}", hist.sum);
+            let _ = writeln!(out, "{name}_count{labels} {}", hist.count);
+        }
+        other => {
+            let labels = label_block(&sample.labels, None);
+            let _ = writeln!(out, "# unknown kind {other} for {name}{labels}");
+        }
+    }
+}
+
+/// Renders the full exposition document, `# EOF` terminated.
+pub fn render_openmetrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(&str, &str)> = None;
+    for sample in &snapshot.samples {
+        let family = (sample.name.as_str(), sample.kind.as_str());
+        if last_family != Some(family) {
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.kind);
+            last_family = Some(family);
+        }
+        render_sample(&mut out, sample);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dssoc_tasks_completed", &[("pe", "Core1")]).cell().add(7);
+        reg.gauge("dssoc_ready_depth", &[]).cell().add(3);
+        let hist = reg.histogram("dssoc_task_wait_ns", &[]);
+        let cell = hist.cell();
+        cell.record(5);
+        cell.record(900);
+
+        let text = render_openmetrics(&reg.snapshot());
+        assert!(text.contains("# TYPE dssoc_tasks_completed counter"), "{text}");
+        assert!(text.contains("dssoc_tasks_completed_total{pe=\"Core1\"} 7"), "{text}");
+        assert!(text.contains("# TYPE dssoc_ready_depth gauge"), "{text}");
+        assert!(text.contains("dssoc_ready_depth 3"), "{text}");
+        assert!(text.contains("# TYPE dssoc_task_wait_ns histogram"), "{text}");
+        assert!(text.contains("dssoc_task_wait_ns_bucket{le=\"7\"} 1"), "{text}");
+        assert!(text.contains("dssoc_task_wait_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("dssoc_task_wait_ns_sum 905"), "{text}");
+        assert!(text.contains("dssoc_task_wait_ns_count 2"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let hist = reg.histogram("h", &[]);
+        let cell = hist.cell();
+        for v in [1u64, 2, 2, 4] {
+            cell.record(v);
+        }
+        let text = render_openmetrics(&reg.snapshot());
+        assert!(text.contains("h_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("h_bucket{le=\"7\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("app", "a\"b\\c")]).cell().inc();
+        let text = render_openmetrics(&reg.snapshot());
+        assert!(text.contains("c_total{app=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

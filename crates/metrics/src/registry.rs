@@ -1,0 +1,336 @@
+//! The typed metric registry and its serializable snapshot.
+//!
+//! Families are keyed by `(name, sorted labels)` with every string
+//! interned to an [`Name`] (`Arc<str>`), so registering the same series
+//! twice returns handles to the same cells and label comparisons on
+//! the snapshot path are pointer-cheap. The registry itself is an
+//! `Arc` handle: clone it freely across threads, snapshot it mid-run.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::cell::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramData};
+
+/// An interned metric or label string: cheap to clone, compared by
+/// content.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The three family kinds a registry can hold.
+#[derive(Clone)]
+enum Family {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Family {
+    fn kind(&self) -> &'static str {
+        match self {
+            Family::Counter(_) => "counter",
+            Family::Gauge(_) => "gauge",
+            Family::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type FamilyKey = (Name, Vec<(Name, Name)>);
+
+struct RegistryInner {
+    families: Mutex<BTreeMap<FamilyKey, Family>>,
+    interner: Mutex<HashSet<Arc<str>>>,
+}
+
+/// Handle to a set of metric families. `Clone` shares the registry.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                families: Mutex::new(BTreeMap::new()),
+                interner: Mutex::new(HashSet::new()),
+            }),
+        }
+    }
+
+    /// True if `other` is the same underlying registry.
+    pub fn same_as(&self, other: &MetricsRegistry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Interns `s`, returning the shared [`Name`].
+    pub fn intern(&self, s: &str) -> Name {
+        let mut set = self.inner.interner.lock().unwrap();
+        if let Some(existing) = set.get(s) {
+            return Name(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(s);
+        set.insert(Arc::clone(&arc));
+        Name(arc)
+    }
+
+    fn key(&self, name: &str, labels: &[(&str, &str)]) -> FamilyKey {
+        let mut interned: Vec<(Name, Name)> =
+            labels.iter().map(|(k, v)| (self.intern(k), self.intern(v))).collect();
+        interned.sort();
+        (self.intern(name), interned)
+    }
+
+    /// Registers (or re-opens) a counter series. Panics if `name` with
+    /// these labels was previously registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = self.key(name, labels);
+        let mut families = self.inner.families.lock().unwrap();
+        match families.entry(key).or_insert_with(|| Family::Counter(Counter::new())) {
+            Family::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-opens) a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = self.key(name, labels);
+        let mut families = self.inner.families.lock().unwrap();
+        match families.entry(key).or_insert_with(|| Family::Gauge(Gauge::new())) {
+            Family::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-opens) a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = self.key(name, labels);
+        let mut families = self.inner.families.lock().unwrap();
+        match families.entry(key).or_insert_with(|| Family::Histogram(Histogram::new())) {
+            Family::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A consistent-enough point-in-time view of every series. Cheap:
+    /// one lock acquisition plus relaxed loads over all live cells;
+    /// safe to call from any thread while producers keep recording.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.inner.families.lock().unwrap();
+        let mut samples = Vec::with_capacity(families.len());
+        for ((name, labels), family) in families.iter() {
+            let labels: Vec<(String, String)> =
+                labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+            let sample = match family {
+                Family::Counter(c) => SampleSnapshot {
+                    name: name.to_string(),
+                    kind: "counter".into(),
+                    labels,
+                    value: c.value() as f64,
+                    histogram: None,
+                },
+                Family::Gauge(g) => SampleSnapshot {
+                    name: name.to_string(),
+                    kind: "gauge".into(),
+                    labels,
+                    value: g.value() as f64,
+                    histogram: None,
+                },
+                Family::Histogram(h) => {
+                    let data = h.data();
+                    SampleSnapshot {
+                        name: name.to_string(),
+                        kind: "histogram".into(),
+                        labels,
+                        value: data.count as f64,
+                        histogram: Some(HistogramSnapshot::from_data(&data)),
+                    }
+                }
+            };
+            samples.push(sample);
+        }
+        MetricsSnapshot { samples }
+    }
+}
+
+/// Point-in-time values of every registered series, ordered by
+/// `(name, labels)`.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    pub samples: Vec<SampleSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The sample for `name` with exactly these labels, if present.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleSnapshot> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort();
+        self.samples.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == want.len()
+                && s.labels.iter().zip(&want).all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })
+    }
+
+    /// Counter/gauge value for the series (histograms: sample count).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.get(name, labels).map(|s| s.value)
+    }
+}
+
+/// One series in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, Serialize)]
+pub struct SampleSnapshot {
+    pub name: String,
+    pub kind: String,
+    pub labels: Vec<(String, String)>,
+    /// Counter/gauge value; for histograms, the sample count.
+    pub value: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// Serializable histogram summary: sparse non-empty buckets plus the
+/// usual quantile estimates.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramSnapshot {
+    /// `(bucket_upper_bound, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn from_data(data: &HistogramData) -> HistogramSnapshot {
+        let buckets = data
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (crate::histogram::bucket_upper(i), c))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: data.count,
+            sum: data.sum,
+            max: data.max,
+            p50: data.p50(),
+            p90: data.p90(),
+            p99: data.p99(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_reopens_same_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("tasks", &[("pe", "Core1")]);
+        let b = reg.counter("tasks", &[("pe", "Core1")]);
+        a.cell().add(2);
+        b.cell().add(3);
+        assert_eq!(a.value(), 5);
+        assert_eq!(b.value(), 5);
+        // Different labels are a different series.
+        let c = reg.counter("tasks", &[("pe", "Core2")]);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        a.cell().inc();
+        assert_eq!(b.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("m", &[]);
+        let _ = reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_reads_mid_run_from_another_thread() {
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("ticks", &[]);
+        let cell = counter.cell();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let reader_reg = reg.clone();
+            let done = &done;
+            let reader = scope.spawn(move || {
+                let mut last = 0f64;
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = reader_reg.snapshot();
+                    let v = snap.value("ticks", &[]).unwrap();
+                    assert!(v >= last, "counter went backwards: {v} < {last}");
+                    last = v;
+                }
+                last
+            });
+            for _ in 0..50_000 {
+                cell.inc();
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+            let observed = reader.join().unwrap();
+            assert!(observed <= 50_000.0);
+        });
+        assert_eq!(reg.snapshot().value("ticks", &[]), Some(50_000.0));
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("pe", "Core1")]).cell().inc();
+        let hist = reg.histogram("h", &[]);
+        hist.cell().record(42);
+        let json = serde_json::to_string(&reg.snapshot()).unwrap();
+        assert!(json.contains("\"name\":\"c\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+}

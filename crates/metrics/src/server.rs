@@ -1,0 +1,179 @@
+//! Minimal dependency-free HTTP exposition endpoint.
+//!
+//! One `std::net::TcpListener` accept loop on a background thread,
+//! serving `GET /metrics` (OpenMetrics text), `GET /snapshot.json`
+//! (the serialized [`MetricsSnapshot`]), and a tiny index at `/`.
+//! Connections are handled serially — a scrape endpoint sees one
+//! client every few seconds, not traffic. Binding port 0 picks a free
+//! port; [`MetricsServer::addr`] reports what was bound. Dropping the
+//! server stops the loop (a self-connect unblocks the accept).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expo::{render_openmetrics, OPENMETRICS_CONTENT_TYPE};
+use crate::registry::MetricsRegistry;
+
+/// Handle to a running exposition endpoint; dropping it shuts the
+/// endpoint down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `registry` until
+    /// dropped.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        registry: MetricsRegistry,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dssoc-metrics-http".into())
+            .spawn(move || accept_loop(listener, registry, stop_flag))?;
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept so the loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(mut stream) = conn {
+            let _ = serve_one(&mut stream, &registry);
+        }
+    }
+}
+
+/// Reads the request head (bounded) and returns the request path.
+fn read_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "only GET supported"));
+    }
+    Ok(path.to_string())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn serve_one(stream: &mut TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let path = match read_path(stream) {
+        Ok(p) => p,
+        Err(_) => return respond(stream, "400 Bad Request", "text/plain", "bad request\n"),
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = render_openmetrics(&registry.snapshot());
+            respond(stream, "200 OK", OPENMETRICS_CONTENT_TYPE, &body)
+        }
+        "/snapshot.json" => {
+            let body = serde_json::to_string_pretty(&registry.snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            respond(stream, "200 OK", "application/json", &body)
+        }
+        "/" => respond(
+            stream,
+            "200 OK",
+            "text/plain",
+            "dssoc-metrics exposition endpoint\n/metrics — OpenMetrics text\n/snapshot.json — JSON snapshot\n",
+        ),
+        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_openmetrics_and_json() {
+        let registry = MetricsRegistry::new();
+        registry.counter("dssoc_tasks_completed", &[("pe", "Core1")]).cell().add(9);
+        let server = MetricsServer::start("127.0.0.1:0", registry.clone()).expect("bind");
+        let addr = server.addr();
+
+        let metrics = scrape(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains(OPENMETRICS_CONTENT_TYPE), "{metrics}");
+        assert!(metrics.contains("dssoc_tasks_completed_total{pe=\"Core1\"} 9"), "{metrics}");
+        assert!(metrics.trim_end().ends_with("# EOF"), "{metrics}");
+
+        // The endpoint is live: record more, scrape again.
+        registry.counter("dssoc_tasks_completed", &[("pe", "Core1")]).cell().add(1);
+        let metrics = scrape(addr, "/metrics");
+        assert!(metrics.contains("dssoc_tasks_completed_total{pe=\"Core1\"} 10"), "{metrics}");
+
+        let json = scrape(addr, "/snapshot.json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(json.contains("dssoc_tasks_completed"), "{json}");
+
+        let missing = scrape(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        drop(server);
+        // After drop the port no longer accepts.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -173,6 +173,22 @@ impl TraceSession {
     pub fn meta(&self) -> TraceMeta {
         self.shared.meta.lock().expect("trace meta poisoned").clone()
     }
+
+    /// Publishes this session's ring accounting into a metrics
+    /// registry: per-producer committed-event and drop counters plus a
+    /// ring-occupancy histogram (one sample per producer, in events).
+    /// Call once at session close — each call *adds* the current
+    /// accounting to the family aggregates, so repeated calls would
+    /// double-count.
+    pub fn publish_metrics(&self, registry: &dssoc_metrics::MetricsRegistry) {
+        let occupancy = registry.histogram("dssoc_trace_ring_occupancy", &[]).cell();
+        for (producer, recorded, dropped) in self.producers() {
+            let labels = [("producer", producer.as_str())];
+            registry.counter("dssoc_trace_events", &labels).cell().add(recorded as u64);
+            registry.counter("dssoc_trace_ring_dropped", &labels).cell().add(dropped);
+            occupancy.record(recorded as u64);
+        }
+    }
 }
 
 /// The engine-facing handle: mints writers and registers metadata.
@@ -369,6 +385,28 @@ mod tests {
         assert!(report.contains("wm: 5"), "per-producer detail: {report}");
         assert!(!report.contains("rm-0"), "clean producers stay out of the report: {report}");
         assert!(report.contains("with_capacity"), "remediation hint: {report}");
+    }
+
+    #[test]
+    fn publish_metrics_exports_ring_accounting() {
+        let session = TraceSession::with_capacity(2);
+        let sink = session.sink();
+        let a = sink.writer("wm");
+        let b = sink.writer("rm-0");
+        for i in 0..5 {
+            a.emit(i, EventKind::PeBusy { pe: 0 });
+        }
+        b.emit(0, EventKind::PeIdle { pe: 1 });
+
+        let registry = dssoc_metrics::MetricsRegistry::new();
+        session.publish_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("dssoc_trace_events", &[("producer", "wm")]), Some(2.0));
+        assert_eq!(snap.value("dssoc_trace_ring_dropped", &[("producer", "wm")]), Some(3.0));
+        assert_eq!(snap.value("dssoc_trace_events", &[("producer", "rm-0")]), Some(1.0));
+        assert_eq!(snap.value("dssoc_trace_ring_dropped", &[("producer", "rm-0")]), Some(0.0));
+        // One occupancy sample per producer.
+        assert_eq!(snap.value("dssoc_trace_ring_occupancy", &[]), Some(2.0));
     }
 
     #[test]

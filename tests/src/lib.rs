@@ -23,6 +23,7 @@ pub fn deterministic_config(table: CostTable) -> EmulationConfig {
         reservation_depth: 0,
         trace: None,
         faults: None,
+        metrics: None,
     }
 }
 

@@ -169,7 +169,7 @@ proptest! {
 
             let des = DesSimulator::new(
                 zcu102(cores, 0),
-                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None },
+                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None, metrics: None },
             )
             .unwrap();
             let mut s2 = dssoc_core::sched::by_name(sched_name).unwrap();
@@ -239,6 +239,7 @@ fn eft_defers_in_engine_and_des_alike() {
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
+            metrics: None,
         },
     )
     .unwrap();
