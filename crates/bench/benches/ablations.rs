@@ -13,13 +13,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_core::des::{DesConfig, DesSimulator};
 use dssoc_core::engine::Emulation;
+use dssoc_core::job::CostSpec;
 use dssoc_core::FrfsScheduler;
 use dssoc_platform::accel::FftAccelerator;
 use dssoc_platform::cost::CostTable;
@@ -114,7 +114,7 @@ fn bench_reservation_surrogate(c: &mut Criterion) {
                 let des = DesSimulator::new(
                     zcu102(3, 0),
                     DesConfig {
-                        cost: Arc::new(table.clone()),
+                        cost: CostSpec::table(table.clone()),
                         overhead_per_invocation: Duration::from_micros(ov),
                         trace: None,
                         faults: None,

@@ -28,6 +28,7 @@ use dssoc_appmodel::{Workload, WorkloadSpec};
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_core::des::{DesConfig, DesSimulator};
+use dssoc_core::job::CostSpec;
 use dssoc_core::sched::by_name;
 use dssoc_core::sweep::{default_workers, DesSweepRunner, SweepCell};
 use dssoc_platform::cost::CostTable;
@@ -64,7 +65,7 @@ fn setup() -> (AppLibrary, DesSimulator) {
     let sim = DesSimulator::new(
         platform,
         DesConfig {
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
@@ -158,7 +159,7 @@ fn main() {
     let wl = workload(&library, 167);
     let table = full_cost_table(&library, &zcu102(3, 2));
     let config = DesConfig {
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         overhead_per_invocation: Duration::ZERO,
         trace: None,
         faults: None,

@@ -11,13 +11,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_core::des::{DesConfig, DesSimulator};
 use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::job::CostSpec;
 use dssoc_core::FrfsScheduler;
 use dssoc_metrics::MetricsRegistry;
 use dssoc_platform::cost::CostTable;
@@ -80,7 +80,7 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     let config = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table.clone()),
+        cost: CostSpec::table(table.clone()),
         reservation_depth: 0,
         trace: None,
         faults: None,
@@ -122,7 +122,7 @@ fn bench_metrics_overhead(c: &mut Criterion) {
             let des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
-                    cost: Arc::new(table.clone()),
+                    cost: CostSpec::table(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
                     faults: None,
@@ -139,7 +139,7 @@ fn bench_metrics_overhead(c: &mut Criterion) {
             let des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
-                    cost: Arc::new(table.clone()),
+                    cost: CostSpec::table(table.clone()),
                     overhead_per_invocation: Duration::ZERO,
                     trace: None,
                     faults: None,

@@ -15,10 +15,10 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson};
 use dssoc_appmodel::{KernelRegistry, Workload, WorkloadSpec};
 use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::job::CostSpec;
 use dssoc_core::sched::{by_name, EstimateBook, FrfsScheduler, PeView, SchedContext};
 use dssoc_core::task::{ReadyTask, Task};
 use dssoc_core::SimTime;
-use dssoc_platform::cost::ScaledMeasuredCost;
 use dssoc_platform::presets::zcu102;
 
 /// Builds `n` independent ready tasks (all cpu-capable, every third also
@@ -106,7 +106,7 @@ fn pool_setup() -> (AppLibrary, Workload, EmulationConfig) {
     let config = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(ScaledMeasuredCost::default()),
+        cost: CostSpec::default(),
         reservation_depth: 0,
         trace: None,
         faults: None,

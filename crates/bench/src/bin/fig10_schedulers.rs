@@ -18,13 +18,13 @@ use std::time::Duration;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::{run_sweep_with_progress, sweep_workers, table2_workload};
+use dssoc_core::platform_preset;
 use dssoc_core::prelude::*;
-use dssoc_platform::presets::zcu102;
 
 fn main() {
     let frame_ms: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
     let (library, _registry) = standard_library();
-    let platform = zcu102(3, 2);
+    let platform = Arc::new(platform_preset("zcu102:3C+2F").expect("preset"));
     let frame = Duration::from_millis(frame_ms);
     // The paper's Table II rates.
     let rates = [1.71, 2.28, 3.42, 4.57, 6.92];
@@ -44,7 +44,7 @@ fn main() {
             let workload = Arc::new(table2_workload(&library, rate, frame, true, 42));
             let platform = &platform;
             schedulers.iter().map(move |&name| {
-                SweepCell::new(platform.clone(), name, Arc::clone(&workload))
+                SweepCell::new(Arc::clone(platform), name, Arc::clone(&workload))
                     .label(format!("{rate:.2}/{name}"))
             })
         })

@@ -23,8 +23,8 @@ use dssoc_appmodel::Workload;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::{run_sweep_with_progress, sweep_workers, table2_workload};
+use dssoc_core::platform_preset;
 use dssoc_core::prelude::*;
-use dssoc_platform::presets::odroid_xu3;
 
 fn main() {
     let frame_ms: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
@@ -63,9 +63,9 @@ fn main() {
     let cells: Vec<SweepCell> = configs
         .iter()
         .flat_map(|&(b, l)| {
-            let platform = odroid_xu3(b, l);
+            let platform = Arc::new(platform_preset(&format!("odroid:{b}B+{l}L")).expect("preset"));
             rates.iter().zip(&workloads).map(move |(&rate, workload)| {
-                SweepCell::new(platform.clone(), "frfs", Arc::clone(workload))
+                SweepCell::new(Arc::clone(&platform), "frfs", Arc::clone(workload))
                     .label(format!("{b}BIG+{l}LTL @ {rate}"))
             })
         })

@@ -21,8 +21,8 @@ use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::{print_summary_row, run_sweep_with_progress, summarize, sweep_workers};
+use dssoc_core::platform_preset;
 use dssoc_core::prelude::*;
-use dssoc_platform::presets::zcu102;
 
 fn main() {
     let iterations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
@@ -49,10 +49,14 @@ fn main() {
     let cells: Vec<SweepCell> = configs
         .iter()
         .map(|&(cores, ffts)| {
-            SweepCell::new(zcu102(cores, ffts), "frfs", Arc::clone(&workload))
-                .label(format!("{cores}C+{ffts}F"))
-                .iterations(iterations)
-                .warmup(iterations > 1)
+            SweepCell::new(
+                platform_preset(&format!("zcu102:{cores}C+{ffts}F")).expect("preset"),
+                "frfs",
+                Arc::clone(&workload),
+            )
+            .label(format!("{cores}C+{ffts}F"))
+            .iterations(iterations)
+            .warmup(iterations > 1)
         })
         .collect();
     let results = run_sweep_with_progress(SweepRunner::new(&library), &cells, sweep_workers(1))

@@ -20,13 +20,14 @@ use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::{run_sweep_with_progress, sweep_workers};
 use dssoc_core::fault::{FaultSpec, RateFault, RetryPolicy};
+use dssoc_core::job::CostSpec;
+use dssoc_core::platform_preset;
 use dssoc_core::prelude::*;
 use dssoc_core::sweep::SweepRunner;
 use dssoc_core::OverheadMode;
 use dssoc_core::TimingMode;
 use dssoc_platform::cost::CostTable;
 use dssoc_platform::pe::PlatformConfig;
-use dssoc_platform::presets::zcu102;
 
 const APPS: [&str; 4] = ["pulse_doppler", "range_detection", "wifi_tx", "wifi_rx"];
 
@@ -70,7 +71,7 @@ fn spec_for(rate: f64) -> Option<Arc<FaultSpec>> {
 fn main() {
     let instances: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let (library, _registry) = standard_library();
-    let platform = zcu102(3, 2);
+    let platform = Arc::new(platform_preset("zcu102:3C+2F").expect("preset"));
     let workload = Arc::new(
         WorkloadSpec::validation(APPS.map(|a| (a, instances))).generate(&library).unwrap(),
     );
@@ -90,7 +91,7 @@ fn main() {
             let platform = &platform;
             let workload = &workload;
             schedulers.iter().map(move |&name| {
-                let mut cell = SweepCell::new(platform.clone(), name, Arc::clone(workload))
+                let mut cell = SweepCell::new(Arc::clone(platform), name, Arc::clone(workload))
                     .label(format!("{rate:.2}/{name}"));
                 if let Some(spec) = spec_for(rate) {
                     cell = cell.faults(spec);
@@ -102,7 +103,7 @@ fn main() {
     let config = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(full_cost_table(&platform)),
+        cost: CostSpec::table(full_cost_table(&platform)),
         reservation_depth: 0,
         trace: None,
         faults: None,

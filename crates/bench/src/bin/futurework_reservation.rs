@@ -22,14 +22,15 @@ use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::table2_workload;
 use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::job::CostSpec;
+use dssoc_core::platform_preset;
 use dssoc_core::sched::by_name;
-use dssoc_platform::cost::ScaledMeasuredCost;
-use dssoc_platform::presets::zcu102;
 
 fn main() {
     let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4.57);
     let frame_ms: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
     let (library, _registry) = standard_library();
+    let platform = Arc::new(platform_preset("zcu102:3C+2F").expect("preset"));
     let workload = table2_workload(&library, rate, Duration::from_millis(frame_ms), true, 42);
 
     println!("== future work: PE-level reservation queues on 3C+2F ==");
@@ -44,13 +45,13 @@ fn main() {
             let cfg = EmulationConfig {
                 timing: TimingMode::Modeled,
                 overhead: OverheadMode::Measured,
-                cost: Arc::new(ScaledMeasuredCost::default()),
+                cost: CostSpec::default(),
                 reservation_depth: depth,
                 trace: None,
                 faults: None,
                 metrics: None,
             };
-            let mut emu = Emulation::with_config(zcu102(3, 2), cfg).expect("platform");
+            let mut emu = Emulation::with_config(Arc::clone(&platform), cfg).expect("platform");
             let mut sched = by_name(name).expect("policy");
             let stats = emu.run(sched.as_mut(), &workload, &library).expect("run");
             res.push(stats.makespan.as_secs_f64() * 1e3);

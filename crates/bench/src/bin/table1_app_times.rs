@@ -19,12 +19,12 @@ use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_bench::{run_sweep_with_progress, summarize, sweep_workers};
+use dssoc_core::platform_preset;
 use dssoc_core::prelude::*;
-use dssoc_platform::presets::zcu102;
 
 fn main() {
     let (library, _registry) = standard_library();
-    let platform = zcu102(3, 2);
+    let platform = Arc::new(platform_preset("zcu102:3C+2F").expect("preset"));
     let iterations = 10;
 
     println!(
@@ -44,7 +44,7 @@ fn main() {
             let workload = Arc::new(
                 WorkloadSpec::validation([(app, 1usize)]).generate(&library).expect("workload"),
             );
-            SweepCell::new(platform.clone(), "frfs", workload)
+            SweepCell::new(Arc::clone(&platform), "frfs", workload)
                 .label(app)
                 .iterations(iterations)
                 .warmup(iterations > 1)

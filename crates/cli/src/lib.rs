@@ -20,13 +20,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::{InjectionParams, WorkloadSpec};
+use dssoc_core::des::DesConfig;
 use dssoc_core::engine::{EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::fault::FaultSpec;
+use dssoc_core::job::{platform_preset, CostSpec, Engine};
 use dssoc_core::stats::EmulationStats;
-use dssoc_core::sweep::{default_workers, SweepCell, SweepProgress, SweepRunner};
+use dssoc_core::sweep::{default_workers, DesSweepRunner, SweepCell, SweepProgress, SweepRunner};
 use dssoc_metrics::{MetricsRegistry, MetricsServer, MetricsSnapshot};
 use dssoc_platform::pe::PlatformConfig;
-use dssoc_platform::presets::{odroid_xu3, zcu102};
 use dssoc_trace::TraceSession;
 
 /// A fully parsed `run` invocation.
@@ -36,6 +37,9 @@ pub struct RunArgs {
     pub platform: PlatformConfig,
     /// Scheduler name (library policy).
     pub scheduler: String,
+    /// Engine to run on: the threaded emulation (default) or the
+    /// discrete-event baseline.
+    pub engine: Engine,
     /// Workload specification.
     pub workload: WorkloadSpec,
     /// Timing mode.
@@ -63,48 +67,13 @@ pub struct RunArgs {
 
 /// Parses a platform shorthand:
 /// `zcu102:<cores>C+<ffts>F` or `odroid:<big>B+<little>L`.
+///
+/// The grammar lives in [`dssoc_core::job::platform_preset`] — the
+/// single source of truth the bench harnesses use too — so the CLI,
+/// the scenario builder, and the figure binaries accept exactly the
+/// same strings.
 pub fn parse_platform(spec: &str) -> Result<PlatformConfig, String> {
-    let (board, shape) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("platform '{spec}' must look like zcu102:2C+1F or odroid:3B+2L"))?;
-    let shape_up = shape.to_ascii_uppercase();
-    let parse_pair = |a_tag: char, b_tag: char| -> Result<(usize, usize), String> {
-        let (a, b) = shape_up
-            .split_once('+')
-            .ok_or_else(|| format!("shape '{shape}' must look like 2{a_tag}+1{b_tag}"))?;
-        let a_n = a
-            .strip_suffix(a_tag)
-            .and_then(|s| s.parse::<usize>().ok())
-            .ok_or_else(|| format!("bad count '{a}' (expected e.g. 2{a_tag})"))?;
-        let b_n = b
-            .strip_suffix(b_tag)
-            .and_then(|s| s.parse::<usize>().ok())
-            .ok_or_else(|| format!("bad count '{b}' (expected e.g. 1{b_tag})"))?;
-        Ok((a_n, b_n))
-    };
-    match board.to_ascii_lowercase().as_str() {
-        "zcu102" => {
-            let (c, f) = parse_pair('C', 'F')?;
-            if c > 3 {
-                return Err("zcu102 supports at most 3 resource-pool cores".into());
-            }
-            if c + f == 0 {
-                return Err("platform needs at least one PE".into());
-            }
-            Ok(zcu102(c, f))
-        }
-        "odroid" => {
-            let (b, l) = parse_pair('B', 'L')?;
-            if b > 4 || l > 3 {
-                return Err("odroid supports at most 4 big and 3 LITTLE pool cores".into());
-            }
-            if b + l == 0 {
-                return Err("platform needs at least one PE".into());
-            }
-            Ok(odroid_xu3(b, l))
-        }
-        other => Err(format!("unknown board '{other}' (use zcu102 or odroid)")),
-    }
+    platform_preset(spec)
 }
 
 /// Parses a validation-mode count list: `app=2,other=1`.
@@ -181,6 +150,7 @@ pub fn load_faults_file(path: &str) -> Result<FaultSpec, String> {
 pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut platform: Option<PlatformConfig> = None;
     let mut scheduler = "frfs".to_string();
+    let mut engine = Engine::Threaded;
     let mut counts: Option<Vec<(String, usize)>> = None;
     let mut injections: Vec<InjectionParams> = Vec::new();
     let mut frame: Option<Duration> = None;
@@ -208,6 +178,13 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 platform = Some(load_platform_file(&next_value(&mut i, "--platform-file")?)?)
             }
             "--scheduler" => scheduler = next_value(&mut i, "--scheduler")?,
+            "--engine" => {
+                engine = match next_value(&mut i, "--engine")?.as_str() {
+                    "threaded" => Engine::Threaded,
+                    "des" => Engine::Des,
+                    other => return Err(format!("unknown engine '{other}' (use threaded or des)")),
+                }
+            }
             "--validation" => counts = Some(parse_counts(&next_value(&mut i, "--validation")?)?),
             "--inject" => injections.push(parse_injection(&next_value(&mut i, "--inject")?)?),
             "--frame-ms" => {
@@ -283,6 +260,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     Ok(RunArgs {
         platform,
         scheduler,
+        engine,
         workload,
         timing,
         reservation_depth,
@@ -332,16 +310,6 @@ pub fn execute(run: &RunArgs) -> Result<RunOutcome, String> {
         }
         _ => None,
     };
-    let cfg = EmulationConfig {
-        timing: run.timing,
-        overhead: OverheadMode::Measured,
-        cost: Arc::new(dssoc_platform::cost::ScaledMeasuredCost::default()),
-        reservation_depth: run.reservation_depth,
-        trace: None,
-        faults: None,
-        metrics: registry.clone(),
-    };
-    let mut runner = SweepRunner::with_config(&library, cfg);
     let mut cell = SweepCell::new(run.platform.clone(), run.scheduler.clone(), workload)
         .iterations(run.iterations)
         .warmup(run.iterations > 1);
@@ -349,20 +317,52 @@ pub fn execute(run: &RunArgs) -> Result<RunOutcome, String> {
         cell = cell.faults(Arc::clone(spec));
     }
     let session = run.trace.as_ref().map(|_| TraceSession::new());
-    if let Some(session) = &session {
-        runner.trace_cell(cell.label.clone(), session.sink());
-    }
     let progress = SweepProgress::new();
-    runner.set_progress(progress.clone());
     let watcher = run.progress.then(|| progress.watch_stderr(Duration::from_millis(200)));
-    // The batch API clamps the worker count to the grid size, so this
-    // single cell runs sequentially on the runner's own warm pool; CLI
-    // grids grown beyond one cell parallelize for free.
-    let result = runner
-        .run_batch_parallel(std::slice::from_ref(&cell), default_workers())
-        .map_err(|e| e.to_string())?
-        .pop()
-        .expect("one cell in, one result out");
+    // Both arms lower the cell to a ScenarioSpec inside the sweep
+    // runners and execute through the JobRunner. The batch API clamps
+    // the worker count to the grid size, so this single cell runs
+    // sequentially on the runner's own warm engine; CLI grids grown
+    // beyond one cell parallelize for free.
+    let result = match run.engine {
+        Engine::Threaded => {
+            let cfg = EmulationConfig {
+                timing: run.timing,
+                overhead: OverheadMode::Measured,
+                cost: CostSpec::default(),
+                reservation_depth: run.reservation_depth,
+                trace: None,
+                faults: None,
+                metrics: registry.clone(),
+            };
+            let mut runner = SweepRunner::with_config(&library, cfg);
+            if let Some(reg) = &registry {
+                runner.cache().attach_metrics(reg);
+            }
+            if let Some(session) = &session {
+                runner.trace_cell(cell.label.clone(), session.sink());
+            }
+            runner.set_progress(progress.clone());
+            runner.run_batch_parallel(std::slice::from_ref(&cell), default_workers())
+        }
+        Engine::Des => {
+            // DES runs carry no measured kernel times: a deterministic
+            // cost table (JSON profile estimates underneath) stands in.
+            let cfg = DesConfig { metrics: registry.clone(), ..DesConfig::default() };
+            let mut runner = DesSweepRunner::with_config(&library, cfg);
+            if let Some(reg) = &registry {
+                runner.cache().attach_metrics(reg);
+            }
+            if let Some(session) = &session {
+                runner.trace_cell(cell.label.clone(), session.sink());
+            }
+            runner.set_progress(progress.clone());
+            runner.run_batch_parallel(std::slice::from_ref(&cell), default_workers())
+        }
+    }
+    .map_err(|e| e.to_string())?
+    .pop()
+    .expect("one cell in, one result out");
     drop(watcher);
     if let (Some(path), Some(session)) = (&run.trace, &session) {
         write_trace(path, session)?;
@@ -441,6 +441,7 @@ pub fn stats_to_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dssoc_platform::presets::zcu102;
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -646,6 +647,28 @@ mod tests {
             events.iter().any(|e| e["ph"] == "X"),
             "trace should contain at least one task slice"
         );
+    }
+
+    #[test]
+    fn des_engine_runs_from_cli() {
+        let args = argv(&[
+            "--platform",
+            "zcu102:2C+1F",
+            "--validation",
+            "range_detection=1",
+            "--engine",
+            "des",
+            "--iterations",
+            "2",
+        ]);
+        let run = parse_run_args(&args).unwrap();
+        assert_eq!(run.engine, Engine::Des);
+        let out = execute(&run).unwrap();
+        assert_eq!(out.stats.completed_apps(), 1);
+        assert!(out.stats.scheduler.contains("DES"), "{}", out.stats.scheduler);
+        assert_eq!(out.makespans_ms.len(), 2);
+        assert_eq!(out.makespans_ms[0], out.makespans_ms[1], "DES repeats are deterministic");
+        assert!(parse_run_args(&argv(&["--engine", "qemu"])).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ RUN OPTIONS:
   --platform <spec>          zcu102:<n>C+<m>F or odroid:<n>B+<m>L
   --platform-file <path>     platform configuration JSON
   --scheduler <name>         frfs | met | eft | random   (default frfs)
+  --engine <name>            threaded | des               (default threaded)
   --validation <counts>      validation mode, e.g. range_detection=2,wifi_rx=1
   --inject <app:per:prob>    performance mode injection, e.g. wifi_tx:1ms:0.8
                              (repeatable; requires --frame-ms)

@@ -52,12 +52,12 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dssoc_appmodel::app::{AppLibrary, NodeSpec};
+use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_metrics::MetricsRegistry;
 use dssoc_platform::cost::{CostModel, CostTable};
-use dssoc_platform::pe::{PeDescriptor, PeId, PlatformConfig};
+use dssoc_platform::pe::{PeId, PlatformConfig};
 use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
 
 use crate::engine::EmuError;
@@ -67,24 +67,19 @@ use crate::exec::{
 };
 use crate::fault::{FaultPlan, FaultSpec, FaultState};
 use crate::intern::{Interner, Name, NameTable};
+use crate::job::{build_cost_grid, CompiledScenario, CostGrid, CostSpec};
 use crate::metrics::{ExecMetrics, OverheadPhase};
-use crate::sched::{EstimateBook, EstimateSlot, PeView, SchedContext, Scheduler};
+use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
 use crate::stats::{EmulationStats, TaskRecord};
 use crate::task::Task;
 use crate::time::SimTime;
-
-/// Dispatch costs resolved once per run, indexed
-/// `[spec_index][node_idx][pe_column]`: the modeled duration plus the
-/// estimate-book slot its completion observation lands in.
-/// Incompatible combinations hold `None`.
-type CostGrid = Vec<Vec<Vec<Option<(Duration, EstimateSlot)>>>>;
 
 /// DES configuration.
 #[derive(Clone)]
 pub struct DesConfig {
     /// Cost source for task durations (typically a calibrated
-    /// [`CostTable`]).
-    pub cost: Arc<dyn CostModel>,
+    /// [`CostTable`] behind [`CostSpec::Table`]).
+    pub cost: CostSpec,
     /// Optional fixed scheduling overhead charged per scheduler
     /// invocation (zero = the classic free-scheduling DES).
     pub overhead_per_invocation: Duration,
@@ -108,7 +103,7 @@ pub struct DesConfig {
 impl Default for DesConfig {
     fn default() -> Self {
         DesConfig {
-            cost: Arc::new(CostTable::new()),
+            cost: CostSpec::table(CostTable::new()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
@@ -117,10 +112,24 @@ impl Default for DesConfig {
     }
 }
 
+impl std::fmt::Debug for DesConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesConfig")
+            .field("cost", &self.cost)
+            .field("overhead_per_invocation", &self.overhead_per_invocation)
+            .field("traced", &self.trace.is_some())
+            .field("faulted", &self.faults.is_some())
+            .field("metered", &self.metrics.is_some())
+            .finish()
+    }
+}
+
 /// The discrete-event simulator.
 pub struct DesSimulator {
-    platform: PlatformConfig,
+    platform: Arc<PlatformConfig>,
     config: DesConfig,
+    /// The resolved cost model (from `config.cost`).
+    cost: Arc<dyn CostModel>,
 }
 
 /// One queued completion event: a dispatched task finishing.
@@ -186,10 +195,16 @@ impl Ord for Event {
 }
 
 impl DesSimulator {
-    /// Builds a simulator for a platform.
-    pub fn new(platform: PlatformConfig, config: DesConfig) -> Result<Self, EmuError> {
+    /// Builds a simulator for a platform. The platform is `Arc`-shared:
+    /// pass an existing `Arc<PlatformConfig>` to avoid a deep clone.
+    pub fn new(
+        platform: impl Into<Arc<PlatformConfig>>,
+        config: DesConfig,
+    ) -> Result<Self, EmuError> {
+        let platform = platform.into();
         platform.validate().map_err(EmuError::Config)?;
-        Ok(DesSimulator { platform, config })
+        let cost = config.cost.resolve();
+        Ok(DesSimulator { platform, config, cost })
     }
 
     /// The platform being simulated.
@@ -204,23 +219,15 @@ impl DesSimulator {
         self.config.faults = faults;
     }
 
-    /// Duration the DES charges for `node` on `pe`: cost model first,
-    /// then the JSON per-platform estimate, then a speed-scaled default —
-    /// the same priority the estimate book uses.
-    ///
-    /// Resolved once per `(spec, node, PE)` at run start into a dense
-    /// table (the cost-model call is deterministic — the DES always
-    /// passes a zero measured time), so dispatch is a triple index
-    /// instead of a platform-key match plus a string-keyed cost lookup.
-    fn duration_of(&self, node: &NodeSpec, pe: &PeDescriptor) -> Duration {
-        let platform = node.platform(&pe.platform_key).expect("compat checked");
-        if let Some(d) = self.config.cost.task_duration(&platform.runfunc, pe, Duration::ZERO) {
-            return d;
-        }
-        if let Some(d) = platform.mean_exec {
-            return d;
-        }
-        Duration::from_secs_f64(100e-6 / pe.speed())
+    /// Installs (or, with `None`, removes) a trace sink. Subsequent runs
+    /// record into the sink's session.
+    pub fn set_trace(&mut self, trace: Option<TraceSink>) {
+        self.config.trace = trace;
+    }
+
+    /// Installs (or, with `None`, removes) a live-metrics registry.
+    pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
+        self.config.metrics = metrics;
     }
 
     /// Simulates a workload to completion under `scheduler`.
@@ -240,43 +247,57 @@ impl DesSimulator {
 
         let mut interner = Interner::new();
         let names = NameTable::build(&instances, &self.platform, &mut interner);
-        let mut tracker = InstanceTracker::new(&instances, &names);
 
         // The DES observes completions into an estimate book exactly like
         // the emulator, so estimate-driven policies (MET/EFT) see the
-        // same context in both engines.
+        // same context in both engines. Per-(spec, node, PE column)
+        // dispatch costs are resolved once into a dense grid (see
+        // [`build_cost_grid`]); the scheduler contract keeps incompatible
+        // (`None`) combinations from ever being dispatched.
         let mut estimates = EstimateBook::new();
+        let costs =
+            build_cost_grid(&*self.cost, &self.platform, &names, &instances, &mut estimates);
 
-        // Per-(spec, node, PE column) dispatch costs, resolved once.
-        // `NameTable` assigns spec indices in first-encounter order over
-        // the same instance slice, so the first instance of each spec
-        // fills exactly the next row. The scheduler contract keeps
-        // incompatible (`None`) combinations from ever being dispatched.
-        let mut costs: CostGrid = Vec::with_capacity(names.spec_count());
-        for inst in &instances {
-            if names.spec_index(inst.id) == costs.len() {
-                costs.push(
-                    inst.spec
-                        .nodes
-                        .iter()
-                        .map(|node| {
-                            self.platform
-                                .pes
-                                .iter()
-                                .map(|pe| {
-                                    node.platform(&pe.platform_key).map(|p| {
-                                        (
-                                            self.duration_of(node, pe),
-                                            estimates.slot_of(&p.runfunc, pe.class_name()),
-                                        )
-                                    })
-                                })
-                                .collect()
-                        })
-                        .collect(),
-                );
-            }
-        }
+        let plan: Option<FaultPlan> = match &self.config.faults {
+            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
+            None => None,
+        };
+
+        self.run_inner(scheduler, instances, &names, &costs, estimates, plan.as_ref())
+    }
+
+    /// Simulates a precompiled scenario, reusing its shared instance
+    /// images, name table, cost grid, slot-assigned estimate book, and
+    /// fault plan — nothing scenario-derived is rebuilt. Compatibility
+    /// was preflighted at compile time.
+    pub fn run_compiled(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        scenario: &CompiledScenario,
+    ) -> Result<EmulationStats, EmuError> {
+        self.run_inner(
+            scheduler,
+            scenario.instances().to_vec(),
+            scenario.names(),
+            scenario.grid(),
+            scenario.estimates_prototype(),
+            scenario.plan(),
+        )
+    }
+
+    /// The event loop. `names`/`costs`/`estimates`/`plan` are
+    /// scenario-scoped precomputations: [`Self::run`] builds them per
+    /// call, [`Self::run_compiled`] hands in the shared ones.
+    fn run_inner(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        instances: Vec<Arc<AppInstance>>,
+        names: &NameTable,
+        costs: &CostGrid,
+        mut estimates: EstimateBook,
+        plan: Option<&FaultPlan>,
+    ) -> Result<EmulationStats, EmuError> {
+        let mut tracker = InstanceTracker::new(&instances, names);
 
         // Arrivals are known up front: sorted once by (time, instance
         // order) and drained by cursor, they never pay heap traffic.
@@ -310,12 +331,7 @@ impl DesSimulator {
         slots.set_metrics(metrics.clone());
 
         // ---- Fault machinery (all empty/None without a fault spec).
-        let plan: Option<FaultPlan> = match &self.config.faults {
-            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
-            None => None,
-        };
-        let mut fstate: Option<FaultState> =
-            plan.as_ref().map(|p| FaultState::new(p.retry.clone()));
+        let mut fstate: Option<FaultState> = plan.map(|p| FaultState::new(p.retry.clone()));
         let mut retries: Vec<RetryEntry> = Vec::new();
         let mut retry_seq = 0u64;
         // The platform key a PE dispatches as, for degraded-dispatch
@@ -355,7 +371,7 @@ impl DesSimulator {
                 // no DAG progress — run the recovery policy instead
                 // (identical to the threaded engine's fault branch).
                 if let Some(kind) = ev.fault {
-                    let plan = plan.as_ref().expect("fault implies a plan");
+                    let plan = plan.expect("fault implies a plan");
                     let state = fstate.as_mut().expect("fault implies fault state");
                     sink.record_fault(ev.time, id.0, node_idx, ev.pe, kind);
                     let action = state.on_fault(plan, id.0, node_idx, ev.pe, kind, ev.time);
@@ -434,7 +450,7 @@ impl DesSimulator {
             // Permanent failures on idle PEs take effect as the clock
             // passes them (busy PEs die through their in-flight
             // attempt's fault decision instead).
-            if let Some(plan) = &plan {
+            if let Some(plan) = plan {
                 for pe in &self.platform.pes {
                     if slots.is_failed(pe.id) || slots.is_busy(pe.id) {
                         continue;
@@ -502,7 +518,7 @@ impl DesSimulator {
                     tracer.emit(clock, TraceKind::PeBusy { pe: a.pe.0 });
                     let runfunc = names.runfunc(id, node_idx, a.pe).cloned().unwrap_or_default();
                     let mut fault = None;
-                    if let Some(plan) = &plan {
+                    if let Some(plan) = plan {
                         let state = fstate.as_mut().expect("plan implies fault state");
                         let attempt = state.attempt_of(id.0, node_idx);
                         if attempt > 1 {
@@ -577,7 +593,7 @@ impl DesSimulator {
                             &mut ready,
                             state,
                             &mut sink,
-                            &names,
+                            names,
                         )?,
                         None => false,
                     };

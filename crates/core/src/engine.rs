@@ -37,7 +37,6 @@ use dssoc_appmodel::error::ModelError;
 use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_appmodel::workload::Workload;
 use dssoc_metrics::MetricsRegistry;
-use dssoc_platform::cost::{CostModel, ScaledMeasuredCost};
 use dssoc_platform::pe::{PeId, PlatformConfig};
 use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
 
@@ -48,6 +47,7 @@ use crate::exec::{
 use crate::fault::{FaultDecision, FaultPlan, FaultSpec, FaultState};
 use crate::handler::{ResourceHandler, TaskAssignment, TaskCompletion};
 use crate::intern::{Interner, NameTable};
+use crate::job::{CompiledScenario, CostSpec};
 use crate::metrics::{ExecMetrics, OverheadPhase};
 use crate::resource::ResourcePool;
 use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
@@ -88,8 +88,11 @@ pub struct EmulationConfig {
     pub timing: TimingMode,
     /// Overhead charging mode.
     pub overhead: OverheadMode,
-    /// Cost model for CPU task durations in [`TimingMode::Modeled`].
-    pub cost: Arc<dyn CostModel>,
+    /// Cost specification for CPU task durations in
+    /// [`TimingMode::Modeled`]; resolved to a
+    /// [`CostModel`](dssoc_platform::cost::CostModel) when the resource
+    /// pool is spawned.
+    pub cost: CostSpec,
     /// PE-level reservation-queue depth — the paper's stated future work
     /// ("abstractions like PE-level work queues to enable lower-overhead
     /// task dispatch"). `0` reproduces the paper's evaluated behaviour:
@@ -120,7 +123,7 @@ impl Default for EmulationConfig {
         EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: OverheadMode::Measured,
-            cost: Arc::new(ScaledMeasuredCost::default()),
+            cost: CostSpec::default(),
             reservation_depth: 0,
             trace: None,
             faults: None,
@@ -134,6 +137,8 @@ impl std::fmt::Debug for EmulationConfig {
         f.debug_struct("EmulationConfig")
             .field("timing", &self.timing)
             .field("overhead", &self.overhead)
+            .field("cost", &self.cost)
+            .field("reservation_depth", &self.reservation_depth)
             .field("traced", &self.trace.is_some())
             .field("faulted", &self.faults.is_some())
             .field("metered", &self.metrics.is_some())
@@ -355,7 +360,7 @@ fn release_pe(
 /// park between runs, so a batch sweep pays thread-spawn cost once. The
 /// pool is shut down and joined when the `Emulation` is dropped.
 pub struct Emulation {
-    platform: PlatformConfig,
+    platform: Arc<PlatformConfig>,
     config: EmulationConfig,
     pool: ResourcePool,
     /// PEs whose resource-manager thread wedged (watchdog fired and the
@@ -368,18 +373,21 @@ pub struct Emulation {
 impl Emulation {
     /// Builds a driver with the default configuration (modeled timing,
     /// measured overhead, scaled-measured costs).
-    pub fn new(platform: PlatformConfig) -> Result<Self, EmuError> {
+    pub fn new(platform: impl Into<Arc<PlatformConfig>>) -> Result<Self, EmuError> {
         Self::with_config(platform, EmulationConfig::default())
     }
 
     /// Builds a driver with an explicit configuration, spawning its
-    /// resource pool.
+    /// resource pool. The platform is `Arc`-shared: pass an existing
+    /// `Arc<PlatformConfig>` to avoid a deep clone.
     pub fn with_config(
-        platform: PlatformConfig,
+        platform: impl Into<Arc<PlatformConfig>>,
         config: EmulationConfig,
     ) -> Result<Self, EmuError> {
+        let platform = platform.into();
         platform.validate().map_err(EmuError::Config)?;
-        let pool = ResourcePool::spawn(&platform, &config.cost, config.timing)?;
+        let cost = config.cost.resolve();
+        let pool = ResourcePool::spawn(&platform, &cost, config.timing)?;
         if let Some(sink) = &config.trace {
             pool.attach_trace(sink);
         }
@@ -432,7 +440,20 @@ impl Emulation {
         let instances: Vec<Arc<AppInstance>> =
             workload.instantiate(library)?.into_iter().map(Arc::new).collect();
 
-        let result = self.workload_manager(scheduler, instances, self.pool.handlers());
+        let mut interner = Interner::new();
+        let names = NameTable::build(&instances, &self.platform, &mut interner);
+        let plan: Option<FaultPlan> = match &self.config.faults {
+            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
+            None => None,
+        };
+
+        let result = self.workload_manager(
+            scheduler,
+            instances,
+            self.pool.handlers(),
+            &names,
+            plan.as_ref(),
+        );
         if result.is_err() {
             // A failed run can leave tasks in flight; wait them out so
             // every PE is idle again for the next run on this pool —
@@ -442,20 +463,49 @@ impl Emulation {
         result
     }
 
+    /// Runs a precompiled scenario, reusing its name table and fault
+    /// plan instead of rebuilding them. Kernels mutate instance memory,
+    /// so the threaded engine instantiates fresh private instances per
+    /// run; ids and spec mapping match the scenario's shared images by
+    /// construction, which is what keeps the precompiled [`NameTable`]
+    /// valid. Compatibility was preflighted at compile time.
+    pub fn run_compiled(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        scenario: &CompiledScenario,
+    ) -> Result<EmulationStats, EmuError> {
+        let spec = scenario.spec();
+        let instances: Vec<Arc<AppInstance>> =
+            spec.workload.instantiate(&spec.library)?.into_iter().map(Arc::new).collect();
+        let result = self.workload_manager(
+            scheduler,
+            instances,
+            self.pool.handlers(),
+            scenario.names(),
+            scenario.plan(),
+        );
+        if result.is_err() {
+            self.pool.drain_except(&self.wedged.borrow());
+        }
+        result
+    }
+
     /// The workload-manager loop (runs on the calling thread — the
-    /// emulation's "overlay processor").
+    /// emulation's "overlay processor"). `names` and `plan` are
+    /// scenario-scoped precomputations: [`Self::run`] builds them per
+    /// call, [`Self::run_compiled`] hands in the shared ones.
     fn workload_manager(
         &self,
         scheduler: &mut dyn Scheduler,
         instances: Vec<Arc<AppInstance>>,
         handlers: &[Arc<ResourceHandler>],
+        names: &NameTable,
+        plan: Option<&FaultPlan>,
     ) -> Result<EmulationStats, EmuError> {
         let timing = self.config.timing;
         let overlay_speed = self.platform.overlay.speed;
 
-        let mut interner = Interner::new();
-        let names = NameTable::build(&instances, &self.platform, &mut interner);
-        let mut tracker = InstanceTracker::new(&instances, &names);
+        let mut tracker = InstanceTracker::new(&instances, names);
         let kept_instances = instances.clone();
         let metrics = match &self.config.metrics {
             Some(registry) => ExecMetrics::attach(registry, &self.platform, &kept_instances),
@@ -473,12 +523,7 @@ impl Emulation {
         let mut estimates = EstimateBook::new();
 
         // ---- Fault machinery (all empty/None without a fault spec).
-        let plan: Option<FaultPlan> = match &self.config.faults {
-            Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
-            None => None,
-        };
-        let mut fstate: Option<FaultState> =
-            plan.as_ref().map(|p| FaultState::new(p.retry.clone()));
+        let mut fstate: Option<FaultState> = plan.map(|p| FaultState::new(p.retry.clone()));
         let mut retries: Vec<RetryEntry> = Vec::new();
         let mut retry_seq = 0u64;
         let mut running: HashMap<PeId, RunningMeta> = HashMap::new();
@@ -545,7 +590,7 @@ impl Emulation {
                     };
                     let mut fault = None;
                     let mut finish = natural;
-                    if let Some(plan) = &plan {
+                    if let Some(plan) = plan {
                         let m = meta.as_ref().expect("dispatched task has metadata");
                         let decision = if c.result.is_err() {
                             // A real kernel error under the recovery
@@ -581,7 +626,7 @@ impl Emulation {
             // virtual deadline and stop waiting on the thread (it is
             // skipped by end-of-run drains and remembered across runs)
             // — the alternative is deadlocking the whole emulation.
-            if let Some(plan) = &plan {
+            if let Some(plan) = plan {
                 let deadline_of = |m: &RunningMeta| {
                     mul_duration(m.est, plan.watchdog_factor).max(plan.watchdog_min_wall)
                 };
@@ -626,7 +671,7 @@ impl Emulation {
                 // no DAG progress — the work was lost. Run the recovery
                 // policy instead.
                 if let Some(kind) = p.fault {
-                    let plan = plan.as_ref().expect("fault implies a plan");
+                    let plan = plan.expect("fault implies a plan");
                     let state = fstate.as_mut().expect("fault implies fault state");
                     let c = p.completion;
                     let (instance, node) = (c.task.instance.id.0, c.task.node_idx);
@@ -782,7 +827,7 @@ impl Emulation {
             // Permanent failures on idle PEs take effect as the clock
             // passes them (busy PEs die through their in-flight
             // attempt's fault decision instead).
-            if let Some(plan) = &plan {
+            if let Some(plan) = plan {
                 for h in handlers.iter() {
                     let pe = h.pe_id();
                     if slots.is_failed(pe) || slots.is_busy(pe) {
@@ -970,7 +1015,7 @@ impl Emulation {
                                     &mut ready,
                                     state,
                                     &mut sink,
-                                    &names,
+                                    names,
                                 ) {
                                     Ok(r) => r,
                                     Err(e) => {
@@ -1018,7 +1063,7 @@ impl Emulation {
                                     &mut ready,
                                     state,
                                     &mut sink,
-                                    &names,
+                                    names,
                                 ) {
                                     Ok(r) => r,
                                     Err(e) => {

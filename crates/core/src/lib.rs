@@ -21,6 +21,7 @@
 //! | [`sched`] | §II-C | FRFS, MET, EFT, RANDOM + `Scheduler` trait |
 //! | [`stats`] | §III | task/app records, utilization, overhead |
 //! | [`des`] | §III-D | discrete-event baseline (DS3-class) |
+//! | [`job`] | — | Arc-shared scenario specs, fingerprints, `JobRunner`, result cache |
 //! | [`sweep`] | §III | batch sweep API over config × scheduler × workload grids |
 //! | [`task`], [`time`] | — | task and emulation-clock primitives |
 //!
@@ -64,6 +65,7 @@ pub mod exec;
 pub mod fault;
 pub mod handler;
 pub mod intern;
+pub mod job;
 pub mod metrics;
 pub mod resource;
 pub mod sched;
@@ -84,6 +86,10 @@ pub use fault::{
 };
 pub use handler::{PeStatus, ResourceHandler, TaskAssignment, TaskCompletion};
 pub use intern::{Interner, Name, NameTable};
+pub use job::{
+    platform_preset, CompiledScenario, CostSpec, Engine, Fingerprint, JobResult, JobRunner,
+    ResultCache, ScenarioBuilder, ScenarioSpec,
+};
 pub use metrics::{ExecMetrics, OverheadPhase};
 pub use resource::{threads_spawned_total, ResourcePool};
 pub use sched::{
@@ -106,6 +112,9 @@ pub mod prelude {
     pub use crate::des::{DesConfig, DesSimulator};
     pub use crate::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
     pub use crate::fault::{FaultSpec, RetryPolicy};
+    pub use crate::job::{
+        CompiledScenario, CostSpec, Engine, JobResult, JobRunner, ResultCache, ScenarioSpec,
+    };
     pub use crate::sched::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
     pub use crate::stats::EmulationStats;
     pub use crate::sweep::{

@@ -6,22 +6,26 @@
 //! shape — Fig. 9 sweeps platform configurations, Fig. 10 sweeps
 //! schedulers × injection rates, Fig. 11 sweeps big.LITTLE mixes — and
 //! each used to hand-roll the same harness loop. [`SweepRunner`] owns
-//! that loop once: it resolves schedulers by name, repeats each cell
-//! with an optional discarded warm-up run (the paper's
-//! repeated-iteration methodology), and caches one [`Emulation`] per
-//! distinct platform so consecutive cells reuse the persistent PE
-//! resource pool instead of respawning threads.
+//! that loop once. Cells are lowered to [`ScenarioSpec`]s and executed
+//! through a [`JobRunner`]: each distinct scenario fingerprint is
+//! compiled exactly once (name tables, cost grids, fault plans), warm
+//! engines are shared per engine fingerprint so consecutive cells reuse
+//! the persistent PE resource pool instead of respawning threads, and
+//! deterministic repeats replay from the runner's [`ResultCache`].
 //!
 //! [`DesSweepRunner`] is the same grid API over the discrete-event
 //! baseline — the design-space-exploration configuration, where grids
 //! get large and per-cell cost is pure compute.
 //!
 //! Both runners offer [`SweepRunner::run_batch_parallel`]: the grid is
-//! distributed over a small pool of worker threads, each owning its own
-//! warm engine pools. Cells are independent (each run starts from fresh
-//! instances), so results are identical to the sequential
-//! [`SweepRunner::run_batch`] whenever the underlying engine runs are
-//! deterministic, and they come back in cell order either way.
+//! distributed over a small pool of worker threads. Scenarios are
+//! compiled once on the calling thread and shared by `Arc` — workers
+//! share one [`CompiledScenario`] per distinct fingerprint and one
+//! [`ResultCache`], but own their warm engine pools. Cells are
+//! independent (each run starts from fresh instances), so results are
+//! identical to the sequential [`SweepRunner::run_batch`] whenever the
+//! underlying engine runs are deterministic, and they come back in cell
+//! order either way.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -34,9 +38,10 @@ use dssoc_appmodel::workload::Workload;
 use dssoc_platform::pe::PlatformConfig;
 use dssoc_trace::TraceSink;
 
-use crate::des::{DesConfig, DesSimulator};
-use crate::engine::{EmuError, Emulation, EmulationConfig};
+use crate::des::DesConfig;
+use crate::engine::{EmuError, EmulationConfig, OverheadMode, TimingMode};
 use crate::fault::FaultSpec;
+use crate::job::{CompiledScenario, Engine, Fingerprint, JobRunner, ResultCache, ScenarioSpec};
 use crate::sched::{by_name, Scheduler};
 use crate::stats::EmulationStats;
 
@@ -46,8 +51,9 @@ use crate::stats::EmulationStats;
 pub struct SweepCell {
     /// Display label carried into the [`CellResult`].
     pub label: String,
-    /// Platform to emulate.
-    pub platform: PlatformConfig,
+    /// Platform to emulate (shared, so grids can reuse one config
+    /// across cells without deep-cloning its PE descriptors).
+    pub platform: Arc<PlatformConfig>,
     /// Library scheduler name (resolved via [`by_name`]).
     pub scheduler: String,
     /// Workload to run (shared, so grids can reuse one workload across
@@ -67,10 +73,11 @@ impl SweepCell {
     /// A single-iteration cell without warm-up, labeled
     /// `"{platform}/{scheduler}"`.
     pub fn new(
-        platform: PlatformConfig,
+        platform: impl Into<Arc<PlatformConfig>>,
         scheduler: impl Into<String>,
         workload: Arc<Workload>,
     ) -> Self {
+        let platform = platform.into();
         let scheduler = scheduler.into();
         SweepCell {
             label: format!("{}/{}", platform.name, scheduler),
@@ -261,15 +268,6 @@ impl SweepProgressSnapshot {
     }
 }
 
-/// Platform identity for pool reuse: name plus PE count. Comparing the
-/// full [`PlatformConfig`] structurally would walk every descriptor per
-/// cell; the presets already encode the shape in the name (e.g.
-/// `zcu102-3C+2F`), and the PE count guards hand-built configs that
-/// reuse a name across shapes.
-fn pool_key(platform: &PlatformConfig) -> (String, usize) {
-    (platform.name.clone(), platform.pes.len())
-}
-
 /// The outcome of one sweep cell.
 #[derive(Debug)]
 pub struct CellResult {
@@ -315,7 +313,7 @@ fn run_cells_parallel<W, F>(
 ) -> Result<Vec<CellResult>, EmuError>
 where
     F: Fn() -> W + Sync,
-    W: FnMut(&SweepCell) -> Result<CellResult, EmuError>,
+    W: FnMut(usize, &SweepCell) -> Result<CellResult, EmuError>,
 {
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -340,7 +338,7 @@ where
                     if let Some(p) = progress {
                         p.cell_started();
                     }
-                    let result = run(&cells[i]);
+                    let result = run(i, &cells[i]);
                     if let Some(p) = progress {
                         p.cell_finished(cell_start.elapsed(), result.is_ok());
                     }
@@ -373,15 +371,84 @@ where
     Ok(out)
 }
 
-/// Runs sweep cells against warm emulation pools.
+/// Memoized compile: one [`CompiledScenario`] per distinct content
+/// fingerprint. The `custom` flag separates custom-scheduler
+/// compilations (which skip the scheduler-name check and are never
+/// served from the result cache) from library-scheduler ones.
+fn scenario_for(
+    scenarios: &mut HashMap<(Fingerprint, bool), Arc<CompiledScenario>>,
+    spec: ScenarioSpec,
+    custom: bool,
+) -> Result<Arc<CompiledScenario>, EmuError> {
+    let key = (spec.fingerprint(), custom);
+    if let Some(scenario) = scenarios.get(&key) {
+        return Ok(Arc::clone(scenario));
+    }
+    let scenario = if custom {
+        CompiledScenario::compile_custom(spec)?
+    } else {
+        CompiledScenario::compile(spec)?
+    };
+    scenarios.insert(key, Arc::clone(&scenario));
+    Ok(scenario)
+}
+
+/// The per-cell iteration loop shared by both runners: warm-up runs are
+/// discarded, the final measured iteration records into `traced` if the
+/// cell is the designated trace target, and every run goes through the
+/// [`JobRunner`] (so deterministic repeats replay from its cache).
+fn run_cell_on(
+    jobs: &mut JobRunner,
+    engine: Engine,
+    cell: &SweepCell,
+    scenario: &Arc<CompiledScenario>,
+    traced: Option<TraceSink>,
+    make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+) -> Result<CellResult, EmuError> {
+    let warmup = usize::from(cell.warmup);
+    let total = cell.iterations + warmup;
+    let mut makespans = Vec::with_capacity(cell.iterations);
+    let mut last: Option<EmulationStats> = None;
+    for i in 0..total {
+        let mut sched = make_scheduler();
+        // Trace only the final measured iteration, so the exported
+        // timeline isn't a concatenation of repeats.
+        let result = match &traced {
+            Some(sink) if i + 1 == total => {
+                jobs.run_traced(scenario, engine, sched.as_mut(), sink.clone())?
+            }
+            _ => jobs.run_with(scenario, engine, sched.as_mut())?,
+        };
+        if i >= warmup {
+            makespans.push(result.stats.makespan.as_secs_f64() * 1e3);
+            last = Some(result.stats);
+        }
+    }
+    Ok(CellResult {
+        label: cell.label.clone(),
+        makespans_ms: makespans,
+        stats: last.expect("at least one measured iteration"),
+    })
+}
+
+/// Runs sweep cells through the scenario/job layer.
 ///
-/// The runner keeps one [`Emulation`] per distinct platform it has
-/// seen; cells on the same platform — and repeated iterations within a
-/// cell — share its resource-manager threads.
+/// Each cell is lowered to a [`ScenarioSpec`] (the runner's engine
+/// configuration plus the cell's platform/scheduler/workload/faults)
+/// and compiled at most once per distinct fingerprint. The embedded
+/// [`JobRunner`] keeps one warm [`Emulation`] per engine fingerprint —
+/// cells on the same platform/config, and repeated iterations within a
+/// cell, share its resource-manager threads — and replays deterministic
+/// repeats from its [`ResultCache`].
 pub struct SweepRunner<'a> {
     library: &'a AppLibrary,
+    /// Arc'd view of the library, shared into every [`ScenarioSpec`]
+    /// instead of deep-cloning app models per cell.
+    apps: Arc<AppLibrary>,
     config: EmulationConfig,
-    pools: HashMap<(String, usize), Emulation>,
+    /// Job front door: warm engines plus the shared result cache.
+    pub(crate) jobs: JobRunner,
+    scenarios: HashMap<(Fingerprint, bool), Arc<CompiledScenario>>,
     /// `(cell label, sink)` of the one designated trace target, if any.
     trace: Option<(String, TraceSink)>,
     /// Live batch progress, shared with whoever installed it.
@@ -397,7 +464,37 @@ impl<'a> SweepRunner<'a> {
     /// A runner with an explicit engine configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: EmulationConfig) -> Self {
-        SweepRunner { library, config, pools: HashMap::new(), trace: None, progress: None }
+        let mut jobs = JobRunner::new();
+        jobs.set_metrics(config.metrics.clone());
+        // A config-level sink records every run (and disables caching);
+        // `trace_cell` stays the precise per-cell path.
+        jobs.set_trace(config.trace.clone());
+        SweepRunner {
+            library,
+            apps: Arc::new(library.clone()),
+            config,
+            jobs,
+            scenarios: HashMap::new(),
+            trace: None,
+            progress: None,
+        }
+    }
+
+    /// The application library the runner draws specs from.
+    pub fn library(&self) -> &'a AppLibrary {
+        self.library
+    }
+
+    /// The result cache shared by this runner's jobs (attach metrics or
+    /// inspect hit counters through it).
+    pub fn cache(&self) -> &ResultCache {
+        self.jobs.cache()
+    }
+
+    /// Replaces the result cache (e.g. to share one cache across
+    /// several runners).
+    pub fn set_cache(&mut self, cache: ResultCache) {
+        self.jobs.set_cache(cache);
     }
 
     /// Installs a shared [`SweepProgress`] handle: subsequent batch
@@ -421,13 +518,20 @@ impl<'a> SweepRunner<'a> {
         self.trace = Some((label.into(), sink));
     }
 
-    /// The warm pool for `platform`, creating it on first use.
-    fn emulation_for(&mut self, platform: &PlatformConfig) -> Result<&mut Emulation, EmuError> {
-        match self.pools.entry(pool_key(platform)) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                Ok(e.insert(Emulation::with_config(platform.clone(), self.config.clone())?))
-            }
+    /// Lowers a cell to a scenario spec under this runner's engine
+    /// configuration. Cell-level faults take precedence over a
+    /// config-level spec.
+    fn cell_spec(&self, cell: &SweepCell) -> ScenarioSpec {
+        ScenarioSpec {
+            library: Arc::clone(&self.apps),
+            platform: Arc::clone(&cell.platform),
+            scheduler: cell.scheduler.clone(),
+            workload: Arc::clone(&cell.workload),
+            timing: self.config.timing,
+            overhead: self.config.overhead,
+            cost: self.config.cost.clone(),
+            reservation_depth: self.config.reservation_depth,
+            faults: cell.faults.clone().or_else(|| self.config.faults.clone()),
         }
     }
 
@@ -435,54 +539,32 @@ impl<'a> SweepRunner<'a> {
     /// instance per iteration; the name is resolved once).
     pub fn run_cell(&mut self, cell: &SweepCell) -> Result<CellResult, EmuError> {
         let mut factory = scheduler_factory(&cell.scheduler)?;
-        self.run_cell_with(cell, &mut factory)
+        self.run_cell_inner(cell, false, &mut factory)
     }
 
     /// Runs one cell with a custom scheduler factory (called once per
-    /// iteration, so stateful policies start fresh each time).
+    /// iteration, so stateful policies start fresh each time). The
+    /// cell's scheduler name is a display label here, not resolved
+    /// against the library, and results are never served from cache.
     pub fn run_cell_with(
         &mut self,
         cell: &SweepCell,
         make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
     ) -> Result<CellResult, EmuError> {
-        let library = self.library;
+        self.run_cell_inner(cell, true, make_scheduler)
+    }
+
+    fn run_cell_inner(
+        &mut self,
+        cell: &SweepCell,
+        custom: bool,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<CellResult, EmuError> {
+        let spec = self.cell_spec(cell);
+        let scenario = scenario_for(&mut self.scenarios, spec, custom)?;
         let traced =
             self.trace.as_ref().filter(|(label, _)| *label == cell.label).map(|(_, s)| s.clone());
-        let emu = self.emulation_for(&cell.platform)?;
-        // Warm pools are shared across cells, so the fault spec is
-        // applied for this cell's runs and cleared again below.
-        emu.set_faults(cell.faults.clone());
-        let warmup = usize::from(cell.warmup);
-        let total = cell.iterations + warmup;
-        let mut makespans = Vec::with_capacity(cell.iterations);
-        let mut last: Option<EmulationStats> = None;
-        for i in 0..total {
-            if let Some(sink) = &traced {
-                // Trace only the final measured iteration.
-                if i + 1 == total {
-                    emu.set_trace(Some(sink.clone()));
-                }
-            }
-            let mut sched = make_scheduler();
-            let run = emu.run(sched.as_mut(), &cell.workload, library);
-            if traced.is_some() && i + 1 == total {
-                emu.set_trace(None);
-            }
-            if run.is_err() {
-                emu.set_faults(None);
-            }
-            let stats = run?;
-            if i >= warmup {
-                makespans.push(stats.makespan.as_secs_f64() * 1e3);
-                last = Some(stats);
-            }
-        }
-        emu.set_faults(None);
-        Ok(CellResult {
-            label: cell.label.clone(),
-            makespans_ms: makespans,
-            stats: last.expect("at least one measured iteration"),
-        })
+        run_cell_on(&mut self.jobs, Engine::Threaded, cell, &scenario, traced, make_scheduler)
     }
 
     /// Runs every cell of a grid in order, stopping at the first error.
@@ -506,11 +588,12 @@ impl<'a> SweepRunner<'a> {
     /// Runs a grid across `workers` threads (see [`default_workers`]),
     /// returning results in cell order.
     ///
-    /// Each worker owns a private [`SweepRunner`] with this runner's
-    /// configuration (and trace designation), so warm pools are reused
-    /// *within* a worker and never contended across workers. With one
-    /// worker — or a single cell — this is exactly [`Self::run_batch`]
-    /// on `self`, reusing its pools.
+    /// Every distinct scenario is compiled once on the calling thread;
+    /// workers share the compiled artifacts and this runner's
+    /// [`ResultCache`] by `Arc`, but own their warm engine pools (never
+    /// contended across workers). With one worker — or a single cell —
+    /// this is exactly [`Self::run_batch`] on `self`, reusing its
+    /// engines.
     pub fn run_batch_parallel(
         &mut self,
         cells: &[SweepCell],
@@ -520,30 +603,49 @@ impl<'a> SweepRunner<'a> {
         if workers <= 1 {
             return self.run_batch(cells);
         }
-        let library = self.library;
-        let config = &self.config;
+        let mut compiled = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let spec = self.cell_spec(cell);
+            compiled.push(scenario_for(&mut self.scenarios, spec, false)?);
+        }
+        let compiled = &compiled;
         let trace = &self.trace;
+        let cache = self.jobs.cache().clone();
+        let metrics = self.config.metrics.clone();
+        let persistent = self.config.trace.clone();
         run_cells_parallel(cells, workers, self.progress.as_ref(), || {
-            let mut runner = SweepRunner::with_config(library, config.clone());
-            runner.trace = trace.clone();
-            move |cell: &SweepCell| runner.run_cell(cell)
+            let mut jobs = JobRunner::with_cache(cache.clone());
+            jobs.set_metrics(metrics.clone());
+            jobs.set_trace(persistent.clone());
+            move |i: usize, cell: &SweepCell| {
+                let traced = trace
+                    .as_ref()
+                    .filter(|(label, _)| *label == cell.label)
+                    .map(|(_, s)| s.clone());
+                let mut factory = scheduler_factory(&cell.scheduler)?;
+                run_cell_on(&mut jobs, Engine::Threaded, cell, &compiled[i], traced, &mut factory)
+            }
         })
     }
 }
 
 /// The [`SweepRunner`] equivalent over the discrete-event baseline:
-/// same grid, same cell semantics, but cells run on [`DesSimulator`]s —
-/// no threads, no kernel execution, durations from the configured cost
-/// model. One warm simulator is kept per distinct platform (platform
-/// validation happens once, not per cell).
-///
-/// Tracing follows [`DesConfig::trace`]: a sink configured there
-/// records every run of every cell, which suits the DES's one-shot
-/// debugging uses.
+/// same grid, same cell semantics, but cells run on the event-driven
+/// simulator — no threads, no kernel execution, durations from the
+/// configured cost model. Cells lower to [`ScenarioSpec`]s exactly like
+/// the threaded runner (DES runs are always `Modeled` timing), share
+/// compiled scenarios per fingerprint, and — since DES runs are always
+/// deterministic — repeated cells replay from the [`ResultCache`].
 pub struct DesSweepRunner<'a> {
     library: &'a AppLibrary,
+    /// Arc'd view of the library, shared into every [`ScenarioSpec`].
+    apps: Arc<AppLibrary>,
     config: DesConfig,
-    sims: HashMap<(String, usize), DesSimulator>,
+    /// Job front door: warm simulators plus the shared result cache.
+    pub(crate) jobs: JobRunner,
+    scenarios: HashMap<(Fingerprint, bool), Arc<CompiledScenario>>,
+    /// `(cell label, sink)` of the one designated trace target, if any.
+    trace: Option<(String, TraceSink)>,
     /// Live batch progress, shared with whoever installed it.
     progress: Option<SweepProgress>,
 }
@@ -557,7 +659,33 @@ impl<'a> DesSweepRunner<'a> {
     /// A runner with an explicit DES configuration, applied to every
     /// cell.
     pub fn with_config(library: &'a AppLibrary, config: DesConfig) -> Self {
-        DesSweepRunner { library, config, sims: HashMap::new(), progress: None }
+        let mut jobs = JobRunner::new();
+        jobs.set_metrics(config.metrics.clone());
+        jobs.set_trace(config.trace.clone());
+        DesSweepRunner {
+            library,
+            apps: Arc::new(library.clone()),
+            config,
+            jobs,
+            scenarios: HashMap::new(),
+            trace: None,
+            progress: None,
+        }
+    }
+
+    /// The application library the runner draws specs from.
+    pub fn library(&self) -> &'a AppLibrary {
+        self.library
+    }
+
+    /// The result cache shared by this runner's jobs.
+    pub fn cache(&self) -> &ResultCache {
+        self.jobs.cache()
+    }
+
+    /// Replaces the result cache.
+    pub fn set_cache(&mut self, cache: ResultCache) {
+        self.jobs.set_cache(cache);
     }
 
     /// Installs a shared [`SweepProgress`] handle (see
@@ -571,45 +699,63 @@ impl<'a> DesSweepRunner<'a> {
         self.progress.as_ref().map(|p| p.snapshot())
     }
 
-    /// The warm simulator for `platform`, creating it on first use.
-    fn simulator_for(&mut self, platform: &PlatformConfig) -> Result<&mut DesSimulator, EmuError> {
-        match self.sims.entry(pool_key(platform)) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                Ok(e.insert(DesSimulator::new(platform.clone(), self.config.clone())?))
-            }
+    /// Designates the cell labeled `label` for event tracing (see
+    /// [`SweepRunner::trace_cell`] — same one-cell, final-iteration
+    /// semantics).
+    pub fn trace_cell(&mut self, label: impl Into<String>, sink: TraceSink) {
+        self.trace = Some((label.into(), sink));
+    }
+
+    /// Lowers a cell to a scenario spec under this runner's DES
+    /// configuration: always `Modeled` timing, the fixed per-invocation
+    /// scheduling overhead, no reservation.
+    fn cell_spec(&self, cell: &SweepCell) -> ScenarioSpec {
+        let overhead = if self.config.overhead_per_invocation.is_zero() {
+            OverheadMode::None
+        } else {
+            OverheadMode::Fixed(self.config.overhead_per_invocation)
+        };
+        ScenarioSpec {
+            library: Arc::clone(&self.apps),
+            platform: Arc::clone(&cell.platform),
+            scheduler: cell.scheduler.clone(),
+            workload: Arc::clone(&cell.workload),
+            timing: TimingMode::Modeled,
+            overhead,
+            cost: self.config.cost.clone(),
+            reservation_depth: 0,
+            faults: cell.faults.clone().or_else(|| self.config.faults.clone()),
         }
     }
 
     /// Runs one cell with its named library scheduler (a fresh policy
     /// instance per iteration; the name is resolved once).
     pub fn run_cell(&mut self, cell: &SweepCell) -> Result<CellResult, EmuError> {
-        let library = self.library;
         let mut factory = scheduler_factory(&cell.scheduler)?;
-        let sim = self.simulator_for(&cell.platform)?;
-        sim.set_faults(cell.faults.clone());
-        let warmup = usize::from(cell.warmup);
-        let total = cell.iterations + warmup;
-        let mut makespans = Vec::with_capacity(cell.iterations);
-        let mut last: Option<EmulationStats> = None;
-        for i in 0..total {
-            let mut sched = factory();
-            let run = sim.run(sched.as_mut(), &cell.workload, library);
-            if run.is_err() {
-                sim.set_faults(None);
-            }
-            let stats = run?;
-            if i >= warmup {
-                makespans.push(stats.makespan.as_secs_f64() * 1e3);
-                last = Some(stats);
-            }
-        }
-        sim.set_faults(None);
-        Ok(CellResult {
-            label: cell.label.clone(),
-            makespans_ms: makespans,
-            stats: last.expect("at least one measured iteration"),
-        })
+        self.run_cell_inner(cell, false, &mut factory)
+    }
+
+    /// Runs one cell with a custom scheduler factory (see
+    /// [`SweepRunner::run_cell_with`]).
+    pub fn run_cell_with(
+        &mut self,
+        cell: &SweepCell,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<CellResult, EmuError> {
+        self.run_cell_inner(cell, true, make_scheduler)
+    }
+
+    fn run_cell_inner(
+        &mut self,
+        cell: &SweepCell,
+        custom: bool,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<CellResult, EmuError> {
+        let spec = self.cell_spec(cell);
+        let scenario = scenario_for(&mut self.scenarios, spec, custom)?;
+        let traced =
+            self.trace.as_ref().filter(|(label, _)| *label == cell.label).map(|(_, s)| s.clone());
+        run_cell_on(&mut self.jobs, Engine::Des, cell, &scenario, traced, make_scheduler)
     }
 
     /// Runs every cell of a grid in order, stopping at the first error.
@@ -633,6 +779,8 @@ impl<'a> DesSweepRunner<'a> {
     /// Runs a grid across `workers` threads, returning results in cell
     /// order (see [`SweepRunner::run_batch_parallel`]; the DES is pure
     /// single-threaded compute per cell, so grids scale with cores).
+    /// DES runs are deterministic, so duplicate cells across workers
+    /// collapse into shared [`ResultCache`] hits.
     pub fn run_batch_parallel(
         &mut self,
         cells: &[SweepCell],
@@ -642,11 +790,28 @@ impl<'a> DesSweepRunner<'a> {
         if workers <= 1 {
             return self.run_batch(cells);
         }
-        let library = self.library;
-        let config = &self.config;
+        let mut compiled = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let spec = self.cell_spec(cell);
+            compiled.push(scenario_for(&mut self.scenarios, spec, false)?);
+        }
+        let compiled = &compiled;
+        let trace = &self.trace;
+        let cache = self.jobs.cache().clone();
+        let metrics = self.config.metrics.clone();
+        let persistent = self.config.trace.clone();
         run_cells_parallel(cells, workers, self.progress.as_ref(), || {
-            let mut runner = DesSweepRunner::with_config(library, config.clone());
-            move |cell: &SweepCell| runner.run_cell(cell)
+            let mut jobs = JobRunner::with_cache(cache.clone());
+            jobs.set_metrics(metrics.clone());
+            jobs.set_trace(persistent.clone());
+            move |i: usize, cell: &SweepCell| {
+                let traced = trace
+                    .as_ref()
+                    .filter(|(label, _)| *label == cell.label)
+                    .map(|(_, s)| s.clone());
+                let mut factory = scheduler_factory(&cell.scheduler)?;
+                run_cell_on(&mut jobs, Engine::Des, cell, &compiled[i], traced, &mut factory)
+            }
         })
     }
 }
@@ -654,9 +819,8 @@ impl<'a> DesSweepRunner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{OverheadMode, TimingMode};
+    use crate::job::CostSpec;
     use crate::sched::FrfsScheduler;
-    use dssoc_platform::cost::ScaledMeasuredCost;
     use dssoc_platform::presets::zcu102;
 
     fn tiny_setup() -> (AppLibrary, Arc<Workload>) {
@@ -689,7 +853,7 @@ mod tests {
         EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: OverheadMode::None,
-            cost: Arc::new(ScaledMeasuredCost::default()),
+            cost: CostSpec::default(),
             reservation_depth: 0,
             trace: None,
             faults: None,
@@ -749,7 +913,7 @@ mod tests {
             SweepCell::new(zcu102(1, 0), "frfs", workload).warmup(true),
         ];
         let results = runner.run_batch(&cells).unwrap();
-        assert_eq!(runner.sims.len(), 2, "one simulator per platform shape");
+        assert_eq!(runner.jobs.warm_engines(), (0, 2), "one simulator per platform shape");
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].makespans_ms.len(), 2);
         assert_eq!(results[2].makespans_ms.len(), 1, "warm-up run discarded");
@@ -759,12 +923,29 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_des_cells_replay_from_result_cache() {
+        let (library, workload) = tiny_setup();
+        let mut runner = DesSweepRunner::new(&library);
+        // Same scenario content under two labels: one live run, one
+        // cache replay with byte-identical makespans.
+        let cells = vec![
+            SweepCell::new(zcu102(2, 0), "frfs", Arc::clone(&workload)).label("a"),
+            SweepCell::new(zcu102(2, 0), "frfs", workload).label("b"),
+        ];
+        let results = runner.run_batch(&cells).unwrap();
+        assert_eq!(runner.cache().hits(), 1, "duplicate cell served from cache");
+        assert_eq!(runner.cache().misses(), 1);
+        assert_eq!(results[0].makespans_ms, results[1].makespans_ms);
+        assert_eq!(results[1].label, "b", "labels stay per-cell even on cache hits");
+    }
+
+    #[test]
     fn parallel_single_worker_uses_own_pools() {
         let (library, workload) = tiny_setup();
         let mut runner = SweepRunner::with_config(&library, quiet_config());
         let cells = vec![SweepCell::new(zcu102(1, 0), "frfs", workload)];
         let results = runner.run_batch_parallel(&cells, 4).unwrap();
         assert_eq!(results.len(), 1, "single cell degrades to sequential");
-        assert_eq!(runner.pools.len(), 1, "sequential fallback warms self's pool");
+        assert_eq!(runner.jobs.warm_engines(), (1, 0), "sequential fallback warms self's pool");
     }
 }

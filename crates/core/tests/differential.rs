@@ -14,6 +14,7 @@ use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
 use dssoc_core::fault::{FaultSpec, RateFault, RetryPolicy};
+use dssoc_core::job::{CompiledScenario, CostSpec, Engine, JobRunner, ScenarioSpec};
 use dssoc_core::prelude::*;
 use dssoc_core::sched::by_name;
 use dssoc_platform::cost::CostTable;
@@ -55,7 +56,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
     let cfg = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table.clone()),
+        cost: CostSpec::table(table.clone()),
         reservation_depth: 0,
         trace: None,
         faults: None,
@@ -68,7 +69,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
     let des = DesSimulator::new(
         platform.clone(),
         DesConfig {
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
@@ -96,6 +97,53 @@ fn engines_agree_on_cpu_only_configs() {
                 "threaded-Modeled vs DES diverged: {scheduler} on {cores}C+{ffts}F \
                  (emu {emu:?}, des {des:?})"
             );
+        }
+    }
+}
+
+/// The differential invariant must survive the job layer: one shared
+/// [`CompiledScenario`] run through a single [`JobRunner`] on both
+/// engines yields the same makespan the raw-config runs produce — and
+/// on the second pass both answers replay from the result cache
+/// without drifting.
+#[test]
+fn engines_agree_through_job_runner() {
+    let (library, _registry) = standard_library();
+    let workload =
+        WorkloadSpec::validation(APPS.map(|a| (a, 1usize))).generate(&library).expect("workload");
+    let mut jobs = JobRunner::new();
+    for scheduler in ["frfs", "met"] {
+        for (cores, ffts) in [(2usize, 0usize), (3, 0)] {
+            let platform = zcu102(cores, ffts);
+            let table = full_cost_table(&library, &platform);
+            let spec = ScenarioSpec::builder()
+                .library(library.clone())
+                .platform(platform.clone())
+                .scheduler(scheduler)
+                .workload(workload.clone())
+                .timing(TimingMode::Modeled)
+                .overhead(OverheadMode::None)
+                .cost(CostSpec::table(table))
+                .build()
+                .expect("spec");
+            let scenario = CompiledScenario::compile(spec).expect("compile");
+            let threaded = jobs.run(&scenario, Engine::Threaded).expect("threaded");
+            let des = jobs.run(&scenario, Engine::Des).expect("des");
+            assert!(!threaded.cached && !des.cached, "first passes must execute");
+            assert_eq!(
+                threaded.stats.makespan, des.stats.makespan,
+                "JobRunner engines diverged: {scheduler} on {cores}C+{ffts}F"
+            );
+            // And both must match the raw-config baseline.
+            let (emu_mk, des_mk) = makespans(&platform, scheduler);
+            assert_eq!(threaded.stats.makespan, emu_mk);
+            assert_eq!(des.stats.makespan, des_mk);
+            // The deterministic config is cacheable on both engines.
+            let replay_t = jobs.run(&scenario, Engine::Threaded).expect("threaded replay");
+            let replay_d = jobs.run(&scenario, Engine::Des).expect("des replay");
+            assert!(replay_t.cached && replay_d.cached, "replays must hit the cache");
+            assert_eq!(replay_t.stats.makespan, threaded.stats.makespan);
+            assert_eq!(replay_d.stats.makespan, des.stats.makespan);
         }
     }
 }
@@ -132,7 +180,7 @@ fn engines_emit_identical_trace_slices() {
     let cfg = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table.clone()),
+        cost: CostSpec::table(table.clone()),
         reservation_depth: 0,
         trace: Some(emu_session.sink()),
         faults: None,
@@ -146,7 +194,7 @@ fn engines_emit_identical_trace_slices() {
     let des = DesSimulator::new(
         platform,
         DesConfig {
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             overhead_per_invocation: Duration::ZERO,
             trace: Some(des_session.sink()),
             faults: None,
@@ -216,7 +264,7 @@ fn faulty_run(
         let sim = DesSimulator::new(
             platform.clone(),
             DesConfig {
-                cost: Arc::new(table),
+                cost: CostSpec::table(table),
                 overhead_per_invocation: Duration::ZERO,
                 trace: Some(session.sink()),
                 faults: Some(Arc::clone(spec)),
@@ -229,7 +277,7 @@ fn faulty_run(
         let cfg = EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: OverheadMode::None,
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             reservation_depth: 0,
             trace: Some(session.sink()),
             faults: Some(Arc::clone(spec)),

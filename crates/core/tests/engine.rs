@@ -3,13 +3,13 @@
 //! integration, accelerator paths, and failure handling.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson, VariableJson};
 use dssoc_appmodel::{AppLibrary, InjectionParams, KernelRegistry, ModelError, WorkloadSpec};
 use dssoc_core::des::{DesConfig, DesSimulator};
 use dssoc_core::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::job::CostSpec;
 use dssoc_core::sched::{Assignment, PeView, SchedContext, Scheduler};
 use dssoc_core::task::ReadyTask;
 use dssoc_core::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler};
@@ -94,7 +94,7 @@ fn modeled_config(table: CostTable) -> EmulationConfig {
     EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         reservation_depth: 0,
         trace: None,
         faults: None,
@@ -180,7 +180,7 @@ fn modeled_engine_and_des_agree_deterministically() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
@@ -222,7 +222,7 @@ fn wall_clock_mode_completes() {
     let cfg = EmulationConfig {
         timing: TimingMode::WallClock,
         overhead: OverheadMode::Measured,
-        cost: Arc::new(diamond_cost_table()),
+        cost: CostSpec::table(diamond_cost_table()),
         reservation_depth: 0,
         trace: None,
         faults: None,
@@ -428,7 +428,7 @@ fn fixed_overhead_inflates_makespan_deterministically() {
         let cfg = EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: ov,
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             reservation_depth: 0,
             trace: None,
             faults: None,
@@ -480,7 +480,7 @@ fn des_respects_dependencies_too() {
     let des = DesSimulator::new(
         zcu102(3, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
@@ -508,7 +508,7 @@ fn des_overhead_knob_inflates_makespan() {
         let des = DesSimulator::new(
             zcu102(1, 0),
             DesConfig {
-                cost: Arc::new(diamond_cost_table()),
+                cost: CostSpec::table(diamond_cost_table()),
                 overhead_per_invocation: ov,
                 trace: None,
                 faults: None,
@@ -528,7 +528,7 @@ fn reservation_queue_preserves_correctness() {
     let cfg = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(diamond_cost_table()),
+        cost: CostSpec::table(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
         faults: None,
@@ -572,7 +572,7 @@ fn reservation_queue_eliminates_dispatch_overhead() {
         let cfg = EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: OverheadMode::Fixed(Duration::from_micros(100)),
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             reservation_depth: depth,
             trace: None,
             faults: None,
@@ -602,7 +602,7 @@ fn reservation_queue_depth_bounds_queueing() {
     let cfg = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(diamond_cost_table()),
+        cost: CostSpec::table(diamond_cost_table()),
         reservation_depth: 1,
         trace: None,
         faults: None,
@@ -628,7 +628,7 @@ fn wall_clock_with_reservation_and_accelerator() {
     let cfg = EmulationConfig {
         timing: TimingMode::WallClock,
         overhead: OverheadMode::Measured,
-        cost: Arc::new(diamond_cost_table()),
+        cost: CostSpec::table(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
         faults: None,
@@ -686,7 +686,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
     let cfg = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(diamond_cost_table()),
+        cost: CostSpec::table(diamond_cost_table()),
         reservation_depth: 2,
         trace: None,
         faults: None,
@@ -697,7 +697,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,

@@ -16,6 +16,7 @@ use dssoc_apps::standard_library;
 use dssoc_core::des::{DesConfig, DesSimulator};
 use dssoc_core::engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};
 use dssoc_core::fault::{FaultSpec, PermanentFault, RateFault, RetryPolicy};
+use dssoc_core::job::CostSpec;
 use dssoc_core::sched::by_name;
 use dssoc_core::time::SimTime;
 use dssoc_core::FrfsScheduler;
@@ -51,7 +52,7 @@ fn modeled_config(table: CostTable, faults: Option<Arc<FaultSpec>>) -> Emulation
     EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         reservation_depth: 0,
         trace: None,
         faults,
@@ -184,7 +185,7 @@ fn permanent_failure_is_identical_across_engines() {
         let des = DesSimulator::new(
             platform.clone(),
             DesConfig {
-                cost: Arc::new(table.clone()),
+                cost: CostSpec::table(table.clone()),
                 overhead_per_invocation: Duration::ZERO,
                 trace: Some(des_session.sink()),
                 faults: Some(Arc::clone(&spec)),
@@ -326,7 +327,7 @@ fn transient_fault_retries_quarantines_and_is_deterministic() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: Some(des_session.sink()),
             faults: Some(Arc::clone(&spec)),
@@ -381,7 +382,7 @@ fn modeled_hang_quarantines_and_matches_des() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(Arc::clone(&spec)),
@@ -548,7 +549,7 @@ fn all_pes_quarantined_surfaces_fault_error() {
     let des = DesSimulator::new(
         zcu102(1, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(spec),
@@ -588,7 +589,7 @@ fn retry_exhaustion_aborts_only_the_faulted_app() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(diamond_cost_table()),
+            cost: CostSpec::table(diamond_cost_table()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: Some(spec),

@@ -12,12 +12,12 @@
 //! * `dssoc_runs` labels the run with the scheduler display name, and
 //!   the DES marks its name with a `" (DES)"` suffix.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
+use dssoc_core::job::CostSpec;
 use dssoc_core::prelude::*;
 use dssoc_core::sched::by_name;
 use dssoc_metrics::{MetricsRegistry, SampleSnapshot};
@@ -64,7 +64,7 @@ fn metric_samples(platform: &PlatformConfig, scheduler: &str, des: bool) -> Vec<
         let sim = DesSimulator::new(
             platform.clone(),
             DesConfig {
-                cost: Arc::new(table),
+                cost: CostSpec::table(table),
                 overhead_per_invocation: Duration::ZERO,
                 trace: None,
                 faults: None,
@@ -77,7 +77,7 @@ fn metric_samples(platform: &PlatformConfig, scheduler: &str, des: bool) -> Vec<
         let cfg = EmulationConfig {
             timing: TimingMode::Modeled,
             overhead: OverheadMode::None,
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             reservation_depth: 0,
             trace: None,
             faults: None,

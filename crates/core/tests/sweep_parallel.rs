@@ -10,6 +10,7 @@ use dssoc_appmodel::app::AppLibrary;
 use dssoc_appmodel::workload::Workload;
 use dssoc_appmodel::WorkloadSpec;
 use dssoc_apps::standard_library;
+use dssoc_core::job::CostSpec;
 use dssoc_core::prelude::*;
 use dssoc_core::sched::{Assignment, PeView, SchedContext, Scheduler};
 use dssoc_core::task::ReadyTask;
@@ -81,7 +82,7 @@ fn des_parallel_batch_matches_sequential() {
     let (library, workload) = setup();
     let table = full_cost_table(&library, &[&zcu102(2, 0), &zcu102(3, 0)]);
     let config = DesConfig {
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         overhead_per_invocation: Duration::ZERO,
         trace: None,
         faults: None,
@@ -103,7 +104,7 @@ fn threaded_parallel_batch_matches_sequential() {
     let config = EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         reservation_depth: 0,
         trace: None,
         faults: None,

@@ -3,11 +3,11 @@
 //! The tests themselves live in `tests/tests/`; this small library holds
 //! the helpers they share.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use dssoc_appmodel::{AppLibrary, Workload, WorkloadSpec};
 use dssoc_core::engine::{Emulation, EmulationConfig, OverheadMode, TimingMode};
+use dssoc_core::job::CostSpec;
 use dssoc_core::stats::EmulationStats;
 use dssoc_core::Scheduler;
 use dssoc_platform::cost::CostTable;
@@ -19,7 +19,7 @@ pub fn deterministic_config(table: CostTable) -> EmulationConfig {
     EmulationConfig {
         timing: TimingMode::Modeled,
         overhead: OverheadMode::None,
-        cost: Arc::new(table),
+        cost: CostSpec::table(table),
         reservation_depth: 0,
         trace: None,
         faults: None,

@@ -3,7 +3,6 @@
 //! invariants.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -12,6 +11,7 @@ use dssoc_appmodel::json::{AppJson, NodeJson, PlatformJson, VariableJson};
 use dssoc_appmodel::{AppLibrary, InjectionParams, KernelRegistry, WorkloadSpec};
 use dssoc_core::des::{DesConfig, DesSimulator};
 use dssoc_core::engine::Emulation;
+use dssoc_core::job::CostSpec;
 use dssoc_core::{EftScheduler, FrfsScheduler, MetScheduler, RandomScheduler, Scheduler};
 use dssoc_integration::{deterministic_config, uniform_cost_table};
 use dssoc_platform::presets::zcu102;
@@ -169,7 +169,7 @@ proptest! {
 
             let des = DesSimulator::new(
                 zcu102(cores, 0),
-                DesConfig { cost: Arc::new(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None, metrics: None },
+                DesConfig { cost: CostSpec::table(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None, metrics: None },
             )
             .unwrap();
             let mut s2 = dssoc_core::sched::by_name(sched_name).unwrap();
@@ -235,7 +235,7 @@ fn eft_defers_in_engine_and_des_alike() {
     let des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
-            cost: Arc::new(table),
+            cost: CostSpec::table(table),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
