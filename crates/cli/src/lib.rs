@@ -178,13 +178,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 platform = Some(load_platform_file(&next_value(&mut i, "--platform-file")?)?)
             }
             "--scheduler" => scheduler = next_value(&mut i, "--scheduler")?,
-            "--engine" => {
-                engine = match next_value(&mut i, "--engine")?.as_str() {
-                    "threaded" => Engine::Threaded,
-                    "des" => Engine::Des,
-                    other => return Err(format!("unknown engine '{other}' (use threaded or des)")),
-                }
-            }
+            "--engine" => engine = next_value(&mut i, "--engine")?.parse()?,
             "--validation" => counts = Some(parse_counts(&next_value(&mut i, "--validation")?)?),
             "--inject" => injections.push(parse_injection(&next_value(&mut i, "--inject")?)?),
             "--frame-ms" => {

@@ -7,9 +7,17 @@ dssoc-emu — user-space DSSoC emulation framework
 
 USAGE:
   dssoc-emu run [OPTIONS]          run an emulation
+  dssoc-emu submit <job.json> [OPTIONS]
+                                   submit a job to a dssoc-serve daemon,
+                                   wait for it, and print the result JSON
   dssoc-emu apps                   list the bundled applications
   dssoc-emu export-app <name>      print an application's JSON DAG
   dssoc-emu help                   show this help
+
+SUBMIT OPTIONS:
+  --addr <host:port>         daemon address      (default 127.0.0.1:8093)
+  --tenant <name>            X-Tenant header     (default the user name)
+  --no-wait                  print the submission receipt and exit
 
 RUN OPTIONS:
   --platform <spec>          zcu102:<n>C+<m>F or odroid:<n>B+<m>L
@@ -46,6 +54,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("apps") => cmd_apps(),
         Some("export-app") => cmd_export_app(args.get(1).map(String::as_str)),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -99,6 +108,134 @@ fn cmd_run(args: &[String]) -> i32 {
         Err(e) => {
             eprintln!("error: {e}");
             1
+        }
+    }
+}
+
+/// Submits a job file to a running `dssoc-serve` daemon over its JSON
+/// HTTP API, long-polls until the job is terminal, and prints the
+/// result document — the thin-client counterpart of `run`.
+fn cmd_submit(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:8093".to_string();
+    let mut tenant = std::env::var("USER").unwrap_or_else(|_| "anonymous".into());
+    let mut wait = true;
+    let mut file: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "--tenant" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return 2;
+                };
+                if args[i] == "--addr" {
+                    addr = value.clone();
+                } else {
+                    tenant = value.clone();
+                }
+                i += 1;
+            }
+            "--no-wait" => wait = false,
+            other if file.is_none() && !other.starts_with('-') => file = Some(other),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("usage: dssoc-emu submit <job.json> [--addr host:port] [--tenant name]");
+        return 2;
+    };
+    let body = match std::fs::read(file) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return 1;
+        }
+    };
+    let post = dssoc_metrics::http::request(
+        addr.as_str(),
+        "POST",
+        "/jobs",
+        &[("X-Tenant", tenant.as_str()), ("Content-Type", "application/json")],
+        Some(&body),
+    );
+    let receipt = match post {
+        Ok(resp) if resp.status == 202 => resp.body,
+        Ok(resp) => {
+            eprintln!("error: daemon rejected the job ({}):\n{}", resp.status, resp.body);
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("error: cannot reach daemon at {addr}: {e}");
+            return 1;
+        }
+    };
+    let id =
+        serde_json::from_str::<serde_json::Value>(&receipt).ok().and_then(|v| v["job"].as_u64());
+    let Some(id) = id else {
+        eprintln!("error: malformed submission receipt:\n{receipt}");
+        return 1;
+    };
+    if !wait {
+        println!("{receipt}");
+        return 0;
+    }
+    eprintln!("submitted job {id} as tenant '{tenant}', waiting ...");
+    loop {
+        let poll = dssoc_metrics::http::request(
+            addr.as_str(),
+            "GET",
+            &format!("/jobs/{id}?wait_ms=5000"),
+            &[],
+            None,
+        );
+        let status = match poll {
+            Ok(resp) if resp.is_success() => resp.body,
+            Ok(resp) => {
+                eprintln!("error: poll failed ({}):\n{}", resp.status, resp.body);
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("error: lost the daemon at {addr}: {e}");
+                return 1;
+            }
+        };
+        let state = serde_json::from_str::<serde_json::Value>(&status)
+            .ok()
+            .and_then(|v| v["status"].as_str().map(str::to_string))
+            .unwrap_or_default();
+        match state.as_str() {
+            "queued" | "running" => continue,
+            "done" => {
+                let result = dssoc_metrics::http::request(
+                    addr.as_str(),
+                    "GET",
+                    &format!("/jobs/{id}/result"),
+                    &[],
+                    None,
+                );
+                match result {
+                    Ok(resp) if resp.is_success() => {
+                        println!("{}", resp.body);
+                        return 0;
+                    }
+                    Ok(resp) => {
+                        eprintln!("error: result fetch failed ({}):\n{}", resp.status, resp.body);
+                        return 1;
+                    }
+                    Err(e) => {
+                        eprintln!("error: lost the daemon at {addr}: {e}");
+                        return 1;
+                    }
+                }
+            }
+            _ => {
+                eprintln!("job {id} ended in state '{state}':\n{status}");
+                return 1;
+            }
         }
     }
 }

@@ -215,6 +215,18 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
+impl Fingerprint {
+    /// Parses the 16-hex-digit form [`Display`](std::fmt::Display)
+    /// produces — the round-trip for fingerprints quoted in API
+    /// responses and logs.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
 // The same splitmix64 finalizer the fault plan's counter RNG uses: a
 // strong, dependency-free 64-bit mixer.
 fn splitmix64(mut x: u64) -> u64 {
@@ -645,6 +657,35 @@ pub enum Engine {
     /// The discrete-event baseline ([`DesSimulator`]): pure virtual
     /// time, nothing executes.
     Des,
+}
+
+impl Engine {
+    /// The wire name (`"threaded"` / `"des"`) used by the CLI's
+    /// `--engine` flag and the serve API's `"engine"` field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Threaded => "threaded",
+            Engine::Des => "des",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Engine::Threaded),
+            "des" => Ok(Engine::Des),
+            other => Err(format!("unknown engine '{other}' (use threaded or des)")),
+        }
+    }
 }
 
 /// A [`ScenarioSpec`] with everything both engines used to rebuild per
@@ -1169,6 +1210,19 @@ mod tests {
     fn _compiled_scenario_is_shareable() {
         _assert_send_sync::<Arc<CompiledScenario>>();
         _assert_send_sync::<ResultCache>();
+    }
+
+    #[test]
+    fn fingerprint_and_engine_wire_round_trips() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef);
+        assert_eq!(fp.to_string(), "0123456789abcdef");
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("123"), None, "length-checked");
+        assert_eq!(Fingerprint::parse("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!("threaded".parse::<Engine>(), Ok(Engine::Threaded));
+        assert_eq!("des".parse::<Engine>(), Ok(Engine::Des));
+        assert_eq!(Engine::Des.to_string(), "des");
+        assert!("qemu".parse::<Engine>().unwrap_err().contains("qemu"));
     }
 
     #[test]

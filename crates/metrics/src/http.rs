@@ -1,0 +1,438 @@
+//! Minimal dependency-free HTTP plumbing shared by the exposition
+//! endpoint ([`MetricsServer`]) and the emulation-as-a-service daemon
+//! (`dssoc-serve`).
+//!
+//! This is deliberately not a web framework: one `TcpListener` accept
+//! loop on a background thread, one short-lived handler thread per
+//! connection (the serve daemon fields several concurrent pollers; a
+//! serial loop would head-of-line block them), bounded request parsing
+//! (request line, headers, `Content-Length` body), and a plain
+//! [`Response`] writer. Binding port 0 picks a free port;
+//! [`HttpServer::addr`] reports what was bound. Dropping the server
+//! stops the accept loop (a self-connect unblocks the accept).
+//!
+//! A tiny blocking client ([`request`]) rounds the module out so the
+//! CLI's `submit` subcommand and the integration tests need no external
+//! HTTP dependency either.
+//!
+//! [`MetricsServer`]: crate::server::MetricsServer
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/jobs/3`).
+    pub path: String,
+    /// Query parameters in request order (`?wait_ms=500`).
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in request order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Path segments, skipping empty ones (`/jobs/3/result` gives
+    /// `["jobs", "3", "result"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// One HTTP response to write back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (reason phrase derived via [`status_reason`]).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with an explicit status, content type, and body.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type: content_type.to_string(), body: body.into() }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "text/plain", body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "application/json", body.into().into_bytes())
+    }
+
+    /// The stock `404 Not Found` response.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    /// The stock `405 Method Not Allowed` response.
+    pub fn method_not_allowed() -> Response {
+        Response::text(405, "method not allowed\n")
+    }
+}
+
+/// Reason phrase for the status codes this workspace emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Request handler shared across connection threads.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Handle to a running HTTP endpoint; dropping it shuts the endpoint
+/// down (in-flight connection threads finish their one request).
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and dispatches every request
+    /// to `handler` until dropped. `name` labels the accept thread.
+    pub fn start<A: ToSocketAddrs>(
+        name: &str,
+        addr: A,
+        handler: Arc<Handler>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || accept_loop(listener, handler, stop_flag))?;
+        Ok(HttpServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept so the loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Arc<Handler>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(mut stream) = conn {
+            let handler = Arc::clone(&handler);
+            // One thread per connection: requests are short (submit,
+            // poll, scrape) but may overlap, and a long-poll must not
+            // stall other clients.
+            let _ = std::thread::Builder::new().name("http-conn".into()).spawn(move || {
+                let response = match read_request(&mut stream) {
+                    Ok(request) => handler(&request),
+                    Err(ParseError::TooLarge) => Response::text(413, "payload too large\n"),
+                    Err(ParseError::Malformed(why)) => Response::text(400, format!("{why}\n")),
+                    Err(ParseError::Io) => return,
+                };
+                let _ = write_response(&mut stream, &response);
+            });
+        }
+    }
+}
+
+enum ParseError {
+    /// The socket failed or the peer vanished mid-request; nothing to
+    /// answer.
+    Io,
+    TooLarge,
+    Malformed(&'static str),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(_: std::io::Error) -> Self {
+        ParseError::Io
+    }
+}
+
+/// Reads and parses one request (head + `Content-Length` body).
+fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("truncated request head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("/");
+    if method.is_empty() {
+        return Err(ParseError::Malformed("missing request line"));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    // Body bytes already read past the head, then the remainder.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("truncated request body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, query, headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes `response` with `Content-Length` and `Connection: close`.
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client
+// ---------------------------------------------------------------------------
+
+/// The status and body of a completed client request.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Response status code.
+    pub status: u16,
+    /// Response body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// True for any 2xx status.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Performs one blocking HTTP request against `addr` and returns the
+/// parsed status and body. `headers` are extra request headers
+/// (`Host` and `Content-Length` are added automatically).
+pub fn request<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: localhost\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.map_or(0, <[u8]>::len)));
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body)?;
+    }
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response status")
+        })?;
+    let body = match text.find("\r\n\r\n") {
+        Some(pos) => text[pos + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok(ClientResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        let handler: Arc<Handler> = Arc::new(|req: &Request| {
+            let tenant = req.header("x-tenant").unwrap_or("-").to_string();
+            let wait = req.query_param("wait_ms").unwrap_or("-").to_string();
+            Response::json(
+                200,
+                format!(
+                    "{{\"method\":\"{}\",\"path\":\"{}\",\"tenant\":\"{}\",\"wait\":\"{}\",\"body_len\":{}}}",
+                    req.method,
+                    req.path,
+                    tenant,
+                    wait,
+                    req.body.len()
+                ),
+            )
+        });
+        HttpServer::start("http-test", "127.0.0.1:0", handler).expect("bind")
+    }
+
+    #[test]
+    fn parses_method_path_query_headers_and_body() {
+        let server = echo_server();
+        let resp = request(
+            server.addr(),
+            "POST",
+            "/jobs?wait_ms=250",
+            &[("X-Tenant", "alice")],
+            Some(b"{\"k\":1}"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"method\":\"POST\""), "{}", resp.body);
+        assert!(resp.body.contains("\"path\":\"/jobs\""), "{}", resp.body);
+        assert!(resp.body.contains("\"tenant\":\"alice\""), "{}", resp.body);
+        assert!(resp.body.contains("\"wait\":\"250\""), "{}", resp.body);
+        assert!(resp.body.contains("\"body_len\":7"), "{}", resp.body);
+    }
+
+    #[test]
+    fn concurrent_clients_are_not_serialized() {
+        let server = echo_server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let resp =
+                        request(addr, "GET", &format!("/probe/{i}"), &[], None).expect("request");
+                    assert_eq!(resp.status, 200);
+                    assert!(resp.body.contains(&format!("/probe/{i}")));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+    }
+
+    #[test]
+    fn drop_closes_the_port() {
+        let server = echo_server();
+        let addr = server.addr();
+        drop(server);
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn segments_split_path() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/jobs/17/result".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(req.segments(), vec!["jobs", "17", "result"]);
+    }
+}

@@ -16,6 +16,9 @@
 //! - [`registry`] — [`MetricsRegistry`] keyed by interned [`Name`]
 //!   labels, producing `Clone + Serialize` [`MetricsSnapshot`]s.
 //! - [`expo`] — Prometheus/OpenMetrics text rendering.
+//! - [`http`] — minimal shared HTTP plumbing (listener loop, request
+//!   parse, response write, blocking client) used by [`server`] here
+//!   and by the `dssoc-serve` daemon.
 //! - [`server`] — a dependency-free HTTP endpoint ([`MetricsServer`])
 //!   serving `/metrics` and `/snapshot.json`.
 //!
@@ -37,6 +40,7 @@
 pub mod cell;
 pub mod expo;
 pub mod histogram;
+pub mod http;
 pub mod registry;
 pub mod server;
 

@@ -1,29 +1,24 @@
-//! Minimal dependency-free HTTP exposition endpoint.
+//! The metrics exposition endpoint, built on the shared HTTP plumbing
+//! in [`crate::http`].
 //!
-//! One `std::net::TcpListener` accept loop on a background thread,
-//! serving `GET /metrics` (OpenMetrics text), `GET /snapshot.json`
-//! (the serialized [`MetricsSnapshot`]), and a tiny index at `/`.
-//! Connections are handled serially — a scrape endpoint sees one
-//! client every few seconds, not traffic. Binding port 0 picks a free
-//! port; [`MetricsServer::addr`] reports what was bound. Dropping the
-//! server stops the loop (a self-connect unblocks the accept).
+//! Serves `GET /metrics` (OpenMetrics text), `GET /snapshot.json` (the
+//! serialized [`MetricsSnapshot`]), and a tiny index at `/`. Binding
+//! port 0 picks a free port; [`MetricsServer::addr`] reports what was
+//! bound. Dropping the server stops the endpoint.
+//!
+//! [`MetricsSnapshot`]: crate::registry::MetricsSnapshot
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 use crate::expo::{render_openmetrics, OPENMETRICS_CONTENT_TYPE};
+use crate::http::{Handler, HttpServer, Request, Response};
 use crate::registry::MetricsRegistry;
 
 /// Handle to a running exposition endpoint; dropping it shuts the
 /// endpoint down.
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl MetricsServer {
@@ -33,112 +28,49 @@ impl MetricsServer {
         addr: A,
         registry: MetricsRegistry,
     ) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("dssoc-metrics-http".into())
-            .spawn(move || accept_loop(listener, registry, stop_flag))?;
-        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| serve_one(req, &registry));
+        let inner = HttpServer::start("dssoc-metrics-http", addr, handler)?;
+        Ok(MetricsServer { inner })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 }
 
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Unblock the accept so the loop observes the stop flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+/// Routes the three exposition paths over `registry`.
+///
+/// Public so the serve daemon can mount the same endpoints on its own
+/// router alongside the job API.
+pub fn serve_one(req: &Request, registry: &MetricsRegistry) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed();
     }
-}
-
-fn accept_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<AtomicBool>) {
-    for conn in listener.incoming() {
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-        if let Ok(mut stream) = conn {
-            let _ = serve_one(&mut stream, &registry);
-        }
-    }
-}
-
-/// Reads the request head (bounded) and returns the request path.
-fn read_path(stream: &mut TcpStream) -> std::io::Result<String> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("/");
-    if method != "GET" {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "only GET supported"));
-    }
-    Ok(path.to_string())
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-fn serve_one(stream: &mut TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
-    let path = match read_path(stream) {
-        Ok(p) => p,
-        Err(_) => return respond(stream, "400 Bad Request", "text/plain", "bad request\n"),
-    };
-    match path.as_str() {
+    match req.path.as_str() {
         "/metrics" => {
             let body = render_openmetrics(&registry.snapshot());
-            respond(stream, "200 OK", OPENMETRICS_CONTENT_TYPE, &body)
+            Response::new(200, OPENMETRICS_CONTENT_TYPE, body.into_bytes())
         }
         "/snapshot.json" => {
             let body = serde_json::to_string_pretty(&registry.snapshot())
                 .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-            respond(stream, "200 OK", "application/json", &body)
+            Response::json(200, body)
         }
-        "/" => respond(
-            stream,
-            "200 OK",
-            "text/plain",
+        "/" => Response::text(
+            200,
             "dssoc-metrics exposition endpoint\n/metrics — OpenMetrics text\n/snapshot.json — JSON snapshot\n",
         ),
-        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => Response::not_found(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
 
     fn scrape(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -175,5 +107,14 @@ mod tests {
         drop(server);
         // After drop the port no longer accepts.
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let registry = MetricsRegistry::new();
+        let server = MetricsServer::start("127.0.0.1:0", registry).expect("bind");
+        let resp = crate::http::request(server.addr(), "POST", "/metrics", &[], Some(b"{}"))
+            .expect("request");
+        assert_eq!(resp.status, 405);
     }
 }

@@ -1,0 +1,356 @@
+//! The submission wire format: one JSON object per job.
+//!
+//! A submission names everything the scenario layer needs — platform
+//! (preset shorthand *or* inline [`PlatformConfig`]), workload (full
+//! [`WorkloadSpec`] *or* the `"validation"` shorthand), scheduler,
+//! engine, seed, optional fault spec — plus the daemon-level knobs
+//! (priority, trace capture). Parsing compiles the scenario up front,
+//! so every validation error (unknown app, bad platform shape,
+//! incompatible workload) surfaces as a `400` with a one-line reason
+//! instead of a queued job that fails later.
+//!
+//! ```json
+//! {
+//!   "engine": "des",
+//!   "platform": "zcu102:2C+1F",
+//!   "scheduler": "eft",
+//!   "validation": { "range_detection": 8 },
+//!   "seed": 7
+//! }
+//! ```
+//!
+//! Engine defaults keep the common cases deterministic-and-cacheable:
+//! DES jobs get a table cost and no overhead charge unless overridden;
+//! threaded jobs default to the paper's measured configuration
+//! (modeled timing, measured overhead, scaled-measured cost) and
+//! become cacheable only when the client pins `"cost": "table"` and a
+//! fixed `"overhead_us"`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_appmodel::workload::WorkloadSpec;
+use dssoc_core::engine::{OverheadMode, TimingMode};
+use dssoc_core::fault::FaultSpec;
+use dssoc_core::job::{CompiledScenario, CostSpec, Engine, ScenarioSpec};
+use dssoc_platform::cost::CostTable;
+use dssoc_platform::pe::PlatformConfig;
+use serde::Deserialize;
+use serde_json::Value;
+
+/// Priorities are small ordinals; anything above this is clamped.
+pub const MAX_PRIORITY: u8 = 9;
+
+/// A fully validated submission: the compiled scenario plus the
+/// daemon-level execution knobs.
+#[derive(Debug)]
+pub struct ParsedJob {
+    /// The compiled scenario, ready to run (and fingerprinted).
+    pub scenario: Arc<CompiledScenario>,
+    /// Which engine executes it.
+    pub engine: Engine,
+    /// Queue priority, `0..=9` (higher dispatches first).
+    pub priority: u8,
+    /// Capture a per-run Chrome/Perfetto trace artifact.
+    pub trace: bool,
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => {
+            val.as_str().map(Some).ok_or_else(|| format!("field '{key}' must be a string"))
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => val
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn field_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(val) => val.as_bool().ok_or_else(|| format!("field '{key}' must be a boolean")),
+    }
+}
+
+/// Builds the workload request from either the full `"workload"` spec
+/// (the serde form of [`WorkloadSpec`]) or the `"validation"` app →
+/// count shorthand.
+fn parse_workload(v: &Value) -> Result<WorkloadSpec, String> {
+    let mut spec = match (v.get("workload"), v.get("validation")) {
+        (Some(_), Some(_)) => {
+            return Err("give either 'workload' or 'validation', not both".into());
+        }
+        (Some(w), None) => WorkloadSpec::from_value(w)
+            .map_err(|e| format!("field 'workload' is not a valid WorkloadSpec: {e}"))?,
+        (None, Some(val)) => {
+            let map = val
+                .as_object()
+                .ok_or("field 'validation' must map app names to instance counts")?;
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for (app, n) in map {
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("validation count for '{app}' must be an integer"))?;
+                counts.insert(app.clone(), n as usize);
+            }
+            WorkloadSpec::validation(counts)
+        }
+        (None, None) => {
+            return Err("missing workload: give 'workload' or 'validation'".into());
+        }
+    };
+    if let Some(seed) = field_u64(v, "seed")? {
+        spec.seed = seed;
+    }
+    Ok(spec)
+}
+
+/// The platform field: a preset shorthand string (`"zcu102:2C+1F"`)
+/// or an inline [`PlatformConfig`] object.
+enum PlatformField {
+    Preset(String),
+    Inline(Box<PlatformConfig>),
+}
+
+fn parse_platform(v: &Value) -> Result<PlatformField, String> {
+    match v.get("platform") {
+        Some(Value::String(preset)) => Ok(PlatformField::Preset(preset.clone())),
+        Some(obj @ Value::Object(_)) => {
+            let config = PlatformConfig::from_value(obj)
+                .map_err(|e| format!("field 'platform' is not a valid PlatformConfig: {e}"))?;
+            Ok(PlatformField::Inline(Box::new(config)))
+        }
+        Some(_) => Err("field 'platform' must be a preset string or a config object".into()),
+        None => Err("missing field 'platform' (e.g. \"zcu102:2C+1F\")".into()),
+    }
+}
+
+/// Parses and compiles one submission body against `library`.
+///
+/// Every rejection reason is a single human-readable line, returned
+/// verbatim in the daemon's `400` error body.
+pub fn parse_job(body: &[u8], library: &Arc<AppLibrary>) -> Result<ParsedJob, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("body must be a JSON object".into());
+    }
+
+    let engine: Engine = field_str(&v, "engine")?.unwrap_or("des").parse()?;
+
+    let workload_spec = parse_workload(&v)?;
+    let workload =
+        workload_spec.generate(library).map_err(|e| format!("workload rejected: {e}"))?;
+
+    // Engine-specific defaults (see module docs), each overridable.
+    let timing = match field_str(&v, "timing")? {
+        None => TimingMode::Modeled,
+        Some("modeled") => TimingMode::Modeled,
+        Some("wallclock") => TimingMode::WallClock,
+        Some(other) => {
+            return Err(format!("unknown timing '{other}' (use modeled or wallclock)"));
+        }
+    };
+    let overhead = match v.get("overhead_us") {
+        None | Some(Value::Null) => match engine {
+            Engine::Des => OverheadMode::None,
+            Engine::Threaded => OverheadMode::Measured,
+        },
+        Some(val) => {
+            let us = val
+                .as_f64()
+                .filter(|us| us.is_finite() && *us >= 0.0)
+                .ok_or("field 'overhead_us' must be a non-negative number")?;
+            OverheadMode::Fixed(Duration::from_secs_f64(us * 1e-6))
+        }
+    };
+    let cost = match field_str(&v, "cost")? {
+        None => match engine {
+            Engine::Des => CostSpec::table(CostTable::new()),
+            Engine::Threaded => CostSpec::scaled_measured(),
+        },
+        Some("table") => CostSpec::table(CostTable::new()),
+        Some("measured") => CostSpec::scaled_measured(),
+        Some(other) => return Err(format!("unknown cost '{other}' (use table or measured)")),
+    };
+
+    let mut builder = ScenarioSpec::builder()
+        .library(Arc::clone(library))
+        .workload(workload)
+        .scheduler(field_str(&v, "scheduler")?.unwrap_or("frfs"))
+        .timing(timing)
+        .overhead(overhead)
+        .cost(cost)
+        .reservation_depth(field_u64(&v, "reservation_depth")?.unwrap_or(0) as usize);
+    builder = match parse_platform(&v)? {
+        PlatformField::Preset(p) => builder.platform_named(p),
+        PlatformField::Inline(config) => builder.platform(*config),
+    };
+    if let Some(faults) = v.get("faults") {
+        if !faults.is_null() {
+            let text = serde_json::to_string(faults).map_err(|e| e.to_string())?;
+            let spec = FaultSpec::from_json(&text)
+                .map_err(|e| format!("field 'faults' is not a valid FaultSpec: {e}"))?;
+            builder = builder.faults(Arc::new(spec));
+        }
+    }
+
+    let spec = builder.build().map_err(|e| format!("scenario rejected: {e}"))?;
+    let scenario =
+        CompiledScenario::compile(spec).map_err(|e| format!("scenario rejected: {e}"))?;
+
+    let priority = field_u64(&v, "priority")?.unwrap_or(0).min(MAX_PRIORITY as u64) as u8;
+    let trace = field_bool(&v, "trace")?;
+    Ok(ParsedJob { scenario, engine, priority, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_apps::standard_library;
+
+    fn library() -> Arc<AppLibrary> {
+        Arc::new(standard_library().0)
+    }
+
+    #[test]
+    fn preset_validation_job_parses() {
+        let body = br#"{
+            "engine": "des",
+            "platform": "zcu102:2C+1F",
+            "scheduler": "eft",
+            "validation": { "range_detection": 3 }
+        }"#;
+        let job = parse_job(body, &library()).unwrap();
+        assert_eq!(job.engine, Engine::Des);
+        assert_eq!(job.scenario.spec().scheduler, "eft");
+        assert_eq!(job.scenario.spec().workload.len(), 3);
+        assert!(job.scenario.deterministic(Engine::Des), "DES default is cacheable");
+        assert_eq!(job.priority, 0);
+        assert!(!job.trace);
+    }
+
+    #[test]
+    fn inline_platform_round_trips_through_json() {
+        // Serialize a real preset config and feed it back inline.
+        let config = dssoc_platform::presets::zcu102(1, 1);
+        let inline = serde_json::to_value(&config);
+        let body = serde_json::to_string(&serde_json::json!({
+            "platform": inline,
+            "validation": { "pulse_doppler": 1 }
+        }))
+        .unwrap();
+        let job = parse_job(body.as_bytes(), &library()).unwrap();
+        assert_eq!(job.scenario.spec().platform.name, config.name);
+    }
+
+    #[test]
+    fn full_workload_spec_and_seed_override() {
+        let body = br#"{
+            "platform": "zcu102:2C+1F",
+            "workload": {
+                "mode": { "Performance": {
+                    "injections": [{
+                        "app": "range_detection",
+                        "period": { "secs": 0, "nanos": 500000 },
+                        "probability": 0.5
+                    }],
+                    "time_frame": { "secs": 0, "nanos": 10000000 }
+                }},
+                "seed": 1
+            },
+            "seed": 42
+        }"#;
+        let lib = library();
+        let job = parse_job(body, &lib).unwrap();
+        assert!(job.scenario.spec().workload.time_frame.is_some());
+        // Top-level seed overrides the nested one: the same body with
+        // a different override fingerprints differently.
+        let body_no_override = String::from_utf8_lossy(body).replace("\"seed\": 42", "\"seed\": 1");
+        let other = parse_job(body_no_override.as_bytes(), &lib).unwrap();
+        assert_ne!(job.scenario.fingerprint(), other.scenario.fingerprint());
+    }
+
+    #[test]
+    fn threaded_defaults_measured_but_can_pin_deterministic() {
+        let lib = library();
+        let body = br#"{
+            "engine": "threaded",
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 }
+        }"#;
+        let job = parse_job(body, &lib).unwrap();
+        assert!(!job.scenario.deterministic(Engine::Threaded));
+        let body = br#"{
+            "engine": "threaded",
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "cost": "table",
+            "overhead_us": 5
+        }"#;
+        let job = parse_job(body, &lib).unwrap();
+        assert!(job.scenario.deterministic(Engine::Threaded), "pinned config is cacheable");
+    }
+
+    #[test]
+    fn rejections_carry_one_line_reasons() {
+        let lib = library();
+        let cases: &[(&[u8], &str)] = &[
+            (b"not json", "not valid JSON"),
+            (b"[1,2]", "must be a JSON object"),
+            (b"{}", "missing workload"),
+            (br#"{"validation": {"wifi_tx": 1}}"#, "missing field 'platform'"),
+            (br#"{"platform": "zcu102:2C+1F"}"#, "missing workload"),
+            (
+                br#"{"platform": "zcu102:2C+1F", "validation": {"nope": 1}}"#,
+                "unknown application",
+            ),
+            (
+                br#"{"platform": "riscv:1C+0F", "validation": {"wifi_tx": 1}}"#,
+                "unknown board",
+            ),
+            (
+                br#"{"platform": "zcu102:2C+1F", "validation": {"wifi_tx": 1}, "engine": "qemu"}"#,
+                "unknown engine",
+            ),
+            (
+                br#"{"platform": "zcu102:2C+1F", "validation": {"wifi_tx": 1}, "scheduler": "heft"}"#,
+                "unknown scheduler",
+            ),
+            (
+                br#"{"platform": "zcu102:2C+1F", "validation": {"wifi_tx": 1}, "overhead_us": -2}"#,
+                "overhead_us",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = parse_job(body, &lib).unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+            assert!(!err.contains('\n'), "one line: {err}");
+        }
+    }
+
+    #[test]
+    fn identical_bodies_fingerprint_identically() {
+        let lib = library();
+        let body = br#"{
+            "platform": "odroid:2B+1L",
+            "validation": { "range_detection": 2, "wifi_rx": 1 },
+            "scheduler": "eft"
+        }"#;
+        let a = parse_job(body, &lib).unwrap();
+        let b = parse_job(body, &lib).unwrap();
+        assert_eq!(a.scenario.fingerprint(), b.scenario.fingerprint());
+    }
+}

@@ -1,0 +1,333 @@
+//! The HTTP face of the daemon: routes, JSON rendering, and lifecycle.
+//!
+//! Endpoints (all JSON unless noted):
+//!
+//! | Method & path            | Meaning                                      |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /jobs`             | Submit a job (`202`, body from [`api`])      |
+//! | `GET /jobs`              | List known jobs                              |
+//! | `GET /jobs/<id>`         | Job status (`?wait_ms=` long-polls)          |
+//! | `GET /jobs/<id>/result`  | Result of a finished job                     |
+//! | `GET /jobs/<id>/trace`   | Chrome/Perfetto trace artifact, if captured  |
+//! | `POST /jobs/<id>/cancel` | Cancel a queued job (`DELETE /jobs/<id>` too)|
+//! | `GET /tenants`           | Per-tenant accounting                        |
+//! | `GET /metrics`           | OpenMetrics exposition (shared with          |
+//! |                          | [`MetricsServer`]'s routing)                 |
+//! | `GET /snapshot.json`     | Metrics snapshot as JSON                     |
+//! | `GET /healthz`           | Liveness probe                               |
+//!
+//! Tenants are identified by the `X-Tenant` header (falling back to
+//! a `Bearer` token, then `"anonymous"`): the daemon is a quota and
+//! accounting boundary, not an authentication one.
+//!
+//! [`api`]: crate::api
+//! [`MetricsServer`]: dssoc_metrics::server::MetricsServer
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssoc_appmodel::app::AppLibrary;
+use dssoc_metrics::http::{Handler, HttpServer, Request, Response};
+use dssoc_metrics::server::serve_one;
+use dssoc_metrics::MetricsRegistry;
+use serde_json::{json, Value};
+
+use crate::api::parse_job;
+use crate::manager::{
+    AdmissionError, CancelOutcome, JobManager, JobSnapshot, JobState, ManagerConfig,
+};
+
+/// Longest accepted `?wait_ms=` long-poll.
+const MAX_WAIT: Duration = Duration::from_secs(30);
+
+/// Daemon configuration: bind address plus the manager's sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Manager sizing and quotas.
+    pub manager: ManagerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:8093".to_string(), manager: ManagerConfig::default() }
+    }
+}
+
+/// A running daemon; dropping it stops the listener and cancels
+/// queued jobs, [`Daemon::shutdown`] drains them first.
+pub struct Daemon {
+    server: Option<HttpServer>,
+    manager: Arc<JobManager>,
+    registry: MetricsRegistry,
+}
+
+impl Daemon {
+    /// Binds the listener, starts the worker pool, and begins serving.
+    pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
+        let registry = MetricsRegistry::new();
+        let library = Arc::new(dssoc_apps::standard_library().0);
+        let manager = JobManager::start(config.manager, registry.clone());
+        let handler_manager = Arc::clone(&manager);
+        let handler_registry = registry.clone();
+        let handler: Arc<Handler> =
+            Arc::new(move |req| route(req, &handler_manager, &handler_registry, &library));
+        let server = HttpServer::start("dssoc-serve", config.addr.as_str(), handler)?;
+        Ok(Daemon { server: Some(server), manager, registry })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("server runs until drop").addr()
+    }
+
+    /// The daemon's metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The job manager (for in-process inspection in tests).
+    pub fn manager(&self) -> &Arc<JobManager> {
+        &self.manager
+    }
+
+    /// Graceful shutdown: stop accepting connections, run every queued
+    /// job to completion, then join the workers.
+    pub fn shutdown(mut self) {
+        self.server.take();
+        self.manager.shutdown(true);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.server.take();
+        // Fast path for aborts: queued jobs are cancelled, in-flight
+        // runs still finish (engine runs are not interruptible).
+        self.manager.shutdown(false);
+    }
+}
+
+/// The tenant identity of a request (accounting key, not auth).
+fn tenant_of(req: &Request) -> String {
+    if let Some(t) = req.header("x-tenant") {
+        if !t.is_empty() {
+            return t.to_string();
+        }
+    }
+    if let Some(auth) = req.header("authorization") {
+        if let Some(token) = auth.strip_prefix("Bearer ") {
+            if !token.is_empty() {
+                return token.to_string();
+            }
+        }
+    }
+    "anonymous".to_string()
+}
+
+fn error_body(status: u16, message: &str) -> Response {
+    let body = json!({ "error": message });
+    Response::json(status, serde_json::to_string(&body).unwrap_or_default())
+}
+
+fn json_ok(status: u16, value: &Value) -> Response {
+    Response::json(status, serde_json::to_string_pretty(value).unwrap_or_default())
+}
+
+fn status_value(snap: &JobSnapshot) -> Value {
+    let mut v = json!({
+        "job": snap.id,
+        "status": snap.state.name(),
+        "tenant": snap.tenant,
+        "engine": snap.engine.as_str(),
+        "priority": snap.priority,
+        "fingerprint": snap.fingerprint.to_string(),
+        "scheduler": snap.scheduler,
+        "platform": snap.platform,
+        "queue_wait_ms": snap.queue_wait.as_secs_f64() * 1e3,
+        "trace": snap.trace,
+    });
+    if let Value::Object(map) = &mut v {
+        if let Some(run) = snap.run_time {
+            map.insert("run_ms".to_string(), json!(run.as_secs_f64() * 1e3));
+        }
+        if let JobState::Failed(err) = &snap.state {
+            map.insert("error".to_string(), json!(err));
+        }
+        if let JobState::Done(outcome) = &snap.state {
+            map.insert("cached".to_string(), json!(outcome.cached));
+        }
+    }
+    v
+}
+
+fn result_value(snap: &JobSnapshot) -> Option<Value> {
+    let JobState::Done(outcome) = &snap.state else { return None };
+    let mut v = json!({
+        "job": snap.id,
+        "fingerprint": snap.fingerprint.to_string(),
+        "engine": snap.engine.as_str(),
+        "scheduler": snap.scheduler,
+        "platform": snap.platform,
+        "cached": outcome.cached,
+        "makespan_ns": outcome.makespan_ns as u64,
+        "makespan_ms": outcome.makespan_ns as f64 / 1e6,
+        "apps_completed": outcome.apps_completed,
+        "apps_total": outcome.apps_total,
+        "tasks": outcome.tasks,
+        "sched_invocations": outcome.sched_invocations,
+        "pe_utilization": outcome
+            .utilization
+            .iter()
+            .map(|(pe, u)| json!({ "pe": pe, "utilization": u }))
+            .collect::<Vec<_>>(),
+        "reliability": {
+            "faults_injected": outcome.faults_injected,
+            "apps_aborted": outcome.apps_aborted,
+        },
+    });
+    if let Value::Object(map) = &mut v {
+        if snap.trace {
+            map.insert("trace_url".to_string(), json!(format!("/jobs/{}/trace", snap.id)));
+        }
+    }
+    Some(v)
+}
+
+fn submit(req: &Request, manager: &JobManager, library: &Arc<AppLibrary>) -> Response {
+    let tenant = tenant_of(req);
+    let parsed = match parse_job(&req.body, library) {
+        Ok(parsed) => parsed,
+        Err(why) => return error_body(400, &why),
+    };
+    match manager.submit(&tenant, parsed.scenario, parsed.engine, parsed.priority, parsed.trace) {
+        Ok(snap) => json_ok(202, &status_value(&snap)),
+        Err(err @ AdmissionError::TenantOverQuota(n)) => error_body(
+            429,
+            &format!("tenant '{tenant}' has {n} queued job(s), quota reached ({})", err.reason()),
+        ),
+        Err(AdmissionError::QueueFull) => error_body(503, "job queue is full (queue_full)"),
+        Err(AdmissionError::Draining) => error_body(503, "daemon is draining (draining)"),
+    }
+}
+
+fn job_status(req: &Request, manager: &JobManager, id: u64) -> Response {
+    // `?wait_ms=` long-polls for a terminal state (bounded).
+    let wait = req
+        .query_param("wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms).min(MAX_WAIT));
+    let snap = match wait {
+        Some(timeout) => manager.wait(id, timeout),
+        None => manager.job(id),
+    };
+    match snap {
+        Some(snap) => json_ok(200, &status_value(&snap)),
+        None => error_body(404, &format!("no job {id}")),
+    }
+}
+
+fn job_result(manager: &JobManager, id: u64) -> Response {
+    match manager.job(id) {
+        None => error_body(404, &format!("no job {id}")),
+        Some(snap) => match result_value(&snap) {
+            Some(v) => json_ok(200, &v),
+            None => error_body(409, &format!("job {id} is {}, not done", snap.state.name())),
+        },
+    }
+}
+
+fn job_trace(manager: &JobManager, id: u64) -> Response {
+    match manager.job(id) {
+        None => error_body(404, &format!("no job {id}")),
+        Some(snap) if !snap.trace => {
+            error_body(404, &format!("job {id} was submitted without trace capture"))
+        }
+        Some(snap) => match manager.trace_artifact(id) {
+            Some(text) => Response::json(200, text.as_str()),
+            None => error_body(409, &format!("job {id} is {}, trace not ready", snap.state.name())),
+        },
+    }
+}
+
+fn job_cancel(manager: &JobManager, id: u64) -> Response {
+    match manager.cancel(id) {
+        CancelOutcome::Cancelled => json_ok(200, &json!({ "job": id, "status": "cancelled" })),
+        CancelOutcome::Running => {
+            error_body(409, &format!("job {id} is already running; runs are not interruptible"))
+        }
+        CancelOutcome::Terminal => error_body(409, &format!("job {id} already finished")),
+        CancelOutcome::NotFound => error_body(404, &format!("no job {id}")),
+    }
+}
+
+fn list_jobs(manager: &JobManager) -> Response {
+    let (queued, running) = manager.depth();
+    let jobs: Vec<Value> = manager.list().iter().map(status_value).collect();
+    json_ok(200, &json!({ "queued": queued, "running": running, "jobs": jobs }))
+}
+
+fn list_tenants(manager: &JobManager) -> Response {
+    let tenants: Vec<Value> = manager
+        .tenants()
+        .iter()
+        .map(|t| {
+            json!({
+                "tenant": t.tenant,
+                "queued": t.queued,
+                "inflight": t.inflight,
+                "submitted": t.submitted,
+                "rejected": t.rejected,
+                "cache_served": t.cache_served,
+            })
+        })
+        .collect();
+    json_ok(200, &json!({ "tenants": tenants }))
+}
+
+const INDEX: &str = "dssoc-serve: emulation as a service\n\
+    POST /jobs            submit a job (JSON body)\n\
+    GET  /jobs            list jobs\n\
+    GET  /jobs/<id>       job status (?wait_ms= long-polls)\n\
+    GET  /jobs/<id>/result finished-job result\n\
+    GET  /jobs/<id>/trace  trace artifact (submit with \"trace\": true)\n\
+    POST /jobs/<id>/cancel cancel a queued job\n\
+    GET  /tenants         per-tenant accounting\n\
+    GET  /metrics         OpenMetrics exposition\n\
+    GET  /snapshot.json   metrics snapshot as JSON\n\
+    GET  /healthz         liveness\n";
+
+/// Routes one request (exposed for in-process tests).
+pub fn route(
+    req: &Request,
+    manager: &JobManager,
+    registry: &MetricsRegistry,
+    library: &Arc<AppLibrary>,
+) -> Response {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => Response::text(200, INDEX),
+        ("GET", ["healthz"]) => json_ok(200, &json!({ "status": "ok" })),
+        ("GET", ["metrics"]) | ("GET", ["snapshot.json"]) => serve_one(req, registry),
+        ("POST", ["jobs"]) => submit(req, manager, library),
+        ("GET", ["jobs"]) => list_jobs(manager),
+        ("GET", ["tenants"]) => list_tenants(manager),
+        (method, ["jobs", id, rest @ ..]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return error_body(400, "job id must be an integer");
+            };
+            match (method, rest) {
+                ("GET", []) => job_status(req, manager, id),
+                ("DELETE", []) => job_cancel(manager, id),
+                ("GET", ["result"]) => job_result(manager, id),
+                ("GET", ["trace"]) => job_trace(manager, id),
+                ("POST", ["cancel"]) => job_cancel(manager, id),
+                _ => Response::not_found(),
+            }
+        }
+        ("GET", _) => Response::not_found(),
+        _ => Response::method_not_allowed(),
+    }
+}

@@ -1,0 +1,44 @@
+//! **dssoc-serve** — the emulation-as-a-service daemon.
+//!
+//! The paper's framework runs once per invocation; the ROADMAP's
+//! north star (the CEDR direction) is a long-lived runtime that many
+//! users target concurrently. This crate is that runtime: a
+//! multi-tenant daemon accepting emulation jobs over a small JSON
+//! HTTP API and executing them through the shared scenario/job layer
+//! ([`dssoc_core::job`]).
+//!
+//! The stack, bottom to top:
+//!
+//! * [`api`] — the submission wire format: JSON in, a compiled
+//!   [`CompiledScenario`] out (or a one-line `400` reason). Platforms
+//!   may be preset shorthands or inline configs; workloads may be
+//!   full [`WorkloadSpec`]s or the `"validation"` shorthand.
+//! * [`manager`] — bounded priority queue, per-tenant admission
+//!   control (`429` on quota breach), and a fixed worker pool: one
+//!   threaded-lane worker owning a persistent resource pool, N DES
+//!   workers, all sharing one fingerprint-keyed [`ResultCache`] so an
+//!   identical submission — from any tenant — is answered without
+//!   re-execution.
+//! * [`daemon`] — HTTP routing (submit/status/result/trace/cancel,
+//!   plus the metrics endpoints shared with `dssoc-metrics`) and
+//!   graceful drain.
+//!
+//! Everything observable is published through `dssoc-metrics` on the
+//! daemon's own `/metrics`: queue depth, in-flight gauge, per-tenant
+//! submissions/rejections/cache hits, queue-wait and job-latency
+//! histograms, and the engines' own execution families.
+//!
+//! [`CompiledScenario`]: dssoc_core::job::CompiledScenario
+//! [`WorkloadSpec`]: dssoc_appmodel::workload::WorkloadSpec
+//! [`ResultCache`]: dssoc_core::job::ResultCache
+
+pub mod api;
+pub mod daemon;
+pub mod manager;
+
+pub use api::{parse_job, ParsedJob};
+pub use daemon::{Daemon, ServeConfig};
+pub use manager::{
+    AdmissionError, CancelOutcome, JobManager, JobOutcome, JobSnapshot, JobState, ManagerConfig,
+    TenantSnapshot,
+};

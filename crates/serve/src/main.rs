@@ -1,0 +1,166 @@
+//! The `dssoc-serve` binary: parse flags, start the daemon, serve
+//! until SIGTERM/SIGINT, then drain gracefully.
+
+use std::time::Duration;
+
+use dssoc_serve::{Daemon, ManagerConfig, ServeConfig};
+
+const USAGE: &str = "\
+dssoc-serve — multi-tenant emulation-as-a-service daemon
+
+USAGE:
+    dssoc-serve [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>        Bind address [default: 127.0.0.1:8093]
+    --des-workers <n>         DES-lane worker threads [default: 2]
+    --queue-capacity <n>      Global queued-job bound [default: 256]
+    --max-queued <n>          Per-tenant queued-job quota [default: 32]
+    --max-inflight <n>        Per-tenant running-job quota [default: 4]
+    --cache-capacity <n>      Shared result-cache entries [default: 256]
+    --retention <n>           Finished jobs kept queryable [default: 1024]
+    -h, --help                Show this help
+
+Submit with: curl -s -X POST http://<addr>/jobs -H 'X-Tenant: you' \\
+    -d @configs/serve_example_job.json
+";
+
+/// Signal-flag plumbing without a libc dependency: the daemon only
+/// needs \"was SIGINT/SIGTERM delivered\", which an async-signal-safe
+/// store into a static provides.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    /// True once either signal arrived.
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn stopped() -> bool {
+        false
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_n = |v: String, flag: &str| -> Result<usize, String> {
+        v.parse::<usize>().map_err(|_| format!("{flag} needs an integer, got '{v}'"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => config.addr = next(&mut i, "--addr")?,
+            "--des-workers" => {
+                config.manager.des_workers =
+                    parse_n(next(&mut i, "--des-workers")?, "--des-workers")?
+            }
+            "--queue-capacity" => {
+                config.manager.queue_capacity =
+                    parse_n(next(&mut i, "--queue-capacity")?, "--queue-capacity")?
+            }
+            "--max-queued" => {
+                config.manager.max_queued_per_tenant =
+                    parse_n(next(&mut i, "--max-queued")?, "--max-queued")?
+            }
+            "--max-inflight" => {
+                config.manager.max_inflight_per_tenant =
+                    parse_n(next(&mut i, "--max-inflight")?, "--max-inflight")?
+            }
+            "--cache-capacity" => {
+                config.manager.cache_capacity =
+                    parse_n(next(&mut i, "--cache-capacity")?, "--cache-capacity")?
+            }
+            "--retention" => {
+                config.manager.retention = parse_n(next(&mut i, "--retention")?, "--retention")?
+            }
+            other => return Err(format!("unknown flag '{other}' (see --help)")),
+        }
+        i += 1;
+    }
+    Ok(Some(config))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(why) => {
+            eprintln!("error: {why}");
+            std::process::exit(2);
+        }
+    };
+    let ManagerConfig { des_workers, queue_capacity, .. } = config.manager;
+    let daemon = match Daemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    signals::install();
+    eprintln!(
+        "dssoc-serve: listening on http://{} ({} DES worker(s) + 1 threaded, queue {})",
+        daemon.addr(),
+        des_workers.max(1),
+        queue_capacity,
+    );
+    while !signals::stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let (queued, running) = daemon.manager().depth();
+    eprintln!("dssoc-serve: draining ({queued} queued, {running} running) ...");
+    daemon.shutdown();
+    eprintln!("dssoc-serve: drained, bye");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_and_reject() {
+        let ok = |args: &[&str]| {
+            parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap().unwrap()
+        };
+        let config = ok(&["--addr", "127.0.0.1:0", "--des-workers", "4", "--max-queued", "9"]);
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.manager.des_workers, 4);
+        assert_eq!(config.manager.max_queued_per_tenant, 9);
+        assert!(parse_args(&["--nope".to_string()]).is_err());
+        assert!(parse_args(&["--des-workers".to_string()]).is_err());
+        assert!(parse_args(&["--des-workers".to_string(), "x".to_string()]).is_err());
+        assert!(parse_args(&["--help".to_string()]).unwrap().is_none());
+    }
+}

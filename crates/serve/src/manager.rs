@@ -1,0 +1,935 @@
+//! The job manager: bounded priority queue, per-tenant admission
+//! control, and a fixed worker pool over the shared job layer.
+//!
+//! Topology follows what the engines can actually share. All workers
+//! clone one [`ResultCache`] handle, so any worker's deterministic run
+//! answers every tenant's identical resubmission. The *threaded* lane
+//! is a single worker owning one persistent [`JobRunner`]: its warm
+//! [`Emulation`] engines hold the real resource-pool threads, and two
+//! threaded jobs time-sharing the host would corrupt each other's
+//! measured timings. The *DES* lane fans out across N workers — a
+//! simulation is a pure single-threaded computation, so parallelism
+//! across jobs is free.
+//!
+//! Admission is two-tiered: a tenant over its queued quota (or the
+//! daemon over its global queue bound) is rejected at submit time,
+//! while the in-flight quota is enforced at dispatch — an over-limit
+//! tenant's jobs stay queued and other tenants' work overtakes them.
+//!
+//! [`Emulation`]: dssoc_core::engine::Emulation
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dssoc_core::job::{CompiledScenario, Engine, Fingerprint, JobRunner, ResultCache};
+use dssoc_core::sched::by_name;
+use dssoc_core::stats::EmulationStats;
+use dssoc_metrics::MetricsRegistry;
+use dssoc_trace::TraceSession;
+
+/// Sizing and quota knobs for [`JobManager::start`].
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// DES-lane worker count (the threaded lane is always 1).
+    pub des_workers: usize,
+    /// Global bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Per-tenant bound on queued jobs (submit-time `429`).
+    pub max_queued_per_tenant: usize,
+    /// Per-tenant bound on concurrently running jobs (dispatch-time
+    /// holdback, never a rejection).
+    pub max_inflight_per_tenant: usize,
+    /// Result-cache capacity (shared across all workers).
+    pub cache_capacity: usize,
+    /// Terminal jobs retained for status/result queries before the
+    /// oldest are forgotten.
+    pub retention: usize,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            des_workers: 2,
+            queue_capacity: 256,
+            max_queued_per_tenant: 32,
+            max_inflight_per_tenant: 4,
+            cache_capacity: 256,
+            retention: 1024,
+        }
+    }
+}
+
+/// Why a submission was turned away (the daemon maps these to `429` /
+/// `503` bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The daemon is draining for shutdown.
+    Draining,
+    /// The global queue bound is reached.
+    QueueFull,
+    /// The tenant already has `max_queued_per_tenant` jobs queued.
+    TenantOverQuota(usize),
+}
+
+impl AdmissionError {
+    /// Stable reason label for metrics and error bodies.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            AdmissionError::Draining => "draining",
+            AdmissionError::QueueFull => "queue_full",
+            AdmissionError::TenantOverQuota(_) => "tenant_quota",
+        }
+    }
+}
+
+/// Outcome of a cancellation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued and is now cancelled.
+    Cancelled,
+    /// The job is already running (runs are not interruptible).
+    Running,
+    /// The job already reached a terminal state.
+    Terminal,
+    /// No such job.
+    NotFound,
+}
+
+/// Everything a finished run reports (a subset of [`EmulationStats`]
+/// that serializes small; full task tables stay in the engine layer).
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Exact makespan in nanoseconds — the bit-identity handle for
+    /// cache and cross-engine comparisons.
+    pub makespan_ns: u128,
+    /// Applications that ran to completion.
+    pub apps_completed: usize,
+    /// Total application instances injected.
+    pub apps_total: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Scheduler invocations.
+    pub sched_invocations: u64,
+    /// Served from the shared result cache without running.
+    pub cached: bool,
+    /// Busy fraction per PE, in platform order.
+    pub utilization: Vec<(String, f64)>,
+    /// Faults injected (0 without a fault spec).
+    pub faults_injected: u64,
+    /// Applications aborted by faults.
+    pub apps_aborted: u64,
+}
+
+impl JobOutcome {
+    fn from_stats(stats: &EmulationStats, cached: bool) -> JobOutcome {
+        JobOutcome {
+            makespan_ns: stats.makespan.as_nanos(),
+            apps_completed: stats.completed_apps(),
+            apps_total: stats.apps.len(),
+            tasks: stats.tasks.len(),
+            sched_invocations: stats.sched_invocations,
+            cached,
+            utilization: stats
+                .utilizations()
+                .iter()
+                .map(|(pe, u)| (stats.pe_names.get(pe).cloned().unwrap_or_default(), *u))
+                .collect(),
+            faults_injected: stats.reliability.faults_injected,
+            apps_aborted: stats.reliability.apps_aborted,
+        }
+    }
+}
+
+/// Job lifecycle, as exposed over the API.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Waiting in the priority queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully.
+    Done(Box<JobOutcome>),
+    /// Failed with an engine error.
+    Failed(String),
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True once the job can no longer change state.
+    pub fn terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled)
+    }
+}
+
+/// A point-in-time public view of one job.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Daemon-assigned job id.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Executing engine.
+    pub engine: Engine,
+    /// Queue priority.
+    pub priority: u8,
+    /// Scenario fingerprint (the cache key).
+    pub fingerprint: Fingerprint,
+    /// Scheduler name from the scenario.
+    pub scheduler: String,
+    /// Platform name from the scenario.
+    pub platform: String,
+    /// Current state.
+    pub state: JobState,
+    /// Time spent queued (final once running).
+    pub queue_wait: Duration,
+    /// Run duration (`None` until the job finishes running).
+    pub run_time: Option<Duration>,
+    /// A trace artifact is (or will be) available.
+    pub trace: bool,
+}
+
+struct JobRecord {
+    tenant: String,
+    engine: Engine,
+    priority: u8,
+    fingerprint: Fingerprint,
+    scheduler: String,
+    platform: String,
+    /// Dropped when the job reaches a terminal state.
+    scenario: Option<Arc<CompiledScenario>>,
+    want_trace: bool,
+    trace_json: Option<Arc<String>>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+    state: JobState,
+}
+
+impl JobRecord {
+    fn snapshot(&self, id: u64) -> JobSnapshot {
+        JobSnapshot {
+            id,
+            tenant: self.tenant.clone(),
+            engine: self.engine,
+            priority: self.priority,
+            fingerprint: self.fingerprint,
+            scheduler: self.scheduler.clone(),
+            platform: self.platform.clone(),
+            state: self.state.clone(),
+            queue_wait: self
+                .started
+                .unwrap_or_else(Instant::now)
+                .saturating_duration_since(self.submitted),
+            run_time: match (self.started, self.finished) {
+                (Some(s), Some(f)) => Some(f.saturating_duration_since(s)),
+                _ => None,
+            },
+            trace: self.want_trace,
+        }
+    }
+}
+
+/// Heap entry: higher priority first, FIFO within a priority.
+#[derive(PartialEq, Eq)]
+struct QueuedEntry {
+    priority: u8,
+    seq: u64,
+    id: u64,
+}
+
+impl Ord for QueuedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    queued: usize,
+    inflight: usize,
+    submitted: u64,
+    rejected: u64,
+    cache_served: u64,
+}
+
+/// Per-tenant accounting, as reported by [`JobManager::tenants`].
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Tenant name (from the `X-Tenant` header).
+    pub tenant: String,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub inflight: usize,
+    /// Total admitted submissions.
+    pub submitted: u64,
+    /// Total rejected submissions.
+    pub rejected: u64,
+    /// Results served straight from the shared cache.
+    pub cache_served: u64,
+}
+
+const LANE_THREADED: usize = 0;
+const LANE_DES: usize = 1;
+
+fn lane_of(engine: Engine) -> usize {
+    match engine {
+        Engine::Threaded => LANE_THREADED,
+        Engine::Des => LANE_DES,
+    }
+}
+
+struct State {
+    next_id: u64,
+    lanes: [BinaryHeap<QueuedEntry>; 2],
+    jobs: HashMap<u64, JobRecord>,
+    /// Submission order, for listing; lazily compacted as terminal
+    /// jobs age out of `jobs`.
+    order: VecDeque<u64>,
+    tenants: HashMap<String, TenantCounters>,
+    /// Terminal job ids in completion order, bounding `jobs` growth.
+    terminal: VecDeque<u64>,
+    queued_total: usize,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers: new work, a finished job freeing an in-flight
+    /// slot, or drain.
+    work_cv: Condvar,
+    /// Wakes long-poll watchers on any terminal transition.
+    done_cv: Condvar,
+    registry: MetricsRegistry,
+    cache: ResultCache,
+    config: ManagerConfig,
+}
+
+impl Shared {
+    fn count_rejection(&self, st: &mut State, tenant: &str, err: &AdmissionError) {
+        st.tenants.entry(tenant.to_string()).or_default().rejected += 1;
+        self.registry
+            .counter("dssoc_serve_rejections", &[("tenant", tenant), ("reason", err.reason())])
+            .cell()
+            .inc();
+    }
+}
+
+/// The multi-tenant job manager (see module docs).
+pub struct JobManager {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl JobManager {
+    /// Starts the worker pool and returns the manager handle.
+    pub fn start(config: ManagerConfig, registry: MetricsRegistry) -> Arc<JobManager> {
+        let cache = ResultCache::new(config.cache_capacity.max(1));
+        cache.attach_metrics(&registry);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                next_id: 1,
+                lanes: [BinaryHeap::new(), BinaryHeap::new()],
+                jobs: HashMap::new(),
+                order: VecDeque::new(),
+                tenants: HashMap::new(),
+                terminal: VecDeque::new(),
+                queued_total: 0,
+                draining: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            registry,
+            cache,
+            config: config.clone(),
+        });
+        let mut workers = Vec::new();
+        for (lane, count) in [(LANE_THREADED, 1), (LANE_DES, config.des_workers.max(1))] {
+            for i in 0..count {
+                let shared = Arc::clone(&shared);
+                let name = match lane {
+                    LANE_THREADED => "serve-threaded".to_string(),
+                    _ => format!("serve-des-{i}"),
+                };
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(name)
+                        .spawn(move || worker_loop(&shared, lane))
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        Arc::new(JobManager {
+            shared,
+            workers: Mutex::new(workers),
+            stopped: AtomicBool::new(false),
+        })
+    }
+
+    /// The shared result cache (all lanes).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Admits one job for `tenant`, or rejects it with the reason.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        scenario: Arc<CompiledScenario>,
+        engine: Engine,
+        priority: u8,
+        trace: bool,
+    ) -> Result<JobSnapshot, AdmissionError> {
+        let shared = &self.shared;
+        let mut st = shared.state.lock().expect("manager state");
+        if st.draining {
+            shared.count_rejection(&mut st, tenant, &AdmissionError::Draining);
+            return Err(AdmissionError::Draining);
+        }
+        if st.queued_total >= shared.config.queue_capacity {
+            shared.count_rejection(&mut st, tenant, &AdmissionError::QueueFull);
+            return Err(AdmissionError::QueueFull);
+        }
+        let queued = st.tenants.entry(tenant.to_string()).or_default().queued;
+        if queued >= shared.config.max_queued_per_tenant {
+            let err = AdmissionError::TenantOverQuota(queued);
+            shared.count_rejection(&mut st, tenant, &err);
+            return Err(err);
+        }
+
+        let id = st.next_id;
+        st.next_id += 1;
+        let spec = scenario.spec();
+        let record = JobRecord {
+            tenant: tenant.to_string(),
+            engine,
+            priority,
+            fingerprint: scenario.fingerprint(),
+            scheduler: spec.scheduler.clone(),
+            platform: spec.platform.name.clone(),
+            scenario: Some(scenario),
+            want_trace: trace,
+            trace_json: None,
+            submitted: Instant::now(),
+            started: None,
+            finished: None,
+            state: JobState::Queued,
+        };
+        let snapshot = record.snapshot(id);
+        st.jobs.insert(id, record);
+        st.order.push_back(id);
+        st.lanes[lane_of(engine)].push(QueuedEntry { priority, seq: id, id });
+        st.queued_total += 1;
+        {
+            let t = st.tenants.entry(tenant.to_string()).or_default();
+            t.queued += 1;
+            t.submitted += 1;
+        }
+        shared.registry.counter("dssoc_serve_submissions", &[("tenant", tenant)]).cell().inc();
+        shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().inc();
+        drop(st);
+        shared.work_cv.notify_all();
+        Ok(snapshot)
+    }
+
+    /// A point-in-time view of one job.
+    pub fn job(&self, id: u64) -> Option<JobSnapshot> {
+        let st = self.shared.state.lock().expect("manager state");
+        st.jobs.get(&id).map(|r| r.snapshot(id))
+    }
+
+    /// Blocks up to `timeout` for the job to reach a terminal state,
+    /// then returns whatever state it is in (long-poll support).
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobSnapshot> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("manager state");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(r) if r.state.terminal() => return Some(r.snapshot(id)),
+                Some(r) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Some(r.snapshot(id));
+                    }
+                    let (next, _) = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(st, deadline.saturating_duration_since(now))
+                        .expect("manager state");
+                    st = next;
+                }
+            }
+        }
+    }
+
+    /// All known jobs in submission order (bounded by retention).
+    pub fn list(&self) -> Vec<JobSnapshot> {
+        let st = self.shared.state.lock().expect("manager state");
+        st.order.iter().filter_map(|id| st.jobs.get(id).map(|r| r.snapshot(*id))).collect()
+    }
+
+    /// Per-tenant accounting, sorted by tenant name.
+    pub fn tenants(&self) -> Vec<TenantSnapshot> {
+        let st = self.shared.state.lock().expect("manager state");
+        let mut out: Vec<TenantSnapshot> = st
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantSnapshot {
+                tenant: name.clone(),
+                queued: t.queued,
+                inflight: t.inflight,
+                submitted: t.submitted,
+                rejected: t.rejected,
+                cache_served: t.cache_served,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+
+    /// `(queued, running)` totals.
+    pub fn depth(&self) -> (usize, usize) {
+        let st = self.shared.state.lock().expect("manager state");
+        let running = st.jobs.values().filter(|r| matches!(r.state, JobState::Running)).count();
+        (st.queued_total, running)
+    }
+
+    /// Cancels a queued job (running jobs are not interruptible; the
+    /// entry is lazily dropped from the heap at dispatch).
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let shared = &self.shared;
+        let mut st = shared.state.lock().expect("manager state");
+        let Some(record) = st.jobs.get_mut(&id) else { return CancelOutcome::NotFound };
+        match record.state {
+            JobState::Queued => {
+                record.state = JobState::Cancelled;
+                record.finished = Some(Instant::now());
+                record.scenario = None;
+                let tenant = record.tenant.clone();
+                st.queued_total -= 1;
+                st.terminal.push_back(id);
+                if let Some(t) = st.tenants.get_mut(&tenant) {
+                    t.queued = t.queued.saturating_sub(1);
+                }
+                expire_terminal(&mut st, shared.config.retention);
+                shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
+                shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
+                drop(st);
+                shared.done_cv.notify_all();
+                shared.work_cv.notify_all();
+                CancelOutcome::Cancelled
+            }
+            JobState::Running => CancelOutcome::Running,
+            _ => CancelOutcome::Terminal,
+        }
+    }
+
+    /// The Chrome/Perfetto trace artifact of a traced, finished job.
+    pub fn trace_artifact(&self, id: u64) -> Option<Arc<String>> {
+        let st = self.shared.state.lock().expect("manager state");
+        st.jobs.get(&id).and_then(|r| r.trace_json.clone())
+    }
+
+    /// Stops admission and joins the workers. With `drain`, queued
+    /// jobs run to completion first; without, they are cancelled and
+    /// only in-flight runs finish. Idempotent.
+    pub fn shutdown(&self, drain: bool) {
+        let shared = &self.shared;
+        {
+            let mut st = shared.state.lock().expect("manager state");
+            st.draining = true;
+            if !drain {
+                let queued: Vec<u64> = st
+                    .jobs
+                    .iter()
+                    .filter(|(_, r)| matches!(r.state, JobState::Queued))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in queued {
+                    if let Some(r) = st.jobs.get_mut(&id) {
+                        r.state = JobState::Cancelled;
+                        r.finished = Some(Instant::now());
+                        r.scenario = None;
+                        let tenant = r.tenant.clone();
+                        st.queued_total -= 1;
+                        st.terminal.push_back(id);
+                        if let Some(t) = st.tenants.get_mut(&tenant) {
+                            t.queued = t.queued.saturating_sub(1);
+                        }
+                        shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
+                        shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
+                    }
+                }
+            }
+        }
+        shared.work_cv.notify_all();
+        shared.done_cv.notify_all();
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let handles: Vec<_> = self.workers.lock().expect("workers").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        self.shutdown(false);
+    }
+}
+
+/// Forgets the oldest terminal jobs beyond the retention bound.
+fn expire_terminal(st: &mut State, retention: usize) {
+    while st.terminal.len() > retention {
+        if let Some(old) = st.terminal.pop_front() {
+            st.jobs.remove(&old);
+        }
+    }
+    // Compact the listing order once forgotten ids dominate it.
+    if st.order.len() > 2 * (st.jobs.len() + 1) {
+        st.order.retain(|id| st.jobs.contains_key(id));
+    }
+}
+
+/// Claims the next eligible job for `lane`, blocking until one exists
+/// or the manager drains dry. Cancelled entries are dropped here;
+/// entries whose tenant is at its in-flight quota are pushed back and
+/// retried on the next wakeup.
+fn claim(shared: &Shared, lane: usize) -> Option<(u64, Arc<CompiledScenario>, Engine, bool)> {
+    let mut st = shared.state.lock().expect("manager state");
+    loop {
+        let mut held_back = Vec::new();
+        let mut picked = None;
+        while let Some(entry) = st.lanes[lane].pop() {
+            let eligible = match st.jobs.get(&entry.id) {
+                Some(r) if matches!(r.state, JobState::Queued) => {
+                    let inflight = st.tenants.get(&r.tenant).map(|t| t.inflight).unwrap_or(0);
+                    if inflight < shared.config.max_inflight_per_tenant {
+                        true
+                    } else {
+                        held_back.push(entry);
+                        continue;
+                    }
+                }
+                // Cancelled (or expired) while queued: drop the entry.
+                _ => continue,
+            };
+            if eligible {
+                picked = Some(entry);
+                break;
+            }
+        }
+        for entry in held_back {
+            st.lanes[lane].push(entry);
+        }
+        if let Some(entry) = picked {
+            let record = st.jobs.get_mut(&entry.id).expect("picked job exists");
+            record.state = JobState::Running;
+            record.started = Some(Instant::now());
+            let scenario = record.scenario.clone().expect("queued job keeps scenario");
+            let engine = record.engine;
+            let trace = record.want_trace;
+            let tenant = record.tenant.clone();
+            let wait =
+                record.started.expect("just set").saturating_duration_since(record.submitted);
+            st.queued_total -= 1;
+            let counters = st.tenants.entry(tenant).or_default();
+            counters.queued = counters.queued.saturating_sub(1);
+            counters.inflight += 1;
+            shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
+            shared.registry.gauge("dssoc_serve_inflight", &[]).cell().inc();
+            shared
+                .registry
+                .histogram("dssoc_serve_queue_wait_ns", &[])
+                .cell()
+                .record(wait.as_nanos() as u64);
+            return Some((entry.id, scenario, engine, trace));
+        }
+        if st.draining && st.lanes[lane].is_empty() {
+            return None;
+        }
+        st = shared.work_cv.wait(st).expect("manager state");
+    }
+}
+
+/// Runs one claimed job and records its terminal state.
+fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>), String>) {
+    let mut st = shared.state.lock().expect("manager state");
+    let Some(record) = st.jobs.get_mut(&id) else { return };
+    record.finished = Some(Instant::now());
+    record.scenario = None;
+    let engine = record.engine;
+    let tenant = record.tenant.clone();
+    let latency = record.finished.expect("just set").saturating_duration_since(record.submitted);
+    match outcome {
+        Ok((outcome, trace_json)) => {
+            let cached = outcome.cached;
+            record.trace_json = trace_json.map(Arc::new);
+            record.state = JobState::Done(Box::new(outcome));
+            shared
+                .registry
+                .counter("dssoc_serve_jobs_completed", &[("engine", engine.as_str())])
+                .cell()
+                .inc();
+            if cached {
+                st.tenants.entry(tenant.clone()).or_default().cache_served += 1;
+                shared
+                    .registry
+                    .counter("dssoc_serve_cache_served", &[("tenant", &tenant)])
+                    .cell()
+                    .inc();
+            }
+        }
+        Err(err) => {
+            record.state = JobState::Failed(err);
+            shared
+                .registry
+                .counter("dssoc_serve_jobs_failed", &[("engine", engine.as_str())])
+                .cell()
+                .inc();
+        }
+    }
+    st.terminal.push_back(id);
+    if let Some(t) = st.tenants.get_mut(&tenant) {
+        t.inflight = t.inflight.saturating_sub(1);
+    }
+    expire_terminal(&mut st, shared.config.retention);
+    shared.registry.gauge("dssoc_serve_inflight", &[]).cell().dec();
+    shared
+        .registry
+        .histogram("dssoc_serve_job_latency_ns", &[("engine", engine.as_str())])
+        .cell()
+        .record(latency.as_nanos() as u64);
+    drop(st);
+    // A freed in-flight slot may unblock a held-back tenant.
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
+}
+
+fn run_job(
+    runner: &mut JobRunner,
+    scenario: &Arc<CompiledScenario>,
+    engine: Engine,
+    trace: bool,
+) -> Result<(JobOutcome, Option<String>), String> {
+    if trace {
+        let session = TraceSession::new();
+        let mut sched = by_name(&scenario.spec().scheduler)
+            .ok_or_else(|| format!("unknown scheduler '{}'", scenario.spec().scheduler))?;
+        let result = runner
+            .run_traced(scenario, engine, sched.as_mut(), session.sink())
+            .map_err(|e| e.to_string())?;
+        let events = session.drain();
+        let json = dssoc_trace::export::chrome_json_with_drops(
+            &events,
+            &session.meta(),
+            &session.producers(),
+        );
+        let text = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?;
+        Ok((JobOutcome::from_stats(&result.stats, false), Some(text)))
+    } else {
+        let result = runner.run(scenario, engine).map_err(|e| e.to_string())?;
+        Ok((JobOutcome::from_stats(&result.stats, result.cached), None))
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    // One persistent runner per worker: the threaded lane's warm
+    // engines keep their resource pool across jobs; every runner
+    // shares the manager-wide result cache and metrics registry.
+    let mut runner = JobRunner::with_cache(shared.cache.clone());
+    runner.set_metrics(Some(shared.registry.clone()));
+    while let Some((id, scenario, engine, trace)) = claim(shared, lane) {
+        let outcome = run_job(&mut runner, &scenario, engine, trace);
+        finish(shared, id, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssoc_appmodel::workload::{InjectionParams, WorkloadSpec};
+    use dssoc_apps::standard_library;
+    use dssoc_core::job::{CostSpec, ScenarioSpec};
+    use dssoc_platform::cost::CostTable;
+
+    fn compile(spec: WorkloadSpec) -> Arc<CompiledScenario> {
+        let (library, _) = standard_library();
+        let library = Arc::new(library);
+        let workload = spec.generate(&library).unwrap();
+        let spec = ScenarioSpec::builder()
+            .library(library)
+            .workload(workload)
+            .platform_named("zcu102:2C+1F")
+            // The DES needs table costs (the api layer's default);
+            // scaled-measured would model every task as zero-length.
+            .cost(CostSpec::table(CostTable::new()))
+            .build()
+            .unwrap();
+        CompiledScenario::compile(spec).unwrap()
+    }
+
+    fn scenario(count: usize, seed: u64) -> Arc<CompiledScenario> {
+        let mut spec = WorkloadSpec::validation([("range_detection", count)]);
+        spec.seed = seed;
+        compile(spec)
+    }
+
+    /// Thousands of arrivals: a DES run slow enough (tens of ms) to
+    /// reliably occupy a worker while the test submits behind it.
+    fn heavy_scenario() -> Arc<CompiledScenario> {
+        compile(WorkloadSpec::performance(
+            vec![InjectionParams {
+                app: "range_detection".into(),
+                period: Duration::from_micros(20),
+                probability: 1.0,
+            }],
+            Duration::from_millis(100),
+            0,
+        ))
+    }
+
+    fn manager(config: ManagerConfig) -> Arc<JobManager> {
+        JobManager::start(config, MetricsRegistry::new())
+    }
+
+    #[test]
+    fn runs_des_job_to_done() {
+        let m = manager(ManagerConfig::default());
+        let snap = m.submit("alice", scenario(2, 0), Engine::Des, 0, false).unwrap();
+        let done = m.wait(snap.id, Duration::from_secs(30)).unwrap();
+        match done.state {
+            JobState::Done(outcome) => {
+                assert_eq!(outcome.apps_completed, 2);
+                assert!(outcome.makespan_ns > 0);
+                assert!(!outcome.cached, "first run executes");
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn identical_resubmission_hits_cache_across_tenants() {
+        let m = manager(ManagerConfig::default());
+        let first = m.submit("alice", scenario(3, 0), Engine::Des, 0, false).unwrap();
+        let a = m.wait(first.id, Duration::from_secs(30)).unwrap();
+        let second = m.submit("bob", scenario(3, 0), Engine::Des, 0, false).unwrap();
+        assert_eq!(first.fingerprint, second.fingerprint);
+        let b = m.wait(second.id, Duration::from_secs(30)).unwrap();
+        let (JobState::Done(ours), JobState::Done(theirs)) = (a.state, b.state) else {
+            panic!("both jobs should finish");
+        };
+        assert_eq!(ours.makespan_ns, theirs.makespan_ns, "bit-identical");
+        assert!(theirs.cached, "second submission served from cache");
+        let bob = m.tenants().into_iter().find(|t| t.tenant == "bob").unwrap();
+        assert_eq!(bob.cache_served, 1);
+        // Claiming a job must release its queued-quota slot, or tenants
+        // would exhaust their quota after max_queued_per_tenant jobs ever.
+        for t in m.tenants() {
+            assert_eq!(t.queued, 0, "tenant {} leaked queued slots", t.tenant);
+            assert_eq!(t.inflight, 0, "tenant {} leaked inflight slots", t.tenant);
+        }
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn tenant_queue_quota_rejects() {
+        // An in-flight quota of 0 pins every job in the queue, so the
+        // queued quota trips at exactly max_queued_per_tenant — no
+        // race against worker drain speed.
+        let m = manager(ManagerConfig {
+            max_queued_per_tenant: 2,
+            max_inflight_per_tenant: 0,
+            ..ManagerConfig::default()
+        });
+        let a = scenario(1, 0);
+        assert!(m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).is_ok());
+        assert!(m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).is_ok());
+        let err = m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).unwrap_err();
+        assert_eq!(err, AdmissionError::TenantOverQuota(2));
+        assert_eq!(err.reason(), "tenant_quota");
+        // Another tenant is unaffected by carol's quota.
+        assert!(m.submit("mallory", a, Engine::Des, 0, false).is_ok());
+        let carol = m.tenants().into_iter().find(|t| t.tenant == "carol").unwrap();
+        assert_eq!(carol.rejected, 1);
+        assert_eq!(carol.queued, 2);
+        m.shutdown(false);
+    }
+
+    #[test]
+    fn cancel_queued_job_and_drain() {
+        let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
+        // One long blocker occupies the single DES worker; everything
+        // submitted behind it is reliably still queued.
+        let blocker = m.submit("dave", heavy_scenario(), Engine::Des, 0, false).unwrap().id;
+        let tail: Vec<u64> = (2..5)
+            .map(|n| m.submit("dave", scenario(n, 0), Engine::Des, 0, false).unwrap().id)
+            .collect();
+        let victim = *tail.last().unwrap();
+        assert_eq!(m.cancel(victim), CancelOutcome::Cancelled);
+        assert_eq!(m.cancel(victim), CancelOutcome::Terminal);
+        assert_eq!(m.cancel(9999), CancelOutcome::NotFound);
+        m.shutdown(true);
+        // After a drain every job is terminal, and the cancelled one
+        // never ran.
+        for id in std::iter::once(blocker).chain(tail.iter().copied()) {
+            let snap = m.job(id).unwrap();
+            assert!(snap.state.terminal(), "job {id} not terminal: {:?}", snap.state);
+        }
+        assert!(matches!(m.job(victim).unwrap().state, JobState::Cancelled));
+        assert!(matches!(m.job(blocker).unwrap().state, JobState::Done(_)));
+        // Post-drain submissions are refused.
+        let err = m.submit("dave", scenario(1, 0), Engine::Des, 0, false).unwrap_err();
+        assert_eq!(err, AdmissionError::Draining);
+    }
+
+    #[test]
+    fn priority_overtakes_fifo() {
+        // Compile everything first so the submissions land in one
+        // burst while the blocker still owns the single worker.
+        let blocker = heavy_scenario();
+        let low_s = scenario(2, 0);
+        let high_s = scenario(3, 0);
+        let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
+        m.submit("eve", blocker, Engine::Des, 0, false).unwrap();
+        let low = m.submit("eve", low_s, Engine::Des, 0, false).unwrap().id;
+        let high = m.submit("eve", high_s, Engine::Des, 5, false).unwrap().id;
+        m.shutdown(true);
+        let low_snap = m.job(low).unwrap();
+        let high_snap = m.job(high).unwrap();
+        // The high-priority job was claimed first, so the low one's
+        // queue wait additionally covers the high one's run.
+        assert!(
+            high_snap.queue_wait <= low_snap.queue_wait,
+            "high priority waited {:?}, low waited {:?}",
+            high_snap.queue_wait,
+            low_snap.queue_wait
+        );
+    }
+}
