@@ -111,7 +111,7 @@ fn bench_reservation_surrogate(c: &mut Criterion) {
     for (label, ov_us) in [("per_completion_scheduling", 25u64), ("reservation_queue", 0)] {
         g.bench_with_input(BenchmarkId::new(label, ov_us), &ov_us, |b, &ov| {
             b.iter(|| {
-                let des = DesSimulator::new(
+                let mut des = DesSimulator::new(
                     zcu102(3, 0),
                     DesConfig {
                         cost: CostSpec::table(table.clone()),

@@ -9,13 +9,35 @@
 //! dispatch and one completion event, so "events" here is 2x the task
 //! count.
 //!
+//! Two paths are measured per size, matching the two ways the sweep
+//! layer drives the DES:
+//!
+//! - **cold** — `DesSimulator::run`: scenario state (name table, cost
+//!   grid, SoA slabs, estimate book) is rebuilt every run. This is the
+//!   one-off CLI path.
+//! - **warm** — `DesSimulator::run_compiled` against one
+//!   [`CompiledScenario`], repeated on the same simulator: the run
+//!   reuses the precompiled SoA slabs and the simulator's scratch arena
+//!   (event queue, dense state arrays, estimate book values-only
+//!   reset), so the hot loop is allocation-free. This is the
+//!   `SweepCell` iteration / `JobRunner` steady state and the headline
+//!   events/sec number. The scenario is driven directly (not through
+//!   `JobRunner`) because the deterministic result cache would replay
+//!   repeats instead of simulating them.
+//!
 //! Besides the criterion timings, a best-of-N summary is merged into
 //! `BENCH_des.json` (see `dssoc_bench::report`) in both bench and
 //! `--test` (CI smoke) modes, so every CI run records the current
-//! events/sec alongside the numbers in `crates/bench/README.md`.
+//! events/sec alongside the numbers in `crates/bench/README.md`. The
+//! warm events/sec additionally accumulates into a
+//! `tasks_{n}_events_per_sec_series` rolling array (last 50 runs), so
+//! the artifact carries the trajectory, not just the latest point.
+//! `--floor <events/sec>` turns the summary into a perf gate: the run
+//! fails if any size's warm throughput lands below the floor.
 //!
 //! ```sh
 //! cargo bench -p dssoc-bench --bench des_throughput
+//! cargo bench -p dssoc-bench --bench des_throughput -- --test --floor 2000000
 //! ```
 
 use std::hint::black_box;
@@ -28,7 +50,7 @@ use dssoc_appmodel::{Workload, WorkloadSpec};
 use dssoc_apps::standard_library;
 use dssoc_bench::report::BenchReport;
 use dssoc_core::des::{DesConfig, DesSimulator};
-use dssoc_core::job::CostSpec;
+use dssoc_core::job::{CompiledScenario, CostSpec, ScenarioSpec};
 use dssoc_core::sched::by_name;
 use dssoc_core::sweep::{default_workers, DesSweepRunner, SweepCell};
 use dssoc_platform::cost::CostTable;
@@ -58,22 +80,18 @@ fn full_cost_table(library: &AppLibrary, platform: &PlatformConfig) -> CostTable
     table
 }
 
-fn setup() -> (AppLibrary, DesSimulator) {
-    let (library, _registry) = standard_library();
-    let platform = zcu102(3, 0);
-    let table = full_cost_table(&library, &platform);
-    let sim = DesSimulator::new(
-        platform,
+fn make_sim(platform: &PlatformConfig, table: &CostTable) -> DesSimulator {
+    DesSimulator::new(
+        platform.clone(),
         DesConfig {
-            cost: CostSpec::table(table),
+            cost: CostSpec::table(table.clone()),
             overhead_per_invocation: Duration::ZERO,
             trace: None,
             faults: None,
             metrics: None,
         },
     )
-    .expect("platform");
-    (library, sim)
+    .expect("platform")
 }
 
 fn workload(library: &AppLibrary, instances: usize) -> Arc<Workload> {
@@ -84,22 +102,57 @@ fn workload(library: &AppLibrary, instances: usize) -> Arc<Workload> {
     )
 }
 
-/// One full DES run (fresh FRFS policy), returning the task count.
-fn run_once(sim: &DesSimulator, wl: &Workload, library: &AppLibrary) -> usize {
+/// Precompiles the scenario the warm path replays.
+fn compile_scenario(
+    library: &AppLibrary,
+    platform: &PlatformConfig,
+    table: &CostTable,
+    wl: &Arc<Workload>,
+) -> Arc<CompiledScenario> {
+    let spec = ScenarioSpec::builder()
+        .library(library.clone())
+        .platform(platform.clone())
+        .scheduler("frfs")
+        .workload(Arc::clone(wl))
+        .cost(CostSpec::table(table.clone()))
+        .build()
+        .expect("scenario");
+    CompiledScenario::compile(spec).expect("compile")
+}
+
+/// One cold DES run (fresh FRFS policy, scenario state rebuilt),
+/// returning the task count.
+fn run_once(sim: &mut DesSimulator, wl: &Workload, library: &AppLibrary) -> usize {
     let mut sched = by_name("frfs").expect("library policy");
     let stats = sim.run(sched.as_mut(), wl, library).expect("simulation");
     stats.tasks.len()
 }
 
+/// One warm DES run (fresh FRFS policy, precompiled scenario + warm
+/// simulator scratch), returning the task count.
+fn run_warm(sim: &mut DesSimulator, scenario: &CompiledScenario) -> usize {
+    let mut sched = by_name("frfs").expect("library policy");
+    let stats = sim.run_compiled(sched.as_mut(), scenario).expect("simulation");
+    stats.tasks.len()
+}
+
 fn bench_des_throughput(c: &mut Criterion) {
-    let (library, sim) = setup();
+    let (library, _registry) = standard_library();
+    let platform = zcu102(3, 0);
+    let table = full_cost_table(&library, &platform);
     let mut group = c.benchmark_group("des_throughput");
     group.sample_size(10);
     for &n in &SIZES {
         let wl = workload(&library, n);
-        let tasks = run_once(&sim, &wl, &library);
+        let mut sim = make_sim(&platform, &table);
+        let tasks = run_once(&mut sim, &wl, &library);
         group.bench_with_input(BenchmarkId::new("tasks", tasks), &wl, |b, wl| {
-            b.iter(|| black_box(run_once(&sim, wl, &library)))
+            b.iter(|| black_box(run_once(&mut sim, wl, &library)))
+        });
+        let scenario = compile_scenario(&library, &platform, &table, &wl);
+        let mut sim = make_sim(&platform, &table);
+        group.bench_with_input(BenchmarkId::new("tasks_warm", tasks), &scenario, |b, sc| {
+            b.iter(|| black_box(run_warm(&mut sim, sc)))
         });
     }
     group.finish();
@@ -108,7 +161,13 @@ fn bench_des_throughput(c: &mut Criterion) {
 criterion_group!(benches, bench_des_throughput);
 
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     if !test_mode {
         benches();
     }
@@ -116,38 +175,61 @@ fn main() {
     // Best-of-N summary for BENCH_des.json — written in --test (CI
     // smoke) mode too, so the artifact tracks every CI run.
     let reps = if test_mode { 2 } else { 16 };
-    let (library, sim) = setup();
+    let (library, _registry) = standard_library();
+    let platform = zcu102(3, 0);
+    let table = full_cost_table(&library, &platform);
     let mut report = BenchReport::new("des_throughput");
+    let mut min_warm = f64::INFINITY;
     println!();
     println!("== des_throughput summary (best of {reps}) ==");
     for &n in &SIZES {
         let wl = workload(&library, n);
-        let tasks = run_once(&sim, &wl, &library);
+        let mut sim = make_sim(&platform, &table);
+        let tasks = run_once(&mut sim, &wl, &library);
+        let scenario = compile_scenario(&library, &platform, &table, &wl);
         // Untimed warm-up (~0.5 s): lets the frequency governor ramp
         // up, so best-of-N measures the hot-loop cost rather than the
         // host's idle clock.
         if !test_mode {
             let warm = Instant::now();
             while warm.elapsed() < Duration::from_millis(500) {
-                black_box(run_once(&sim, &wl, &library));
+                black_box(run_warm(&mut sim, &scenario));
             }
         }
-        let best = (0..reps)
+        let best_cold = (0..reps)
             .map(|_| {
                 let start = Instant::now();
-                black_box(run_once(&sim, &wl, &library));
+                black_box(run_once(&mut sim, &wl, &library));
+                start.elapsed()
+            })
+            .min()
+            .expect("reps > 0");
+        // The first run_compiled after the cold runs re-primes the
+        // estimate-book identity; exclude it from the timed reps.
+        black_box(run_warm(&mut sim, &scenario));
+        let best_warm = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run_warm(&mut sim, &scenario));
                 start.elapsed()
             })
             .min()
             .expect("reps > 0");
         // One dispatch + one completion event per task.
-        let events_per_sec = 2.0 * tasks as f64 / best.as_secs_f64();
+        let events = 2.0 * tasks as f64;
+        let cold_eps = events / best_cold.as_secs_f64();
+        let warm_eps = events / best_warm.as_secs_f64();
+        min_warm = min_warm.min(warm_eps);
         println!(
-            "  {tasks:>5} tasks: {:>10.3?} per run, {:>12.0} events/sec",
-            best, events_per_sec
+            "  {tasks:>5} tasks: cold {:>10.3?} ({:>12.0} ev/s), warm {:>10.3?} ({:>12.0} ev/s)",
+            best_cold, cold_eps, best_warm, warm_eps
         );
-        report.set_f64(format!("tasks_{tasks}_run_us"), best.as_secs_f64() * 1e6);
-        report.set_f64(format!("tasks_{tasks}_events_per_sec"), events_per_sec);
+        report.set_f64(format!("tasks_{tasks}_run_us"), best_cold.as_secs_f64() * 1e6);
+        report.set_f64(format!("tasks_{tasks}_events_per_sec"), cold_eps);
+        report.set_f64(format!("tasks_{tasks}_warm_run_us"), best_warm.as_secs_f64() * 1e6);
+        report.set_f64(format!("tasks_{tasks}_warm_events_per_sec"), warm_eps);
+        // Rolling trajectory of the headline (warm) number.
+        report.append_f64(format!("tasks_{tasks}_events_per_sec_series"), warm_eps);
     }
 
     // Parallel sweep scaling: an 8-cell DES grid (8 ZCU102 shapes,
@@ -209,5 +291,16 @@ fn main() {
     match report.write() {
         Ok(path) => println!("bench summary -> {}", path.display()),
         Err(e) => eprintln!("warning: cannot write bench summary: {e}"),
+    }
+
+    // Perf gate (CI perf-smoke): every size's warm throughput must
+    // clear the floor. Checked after the summary lands so the artifact
+    // still records the failing numbers.
+    if let Some(floor) = floor {
+        if min_warm < floor {
+            eprintln!("perf floor FAILED: warm {min_warm:.0} events/sec < floor {floor:.0}");
+            std::process::exit(1);
+        }
+        println!("perf floor ok: warm {min_warm:.0} events/sec >= floor {floor:.0}");
     }
 }

@@ -70,7 +70,7 @@ fn bench_engines(c: &mut Criterion) {
 
     g.bench_function("des_baseline", |b| {
         b.iter(|| {
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 zcu102(3, 0),
                 DesConfig {
                     cost: CostSpec::table(table.clone()),

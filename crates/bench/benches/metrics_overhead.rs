@@ -119,7 +119,7 @@ fn bench_metrics_overhead(c: &mut Criterion) {
 
     g.bench_function("des_off", |b| {
         b.iter(|| {
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
                     cost: CostSpec::table(table.clone()),
@@ -136,7 +136,7 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     let registry = MetricsRegistry::new();
     g.bench_function("des_on", |b| {
         b.iter(|| {
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
                     cost: CostSpec::table(table.clone()),

@@ -78,7 +78,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
 
     g.bench_function("des_off", |b| {
         b.iter(|| {
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
                     cost: CostSpec::table(table.clone()),
@@ -95,7 +95,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.bench_function("des_on", |b| {
         b.iter(|| {
             let session = TraceSession::new();
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 platform.clone(),
                 DesConfig {
                     cost: CostSpec::table(table.clone()),

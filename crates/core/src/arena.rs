@@ -1,0 +1,414 @@
+//! Warm per-simulator scratch for the DES hot loop.
+//!
+//! PR 3 made a single DES run allocation-free *within* the run; this
+//! module makes it allocation-free *across* runs. [`DesScratch`] owns
+//! every growable buffer the hot loop touches — the calendar queue, the
+//! SoA instance-state arrays, the ready list's backing store, the
+//! completion columns, retry and assignment staging — and lives inside
+//! [`DesSimulator`], so warm [`JobRunner`] engines and repeat-iteration
+//! sweep cells reuse the same capacity run after run. [`DesScratch::reset`]
+//! clears lengths but never frees: after the first run at a given
+//! problem size, subsequent runs perform no heap allocation in the
+//! simulation loop. The one deliberate exception is [`DoneColumns`] —
+//! completed-task columns leave the arena with the run's stats (they
+//! back the lazily-materialized task log), so each run pays exactly one
+//! right-sized reservation for them up front instead of reusing the
+//! previous run's storage.
+//!
+//! Also here: [`CompletionEvent`], the 64-byte POD the calendar queue
+//! carries (ordered by the engine-wide `(time, key, seq)` tie-break);
+//! [`DoneColumns`], struct-of-arrays storage for completed-task facts
+//! that are materialized into [`TaskRecord`]s only if someone reads the
+//! per-task log; [`DenseReady`], the `Arc`-free ready-ring entry the
+//! dense FIFO fast loop queues; and [`ViewScratch`], which recycles the
+//! `Vec<PeView<'_>>` scheduler-view allocation across runs despite its
+//! borrowed lifetime.
+//!
+//! [`DesSimulator`]: crate::des::DesSimulator
+//! [`JobRunner`]: crate::job::JobRunner
+//! [`TaskRecord`]: crate::stats::TaskRecord
+
+use dssoc_trace::FaultKind;
+
+use crate::calq::{CalendarQueue, Timed};
+use crate::job::Fingerprint;
+use crate::sched::{Assignment, EstimateBook, PeView};
+use crate::task::{ReadyTask, Task};
+use crate::time::SimTime;
+
+/// A task completion (or fault) scheduled on the DES calendar queue.
+///
+/// Plain-old-data: the task is identified by `(inst, node)` index pair
+/// rather than an `Arc` handle, so events copy in one move and carry no
+/// refcount traffic. `col` is the PE's platform column (its index in
+/// `platform.pes`), `dur_ns` the modeled duration — together with
+/// `time` they reconstruct the start time without storing it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompletionEvent {
+    /// Completion (or fault) timestamp.
+    pub time: SimTime,
+    /// Instance id (`InstanceId.0`).
+    pub inst: u32,
+    /// DAG node index within the instance.
+    pub node: u32,
+    /// Dispatch sequence number — the final tie-breaker, preserving the
+    /// engine-wide `(time, key, seq)` pop order the differential suites
+    /// pin down.
+    pub seq: u64,
+    /// PE column in `platform.pes`.
+    pub col: u32,
+    /// When the task became ready (for the task record).
+    pub ready_at: SimTime,
+    /// Modeled duration in ns (`start = time - dur_ns` absent faults).
+    pub dur_ns: u64,
+    /// `Some` when this event is an injected fault firing mid-task.
+    pub fault: Option<FaultKind>,
+}
+
+impl CompletionEvent {
+    /// The shared tie-break. Must stay aligned with the threaded
+    /// engine's completion ordering and the pre-calendar-queue
+    /// `BinaryHeap` event: time first, then task key, then sequence.
+    fn order_key(&self) -> (SimTime, u32, u32, u64) {
+        (self.time, self.inst, self.node, self.seq)
+    }
+}
+
+impl PartialEq for CompletionEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.order_key() == other.order_key()
+    }
+}
+
+impl Eq for CompletionEvent {}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.order_key().cmp(&other.order_key())
+    }
+}
+
+impl Timed for CompletionEvent {
+    fn time_ns(&self) -> u64 {
+        self.time.0
+    }
+}
+
+/// One entry in the dense FIFO ready ring: the task as an index pair
+/// plus its readiness timestamp. 16 bytes, no `Arc` handle — pushing a
+/// task onto the ready queue in the dense loop is a plain store with no
+/// refcount traffic (the general [`ReadyList`](crate::exec::ReadyList)
+/// clones an `Arc<AppInstance>` per push).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DenseReady {
+    /// Instance id (`InstanceId.0`).
+    pub inst: u32,
+    /// DAG node index within the instance.
+    pub node: u32,
+    /// When the task became ready (last predecessor completion, or the
+    /// instance arrival for roots).
+    pub ready_ns: u64,
+}
+
+/// A faulted task waiting out its retry backoff.
+#[derive(Debug)]
+pub(crate) struct RetryEntry {
+    /// When the task re-enters the ready list.
+    pub release: SimTime,
+    /// Dispatch seq of the faulted attempt (stable retry ordering).
+    pub seq: u64,
+    pub task: Task,
+}
+
+/// Struct-of-arrays storage for completed-task facts.
+///
+/// The hot loop appends six integers per completion; the fat
+/// [`TaskRecord`](crate::stats::TaskRecord)s (with their `Name` clone
+/// refcounts) are materialized once, after the loop, via
+/// [`CompletionSink::ingest_tasks`](crate::exec::CompletionSink::ingest_tasks).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DoneColumns {
+    pub inst: Vec<u32>,
+    pub node: Vec<u32>,
+    pub col: Vec<u32>,
+    pub ready_ns: Vec<u64>,
+    pub finish_ns: Vec<u64>,
+    pub dur_ns: Vec<u64>,
+}
+
+impl DoneColumns {
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        inst: u32,
+        node: u32,
+        col: u32,
+        ready_ns: u64,
+        finish_ns: u64,
+        dur_ns: u64,
+    ) {
+        self.inst.push(inst);
+        self.node.push(node);
+        self.col.push(col);
+        self.ready_ns.push(ready_ns);
+        self.finish_ns.push(finish_ns);
+        self.dur_ns.push(dur_ns);
+    }
+
+    /// Pre-sizes every column for `n` more completions. The DES
+    /// prologue knows the run's exact task count, so the fast path that
+    /// moves these columns out into the run's [`TaskLog`] re-sizes them
+    /// in one right-sized allocation per column instead of doubling.
+    ///
+    /// [`TaskLog`]: crate::stats::TaskLog
+    pub fn reserve(&mut self, n: usize) {
+        self.inst.reserve(n);
+        self.node.reserve(n);
+        self.col.reserve(n);
+        self.ready_ns.reserve(n);
+        self.finish_ns.reserve(n);
+        self.dur_ns.reserve(n);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inst.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.inst.clear();
+        self.node.clear();
+        self.col.clear();
+        self.ready_ns.clear();
+        self.finish_ns.clear();
+        self.dur_ns.clear();
+    }
+}
+
+/// Recycles the scheduler's `Vec<PeView<'_>>` allocation across runs.
+///
+/// The views borrow `PeDescriptor`s with the run's lifetime, so the
+/// vector cannot be stored in [`DesScratch`] as-is. Since the buffer is
+/// always *empty* at the take/put boundary, only the allocation (not
+/// any borrowed data) crosses runs, making the lifetime cast sound.
+#[derive(Debug, Default)]
+pub(crate) struct ViewScratch(Vec<PeView<'static>>);
+
+impl ViewScratch {
+    /// Hands the empty backing buffer out at the caller's lifetime.
+    pub fn take<'a>(&mut self) -> Vec<PeView<'a>> {
+        let mut v = std::mem::take(&mut self.0);
+        v.clear();
+        // SAFETY: `v` is empty — it holds no `PeView` values, so no
+        // `&'static PeDescriptor` is fabricated; the types differ only
+        // in lifetime, so layout is identical and only the allocation
+        // is reused.
+        unsafe { std::mem::transmute::<Vec<PeView<'static>>, Vec<PeView<'a>>>(v) }
+    }
+
+    /// Returns the buffer, dropping all borrowed views first.
+    pub fn put<'a>(&mut self, mut v: Vec<PeView<'a>>) {
+        v.clear();
+        // SAFETY: mirror of `take` — `v` was just cleared, so the
+        // vector carries capacity only, no borrowed data.
+        self.0 = unsafe { std::mem::transmute::<Vec<PeView<'a>>, Vec<PeView<'static>>>(v) };
+    }
+}
+
+/// Every growable buffer the DES hot loop touches, owned by the
+/// simulator so capacity survives across runs (see module docs).
+///
+/// `reset` clears everything except the estimate book, whose reuse
+/// policy (values-only reset vs full rebuild) is decided per run from
+/// `est_src`.
+#[derive(Debug)]
+pub(crate) struct DesScratch {
+    /// `instance id -> base flat task id` (prefix sums of node counts).
+    pub inst_base: Vec<u32>,
+    /// Per flat task id: predecessors still outstanding.
+    pub remaining_preds: Vec<u32>,
+    /// Per instance id: tasks still incomplete (app finishes at zero).
+    pub remaining_tasks: Vec<u32>,
+    /// `(arrival, instance slice index)`, sorted; drained by cursor.
+    pub arrival_order: Vec<(SimTime, u32)>,
+    /// Completed-task columns, materialized to records at end of run.
+    pub done: DoneColumns,
+    /// The completion event calendar queue.
+    pub events: CalendarQueue<CompletionEvent>,
+    /// Same-timestamp batch drained from `events` each iteration.
+    pub due: Vec<CompletionEvent>,
+    /// Faulted tasks waiting out retry backoff.
+    pub retries: Vec<RetryEntry>,
+    /// Backing storage for the run's `ReadyList`.
+    pub ready_buf: Vec<ReadyTask>,
+    /// Ready ring for the dense FIFO loop (head-indexed, periodically
+    /// compacted — the dense counterpart of `ready_buf`).
+    pub dense_ready: Vec<DenseReady>,
+    /// Warm estimate book, reset from the scenario prototype each run.
+    pub estimates: EstimateBook,
+    /// Which compiled scenario `estimates`' slot map came from. When it
+    /// matches the incoming run, reset copies values only (the slot map
+    /// is immutable during a run); otherwise the book is rebuilt.
+    pub est_src: Option<Fingerprint>,
+    /// Recycled scheduler-view allocation.
+    pub views: ViewScratch,
+    /// Scheduler output staging (`schedule_into` target).
+    pub assignments: Vec<Assignment>,
+}
+
+impl Default for DesScratch {
+    fn default() -> Self {
+        DesScratch {
+            inst_base: Vec::new(),
+            remaining_preds: Vec::new(),
+            remaining_tasks: Vec::new(),
+            arrival_order: Vec::new(),
+            done: DoneColumns::default(),
+            events: CalendarQueue::new(),
+            due: Vec::new(),
+            retries: Vec::new(),
+            ready_buf: Vec::new(),
+            dense_ready: Vec::new(),
+            estimates: EstimateBook::new(),
+            est_src: None,
+            views: ViewScratch::default(),
+            assignments: Vec::new(),
+        }
+    }
+}
+
+impl DesScratch {
+    /// Clears all per-run state, retaining capacity. The estimate book
+    /// is left to the run prologue (its reset depends on `est_src`).
+    pub fn reset(&mut self) {
+        self.inst_base.clear();
+        self.remaining_preds.clear();
+        self.remaining_tasks.clear();
+        self.arrival_order.clear();
+        self.done.clear();
+        self.events.clear();
+        self.due.clear();
+        self.retries.clear();
+        self.ready_buf.clear();
+        self.dense_ready.clear();
+        self.assignments.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn ev(time: u64, inst: u32, node: u32, seq: u64) -> CompletionEvent {
+        CompletionEvent {
+            time: SimTime(time),
+            inst,
+            node,
+            seq,
+            col: 0,
+            ready_at: SimTime::ZERO,
+            dur_ns: 0,
+            fault: None,
+        }
+    }
+
+    /// The simulator must stay `Send` with the scratch inside it —
+    /// `JobRunner` engines move across sweep worker threads.
+    #[test]
+    fn scratch_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DesScratch>();
+    }
+
+    /// Event ordering ignores payload fields — only the shared
+    /// `(time, key, seq)` tie-break participates, exactly like the old
+    /// heap event.
+    #[test]
+    fn event_order_is_time_key_seq() {
+        let mut events =
+            [ev(5, 0, 0, 9), ev(3, 7, 0, 0), ev(3, 1, 2, 4), ev(3, 1, 2, 3), ev(3, 1, 1, 8)];
+        events.sort_unstable();
+        let keys: Vec<_> = events.iter().map(|e| (e.time.0, e.inst, e.node, e.seq)).collect();
+        assert_eq!(
+            keys,
+            vec![(3, 1, 1, 8), (3, 1, 2, 3), (3, 1, 2, 4), (3, 7, 0, 0), (5, 0, 0, 9)]
+        );
+        // Payload differences do not affect equality.
+        let mut a = ev(3, 1, 1, 8);
+        a.dur_ns = 999;
+        a.col = 2;
+        assert_eq!(a, events[0]);
+    }
+
+    /// ViewScratch hands the same allocation back and forth without
+    /// leaking borrowed views — exercised under Miri in CI.
+    #[test]
+    fn view_scratch_recycles_allocation() {
+        use dssoc_platform::presets::zcu102;
+
+        let mut scratch = ViewScratch::default();
+        let platform = zcu102(2, 1);
+        let mut views = scratch.take();
+        assert!(views.is_empty());
+        views.extend(platform.pes.iter().map(|pe| PeView {
+            pe,
+            idle: true,
+            available_at: SimTime::ZERO,
+        }));
+        assert_eq!(views.len(), 3);
+        let cap = views.capacity();
+        let ptr = views.as_ptr() as usize;
+        scratch.put(views);
+
+        // Second borrow scope: same allocation, fresh lifetime.
+        let platform2 = zcu102(1, 0);
+        let mut views = scratch.take();
+        assert!(views.is_empty());
+        assert_eq!(views.capacity(), cap);
+        assert_eq!(views.as_ptr() as usize, ptr);
+        views.extend(platform2.pes.iter().map(|pe| PeView {
+            pe,
+            idle: false,
+            available_at: SimTime(7),
+        }));
+        assert_eq!(views.len(), 1);
+        scratch.put(views);
+    }
+
+    /// reset() keeps capacity on every buffer — the across-runs
+    /// allocation-free guarantee.
+    #[test]
+    fn reset_retains_capacity() {
+        let mut s = DesScratch::default();
+        s.inst_base.extend(0..100);
+        s.remaining_preds.extend(0..100);
+        s.remaining_tasks.extend(0..100);
+        s.arrival_order.extend((0..100).map(|i| (SimTime(i), i as u32)));
+        for i in 0..100 {
+            s.done.push(i, 0, 0, 0, i as u64, 1);
+            s.events.push(ev(i as u64, i, 0, i as u64));
+        }
+        s.due.push(ev(1, 0, 0, 0));
+        s.assignments.push(Assignment { ready_idx: 0, pe: dssoc_platform::pe::PeId(0) });
+        let caps = (s.inst_base.capacity(), s.arrival_order.capacity(), s.done.inst.capacity());
+        s.reset();
+        assert_eq!(s.inst_base.len(), 0);
+        assert_eq!(s.done.len(), 0);
+        assert!(s.events.is_empty());
+        assert_eq!(
+            (s.inst_base.capacity(), s.arrival_order.capacity(), s.done.inst.capacity()),
+            caps
+        );
+        // Refill after reset: still works, no stale state.
+        s.events.push(ev(3, 1, 1, 0));
+        s.events.push(ev(2, 0, 0, 1));
+        assert_eq!(s.events.pop_min().map(|e| e.time.0), Some(2));
+        assert_eq!(s.events.pop_min().map(|e| e.time.0), Some(3));
+    }
+}

@@ -23,32 +23,39 @@
 //! it thousands of times, so the event loop is engineered to do no
 //! redundant work per event:
 //!
-//! * the event queue is a [`BinaryHeap`] ordered by the engines' shared
-//!   tie-break `(time, completions-before-arrivals, task key, seq)` —
-//!   O(log n) per event instead of re-sorting the whole queue every
-//!   iteration. Arrivals are known up front and drained from a sorted
-//!   cursor instead of the heap, so the heap only ever holds the
-//!   in-flight completions (at most one per PE);
-//! * every `(spec, node, PE)` dispatch cost — the modeled duration and
-//!   the estimate-book slot its observation lands in — is resolved once
-//!   at run start into a dense table, so dispatch and completion do
-//!   vector indexing instead of platform-key matches and string-keyed
-//!   cost lookups;
-//! * a task's duration is computed once at dispatch and carried in its
-//!   completion event (together with its interned runfunc [`Name`]),
-//!   so completion handling recomputes nothing;
-//! * all record names come from a per-run [`NameTable`], instances of
-//!   one application share one read-only memory image
-//!   ([`Workload::instantiate_shared`]), and the scheduler's PE-view
-//!   vector is a reused scratch buffer — the steady-state loop
-//!   allocates only for growth.
+//! * the event queue is a [`CalendarQueue`](crate::calq::CalendarQueue)
+//!   of plain-old-data [`CompletionEvent`]s, drained in same-timestamp
+//!   batches (`pop_due`) under the engines' shared tie-break `(time,
+//!   completions-before-arrivals, task key, seq)` — amortized O(1) per
+//!   event against the heap's O(log n), with the rank enforced
+//!   structurally by draining completions before the arrival cursor at
+//!   each clock value. Arrivals are known up front and drained from a
+//!   sorted cursor, so the queue only ever holds in-flight completions
+//!   (at most one per PE);
+//! * scenario state is struct-of-arrays ([`ScenarioSoa`]): per-spec
+//!   dense slabs hold the modeled cost (ns), estimate slot, and interned
+//!   runfunc per `(node, PE)` pair — one array probe each, with an
+//!   [`INCOMPATIBLE`] sentinel doubling as the compatibility test — and
+//!   the DAG in CSR form; per-run instance state (predecessor
+//!   countdowns, remaining-task counts) lives in flat arrays indexed by
+//!   `inst_base[instance] + node`, so the completion path touches one
+//!   cache line per field instead of one fat struct;
+//! * every growable buffer lives in a warm per-simulator
+//!   [`DesScratch`](crate::arena::DesScratch) arena that resets between
+//!   runs without freeing, so warm [`JobRunner`](crate::job::JobRunner)
+//!   engines and repeat-iteration sweep cells run the hot loop
+//!   allocation-free *across* runs, not just within one;
+//! * completed-task facts accumulate in struct-of-arrays columns and are
+//!   materialized into [`TaskRecord`]s once after the loop (when neither
+//!   tracing nor metrics need them live), instances of one application
+//!   share one read-only memory image
+//!   ([`Workload::instantiate_shared`]), and the scheduler writes
+//!   assignments into a reused buffer ([`Scheduler::schedule_into`]).
 //!
 //! [`CostTable`]: dssoc_platform::cost::CostTable
 //! [`OverheadMode::None`]: crate::engine::OverheadMode::None
 //! [`TimingMode::Modeled`]: crate::engine::TimingMode::Modeled
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,19 +65,22 @@ use dssoc_appmodel::workload::Workload;
 use dssoc_metrics::MetricsRegistry;
 use dssoc_platform::cost::{CostModel, CostTable};
 use dssoc_platform::pe::{PeId, PlatformConfig};
-use dssoc_trace::{EventKind as TraceKind, FaultKind, TraceSink};
+use dssoc_trace::{EventKind as TraceKind, TraceSink};
 
+use crate::arena::{CompletionEvent, DenseReady, DesScratch, RetryEntry};
 use crate::engine::EmuError;
 use crate::exec::{
     pe_mask_bit, preflight_compat, register_trace_meta, resolve_unschedulable,
-    validate_assignments, CompletionSink, ExecTracer, InstanceTracker, PeSlots, ReadyList,
+    validate_assignments_with, CompletionSink, ExecTracer, PeSlots, ReadyList,
 };
 use crate::fault::{FaultPlan, FaultSpec, FaultState};
-use crate::intern::{Interner, Name, NameTable};
-use crate::job::{build_cost_grid, CompiledScenario, CostGrid, CostSpec};
+use crate::intern::{Interner, NameTable};
+use crate::job::{build_cost_grid, CompiledScenario, CostSpec, Fingerprint};
 use crate::metrics::{ExecMetrics, OverheadPhase};
-use crate::sched::{EstimateBook, PeView, SchedContext, Scheduler};
-use crate::stats::{EmulationStats, TaskRecord};
+use crate::sched::{Assignment, EstimateBook, EstimateSlot, PeView, SchedContext, Scheduler};
+use crate::soa::{ScenarioSoa, INCOMPATIBLE};
+use crate::stats::{AppRecord, DenseTaskLog, EmulationStats, TaskRecord};
+use crate::task::ReadyTask;
 use crate::task::Task;
 use crate::time::SimTime;
 
@@ -125,73 +135,18 @@ impl std::fmt::Debug for DesConfig {
 }
 
 /// The discrete-event simulator.
+///
+/// Holds a warm [`DesScratch`] arena, so a long-lived simulator (a
+/// [`JobRunner`](crate::job::JobRunner) engine, a sweep worker) reuses
+/// every hot-loop buffer across runs — which is why [`Self::run`] and
+/// [`Self::run_compiled`] take `&mut self`.
 pub struct DesSimulator {
     platform: Arc<PlatformConfig>,
     config: DesConfig,
     /// The resolved cost model (from `config.cost`).
     cost: Arc<dyn CostModel>,
-}
-
-/// One queued completion event: a dispatched task finishing.
-///
-/// Ordered by the engines' shared tie-break: time, then task key
-/// `(instance, node)`, then dispatch sequence. Arrivals never enter the
-/// heap (they are known up front and drained from a sorted cursor), so
-/// the heap only ever holds the in-flight completions — at most one per
-/// PE — and every queued event is a completion: the old
-/// completions-before-arrivals rank is enforced structurally by
-/// draining the heap before the arrival cursor at each clock value.
-///
-/// Everything completion handling needs — the duration charged at
-/// dispatch and the runfunc that "executed" — is carried here, so it is
-/// never recomputed. The task itself is the event key: `(instance,
-/// node)` indexes the dense instance vector, so the event carries no
-/// `Arc`.
-struct Event {
-    time: SimTime,
-    key: (InstanceId, usize),
-    seq: u64,
-    pe: PeId,
-    ready_at: SimTime,
-    dur: Duration,
-    runfunc: Name,
-    /// `Some` when the fault plan rewrote this attempt's outcome at
-    /// dispatch: `time` is then the fault manifestation time.
-    fault: Option<FaultKind>,
-}
-
-/// A faulted task waiting out its retry backoff; `seq` breaks release
-/// ties in fault order (the same rule the threaded engine applies).
-struct RetryEntry {
-    release: SimTime,
-    seq: u64,
-    task: Task,
-}
-
-impl Event {
-    fn order_key(&self) -> (SimTime, (InstanceId, usize), u64) {
-        (self.time, self.key, self.seq)
-    }
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.order_key() == other.order_key()
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.order_key().cmp(&other.order_key())
-    }
+    /// Warm per-simulator buffers, reset (not freed) between runs.
+    scratch: DesScratch,
 }
 
 impl DesSimulator {
@@ -204,7 +159,7 @@ impl DesSimulator {
         let platform = platform.into();
         platform.validate().map_err(EmuError::Config)?;
         let cost = config.cost.resolve();
-        Ok(DesSimulator { platform, config, cost })
+        Ok(DesSimulator { platform, config, cost, scratch: DesScratch::default() })
     }
 
     /// The platform being simulated.
@@ -232,7 +187,7 @@ impl DesSimulator {
 
     /// Simulates a workload to completion under `scheduler`.
     pub fn run(
-        &self,
+        &mut self,
         scheduler: &mut dyn Scheduler,
         workload: &Workload,
         library: &AppLibrary,
@@ -246,83 +201,178 @@ impl DesSimulator {
             workload.instantiate_shared(library)?.into_iter().map(Arc::new).collect();
 
         let mut interner = Interner::new();
-        let names = NameTable::build(&instances, &self.platform, &mut interner);
+        let names = Arc::new(NameTable::build(&instances, &self.platform, &mut interner));
 
         // The DES observes completions into an estimate book exactly like
         // the emulator, so estimate-driven policies (MET/EFT) see the
         // same context in both engines. Per-(spec, node, PE column)
-        // dispatch costs are resolved once into a dense grid (see
-        // [`build_cost_grid`]); the scheduler contract keeps incompatible
-        // (`None`) combinations from ever being dispatched.
+        // dispatch costs are resolved once into a dense grid, then
+        // flattened into SoA slabs; the scheduler contract keeps
+        // incompatible (sentinel) combinations from ever dispatching.
         let mut estimates = EstimateBook::new();
         let costs =
             build_cost_grid(&*self.cost, &self.platform, &names, &instances, &mut estimates);
+        let soa = ScenarioSoa::build(&instances, &names, &costs, self.platform.pes.len());
 
         let plan: Option<FaultPlan> = match &self.config.faults {
             Some(spec) => Some(spec.compile(&self.platform).map_err(EmuError::Config)?),
             None => None,
         };
 
-        self.run_inner(scheduler, instances, &names, &costs, estimates, plan.as_ref())
+        // No fingerprint: the estimate book was built for this call
+        // only, so the warm values-only reset never applies.
+        self.run_inner(scheduler, &instances, &names, &soa, &estimates, None, plan.as_ref())
     }
 
     /// Simulates a precompiled scenario, reusing its shared instance
-    /// images, name table, cost grid, slot-assigned estimate book, and
-    /// fault plan — nothing scenario-derived is rebuilt. Compatibility
-    /// was preflighted at compile time.
+    /// images, name table, SoA cost slabs, slot-assigned estimate book,
+    /// and fault plan — nothing scenario-derived is rebuilt.
+    /// Compatibility was preflighted at compile time. Consecutive runs
+    /// of the same scenario additionally skip the estimate-book rebuild
+    /// (a values-only reset, keyed on the scenario fingerprint).
     pub fn run_compiled(
-        &self,
+        &mut self,
         scheduler: &mut dyn Scheduler,
         scenario: &CompiledScenario,
     ) -> Result<EmulationStats, EmuError> {
         self.run_inner(
             scheduler,
-            scenario.instances().to_vec(),
-            scenario.names(),
-            scenario.grid(),
-            scenario.estimates_prototype(),
+            scenario.instances(),
+            &scenario.names,
+            scenario.soa(),
+            scenario.estimates_ref(),
+            Some(scenario.fingerprint()),
             scenario.plan(),
         )
     }
 
-    /// The event loop. `names`/`costs`/`estimates`/`plan` are
-    /// scenario-scoped precomputations: [`Self::run`] builds them per
-    /// call, [`Self::run_compiled`] hands in the shared ones.
+    /// Splits the warm scratch out of `self` (so the loop can borrow
+    /// `&self` and the arena disjointly) and guarantees it returns.
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
-        &self,
+        &mut self,
         scheduler: &mut dyn Scheduler,
-        instances: Vec<Arc<AppInstance>>,
-        names: &NameTable,
-        costs: &CostGrid,
-        mut estimates: EstimateBook,
+        instances: &[Arc<AppInstance>],
+        names: &Arc<NameTable>,
+        soa: &ScenarioSoa,
+        est_proto: &EstimateBook,
+        est_ident: Option<Fingerprint>,
         plan: Option<&FaultPlan>,
     ) -> Result<EmulationStats, EmuError> {
-        let mut tracker = InstanceTracker::new(&instances, names);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // The fully-dense loop: FRFS-exact policy, bitmask-sized
+        // platform, nothing that wants fat per-event bookkeeping — no
+        // fault plan, no tracer, no live metrics, no estimate-reading
+        // policy. Everything else takes the general loop.
+        let dense_loop = scheduler.dense_fifo()
+            && !scheduler.uses_estimates()
+            && self.platform.pes.len() <= 64
+            && plan.is_none()
+            && self.config.trace.is_none()
+            && self.config.metrics.is_none();
+        let result = if dense_loop {
+            self.run_loop_dense(scheduler, instances, names, soa, &mut scratch)
+        } else {
+            self.run_loop(
+                scheduler,
+                instances,
+                names,
+                soa,
+                est_proto,
+                est_ident,
+                plan,
+                &mut scratch,
+            )
+        };
+        self.scratch = scratch;
+        result
+    }
+
+    /// The event loop. `names`/`soa`/`est_proto`/`plan` are
+    /// scenario-scoped precomputations: [`Self::run`] builds them per
+    /// call, [`Self::run_compiled`] hands in the compiled-once shared
+    /// ones. All per-run growable state comes from (and returns to) the
+    /// scratch arena.
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        instances: &[Arc<AppInstance>],
+        names_arc: &Arc<NameTable>,
+        soa: &ScenarioSoa,
+        est_proto: &EstimateBook,
+        est_ident: Option<Fingerprint>,
+        plan: Option<&FaultPlan>,
+        s: &mut DesScratch,
+    ) -> Result<EmulationStats, EmuError> {
+        let names: &NameTable = names_arc;
+        s.reset();
+        // Estimate-book reuse: during a run only `observe_at` touches the
+        // book (slots are resolved at scenario compile), so a book whose
+        // slot map came from this same scenario needs only its values
+        // restored — a memcpy instead of rebuilding two hash maps.
+        if est_ident.is_some() && s.est_src == est_ident {
+            s.estimates.reset_values_from(est_proto);
+        } else {
+            s.estimates.reset_from(est_proto);
+        }
+        s.est_src = est_ident;
+
+        let DesScratch {
+            inst_base,
+            remaining_preds,
+            remaining_tasks,
+            arrival_order,
+            done,
+            events,
+            due,
+            retries,
+            ready_buf,
+            estimates,
+            views: view_scratch,
+            assignments,
+            ..
+        } = &mut *s;
+
+        // ---- SoA instance state: flat task ids `inst_base[id] + node`.
+        let inst_top = instances.iter().map(|i| i.id.0 as usize + 1).max().unwrap_or(0);
+        remaining_tasks.resize(inst_top, 0);
+        for inst in instances {
+            remaining_tasks[inst.id.0 as usize] = soa.specs[names.spec_index(inst.id)].n_nodes;
+        }
+        inst_base.resize(inst_top, 0);
+        let mut flat_total = 0u32;
+        for i in 0..inst_top {
+            inst_base[i] = flat_total;
+            flat_total += remaining_tasks[i];
+        }
+        remaining_preds.resize(flat_total as usize, 0);
+        for inst in instances {
+            let base = inst_base[inst.id.0 as usize] as usize;
+            let spec = &soa.specs[names.spec_index(inst.id)];
+            remaining_preds[base..base + spec.preds_init.len()].copy_from_slice(&spec.preds_init);
+        }
+        // The fast-record columns leave with the stats at end of run, so
+        // right-size them up front (the run's task count is known).
+        done.reserve(flat_total as usize);
 
         // Arrivals are known up front: sorted once by (time, instance
-        // order) and drained by cursor, they never pay heap traffic.
-        let mut arrival_order: Vec<(SimTime, u32)> = instances
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| (SimTime::from_duration(inst.arrival), i as u32))
-            .collect();
+        // order) and drained by cursor, they never pay queue traffic.
+        arrival_order.extend(
+            instances
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| (SimTime::from_duration(inst.arrival), i as u32)),
+        );
         arrival_order.sort_unstable_by_key(|&(t, i)| (t, i));
         let mut next_arrival = 0usize;
-
-        // Min-heap of in-flight completions on the shared tie-break.
-        // Draining due events by popping the minimum while its time is
-        // <= the clock reproduces the sorted-queue order exactly: in a
-        // queue sorted ascending by the same key, the first event with
-        // `time <= clock` is always the head (the global minimum).
-        let mut events: BinaryHeap<Reverse<Event>> =
-            BinaryHeap::with_capacity(self.platform.pes.len() + 1);
         let mut event_seq = 0u64;
 
         let metrics = match &self.config.metrics {
-            Some(registry) => ExecMetrics::attach(registry, &self.platform, &instances),
+            Some(registry) => ExecMetrics::attach(registry, &self.platform, instances),
             None => ExecMetrics::disabled(),
         };
-        let mut ready = ReadyList::new();
+        let mut ready = ReadyList::recycled(std::mem::take(ready_buf));
         ready.set_metrics(metrics.clone());
         // DES PEs have no reservation queues (depth 0); the busy map
         // holds *exact* finish times — the simulator's one luxury over
@@ -332,7 +382,6 @@ impl DesSimulator {
 
         // ---- Fault machinery (all empty/None without a fault spec).
         let mut fstate: Option<FaultState> = plan.map(|p| FaultState::new(p.retry.clone()));
-        let mut retries: Vec<RetryEntry> = Vec::new();
         let mut retry_seq = 0u64;
         // The platform key a PE dispatches as, for degraded-dispatch
         // detection (same comparison the threaded engine makes).
@@ -340,49 +389,69 @@ impl DesSimulator {
             |pe: PeId| names.pe_column(pe).map(|col| self.platform.pes[col].platform_key.as_str());
 
         let mut sink = CompletionSink::new();
+        sink.reserve_apps(instances.len());
         let tracer = match &self.config.trace {
             Some(trace_sink) => {
                 register_trace_meta(
                     trace_sink,
                     &self.platform,
                     &format!("{} (DES)", scheduler.name()),
-                    &instances,
+                    instances,
                 );
                 ExecTracer::attach(trace_sink, "des")
             }
             None => ExecTracer::disabled(),
         };
+        // With neither tracing nor metrics attached, completions write
+        // six integers into SoA columns and the fat records (with their
+        // refcounted `Name` clones) are materialized once, after the
+        // loop. Live consumers force inline records — same side-effect
+        // order as always.
+        let fast_records = !metrics.enabled() && !tracer.enabled();
+        // FRFS-exact policies take the dense assignment path (the
+        // per-round PE mask caps it at 64 PEs — larger platforms fall
+        // back to the general scheduler machinery).
+        let dense = scheduler.dense_fifo() && self.platform.pes.len() <= 64;
+        // The EWMA estimate book is scratch state, never part of the
+        // run's output: skip maintaining it when nothing can read it
+        // (no estimate-driven policy, no fault plan deriving hang
+        // deadlines from estimates).
+        let observe = scheduler.uses_estimates() || plan.is_some();
         ready.set_tracer(tracer.clone());
         sink.set_tracer(tracer.clone());
         sink.set_metrics(metrics);
         let mut clock = SimTime::ZERO;
-        // Scratch buffer for the scheduler's per-invocation PE views.
-        let mut views: Vec<PeView<'_>> = Vec::with_capacity(self.platform.pes.len());
+        // Scheduler PE views: recycled allocation, borrowed lifetimes.
+        let mut views: Vec<PeView<'_>> = view_scratch.take();
 
         loop {
-            // Drain everything due at the current clock first. Tie order
-            // matches the threaded engine: completions before arrivals,
-            // completions in (instance, node) order, arrivals in
-            // instantiation order.
-            while events.peek().is_some_and(|Reverse(e)| e.time <= clock) {
-                let Reverse(ev) = events.pop().expect("peeked");
-                let (id, node_idx) = ev.key;
+            // Drain everything due at the current clock first, in one
+            // same-window batch. The batch comes out in full `Ord` order,
+            // so tie order matches the threaded engine: completions
+            // before arrivals, completions in (instance, node, seq)
+            // order, arrivals in instantiation order.
+            due.clear();
+            events.pop_due(clock.0, due);
+            for ev in due.iter() {
+                let id = InstanceId(ev.inst as u64);
+                let node_idx = ev.node as usize;
+                let pe = self.platform.pes[ev.col as usize].id;
                 // Faulted attempt: no task record, no estimate update,
                 // no DAG progress — run the recovery policy instead
                 // (identical to the threaded engine's fault branch).
                 if let Some(kind) = ev.fault {
                     let plan = plan.expect("fault implies a plan");
                     let state = fstate.as_mut().expect("fault implies fault state");
-                    sink.record_fault(ev.time, id.0, node_idx, ev.pe, kind);
-                    let action = state.on_fault(plan, id.0, node_idx, ev.pe, kind, ev.time);
-                    slots.release(ev.pe);
-                    if action.quarantine && !slots.is_failed(ev.pe) {
+                    sink.record_fault(ev.time, id.0, node_idx, pe, kind);
+                    let action = state.on_fault(plan, id.0, node_idx, pe, kind, ev.time);
+                    slots.release(pe);
+                    if action.quarantine && !slots.is_failed(pe) {
                         // No PeIdle event — the PE leaves the
                         // schedulable set for good.
-                        slots.fail(ev.pe);
-                        sink.record_quarantine(ev.time, ev.pe);
+                        slots.fail(pe);
+                        sink.record_quarantine(ev.time, pe);
                     } else {
-                        tracer.emit(ev.time, TraceKind::PeIdle { pe: ev.pe.0 });
+                        tracer.emit(ev.time, TraceKind::PeIdle { pe: pe.0 });
                     }
                     if let Some((attempt, release)) = action.retry {
                         sink.record_retry(ev.time, id.0, node_idx, attempt, release);
@@ -390,7 +459,7 @@ impl DesSimulator {
                             release,
                             seq: retry_seq,
                             task: Task {
-                                instance: Arc::clone(&instances[id.0 as usize]),
+                                instance: Arc::clone(&instances[ev.inst as usize]),
                                 node_idx,
                             },
                         });
@@ -402,40 +471,71 @@ impl DesSimulator {
                 }
                 // DES PEs have no reservation queues, so every
                 // completion idles its PE.
-                slots.release(ev.pe);
-                tracer.emit(ev.time, TraceKind::PeIdle { pe: ev.pe.0 });
-                let col = names.pe_column(ev.pe).expect("known PE");
-                let (_, est_slot) =
-                    costs[names.spec_index(id)][node_idx][col].expect("compat checked");
-                estimates.observe_at(est_slot, ev.dur);
-                sink.record_task(TaskRecord {
-                    instance: id,
-                    app: names.app(id).clone(),
-                    node: names.node(id, node_idx).clone(),
-                    node_idx,
-                    kernel: ev.runfunc,
-                    pe: ev.pe,
-                    ready_at: ev.ready_at,
-                    start: SimTime(ev.time.0 - ev.dur.as_nanos() as u64),
-                    finish: ev.time,
-                    modeled: ev.dur,
-                    measured: Duration::ZERO,
-                });
-                if let Some(rec) =
-                    tracker.complete(&instances[id.0 as usize], node_idx, ev.time, &mut ready)
-                {
-                    if fstate.as_ref().is_some_and(|s| s.had_faults(id.0)) {
+                slots.release(pe);
+                tracer.emit(ev.time, TraceKind::PeIdle { pe: pe.0 });
+                let spec = &soa.specs[names.spec_index(id)];
+                let cell = node_idx * soa.stride + ev.col as usize;
+                if observe {
+                    estimates.observe_at(
+                        EstimateSlot::from_raw(spec.est_slot[cell]),
+                        Duration::from_nanos(ev.dur_ns),
+                    );
+                }
+                if fast_records {
+                    done.push(ev.inst, ev.node, ev.col, ev.ready_at.0, ev.time.0, ev.dur_ns);
+                } else {
+                    sink.record_task(TaskRecord {
+                        instance: id,
+                        app: names.app(id).clone(),
+                        node: names.node(id, node_idx).clone(),
+                        node_idx,
+                        kernel: spec.runfunc[cell].clone(),
+                        pe,
+                        ready_at: ev.ready_at,
+                        start: SimTime(ev.time.0 - ev.dur_ns),
+                        finish: ev.time,
+                        modeled: Duration::from_nanos(ev.dur_ns),
+                        measured: Duration::ZERO,
+                    });
+                }
+                // DAG progress: CSR successor walk over flat countdowns.
+                let base = inst_base[ev.inst as usize];
+                let lo = spec.succ_off[node_idx] as usize;
+                let hi = spec.succ_off[node_idx + 1] as usize;
+                for &succ in &spec.succ[lo..hi] {
+                    let flat = (base + succ) as usize;
+                    remaining_preds[flat] -= 1;
+                    if remaining_preds[flat] == 0 {
+                        ready.push(
+                            Task {
+                                instance: Arc::clone(&instances[ev.inst as usize]),
+                                node_idx: succ as usize,
+                            },
+                            ev.time,
+                        );
+                    }
+                }
+                let left = &mut remaining_tasks[ev.inst as usize];
+                *left -= 1;
+                if *left == 0 {
+                    if fstate.as_ref().is_some_and(|st| st.had_faults(id.0)) {
                         sink.record_survival();
                     }
-                    sink.record_app(rec);
+                    sink.record_app(AppRecord {
+                        instance: id,
+                        app: names.app(id).clone(),
+                        arrival: SimTime::from_duration(instances[ev.inst as usize].arrival),
+                        finish: ev.time,
+                        task_count: spec.n_nodes as usize,
+                    });
                 }
             }
             // Release due retries into the ready list, in deterministic
             // (release, seq) order — before arrivals, like the emulator.
             if !retries.is_empty() {
                 retries.sort_by_key(|r| (r.release, r.seq));
-                while retries.first().is_some_and(|r| r.release <= clock) {
-                    let r = retries.remove(0);
+                let due_n = retries.iter().take_while(|r| r.release <= clock).count();
+                for r in retries.drain(..due_n) {
                     ready.push(r.task, r.release);
                 }
             }
@@ -466,14 +566,35 @@ impl DesSimulator {
 
             // Schedule at the current clock.
             if !ready.is_empty() && slots.any_schedulable() {
-                views.clear();
-                views.extend(self.platform.pes.iter().map(|pe| slots.view(pe, clock)));
-                let ctx = SchedContext { now: clock, estimates: &estimates };
-                let mut assignments = scheduler.schedule(ready.pending(), &views, &ctx);
+                assignments.clear();
+                if dense {
+                    // Dense FIFO path: the policy declared FRFS
+                    // semantics, so the engine computes the identical
+                    // assignment set straight off the SoA slabs — no
+                    // `PeView` materialization, no virtual dispatch.
+                    dense_fifo_assign(
+                        soa,
+                        names,
+                        &slots,
+                        &self.platform,
+                        ready.pending(),
+                        assignments,
+                    );
+                } else {
+                    views.clear();
+                    views.extend(self.platform.pes.iter().map(|pe| slots.view(pe, clock)));
+                    let ctx = SchedContext { now: clock, estimates: &*estimates };
+                    scheduler.schedule_into(ready.pending(), &views, &ctx, assignments);
+                }
                 sink.note_sched_invocation();
                 if tracer.enabled() {
-                    let candidates =
-                        views.iter().filter(|v| v.idle).fold(0u64, |m, v| m | pe_mask_bit(v.pe.id));
+                    // `has_room` is exactly the `idle` the views carry.
+                    let candidates = self
+                        .platform
+                        .pes
+                        .iter()
+                        .filter(|pe| slots.has_room(pe.id))
+                        .fold(0u64, |m, pe| m | pe_mask_bit(pe.id));
                     let chosen = assignments.iter().fold(0u64, |m, a| m | pe_mask_bit(a.pe));
                     tracer.emit(
                         clock,
@@ -489,24 +610,37 @@ impl DesSimulator {
                 let charge = self.config.overhead_per_invocation;
                 sink.charge_overhead(OverheadPhase::Schedule, charge);
 
-                // The same contract check the emulator runs.
-                validate_assignments(
-                    scheduler.name(),
-                    &assignments,
-                    ready.pending(),
-                    &slots,
-                    &self.platform,
-                )?;
-                assignments.sort_unstable_by_key(|a| a.ready_idx);
-                for a in &assignments {
+                // The same contract check the emulator runs, with the
+                // platform-key string compare replaced by the SoA
+                // sentinel probe. The dense path skips it: those
+                // assignments are the engine's own, correct by
+                // construction.
+                if !dense {
+                    validate_assignments_with(
+                        scheduler.name(),
+                        assignments,
+                        ready.pending(),
+                        &slots,
+                        |rt, pe| match names.pe_column(pe) {
+                            Some(col) => {
+                                let spec = &soa.specs[names.spec_index(rt.task.instance.id)];
+                                spec.cost_ns[rt.task.node_idx * soa.stride + col] != INCOMPATIBLE
+                            }
+                            None => false,
+                        },
+                    )?;
+                    assignments.sort_unstable_by_key(|a| a.ready_idx);
+                }
+                for a in assignments.iter() {
                     let rt = &ready.pending()[a.ready_idx];
                     let id = rt.task.instance.id;
                     let node_idx = rt.task.node_idx;
                     let col = names.pe_column(a.pe).expect("known PE");
-                    let (dur, _) =
-                        costs[names.spec_index(id)][node_idx][col].expect("compat checked");
+                    let spec = &soa.specs[names.spec_index(id)];
+                    let cell = node_idx * soa.stride + col;
+                    let dur_ns = spec.cost_ns[cell];
                     let start = clock + charge;
-                    let mut finish = start + dur;
+                    let mut finish = start + Duration::from_nanos(dur_ns);
                     tracer.emit(
                         clock,
                         TraceKind::TaskDispatch {
@@ -516,7 +650,6 @@ impl DesSimulator {
                         },
                     );
                     tracer.emit(clock, TraceKind::PeBusy { pe: a.pe.0 });
-                    let runfunc = names.runfunc(id, node_idx, a.pe).cloned().unwrap_or_default();
                     let mut fault = None;
                     if let Some(plan) = plan {
                         let state = fstate.as_mut().expect("plan implies fault state");
@@ -542,7 +675,7 @@ impl DesSimulator {
                             .estimate(&rt.task, &self.platform.pes[col])
                             .unwrap_or(Duration::from_micros(100));
                         if let Some(d) = plan.decide(
-                            runfunc.as_str(),
+                            spec.runfunc[cell].as_str(),
                             a.pe,
                             id.0,
                             node_idx,
@@ -556,24 +689,24 @@ impl DesSimulator {
                         }
                     }
                     slots.occupy(a.pe, finish);
-                    events.push(Reverse(Event {
+                    events.push(CompletionEvent {
                         time: finish,
-                        key: rt.task.key(),
+                        inst: id.0 as u32,
+                        node: node_idx as u32,
                         seq: event_seq,
-                        pe: a.pe,
+                        col: col as u32,
                         ready_at: rt.ready_at,
-                        dur,
-                        runfunc,
+                        dur_ns,
                         fault,
-                    }));
+                    });
                     event_seq += 1;
                 }
-                ready.remove(&assignments);
+                ready.remove(assignments);
             }
 
             // Advance to the next event (completion, arrival, or retry
             // release).
-            let next_completion = events.peek().map(|Reverse(e)| e.time);
+            let next_completion = events.peek_time().map(SimTime);
             let next_arr = arrival_order.get(next_arrival).map(|&(t, _)| t);
             let next_retry = retries.iter().map(|r| r.release).min();
             match [next_completion, next_arr, next_retry].into_iter().flatten().min() {
@@ -608,6 +741,256 @@ impl DesSimulator {
             }
         }
 
-        Ok(sink.finish(&self.platform, format!("{} (DES)", scheduler.name()), instances))
+        // Return recycled buffers to the arena for the next run.
+        view_scratch.put(views);
+        *ready_buf = ready.into_buffer();
+
+        let label = format!("{} (DES)", scheduler.name());
+        if fast_records {
+            // The completion columns ARE the run's task log: hand them
+            // (with the scenario's interned names) to the stats, which
+            // materializes fat records only if a consumer reads them.
+            let dense = DenseTaskLog {
+                cols: std::mem::take(done),
+                names: Arc::clone(names_arc),
+                pes: self.platform.pes.iter().map(|pe| pe.id).collect(),
+            };
+            Ok(sink.finish_dense(&self.platform, label, instances.to_vec(), dense))
+        } else {
+            Ok(sink.finish(&self.platform, label, instances.to_vec()))
+        }
+    }
+
+    /// The dense fast loop: FRFS computed in-engine over an `Arc`-free
+    /// ready ring, PE state as one idle bitmask, and completion facts
+    /// appended straight to the SoA columns. Taken only when nothing
+    /// needs the general machinery (see the gate in [`Self::run_inner`])
+    /// — and pinned bit-identical to [`Self::run_loop`] over the same
+    /// inputs by the `dense_loop_matches_general_loop` test and the
+    /// cross-engine differential suites.
+    fn run_loop_dense(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        instances: &[Arc<AppInstance>],
+        names_arc: &Arc<NameTable>,
+        soa: &ScenarioSoa,
+        s: &mut DesScratch,
+    ) -> Result<EmulationStats, EmuError> {
+        let names: &NameTable = names_arc;
+        s.reset();
+        let DesScratch {
+            inst_base,
+            remaining_preds,
+            remaining_tasks,
+            arrival_order,
+            done,
+            events,
+            due,
+            dense_ready,
+            ..
+        } = &mut *s;
+
+        // ---- SoA instance state, identical to the general prologue.
+        let inst_top = instances.iter().map(|i| i.id.0 as usize + 1).max().unwrap_or(0);
+        remaining_tasks.resize(inst_top, 0);
+        for inst in instances {
+            remaining_tasks[inst.id.0 as usize] = soa.specs[names.spec_index(inst.id)].n_nodes;
+        }
+        inst_base.resize(inst_top, 0);
+        let mut flat_total = 0u32;
+        for i in 0..inst_top {
+            inst_base[i] = flat_total;
+            flat_total += remaining_tasks[i];
+        }
+        remaining_preds.resize(flat_total as usize, 0);
+        for inst in instances {
+            let base = inst_base[inst.id.0 as usize] as usize;
+            let spec = &soa.specs[names.spec_index(inst.id)];
+            remaining_preds[base..base + spec.preds_init.len()].copy_from_slice(&spec.preds_init);
+        }
+        // The columns leave with the stats at end of run, so right-size
+        // them up front (the run's task count is known exactly).
+        done.reserve(flat_total as usize);
+
+        arrival_order.extend(
+            instances
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| (SimTime::from_duration(inst.arrival), i as u32)),
+        );
+        arrival_order.sort_unstable_by_key(|&(t, i)| (t, i));
+        let mut next_arrival = 0usize;
+        let mut event_seq = 0u64;
+
+        let mut sink = CompletionSink::new();
+        sink.reserve_apps(instances.len());
+        let n_pes = self.platform.pes.len();
+        // Idle-PE bitmask over platform columns: `free & compat`'s
+        // lowest set bit is exactly "first idle compatible PE in
+        // descriptor order" — FRFS's placement rule.
+        let all_free: u64 = if n_pes >= 64 { u64::MAX } else { (1u64 << n_pes) - 1 };
+        let mut free = all_free;
+        let charge = self.config.overhead_per_invocation;
+        let mut clock = SimTime::ZERO;
+        let mut head = 0usize;
+
+        loop {
+            // Same-window batch drain, same full-`Ord` tie-break order
+            // as the general loop.
+            due.clear();
+            events.pop_due(clock.0, due);
+            for ev in due.iter() {
+                free |= 1u64 << ev.col;
+                let id = InstanceId(ev.inst as u64);
+                let node_idx = ev.node as usize;
+                let spec = &soa.specs[names.spec_index(id)];
+                done.push(ev.inst, ev.node, ev.col, ev.ready_at.0, ev.time.0, ev.dur_ns);
+                // DAG progress: CSR successor walk over flat countdowns.
+                let base = inst_base[ev.inst as usize];
+                let lo = spec.succ_off[node_idx] as usize;
+                let hi = spec.succ_off[node_idx + 1] as usize;
+                for &succ in &spec.succ[lo..hi] {
+                    let flat = (base + succ) as usize;
+                    remaining_preds[flat] -= 1;
+                    if remaining_preds[flat] == 0 {
+                        dense_ready.push(DenseReady {
+                            inst: ev.inst,
+                            node: succ,
+                            ready_ns: ev.time.0,
+                        });
+                    }
+                }
+                let left = &mut remaining_tasks[ev.inst as usize];
+                *left -= 1;
+                if *left == 0 {
+                    sink.record_app(AppRecord {
+                        instance: id,
+                        app: names.app(id).clone(),
+                        arrival: SimTime::from_duration(instances[ev.inst as usize].arrival),
+                        finish: ev.time,
+                        task_count: spec.n_nodes as usize,
+                    });
+                }
+            }
+            while next_arrival < arrival_order.len() && arrival_order[next_arrival].0 <= clock {
+                let (at, idx) = arrival_order[next_arrival];
+                next_arrival += 1;
+                let inst = &instances[idx as usize];
+                let spec = &soa.specs[names.spec_index(inst.id)];
+                let iid = inst.id.0 as u32;
+                for &r in &spec.roots {
+                    dense_ready.push(DenseReady { inst: iid, node: r, ready_ns: at.0 });
+                }
+            }
+
+            // Schedule at the current clock: strict FIFO, stop at the
+            // first head task with no idle compatible PE.
+            if head < dense_ready.len() && free != 0 {
+                sink.note_sched_invocation();
+                if !charge.is_zero() {
+                    // With metrics off (guaranteed on this path) a zero
+                    // charge is a no-op — skip the call entirely.
+                    sink.charge_overhead(OverheadPhase::Schedule, charge);
+                }
+                while head < dense_ready.len() {
+                    let rt = dense_ready[head];
+                    let spec = &soa.specs[names.spec_index(InstanceId(rt.inst as u64))];
+                    let m = spec.compat[rt.node as usize] & free;
+                    if m == 0 {
+                        break;
+                    }
+                    let col = m.trailing_zeros() as usize;
+                    free &= !(1u64 << col);
+                    let dur_ns = spec.cost_ns[rt.node as usize * soa.stride + col];
+                    let finish = clock + charge + Duration::from_nanos(dur_ns);
+                    events.push(CompletionEvent {
+                        time: finish,
+                        inst: rt.inst,
+                        node: rt.node,
+                        seq: event_seq,
+                        col: col as u32,
+                        ready_at: SimTime(rt.ready_ns),
+                        dur_ns,
+                        fault: None,
+                    });
+                    event_seq += 1;
+                    head += 1;
+                }
+                // Reclaim the consumed prefix once it dominates the
+                // ring (mirrors `ReadyList::remove`'s policy).
+                if head >= 64 && head * 2 >= dense_ready.len() {
+                    dense_ready.drain(..head);
+                    head = 0;
+                }
+            }
+
+            // Advance to the next event (completion or arrival).
+            let next_completion = events.peek_time().map(SimTime);
+            let next_arr = arrival_order.get(next_arrival).map(|&(t, _)| t);
+            match [next_completion, next_arr].into_iter().flatten().min() {
+                Some(t) => clock = clock.max(t),
+                None => {
+                    if head == dense_ready.len() {
+                        break;
+                    }
+                    return Err(EmuError::Config(format!(
+                        "deadlock: {} ready task(s) but scheduler '{}' dispatches nothing and no events remain",
+                        dense_ready.len() - head,
+                        scheduler.name()
+                    )));
+                }
+            }
+        }
+
+        let dense = DenseTaskLog {
+            cols: std::mem::take(done),
+            names: Arc::clone(names_arc),
+            pes: self.platform.pes.iter().map(|pe| pe.id).collect(),
+        };
+        Ok(sink.finish_dense(
+            &self.platform,
+            format!("{} (DES)", scheduler.name()),
+            instances.to_vec(),
+            dense,
+        ))
+    }
+}
+
+/// FRFS computed inside the engine: strict FIFO over the pending queue,
+/// first idle compatible PE in descriptor order, stop at the first head
+/// that cannot start. Byte-for-byte the assignment set
+/// [`FrfsScheduler::schedule_into`](crate::sched::FrfsScheduler) would
+/// return — `slots.has_room` is exactly the `idle` flag the views would
+/// carry, and the SoA sentinel probe is exactly `task.supports(key)`
+/// (pinned by `soa_matches_grid` and the differential suites). Output is
+/// already in `ready_idx` order and engine-valid, so the caller skips
+/// both the sort and the contract check.
+fn dense_fifo_assign(
+    soa: &ScenarioSoa,
+    names: &NameTable,
+    slots: &PeSlots,
+    platform: &PlatformConfig,
+    pending: &[ReadyTask],
+    out: &mut Vec<Assignment>,
+) {
+    let mut taken: u64 = 0;
+    for (i, rt) in pending.iter().enumerate() {
+        let spec = &soa.specs[names.spec_index(rt.task.instance.id)];
+        let row = rt.task.node_idx * soa.stride;
+        let mut found = false;
+        for (col, pe) in platform.pes.iter().enumerate() {
+            if taken & (1 << col) != 0 || !slots.has_room(pe.id) {
+                continue;
+            }
+            if spec.cost_ns[row + col] != INCOMPATIBLE {
+                taken |= 1 << col;
+                out.push(Assignment { ready_idx: i, pe: pe.id });
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            break;
+        }
     }
 }

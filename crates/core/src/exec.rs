@@ -36,7 +36,10 @@ use crate::fault::FaultState;
 use crate::intern::{Name, NameTable};
 use crate::metrics::{ExecMetrics, OverheadPhase};
 use crate::sched::{Assignment, PeView};
-use crate::stats::{AppRecord, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskRecord};
+use crate::stats::{
+    AppRecord, DenseTaskLog, EmulationStats, OverheadBreakdown, ReliabilityCounters, TaskLog,
+    TaskRecord,
+};
 use crate::task::{ReadyTask, Task};
 use crate::time::SimTime;
 
@@ -167,6 +170,21 @@ impl ReadyList {
     /// Empty list.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A list wrapping a recycled backing buffer (cleared here), so warm
+    /// engines keep the ready list's capacity across runs. Pair with
+    /// [`Self::into_buffer`] at end of run.
+    pub fn recycled(mut buf: Vec<ReadyTask>) -> Self {
+        buf.clear();
+        ReadyList { items: buf, ..Self::default() }
+    }
+
+    /// Surrenders the backing buffer for reuse by a later
+    /// [`Self::recycled`] call. Pending entries (there are none at a
+    /// normal end of run) are dropped with the wrapper.
+    pub fn into_buffer(self) -> Vec<ReadyTask> {
+        self.items
     }
 
     /// Installs the run's tracer. [`Self::push`] is the single funnel
@@ -529,6 +547,24 @@ pub fn validate_assignments(
     slots: &PeSlots,
     platform: &PlatformConfig,
 ) -> Result<(), EmuError> {
+    validate_assignments_with(scheduler_name, assignments, pending, slots, |rt, pe| {
+        platform.pes.iter().any(|p| p.id == pe && rt.task.supports(&p.platform_key))
+    })
+}
+
+/// [`validate_assignments`] with a caller-supplied compatibility test.
+/// The default test walks the platform's PE descriptors and compares
+/// platform-key strings; engines holding precomputed compatibility
+/// tables (the DES SoA cost slabs, where a sentinel marks incompatible
+/// pairs) pass an O(1) array probe instead. `compat(rt, pe)` must also
+/// reject PEs the platform does not contain.
+pub fn validate_assignments_with(
+    scheduler_name: &str,
+    assignments: &[Assignment],
+    pending: &[ReadyTask],
+    slots: &PeSlots,
+    compat: impl Fn(&ReadyTask, PeId) -> bool,
+) -> Result<(), EmuError> {
     for (k, a) in assignments.iter().enumerate() {
         // Assignments earlier in this batch targeting the same PE: they
         // consume reservation-queue room (busy PE) or the PE itself.
@@ -542,10 +578,7 @@ pub fn validate_assignments(
             && room
             && !slots.is_failed(a.pe)
             && !assignments[..k].iter().any(|b| b.ready_idx == a.ready_idx)
-            && platform
-                .pes
-                .iter()
-                .any(|pe| pe.id == a.pe && pending[a.ready_idx].task.supports(&pe.platform_key));
+            && compat(&pending[a.ready_idx], a.pe);
         if !ok {
             return Err(EmuError::Config(format!(
                 "scheduler '{scheduler_name}' violated the assignment contract ({a:?})"
@@ -650,6 +683,32 @@ impl CompletionSink {
         self.tasks.push(rec);
     }
 
+    /// Ingests finished tasks whose *live* side effects (the metrics
+    /// sample and the `task_slice` trace event) the engine already
+    /// emitted inline at completion time. Only the end-of-run
+    /// accumulation happens here: PE busy time and the record list.
+    ///
+    /// The DES batches its completions through struct-of-arrays columns
+    /// and materializes the fat records once, after the hot loop; calling
+    /// [`Self::record_task`] then would double-count metrics and traces.
+    pub fn ingest_tasks(&mut self, tasks: impl IntoIterator<Item = TaskRecord>) {
+        let tasks = tasks.into_iter();
+        self.tasks.reserve(tasks.size_hint().0);
+        for rec in tasks {
+            match self.pe_busy.iter_mut().find(|(pe, _)| *pe == rec.pe) {
+                Some((_, busy)) => *busy += rec.modeled,
+                None => self.pe_busy.push((rec.pe, rec.modeled)),
+            }
+            self.tasks.push(rec);
+        }
+    }
+
+    /// Pre-sizes the application record buffer (engines that know the
+    /// instance count up front call this once instead of growing it).
+    pub fn reserve_apps(&mut self, n: usize) {
+        self.apps.reserve(n);
+    }
+
     /// Records one finished application.
     pub fn record_app(&mut self, rec: AppRecord) {
         self.tracer.emit(rec.finish, TraceKind::AppFinish { instance: rec.instance.0 });
@@ -745,7 +804,7 @@ impl CompletionSink {
             platform: platform.name.clone(),
             scheduler,
             makespan,
-            tasks: self.tasks,
+            tasks: self.tasks.into(),
             apps: self.apps,
             pe_busy: self.pe_busy.into_iter().collect(),
             pe_names: platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
@@ -753,6 +812,65 @@ impl CompletionSink {
             overhead: self.overhead,
             reliability: self.reliability,
             instances,
+            app_agg: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// [`Self::finish`] for the DES fast path: the per-task facts
+    /// arrive as dense columns instead of recorded `TaskRecord`s, and
+    /// stay dense in the returned stats (see
+    /// [`TaskLog`](crate::stats::TaskLog)). PE busy time and makespan
+    /// are computed with one pass over the columns — the values are
+    /// identical to what recording each task eagerly would have
+    /// accumulated.
+    pub(crate) fn finish_dense(
+        self,
+        platform: &PlatformConfig,
+        scheduler: String,
+        instances: Vec<Arc<AppInstance>>,
+        dense: DenseTaskLog,
+    ) -> EmulationStats {
+        debug_assert!(self.tasks.is_empty(), "fast path records no eager tasks");
+        self.metrics.run_completed(&scheduler);
+        let cols = &dense.cols;
+        // Busy time per column; `seen` keeps the map keyed exactly like
+        // the eager path (a PE appears once it ran a task, even a
+        // zero-duration one).
+        let mut busy = vec![0u64; dense.pes.len()];
+        let mut seen = vec![false; dense.pes.len()];
+        for k in 0..cols.len() {
+            let c = cols.col[k] as usize;
+            busy[c] += cols.dur_ns[k];
+            seen[c] = true;
+        }
+        // Completions leave the calendar queue in time order, so the
+        // last column entry holds the latest task finish.
+        let makespan = self
+            .apps
+            .iter()
+            .map(|a| a.finish)
+            .chain(cols.finish_ns.last().map(|&t| SimTime(t)))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .as_duration();
+        EmulationStats {
+            platform: platform.name.clone(),
+            scheduler,
+            makespan,
+            apps: self.apps,
+            pe_busy: dense
+                .pes
+                .iter()
+                .zip(busy.iter().zip(seen.iter()))
+                .filter(|(_, (_, &s))| s)
+                .map(|(&pe, (&ns, _))| (pe, Duration::from_nanos(ns)))
+                .collect(),
+            pe_names: platform.pes.iter().map(|pe| (pe.id, pe.name.clone())).collect(),
+            sched_invocations: self.sched_invocations,
+            overhead: self.overhead,
+            reliability: self.reliability,
+            instances,
+            tasks: TaskLog::from_dense(dense),
             app_agg: std::sync::OnceLock::new(),
         }
     }

@@ -237,6 +237,18 @@ impl NameTable {
         let col = self.pe_column(pe)?;
         self.spec(inst).runfuncs[node_idx][col].as_ref()
     }
+
+    /// [`Self::runfunc`] addressed by spec index and PE column directly —
+    /// the form the SoA flattener walks (it iterates specs, not
+    /// instances, and already holds the column).
+    pub(crate) fn runfunc_by_spec(
+        &self,
+        spec: usize,
+        node_idx: usize,
+        col: usize,
+    ) -> Option<&Name> {
+        self.specs[spec].runfuncs[node_idx][col].as_ref()
+    }
 }
 
 impl SpecNames {

@@ -49,6 +49,7 @@ use crate::exec::preflight_compat;
 use crate::fault::{FaultPlan, FaultSpec};
 use crate::intern::{Interner, NameTable};
 use crate::sched::{by_name, EstimateBook, EstimateSlot, Scheduler};
+use crate::soa::ScenarioSoa;
 use crate::stats::EmulationStats;
 
 /// Dispatch costs resolved once per scenario, indexed
@@ -709,6 +710,9 @@ pub struct CompiledScenario {
     pub(crate) instances: Vec<Arc<AppInstance>>,
     pub(crate) names: Arc<NameTable>,
     pub(crate) grid: Arc<CostGrid>,
+    /// The grid flattened into struct-of-arrays slabs — what the DES
+    /// hot loop actually indexes (see [`ScenarioSoa`]).
+    pub(crate) soa: Arc<ScenarioSoa>,
     /// Slot-assigned estimate-book prototype: slots match the grid's
     /// [`EstimateSlot`]s but carry no observations yet. Each DES run
     /// clones it; the threaded engine keeps its own book (slot layout
@@ -764,6 +768,7 @@ impl CompiledScenario {
             Some(f) => Some(Arc::new(f.compile(&spec.platform).map_err(EmuError::Config)?)),
             None => None,
         };
+        let soa = Arc::new(ScenarioSoa::build(&instances, &names, &grid, spec.platform.pes.len()));
         let fingerprint = spec.fingerprint();
         let engine_key = spec.engine_key();
         Ok(Arc::new(CompiledScenario {
@@ -775,6 +780,7 @@ impl CompiledScenario {
             instances,
             names: Arc::new(names),
             grid: Arc::new(grid),
+            soa,
             estimates,
             custom,
         }))
@@ -815,9 +821,21 @@ impl CompiledScenario {
         &self.grid
     }
 
+    /// The grid flattened into the struct-of-arrays form the DES hot
+    /// loop indexes.
+    pub fn soa(&self) -> &ScenarioSoa {
+        &self.soa
+    }
+
     /// A fresh slot-assigned estimate book matching [`Self::grid`].
     pub fn estimates_prototype(&self) -> EstimateBook {
         self.estimates.clone()
+    }
+
+    /// Borrow of the slot-assigned estimate-book prototype (no clone) —
+    /// warm engines reset their own book from it.
+    pub fn estimates_ref(&self) -> &EstimateBook {
+        &self.estimates
     }
 
     /// True when a run of this scenario on `engine` is a pure function
@@ -1192,7 +1210,7 @@ mod tests {
             platform: String::new(),
             scheduler: String::new(),
             makespan: Duration::ZERO,
-            tasks: Vec::new(),
+            tasks: Default::default(),
             apps: Vec::new(),
             pe_busy: BTreeMap::new(),
             pe_names: BTreeMap::new(),

@@ -21,6 +21,7 @@
 //! | [`sched`] | §II-C | FRFS, MET, EFT, RANDOM + `Scheduler` trait |
 //! | [`stats`] | §III | task/app records, utilization, overhead |
 //! | [`des`] | §III-D | discrete-event baseline (DS3-class) |
+//! | [`calq`], [`arena`], [`soa`] | — | DES hot-loop core: calendar queue, warm scratch arena, SoA scenario state |
 //! | [`job`] | — | Arc-shared scenario specs, fingerprints, `JobRunner`, result cache |
 //! | [`sweep`] | §III | batch sweep API over config × scheduler × workload grids |
 //! | [`task`], [`time`] | — | task and emulation-clock primitives |
@@ -59,6 +60,8 @@
 //! assert_eq!(stats.completed_apps(), 3);
 //! ```
 
+pub mod arena;
+pub mod calq;
 pub mod des;
 pub mod engine;
 pub mod exec;
@@ -69,10 +72,14 @@ pub mod job;
 pub mod metrics;
 pub mod resource;
 pub mod sched;
+pub mod soa;
 pub mod stats;
 pub mod sweep;
 pub mod task;
 pub mod time;
+
+pub use calq::{CalendarQueue, Timed};
+pub use soa::{ScenarioSoa, INCOMPATIBLE};
 
 pub use des::{DesConfig, DesSimulator};
 pub use engine::{EmuError, Emulation, EmulationConfig, OverheadMode, TimingMode};

@@ -32,15 +32,40 @@ impl Scheduler for FrfsScheduler {
         "FRFS"
     }
 
+    // `schedule_into` below implements exactly this contract and the
+    // policy is stateless across invocations, so engines may take their
+    // dense path. The DES differential suites (cross-engine, trace,
+    // metrics) pin the equivalence.
+    fn dense_fifo(&self) -> bool {
+        true
+    }
+
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
     fn schedule(
         &mut self,
         ready: &[ReadyTask],
         pes: &[PeView<'_>],
-        _ctx: &SchedContext<'_>,
+        ctx: &SchedContext<'_>,
     ) -> Vec<Assignment> {
+        let mut out = Vec::with_capacity(pes.len().min(ready.len()));
+        self.schedule_into(ready, pes, ctx, &mut out);
+        out
+    }
+
+    // The default policy sits on the DES per-event path, so it takes the
+    // allocation-free entry point; `schedule` above is the thin wrapper.
+    fn schedule_into(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        _ctx: &SchedContext<'_>,
+        out: &mut Vec<Assignment>,
+    ) {
         self.taken.clear();
         self.taken.resize(pes.len(), false);
-        let mut out = Vec::with_capacity(pes.len().min(ready.len()));
         // The engine guarantees readiness (seq) order: the head of the
         // slice is the first-ready task. Strict FIFO — stop at the first
         // task that cannot start (nothing overtakes it).
@@ -53,7 +78,6 @@ impl Scheduler for FrfsScheduler {
                 None => break,
             }
         }
-        out
     }
 }
 

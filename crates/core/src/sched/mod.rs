@@ -86,6 +86,20 @@ impl std::hash::Hasher for Fnv1a {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EstimateSlot(u32);
 
+impl EstimateSlot {
+    /// The raw slot index, for engines that pack slots into dense
+    /// per-scenario arrays (the DES SoA tables).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a slot from [`Self::raw`]. Only meaningful against the
+    /// book (or a clone of the book) that issued the raw index.
+    pub(crate) fn from_raw(v: u32) -> Self {
+        EstimateSlot(v)
+    }
+}
+
 /// Execution-time estimates learned from completed tasks, used by
 /// cost-aware policies (MET, EFT). Keyed by `(runfunc, PE class)`;
 /// an exponentially weighted moving average smooths noise.
@@ -171,6 +185,25 @@ impl EstimateBook {
         Some(Duration::from_secs_f64(100e-6 / pe.speed()))
     }
 
+    /// Makes this book a copy of `proto` (slot map and values), reusing
+    /// existing allocations where the collections allow. The warm-run
+    /// reset path for books whose slot map came from a *different*
+    /// scenario (or nowhere).
+    pub fn reset_from(&mut self, proto: &EstimateBook) {
+        self.slots.clone_from(&proto.slots);
+        self.values.clone_from(&proto.values);
+    }
+
+    /// Values-only reset: overwrites the EWMA vector from `proto`,
+    /// leaving the slot map untouched. Sound only when this book's slot
+    /// map is already identical to `proto`'s — the DES guarantees that
+    /// by keying reuse on the compiled scenario's fingerprint (slots are
+    /// never added during a run; only [`Self::observe_at`] runs there).
+    pub fn reset_values_from(&mut self, proto: &EstimateBook) {
+        debug_assert_eq!(self.values.len(), proto.values.len());
+        self.values.clone_from(&proto.values);
+    }
+
     /// Number of `(runfunc, class)` pairs observed so far.
     pub fn len(&self) -> usize {
         self.values.iter().filter(|v| v.is_some()).count()
@@ -214,6 +247,44 @@ pub trait Scheduler: Send {
         pes: &[PeView<'_>],
         ctx: &SchedContext<'_>,
     ) -> Vec<Assignment>;
+
+    /// Allocation-aware variant: append assignments to `out` (cleared by
+    /// the caller) instead of returning a fresh vector. Hot-loop engines
+    /// call this with a reused buffer; the default forwards to
+    /// [`Self::schedule`], so existing policies need no change. Policies
+    /// on an engine's per-event path should override it and implement
+    /// `schedule` as a thin wrapper.
+    fn schedule_into(
+        &mut self,
+        ready: &[ReadyTask],
+        pes: &[PeView<'_>],
+        ctx: &SchedContext<'_>,
+        out: &mut Vec<Assignment>,
+    ) {
+        out.extend(self.schedule(ready, pes, ctx));
+    }
+
+    /// True when this policy is *strict FIFO, first idle compatible PE
+    /// in descriptor order* — i.e. its assignments are exactly what
+    /// [`FrfsScheduler`] produces from the documented contract, with no
+    /// internal state carried between invocations. An engine may then
+    /// compute the identical assignment set through a dense internal
+    /// path (no `PeView` materialization, no virtual dispatch, no
+    /// post-hoc contract validation); observable behavior must be
+    /// indistinguishable. `schedule`/`schedule_into` remain the source
+    /// of truth and must stay equivalent.
+    fn dense_fifo(&self) -> bool {
+        false
+    }
+
+    /// True when the policy reads `ctx.estimates`. Engines use this to
+    /// skip maintaining the learned-estimate EWMA when nothing can
+    /// observe it (the book is scratch state, not part of the run's
+    /// output). The conservative default is `true`; only policies that
+    /// provably never touch `ctx.estimates` should override.
+    fn uses_estimates(&self) -> bool {
+        true
+    }
 }
 
 /// Builds a library scheduler by name (`"frfs"`, `"met"`, `"eft"`,

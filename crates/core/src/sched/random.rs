@@ -27,6 +27,10 @@ impl Scheduler for RandomScheduler {
         "RANDOM"
     }
 
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
     fn schedule(
         &mut self,
         ready: &[ReadyTask],

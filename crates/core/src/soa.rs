@@ -1,0 +1,257 @@
+//! Struct-of-arrays scenario state for the DES hot loop.
+//!
+//! The nested `[spec][node][pe] -> Option<(Duration, EstimateSlot)>`
+//! [`CostGrid`] is compile-friendly but hot-loop-hostile: every dispatch
+//! chases three `Vec` indirections and branches on an `Option`, and the
+//! runfunc names live in yet another nested table. [`ScenarioSoa`]
+//! flattens each spec's per-`(node, PE)` data into parallel dense
+//! arrays — one contiguous stride-indexed slab per field — so the DES
+//! completion and dispatch paths touch one cache line per field:
+//!
+//! * `cost_ns[node * stride + col]` — the modeled duration in
+//!   nanoseconds, with [`INCOMPATIBLE`] (`u64::MAX`) marking pairs the
+//!   node does not support. The sentinel test *is* the compatibility
+//!   test, replacing the string-keyed `Task::supports` comparison on the
+//!   DES validation path.
+//! * `est_slot` — the raw estimate-book slot each completion observation
+//!   lands in (aligned with `cost_ns`; only meaningful where
+//!   compatible).
+//! * `runfunc` — the interned runfunc [`Name`] per pair (the empty
+//!   default name where incompatible, matching what the dispatch path
+//!   resolved before).
+//! * `preds_init` / `succ_off`+`succ` — the DAG in CSR form, so
+//!   completion-time successor walks are two array reads plus a
+//!   contiguous slice scan instead of a pointer chase through
+//!   `NodeSpec`s.
+//!
+//! Instances of one application share their spec's slab (spec indices
+//! come from [`NameTable::spec_index`], first-encounter order — the same
+//! order [`CostGrid`] rows use), so the memory cost is per *distinct
+//! application*, not per instance. [`CompiledScenario`] builds one
+//! [`ScenarioSoa`] at compile time and `Arc`-shares it across runs,
+//! workers, and sweep cells; the cold [`DesSimulator::run`] path builds
+//! a private one per call.
+//!
+//! [`CostGrid`]: crate::job::CostGrid
+//! [`CompiledScenario`]: crate::job::CompiledScenario
+//! [`DesSimulator::run`]: crate::des::DesSimulator::run
+//! [`NameTable::spec_index`]: crate::intern::NameTable::spec_index
+
+use std::sync::Arc;
+
+use dssoc_appmodel::app::ApplicationSpec;
+use dssoc_appmodel::instance::AppInstance;
+
+use crate::intern::{Name, NameTable};
+use crate::job::CostGrid;
+
+/// Sentinel in [`SpecSoa::cost_ns`] for `(node, PE)` pairs the node does
+/// not support. No modeled duration can reach it: durations come from
+/// `Duration::as_nanos()` clamped into `u64`, and a real `u64::MAX` ns
+/// cost (584 years) would saturate the clock long before mattering.
+pub const INCOMPATIBLE: u64 = u64::MAX;
+
+/// One application spec's per-`(node, PE)` data as parallel dense
+/// arrays (see module docs). All slabs are indexed
+/// `node_idx * stride + pe_column`.
+#[derive(Debug)]
+pub struct SpecSoa {
+    /// Number of DAG nodes.
+    pub(crate) n_nodes: u32,
+    /// Initial predecessor count per node (what the per-run countdown
+    /// array is memcpy'd from).
+    pub(crate) preds_init: Vec<u32>,
+    /// CSR offsets into [`Self::succ`], length `n_nodes + 1`.
+    pub(crate) succ_off: Vec<u32>,
+    /// Concatenated successor node indices.
+    pub(crate) succ: Vec<u32>,
+    /// Modeled dispatch duration in ns, [`INCOMPATIBLE`] when the node
+    /// does not support the PE's platform.
+    pub(crate) cost_ns: Vec<u64>,
+    /// Raw estimate-book slots aligned with `cost_ns` (zero where
+    /// incompatible — never read there).
+    pub(crate) est_slot: Vec<u32>,
+    /// Interned runfunc per pair (`Name::default()` where incompatible).
+    pub(crate) runfunc: Vec<Name>,
+    /// Per-node compatibility bitmask over PE columns (bit `c` set when
+    /// `cost_ns[node * stride + c]` is compatible). Columns ≥ 64 are not
+    /// represented — the dense FIFO fast path that consumes these masks
+    /// is gated to ≤ 64-PE platforms.
+    pub(crate) compat: Vec<u64>,
+    /// DAG root nodes (no predecessors), in node-index order — what an
+    /// arrival pushes onto the ready queue.
+    pub(crate) roots: Vec<u32>,
+}
+
+/// The struct-of-arrays form of one compiled scenario's cost grid and
+/// DAG topology: one [`SpecSoa`] per distinct application spec, in
+/// [`NameTable`] spec-index order.
+#[derive(Debug)]
+pub struct ScenarioSoa {
+    /// Row stride of the per-pair slabs: the platform's PE count.
+    pub(crate) stride: usize,
+    pub(crate) specs: Vec<SpecSoa>,
+}
+
+impl ScenarioSoa {
+    /// Flattens `grid` (plus each spec's DAG topology and runfunc names)
+    /// into SoA form. `instances`, `names`, and `grid` must come from
+    /// the same build — spec indices are assigned in first-encounter
+    /// order over the same instance slice by all three.
+    pub(crate) fn build(
+        instances: &[Arc<AppInstance>],
+        names: &NameTable,
+        grid: &CostGrid,
+        stride: usize,
+    ) -> ScenarioSoa {
+        let mut specs: Vec<SpecSoa> = Vec::with_capacity(names.spec_count());
+        for inst in instances {
+            let idx = names.spec_index(inst.id);
+            if idx == specs.len() {
+                specs.push(SpecSoa::build(&inst.spec, names, idx, &grid[idx], stride));
+            }
+        }
+        ScenarioSoa { stride, specs }
+    }
+
+    /// Number of distinct application specs.
+    pub fn spec_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Total per-`(node, PE)` cells across all specs (a size gauge for
+    /// diagnostics and tests).
+    pub fn cell_count(&self) -> usize {
+        self.specs.iter().map(|s| s.cost_ns.len()).sum()
+    }
+}
+
+impl SpecSoa {
+    fn build(
+        spec: &ApplicationSpec,
+        names: &NameTable,
+        spec_idx: usize,
+        grid_row: &[Vec<Option<(std::time::Duration, crate::sched::EstimateSlot)>>],
+        stride: usize,
+    ) -> SpecSoa {
+        let n = spec.nodes.len();
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ = Vec::new();
+        succ_off.push(0u32);
+        for node in &spec.nodes {
+            succ.extend(node.successors.iter().map(|&s| s as u32));
+            succ_off.push(succ.len() as u32);
+        }
+        let mut cost_ns = vec![INCOMPATIBLE; n * stride];
+        let mut est_slot = vec![0u32; n * stride];
+        let mut runfunc = vec![Name::default(); n * stride];
+        for (node_idx, cols) in grid_row.iter().enumerate() {
+            for (col, cell) in cols.iter().enumerate() {
+                if let Some((dur, slot)) = cell {
+                    let k = node_idx * stride + col;
+                    cost_ns[k] = dur.as_nanos().min(u64::MAX as u128 - 1) as u64;
+                    est_slot[k] = slot.raw();
+                    runfunc[k] =
+                        names.runfunc_by_spec(spec_idx, node_idx, col).cloned().unwrap_or_default();
+                }
+            }
+        }
+        let mut compat = vec![0u64; n];
+        for (node_idx, mask) in compat.iter_mut().enumerate() {
+            for col in 0..stride.min(64) {
+                if cost_ns[node_idx * stride + col] != INCOMPATIBLE {
+                    *mask |= 1u64 << col;
+                }
+            }
+        }
+        let preds_init: Vec<u32> =
+            spec.nodes.iter().map(|nd| nd.predecessors.len() as u32).collect();
+        let roots =
+            preds_init.iter().enumerate().filter(|(_, &p)| p == 0).map(|(i, _)| i as u32).collect();
+        SpecSoa {
+            n_nodes: n as u32,
+            preds_init,
+            succ_off,
+            succ,
+            cost_ns,
+            est_slot,
+            runfunc,
+            compat,
+            roots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Interner;
+    use crate::job::build_cost_grid;
+    use crate::sched::testutil::ready_tasks;
+    use crate::sched::EstimateBook;
+    use dssoc_platform::cost::CostTable;
+    use dssoc_platform::presets::zcu102;
+
+    /// SoA content must agree cell-for-cell with the nested grid it was
+    /// flattened from, with the sentinel exactly where the grid holds
+    /// `None` — that equivalence is what lets the DES swap lookups.
+    #[test]
+    fn soa_matches_grid() {
+        let platform = zcu102(2, 1);
+        // ready_tasks: even-indexed nodes also support "fft", so the
+        // compatibility pattern is non-trivial.
+        let instances: Vec<_> =
+            ready_tasks(6, 70.0).into_iter().map(|rt| rt.task.instance).collect();
+        let instances = vec![instances[0].clone()];
+        let mut interner = Interner::new();
+        let names = NameTable::build(&instances, &platform, &mut interner);
+        let mut estimates = EstimateBook::new();
+        let table: std::sync::Arc<dyn dssoc_platform::cost::CostModel> =
+            std::sync::Arc::new(CostTable::new());
+        let grid = build_cost_grid(&*table, &platform, &names, &instances, &mut estimates);
+        let soa = ScenarioSoa::build(&instances, &names, &grid, platform.pes.len());
+
+        assert_eq!(soa.spec_count(), 1);
+        assert_eq!(soa.stride, 3);
+        let spec = &soa.specs[0];
+        assert_eq!(spec.n_nodes, 6);
+        assert_eq!(soa.cell_count(), 18);
+        for (node_idx, cols) in grid[0].iter().enumerate() {
+            for (col, cell) in cols.iter().enumerate() {
+                let k = node_idx * soa.stride + col;
+                match cell {
+                    Some((dur, slot)) => {
+                        assert_eq!(spec.cost_ns[k], dur.as_nanos() as u64);
+                        assert_eq!(spec.est_slot[k], slot.raw());
+                        let inst = &instances[0];
+                        let rf = names.runfunc(inst.id, node_idx, platform.pes[col].id).unwrap();
+                        assert_eq!(&spec.runfunc[k], rf);
+                    }
+                    None => {
+                        assert_eq!(spec.cost_ns[k], INCOMPATIBLE);
+                        assert!(spec.runfunc[k].as_str().is_empty());
+                    }
+                }
+                // Sentinel test ≡ supports() — the swap the DES
+                // validation path makes.
+                let task = crate::task::Task { instance: instances[0].clone(), node_idx };
+                assert_eq!(
+                    spec.cost_ns[k] != INCOMPATIBLE,
+                    task.supports(&platform.pes[col].platform_key),
+                );
+                // The per-node bitmask agrees with the sentinel cell by
+                // cell — the dense FIFO path relies on this equivalence.
+                assert_eq!(
+                    spec.compat[node_idx] & (1 << col) != 0,
+                    spec.cost_ns[k] != INCOMPATIBLE,
+                );
+            }
+        }
+        // Independent nodes: no edges, all preds zero — every node is a
+        // root.
+        assert!(spec.succ.is_empty());
+        assert_eq!(spec.succ_off, vec![0; 7]);
+        assert_eq!(spec.preds_init, vec![0; 6]);
+        assert_eq!(spec.roots, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -16,7 +16,8 @@ use dssoc_appmodel::instance::{AppInstance, InstanceId};
 use dssoc_metrics::HistogramData;
 use dssoc_platform::pe::PeId;
 
-use crate::intern::Name;
+use crate::arena::DoneColumns;
+use crate::intern::{Name, NameTable};
 use crate::time::SimTime;
 
 /// Performance record of one executed task.
@@ -61,6 +62,128 @@ impl TaskRecord {
     /// bookkept readiness time.
     pub fn wait(&self) -> Duration {
         self.start.since(self.ready_at)
+    }
+}
+
+/// The dense form of a run's per-task records: the six completion
+/// columns the DES fast loop appended, plus what it takes to expand
+/// them into [`TaskRecord`]s — the scenario's interned [`NameTable`]
+/// and the column→[`PeId`] map.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseTaskLog {
+    /// Struct-of-arrays completion facts, in completion order.
+    pub cols: DoneColumns,
+    /// Interned names of the scenario the columns index into.
+    pub names: Arc<NameTable>,
+    /// `PE column -> PeId` (platform descriptor order).
+    pub pes: Vec<PeId>,
+}
+
+impl DenseTaskLog {
+    /// Expands the columns into fat records, in the same completion
+    /// order (and with the same field values) the eager
+    /// `record_task` path would have produced.
+    fn materialize(&self) -> Vec<TaskRecord> {
+        let c = &self.cols;
+        (0..c.len())
+            .map(|k| {
+                let id = InstanceId(c.inst[k] as u64);
+                let node_idx = c.node[k] as usize;
+                let col = c.col[k] as usize;
+                let spec_idx = self.names.spec_index(id);
+                TaskRecord {
+                    instance: id,
+                    app: self.names.app(id).clone(),
+                    node: self.names.node(id, node_idx).clone(),
+                    node_idx,
+                    kernel: self
+                        .names
+                        .runfunc_by_spec(spec_idx, node_idx, col)
+                        .cloned()
+                        .unwrap_or_default(),
+                    pe: self.pes[col],
+                    ready_at: SimTime(c.ready_ns[k]),
+                    start: SimTime(c.finish_ns[k] - c.dur_ns[k]),
+                    finish: SimTime(c.finish_ns[k]),
+                    modeled: Duration::from_nanos(c.dur_ns[k]),
+                    measured: Duration::ZERO,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-task records of one run: either eagerly materialized
+/// [`TaskRecord`]s (the threaded engine, and DES runs with a tracer or
+/// live metrics attached, record them inline) or the DES fast path's
+/// dense completion columns, expanded to records on first access.
+///
+/// Cheap queries — [`len`](Self::len), [`is_empty`](Self::is_empty) —
+/// never materialize. Everything else ([`Deref`]s to `[TaskRecord]`,
+/// so iteration/indexing/slicing all work) expands the columns once
+/// and caches the result, which is why sweep and job-layer consumers
+/// that read only aggregates never pay for 4k `Name` refcounts per run.
+#[derive(Debug, Clone, Default)]
+pub struct TaskLog {
+    dense: Option<DenseTaskLog>,
+    records: OnceLock<Vec<TaskRecord>>,
+}
+
+impl TaskLog {
+    pub(crate) fn from_dense(dense: DenseTaskLog) -> TaskLog {
+        TaskLog { dense: Some(dense), records: OnceLock::new() }
+    }
+
+    /// Number of task records (without materializing).
+    pub fn len(&self) -> usize {
+        match (&self.dense, self.records.get()) {
+            (Some(d), _) => d.cols.len(),
+            (None, Some(r)) => r.len(),
+            (None, None) => 0,
+        }
+    }
+
+    /// True when the run completed no tasks (without materializing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The records as a slice, expanding dense columns on first call.
+    pub fn records(&self) -> &[TaskRecord] {
+        self.records.get_or_init(|| match &self.dense {
+            Some(d) => d.materialize(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Iterates the records (materializing if needed).
+    pub fn iter(&self) -> std::slice::Iter<'_, TaskRecord> {
+        self.records().iter()
+    }
+}
+
+impl From<Vec<TaskRecord>> for TaskLog {
+    fn from(records: Vec<TaskRecord>) -> TaskLog {
+        let log = TaskLog::default();
+        let _ = log.records.set(records);
+        log
+    }
+}
+
+impl std::ops::Deref for TaskLog {
+    type Target = [TaskRecord];
+
+    fn deref(&self) -> &[TaskRecord] {
+        self.records()
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskLog {
+    type Item = &'a TaskRecord;
+    type IntoIter = std::slice::Iter<'a, TaskRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records().iter()
     }
 }
 
@@ -193,8 +316,9 @@ pub struct EmulationStats {
     /// Workload execution time: emulation time when the last task
     /// finished.
     pub makespan: Duration,
-    /// Per-task records, in completion order.
-    pub tasks: Vec<TaskRecord>,
+    /// Per-task records, in completion order (lazily materialized on
+    /// the DES fast path — see [`TaskLog`]).
+    pub tasks: TaskLog,
     /// Per-application-instance records, in completion order.
     pub apps: Vec<AppRecord>,
     /// Accumulated busy time per PE.
@@ -373,7 +497,8 @@ mod tests {
                     modeled: Duration::from_micros(1),
                     measured: Duration::from_nanos(500),
                 },
-            ],
+            ]
+            .into(),
             apps: vec![AppRecord {
                 instance: InstanceId(0),
                 app: "radar".into(),

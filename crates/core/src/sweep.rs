@@ -636,6 +636,15 @@ impl<'a> SweepRunner<'a> {
 /// the threaded runner (DES runs are always `Modeled` timing), share
 /// compiled scenarios per fingerprint, and — since DES runs are always
 /// deterministic — repeated cells replay from the [`ResultCache`].
+///
+/// The embedded [`JobRunner`] keeps one warm [`DesSimulator`] per
+/// engine-config shape, and the simulator owns all per-run scratch:
+/// the calendar-queue event core, ready rings, SoA completion columns,
+/// per-PE cost slots, and the slot-assigned estimate book (values-only
+/// reset when the scenario fingerprint repeats). Cell iterations and
+/// same-shape cells therefore pay compile/setup once and run
+/// allocation-light thereafter; in [`Self::run_batch_parallel`] that
+/// warm state is per worker, never shared or contended.
 pub struct DesSweepRunner<'a> {
     library: &'a AppLibrary,
     /// Arc'd view of the library, shared into every [`ScenarioSpec`].
@@ -780,7 +789,10 @@ impl<'a> DesSweepRunner<'a> {
     /// order (see [`SweepRunner::run_batch_parallel`]; the DES is pure
     /// single-threaded compute per cell, so grids scale with cores).
     /// DES runs are deterministic, so duplicate cells across workers
-    /// collapse into shared [`ResultCache`] hits.
+    /// collapse into shared [`ResultCache`] hits. Each worker owns its
+    /// own [`JobRunner`] and thus its own warm simulators — the arena
+    /// scratch and estimate books described on [`DesSweepRunner`] are
+    /// reused across that worker's cells without cross-thread sharing.
     pub fn run_batch_parallel(
         &mut self,
         cells: &[SweepCell],

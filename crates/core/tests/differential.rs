@@ -66,7 +66,7 @@ fn makespans(platform: &PlatformConfig, scheduler: &str) -> (Duration, Duration)
     let mut sched = by_name(scheduler).expect("library policy");
     let emu_stats = emu.run(sched.as_mut(), &workload, &library).expect("emulation");
 
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         platform.clone(),
         DesConfig {
             cost: CostSpec::table(table),
@@ -191,7 +191,7 @@ fn engines_emit_identical_trace_slices() {
     emu.run(sched.as_mut(), &workload, &library).expect("emulation");
 
     let des_session = dssoc_trace::TraceSession::new();
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         platform,
         DesConfig {
             cost: CostSpec::table(table),
@@ -261,7 +261,7 @@ fn faulty_run(
     let session = dssoc_trace::TraceSession::new();
     let mut sched = by_name(scheduler).expect("library policy");
     let stats = if des {
-        let sim = DesSimulator::new(
+        let mut sim = DesSimulator::new(
             platform.clone(),
             DesConfig {
                 cost: CostSpec::table(table),

@@ -177,7 +177,7 @@ fn modeled_engine_and_des_agree_deterministically() {
     let mut emu = Emulation::with_config(zcu102(2, 0), modeled_config(table.clone())).unwrap();
     let threaded = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
 
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(table),
@@ -477,7 +477,7 @@ fn odroid_platform_runs() {
 fn des_respects_dependencies_too() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 3usize)]).generate(&lib).unwrap();
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(3, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),
@@ -505,7 +505,7 @@ fn des_overhead_knob_inflates_makespan() {
     let (lib, _reg) = diamond_library();
     let wl = WorkloadSpec::validation([("diamond", 4usize)]).generate(&lib).unwrap();
     let run = |ov: Duration| {
-        let des = DesSimulator::new(
+        let mut des = DesSimulator::new(
             zcu102(1, 0),
             DesConfig {
                 cost: CostSpec::table(diamond_cost_table()),
@@ -694,7 +694,7 @@ fn des_and_engine_agree_with_reservation_disabled_only() {
     };
     let mut emu = Emulation::with_config(zcu102(2, 0), cfg).unwrap();
     let queued = emu.run(&mut FrfsScheduler::new(), &wl, &lib).unwrap();
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),

@@ -182,7 +182,7 @@ fn permanent_failure_is_identical_across_engines() {
         let emu_stats = emu.run(sched.as_mut(), &workload, &library).unwrap();
 
         let des_session = TraceSession::new();
-        let des = DesSimulator::new(
+        let mut des = DesSimulator::new(
             platform.clone(),
             DesConfig {
                 cost: CostSpec::table(table.clone()),
@@ -324,7 +324,7 @@ fn transient_fault_retries_quarantines_and_is_deterministic() {
 
     // And the DES agrees exactly.
     let des_session = TraceSession::new();
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),
@@ -379,7 +379,7 @@ fn modeled_hang_quarantines_and_matches_des() {
     assert_eq!(r.apps_aborted, 0);
     assert_eq!(stats.makespan, run_threaded().makespan, "hangs must be reproducible");
 
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),
@@ -546,7 +546,7 @@ fn all_pes_quarantined_surfaces_fault_error() {
     }
     assert!(err.to_string().contains("unrecoverable fault"), "{err}");
 
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(1, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),
@@ -586,7 +586,7 @@ fn retry_exhaustion_aborts_only_the_faulted_app() {
     assert_eq!(stats.reliability.apps_aborted, 3);
     assert_eq!(stats.reliability.retries, 3, "one retry per instance before exhaustion");
 
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(diamond_cost_table()),

@@ -61,7 +61,7 @@ fn metric_samples(platform: &PlatformConfig, scheduler: &str, des: bool) -> Vec<
     let mut sched = by_name(scheduler).expect("library policy");
 
     if des {
-        let sim = DesSimulator::new(
+        let mut sim = DesSimulator::new(
             platform.clone(),
             DesConfig {
                 cost: CostSpec::table(table),

@@ -155,7 +155,7 @@ impl Scheduler for NeverScheduler {
 #[test]
 fn des_reports_deadlock_when_scheduler_never_dispatches() {
     let (library, workload) = setup();
-    let sim = DesSimulator::new(zcu102(2, 0), DesConfig::default()).expect("platform");
+    let mut sim = DesSimulator::new(zcu102(2, 0), DesConfig::default()).expect("platform");
     let err = sim.run(&mut NeverScheduler, &workload, &library).expect_err("no progress");
     let msg = err.to_string();
     assert!(msg.contains("deadlock"), "expected deadlock diagnosis, got: {msg}");

@@ -800,8 +800,9 @@ mod tests {
         compile(spec)
     }
 
-    /// Thousands of arrivals: a DES run slow enough (tens of ms) to
-    /// reliably occupy a worker while the test submits behind it.
+    /// Tens of thousands of arrivals: a DES run slow enough (>100ms
+    /// even on the dense FRFS fast path) to reliably occupy a worker
+    /// while the test submits and cancels behind it.
     fn heavy_scenario() -> Arc<CompiledScenario> {
         compile(WorkloadSpec::performance(
             vec![InjectionParams {
@@ -809,7 +810,7 @@ mod tests {
                 period: Duration::from_micros(20),
                 probability: 1.0,
             }],
-            Duration::from_millis(100),
+            Duration::from_secs(2),
             0,
         ))
     }

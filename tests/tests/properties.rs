@@ -167,7 +167,7 @@ proptest! {
             let mut s1 = dssoc_core::sched::by_name(sched_name).unwrap();
             let threaded = emu.run(s1.as_mut(), &wl, &lib).unwrap();
 
-            let des = DesSimulator::new(
+            let mut des = DesSimulator::new(
                 zcu102(cores, 0),
                 DesConfig { cost: CostSpec::table(table.clone()), overhead_per_invocation: Duration::ZERO, trace: None, faults: None, metrics: None },
             )
@@ -232,7 +232,7 @@ fn eft_defers_in_engine_and_des_alike() {
     let mut emu =
         Emulation::with_config(zcu102(2, 0), deterministic_config(table.clone())).unwrap();
     let a = emu.run(&mut EftScheduler::new(), &wl, &lib).unwrap();
-    let des = DesSimulator::new(
+    let mut des = DesSimulator::new(
         zcu102(2, 0),
         DesConfig {
             cost: CostSpec::table(table),
