@@ -56,6 +56,7 @@
 //! [`OverheadMode::None`]: crate::engine::OverheadMode::None
 //! [`TimingMode::Modeled`]: crate::engine::TimingMode::Modeled
 
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -145,6 +146,10 @@ pub struct DesSimulator {
     config: DesConfig,
     /// The resolved cost model (from `config.cost`).
     cost: Arc<dyn CostModel>,
+    /// Cooperative-cancel flag, polled once per event-loop iteration.
+    /// Lives on the simulator (not `DesConfig`) so existing config
+    /// struct literals stay valid; installed per run by `set_cancel`.
+    cancel: Option<Arc<AtomicBool>>,
     /// Warm per-simulator buffers, reset (not freed) between runs.
     scratch: DesScratch,
 }
@@ -159,7 +164,7 @@ impl DesSimulator {
         let platform = platform.into();
         platform.validate().map_err(EmuError::Config)?;
         let cost = config.cost.resolve();
-        Ok(DesSimulator { platform, config, cost, scratch: DesScratch::default() })
+        Ok(DesSimulator { platform, config, cost, cancel: None, scratch: DesScratch::default() })
     }
 
     /// The platform being simulated.
@@ -183,6 +188,16 @@ impl DesSimulator {
     /// Installs (or, with `None`, removes) a live-metrics registry.
     pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
         self.config.metrics = metrics;
+    }
+
+    /// Installs (or, with `None`, removes) a cooperative-cancel flag.
+    /// Both event loops poll it (relaxed) once per clock advance; when
+    /// it reads `true` the run aborts with [`EmuError::Canceled`],
+    /// leaving the warm scratch arena intact for the next run. Intended
+    /// for a supervising owner (the serve daemon) that must reclaim a
+    /// worker from a long simulation without tearing the thread down.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
     }
 
     /// Simulates a workload to completion under `scheduler`.
@@ -425,6 +440,14 @@ impl DesSimulator {
         let mut views: Vec<PeView<'_>> = view_scratch.take();
 
         loop {
+            // Cooperative cancel: one relaxed load per clock window is
+            // invisible at ~30M events/sec, and a stale read only delays
+            // the abort by one window.
+            if let Some(flag) = &self.cancel {
+                if flag.load(AtomicOrdering::Relaxed) {
+                    return Err(EmuError::Canceled);
+                }
+            }
             // Drain everything due at the current clock first, in one
             // same-window batch. The batch comes out in full `Ord` order,
             // so tie order matches the threaded engine: completions
@@ -835,6 +858,11 @@ impl DesSimulator {
         let mut head = 0usize;
 
         loop {
+            if let Some(flag) = &self.cancel {
+                if flag.load(AtomicOrdering::Relaxed) {
+                    return Err(EmuError::Canceled);
+                }
+            }
             // Same-window batch drain, same full-`Ord` tie-break order
             // as the general loop.
             due.clear();

@@ -175,6 +175,12 @@ pub enum EmuError {
         /// Why the run is unrecoverable.
         reason: String,
     },
+    /// The run was cooperatively cancelled mid-flight: an installed
+    /// cancel flag (see [`DesSimulator::set_cancel`]
+    /// (crate::des::DesSimulator::set_cancel)) was observed set at an
+    /// event-loop poll point. Simulated state is discarded; the warm
+    /// scratch arena is returned intact, so the engine stays reusable.
+    Canceled,
 }
 
 impl std::fmt::Display for EmuError {
@@ -188,6 +194,7 @@ impl std::fmt::Display for EmuError {
             EmuError::Fault { app, node, pe, reason } => {
                 write!(f, "unrecoverable fault (last: {app}/{node} on {pe}): {reason}")
             }
+            EmuError::Canceled => write!(f, "run cancelled"),
         }
     }
 }
@@ -196,7 +203,10 @@ impl std::error::Error for EmuError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EmuError::Model(e) => Some(e),
-            EmuError::Config(_) | EmuError::TaskFailed { .. } | EmuError::Fault { .. } => None,
+            EmuError::Config(_)
+            | EmuError::TaskFailed { .. }
+            | EmuError::Fault { .. }
+            | EmuError::Canceled => None,
         }
     }
 }

@@ -1014,6 +1014,10 @@ pub struct JobRunner {
     /// while set). Per-run tracing goes through [`Self::run_traced`].
     trace: Option<TraceSink>,
     metrics: Option<MetricsRegistry>,
+    /// Cooperative-cancel flag forwarded to DES engines on every run.
+    /// Cheap to install/remove per job: a setter on the warm simulator,
+    /// never an engine rebuild.
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl JobRunner {
@@ -1025,7 +1029,14 @@ impl JobRunner {
     /// A runner sharing an existing cache handle (how parallel sweep
     /// workers pool their results).
     pub fn with_cache(cache: ResultCache) -> Self {
-        JobRunner { emus: HashMap::new(), sims: HashMap::new(), cache, trace: None, metrics: None }
+        JobRunner {
+            emus: HashMap::new(),
+            sims: HashMap::new(),
+            cache,
+            trace: None,
+            metrics: None,
+            cancel: None,
+        }
     }
 
     /// The runner's cache handle.
@@ -1054,6 +1065,17 @@ impl JobRunner {
         self.trace = trace;
         self.emus.clear();
         self.sims.clear();
+    }
+
+    /// Installs (or removes) a cooperative-cancel flag. Forwarded to
+    /// the DES engine on each run (see
+    /// [`DesSimulator::set_cancel`](crate::des::DesSimulator::set_cancel));
+    /// a run that observes the flag set returns
+    /// [`EmuError::Canceled`]. The threaded engine executes real
+    /// kernels and is not interruptible. Warm engines are kept: the
+    /// flag is a per-run setter, not part of engine construction.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<std::sync::atomic::AtomicBool>>) {
+        self.cancel = cancel;
     }
 
     /// `(threaded, DES)` warm-engine counts — observability for tests
@@ -1138,11 +1160,14 @@ impl JobRunner {
                 result
             }
             Engine::Des => {
+                let cancel = self.cancel.clone();
                 let sim = self.simulator_for(scenario)?;
                 if let Some(sink) = &trace {
                     sim.set_trace(Some(sink.clone()));
                 }
+                sim.set_cancel(cancel);
                 let result = sim.run_compiled(scheduler, scenario);
+                sim.set_cancel(None);
                 if trace.is_some() {
                     sim.set_trace(base_trace);
                 }

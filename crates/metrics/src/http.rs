@@ -22,12 +22,40 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Largest accepted request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Largest accepted request body.
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-connection hardening limits: how much, and for how long, one
+/// client may occupy a connection thread.
+///
+/// The pre-existing per-read timeout alone is not enough: a slow-loris
+/// client trickling one byte every second resets it forever and pins
+/// the thread. [`HttpLimits::request_deadline`] is the fix — an overall
+/// wall-clock budget for reading one complete request, enforced across
+/// reads; crossing it answers `408 Request Timeout`. Writes get the
+/// per-I/O timeout too, so a client that stops reading the response
+/// can't pin the thread either.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Total wall-clock budget for reading one complete request.
+    pub request_deadline: Duration,
+    /// Per-socket-operation (read and write) timeout.
+    pub io_timeout: Duration,
+    /// Largest accepted request head (request line + headers).
+    pub max_head_bytes: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            request_deadline: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(2),
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -109,6 +137,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -137,13 +166,23 @@ impl HttpServer {
         addr: A,
         handler: Arc<Handler>,
     ) -> std::io::Result<HttpServer> {
+        Self::start_with_limits(name, addr, handler, HttpLimits::default())
+    }
+
+    /// [`Self::start`] with explicit connection-hardening limits.
+    pub fn start_with_limits<A: ToSocketAddrs>(
+        name: &str,
+        addr: A,
+        handler: Arc<Handler>,
+        limits: HttpLimits,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name(name.to_string())
-            .spawn(move || accept_loop(listener, handler, stop_flag))?;
+            .spawn(move || accept_loop(listener, handler, stop_flag, limits))?;
         Ok(HttpServer { addr: local, stop, handle: Some(handle) })
     }
 
@@ -164,24 +203,31 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: Arc<Handler>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    stop: Arc<AtomicBool>,
+    limits: HttpLimits,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
         }
         if let Ok(mut stream) = conn {
             let handler = Arc::clone(&handler);
+            let limits = limits.clone();
             // One thread per connection: requests are short (submit,
             // poll, scrape) but may overlap, and a long-poll must not
             // stall other clients.
             let _ = std::thread::Builder::new().name("http-conn".into()).spawn(move || {
-                let response = match read_request(&mut stream) {
+                let response = match read_request(&mut stream, &limits) {
                     Ok(request) => handler(&request),
                     Err(ParseError::TooLarge) => Response::text(413, "payload too large\n"),
+                    Err(ParseError::Timeout) => Response::text(408, "request timeout\n"),
                     Err(ParseError::Malformed(why)) => Response::text(400, format!("{why}\n")),
                     Err(ParseError::Io) => return,
                 };
-                let _ = write_response(&mut stream, &response);
+                let _ = write_response(&mut stream, &response, &limits);
             });
         }
     }
@@ -192,6 +238,9 @@ enum ParseError {
     /// answer.
     Io,
     TooLarge,
+    /// The request-read deadline elapsed before a full request arrived
+    /// (a stalled or slow-loris client).
+    Timeout,
     Malformed(&'static str),
 }
 
@@ -201,19 +250,46 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
+/// One deadline-aware socket read. The per-read timeout is clamped to
+/// the time left on the whole-request deadline, so a client trickling
+/// bytes can't reset the clock: however fast the bytes dribble in, the
+/// request completes or times out by `deadline`.
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+    limits: &HttpLimits,
+) -> Result<usize, ParseError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(ParseError::Timeout);
+    }
+    stream.set_read_timeout(Some(limits.io_timeout.min(remaining)))?;
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(ParseError::Timeout)
+        }
+        Err(_) => Err(ParseError::Io),
+    }
+}
+
 /// Reads and parses one request (head + `Content-Length` body).
-fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, ParseError> {
+    let deadline = Instant::now() + limits.request_deadline;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        if buf.len() > limits.max_head_bytes {
             return Err(ParseError::TooLarge);
         }
-        let n = stream.read(&mut chunk)?;
+        let n = read_some(stream, &mut chunk, deadline, limits)?;
         if n == 0 {
             return Err(ParseError::Malformed("truncated request head"));
         }
@@ -251,13 +327,13 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         .find(|(n, _)| n == "content-length")
         .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    if content_length > limits.max_body_bytes {
         return Err(ParseError::TooLarge);
     }
     // Body bytes already read past the head, then the remainder.
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let n = read_some(stream, &mut chunk, deadline, limits)?;
         if n == 0 {
             return Err(ParseError::Malformed("truncated request body"));
         }
@@ -272,7 +348,14 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 /// Writes `response` with `Content-Length` and `Connection: close`.
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// The write timeout keeps a client that stops reading (full receive
+/// window) from pinning the connection thread indefinitely.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    limits: &HttpLimits,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(limits.io_timeout))?;
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
@@ -414,6 +497,63 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+    }
+
+    #[test]
+    fn stalled_request_gets_408_by_the_deadline() {
+        let handler: Arc<Handler> = Arc::new(|_req: &Request| Response::text(200, "ok\n"));
+        let limits = HttpLimits {
+            request_deadline: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(100),
+            ..HttpLimits::default()
+        };
+        let server =
+            HttpServer::start_with_limits("http-test-loris", "127.0.0.1:0", handler, limits)
+                .expect("bind");
+        let started = Instant::now();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A partial request head, then silence: the per-read timeout
+        // alone would wait forever if we trickled bytes, so this pins
+        // the overall deadline instead.
+        write!(stream, "GET /jobs HT").unwrap();
+        stream.flush().unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        assert!(started.elapsed() < Duration::from_secs(2), "{:?}", started.elapsed());
+    }
+
+    #[test]
+    fn byte_trickle_cannot_outlive_the_deadline() {
+        let handler: Arc<Handler> = Arc::new(|_req: &Request| Response::text(200, "ok\n"));
+        let limits = HttpLimits {
+            request_deadline: Duration::from_millis(400),
+            io_timeout: Duration::from_millis(150),
+            ..HttpLimits::default()
+        };
+        let server =
+            HttpServer::start_with_limits("http-test-trickle", "127.0.0.1:0", handler, limits)
+                .expect("bind");
+        let started = Instant::now();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Keep each gap under the io timeout: only the overall deadline
+        // can stop this client.
+        for b in b"GET / HTTP/1.1\r\nHost: x\r\nX-Slow: 1\r\nX-Pad: 0123456789\r\n" {
+            if write!(stream, "{}", *b as char).is_err() {
+                break; // server already gave up on us — that's the point
+            }
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(40));
+            if started.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        assert!(started.elapsed() < Duration::from_secs(3), "{:?}", started.elapsed());
     }
 
     #[test]

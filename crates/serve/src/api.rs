@@ -40,6 +40,8 @@ use dssoc_platform::pe::PlatformConfig;
 use serde::Deserialize;
 use serde_json::Value;
 
+use crate::manager::ChaosMode;
+
 /// Priorities are small ordinals; anything above this is clamped.
 pub const MAX_PRIORITY: u8 = 9;
 
@@ -55,6 +57,11 @@ pub struct ParsedJob {
     pub priority: u8,
     /// Capture a per-run Chrome/Perfetto trace artifact.
     pub trace: bool,
+    /// Give up this long after submission (`"deadline_ms"`).
+    pub deadline: Option<Duration>,
+    /// Test-only failure injection (`"chaos"`), accepted only when the
+    /// daemon runs with `DSSOC_SERVE_CHAOS` set.
+    pub chaos: Option<ChaosMode>,
 }
 
 fn field_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
@@ -213,7 +220,37 @@ pub fn parse_job(body: &[u8], library: &Arc<AppLibrary>) -> Result<ParsedJob, St
 
     let priority = field_u64(&v, "priority")?.unwrap_or(0).min(MAX_PRIORITY as u64) as u8;
     let trace = field_bool(&v, "trace")?;
-    Ok(ParsedJob { scenario, engine, priority, trace })
+    let deadline = field_u64(&v, "deadline_ms")?
+        .map(|ms| {
+            if ms == 0 {
+                Err("field 'deadline_ms' must be positive".to_string())
+            } else {
+                Ok(Duration::from_millis(ms))
+            }
+        })
+        .transpose()?;
+    let chaos = parse_chaos(&v)?;
+    Ok(ParsedJob { scenario, engine, priority, trace, deadline, chaos })
+}
+
+/// The test-only `"chaos"` hook: `"panic"` or `"flaky:<n>"`. Rejected
+/// outright unless the daemon opted in via the `DSSOC_SERVE_CHAOS`
+/// environment variable, so production deployments cannot be
+/// fault-injected from the wire.
+fn parse_chaos(v: &Value) -> Result<Option<ChaosMode>, String> {
+    let Some(text) = field_str(v, "chaos")? else { return Ok(None) };
+    if std::env::var_os("DSSOC_SERVE_CHAOS").is_none() {
+        return Err("field 'chaos' requires the daemon to run with DSSOC_SERVE_CHAOS set".into());
+    }
+    if text == "panic" {
+        return Ok(Some(ChaosMode::Panic));
+    }
+    if let Some(n) = text.strip_prefix("flaky:") {
+        let n: u32 =
+            n.parse().map_err(|_| "field 'chaos' flaky count must be an integer".to_string())?;
+        return Ok(Some(ChaosMode::Flaky(n)));
+    }
+    Err(format!("unknown chaos mode '{text}' (use panic or flaky:<n>)"))
 }
 
 #[cfg(test)]
@@ -339,6 +376,59 @@ mod tests {
             assert!(err.contains(needle), "expected '{needle}' in '{err}'");
             assert!(!err.contains('\n'), "one line: {err}");
         }
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_zero() {
+        let lib = library();
+        let body = br#"{
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "deadline_ms": 1500
+        }"#;
+        let job = parse_job(body, &lib).unwrap();
+        assert_eq!(job.deadline, Some(Duration::from_millis(1500)));
+        let body = br#"{
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "deadline_ms": 0
+        }"#;
+        let err = parse_job(body, &lib).unwrap_err();
+        assert!(err.contains("deadline_ms"), "got: {err}");
+        // Absent means no deadline.
+        let body = br#"{"platform": "zcu102:2C+1F", "validation": {"wifi_tx": 1}}"#;
+        assert_eq!(parse_job(body, &lib).unwrap().deadline, None);
+    }
+
+    #[test]
+    fn chaos_is_gated_on_the_environment_opt_in() {
+        let lib = library();
+        let body: &[u8] = br#"{
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "chaos": "flaky:2"
+        }"#;
+        // Both halves in one test: tests share the process
+        // environment, so split tests would race on the variable.
+        std::env::remove_var("DSSOC_SERVE_CHAOS");
+        let err = parse_job(body, &lib).unwrap_err();
+        assert!(err.contains("DSSOC_SERVE_CHAOS"), "got: {err}");
+        std::env::set_var("DSSOC_SERVE_CHAOS", "1");
+        assert_eq!(parse_job(body, &lib).unwrap().chaos, Some(ChaosMode::Flaky(2)));
+        let panic_body = br#"{
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "chaos": "panic"
+        }"#;
+        assert_eq!(parse_job(panic_body, &lib).unwrap().chaos, Some(ChaosMode::Panic));
+        let bad = br#"{
+            "platform": "zcu102:2C+1F",
+            "validation": { "wifi_tx": 1 },
+            "chaos": "meltdown"
+        }"#;
+        let err = parse_job(bad, &lib).unwrap_err();
+        assert!(err.contains("unknown chaos mode"), "got: {err}");
+        std::env::remove_var("DSSOC_SERVE_CHAOS");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! | `GET /jobs/<id>`         | Job status (`?wait_ms=` long-polls)          |
 //! | `GET /jobs/<id>/result`  | Result of a finished job                     |
 //! | `GET /jobs/<id>/trace`   | Chrome/Perfetto trace artifact, if captured  |
-//! | `POST /jobs/<id>/cancel` | Cancel a queued job (`DELETE /jobs/<id>` too)|
+//! | `POST /jobs/<id>/cancel` | Cancel a queued job, or cooperatively abort |
+//! |                          | a running DES job (`DELETE /jobs/<id>` too) |
 //! | `GET /tenants`           | Per-tenant accounting                        |
 //! | `GET /metrics`           | OpenMetrics exposition (shared with          |
 //! |                          | [`MetricsServer`]'s routing)                 |
@@ -35,7 +36,7 @@ use serde_json::{json, Value};
 
 use crate::api::parse_job;
 use crate::manager::{
-    AdmissionError, CancelOutcome, JobManager, JobSnapshot, JobState, ManagerConfig,
+    AdmissionError, CancelOutcome, JobManager, JobSnapshot, JobState, ManagerConfig, SubmitOptions,
 };
 
 /// Longest accepted `?wait_ms=` long-poll.
@@ -159,6 +160,10 @@ fn status_value(snap: &JobSnapshot) -> Value {
         if let JobState::Done(outcome) = &snap.state {
             map.insert("cached".to_string(), json!(outcome.cached));
         }
+        map.insert("attempts".to_string(), json!(snap.attempts));
+        if let Some(err) = &snap.last_error {
+            map.insert("last_error".to_string(), json!(err));
+        }
     }
     v
 }
@@ -202,7 +207,14 @@ fn submit(req: &Request, manager: &JobManager, library: &Arc<AppLibrary>) -> Res
         Ok(parsed) => parsed,
         Err(why) => return error_body(400, &why),
     };
-    match manager.submit(&tenant, parsed.scenario, parsed.engine, parsed.priority, parsed.trace) {
+    let opts = SubmitOptions {
+        engine: parsed.engine,
+        priority: parsed.priority,
+        trace: parsed.trace,
+        deadline: parsed.deadline,
+        chaos: parsed.chaos,
+    };
+    match manager.submit(&tenant, parsed.scenario, opts) {
         Ok(snap) => json_ok(202, &status_value(&snap)),
         Err(err @ AdmissionError::TenantOverQuota(n)) => error_body(
             429,
@@ -255,9 +267,11 @@ fn job_trace(manager: &JobManager, id: u64) -> Response {
 fn job_cancel(manager: &JobManager, id: u64) -> Response {
     match manager.cancel(id) {
         CancelOutcome::Cancelled => json_ok(200, &json!({ "job": id, "status": "cancelled" })),
-        CancelOutcome::Running => {
-            error_body(409, &format!("job {id} is already running; runs are not interruptible"))
-        }
+        CancelOutcome::Cancelling => json_ok(202, &json!({ "job": id, "status": "cancelling" })),
+        CancelOutcome::Running => error_body(
+            409,
+            &format!("job {id} is running on the threaded engine; real runs are not interruptible"),
+        ),
         CancelOutcome::Terminal => error_body(409, &format!("job {id} already finished")),
         CancelOutcome::NotFound => error_body(404, &format!("no job {id}")),
     }
@@ -293,7 +307,7 @@ const INDEX: &str = "dssoc-serve: emulation as a service\n\
     GET  /jobs/<id>       job status (?wait_ms= long-polls)\n\
     GET  /jobs/<id>/result finished-job result\n\
     GET  /jobs/<id>/trace  trace artifact (submit with \"trace\": true)\n\
-    POST /jobs/<id>/cancel cancel a queued job\n\
+    POST /jobs/<id>/cancel cancel a queued or running-DES job\n\
     GET  /tenants         per-tenant accounting\n\
     GET  /metrics         OpenMetrics exposition\n\
     GET  /snapshot.json   metrics snapshot as JSON\n\
@@ -329,5 +343,117 @@ pub fn route(
         }
         ("GET", _) => Response::not_found(),
         _ => Response::method_not_allowed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: vec![("x-tenant".to_string(), "route-tests".to_string())],
+            body: body.to_vec(),
+        }
+    }
+
+    fn fixture() -> (Arc<JobManager>, MetricsRegistry, Arc<AppLibrary>) {
+        let registry = MetricsRegistry::new();
+        let manager = JobManager::start(ManagerConfig::default(), registry.clone());
+        let library = Arc::new(dssoc_apps::standard_library().0);
+        (manager, registry, library)
+    }
+
+    fn submit_and_finish(
+        manager: &Arc<JobManager>,
+        registry: &MetricsRegistry,
+        library: &Arc<AppLibrary>,
+    ) -> u64 {
+        let body = br#"{"platform": "zcu102:2C+1F", "validation": {"range_detection": 1}}"#;
+        let resp = route(&request("POST", "/jobs", body), manager, registry, library);
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let id = v["job"].as_u64().unwrap();
+        let done = manager.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(done.state.terminal());
+        id
+    }
+
+    #[test]
+    fn missing_job_is_404_not_done_is_409() {
+        let (manager, registry, library) = fixture();
+        // A nonexistent id is a 404 on every job route — including the
+        // long-poll, which must return immediately.
+        for (method, path) in [
+            ("GET", "/jobs/999"),
+            ("GET", "/jobs/999/result"),
+            ("GET", "/jobs/999/trace"),
+            ("POST", "/jobs/999/cancel"),
+            ("DELETE", "/jobs/999"),
+        ] {
+            let resp = route(&request(method, path, b""), &manager, &registry, &library);
+            assert_eq!(resp.status, 404, "{method} {path}");
+        }
+        // An existing-but-finished job distinguishes conflict from
+        // absence: result of a Done job is 200, cancel is 409.
+        let id = submit_and_finish(&manager, &registry, &library);
+        let resp = route(
+            &request("GET", &format!("/jobs/{id}/result"), b""),
+            &manager,
+            &registry,
+            &library,
+        );
+        assert_eq!(resp.status, 200);
+        let resp = route(
+            &request("POST", &format!("/jobs/{id}/cancel"), b""),
+            &manager,
+            &registry,
+            &library,
+        );
+        assert_eq!(resp.status, 409, "terminal job cancel conflicts, not vanishes");
+        manager.shutdown(false);
+    }
+
+    #[test]
+    fn status_reports_attempts() {
+        let (manager, registry, library) = fixture();
+        let id = submit_and_finish(&manager, &registry, &library);
+        let resp =
+            route(&request("GET", &format!("/jobs/{id}"), b""), &manager, &registry, &library);
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v["attempts"].as_u64(), Some(1));
+        assert!(v.get("last_error").is_none(), "clean runs carry no last_error");
+        manager.shutdown(false);
+    }
+
+    #[test]
+    fn queued_job_result_is_409_with_state_name() {
+        let registry = MetricsRegistry::new();
+        // In-flight quota 0 pins the job in the queue so the result
+        // route deterministically sees a non-terminal job.
+        let manager = JobManager::start(
+            ManagerConfig { max_inflight_per_tenant: 0, ..ManagerConfig::default() },
+            registry.clone(),
+        );
+        let library = Arc::new(dssoc_apps::standard_library().0);
+        let body = br#"{"platform": "zcu102:2C+1F", "validation": {"range_detection": 2}}"#;
+        let resp = route(&request("POST", "/jobs", body), &manager, &registry, &library);
+        assert_eq!(resp.status, 202);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let id = v["job"].as_u64().unwrap();
+        let resp = route(
+            &request("GET", &format!("/jobs/{id}/result"), b""),
+            &manager,
+            &registry,
+            &library,
+        );
+        assert_eq!(resp.status, 409, "exists-but-not-done conflicts, never 404s");
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(v["error"].as_str().unwrap().contains("queued"), "names the state: {v:?}");
+        manager.shutdown(false);
     }
 }

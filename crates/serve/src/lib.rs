@@ -13,12 +13,16 @@
 //!   [`CompiledScenario`] out (or a one-line `400` reason). Platforms
 //!   may be preset shorthands or inline configs; workloads may be
 //!   full [`WorkloadSpec`]s or the `"validation"` shorthand.
-//! * [`manager`] — bounded priority queue, per-tenant admission
-//!   control (`429` on quota breach), and a fixed worker pool: one
-//!   threaded-lane worker owning a persistent resource pool, N DES
-//!   workers, all sharing one fingerprint-keyed [`ResultCache`] so an
-//!   identical submission — from any tenant — is answered without
-//!   re-execution.
+//! * [`manager`] — bounded priority queue with aging, per-tenant
+//!   admission control (`429` on quota breach), and a *supervised*
+//!   worker pool: one threaded-lane worker owning a persistent
+//!   resource pool, N DES workers, all sharing one fingerprint-keyed
+//!   [`ResultCache`] so an identical submission — from any tenant —
+//!   is answered without re-execution. Jobs carry optional deadlines
+//!   (queued expiry + cooperative cancel of running DES jobs),
+//!   transient failures retry with seeded backoff, worker panics are
+//!   contained to the offending job and the lane is respawned, and
+//!   terminal results expire by TTL and per-tenant retention bounds.
 //! * [`daemon`] — HTTP routing (submit/status/result/trace/cancel,
 //!   plus the metrics endpoints shared with `dssoc-metrics`) and
 //!   graceful drain.
@@ -39,6 +43,6 @@ pub mod manager;
 pub use api::{parse_job, ParsedJob};
 pub use daemon::{Daemon, ServeConfig};
 pub use manager::{
-    AdmissionError, CancelOutcome, JobManager, JobOutcome, JobSnapshot, JobState, ManagerConfig,
-    TenantSnapshot,
+    AdmissionError, CancelOutcome, ChaosMode, JobManager, JobOutcome, JobSnapshot, JobState,
+    ManagerConfig, SubmitOptions, TenantSnapshot,
 };

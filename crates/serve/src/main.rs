@@ -19,6 +19,15 @@ OPTIONS:
     --max-inflight <n>        Per-tenant running-job quota [default: 4]
     --cache-capacity <n>      Shared result-cache entries [default: 256]
     --retention <n>           Finished jobs kept queryable [default: 1024]
+    --aging-step-ms <n>       Queue wait per +1 effective priority; 0
+                              disables aging [default: 500]
+    --result-ttl-s <n>        Seconds finished jobs stay queryable
+                              [default: 3600]
+    --max-terminal <n>        Per-tenant finished-job retention [default: 256]
+    --retry-max <n>           Total attempts for transient failures
+                              (1 disables retries) [default: 3]
+    --retry-backoff-ms <n>    Base retry backoff, doubled per attempt
+                              and jittered [default: 25]
     -h, --help                Show this help
 
 Submit with: curl -s -X POST http://<addr>/jobs -H 'X-Tenant: you' \\
@@ -101,6 +110,30 @@ fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
             "--retention" => {
                 config.manager.retention = parse_n(next(&mut i, "--retention")?, "--retention")?
             }
+            "--aging-step-ms" => {
+                let ms = parse_n(next(&mut i, "--aging-step-ms")?, "--aging-step-ms")?;
+                config.manager.aging_step = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            }
+            "--result-ttl-s" => {
+                config.manager.result_ttl = Duration::from_secs(parse_n(
+                    next(&mut i, "--result-ttl-s")?,
+                    "--result-ttl-s",
+                )? as u64)
+            }
+            "--max-terminal" => {
+                config.manager.max_terminal_per_tenant =
+                    parse_n(next(&mut i, "--max-terminal")?, "--max-terminal")?
+            }
+            "--retry-max" => {
+                config.manager.retry_max_attempts =
+                    parse_n(next(&mut i, "--retry-max")?, "--retry-max")?.max(1) as u32
+            }
+            "--retry-backoff-ms" => {
+                config.manager.retry_backoff = Duration::from_millis(parse_n(
+                    next(&mut i, "--retry-backoff-ms")?,
+                    "--retry-backoff-ms",
+                )? as u64)
+            }
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }
         i += 1;
@@ -158,6 +191,27 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.manager.des_workers, 4);
         assert_eq!(config.manager.max_queued_per_tenant, 9);
+        let config = ok(&[
+            "--aging-step-ms",
+            "250",
+            "--result-ttl-s",
+            "60",
+            "--max-terminal",
+            "8",
+            "--retry-max",
+            "5",
+            "--retry-backoff-ms",
+            "10",
+        ]);
+        assert_eq!(config.manager.aging_step, Some(Duration::from_millis(250)));
+        assert_eq!(config.manager.result_ttl, Duration::from_secs(60));
+        assert_eq!(config.manager.max_terminal_per_tenant, 8);
+        assert_eq!(config.manager.retry_max_attempts, 5);
+        assert_eq!(config.manager.retry_backoff, Duration::from_millis(10));
+        // 0 turns aging off; retry-max is floored at one attempt.
+        let config = ok(&["--aging-step-ms", "0", "--retry-max", "0"]);
+        assert_eq!(config.manager.aging_step, None);
+        assert_eq!(config.manager.retry_max_attempts, 1);
         assert!(parse_args(&["--nope".to_string()]).is_err());
         assert!(parse_args(&["--des-workers".to_string()]).is_err());
         assert!(parse_args(&["--des-workers".to_string(), "x".to_string()]).is_err());

@@ -1,5 +1,6 @@
-//! The job manager: bounded priority queue, per-tenant admission
-//! control, and a fixed worker pool over the shared job layer.
+//! The job manager: bounded priority queue with aging, per-tenant
+//! admission control, and a *supervised* worker pool over the shared
+//! job layer.
 //!
 //! Topology follows what the engines can actually share. All workers
 //! clone one [`ResultCache`] handle, so any worker's deterministic run
@@ -16,21 +17,51 @@
 //! while the in-flight quota is enforced at dispatch — an over-limit
 //! tenant's jobs stay queued and other tenants' work overtakes them.
 //!
+//! # Resilience
+//!
+//! The manager assumes jobs misbehave and contains the blast radius:
+//!
+//! * **Panic isolation + supervision.** Each job runs under
+//!   `catch_unwind`: a panicking scenario fails *that job* (the panic
+//!   payload becomes the error string) and the worker thread exits —
+//!   its warm engines are suspect after an unwind. A supervisor thread
+//!   respawns the lane with a fresh [`JobRunner`], so worker count
+//!   always returns to the configured topology
+//!   (`dssoc_serve_worker_panics` / `dssoc_serve_worker_respawns`).
+//! * **Deadlines.** A job past its `deadline` while queued goes
+//!   terminal as [`JobState::DeadlineExceeded`]; a *running* DES job is
+//!   cancelled cooperatively through an atomic flag the event loop
+//!   polls. (The threaded engine executes real kernels and cannot be
+//!   interrupted mid-run.)
+//! * **Queue aging.** Effective priority rises with queue wait
+//!   (`aging_step` per priority level), so a low-priority job behind a
+//!   high-priority flood is overtaken only for a bounded time.
+//! * **Bounded retries.** A run failing with the retryable class
+//!   ([`EmuError::Fault`]) is re-queued with seeded, jittered
+//!   exponential backoff up to `retry_max_attempts` total attempts;
+//!   `attempts` and `last_error` surface in the job snapshot.
+//! * **Retention.** Terminal records expire by global count, per-tenant
+//!   count, and wall-clock TTL, so an abandoned tenant cannot pin
+//!   memory.
+//!
 //! [`Emulation`]: dssoc_core::engine::Emulation
+//! [`EmuError::Fault`]: dssoc_core::engine::EmuError::Fault
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use dssoc_core::engine::EmuError;
 use dssoc_core::job::{CompiledScenario, Engine, Fingerprint, JobRunner, ResultCache};
 use dssoc_core::sched::by_name;
 use dssoc_core::stats::EmulationStats;
 use dssoc_metrics::MetricsRegistry;
 use dssoc_trace::TraceSession;
 
-/// Sizing and quota knobs for [`JobManager::start`].
+/// Sizing, quota, and resilience knobs for [`JobManager::start`].
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// DES-lane worker count (the threaded lane is always 1).
@@ -47,6 +78,28 @@ pub struct ManagerConfig {
     /// Terminal jobs retained for status/result queries before the
     /// oldest are forgotten.
     pub retention: usize,
+    /// Queue-aging slope: a queued job gains one effective priority
+    /// level per `aging_step` of wait. `None` disables aging (strict
+    /// priority, FIFO within a level).
+    pub aging_step: Option<Duration>,
+    /// Wall-clock TTL on terminal records; older results are evicted
+    /// even under the retention bound.
+    pub result_ttl: Duration,
+    /// Per-tenant bound on retained terminal records.
+    pub max_terminal_per_tenant: usize,
+    /// Total attempts (first run + retries) for jobs failing with the
+    /// retryable [`EmuError::Fault`] class. `1` disables retries.
+    ///
+    /// [`EmuError::Fault`]: dssoc_core::engine::EmuError::Fault
+    pub retry_max_attempts: u32,
+    /// Base backoff before a retry; attempt `n` waits
+    /// `base * 2^(n-1)`, jittered to `[0.5x, 1.5x)`.
+    pub retry_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
+    /// Supervisor cadence: deadline sweeps, TTL eviction, and dead-lane
+    /// respawn all run on this period.
+    pub sweep_interval: Duration,
 }
 
 impl Default for ManagerConfig {
@@ -58,6 +111,13 @@ impl Default for ManagerConfig {
             max_inflight_per_tenant: 4,
             cache_capacity: 256,
             retention: 1024,
+            aging_step: Some(Duration::from_millis(500)),
+            result_ttl: Duration::from_secs(3600),
+            max_terminal_per_tenant: 256,
+            retry_max_attempts: 3,
+            retry_backoff: Duration::from_millis(25),
+            retry_seed: 0x5eed_0dd5,
+            sweep_interval: Duration::from_millis(25),
         }
     }
 }
@@ -90,12 +150,27 @@ impl AdmissionError {
 pub enum CancelOutcome {
     /// The job was still queued and is now cancelled.
     Cancelled,
-    /// The job is already running (runs are not interruptible).
+    /// The job is running on the DES: its cancel flag is set and the
+    /// event loop will abort at the next poll point.
+    Cancelling,
+    /// The job is running on the threaded engine, which executes real
+    /// kernels and is not interruptible.
     Running,
     /// The job already reached a terminal state.
     Terminal,
     /// No such job.
     NotFound,
+}
+
+/// Test-only failure injection, parsed from the submission body when
+/// the daemon runs with `DSSOC_SERVE_CHAOS` set. Exercises the
+/// supervision and retry paths from outside the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Panic inside the worker before the engine runs.
+    Panic,
+    /// Fail the first `n` attempts with a retryable error.
+    Flaky(u32),
 }
 
 /// Everything a finished run reports (a subset of [`EmulationStats`]
@@ -152,10 +227,12 @@ pub enum JobState {
     Running,
     /// Finished successfully.
     Done(Box<JobOutcome>),
-    /// Failed with an engine error.
+    /// Failed with an engine error (or a contained worker panic).
     Failed(String),
-    /// Cancelled while still queued.
+    /// Cancelled by request.
     Cancelled,
+    /// The per-job deadline elapsed before the job finished.
+    DeadlineExceeded,
 }
 
 impl JobState {
@@ -167,12 +244,79 @@ impl JobState {
             JobState::Done(_) => "done",
             JobState::Failed(_) => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
     /// True once the job can no longer change state.
     pub fn terminal(&self) -> bool {
-        matches!(self, JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done(_)
+                | JobState::Failed(_)
+                | JobState::Cancelled
+                | JobState::DeadlineExceeded
+        )
+    }
+}
+
+/// Per-job execution knobs for [`JobManager::submit`].
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Which engine executes the job.
+    pub engine: Engine,
+    /// Queue priority (higher dispatches first).
+    pub priority: u8,
+    /// Capture a per-run Chrome/Perfetto trace artifact.
+    pub trace: bool,
+    /// Give up on the job this long after submission: queued past the
+    /// deadline goes [`JobState::DeadlineExceeded`]; a running DES job
+    /// is cancelled cooperatively.
+    pub deadline: Option<Duration>,
+    /// Test-only failure injection (see [`ChaosMode`]).
+    pub chaos: Option<ChaosMode>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            engine: Engine::Des,
+            priority: 0,
+            trace: false,
+            deadline: None,
+            chaos: None,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Defaults for `engine`.
+    pub fn new(engine: Engine) -> SubmitOptions {
+        SubmitOptions { engine, ..SubmitOptions::default() }
+    }
+
+    /// Sets the queue priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Enables trace capture.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the job deadline (relative to submission).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a chaos hook (test-only).
+    pub fn chaos(mut self, chaos: ChaosMode) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 }
 
@@ -195,12 +339,24 @@ pub struct JobSnapshot {
     pub platform: String,
     /// Current state.
     pub state: JobState,
-    /// Time spent queued (final once running).
+    /// Time spent queued (final once running; covers re-queues).
     pub queue_wait: Duration,
     /// Run duration (`None` until the job finishes running).
     pub run_time: Option<Duration>,
     /// A trace artifact is (or will be) available.
     pub trace: bool,
+    /// Execution attempts claimed so far (>1 means retried).
+    pub attempts: u32,
+    /// Most recent attempt's error, kept across retries.
+    pub last_error: Option<String>,
+}
+
+/// Why a running job's cancel flag was raised — decides the terminal
+/// state the aborted run maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CancelReason {
+    User,
+    Deadline,
 }
 
 struct JobRecord {
@@ -218,6 +374,15 @@ struct JobRecord {
     started: Option<Instant>,
     finished: Option<Instant>,
     state: JobState,
+    /// Cooperative-cancel flag handed to the DES event loop.
+    cancel: Arc<AtomicBool>,
+    /// Why `cancel` was raised, if it was.
+    cancel_reason: Option<CancelReason>,
+    /// Absolute give-up time, from [`SubmitOptions::deadline`].
+    deadline: Option<Instant>,
+    attempts: u32,
+    last_error: Option<String>,
+    chaos: Option<ChaosMode>,
 }
 
 impl JobRecord {
@@ -240,28 +405,59 @@ impl JobRecord {
                 _ => None,
             },
             trace: self.want_trace,
+            attempts: self.attempts,
+            last_error: self.last_error.clone(),
         }
     }
 }
 
-/// Heap entry: higher priority first, FIFO within a priority.
-#[derive(PartialEq, Eq)]
+/// One queued-lane entry. Lanes are plain vectors scanned at claim
+/// time: queues are small (bounded by `queue_capacity`), and aging
+/// makes the effective priority time-dependent, so a heap's frozen
+/// ordering would go stale anyway. Vector storage also makes active
+/// removal (cancel, deadline expiry) an O(n) `retain` instead of a
+/// tombstone that admission would still count.
 struct QueuedEntry {
     priority: u8,
     seq: u64,
     id: u64,
+    /// When the entry (re-)entered the queue; aging counts from here.
+    enqueued: Instant,
+    /// Earliest claim time (retry backoff).
+    not_before: Option<Instant>,
 }
 
-impl Ord for QueuedEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
-    }
+/// Effective priority under aging: the base level plus one level per
+/// `step` of queue wait. With `step == None` aging is off and base
+/// priority alone decides.
+fn effective_priority(base: u8, waited: Duration, step: Option<Duration>) -> u64 {
+    let aged = match step {
+        Some(step) if !step.is_zero() => {
+            (waited.as_nanos() / step.as_nanos()).min(u64::MAX as u128) as u64
+        }
+        _ => 0,
+    };
+    (base as u64).saturating_add(aged)
 }
 
-impl PartialOrd for QueuedEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// splitmix64 — the workspace-standard stateless hash (same idiom as
+/// the fault plan's decision hashing).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic jittered exponential backoff for retry `attempt`
+/// (1-based count of attempts already made): `base * 2^(attempt-1)`,
+/// jittered into `[0.5x, 1.5x)` by a seeded hash of `(seed, id,
+/// attempt)` — reproducible across runs, decorrelated across jobs.
+fn retry_backoff(seed: u64, id: u64, attempt: u32, base: Duration) -> Duration {
+    let exp = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(10));
+    let h = splitmix64(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt));
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+    exp.mul_f64(0.5 + frac)
 }
 
 #[derive(Default)]
@@ -300,9 +496,16 @@ fn lane_of(engine: Engine) -> usize {
     }
 }
 
+fn lane_name(lane: usize) -> &'static str {
+    match lane {
+        LANE_THREADED => "threaded",
+        _ => "des",
+    }
+}
+
 struct State {
     next_id: u64,
-    lanes: [BinaryHeap<QueuedEntry>; 2],
+    lanes: [Vec<QueuedEntry>; 2],
     jobs: HashMap<u64, JobRecord>,
     /// Submission order, for listing; lazily compacted as terminal
     /// jobs age out of `jobs`.
@@ -312,6 +515,9 @@ struct State {
     terminal: VecDeque<u64>,
     queued_total: usize,
     draining: bool,
+    /// Shutdown chose to kill queued jobs (no-drain): retries must not
+    /// re-enqueue behind the reaper.
+    kill_queued: bool,
 }
 
 struct Shared {
@@ -324,6 +530,9 @@ struct Shared {
     registry: MetricsRegistry,
     cache: ResultCache,
     config: ManagerConfig,
+    /// Raised once at shutdown: the supervisor exits and stops
+    /// respawning (a drained worker's exit is not a death).
+    stopping: AtomicBool,
 }
 
 impl Shared {
@@ -336,54 +545,65 @@ impl Shared {
     }
 }
 
+/// One supervised worker slot; the supervisor replaces `handle` when
+/// the thread dies.
+struct WorkerSlot {
+    lane: usize,
+    handle: JoinHandle<()>,
+}
+
+type WorkerTable = Arc<Mutex<Vec<WorkerSlot>>>;
+
 /// The multi-tenant job manager (see module docs).
 pub struct JobManager {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: WorkerTable,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     stopped: AtomicBool,
 }
 
 impl JobManager {
-    /// Starts the worker pool and returns the manager handle.
+    /// Starts the worker pool and supervisor, returning the manager
+    /// handle.
     pub fn start(config: ManagerConfig, registry: MetricsRegistry) -> Arc<JobManager> {
         let cache = ResultCache::new(config.cache_capacity.max(1));
         cache.attach_metrics(&registry);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 next_id: 1,
-                lanes: [BinaryHeap::new(), BinaryHeap::new()],
+                lanes: [Vec::new(), Vec::new()],
                 jobs: HashMap::new(),
                 order: VecDeque::new(),
                 tenants: HashMap::new(),
                 terminal: VecDeque::new(),
                 queued_total: 0,
                 draining: false,
+                kill_queued: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             registry,
             cache,
             config: config.clone(),
+            stopping: AtomicBool::new(false),
         });
-        let mut workers = Vec::new();
+        let mut slots = Vec::new();
         for (lane, count) in [(LANE_THREADED, 1), (LANE_DES, config.des_workers.max(1))] {
             for i in 0..count {
-                let shared = Arc::clone(&shared);
-                let name = match lane {
-                    LANE_THREADED => "serve-threaded".to_string(),
-                    _ => format!("serve-des-{i}"),
-                };
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(name)
-                        .spawn(move || worker_loop(&shared, lane))
-                        .expect("spawn worker"),
-                );
+                slots.push(WorkerSlot { lane, handle: spawn_worker(&shared, lane, i) });
             }
         }
+        let workers: WorkerTable = Arc::new(Mutex::new(slots));
+        let sup_shared = Arc::clone(&shared);
+        let sup_workers = Arc::clone(&workers);
+        let supervisor = std::thread::Builder::new()
+            .name("serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(&sup_shared, &sup_workers))
+            .expect("spawn supervisor");
         Arc::new(JobManager {
             shared,
-            workers: Mutex::new(workers),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
             stopped: AtomicBool::new(false),
         })
     }
@@ -393,14 +613,18 @@ impl JobManager {
         &self.shared.cache
     }
 
+    /// Live (not yet exited) worker threads — returns to the
+    /// configured topology after panics, via the supervisor.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().expect("workers").iter().filter(|s| !s.handle.is_finished()).count()
+    }
+
     /// Admits one job for `tenant`, or rejects it with the reason.
     pub fn submit(
         &self,
         tenant: &str,
         scenario: Arc<CompiledScenario>,
-        engine: Engine,
-        priority: u8,
-        trace: bool,
+        opts: SubmitOptions,
     ) -> Result<JobSnapshot, AdmissionError> {
         let shared = &self.shared;
         let mut st = shared.state.lock().expect("manager state");
@@ -421,26 +645,39 @@ impl JobManager {
 
         let id = st.next_id;
         st.next_id += 1;
+        let now = Instant::now();
         let spec = scenario.spec();
         let record = JobRecord {
             tenant: tenant.to_string(),
-            engine,
-            priority,
+            engine: opts.engine,
+            priority: opts.priority,
             fingerprint: scenario.fingerprint(),
             scheduler: spec.scheduler.clone(),
             platform: spec.platform.name.clone(),
             scenario: Some(scenario),
-            want_trace: trace,
+            want_trace: opts.trace,
             trace_json: None,
-            submitted: Instant::now(),
+            submitted: now,
             started: None,
             finished: None,
             state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            cancel_reason: None,
+            deadline: opts.deadline.map(|d| now + d),
+            attempts: 0,
+            last_error: None,
+            chaos: opts.chaos,
         };
         let snapshot = record.snapshot(id);
         st.jobs.insert(id, record);
         st.order.push_back(id);
-        st.lanes[lane_of(engine)].push(QueuedEntry { priority, seq: id, id });
+        st.lanes[lane_of(opts.engine)].push(QueuedEntry {
+            priority: opts.priority,
+            seq: id,
+            id,
+            enqueued: now,
+            not_before: None,
+        });
         st.queued_total += 1;
         {
             let t = st.tenants.entry(tenant.to_string()).or_default();
@@ -462,6 +699,8 @@ impl JobManager {
 
     /// Blocks up to `timeout` for the job to reach a terminal state,
     /// then returns whatever state it is in (long-poll support).
+    /// Returns `None` *immediately* for an unknown id — a typo'd job
+    /// number must not hold a connection thread to the deadline.
     pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobSnapshot> {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().expect("manager state");
@@ -517,8 +756,11 @@ impl JobManager {
         (st.queued_total, running)
     }
 
-    /// Cancels a queued job (running jobs are not interruptible; the
-    /// entry is lazily dropped from the heap at dispatch).
+    /// Cancels a job. Queued jobs go terminal at once (and their queue
+    /// entry is removed, so depth metrics and admission stop counting
+    /// them). A running DES job is cancelled cooperatively
+    /// ([`CancelOutcome::Cancelling`]); a running threaded job is not
+    /// interruptible.
     pub fn cancel(&self, id: u64) -> CancelOutcome {
         let shared = &self.shared;
         let mut st = shared.state.lock().expect("manager state");
@@ -529,6 +771,8 @@ impl JobManager {
                 record.finished = Some(Instant::now());
                 record.scenario = None;
                 let tenant = record.tenant.clone();
+                let lane = lane_of(record.engine);
+                st.lanes[lane].retain(|e| e.id != id);
                 st.queued_total -= 1;
                 st.terminal.push_back(id);
                 if let Some(t) = st.tenants.get_mut(&tenant) {
@@ -542,7 +786,17 @@ impl JobManager {
                 shared.work_cv.notify_all();
                 CancelOutcome::Cancelled
             }
-            JobState::Running => CancelOutcome::Running,
+            JobState::Running => {
+                if record.engine == Engine::Des {
+                    if record.cancel_reason.is_none() {
+                        record.cancel_reason = Some(CancelReason::User);
+                    }
+                    record.cancel.store(true, Ordering::Relaxed);
+                    CancelOutcome::Cancelling
+                } else {
+                    CancelOutcome::Running
+                }
+            }
             _ => CancelOutcome::Terminal,
         }
     }
@@ -558,10 +812,12 @@ impl JobManager {
     /// only in-flight runs finish. Idempotent.
     pub fn shutdown(&self, drain: bool) {
         let shared = &self.shared;
+        shared.stopping.store(true, Ordering::SeqCst);
         {
             let mut st = shared.state.lock().expect("manager state");
             st.draining = true;
             if !drain {
+                st.kill_queued = true;
                 let queued: Vec<u64> = st
                     .jobs
                     .iter()
@@ -569,19 +825,10 @@ impl JobManager {
                     .map(|(id, _)| *id)
                     .collect();
                 for id in queued {
-                    if let Some(r) = st.jobs.get_mut(&id) {
-                        r.state = JobState::Cancelled;
-                        r.finished = Some(Instant::now());
-                        r.scenario = None;
-                        let tenant = r.tenant.clone();
-                        st.queued_total -= 1;
-                        st.terminal.push_back(id);
-                        if let Some(t) = st.tenants.get_mut(&tenant) {
-                            t.queued = t.queued.saturating_sub(1);
-                        }
-                        shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
-                        shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
-                    }
+                    cancel_queued_locked(shared, &mut st, id);
+                }
+                for lane in &mut st.lanes {
+                    lane.clear();
                 }
             }
         }
@@ -590,9 +837,31 @@ impl JobManager {
         if self.stopped.swap(true, Ordering::SeqCst) {
             return;
         }
-        let handles: Vec<_> = self.workers.lock().expect("workers").drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        if let Some(sup) = self.supervisor.lock().expect("supervisor").take() {
+            let _ = sup.join();
+        }
+        let slots: Vec<_> = self.workers.lock().expect("workers").drain(..).collect();
+        for slot in slots {
+            let _ = slot.handle.join();
+        }
+        // Safety net: if a lane died mid-drain with the supervisor
+        // already gone, its queued jobs have no worker left. Cancel
+        // them so every submitted job still goes terminal.
+        let leftovers: Vec<u64> = {
+            let st = shared.state.lock().expect("manager state");
+            st.jobs
+                .iter()
+                .filter(|(_, r)| matches!(r.state, JobState::Queued))
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        if !leftovers.is_empty() {
+            let mut st = shared.state.lock().expect("manager state");
+            for id in leftovers {
+                cancel_queued_locked(shared, &mut st, id);
+            }
+            drop(st);
+            shared.done_cv.notify_all();
         }
     }
 }
@@ -601,6 +870,51 @@ impl Drop for JobManager {
     fn drop(&mut self) {
         self.shutdown(false);
     }
+}
+
+/// Transitions a still-queued job to `Cancelled` with full accounting.
+/// Caller holds the state lock and notifies `done_cv` after.
+fn cancel_queued_locked(shared: &Shared, st: &mut State, id: u64) {
+    let Some(r) = st.jobs.get_mut(&id) else { return };
+    if !matches!(r.state, JobState::Queued) {
+        return;
+    }
+    r.state = JobState::Cancelled;
+    r.finished = Some(Instant::now());
+    r.scenario = None;
+    let tenant = r.tenant.clone();
+    let lane = lane_of(r.engine);
+    st.lanes[lane].retain(|e| e.id != id);
+    st.queued_total -= 1;
+    st.terminal.push_back(id);
+    if let Some(t) = st.tenants.get_mut(&tenant) {
+        t.queued = t.queued.saturating_sub(1);
+    }
+    expire_terminal(st, shared.config.retention);
+    shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
+    shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
+}
+
+/// Transitions a still-queued job past its deadline to
+/// `DeadlineExceeded` with full accounting. Caller holds the state
+/// lock and has already removed (or will remove) the lane entry.
+fn expire_queued_locked(shared: &Shared, st: &mut State, id: u64) {
+    let Some(r) = st.jobs.get_mut(&id) else { return };
+    if !matches!(r.state, JobState::Queued) {
+        return;
+    }
+    r.state = JobState::DeadlineExceeded;
+    r.finished = Some(Instant::now());
+    r.scenario = None;
+    let tenant = r.tenant.clone();
+    st.queued_total -= 1;
+    st.terminal.push_back(id);
+    if let Some(t) = st.tenants.get_mut(&tenant) {
+        t.queued = t.queued.saturating_sub(1);
+    }
+    expire_terminal(st, shared.config.retention);
+    shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
+    shared.registry.counter("dssoc_serve_jobs_deadline_exceeded", &[]).cell().inc();
 }
 
 /// Forgets the oldest terminal jobs beyond the retention bound.
@@ -612,48 +926,102 @@ fn expire_terminal(st: &mut State, retention: usize) {
     }
     // Compact the listing order once forgotten ids dominate it.
     if st.order.len() > 2 * (st.jobs.len() + 1) {
-        st.order.retain(|id| st.jobs.contains_key(id));
+        let State { order, jobs, .. } = &mut *st;
+        order.retain(|id| jobs.contains_key(id));
     }
 }
 
+/// What a worker takes off the queue: everything needed to run the
+/// attempt without touching the state lock.
+struct Claimed {
+    id: u64,
+    scenario: Arc<CompiledScenario>,
+    engine: Engine,
+    trace: bool,
+    /// 1-based attempt number (this claim included).
+    attempt: u32,
+    chaos: Option<ChaosMode>,
+    cancel: Arc<AtomicBool>,
+}
+
 /// Claims the next eligible job for `lane`, blocking until one exists
-/// or the manager drains dry. Cancelled entries are dropped here;
-/// entries whose tenant is at its in-flight quota are pushed back and
-/// retried on the next wakeup.
-fn claim(shared: &Shared, lane: usize) -> Option<(u64, Arc<CompiledScenario>, Engine, bool)> {
+/// or the manager drains dry.
+///
+/// Eligibility and order are decided by a linear scan (queues are
+/// small and aging makes priority time-dependent): dead entries are
+/// removed, queued jobs past their deadline expire on the spot,
+/// backoff holds (`not_before`) and tenants at their in-flight quota
+/// are skipped, and the survivor with the highest effective priority
+/// (FIFO within a level) wins.
+fn claim(shared: &Shared, lane: usize) -> Option<Claimed> {
     let mut st = shared.state.lock().expect("manager state");
     loop {
-        let mut held_back = Vec::new();
-        let mut picked = None;
-        while let Some(entry) = st.lanes[lane].pop() {
-            let eligible = match st.jobs.get(&entry.id) {
+        let now = Instant::now();
+        // Pass 1: drop dead entries, expire overdue queued jobs.
+        let mut i = 0;
+        while i < st.lanes[lane].len() {
+            let id = st.lanes[lane][i].id;
+            let (alive, overdue) = match st.jobs.get(&id) {
                 Some(r) if matches!(r.state, JobState::Queued) => {
-                    let inflight = st.tenants.get(&r.tenant).map(|t| t.inflight).unwrap_or(0);
-                    if inflight < shared.config.max_inflight_per_tenant {
-                        true
-                    } else {
-                        held_back.push(entry);
-                        continue;
-                    }
+                    (true, r.deadline.is_some_and(|d| d <= now))
                 }
-                // Cancelled (or expired) while queued: drop the entry.
-                _ => continue,
+                _ => (false, false),
             };
-            if eligible {
-                picked = Some(entry);
-                break;
+            if !alive {
+                st.lanes[lane].swap_remove(i);
+                continue;
+            }
+            if overdue {
+                st.lanes[lane].swap_remove(i);
+                expire_queued_locked(shared, &mut st, id);
+                shared.done_cv.notify_all();
+                continue;
+            }
+            i += 1;
+        }
+        // Pass 2: pick the best eligible entry.
+        let mut best: Option<(u64, u64, usize)> = None; // (eff, seq, index)
+        let mut next_wake: Option<Instant> = None;
+        for (idx, e) in st.lanes[lane].iter().enumerate() {
+            if let Some(nb) = e.not_before {
+                if nb > now {
+                    next_wake = Some(next_wake.map_or(nb, |w: Instant| w.min(nb)));
+                    continue;
+                }
+            }
+            let r = &st.jobs[&e.id];
+            let inflight = st.tenants.get(&r.tenant).map(|t| t.inflight).unwrap_or(0);
+            if inflight >= shared.config.max_inflight_per_tenant {
+                continue;
+            }
+            let eff = effective_priority(
+                e.priority,
+                now.saturating_duration_since(e.enqueued),
+                shared.config.aging_step,
+            );
+            let better = match best {
+                None => true,
+                Some((b_eff, b_seq, _)) => eff > b_eff || (eff == b_eff && e.seq < b_seq),
+            };
+            if better {
+                best = Some((eff, e.seq, idx));
             }
         }
-        for entry in held_back {
-            st.lanes[lane].push(entry);
-        }
-        if let Some(entry) = picked {
+        if let Some((_, _, idx)) = best {
+            let entry = st.lanes[lane].swap_remove(idx);
             let record = st.jobs.get_mut(&entry.id).expect("picked job exists");
             record.state = JobState::Running;
             record.started = Some(Instant::now());
-            let scenario = record.scenario.clone().expect("queued job keeps scenario");
-            let engine = record.engine;
-            let trace = record.want_trace;
+            record.attempts += 1;
+            let claimed = Claimed {
+                id: entry.id,
+                scenario: record.scenario.clone().expect("queued job keeps scenario"),
+                engine: record.engine,
+                trace: record.want_trace,
+                attempt: record.attempts,
+                chaos: record.chaos,
+                cancel: Arc::clone(&record.cancel),
+            };
             let tenant = record.tenant.clone();
             let wait =
                 record.started.expect("just set").saturating_duration_since(record.submitted);
@@ -668,27 +1036,71 @@ fn claim(shared: &Shared, lane: usize) -> Option<(u64, Arc<CompiledScenario>, En
                 .histogram("dssoc_serve_queue_wait_ns", &[])
                 .cell()
                 .record(wait.as_nanos() as u64);
-            return Some((entry.id, scenario, engine, trace));
+            return Some(claimed);
         }
         if st.draining && st.lanes[lane].is_empty() {
             return None;
         }
-        st = shared.work_cv.wait(st).expect("manager state");
+        // Nothing runnable. Sleep until new work arrives, an in-flight
+        // slot frees, or the earliest backoff hold expires.
+        st = match next_wake {
+            Some(wake) => {
+                let dur = wake.saturating_duration_since(Instant::now());
+                shared.work_cv.wait_timeout(st, dur.max(Duration::from_millis(1))).expect("state").0
+            }
+            None => shared.work_cv.wait(st).expect("manager state"),
+        };
     }
 }
 
-/// Runs one claimed job and records its terminal state.
-fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>), String>) {
+/// How a failed attempt should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunErrorKind {
+    /// Deterministic failure: retrying would reproduce it.
+    Fatal,
+    /// Transient-failure class (injected faults): worth a bounded,
+    /// backed-off retry.
+    Retryable,
+    /// The cooperative-cancel flag aborted the run.
+    Canceled,
+}
+
+struct RunError {
+    kind: RunErrorKind,
+    message: String,
+}
+
+impl RunError {
+    fn fatal(message: impl Into<String>) -> RunError {
+        RunError { kind: RunErrorKind::Fatal, message: message.into() }
+    }
+
+    fn classify(e: EmuError) -> RunError {
+        let kind = match &e {
+            EmuError::Fault { .. } => RunErrorKind::Retryable,
+            EmuError::Canceled => RunErrorKind::Canceled,
+            _ => RunErrorKind::Fatal,
+        };
+        RunError { kind, message: e.to_string() }
+    }
+}
+
+/// Records one attempt's outcome: terminal transition, retry
+/// re-enqueue, or cancel/deadline mapping.
+fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>), RunError>) {
     let mut st = shared.state.lock().expect("manager state");
+    let kill_queued = st.kill_queued;
     let Some(record) = st.jobs.get_mut(&id) else { return };
-    record.finished = Some(Instant::now());
-    record.scenario = None;
+    let now = Instant::now();
     let engine = record.engine;
     let tenant = record.tenant.clone();
-    let latency = record.finished.expect("just set").saturating_duration_since(record.submitted);
+    let latency = now.saturating_duration_since(record.submitted);
+    let mut terminal = true;
     match outcome {
         Ok((outcome, trace_json)) => {
             let cached = outcome.cached;
+            record.finished = Some(now);
+            record.scenario = None;
             record.trace_json = trace_json.map(Arc::new);
             record.state = JobState::Done(Box::new(outcome));
             shared
@@ -706,25 +1118,83 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
             }
         }
         Err(err) => {
-            record.state = JobState::Failed(err);
-            shared
-                .registry
-                .counter("dssoc_serve_jobs_failed", &[("engine", engine.as_str())])
-                .cell()
-                .inc();
+            record.last_error = Some(err.message.clone());
+            let retry = err.kind == RunErrorKind::Retryable
+                && record.attempts < shared.config.retry_max_attempts
+                && !kill_queued;
+            match err.kind {
+                RunErrorKind::Canceled => {
+                    record.finished = Some(now);
+                    record.scenario = None;
+                    // Deadline-driven cancels and user cancels land in
+                    // different terminal states.
+                    if record.cancel_reason == Some(CancelReason::Deadline) {
+                        record.state = JobState::DeadlineExceeded;
+                        shared
+                            .registry
+                            .counter("dssoc_serve_jobs_deadline_exceeded", &[])
+                            .cell()
+                            .inc();
+                    } else {
+                        record.state = JobState::Cancelled;
+                        shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
+                    }
+                }
+                RunErrorKind::Retryable if retry => {
+                    terminal = false;
+                    let attempt = record.attempts;
+                    let hold = retry_backoff(
+                        shared.config.retry_seed,
+                        id,
+                        attempt,
+                        shared.config.retry_backoff,
+                    );
+                    record.state = JobState::Queued;
+                    let entry = QueuedEntry {
+                        priority: record.priority,
+                        seq: id,
+                        id,
+                        enqueued: now,
+                        not_before: Some(now + hold),
+                    };
+                    st.lanes[lane_of(engine)].push(entry);
+                    st.queued_total += 1;
+                    if let Some(t) = st.tenants.get_mut(&tenant) {
+                        t.queued += 1;
+                    }
+                    shared
+                        .registry
+                        .counter("dssoc_serve_jobs_retried", &[("engine", engine.as_str())])
+                        .cell()
+                        .inc();
+                    shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().inc();
+                }
+                _ => {
+                    record.finished = Some(now);
+                    record.scenario = None;
+                    record.state = JobState::Failed(err.message);
+                    shared
+                        .registry
+                        .counter("dssoc_serve_jobs_failed", &[("engine", engine.as_str())])
+                        .cell()
+                        .inc();
+                }
+            }
         }
     }
-    st.terminal.push_back(id);
+    if terminal {
+        st.terminal.push_back(id);
+        shared
+            .registry
+            .histogram("dssoc_serve_job_latency_ns", &[("engine", engine.as_str())])
+            .cell()
+            .record(latency.as_nanos() as u64);
+    }
     if let Some(t) = st.tenants.get_mut(&tenant) {
         t.inflight = t.inflight.saturating_sub(1);
     }
     expire_terminal(&mut st, shared.config.retention);
     shared.registry.gauge("dssoc_serve_inflight", &[]).cell().dec();
-    shared
-        .registry
-        .histogram("dssoc_serve_job_latency_ns", &[("engine", engine.as_str())])
-        .cell()
-        .record(latency.as_nanos() as u64);
     drop(st);
     // A freed in-flight slot may unblock a held-back tenant.
     shared.work_cv.notify_all();
@@ -736,26 +1206,73 @@ fn run_job(
     scenario: &Arc<CompiledScenario>,
     engine: Engine,
     trace: bool,
-) -> Result<(JobOutcome, Option<String>), String> {
+) -> Result<(JobOutcome, Option<String>), RunError> {
     if trace {
         let session = TraceSession::new();
-        let mut sched = by_name(&scenario.spec().scheduler)
-            .ok_or_else(|| format!("unknown scheduler '{}'", scenario.spec().scheduler))?;
+        let mut sched = by_name(&scenario.spec().scheduler).ok_or_else(|| {
+            RunError::fatal(format!("unknown scheduler '{}'", scenario.spec().scheduler))
+        })?;
         let result = runner
             .run_traced(scenario, engine, sched.as_mut(), session.sink())
-            .map_err(|e| e.to_string())?;
+            .map_err(RunError::classify)?;
         let events = session.drain();
         let json = dssoc_trace::export::chrome_json_with_drops(
             &events,
             &session.meta(),
             &session.producers(),
         );
-        let text = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?;
+        let text =
+            serde_json::to_string_pretty(&json).map_err(|e| RunError::fatal(e.to_string()))?;
         Ok((JobOutcome::from_stats(&result.stats, false), Some(text)))
     } else {
-        let result = runner.run(scenario, engine).map_err(|e| e.to_string())?;
+        let result = runner.run(scenario, engine).map_err(RunError::classify)?;
         Ok((JobOutcome::from_stats(&result.stats, result.cached), None))
     }
+}
+
+/// Executes one claimed attempt (the chaos hook fires first, so panic
+/// injection exercises the real unwind path through the worker).
+fn run_claimed(
+    runner: &mut JobRunner,
+    claimed: &Claimed,
+) -> Result<(JobOutcome, Option<String>), RunError> {
+    match claimed.chaos {
+        Some(ChaosMode::Panic) => panic!("chaos hook: injected worker panic"),
+        Some(ChaosMode::Flaky(n)) if claimed.attempt <= n => {
+            return Err(RunError {
+                kind: RunErrorKind::Retryable,
+                message: format!(
+                    "chaos hook: injected transient fault (attempt {})",
+                    claimed.attempt
+                ),
+            });
+        }
+        _ => {}
+    }
+    run_job(runner, &claimed.scenario, claimed.engine, claimed.trace)
+}
+
+/// Renders a panic payload the way `std` would print it.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, lane: usize, index: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = match lane {
+        LANE_THREADED => "serve-threaded".to_string(),
+        _ => format!("serve-des-{index}"),
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared, lane))
+        .expect("spawn worker")
 }
 
 fn worker_loop(shared: &Shared, lane: usize) {
@@ -764,9 +1281,150 @@ fn worker_loop(shared: &Shared, lane: usize) {
     // shares the manager-wide result cache and metrics registry.
     let mut runner = JobRunner::with_cache(shared.cache.clone());
     runner.set_metrics(Some(shared.registry.clone()));
-    while let Some((id, scenario, engine, trace)) = claim(shared, lane) {
-        let outcome = run_job(&mut runner, &scenario, engine, trace);
-        finish(shared, id, outcome);
+    while let Some(claimed) = claim(shared, lane) {
+        let id = claimed.id;
+        runner.set_cancel(Some(Arc::clone(&claimed.cancel)));
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_claimed(&mut runner, &claimed)));
+        match outcome {
+            Ok(result) => {
+                runner.set_cancel(None);
+                finish(shared, id, result);
+            }
+            Err(payload) => {
+                // The panic is contained to this job; the thread still
+                // exits because its warm engines are suspect after an
+                // unwind — the supervisor respawns the lane fresh.
+                let msg = panic_message(payload);
+                shared
+                    .registry
+                    .counter("dssoc_serve_worker_panics", &[("lane", lane_name(lane))])
+                    .cell()
+                    .inc();
+                finish(shared, id, Err(RunError::fatal(format!("worker panicked: {msg}"))));
+                return;
+            }
+        }
+    }
+}
+
+/// The supervisor: every `sweep_interval` it expires queued jobs past
+/// their deadline, raises cancel flags on overdue running DES jobs,
+/// evicts terminal records past the TTL or per-tenant bound, nudges
+/// workers whose backoff holds may have expired, and respawns any lane
+/// whose worker thread died.
+fn supervisor_loop(shared: &Arc<Shared>, workers: &WorkerTable) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        sweep(shared);
+        respawn_dead_lanes(shared, workers);
+        std::thread::sleep(shared.config.sweep_interval);
+    }
+}
+
+fn sweep(shared: &Shared) {
+    let mut st = shared.state.lock().expect("manager state");
+    let now = Instant::now();
+    // Queued past deadline → terminal, entries actively removed.
+    let overdue: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|(_, r)| {
+            matches!(r.state, JobState::Queued) && r.deadline.is_some_and(|d| d <= now)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    let any_expired = !overdue.is_empty();
+    for id in overdue {
+        if let Some(r) = st.jobs.get(&id) {
+            let lane = lane_of(r.engine);
+            st.lanes[lane].retain(|e| e.id != id);
+        }
+        expire_queued_locked(shared, &mut st, id);
+    }
+    // Running DES jobs past deadline → raise the cooperative flag.
+    for r in st.jobs.values_mut() {
+        if matches!(r.state, JobState::Running)
+            && r.engine == Engine::Des
+            && r.deadline.is_some_and(|d| d <= now)
+            && r.cancel_reason.is_none()
+        {
+            r.cancel_reason = Some(CancelReason::Deadline);
+            r.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+    // TTL eviction: `terminal` is completion-ordered, so expiry only
+    // ever pops from the front.
+    let ttl = shared.config.result_ttl;
+    let mut expired = 0u64;
+    while let Some(&front) = st.terminal.front() {
+        match st.jobs.get(&front) {
+            None => {
+                st.terminal.pop_front();
+            }
+            Some(r) if r.finished.is_some_and(|f| f + ttl <= now) => {
+                st.terminal.pop_front();
+                st.jobs.remove(&front);
+                expired += 1;
+            }
+            Some(_) => break,
+        }
+    }
+    // Per-tenant terminal bound: a chatty tenant cannot crowd out
+    // everyone else's retained results.
+    let bound = shared.config.max_terminal_per_tenant;
+    if bound > 0 && st.terminal.len() > bound {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for id in &st.terminal {
+            if let Some(r) = st.jobs.get(id) {
+                *counts.entry(r.tenant.clone()).or_default() += 1;
+            }
+        }
+        if counts.values().any(|&n| n > bound) {
+            let mut evict = Vec::new();
+            for id in &st.terminal {
+                if let Some(r) = st.jobs.get(id) {
+                    if let Some(n) = counts.get_mut(&r.tenant) {
+                        if *n > bound {
+                            *n -= 1;
+                            evict.push(*id);
+                        }
+                    }
+                }
+            }
+            expired += evict.len() as u64;
+            for id in &evict {
+                st.jobs.remove(id);
+            }
+            let State { terminal, jobs, .. } = &mut *st;
+            terminal.retain(|id| jobs.contains_key(id));
+        }
+    }
+    if expired > 0 {
+        shared.registry.counter("dssoc_serve_results_expired", &[]).cell().add(expired);
+        let State { order, jobs, .. } = &mut *st;
+        order.retain(|id| jobs.contains_key(id));
+    }
+    drop(st);
+    if any_expired {
+        shared.done_cv.notify_all();
+    }
+    // Wake claimers whose backoff holds may have elapsed.
+    shared.work_cv.notify_all();
+}
+
+fn respawn_dead_lanes(shared: &Arc<Shared>, workers: &WorkerTable) {
+    let mut slots = workers.lock().expect("workers");
+    for (index, slot) in slots.iter_mut().enumerate() {
+        if slot.handle.is_finished() && !shared.stopping.load(Ordering::SeqCst) {
+            let fresh = spawn_worker(shared, slot.lane, index);
+            let dead = std::mem::replace(&mut slot.handle, fresh);
+            let _ = dead.join();
+            shared
+                .registry
+                .counter("dssoc_serve_worker_respawns", &[("lane", lane_name(slot.lane))])
+                .cell()
+                .inc();
+        }
     }
 }
 
@@ -803,7 +1461,7 @@ mod tests {
     /// Tens of thousands of arrivals: a DES run slow enough (>100ms
     /// even on the dense FRFS fast path) to reliably occupy a worker
     /// while the test submits and cancels behind it.
-    fn heavy_scenario() -> Arc<CompiledScenario> {
+    fn heavy_scenario_seeded(seed: u64) -> Arc<CompiledScenario> {
         compile(WorkloadSpec::performance(
             vec![InjectionParams {
                 app: "range_detection".into(),
@@ -811,18 +1469,26 @@ mod tests {
                 probability: 1.0,
             }],
             Duration::from_secs(2),
-            0,
+            seed,
         ))
+    }
+
+    fn heavy_scenario() -> Arc<CompiledScenario> {
+        heavy_scenario_seeded(0)
     }
 
     fn manager(config: ManagerConfig) -> Arc<JobManager> {
         JobManager::start(config, MetricsRegistry::new())
     }
 
+    fn opts() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
     #[test]
     fn runs_des_job_to_done() {
         let m = manager(ManagerConfig::default());
-        let snap = m.submit("alice", scenario(2, 0), Engine::Des, 0, false).unwrap();
+        let snap = m.submit("alice", scenario(2, 0), opts()).unwrap();
         let done = m.wait(snap.id, Duration::from_secs(30)).unwrap();
         match done.state {
             JobState::Done(outcome) => {
@@ -832,15 +1498,17 @@ mod tests {
             }
             other => panic!("expected done, got {other:?}"),
         }
+        assert_eq!(done.attempts, 1);
+        assert!(done.last_error.is_none());
         m.shutdown(true);
     }
 
     #[test]
     fn identical_resubmission_hits_cache_across_tenants() {
         let m = manager(ManagerConfig::default());
-        let first = m.submit("alice", scenario(3, 0), Engine::Des, 0, false).unwrap();
+        let first = m.submit("alice", scenario(3, 0), opts()).unwrap();
         let a = m.wait(first.id, Duration::from_secs(30)).unwrap();
-        let second = m.submit("bob", scenario(3, 0), Engine::Des, 0, false).unwrap();
+        let second = m.submit("bob", scenario(3, 0), opts()).unwrap();
         assert_eq!(first.fingerprint, second.fingerprint);
         let b = m.wait(second.id, Duration::from_secs(30)).unwrap();
         let (JobState::Done(ours), JobState::Done(theirs)) = (a.state, b.state) else {
@@ -870,13 +1538,13 @@ mod tests {
             ..ManagerConfig::default()
         });
         let a = scenario(1, 0);
-        assert!(m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).is_ok());
-        assert!(m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).is_ok());
-        let err = m.submit("carol", Arc::clone(&a), Engine::Des, 0, false).unwrap_err();
+        assert!(m.submit("carol", Arc::clone(&a), opts()).is_ok());
+        assert!(m.submit("carol", Arc::clone(&a), opts()).is_ok());
+        let err = m.submit("carol", Arc::clone(&a), opts()).unwrap_err();
         assert_eq!(err, AdmissionError::TenantOverQuota(2));
         assert_eq!(err.reason(), "tenant_quota");
         // Another tenant is unaffected by carol's quota.
-        assert!(m.submit("mallory", a, Engine::Des, 0, false).is_ok());
+        assert!(m.submit("mallory", a, opts()).is_ok());
         let carol = m.tenants().into_iter().find(|t| t.tenant == "carol").unwrap();
         assert_eq!(carol.rejected, 1);
         assert_eq!(carol.queued, 2);
@@ -888,10 +1556,9 @@ mod tests {
         let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
         // One long blocker occupies the single DES worker; everything
         // submitted behind it is reliably still queued.
-        let blocker = m.submit("dave", heavy_scenario(), Engine::Des, 0, false).unwrap().id;
-        let tail: Vec<u64> = (2..5)
-            .map(|n| m.submit("dave", scenario(n, 0), Engine::Des, 0, false).unwrap().id)
-            .collect();
+        let blocker = m.submit("dave", heavy_scenario(), opts()).unwrap().id;
+        let tail: Vec<u64> =
+            (2..5).map(|n| m.submit("dave", scenario(n, 0), opts()).unwrap().id).collect();
         let victim = *tail.last().unwrap();
         assert_eq!(m.cancel(victim), CancelOutcome::Cancelled);
         assert_eq!(m.cancel(victim), CancelOutcome::Terminal);
@@ -906,7 +1573,7 @@ mod tests {
         assert!(matches!(m.job(victim).unwrap().state, JobState::Cancelled));
         assert!(matches!(m.job(blocker).unwrap().state, JobState::Done(_)));
         // Post-drain submissions are refused.
-        let err = m.submit("dave", scenario(1, 0), Engine::Des, 0, false).unwrap_err();
+        let err = m.submit("dave", scenario(1, 0), opts()).unwrap_err();
         assert_eq!(err, AdmissionError::Draining);
     }
 
@@ -918,9 +1585,9 @@ mod tests {
         let low_s = scenario(2, 0);
         let high_s = scenario(3, 0);
         let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
-        m.submit("eve", blocker, Engine::Des, 0, false).unwrap();
-        let low = m.submit("eve", low_s, Engine::Des, 0, false).unwrap().id;
-        let high = m.submit("eve", high_s, Engine::Des, 5, false).unwrap().id;
+        m.submit("eve", blocker, opts()).unwrap();
+        let low = m.submit("eve", low_s, opts()).unwrap().id;
+        let high = m.submit("eve", high_s, opts().priority(5)).unwrap().id;
         m.shutdown(true);
         let low_snap = m.job(low).unwrap();
         let high_snap = m.job(high).unwrap();
@@ -932,5 +1599,273 @@ mod tests {
             high_snap.queue_wait,
             low_snap.queue_wait
         );
+    }
+
+    #[test]
+    fn wait_returns_immediately_for_unknown_job() {
+        let m = manager(ManagerConfig::default());
+        let t0 = Instant::now();
+        assert!(m.wait(424242, Duration::from_secs(10)).is_none());
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "wait on a nonexistent id must not block: took {:?}",
+            t0.elapsed()
+        );
+        m.shutdown(false);
+    }
+
+    #[test]
+    fn cancel_removes_queue_entry() {
+        // In-flight quota 0 pins the job in the queue so the cancel
+        // path (not a racing claim) is what removes the entry.
+        let m = manager(ManagerConfig { max_inflight_per_tenant: 0, ..ManagerConfig::default() });
+        let id = m.submit("frank", scenario(1, 0), opts()).unwrap().id;
+        {
+            let st = m.shared.state.lock().unwrap();
+            assert_eq!(st.lanes[LANE_DES].len(), 1);
+        }
+        assert_eq!(m.cancel(id), CancelOutcome::Cancelled);
+        {
+            let st = m.shared.state.lock().unwrap();
+            assert!(
+                st.lanes[LANE_DES].is_empty(),
+                "cancel must remove the queue entry, not tombstone it"
+            );
+            assert_eq!(st.queued_total, 0);
+        }
+        assert_eq!(m.depth(), (0, 0));
+        m.shutdown(false);
+    }
+
+    #[test]
+    fn queued_deadline_expires_to_terminal() {
+        // In-flight quota 0: the job can never start, so only the
+        // deadline sweep can move it.
+        let m = manager(ManagerConfig {
+            max_inflight_per_tenant: 0,
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        let id = m
+            .submit("grace", scenario(1, 0), opts().deadline(Duration::from_millis(50)))
+            .unwrap()
+            .id;
+        let done = m.wait(id, Duration::from_secs(10)).unwrap();
+        assert!(
+            matches!(done.state, JobState::DeadlineExceeded),
+            "expected deadline_exceeded, got {:?}",
+            done.state
+        );
+        assert_eq!(done.attempts, 0, "the job never ran");
+        {
+            let st = m.shared.state.lock().unwrap();
+            assert!(st.lanes[LANE_DES].is_empty(), "expired entry must leave the queue");
+        }
+        m.shutdown(false);
+    }
+
+    #[test]
+    fn running_des_job_past_deadline_is_cancelled_cooperatively() {
+        let m = manager(ManagerConfig {
+            des_workers: 1,
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        // The heavy run takes well over 100ms; a 50ms deadline lands
+        // mid-run and the event loop aborts at its next poll point.
+        let id = m
+            .submit("heidi", heavy_scenario(), opts().deadline(Duration::from_millis(50)))
+            .unwrap()
+            .id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(done.state, JobState::DeadlineExceeded),
+            "expected deadline_exceeded, got {:?}",
+            done.state
+        );
+        assert_eq!(done.attempts, 1, "the run was claimed before the deadline hit");
+        assert!(done.last_error.as_deref().unwrap_or("").contains("cancelled"));
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn cancel_running_des_job_goes_through_cancelling() {
+        let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
+        let id = m.submit("ivan", heavy_scenario_seeded(7), opts()).unwrap().id;
+        // Wait for the worker to claim it.
+        let t0 = Instant::now();
+        while !matches!(m.job(id).unwrap().state, JobState::Running) {
+            assert!(t0.elapsed() < Duration::from_secs(10), "job never started");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(m.cancel(id), CancelOutcome::Cancelling);
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Cancelled),
+            "user cancel of a running job ends Cancelled, got {:?}",
+            done.state
+        );
+        assert_eq!(m.cancel(id), CancelOutcome::Terminal);
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_lane_respawns() {
+        let m = manager(ManagerConfig {
+            des_workers: 1,
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        assert_eq!(m.worker_count(), 2, "1 threaded + 1 des");
+        let id = m.submit("judy", scenario(1, 0), opts().chaos(ChaosMode::Panic)).unwrap().id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        match &done.state {
+            JobState::Failed(msg) => {
+                assert!(msg.contains("panicked"), "panic payload surfaced: {msg}");
+                assert!(msg.contains("chaos hook"), "payload preserved: {msg}");
+            }
+            other => panic!("expected failed, got {other:?}"),
+        }
+        // The supervisor replaces the dead lane...
+        let t0 = Instant::now();
+        while m.worker_count() < 2 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "lane never respawned");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...and the fresh worker runs normal jobs.
+        let next = m.submit("judy", scenario(2, 1), opts()).unwrap().id;
+        let done = m.wait(next, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Done(_)),
+            "post-panic job must complete, got {:?}",
+            done.state
+        );
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn flaky_job_retries_to_done() {
+        let m = manager(ManagerConfig {
+            retry_max_attempts: 3,
+            retry_backoff: Duration::from_millis(1),
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        let id = m.submit("kim", scenario(1, 0), opts().chaos(ChaosMode::Flaky(2))).unwrap().id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Done(_)),
+            "third attempt succeeds, got {:?}",
+            done.state
+        );
+        assert_eq!(done.attempts, 3);
+        let last = done.last_error.expect("failed attempts leave their error");
+        assert!(last.contains("attempt 2"), "last error is the final failure: {last}");
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_with_last_error() {
+        let m = manager(ManagerConfig {
+            retry_max_attempts: 3,
+            retry_backoff: Duration::from_millis(1),
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        let id = m.submit("leo", scenario(1, 0), opts().chaos(ChaosMode::Flaky(99))).unwrap().id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        match &done.state {
+            JobState::Failed(msg) => {
+                assert!(msg.contains("attempt 3"), "fails with the final attempt's error: {msg}")
+            }
+            other => panic!("expected failed after exhausting retries, got {other:?}"),
+        }
+        assert_eq!(done.attempts, 3, "bounded at retry_max_attempts");
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn queue_aging_bounds_starvation() {
+        // Deterministic by construction: once both jobs are queued
+        // they age at the same rate, so the low-priority job's head
+        // start (~150ms at 1ms/level ≈ 150 levels) permanently
+        // outweighs the high job's 5-level base advantage. Without
+        // aging the priority-5 job would always overtake.
+        let blockers = [heavy_scenario_seeded(11), heavy_scenario_seeded(12)];
+        let low_s = scenario(2, 0);
+        let high_s = scenario(3, 0);
+        let m = manager(ManagerConfig {
+            des_workers: 1,
+            aging_step: Some(Duration::from_millis(1)),
+            ..ManagerConfig::default()
+        });
+        // Two distinct blockers (distinct seeds → no cache hit) keep
+        // the single worker busy across the head-start gap.
+        for b in blockers {
+            m.submit("bulk", b, opts()).unwrap();
+        }
+        let low_submitted = Instant::now();
+        let low = m.submit("slow", low_s, opts()).unwrap().id;
+        std::thread::sleep(Duration::from_millis(150));
+        let high_submitted = Instant::now();
+        let high = m.submit("fast", high_s, opts().priority(5)).unwrap().id;
+        m.shutdown(true);
+        let low_snap = m.job(low).unwrap();
+        let high_snap = m.job(high).unwrap();
+        assert!(matches!(low_snap.state, JobState::Done(_)));
+        assert!(matches!(high_snap.state, JobState::Done(_)));
+        // Reconstruct absolute claim times: submit instant + queue
+        // wait. The aged job must have been claimed first.
+        let low_started = low_submitted + low_snap.queue_wait;
+        let high_started = high_submitted + high_snap.queue_wait;
+        assert!(
+            low_started < high_started,
+            "aging must let the older low-priority job run first \
+             (low waited {:?}, high waited {:?})",
+            low_snap.queue_wait,
+            high_snap.queue_wait
+        );
+    }
+
+    #[test]
+    fn terminal_results_expire_by_ttl() {
+        let m = manager(ManagerConfig {
+            result_ttl: Duration::from_millis(50),
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        let id = m.submit("mia", scenario(1, 0), opts()).unwrap().id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(matches!(done.state, JobState::Done(_)));
+        let t0 = Instant::now();
+        while m.job(id).is_some() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "terminal record must expire after the TTL"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        m.shutdown(false);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(25);
+        let a = retry_backoff(42, 7, 1, base);
+        let b = retry_backoff(42, 7, 1, base);
+        assert_eq!(a, b, "same (seed, id, attempt) → same backoff");
+        assert_ne!(
+            retry_backoff(42, 7, 1, base),
+            retry_backoff(42, 8, 1, base),
+            "different jobs decorrelate"
+        );
+        // Attempt n's nominal delay is base * 2^(n-1), jittered into
+        // [0.5x, 1.5x).
+        for attempt in 1..=4u32 {
+            let exp = base * (1 << (attempt - 1));
+            let d = retry_backoff(123, 9, attempt, base);
+            assert!(d >= exp.mul_f64(0.5), "attempt {attempt}: {d:?} below jitter floor");
+            assert!(d < exp.mul_f64(1.5), "attempt {attempt}: {d:?} above jitter ceiling");
+        }
     }
 }
