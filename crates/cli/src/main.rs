@@ -19,6 +19,10 @@ SUBMIT OPTIONS:
   --tenant <name>            X-Tenant header     (default the user name)
   --no-wait                  print the submission receipt and exit
 
+SUBMIT EXIT CODES:
+  0 done   1 failed/cancelled/transport error   2 usage
+  3 deadline_exceeded (attempts and last_error reported on stderr)
+
 RUN OPTIONS:
   --platform <spec>          zcu102:<n>C+<m>F or odroid:<n>B+<m>L
   --platform-file <path>     platform configuration JSON
@@ -233,8 +237,22 @@ fn cmd_submit(args: &[String]) -> i32 {
                 }
             }
             _ => {
-                eprintln!("job {id} ended in state '{state}':\n{status}");
-                return 1;
+                let parsed = serde_json::from_str::<serde_json::Value>(&status).ok();
+                let attempts = parsed.as_ref().and_then(|v| v["attempts"].as_u64()).unwrap_or(0);
+                let last_error = parsed
+                    .as_ref()
+                    .and_then(|v| v["last_error"].as_str().map(str::to_string))
+                    .or_else(|| {
+                        parsed.as_ref().and_then(|v| v["error"].as_str().map(str::to_string))
+                    });
+                eprintln!("job {id} ended in state '{state}' after {attempts} attempt(s)");
+                if let Some(err) = last_error {
+                    eprintln!("last error: {err}");
+                }
+                eprintln!("{status}");
+                // Deadline misses get their own exit code so scripts can
+                // tell "too slow" apart from "broken".
+                return if state == "deadline_exceeded" { 3 } else { 1 };
             }
         }
     }

@@ -1018,6 +1018,10 @@ pub struct JobRunner {
     /// Cheap to install/remove per job: a setter on the warm simulator,
     /// never an engine rebuild.
     cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Correlation span id of the enclosing job (a flight-recorder
+    /// span); stamped into the trace metadata of traced runs so the
+    /// engine trace can be stitched into the job timeline.
+    span: Option<u64>,
 }
 
 impl JobRunner {
@@ -1036,6 +1040,7 @@ impl JobRunner {
             trace: None,
             metrics: None,
             cancel: None,
+            span: None,
         }
     }
 
@@ -1076,6 +1081,16 @@ impl JobRunner {
     /// flag is a per-run setter, not part of engine construction.
     pub fn set_cancel(&mut self, cancel: Option<Arc<std::sync::atomic::AtomicBool>>) {
         self.cancel = cancel;
+    }
+
+    /// Installs (or removes) the enclosing job's correlation span id.
+    /// A per-run setter like [`Self::set_cancel`] (warm engines are
+    /// kept): traced runs stamp it into [`TraceMeta::span`] so the
+    /// exported trace carries a `span_id` metadata record.
+    ///
+    /// [`TraceMeta::span`]: dssoc_trace::TraceMeta
+    pub fn set_span(&mut self, span: Option<u64>) {
+        self.span = span;
     }
 
     /// `(threaded, DES)` warm-engine counts — observability for tests
@@ -1147,6 +1162,9 @@ impl JobRunner {
         trace: Option<TraceSink>,
     ) -> Result<EmulationStats, EmuError> {
         let base_trace = self.trace.clone();
+        if let (Some(span), Some(sink)) = (self.span, trace.as_ref()) {
+            sink.set_span(&format!("{span:016x}"));
+        }
         match engine {
             Engine::Threaded => {
                 let emu = self.emulation_for(scenario)?;

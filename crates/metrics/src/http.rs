@@ -91,21 +91,65 @@ impl Request {
     }
 }
 
+/// Streaming-response producer: called once with a [`ChunkSink`] after
+/// the response head is written; every [`ChunkSink::send`] becomes one
+/// HTTP chunk on the wire. `Fn` (not `FnOnce`) keeps [`Response`]
+/// cloneable and handler-shareable.
+pub type StreamFn = dyn Fn(&mut ChunkSink) + Send + Sync;
+
 /// One HTTP response to write back.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Response {
     /// Status code (reason phrase derived via [`status_reason`]).
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: String,
-    /// Response body.
+    /// Response body (ignored when `streamer` is set).
     pub body: Vec<u8>,
+    /// When set, the response is sent `Transfer-Encoding: chunked` and
+    /// this producer writes the body incrementally (long-poll event
+    /// streams). `body` is ignored.
+    pub streamer: Option<Arc<StreamFn>>,
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Response")
+            .field("status", &self.status)
+            .field("content_type", &self.content_type)
+            .field("body", &self.body)
+            .field("streamer", &self.streamer.as_ref().map(|_| "<stream>"))
+            .finish()
+    }
 }
 
 impl Response {
     /// A response with an explicit status, content type, and body.
     pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, content_type: content_type.to_string(), body: body.into() }
+        Response {
+            status,
+            content_type: content_type.to_string(),
+            body: body.into(),
+            streamer: None,
+        }
+    }
+
+    /// A chunked streaming response: `producer` is invoked on the
+    /// connection thread after the head is written and emits body
+    /// chunks through the [`ChunkSink`] until it returns (the chunked
+    /// terminator is written for it). Client disconnects surface as
+    /// `false` from [`ChunkSink::send`] — producers should stop then.
+    pub fn stream(
+        status: u16,
+        content_type: &str,
+        producer: impl Fn(&mut ChunkSink) + Send + Sync + 'static,
+    ) -> Response {
+        Response {
+            status,
+            content_type: content_type.to_string(),
+            body: Vec::new(),
+            streamer: Some(Arc::new(producer)),
+        }
     }
 
     /// A `text/plain` response.
@@ -347,15 +391,70 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes `response` with `Content-Length` and `Connection: close`.
-/// The write timeout keeps a client that stops reading (full receive
-/// window) from pinning the connection thread indefinitely.
+/// Chunk writer handed to a [`Response::stream`] producer. Each `send`
+/// writes one `Transfer-Encoding: chunked` frame; the per-write timeout
+/// still applies, so a client that stops reading fails the sink instead
+/// of pinning the connection thread.
+pub struct ChunkSink<'a> {
+    stream: &'a mut TcpStream,
+    failed: bool,
+}
+
+impl ChunkSink<'_> {
+    /// Writes one chunk. Returns `false` (permanently) once the client
+    /// is gone or stopped reading — the producer should return then.
+    /// Empty payloads are skipped: a zero-length chunk would terminate
+    /// the stream on the wire.
+    pub fn send(&mut self, data: &[u8]) -> bool {
+        if self.failed {
+            return false;
+        }
+        if data.is_empty() {
+            return true;
+        }
+        let frame = |s: &mut TcpStream| -> std::io::Result<()> {
+            write!(s, "{:x}\r\n", data.len())?;
+            s.write_all(data)?;
+            s.write_all(b"\r\n")?;
+            s.flush()
+        };
+        self.failed = frame(self.stream).is_err();
+        !self.failed
+    }
+
+    /// True once a send failed (the client disconnected).
+    pub fn is_closed(&self) -> bool {
+        self.failed
+    }
+}
+
+/// Writes `response` with `Content-Length` and `Connection: close` —
+/// or, for [`Response::stream`], a `Transfer-Encoding: chunked` body
+/// driven by the producer. The write timeout keeps a client that stops
+/// reading (full receive window) from pinning the connection thread.
 fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     limits: &HttpLimits,
 ) -> std::io::Result<()> {
     stream.set_write_timeout(Some(limits.io_timeout))?;
+    if let Some(streamer) = &response.streamer {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            response.status,
+            status_reason(response.status),
+            response.content_type,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        let mut sink = ChunkSink { stream, failed: false };
+        streamer(&mut sink);
+        if sink.failed {
+            return Ok(());
+        }
+        stream.write_all(b"0\r\n\r\n")?;
+        return stream.flush();
+    }
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
@@ -421,11 +520,37 @@ pub fn request<A: ToSocketAddrs>(
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response status")
         })?;
-    let body = match text.find("\r\n\r\n") {
-        Some(pos) => text[pos + 4..].to_string(),
-        None => String::new(),
+    let (head, body) = match text.find("\r\n\r\n") {
+        Some(pos) => (&text[..pos], text[pos + 4..].to_string()),
+        None => (&text[..], String::new()),
     };
+    let chunked =
+        head.lines().any(|l| l.to_ascii_lowercase().trim() == "transfer-encoding: chunked");
+    let body = if chunked { decode_chunked(&body) } else { body };
     Ok(ClientResponse { status, body })
+}
+
+/// Joins a `Transfer-Encoding: chunked` body read to connection close
+/// back into the payload. Tolerant of a missing terminator (a stream
+/// cut mid-flight keeps every complete chunk).
+fn decode_chunked(raw: &str) -> String {
+    let mut out = String::new();
+    let mut rest = raw;
+    while let Some(nl) = rest.find("\r\n") {
+        let Ok(len) = usize::from_str_radix(rest[..nl].trim(), 16) else { break };
+        if len == 0 {
+            break;
+        }
+        let data_start = nl + 2;
+        let data_end = data_start + len;
+        if rest.len() < data_end {
+            break; // truncated final chunk
+        }
+        out.push_str(&rest[data_start..data_end]);
+        // Skip the CRLF that closes the chunk, if present.
+        rest = rest[data_end..].strip_prefix("\r\n").unwrap_or(&rest[data_end..]);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -554,6 +679,46 @@ mod tests {
         let _ = stream.read_to_string(&mut out);
         assert!(out.starts_with("HTTP/1.1 408"), "{out}");
         assert!(started.elapsed() < Duration::from_secs(3), "{:?}", started.elapsed());
+    }
+
+    #[test]
+    fn chunked_stream_round_trips_through_the_client() {
+        let handler: Arc<Handler> = Arc::new(|_req: &Request| {
+            Response::stream(200, "application/jsonl", |sink: &mut ChunkSink| {
+                for i in 0..5 {
+                    assert!(sink.send(format!("{{\"n\":{i}}}\n").as_bytes()));
+                }
+                assert!(sink.send(b""), "empty sends are no-ops, not terminators");
+            })
+        });
+        let server = HttpServer::start("http-test-chunk", "127.0.0.1:0", handler).expect("bind");
+        let resp = request(server.addr(), "GET", "/events", &[], None).unwrap();
+        assert_eq!(resp.status, 200);
+        let lines: Vec<&str> = resp.body.lines().collect();
+        assert_eq!(lines.len(), 5, "{}", resp.body);
+        assert_eq!(lines[0], "{\"n\":0}");
+        assert_eq!(lines[4], "{\"n\":4}");
+    }
+
+    #[test]
+    fn chunked_stream_uses_chunked_framing_on_the_wire() {
+        let handler: Arc<Handler> = Arc::new(|_req: &Request| {
+            Response::stream(200, "text/plain", |sink: &mut ChunkSink| {
+                sink.send(b"hello ");
+                sink.send(b"world");
+            })
+        });
+        let server = HttpServer::start("http-test-wire", "127.0.0.1:0", handler).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.contains("Transfer-Encoding: chunked"), "{raw}");
+        assert!(!raw.contains("Content-Length"), "{raw}");
+        assert!(raw.contains("6\r\nhello \r\n"), "{raw}");
+        assert!(raw.contains("5\r\nworld\r\n"), "{raw}");
+        assert!(raw.ends_with("0\r\n\r\n"), "terminator written: {raw}");
+        assert_eq!(decode_chunked(raw.split("\r\n\r\n").nth(1).unwrap()), "hello world");
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! | `GET /jobs/<id>`         | Job status (`?wait_ms=` long-polls)          |
 //! | `GET /jobs/<id>/result`  | Result of a finished job                     |
 //! | `GET /jobs/<id>/trace`   | Chrome/Perfetto trace artifact, if captured  |
+//! | `GET /jobs/<id>/timeline`| Flight record: span tree + lifecycle events  |
+//! | `GET /jobs/<id>/events`  | Live JSONL event stream (chunked;            |
+//! |                          | `?since=<seq>` resumes, `?max_ms=` bounds)   |
 //! | `POST /jobs/<id>/cancel` | Cancel a queued job, or cooperatively abort |
 //! |                          | a running DES job (`DELETE /jobs/<id>` too) |
 //! | `GET /tenants`           | Per-tenant accounting                        |
+//! | `GET /debug/flight`      | Last-N flight-recorder ring events (`?n=`)   |
 //! | `GET /metrics`           | OpenMetrics exposition (shared with          |
 //! |                          | [`MetricsServer`]'s routing)                 |
 //! | `GET /snapshot.json`     | Metrics snapshot as JSON                     |
-//! | `GET /healthz`           | Liveness probe                               |
+//! | `GET /healthz`           | Liveness: uptime, version, lane health       |
 //!
 //! Tenants are identified by the `X-Tenant` header (falling back to
 //! a `Bearer` token, then `"anonymous"`): the daemon is a quota and
@@ -26,7 +30,7 @@
 
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dssoc_appmodel::app::AppLibrary;
 use dssoc_metrics::http::{Handler, HttpServer, Request, Response};
@@ -35,6 +39,7 @@ use dssoc_metrics::MetricsRegistry;
 use serde_json::{json, Value};
 
 use crate::api::parse_job;
+use crate::flight;
 use crate::manager::{
     AdmissionError, CancelOutcome, JobManager, JobSnapshot, JobState, ManagerConfig, SubmitOptions,
 };
@@ -73,8 +78,9 @@ impl Daemon {
         let manager = JobManager::start(config.manager, registry.clone());
         let handler_manager = Arc::clone(&manager);
         let handler_registry = registry.clone();
+        let started = Instant::now();
         let handler: Arc<Handler> =
-            Arc::new(move |req| route(req, &handler_manager, &handler_registry, &library));
+            Arc::new(move |req| route(req, &handler_manager, &handler_registry, &library, started));
         let server = HttpServer::start("dssoc-serve", config.addr.as_str(), handler)?;
         Ok(Daemon { server: Some(server), manager, registry })
     }
@@ -264,6 +270,83 @@ fn job_trace(manager: &JobManager, id: u64) -> Response {
     }
 }
 
+fn job_timeline(manager: &JobManager, id: u64) -> Response {
+    match manager.timeline(id) {
+        Some(t) => json_ok(200, &flight::timeline_value(&t)),
+        None => error_body(404, &format!("no job {id}")),
+    }
+}
+
+/// Streams one job's lifecycle events as chunked JSONL: one event per
+/// chunk, starting with everything after `?since=<seq>` (default: the
+/// whole history), live until the job goes terminal or `?max_ms=`
+/// elapses. The stream always ends with a `{"stream_end": true, ...}`
+/// summary line carrying the drop count (bounded-buffer backpressure)
+/// and the seq to resume from.
+fn job_events(req: &Request, manager: &JobManager, id: u64) -> Response {
+    let since = req.query_param("since").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let max_ms = req.query_param("max_ms").and_then(|v| v.parse::<u64>().ok()).unwrap_or(10_000);
+    let window = Duration::from_millis(max_ms).min(MAX_WAIT);
+    let Some(sub) = manager.subscribe(id, since) else {
+        return error_body(404, &format!("no job {id}"));
+    };
+    Response::stream(200, "application/jsonl", move |sink| {
+        let deadline = Instant::now() + window;
+        let mut last_seq = since;
+        let mut dropped;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            // Short poll quanta keep the worst-case overshoot of the
+            // deadline small without busy-waiting.
+            let batch = sub.poll(remaining.min(Duration::from_millis(250)));
+            dropped = batch.dropped;
+            for ev in &batch.events {
+                last_seq = ev.seq;
+                let line = format!("{}\n", flight::event_line(ev));
+                if !sink.send(line.as_bytes()) {
+                    return; // client went away; skip the summary
+                }
+            }
+            if batch.closed || remaining.is_zero() {
+                break;
+            }
+        }
+        let summary = json!({ "stream_end": true, "dropped": dropped, "next_since": last_seq });
+        let line = serde_json::to_string(&summary).unwrap_or_default();
+        let _ = sink.send(format!("{line}\n").as_bytes());
+    })
+}
+
+fn debug_flight(req: &Request, manager: &JobManager) -> Response {
+    let n = req.query_param("n").and_then(|v| v.parse::<usize>().ok()).unwrap_or(256);
+    let events: Vec<Value> = manager.flight_tail(n).iter().map(flight::event_value).collect();
+    json_ok(
+        200,
+        &json!({
+            "total_recorded": manager.flight_total(),
+            "returned": events.len(),
+            "events": events,
+        }),
+    )
+}
+
+fn healthz(manager: &JobManager, started: Instant) -> Response {
+    let lanes = manager.lane_health();
+    let degraded = lanes.iter().any(|l| l.alive < l.configured);
+    json_ok(
+        200,
+        &json!({
+            "status": if degraded { "up with dead lanes" } else { "up" },
+            "version": env!("CARGO_PKG_VERSION"),
+            "uptime_s": started.elapsed().as_secs_f64(),
+            "lanes": lanes
+                .iter()
+                .map(|l| json!({ "lane": l.lane, "configured": l.configured, "alive": l.alive }))
+                .collect::<Vec<_>>(),
+        }),
+    )
+}
+
 fn job_cancel(manager: &JobManager, id: u64) -> Response {
     match manager.cancel(id) {
         CancelOutcome::Cancelled => json_ok(200, &json!({ "job": id, "status": "cancelled" })),
@@ -307,11 +390,14 @@ const INDEX: &str = "dssoc-serve: emulation as a service\n\
     GET  /jobs/<id>       job status (?wait_ms= long-polls)\n\
     GET  /jobs/<id>/result finished-job result\n\
     GET  /jobs/<id>/trace  trace artifact (submit with \"trace\": true)\n\
+    GET  /jobs/<id>/timeline flight record: span tree + lifecycle events\n\
+    GET  /jobs/<id>/events live JSONL event stream (?since=seq, ?max_ms=)\n\
     POST /jobs/<id>/cancel cancel a queued or running-DES job\n\
     GET  /tenants         per-tenant accounting\n\
+    GET  /debug/flight    last-N flight-recorder events (?n=)\n\
     GET  /metrics         OpenMetrics exposition\n\
     GET  /snapshot.json   metrics snapshot as JSON\n\
-    GET  /healthz         liveness\n";
+    GET  /healthz         liveness (uptime, version, lane health)\n";
 
 /// Routes one request (exposed for in-process tests).
 pub fn route(
@@ -319,12 +405,14 @@ pub fn route(
     manager: &JobManager,
     registry: &MetricsRegistry,
     library: &Arc<AppLibrary>,
+    started: Instant,
 ) -> Response {
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", []) => Response::text(200, INDEX),
-        ("GET", ["healthz"]) => json_ok(200, &json!({ "status": "ok" })),
+        ("GET", ["healthz"]) => healthz(manager, started),
         ("GET", ["metrics"]) | ("GET", ["snapshot.json"]) => serve_one(req, registry),
+        ("GET", ["debug", "flight"]) => debug_flight(req, manager),
         ("POST", ["jobs"]) => submit(req, manager, library),
         ("GET", ["jobs"]) => list_jobs(manager),
         ("GET", ["tenants"]) => list_tenants(manager),
@@ -337,6 +425,8 @@ pub fn route(
                 ("DELETE", []) => job_cancel(manager, id),
                 ("GET", ["result"]) => job_result(manager, id),
                 ("GET", ["trace"]) => job_trace(manager, id),
+                ("GET", ["timeline"]) => job_timeline(manager, id),
+                ("GET", ["events"]) => job_events(req, manager, id),
                 ("POST", ["cancel"]) => job_cancel(manager, id),
                 _ => Response::not_found(),
             }
@@ -373,7 +463,8 @@ mod tests {
         library: &Arc<AppLibrary>,
     ) -> u64 {
         let body = br#"{"platform": "zcu102:2C+1F", "validation": {"range_detection": 1}}"#;
-        let resp = route(&request("POST", "/jobs", body), manager, registry, library);
+        let resp =
+            route(&request("POST", "/jobs", body), manager, registry, library, Instant::now());
         assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
         let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let id = v["job"].as_u64().unwrap();
@@ -394,7 +485,8 @@ mod tests {
             ("POST", "/jobs/999/cancel"),
             ("DELETE", "/jobs/999"),
         ] {
-            let resp = route(&request(method, path, b""), &manager, &registry, &library);
+            let resp =
+                route(&request(method, path, b""), &manager, &registry, &library, Instant::now());
             assert_eq!(resp.status, 404, "{method} {path}");
         }
         // An existing-but-finished job distinguishes conflict from
@@ -405,6 +497,7 @@ mod tests {
             &manager,
             &registry,
             &library,
+            Instant::now(),
         );
         assert_eq!(resp.status, 200);
         let resp = route(
@@ -412,6 +505,7 @@ mod tests {
             &manager,
             &registry,
             &library,
+            Instant::now(),
         );
         assert_eq!(resp.status, 409, "terminal job cancel conflicts, not vanishes");
         manager.shutdown(false);
@@ -421,8 +515,13 @@ mod tests {
     fn status_reports_attempts() {
         let (manager, registry, library) = fixture();
         let id = submit_and_finish(&manager, &registry, &library);
-        let resp =
-            route(&request("GET", &format!("/jobs/{id}"), b""), &manager, &registry, &library);
+        let resp = route(
+            &request("GET", &format!("/jobs/{id}"), b""),
+            &manager,
+            &registry,
+            &library,
+            Instant::now(),
+        );
         assert_eq!(resp.status, 200);
         let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(v["attempts"].as_u64(), Some(1));
@@ -441,7 +540,8 @@ mod tests {
         );
         let library = Arc::new(dssoc_apps::standard_library().0);
         let body = br#"{"platform": "zcu102:2C+1F", "validation": {"range_detection": 2}}"#;
-        let resp = route(&request("POST", "/jobs", body), &manager, &registry, &library);
+        let resp =
+            route(&request("POST", "/jobs", body), &manager, &registry, &library, Instant::now());
         assert_eq!(resp.status, 202);
         let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let id = v["job"].as_u64().unwrap();
@@ -450,10 +550,89 @@ mod tests {
             &manager,
             &registry,
             &library,
+            Instant::now(),
         );
         assert_eq!(resp.status, 409, "exists-but-not-done conflicts, never 404s");
         let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert!(v["error"].as_str().unwrap().contains("queued"), "names the state: {v:?}");
+        manager.shutdown(false);
+    }
+
+    #[test]
+    fn timeline_route_serves_the_span_tree() {
+        let (manager, registry, library) = fixture();
+        let resp = route(
+            &request("GET", "/jobs/999/timeline", b""),
+            &manager,
+            &registry,
+            &library,
+            Instant::now(),
+        );
+        assert_eq!(resp.status, 404, "unknown job timeline is a 404");
+        let id = submit_and_finish(&manager, &registry, &library);
+        let resp = route(
+            &request("GET", &format!("/jobs/{id}/timeline"), b""),
+            &manager,
+            &registry,
+            &library,
+            Instant::now(),
+        );
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v["job"].as_u64(), Some(id));
+        assert_eq!(v["status"].as_str(), Some("done"));
+        assert_eq!(v["tenant"].as_str(), Some("route-tests"));
+        let span = v["span"].as_str().unwrap();
+        assert_eq!(span.len(), 16, "root span is a 16-hex-digit id: {span}");
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.first().unwrap()["event"].as_str(), Some("submitted"));
+        assert_eq!(events.last().unwrap()["event"].as_str(), Some("completed"));
+        let tree = &v["span_tree"];
+        assert_eq!(tree["span"].as_str(), Some(span));
+        let children = tree["children"].as_array().unwrap();
+        assert_eq!(children.len(), 1, "one attempt, one child span");
+        assert_eq!(children[0]["parent"].as_str(), Some(span));
+        manager.shutdown(false);
+    }
+
+    #[test]
+    fn debug_flight_dumps_the_recent_ring() {
+        let (manager, registry, library) = fixture();
+        let id = submit_and_finish(&manager, &registry, &library);
+        let resp = route(
+            &request("GET", "/debug/flight", b""),
+            &manager,
+            &registry,
+            &library,
+            Instant::now(),
+        );
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let total = v["total_recorded"].as_u64().unwrap();
+        let returned = v["returned"].as_u64().unwrap();
+        assert!(total >= returned && returned > 0);
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.len() as u64, returned);
+        assert!(events.iter().any(|e| e["job"].as_u64() == Some(id)));
+        manager.shutdown(false);
+    }
+
+    #[test]
+    fn healthz_reports_version_uptime_and_lanes() {
+        let (manager, registry, library) = fixture();
+        let resp =
+            route(&request("GET", "/healthz", b""), &manager, &registry, &library, Instant::now());
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("up"), "all lanes alive: {v:?}");
+        assert_eq!(v["version"].as_str(), Some(env!("CARGO_PKG_VERSION")));
+        assert!(v["uptime_s"].as_f64().is_some());
+        let lanes = v["lanes"].as_array().unwrap();
+        assert_eq!(lanes.len(), 2, "threaded + des lanes");
+        for lane in lanes {
+            assert!(lane["configured"].as_u64().unwrap() > 0);
+            assert_eq!(lane["alive"].as_u64(), lane["configured"].as_u64());
+        }
         manager.shutdown(false);
     }
 }

@@ -23,9 +23,15 @@
 //!   transient failures retry with seeded backoff, worker panics are
 //!   contained to the offending job and the lane is respawned, and
 //!   terminal results expire by TTL and per-tenant retention bounds.
+//! * [`flight`] — the job flight recorder: span-structured lifecycle
+//!   events (one root span per job, one child per attempt, stitched
+//!   into the engine's Chrome trace by span id) in a bounded
+//!   lock-free ring, with structured JSONL logging, live per-job
+//!   event subscriptions (bounded, drop-counted), and automatic ring
+//!   dumps on worker panic.
 //! * [`daemon`] — HTTP routing (submit/status/result/trace/cancel,
-//!   plus the metrics endpoints shared with `dssoc-metrics`) and
-//!   graceful drain.
+//!   timeline/events/debug-flight, plus the metrics endpoints shared
+//!   with `dssoc-metrics`) and graceful drain.
 //!
 //! Everything observable is published through `dssoc-metrics` on the
 //! daemon's own `/metrics`: queue depth, in-flight gauge, per-tenant
@@ -38,10 +44,14 @@
 
 pub mod api;
 pub mod daemon;
+pub mod flight;
 pub mod manager;
 
 pub use api::{parse_job, ParsedJob};
 pub use daemon::{Daemon, ServeConfig};
+pub use flight::{
+    validate_timeline, FlightConfig, FlightEvent, FlightEventKind, FlightLogTarget, JobTimeline,
+};
 pub use manager::{
     AdmissionError, CancelOutcome, ChaosMode, JobManager, JobOutcome, JobSnapshot, JobState,
     ManagerConfig, SubmitOptions, TenantSnapshot,

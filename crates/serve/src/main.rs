@@ -1,9 +1,10 @@
 //! The `dssoc-serve` binary: parse flags, start the daemon, serve
 //! until SIGTERM/SIGINT, then drain gracefully.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
-use dssoc_serve::{Daemon, ManagerConfig, ServeConfig};
+use dssoc_serve::{Daemon, FlightLogTarget, ManagerConfig, ServeConfig};
 
 const USAGE: &str = "\
 dssoc-serve — multi-tenant emulation-as-a-service daemon
@@ -28,6 +29,10 @@ OPTIONS:
                               (1 disables retries) [default: 3]
     --retry-backoff-ms <n>    Base retry backoff, doubled per attempt
                               and jittered [default: 25]
+    --log <path|->            Append flight-recorder events as JSONL to
+                              a file, or '-' for stdout [default: off]
+    --flight-capacity <n>     Flight-recorder ring capacity (events)
+                              [default: 1024]
     -h, --help                Show this help
 
 Submit with: curl -s -X POST http://<addr>/jobs -H 'X-Tenant: you' \\
@@ -134,6 +139,18 @@ fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
                     "--retry-backoff-ms",
                 )? as u64)
             }
+            "--log" => {
+                let target = next(&mut i, "--log")?;
+                config.manager.flight.log = Some(if target == "-" {
+                    FlightLogTarget::Stdout
+                } else {
+                    FlightLogTarget::File(PathBuf::from(target))
+                });
+            }
+            "--flight-capacity" => {
+                config.manager.flight.capacity =
+                    parse_n(next(&mut i, "--flight-capacity")?, "--flight-capacity")?.max(2)
+            }
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }
         i += 1;
@@ -212,6 +229,16 @@ mod tests {
         let config = ok(&["--aging-step-ms", "0", "--retry-max", "0"]);
         assert_eq!(config.manager.aging_step, None);
         assert_eq!(config.manager.retry_max_attempts, 1);
+        // Flight-recorder knobs: '-' is stdout, anything else a path,
+        // and the ring never shrinks below two slots.
+        let config = ok(&["--log", "-", "--flight-capacity", "1"]);
+        assert_eq!(config.manager.flight.log, Some(FlightLogTarget::Stdout));
+        assert_eq!(config.manager.flight.capacity, 2);
+        let config = ok(&["--log", "/tmp/flight.jsonl"]);
+        assert_eq!(
+            config.manager.flight.log,
+            Some(FlightLogTarget::File(PathBuf::from("/tmp/flight.jsonl")))
+        );
         assert!(parse_args(&["--nope".to_string()]).is_err());
         assert!(parse_args(&["--des-workers".to_string()]).is_err());
         assert!(parse_args(&["--des-workers".to_string(), "x".to_string()]).is_err());

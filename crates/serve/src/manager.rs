@@ -61,6 +61,11 @@ use dssoc_core::stats::EmulationStats;
 use dssoc_metrics::MetricsRegistry;
 use dssoc_trace::TraceSession;
 
+use crate::flight::{
+    self, FlightConfig, FlightEvent, FlightEventKind, FlightRecorder, JobSubscription, JobTimeline,
+    LaneHealth,
+};
+
 /// Sizing, quota, and resilience knobs for [`JobManager::start`].
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -100,6 +105,9 @@ pub struct ManagerConfig {
     /// Supervisor cadence: deadline sweeps, TTL eviction, and dead-lane
     /// respawn all run on this period.
     pub sweep_interval: Duration,
+    /// Flight-recorder sizing and outputs (ring capacity, JSONL log,
+    /// panic-dump directory).
+    pub flight: FlightConfig,
 }
 
 impl Default for ManagerConfig {
@@ -118,6 +126,7 @@ impl Default for ManagerConfig {
             retry_backoff: Duration::from_millis(25),
             retry_seed: 0x5eed_0dd5,
             sweep_interval: Duration::from_millis(25),
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -383,7 +392,25 @@ struct JobRecord {
     attempts: u32,
     last_error: Option<String>,
     chaos: Option<ChaosMode>,
+    /// Root correlation span (flight recorder + engine-trace stitch).
+    span: u64,
+    /// The complete lifecycle event sequence. Bounded by construction:
+    /// a few submit-side events, a handful per attempt (attempts are
+    /// bounded by `retry_max_attempts`), and at most
+    /// [`MAX_AGED_EVENTS`] aging notices.
+    flight: Vec<FlightEvent>,
+    /// Whole aging levels already reported for the current queue stay.
+    aged_level: u64,
+    /// Aging notices emitted so far (capped at [`MAX_AGED_EVENTS`]).
+    aged_events: u32,
+    /// Trace-ring events dropped during the traced run (`None` until a
+    /// traced attempt finishes).
+    trace_dropped: Option<u64>,
 }
+
+/// Cap on per-job `aged` events, so an unclaimable job cannot grow its
+/// own timeline without bound.
+const MAX_AGED_EVENTS: u32 = 8;
 
 impl JobRecord {
     fn snapshot(&self, id: u64) -> JobSnapshot {
@@ -533,6 +560,40 @@ struct Shared {
     /// Raised once at shutdown: the supervisor exits and stops
     /// respawning (a drained worker's exit is not a death).
     stopping: AtomicBool,
+    /// The job flight recorder (ring, log, subscribers, dumps).
+    flight: FlightRecorder,
+}
+
+/// Emits one flight event and appends it to the job's own timeline.
+/// Caller holds the state lock — that is the single-producer
+/// discipline the recorder's ring and subscriber catch-up rely on.
+/// `in_attempt` assigns the event to the current attempt's span
+/// (run-side events) instead of the root span (queue-side events).
+fn record_flight(
+    shared: &Shared,
+    st: &mut State,
+    id: u64,
+    kind: FlightEventKind,
+    in_attempt: bool,
+    error: Option<&str>,
+    at: Instant,
+) {
+    let queue_depth = st.queued_total;
+    let Some(r) = st.jobs.get_mut(&id) else { return };
+    let attempt_span = if in_attempt { flight::attempt_span(r.span, r.attempts) } else { 0 };
+    let ev = shared.flight.emit(
+        kind,
+        id,
+        r.span,
+        attempt_span,
+        r.attempts,
+        &r.tenant,
+        lane_name(lane_of(r.engine)),
+        queue_depth,
+        error,
+        at,
+    );
+    r.flight.push(ev);
 }
 
 impl Shared {
@@ -568,6 +629,7 @@ impl JobManager {
     pub fn start(config: ManagerConfig, registry: MetricsRegistry) -> Arc<JobManager> {
         let cache = ResultCache::new(config.cache_capacity.max(1));
         cache.attach_metrics(&registry);
+        let flight = FlightRecorder::new(&config.flight, registry.clone());
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 next_id: 1,
@@ -586,6 +648,7 @@ impl JobManager {
             cache,
             config: config.clone(),
             stopping: AtomicBool::new(false),
+            flight,
         });
         let mut slots = Vec::new();
         for (lane, count) in [(LANE_THREADED, 1), (LANE_DES, config.des_workers.max(1))] {
@@ -667,6 +730,11 @@ impl JobManager {
             attempts: 0,
             last_error: None,
             chaos: opts.chaos,
+            span: shared.flight.span_of(id),
+            flight: Vec::new(),
+            aged_level: 0,
+            aged_events: 0,
+            trace_dropped: None,
         };
         let snapshot = record.snapshot(id);
         st.jobs.insert(id, record);
@@ -686,6 +754,12 @@ impl JobManager {
         }
         shared.registry.counter("dssoc_serve_submissions", &[("tenant", tenant)]).cell().inc();
         shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().inc();
+        // All three share the submission instant, so the timeline's
+        // `queued → dispatched` delta is exactly the queue-wait the
+        // histogram records at claim time.
+        record_flight(shared, &mut st, id, FlightEventKind::Submitted, false, None, now);
+        record_flight(shared, &mut st, id, FlightEventKind::Admitted, false, None, now);
+        record_flight(shared, &mut st, id, FlightEventKind::Queued, false, None, now);
         drop(st);
         shared.work_cv.notify_all();
         Ok(snapshot)
@@ -767,20 +841,7 @@ impl JobManager {
         let Some(record) = st.jobs.get_mut(&id) else { return CancelOutcome::NotFound };
         match record.state {
             JobState::Queued => {
-                record.state = JobState::Cancelled;
-                record.finished = Some(Instant::now());
-                record.scenario = None;
-                let tenant = record.tenant.clone();
-                let lane = lane_of(record.engine);
-                st.lanes[lane].retain(|e| e.id != id);
-                st.queued_total -= 1;
-                st.terminal.push_back(id);
-                if let Some(t) = st.tenants.get_mut(&tenant) {
-                    t.queued = t.queued.saturating_sub(1);
-                }
-                expire_terminal(&mut st, shared.config.retention);
-                shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
-                shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
+                cancel_queued_locked(shared, &mut st, id);
                 drop(st);
                 shared.done_cv.notify_all();
                 shared.work_cv.notify_all();
@@ -792,6 +853,15 @@ impl JobManager {
                         record.cancel_reason = Some(CancelReason::User);
                     }
                     record.cancel.store(true, Ordering::Relaxed);
+                    record_flight(
+                        shared,
+                        &mut st,
+                        id,
+                        FlightEventKind::CancelRequested,
+                        true,
+                        None,
+                        Instant::now(),
+                    );
                     CancelOutcome::Cancelling
                 } else {
                     CancelOutcome::Running
@@ -805,6 +875,69 @@ impl JobManager {
     pub fn trace_artifact(&self, id: u64) -> Option<Arc<String>> {
         let st = self.shared.state.lock().expect("manager state");
         st.jobs.get(&id).and_then(|r| r.trace_json.clone())
+    }
+
+    /// The job's complete flight record: every lifecycle event plus
+    /// the span ids that stitch it to the engine trace artifact.
+    pub fn timeline(&self, id: u64) -> Option<JobTimeline> {
+        let st = self.shared.state.lock().expect("manager state");
+        st.jobs.get(&id).map(|r| JobTimeline {
+            id,
+            span: r.span,
+            tenant: r.tenant.clone(),
+            state: r.state.name(),
+            attempts: r.attempts,
+            want_trace: r.want_trace,
+            trace_ready: r.trace_json.is_some(),
+            trace_dropped: r.trace_dropped,
+            events: r.flight.clone(),
+        })
+    }
+
+    /// Opens a live event feed for one job (`None` for unknown ids):
+    /// seeded with the job's recorded history past `since` (a flight
+    /// seq; `0` replays everything), then streaming until the job goes
+    /// terminal. Catch-up and registration happen under the state
+    /// lock, so no event can fall between them.
+    pub fn subscribe(&self, id: u64, since: u64) -> Option<JobSubscription> {
+        let st = self.shared.state.lock().expect("manager state");
+        let r = st.jobs.get(&id)?;
+        Some(self.shared.flight.subscribe(id, &r.flight, since, r.state.terminal()))
+    }
+
+    /// The last `n` events retained in the global flight ring (the
+    /// post-mortem view behind `GET /debug/flight`).
+    pub fn flight_tail(&self, n: usize) -> Vec<FlightEvent> {
+        self.shared.flight.tail(n)
+    }
+
+    /// Flight events ever recorded (retained or rotated out).
+    pub fn flight_total(&self) -> u64 {
+        self.shared.flight.total()
+    }
+
+    /// Dumps the retained flight ring to the configured dump
+    /// directory, returning the written path.
+    pub fn flight_dump(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.shared.flight.dump(reason)
+    }
+
+    /// Per-lane worker liveness: configured topology vs threads
+    /// currently alive (the supervisor closes any gap).
+    pub fn lane_health(&self) -> Vec<LaneHealth> {
+        let slots = self.workers.lock().expect("workers");
+        let mut out = vec![
+            LaneHealth { lane: "threaded", configured: 0, alive: 0 },
+            LaneHealth { lane: "des", configured: 0, alive: 0 },
+        ];
+        for slot in slots.iter() {
+            let entry = &mut out[if slot.lane == LANE_THREADED { 0 } else { 1 }];
+            entry.configured += 1;
+            if !slot.handle.is_finished() {
+                entry.alive += 1;
+            }
+        }
+        out
     }
 
     /// Stops admission and joins the workers. With `drain`, queued
@@ -875,12 +1008,13 @@ impl Drop for JobManager {
 /// Transitions a still-queued job to `Cancelled` with full accounting.
 /// Caller holds the state lock and notifies `done_cv` after.
 fn cancel_queued_locked(shared: &Shared, st: &mut State, id: u64) {
+    let now = Instant::now();
     let Some(r) = st.jobs.get_mut(&id) else { return };
     if !matches!(r.state, JobState::Queued) {
         return;
     }
     r.state = JobState::Cancelled;
-    r.finished = Some(Instant::now());
+    r.finished = Some(now);
     r.scenario = None;
     let tenant = r.tenant.clone();
     let lane = lane_of(r.engine);
@@ -890,6 +1024,7 @@ fn cancel_queued_locked(shared: &Shared, st: &mut State, id: u64) {
     if let Some(t) = st.tenants.get_mut(&tenant) {
         t.queued = t.queued.saturating_sub(1);
     }
+    record_flight(shared, st, id, FlightEventKind::Cancelled, false, None, now);
     expire_terminal(st, shared.config.retention);
     shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
     shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
@@ -899,12 +1034,13 @@ fn cancel_queued_locked(shared: &Shared, st: &mut State, id: u64) {
 /// `DeadlineExceeded` with full accounting. Caller holds the state
 /// lock and has already removed (or will remove) the lane entry.
 fn expire_queued_locked(shared: &Shared, st: &mut State, id: u64) {
+    let now = Instant::now();
     let Some(r) = st.jobs.get_mut(&id) else { return };
     if !matches!(r.state, JobState::Queued) {
         return;
     }
     r.state = JobState::DeadlineExceeded;
-    r.finished = Some(Instant::now());
+    r.finished = Some(now);
     r.scenario = None;
     let tenant = r.tenant.clone();
     st.queued_total -= 1;
@@ -912,6 +1048,15 @@ fn expire_queued_locked(shared: &Shared, st: &mut State, id: u64) {
     if let Some(t) = st.tenants.get_mut(&tenant) {
         t.queued = t.queued.saturating_sub(1);
     }
+    record_flight(
+        shared,
+        st,
+        id,
+        FlightEventKind::Expired,
+        false,
+        Some("deadline exceeded while queued"),
+        now,
+    );
     expire_terminal(st, shared.config.retention);
     shared.registry.gauge("dssoc_serve_queue_depth", &[]).cell().dec();
     shared.registry.counter("dssoc_serve_jobs_deadline_exceeded", &[]).cell().inc();
@@ -942,6 +1087,8 @@ struct Claimed {
     attempt: u32,
     chaos: Option<ChaosMode>,
     cancel: Arc<AtomicBool>,
+    /// Root correlation span, stamped into the engine trace.
+    span: u64,
 }
 
 /// Claims the next eligible job for `lane`, blocking until one exists
@@ -1021,10 +1168,11 @@ fn claim(shared: &Shared, lane: usize) -> Option<Claimed> {
                 attempt: record.attempts,
                 chaos: record.chaos,
                 cancel: Arc::clone(&record.cancel),
+                span: record.span,
             };
             let tenant = record.tenant.clone();
-            let wait =
-                record.started.expect("just set").saturating_duration_since(record.submitted);
+            let started = record.started.expect("just set");
+            let wait = started.saturating_duration_since(record.submitted);
             st.queued_total -= 1;
             let counters = st.tenants.entry(tenant).or_default();
             counters.queued = counters.queued.saturating_sub(1);
@@ -1036,6 +1184,18 @@ fn claim(shared: &Shared, lane: usize) -> Option<Claimed> {
                 .histogram("dssoc_serve_queue_wait_ns", &[])
                 .cell()
                 .record(wait.as_nanos() as u64);
+            // Timestamped with the exact claim instant the histogram
+            // sample derives from, so timelines and the queue-wait
+            // histogram agree to the nanosecond.
+            record_flight(
+                shared,
+                &mut st,
+                claimed.id,
+                FlightEventKind::Dispatched,
+                true,
+                None,
+                started,
+            );
             return Some(claimed);
         }
         if st.draining && st.lanes[lane].is_empty() {
@@ -1070,6 +1230,15 @@ struct RunError {
     message: String,
 }
 
+/// Everything a successful attempt hands back to the manager.
+struct RunDone {
+    outcome: JobOutcome,
+    trace_json: Option<String>,
+    /// Trace-ring drops during the traced run (`None` when untraced),
+    /// surfaced in the job's timeline so a gappy artifact is visible.
+    trace_dropped: Option<u64>,
+}
+
 impl RunError {
     fn fatal(message: impl Into<String>) -> RunError {
         RunError { kind: RunErrorKind::Fatal, message: message.into() }
@@ -1087,7 +1256,7 @@ impl RunError {
 
 /// Records one attempt's outcome: terminal transition, retry
 /// re-enqueue, or cancel/deadline mapping.
-fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>), RunError>) {
+fn finish(shared: &Shared, id: u64, outcome: Result<RunDone, RunError>) {
     let mut st = shared.state.lock().expect("manager state");
     let kill_queued = st.kill_queued;
     let Some(record) = st.jobs.get_mut(&id) else { return };
@@ -1096,13 +1265,18 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
     let tenant = record.tenant.clone();
     let latency = now.saturating_duration_since(record.submitted);
     let mut terminal = true;
+    // Deferred one step so the borrow of `record` can end before the
+    // recorder walks the whole state.
+    let flight_event: (FlightEventKind, Option<String>);
     match outcome {
-        Ok((outcome, trace_json)) => {
-            let cached = outcome.cached;
+        Ok(done) => {
+            let cached = done.outcome.cached;
             record.finished = Some(now);
             record.scenario = None;
-            record.trace_json = trace_json.map(Arc::new);
-            record.state = JobState::Done(Box::new(outcome));
+            record.trace_json = done.trace_json.map(Arc::new);
+            record.trace_dropped = done.trace_dropped;
+            record.state = JobState::Done(Box::new(done.outcome));
+            flight_event = (FlightEventKind::Completed, None);
             shared
                 .registry
                 .counter("dssoc_serve_jobs_completed", &[("engine", engine.as_str())])
@@ -1130,6 +1304,7 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
                     // different terminal states.
                     if record.cancel_reason == Some(CancelReason::Deadline) {
                         record.state = JobState::DeadlineExceeded;
+                        flight_event = (FlightEventKind::Expired, Some(err.message));
                         shared
                             .registry
                             .counter("dssoc_serve_jobs_deadline_exceeded", &[])
@@ -1137,12 +1312,15 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
                             .inc();
                     } else {
                         record.state = JobState::Cancelled;
+                        flight_event = (FlightEventKind::Cancelled, Some(err.message));
                         shared.registry.counter("dssoc_serve_jobs_cancelled", &[]).cell().inc();
                     }
                 }
                 RunErrorKind::Retryable if retry => {
                     terminal = false;
+                    flight_event = (FlightEventKind::HeldForRetry, Some(err.message.clone()));
                     let attempt = record.attempts;
+                    record.aged_level = 0; // aging restarts with the re-enqueue
                     let hold = retry_backoff(
                         shared.config.retry_seed,
                         id,
@@ -1172,6 +1350,7 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
                 _ => {
                     record.finished = Some(now);
                     record.scenario = None;
+                    flight_event = (FlightEventKind::Failed, Some(err.message.clone()));
                     record.state = JobState::Failed(err.message);
                     shared
                         .registry
@@ -1182,6 +1361,8 @@ fn finish(shared: &Shared, id: u64, outcome: Result<(JobOutcome, Option<String>)
             }
         }
     }
+    let (kind, error) = flight_event;
+    record_flight(shared, &mut st, id, kind, true, error.as_deref(), now);
     if terminal {
         st.terminal.push_back(id);
         shared
@@ -1206,7 +1387,7 @@ fn run_job(
     scenario: &Arc<CompiledScenario>,
     engine: Engine,
     trace: bool,
-) -> Result<(JobOutcome, Option<String>), RunError> {
+) -> Result<RunDone, RunError> {
     if trace {
         let session = TraceSession::new();
         let mut sched = by_name(&scenario.spec().scheduler).ok_or_else(|| {
@@ -1215,6 +1396,7 @@ fn run_job(
         let result = runner
             .run_traced(scenario, engine, sched.as_mut(), session.sink())
             .map_err(RunError::classify)?;
+        let dropped = session.dropped();
         let events = session.drain();
         let json = dssoc_trace::export::chrome_json_with_drops(
             &events,
@@ -1223,19 +1405,24 @@ fn run_job(
         );
         let text =
             serde_json::to_string_pretty(&json).map_err(|e| RunError::fatal(e.to_string()))?;
-        Ok((JobOutcome::from_stats(&result.stats, false), Some(text)))
+        Ok(RunDone {
+            outcome: JobOutcome::from_stats(&result.stats, false),
+            trace_json: Some(text),
+            trace_dropped: Some(dropped),
+        })
     } else {
         let result = runner.run(scenario, engine).map_err(RunError::classify)?;
-        Ok((JobOutcome::from_stats(&result.stats, result.cached), None))
+        Ok(RunDone {
+            outcome: JobOutcome::from_stats(&result.stats, result.cached),
+            trace_json: None,
+            trace_dropped: None,
+        })
     }
 }
 
 /// Executes one claimed attempt (the chaos hook fires first, so panic
 /// injection exercises the real unwind path through the worker).
-fn run_claimed(
-    runner: &mut JobRunner,
-    claimed: &Claimed,
-) -> Result<(JobOutcome, Option<String>), RunError> {
+fn run_claimed(runner: &mut JobRunner, claimed: &Claimed) -> Result<RunDone, RunError> {
     match claimed.chaos {
         Some(ChaosMode::Panic) => panic!("chaos hook: injected worker panic"),
         Some(ChaosMode::Flaky(n)) if claimed.attempt <= n => {
@@ -1284,11 +1471,25 @@ fn worker_loop(shared: &Shared, lane: usize) {
     while let Some(claimed) = claim(shared, lane) {
         let id = claimed.id;
         runner.set_cancel(Some(Arc::clone(&claimed.cancel)));
+        runner.set_span(Some(claimed.span));
+        {
+            let mut st = shared.state.lock().expect("manager state");
+            record_flight(
+                shared,
+                &mut st,
+                id,
+                FlightEventKind::EngineStart,
+                true,
+                None,
+                Instant::now(),
+            );
+        }
         let outcome =
             std::panic::catch_unwind(AssertUnwindSafe(|| run_claimed(&mut runner, &claimed)));
         match outcome {
             Ok(result) => {
                 runner.set_cancel(None);
+                runner.set_span(None);
                 finish(shared, id, result);
             }
             Err(payload) => {
@@ -1302,6 +1503,10 @@ fn worker_loop(shared: &Shared, lane: usize) {
                     .cell()
                     .inc();
                 finish(shared, id, Err(RunError::fatal(format!("worker panicked: {msg}"))));
+                // Post-mortem: the retained flight ring (this job's
+                // Failed event included) goes to disk next to the
+                // other CI artifacts.
+                shared.flight.dump("panic");
                 return;
             }
         }
@@ -1350,6 +1555,33 @@ fn sweep(shared: &Shared) {
         {
             r.cancel_reason = Some(CancelReason::Deadline);
             r.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+    // Aging visibility: record when a queued entry crosses one or more
+    // whole aging levels (bounded per job, so a long-parked job cannot
+    // grow its own timeline without bound).
+    if let Some(step) = shared.config.aging_step.filter(|s| !s.is_zero()) {
+        let mut aged: Vec<(u64, u64)> = Vec::new();
+        for lane in &st.lanes {
+            for e in lane {
+                let level =
+                    (now.saturating_duration_since(e.enqueued).as_nanos() / step.as_nanos()) as u64;
+                if let Some(r) = st.jobs.get(&e.id) {
+                    if matches!(r.state, JobState::Queued)
+                        && level > r.aged_level
+                        && r.aged_events < MAX_AGED_EVENTS
+                    {
+                        aged.push((e.id, level));
+                    }
+                }
+            }
+        }
+        for (id, level) in aged {
+            if let Some(r) = st.jobs.get_mut(&id) {
+                r.aged_level = level;
+                r.aged_events += 1;
+            }
+            record_flight(shared, &mut st, id, FlightEventKind::Aged, false, None, now);
         }
     }
     // TTL eviction: `terminal` is completion-ordered, so expiry only
@@ -1867,5 +2099,175 @@ mod tests {
             assert!(d >= exp.mul_f64(0.5), "attempt {attempt}: {d:?} below jitter floor");
             assert!(d < exp.mul_f64(1.5), "attempt {attempt}: {d:?} above jitter ceiling");
         }
+    }
+
+    #[test]
+    fn timeline_deltas_match_queue_wait_histogram_exactly() {
+        // Both the histogram sample and the flight events derive from
+        // the same two Instants (submit `now`, claim `started`), so
+        // Σ(dispatched.ts − submitted.ts) over every job must equal
+        // the histogram's sum to the nanosecond — not approximately.
+        let registry = MetricsRegistry::new();
+        let m = JobManager::start(
+            ManagerConfig {
+                des_workers: 1,
+                aging_step: Some(Duration::from_millis(1)),
+                sweep_interval: Duration::from_millis(5),
+                ..ManagerConfig::default()
+            },
+            registry.clone(),
+        );
+        // A long blocker pins the single worker so everything behind
+        // it measurably queues (and ages a level or two).
+        let blocker = m.submit("hist", heavy_scenario_seeded(21), opts()).unwrap().id;
+        let tail: Vec<u64> =
+            (0..4).map(|n| m.submit("hist", scenario(2, 100 + n), opts()).unwrap().id).collect();
+        m.shutdown(true);
+        let mut delta_sum: u128 = 0;
+        let mut dispatches = 0u64;
+        let mut aged_seen = false;
+        for id in std::iter::once(blocker).chain(tail) {
+            let t = m.timeline(id).expect("terminal jobs keep their timeline");
+            flight::validate_timeline(&t.events).unwrap();
+            let submitted =
+                t.events.iter().find(|e| e.kind == FlightEventKind::Submitted).unwrap().ts_ns;
+            for ev in &t.events {
+                match ev.kind {
+                    FlightEventKind::Dispatched => {
+                        delta_sum += u128::from(ev.ts_ns - submitted);
+                        dispatches += 1;
+                    }
+                    FlightEventKind::Aged => aged_seen = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(aged_seen, "jobs stuck behind the blocker must age visibly");
+        let snap = registry.snapshot();
+        let hist = snap.get("dssoc_serve_queue_wait_ns", &[]).unwrap().histogram.clone().unwrap();
+        assert_eq!(hist.count, dispatches, "one histogram sample per dispatch");
+        assert_eq!(
+            u128::from(hist.sum),
+            delta_sum,
+            "timeline queued→dispatched deltas must equal the histogram sum exactly"
+        );
+    }
+
+    #[test]
+    fn timelines_are_complete_across_job_fates() {
+        let m = manager(ManagerConfig {
+            des_workers: 1,
+            retry_max_attempts: 2,
+            retry_backoff: Duration::from_millis(1),
+            sweep_interval: Duration::from_millis(5),
+            ..ManagerConfig::default()
+        });
+        let blocker = m.submit("fate", heavy_scenario_seeded(31), opts()).unwrap().id;
+        let doomed = m
+            .submit("fate", scenario(2, 41), opts().deadline(Duration::from_millis(1)))
+            .unwrap()
+            .id;
+        let victim = m.submit("fate", scenario(2, 42), opts()).unwrap().id;
+        let flaky =
+            m.submit("fate", scenario(2, 43), opts().chaos(ChaosMode::Flaky(99))).unwrap().id;
+        assert_eq!(m.cancel(victim), CancelOutcome::Cancelled);
+        m.shutdown(true);
+        let kinds = |id: u64| -> Vec<FlightEventKind> {
+            let t = m.timeline(id).expect("timeline survives to terminal state");
+            flight::validate_timeline(&t.events)
+                .unwrap_or_else(|e| panic!("job {id} timeline invalid: {e}"));
+            t.events.iter().map(|e| e.kind).collect()
+        };
+        let done = kinds(blocker);
+        assert!(done.starts_with(&[
+            FlightEventKind::Submitted,
+            FlightEventKind::Admitted,
+            FlightEventKind::Queued
+        ]));
+        assert!(done.contains(&FlightEventKind::Dispatched));
+        assert!(done.contains(&FlightEventKind::EngineStart));
+        assert_eq!(*done.last().unwrap(), FlightEventKind::Completed);
+        assert_eq!(*kinds(victim).last().unwrap(), FlightEventKind::Cancelled);
+        assert_eq!(*kinds(doomed).last().unwrap(), FlightEventKind::Expired);
+        let failed = kinds(flaky);
+        assert!(
+            failed.contains(&FlightEventKind::HeldForRetry),
+            "retried job records the held-for-retry hop: {failed:?}"
+        );
+        assert_eq!(*failed.last().unwrap(), FlightEventKind::Failed);
+        // The failed job's terminal event carries the error payload.
+        let t = m.timeline(flaky).unwrap();
+        let last = t.events.last().unwrap();
+        assert!(last.error.as_deref().unwrap_or_default().contains("attempt"));
+    }
+
+    #[test]
+    fn subscribe_streams_live_events_until_terminal() {
+        let m = manager(ManagerConfig { des_workers: 1, ..ManagerConfig::default() });
+        let blocker = m.submit("sub", heavy_scenario_seeded(51), opts()).unwrap().id;
+        let watched = m.submit("sub", scenario(2, 52), opts()).unwrap().id;
+        // Subscribing replays the backlog (submitted/admitted/queued)
+        // and then delivers live events as the job is claimed and run.
+        let sub = m.subscribe(watched, 0).expect("known job is subscribable");
+        let mut got: Vec<FlightEventKind> = Vec::new();
+        let t0 = Instant::now();
+        loop {
+            let batch = sub.poll(Duration::from_millis(250));
+            got.extend(batch.events.iter().map(|e| e.kind));
+            if batch.closed {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(30), "stream never closed: {got:?}");
+        }
+        assert_eq!(got.first(), Some(&FlightEventKind::Submitted));
+        assert!(got.contains(&FlightEventKind::Dispatched));
+        assert_eq!(got.last(), Some(&FlightEventKind::Completed));
+        // `since` resumes: a late subscriber from the last seen seq
+        // gets only what's newer (here: nothing, job is terminal).
+        let t = m.timeline(watched).unwrap();
+        let last_seq = t.events.last().unwrap().seq;
+        let late = m.subscribe(watched, last_seq).unwrap();
+        let batch = late.poll(Duration::from_millis(50));
+        assert!(batch.events.is_empty());
+        assert!(batch.closed);
+        assert!(m.job(blocker).is_some());
+        m.shutdown(true);
+    }
+
+    #[test]
+    fn worker_panic_dumps_the_flight_ring() {
+        let dir = std::env::temp_dir().join(format!("dssoc-panic-dump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = manager(ManagerConfig {
+            flight: FlightConfig { dump_dir: Some(dir.clone()), ..FlightConfig::default() },
+            ..ManagerConfig::default()
+        });
+        let id = m.submit("boom", scenario(1, 61), opts().chaos(ChaosMode::Panic)).unwrap().id;
+        let done = m.wait(id, Duration::from_secs(30)).unwrap();
+        assert!(matches!(done.state, JobState::Failed(_)));
+        // The dump is written by the dying worker after finish(); poll
+        // briefly rather than racing it.
+        let t0 = Instant::now();
+        let dump = loop {
+            let found = std::fs::read_dir(&dir).ok().and_then(|entries| {
+                entries
+                    .flatten()
+                    .find(|e| e.file_name().to_string_lossy().starts_with("flight-panic-"))
+            });
+            if let Some(found) = found {
+                break found;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "panic dump never appeared");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let body = std::fs::read_to_string(dump.path()).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["reason"].as_str(), Some("panic"));
+        assert!(doc["events"].as_array().is_some_and(|evs| !evs.is_empty()));
+        // The failed job's terminal event made it into the ring before
+        // the dump fired.
+        assert!(body.contains("\"event\": \"failed\"") || body.contains("\"event\":\"failed\""));
+        m.shutdown(true);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dssoc_metrics::http::{request, ClientResponse};
-use dssoc_serve::{Daemon, JobState, ManagerConfig, ServeConfig};
+use dssoc_serve::{validate_timeline, Daemon, FlightConfig, JobState, ManagerConfig, ServeConfig};
 use serde_json::{json, Value};
 
 const TENANTS: usize = 4;
@@ -82,12 +82,17 @@ fn chaos_soak_survives_panics_retries_deadlines_and_slow_clients() {
     std::env::set_var("DSSOC_SERVE_CHAOS", "1");
 
     let des_workers = 2;
+    // Panic dumps land in the workspace target/ dir (tests run with
+    // the crate dir as cwd, so the default relative "target" would
+    // stray) — CI uploads them next to the chaos snapshot.
+    let dump_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
     let d = Daemon::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         manager: ManagerConfig {
             des_workers,
             retry_backoff: Duration::from_millis(5),
             sweep_interval: Duration::from_millis(10),
+            flight: FlightConfig { dump_dir: Some(dump_dir.clone()), ..FlightConfig::default() },
             ..ManagerConfig::default()
         },
     })
@@ -206,6 +211,23 @@ fn chaos_soak_survives_panics_retries_deadlines_and_slow_clients() {
     };
     assert!(respawns >= TENANTS as f64, "4 panic jobs → ≥4 respawns, saw {respawns}");
     assert!(panics >= TENANTS as f64, "panic counter tracks injected panics, saw {panics}");
+
+    // Flight recorder: every terminal job still carries a complete,
+    // causally ordered timeline — no lifecycle hop lost to the churn.
+    for (kind, id) in &submitted {
+        let t =
+            manager.timeline(*id).unwrap_or_else(|| panic!("job {id} ({kind}) lost its timeline"));
+        validate_timeline(&t.events)
+            .unwrap_or_else(|e| panic!("job {id} ({kind}) timeline invalid: {e}"));
+    }
+    // Each panicking worker dumped the flight ring for post-mortems
+    // (the dump fires before the thread exits, so once the respawn
+    // counter confirms the deaths the files are on disk).
+    let dumped = std::fs::read_dir(&dump_dir).expect("dump dir").flatten().any(|e| {
+        let name = e.file_name().to_string_lossy().into_owned();
+        name.starts_with("flight-panic-") && name.ends_with(".json")
+    });
+    assert!(dumped, "panicking workers must leave a flight-panic-*.json dump in {dump_dir:?}");
 
     // A normal job still completes on the respawned pool.
     let after = job_id(&post_job(addr, "chaos-after", &job_mix(99)[0].1));

@@ -274,6 +274,148 @@ fn cancel_trace_and_graceful_drain() {
 }
 
 #[test]
+fn timeline_and_trace_stitch_over_the_wire() {
+    let d = daemon(ManagerConfig::default());
+    let addr = d.addr();
+    let traced = r#"{
+        "engine": "des",
+        "platform": "zcu102:2C+1F",
+        "validation": { "range_detection": 2 },
+        "trace": true
+    }"#;
+    let id = job_id(&post_job(addr, "harriet", traced));
+    await_result(addr, id);
+
+    let timeline = get_json(addr, &format!("/jobs/{id}/timeline"));
+    assert_eq!(timeline["status"].as_str(), Some("done"));
+    assert_eq!(timeline["tenant"].as_str(), Some("harriet"));
+    let span = timeline["span"].as_str().expect("root span").to_string();
+    let events = timeline["events"].as_array().unwrap();
+    assert_eq!(events.first().unwrap()["event"].as_str(), Some("submitted"));
+    assert_eq!(events.last().unwrap()["event"].as_str(), Some("completed"));
+    // Every event carries the context the flight recorder promises.
+    for ev in events {
+        for key in ["seq", "ts_ns", "level", "event", "job", "span", "tenant", "lane"] {
+            assert!(!ev[key].is_null(), "event missing '{key}': {ev:?}");
+        }
+    }
+    // The span tree stitches the engine trace in by span id ...
+    let stitch = &timeline["span_tree"]["engine_trace"];
+    assert_eq!(stitch["span"].as_str(), Some(span.as_str()));
+    let trace_url = stitch["url"].as_str().expect("stitched trace url");
+    // ... and the referenced artifact really carries that span id as
+    // a metadata record, so external tools can join the two.
+    let trace = request(addr, "GET", trace_url, &[], None).unwrap();
+    assert!(trace.is_success(), "{}", trace.body);
+    assert!(trace.body.contains(&span), "trace artifact not stamped with span {span}");
+    // Ring drops during the traced run are published on the timeline.
+    assert!(timeline["trace_dropped"].as_u64().is_some(), "{timeline:?}");
+    d.shutdown();
+}
+
+#[test]
+fn event_stream_over_the_wire_is_jsonl_with_a_summary() {
+    let d = daemon(ManagerConfig::default());
+    let addr = d.addr();
+    let id = job_id(&post_job(addr, "iris", DES_JOB));
+    // The stream stays open (chunked) until the job goes terminal,
+    // then appends a stream_end summary line. The blocking client
+    // returns once the server closes the connection.
+    let resp = request(addr, "GET", &format!("/jobs/{id}/events?since=0&max_ms=25000"), &[], None)
+        .unwrap();
+    assert!(resp.is_success(), "{}", resp.body);
+    let lines: Vec<Value> = resp
+        .body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad JSONL '{l}': {e}")))
+        .collect();
+    assert!(lines.len() >= 5, "expected a full lifecycle, got {lines:?}");
+    assert_eq!(lines[0]["event"].as_str(), Some("submitted"));
+    let summary = lines.last().unwrap();
+    assert_eq!(summary["stream_end"].as_bool(), Some(true), "{summary:?}");
+    assert_eq!(summary["dropped"].as_u64(), Some(0));
+    let events = &lines[..lines.len() - 1];
+    assert_eq!(events.last().unwrap()["event"].as_str(), Some("completed"));
+    // seq strictly increases over the wire, and resuming from the last
+    // seen seq replays nothing.
+    let mut prev = 0;
+    for ev in events {
+        let seq = ev["seq"].as_u64().unwrap();
+        assert!(seq > prev, "seq regressed: {events:?}");
+        prev = seq;
+    }
+    let resume =
+        request(addr, "GET", &format!("/jobs/{id}/events?since={prev}&max_ms=100"), &[], None)
+            .unwrap();
+    let replayed = resume.body.lines().filter(|l| l.contains("\"event\"")).count();
+    assert_eq!(replayed, 0, "resume past the end replays nothing: {}", resume.body);
+    d.shutdown();
+}
+
+#[test]
+fn recorder_overhead_with_streaming_subscribers_is_bounded() {
+    // The flight recorder is always on; what this measures is the
+    // *incremental* cost of live streaming subscribers hanging off
+    // every job vs the same workload unobserved. The acceptance target
+    // is ≤3% recorder overhead; the assertion bound is deliberately
+    // generous (2x) because CI wall clocks are noisy — the measured
+    // numbers are printed for the perf log.
+    const JOBS: usize = 12;
+    let run = |observe: bool, seed_base: usize| -> Duration {
+        let d = daemon(ManagerConfig::default());
+        let addr = d.addr();
+        let t0 = std::time::Instant::now();
+        let ids: Vec<u64> = (0..JOBS)
+            .map(|n| {
+                let body = format!(
+                    r#"{{"platform": "zcu102:2C+1F",
+                         "validation": {{ "range_detection": 2 }},
+                         "seed": {}}}"#,
+                    seed_base + n
+                );
+                job_id(&post_job(addr, "perf", &body))
+            })
+            .collect();
+        let watchers: Vec<_> = if observe {
+            ids.iter()
+                .map(|id| {
+                    let path = format!("/jobs/{id}/events?since=0&max_ms=25000");
+                    std::thread::spawn(move || {
+                        request(addr, "GET", &path, &[], None).expect("stream").body
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for id in &ids {
+            await_result(addr, *id);
+        }
+        let elapsed = t0.elapsed();
+        for w in watchers {
+            let body = w.join().expect("watcher");
+            assert!(body.contains("stream_end"), "stream truncated: {body}");
+        }
+        d.shutdown();
+        elapsed
+    };
+    let baseline = run(false, 1000);
+    let observed = run(true, 2000);
+    let overhead = observed.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+    println!(
+        "flight recorder overhead: baseline {baseline:?}, \
+         with {JOBS} streaming subscribers {observed:?} ({:+.1}%)",
+        overhead * 100.0
+    );
+    assert!(
+        observed.as_secs_f64() < baseline.as_secs_f64() * 2.0 + 0.25,
+        "streaming subscribers must not dominate throughput: \
+         baseline {baseline:?}, observed {observed:?}"
+    );
+}
+
+#[test]
 fn long_poll_returns_promptly_once_done() {
     let d = daemon(ManagerConfig::default());
     let addr = d.addr();

@@ -63,6 +63,10 @@ pub fn chrome_json(events: &[TraceEvent], meta: &TraceMeta) -> Value {
     // scheduler and application tracks, and DMA tracks for accelerators.
     out.push(json!({"ph": "M", "pid": PID, "tid": 0, "name": "process_name",
                     "args": {"name": "dssoc-emu"}}));
+    if let Some(span) = &meta.span {
+        out.push(json!({"ph": "M", "pid": PID, "tid": 0, "name": "span_id",
+                        "args": {"span": span}}));
+    }
     for (&id, pe) in &meta.pes {
         out.extend(thread_meta(pe_tid(id), &pe.name, pe_tid(id)));
         if pe.is_accel {
@@ -408,6 +412,20 @@ mod tests {
         assert_eq!(per[0]["producer"], "rm-1");
         assert_eq!(per[0]["dropped"].as_u64().unwrap(), 17);
         assert_eq!(per[0]["recorded"].as_u64().unwrap(), 4);
+    }
+
+    #[test]
+    fn chrome_export_carries_the_job_span_id() {
+        let (events, mut meta) = fixture();
+        let clean = serde_json::to_string(&chrome_json(&events, &meta)).unwrap();
+        assert!(!clean.contains("span_id"), "no span registered, no record");
+
+        meta.span = Some("00c0ffee00c0ffee".to_string());
+        let doc = chrome_json(&events, &meta);
+        let evs = doc["traceEvents"].as_array().unwrap();
+        let rec = evs.iter().find(|e| e["name"] == "span_id").expect("span metadata record");
+        assert_eq!(rec["ph"], "M");
+        assert_eq!(rec["args"]["span"], "00c0ffee00c0ffee");
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct PeMeta {
 pub struct TraceMeta {
     /// Scheduling policy name of the traced run.
     pub policy: String,
+    /// Correlation span id of the enclosing job (hex string), when the
+    /// run executes under a job manager's flight recorder. Exported as
+    /// a `span_id` metadata record so the engine trace can be stitched
+    /// into the job timeline.
+    pub span: Option<String>,
     /// Per-PE display metadata, keyed by raw PE id.
     pub pes: BTreeMap<u32, PeMeta>,
     /// Application (spec) name per instance id.
@@ -220,6 +225,11 @@ impl TraceSink {
     /// Records the run's scheduling-policy name.
     pub fn set_policy(&self, name: &str) {
         self.shared.meta.lock().expect("trace meta poisoned").policy = name.to_string();
+    }
+
+    /// Records the enclosing job's correlation span id (hex string).
+    pub fn set_span(&self, span: &str) {
+        self.shared.meta.lock().expect("trace meta poisoned").span = Some(span.to_string());
     }
 
     /// Registers one PE's display metadata.
